@@ -1,0 +1,58 @@
+"""Simulator-throughput benchmarks (host characters per second).
+
+Not a paper artifact — these track the speed of the functional engines
+themselves, which bounds how large a workload the harness can sweep.
+The paper's artifact quotes ~72 hours on 40 cores for full-size runs;
+these numbers calibrate what `REPRO_BENCH_SCALE` costs here.
+"""
+
+from repro.automata.glushkov import build_automaton
+from repro.automata.nbva import NBVASimulator
+from repro.automata.nfa import NFASimulator
+from repro.automata.shift_and import MultiShiftAnd
+from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
+from repro.regex.parser import parse
+from repro.simulators import RAPSimulator
+from repro.workloads.datasets import generate_benchmark
+from repro.workloads.inputs import generate_input
+
+INPUT = generate_input("network", 30_000, seed=1, patterns=["abcd"])
+
+
+def test_nfa_engine_speed(benchmark):
+    engine = NFASimulator(build_automaton(parse("ab(?:c|d)*ef"), counters=False))
+    count = benchmark(engine.count_matches, INPUT)
+    assert count >= 0
+
+
+def test_nbva_engine_speed(benchmark):
+    engine = NBVASimulator(
+        build_automaton(parse("abcd[^\\n]{64}e"))
+    )
+    count = benchmark(engine.count_matches, INPUT)
+    assert count >= 0
+
+
+def test_multi_shift_and_speed(benchmark):
+    ruleset = compile_ruleset(
+        [p for p in generate_benchmark("Prosite", size=24, seed=1).patterns],
+        CompilerConfig(),
+    )
+    lnfas = [l for r in ruleset.by_mode(CompiledMode.LNFA) for l in r.lnfas]
+    packed = MultiShiftAnd(lnfas)
+    data = generate_input("protein", 30_000, seed=2)
+    hits = benchmark(packed.find_matches, data)
+    assert isinstance(hits, list)
+
+
+def test_full_rap_simulation_speed(benchmark):
+    bench = generate_benchmark("Snort", size=16, seed=3)
+    ruleset = compile_ruleset(bench.patterns, CompilerConfig(bv_depth=8))
+    data = generate_input(
+        "network", 8000, seed=3, patterns=bench.patterns, plant_every=900
+    )
+    sim = RAPSimulator()
+    result = benchmark.pedantic(
+        sim.run, args=(ruleset, data), rounds=1, iterations=1
+    )
+    assert result.energy_uj > 0

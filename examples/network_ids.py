@@ -1,0 +1,93 @@
+"""Network intrusion detection: a Snort-style workload end to end.
+
+Run with::
+
+    python examples/network_ids.py
+
+Builds a synthetic Snort-like rule set (the mixed NFA/NBVA/LNFA blend of
+Fig. 1), streams synthetic network traffic with planted attack payloads
+through RAP and through the CAMA baseline, cross-checks that both report
+identical alerts, and compares the designs on the paper's system metrics.
+"""
+
+from repro import (
+    CAMASimulator,
+    CompiledMode,
+    CompilerConfig,
+    RAPSimulator,
+    compile_ruleset,
+)
+from repro.workloads.datasets import generate_benchmark
+from repro.workloads.inputs import generate_input
+
+
+def main() -> None:
+    benchmark = generate_benchmark("Snort", size=30, seed=7)
+    traffic = generate_input(
+        "network",
+        length=20_000,
+        seed=7,
+        patterns=benchmark.patterns,
+        plant_every=1500,
+    )
+    print(
+        f"Workload: {len(benchmark)} Snort-style rules over "
+        f"{len(traffic)} bytes of traffic"
+    )
+
+    # RAP: each rule in its best mode, at the benchmark's DSE parameters.
+    rap_rules = compile_ruleset(
+        benchmark.patterns,
+        CompilerConfig(bv_depth=benchmark.profile.chosen_bv_depth),
+    )
+    rap = RAPSimulator().run(
+        rap_rules, traffic, bin_size=benchmark.profile.chosen_bin_size
+    )
+
+    # CAMA: every rule as a fully unfolded NFA.
+    cama_rules = compile_ruleset(
+        benchmark.patterns, CompilerConfig(forced_mode=CompiledMode.NFA)
+    )
+    cama = CAMASimulator().run(cama_rules, traffic)
+
+    if rap.matches != cama.matches:
+        raise SystemExit("alert mismatch between RAP and CAMA!")
+    alerts = sum(len(v) for v in rap.matches.values())
+    firing = [rid for rid, ends in rap.matches.items() if ends]
+    print(f"Alerts: {alerts} (from {len(firing)} rules), identical on both designs")
+
+    mix = rap_rules.mode_counts()
+    print(
+        f"RAP mode mix: {mix[CompiledMode.NFA]} NFA / "
+        f"{mix[CompiledMode.NBVA]} NBVA / {mix[CompiledMode.LNFA]} LNFA"
+    )
+
+    print(f"\n{'metric':<22}{'RAP':>12}{'CAMA':>12}{'RAP/CAMA':>10}")
+    for label, a, b in [
+        ("energy (uJ)", rap.energy_uj, cama.energy_uj),
+        ("area (mm^2)", rap.area_mm2, cama.area_mm2),
+        ("throughput (Gch/s)", rap.throughput_gchps, cama.throughput_gchps),
+        ("power (mW)", rap.power_w * 1e3, cama.power_w * 1e3),
+        (
+            "energy eff (Gch/J)",
+            rap.energy_efficiency,
+            cama.energy_efficiency,
+        ),
+        (
+            "density (Gch/s/mm^2)",
+            rap.compute_density,
+            cama.compute_density,
+        ),
+    ]:
+        ratio = a / b if b else float("inf")
+        print(f"{label:<22}{a:>12.3f}{b:>12.3f}{ratio:>10.2f}")
+
+    print(
+        "\nThe NBVA rules dominate the gap: CAMA spends "
+        f"{cama.energy_uj / rap.energy_uj:.1f}x RAP's energy unfolding "
+        "their bounded repetitions into STE chains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Protein motif scanning: LNFA mode and multi-LNFA binning (Prosite).
+
+Run with::
+
+    python examples/protein_motifs.py
+
+Prosite-style motifs are fixed-length character-class sequences — exactly
+the Linear NFA shape RAP executes with the Shift-And active-vector path.
+This example scans a synthetic protein database with a motif set, then
+sweeps the bin size to show the Fig. 10b effect: bigger bins concentrate
+initial states into fewer always-on tiles and cut energy, at the cost of
+padding redundancy.
+"""
+
+from repro import CompiledMode, CompilerConfig, RAPSimulator, compile_ruleset
+from repro.workloads.datasets import generate_benchmark
+from repro.workloads.inputs import generate_input
+
+MOTIFS = [
+    # hand-written Prosite-flavoured motifs (PA-line style, translated)
+    "C[ST]HC",  # zinc-finger-ish
+    "N[ACDEFGHIKLMNPQRSTVWY][ST]",  # N-glycosylation site N-x-S/T
+    "RGD",  # cell attachment tripeptide
+    "G[KR][KR]GG",
+    "W[FYW]PD",
+]
+
+
+def main() -> None:
+    benchmark = generate_benchmark("Prosite", size=24, seed=3)
+    motifs = MOTIFS + list(benchmark.patterns)
+    database = generate_input(
+        "protein", 15_000, seed=3, patterns=motifs, plant_every=800
+    )
+    print(f"Scanning {len(database)} residues for {len(motifs)} motifs")
+
+    ruleset = compile_ruleset(motifs, CompilerConfig())
+    lnfa = ruleset.by_mode(CompiledMode.LNFA)
+    print(
+        f"{len(lnfa)}/{len(ruleset)} motifs compile to LNFA mode "
+        f"({sum(len(r.lnfas) for r in lnfa)} hardware LNFAs after "
+        "linearization)"
+    )
+
+    sim = RAPSimulator()
+    print(f"\n{'bin size':>8}  {'energy (uJ)':>12}  {'area (mm^2)':>12}  {'hits':>6}")
+    results = {}
+    for bin_size in (1, 4, 16, 32):
+        result = sim.run(ruleset, database, bin_size=bin_size)
+        results[bin_size] = result
+        hits = sum(len(v) for v in result.matches.values())
+        print(
+            f"{bin_size:>8}  {result.energy_uj:>12.4f}  "
+            f"{result.area_mm2:>12.4f}  {hits:>6}"
+        )
+
+    baseline = results[1]
+    best = results[32]
+    assert best.matches == baseline.matches, "binning must not change hits"
+    print(
+        f"\nBinning at 32 saves "
+        f"{(1 - best.energy_uj / baseline.energy_uj) * 100:.0f}% energy vs "
+        "unbinned mapping: all initial states share one tile, so the "
+        "other tiles stay power-gated until a motif prefix actually "
+        "matches (Fig. 7)."
+    )
+
+    # show a few hits with context
+    print("\nSample hits:")
+    shown = 0
+    for regex in ruleset:
+        for end in results[32].matches[regex.regex_id][:1]:
+            start = max(0, end - 12)
+            print(
+                f"  {regex.pattern:<32} ...{database[start : end + 1].decode()}"
+            )
+            shown += 1
+            if shown >= 5:
+                return
+
+
+if __name__ == "__main__":
+    main()

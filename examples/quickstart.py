@@ -1,0 +1,70 @@
+"""Quickstart: compile a few regexes, run them on RAP, read the results.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks the full pipeline: parse/compile (the Fig. 9 decision graph picks a
+mode per regex), map onto tiles/arrays, simulate over an input stream,
+and report matches plus the hardware metrics of Section 5.2.
+"""
+
+from repro import CompiledMode, CompilerConfig, RAPSimulator, compile_ruleset
+
+PATTERNS = [
+    # a virus-signature-style pattern: bounded gap -> NBVA mode
+    r"malw[0-9a-f]{20,60}sig",
+    # a fixed protein-motif-style pattern -> LNFA mode
+    r"GA[TU]TACA",
+    # an unbounded scan pattern -> NFA mode
+    r"user=.*admin",
+]
+
+INPUT = (
+    b"hello user=root then user=admin logs in; "
+    b"GATTACA and GAUTACA both match; "
+    b"malw" + b"3f" * 15 + b"sig ends the stream"
+)
+
+
+def main() -> None:
+    config = CompilerConfig(unfold_threshold=8, bv_depth=8)
+    ruleset = compile_ruleset(PATTERNS, config)
+    if ruleset.rejected:
+        raise SystemExit(f"rejected patterns: {ruleset.rejected}")
+
+    print("Compilation (Fig. 9 decision graph):")
+    for regex in ruleset:
+        print(
+            f"  [{regex.regex_id}] {regex.pattern!r:42} -> {regex.mode.value:4} "
+            f"({regex.states} states on hardware, "
+            f"{regex.unfolded_states} if fully unfolded)"
+        )
+
+    result = RAPSimulator().run(ruleset, INPUT)
+
+    print("\nMatches (regex id -> end positions):")
+    for regex in ruleset:
+        ends = result.matches[regex.regex_id]
+        print(f"  [{regex.regex_id}] {ends}")
+        for end in ends:
+            start = max(0, end - 20)
+            print(f"        ...{INPUT[start : end + 1].decode()!r}")
+
+    print("\nHardware metrics:")
+    print(f"  energy       {result.energy_uj * 1e6:10.1f} pJ")
+    print(f"  area         {result.area_mm2:10.4f} mm^2")
+    print(f"  throughput   {result.throughput_gchps:10.2f} Gch/s")
+    print(f"  power        {result.power_w * 1e3:10.3f} mW")
+    print(f"  arrays/tiles {result.arrays:3d} arrays, {result.tiles} tiles")
+    print(f"  stall cycles {result.stall_cycles:6d} (bit-vector phases)")
+
+    mix = ruleset.mode_counts()
+    print(
+        f"\nMode mix: {mix[CompiledMode.NFA]} NFA, "
+        f"{mix[CompiledMode.NBVA]} NBVA, {mix[CompiledMode.LNFA]} LNFA"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Virus scanning: NBVA counting, BV depth, and the BVAP comparison.
+
+Run with::
+
+    python examples/virus_scan.py
+
+ClamAV-style signatures are literal fragments separated by bounded gaps
+(``prefix .{m,n} suffix``).  Unfolded into an NFA, each gap costs one STE
+per position; RAP's NBVA mode tracks the whole gap in a bit vector
+stored in spare CAM columns.  The example scans a binary image, sweeps
+the BV depth (the Fig. 10a tradeoff), and compares against BVAP's fixed
+bit-vector modules.
+"""
+
+from repro import (
+    BVAPSimulator,
+    CompiledMode,
+    CompilerConfig,
+    RAPSimulator,
+    compile_ruleset,
+)
+from repro.workloads.datasets import generate_benchmark
+from repro.workloads.inputs import generate_input
+
+
+def main() -> None:
+    benchmark = generate_benchmark("ClamAV", size=24, seed=11)
+    signatures = [
+        p
+        for p, mode in zip(benchmark.patterns, benchmark.intended_modes)
+        if mode == "NBVA"
+    ]
+    image = generate_input(
+        "binary", 12_000, seed=11, patterns=signatures, plant_every=4000
+    )
+    print(
+        f"Scanning a {len(image)}-byte binary image against "
+        f"{len(signatures)} gap signatures"
+    )
+
+    total_unfolded = sum(
+        r.unfolded_states
+        for r in compile_ruleset(
+            signatures, CompilerConfig(forced_mode=CompiledMode.NFA)
+        )
+    )
+
+    print(
+        f"\n{'depth':>6}  {'STEs':>6}  {'CAM cols':>9}  {'energy uJ':>10}  "
+        f"{'area mm^2':>10}  {'Gch/s':>6}"
+    )
+    chosen = {}
+    for depth in (4, 8, 16, 32):
+        ruleset = compile_ruleset(signatures, CompilerConfig(bv_depth=depth))
+        result = RAPSimulator().run(ruleset, image)
+        chosen[depth] = (ruleset, result)
+        print(
+            f"{depth:>6}  {ruleset.total_states:>6}  "
+            f"{sum(r.total_columns for r in ruleset):>9}  "
+            f"{result.energy_uj:>10.4f}  {result.area_mm2:>10.4f}  "
+            f"{result.throughput_gchps:>6.2f}"
+        )
+    print(
+        f"\n(The same signatures fully unfolded need {total_unfolded} STEs; "
+        f"counting stores them in "
+        f"{sum(r.total_columns for r in chosen[32][0])} CAM columns at "
+        "depth 32.)"
+    )
+
+    ruleset, rap = chosen[32]
+    bvap = BVAPSimulator().run(ruleset, image)
+    assert bvap.matches == rap.matches
+    infections = sum(len(v) for v in rap.matches.values())
+    print(f"\nInfections found: {infections} (identical on RAP and BVAP)")
+    print(
+        f"BVAP: {bvap.energy_uj:.4f} uJ, {bvap.area_mm2:.4f} mm^2, "
+        f"{bvap.throughput_gchps:.2f} Gch/s"
+    )
+    print(
+        f"RAP : {rap.energy_uj:.4f} uJ, {rap.area_mm2:.4f} mm^2, "
+        f"{rap.throughput_gchps:.2f} Gch/s"
+    )
+    print(
+        "\nBVAP's dedicated bit-vector modules are cheaper per update, "
+        "but their fixed 256-bit slots waste capacity that RAP's "
+        f"dynamically allocated CAM columns do not: area ratio "
+        f"{bvap.area_mm2 / rap.area_mm2:.2f}x."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables the legacy
+editable-install path (``pip install -e . --no-use-pep517``) on machines
+where PEP 660 editable builds are unavailable (e.g. offline hosts lacking
+the ``wheel`` distribution).
+"""
+
+from setuptools import setup
+
+setup()

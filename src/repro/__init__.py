@@ -1,0 +1,65 @@
+"""Reproduction of "RAP: Reconfigurable Automata Processor" (ISCA 2025).
+
+RAP is an in-memory automata processor that reconfigures one 8T-SRAM/CAM
+tile fabric between three automata models — NFA, NBVA (bit-vector
+counting for bounded repetitions), and LNFA (Shift-And for linear
+patterns) — with a compiler that picks the best model per regex.  This
+package is a complete from-scratch Python implementation: regex frontend,
+automata models, compiler, mapper, cycle-level simulators of RAP and the
+CAMA / CA / BVAP baselines, synthetic benchmark workloads, and an
+experiment harness regenerating every table and figure of the paper's
+evaluation.
+
+Quick start::
+
+    from repro import CompilerConfig, RAPSimulator, compile_ruleset
+
+    ruleset = compile_ruleset(["virus[0-9]{40}sig", "GATTACA"])
+    result = RAPSimulator().run(ruleset, b"...input bytes...")
+    print(result.matches, result.summary())
+
+See ``examples/`` for richer scenarios and ``benchmarks/`` for the
+paper's tables and figures.
+"""
+
+from repro.compiler import (
+    CompileError,
+    CompiledMode,
+    CompiledRegex,
+    CompiledRuleset,
+    CompilerConfig,
+    compile_pattern,
+    compile_ruleset,
+)
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig, TileMode
+from repro.mapping.mapper import Mapping, MappingError, map_ruleset
+from repro.simulators import (
+    BVAPSimulator,
+    CAMASimulator,
+    CASimulator,
+    RAPSimulator,
+    SimulationResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BVAPSimulator",
+    "CAMASimulator",
+    "CASimulator",
+    "CompileError",
+    "CompiledMode",
+    "CompiledRegex",
+    "CompiledRuleset",
+    "CompilerConfig",
+    "DEFAULT_CONFIG",
+    "HardwareConfig",
+    "Mapping",
+    "MappingError",
+    "RAPSimulator",
+    "SimulationResult",
+    "TileMode",
+    "compile_pattern",
+    "compile_ruleset",
+    "map_ruleset",
+]

@@ -1,0 +1,53 @@
+"""Automata models: homogeneous NFA, NBVA, LNFA, and a reference oracle.
+
+The three executable models of the paper live here:
+
+* :mod:`repro.automata.glushkov` — the position (Glushkov) construction,
+  extended with counter groups so a single builder produces both plain
+  homogeneous NFAs and NBVAs.
+* :mod:`repro.automata.nfa` — fast bitset simulation for plain automata.
+* :mod:`repro.automata.nbva` — simulation of automata with bit-vector
+  counter groups (set1/copy/shift actions, r(m)/rAll reads, overflow).
+* :mod:`repro.automata.lnfa` / :mod:`repro.automata.shift_and` — linear
+  NFAs and the Shift-And bit-parallel algorithm (single and multi-pattern).
+* :mod:`repro.automata.reference` — an independent Thompson-construction
+  oracle used to validate every other engine (the role Hyperscan plays in
+  the paper's consistency checks).
+
+All engines share one match-reporting convention: an unanchored scan over a
+byte string that yields the 0-based index of every input symbol completing
+a non-empty match.
+"""
+
+from repro.automata.glushkov import (
+    Automaton,
+    CounterGroup,
+    Edge,
+    EdgeAction,
+    GlushkovError,
+    Position,
+    ReadKind,
+    build_automaton,
+)
+from repro.automata.lnfa import LNFA
+from repro.automata.nbva import NBVASimulator
+from repro.automata.nfa import NFASimulator
+from repro.automata.reference import ReferenceMatcher
+from repro.automata.shift_and import MultiShiftAnd, ShiftAnd
+
+__all__ = [
+    "Automaton",
+    "CounterGroup",
+    "Edge",
+    "EdgeAction",
+    "GlushkovError",
+    "LNFA",
+    "MultiShiftAnd",
+    "NBVASimulator",
+    "NFASimulator",
+    "Position",
+    "ReadKind",
+    "ReferenceMatcher",
+    "ShiftAnd",
+    "build_automaton",
+]

@@ -1,0 +1,441 @@
+"""Glushkov (position) construction, extended with counter groups.
+
+The classical Glushkov construction turns a regex into an epsilon-free
+*homogeneous* NFA: one state per character-class occurrence ("position"),
+with all transitions into a state sharing that state's class.  The paper
+adopts it for exactly this homogeneity (Section 2.1).
+
+We extend the construction so that a bounded repetition that survived the
+unfolding rewriting becomes a **counter group**: its body positions carry a
+bit vector of width ``n``, where bit ``i`` means "an instance of the match
+is currently in iteration ``i + 1`` of the repetition".  The four NBVA
+edge actions of the paper map onto the construction as follows:
+
+* entering the group from outside     -> ``set1``   (start iteration 1)
+* a transition within one iteration   -> ``copy``   (same iteration)
+* the loop-back edge last -> first     -> ``shift``  (next iteration)
+* leaving the group                    -> gated by the group's *read*:
+  ``r(m)`` (bit ``m-1``: exactly ``m`` iterations done) for ``r{m}`` and
+  ``rAll`` (any bit) for ``r{0,k}``.
+
+A plain regex (no surviving repetition) produces an automaton with no
+groups — an ordinary homogeneous NFA.  This single builder therefore feeds
+both the NFA and NBVA execution modes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.regex.ast import (
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    Lit,
+    Opt,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+)
+from repro.regex.charclass import CharClass
+
+
+class GlushkovError(ValueError):
+    """Raised when a regex cannot be turned into a (counting) automaton."""
+
+
+class ReadKind(enum.Enum):
+    """How successors read a counter group's bit vector (paper Section 3.1)."""
+
+    EXACT = "r(m)"  # bit m-1 must be set: exactly m iterations completed
+    ALL = "rAll"  # any bit set: between 1 and k iterations completed
+
+
+class EdgeAction(enum.Enum):
+    """What a transition does to its destination."""
+
+    ACTIVATE = "activate"  # plain destination becomes active
+    SET1 = "set1"  # counted destination: set bit 0 (enter iteration 1)
+    COPY = "copy"  # within a group: propagate the vector unchanged
+    SHIFT = "shift"  # within a group: shift the vector (next iteration)
+
+
+@dataclass(frozen=True)
+class Position:
+    """One Glushkov position: a state of the homogeneous automaton."""
+
+    pid: int
+    cc: CharClass
+    group: Optional[int] = None  # counter group id, None for plain states
+
+    @property
+    def is_counted(self) -> bool:
+        """True iff this position carries a bit vector."""
+        return self.group is not None
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A tagged transition between positions."""
+
+    src: int
+    dst: int
+    action: EdgeAction
+
+
+@dataclass(frozen=True)
+class CounterGroup:
+    """A bounded repetition tracked with bit vectors.
+
+    ``width`` is the bit-vector length; ``read`` / ``read_bound`` define the
+    exit predicate: ``EXACT`` tests bit ``read_bound - 1``; ``ALL`` tests
+    the whole vector for a set bit.
+    """
+
+    gid: int
+    width: int
+    read: ReadKind
+    read_bound: int
+    positions: tuple[int, ...]
+
+    def read_predicate(self, vector: int) -> bool:
+        """Does ``vector`` allow exiting this group?"""
+        if self.read is ReadKind.EXACT:
+            return bool(vector >> (self.read_bound - 1) & 1)
+        return vector != 0
+
+    @property
+    def vector_mask(self) -> int:
+        """Bitmask selecting the group's vector width."""
+        return (1 << self.width) - 1
+
+
+@dataclass(frozen=True)
+class Automaton:
+    """A homogeneous automaton with optional counter groups.
+
+    With ``groups == ()`` this is a plain homogeneous NFA; otherwise it is
+    an NBVA in the sense of Section 2.1 (each counted state ``q`` has
+    ``w(q) = groups[q.group].width``).
+    """
+
+    positions: tuple[Position, ...]
+    edges: tuple[Edge, ...]
+    groups: tuple[CounterGroup, ...]
+    initial: frozenset[int]
+    finals: frozenset[int]
+    nullable: bool
+
+    @property
+    def is_plain(self) -> bool:
+        """True iff this automaton has no counter groups (a pure NFA)."""
+        return not self.groups
+
+    @property
+    def state_count(self) -> int:
+        """Number of states (Glushkov positions)."""
+        return len(self.positions)
+
+    def group_of(self, pid: int) -> Optional[CounterGroup]:
+        """The counter group of position ``pid`` (None when plain)."""
+        gid = self.positions[pid].group
+        return None if gid is None else self.groups[gid]
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests and the compiler)."""
+        n = len(self.positions)
+        for i, pos in enumerate(self.positions):
+            if pos.pid != i:
+                raise GlushkovError(f"position id mismatch at index {i}")
+        for edge in self.edges:
+            if not (0 <= edge.src < n and 0 <= edge.dst < n):
+                raise GlushkovError(f"edge out of range: {edge}")
+            src_g = self.positions[edge.src].group
+            dst_g = self.positions[edge.dst].group
+            if edge.action in (EdgeAction.COPY, EdgeAction.SHIFT):
+                if src_g is None or src_g != dst_g:
+                    raise GlushkovError(f"group action on non-group edge: {edge}")
+            if edge.action is EdgeAction.SET1 and dst_g is None:
+                raise GlushkovError(f"set1 into plain position: {edge}")
+            if edge.action is EdgeAction.ACTIVATE and dst_g is not None:
+                raise GlushkovError(f"activate into counted position: {edge}")
+        for group in self.groups:
+            if group.width < 1:
+                raise GlushkovError(f"group {group.gid} has width {group.width}")
+            if group.read is ReadKind.EXACT and group.read_bound != group.width:
+                raise GlushkovError(
+                    f"exact group {group.gid}: bound {group.read_bound} != "
+                    f"width {group.width}"
+                )
+            for pid in group.positions:
+                if self.positions[pid].group != group.gid:
+                    raise GlushkovError(
+                        f"position {pid} not tagged with group {group.gid}"
+                    )
+
+
+@dataclass
+class _Frag:
+    """First/last/nullable summary of a subexpression during construction."""
+
+    nullable: bool
+    first: tuple[int, ...]
+    last: tuple[int, ...]
+
+
+class _Builder:
+    """Accumulates positions, edges, and groups during the recursion."""
+
+    def __init__(self) -> None:
+        self._ccs: list[CharClass] = []
+        self._group_of: list[Optional[int]] = []
+        self._edges: set[tuple[int, int, EdgeAction]] = set()
+        self._groups: list[CounterGroup] = []
+
+    # -- construction primitives -----------------------------------------
+
+    def new_position(self, cc: CharClass) -> int:
+        """Allocate the next position id for ``cc``."""
+        self._ccs.append(cc)
+        self._group_of.append(None)
+        return len(self._ccs) - 1
+
+    def connect(self, sources: tuple[int, ...], targets: tuple[int, ...]) -> None:
+        """Create follow edges; the action is derived from the destination's
+        group membership (``set1`` when entering a group)."""
+        for src in sources:
+            for dst in targets:
+                action = (
+                    EdgeAction.SET1
+                    if self._group_of[dst] is not None
+                    else EdgeAction.ACTIVATE
+                )
+                self._edges.add((src, dst, action))
+
+    def make_group(self, frag: _Frag, body: tuple[int, ...], node: Repeat) -> int:
+        """Turn the freshly built ``body`` positions into a counter group."""
+        for pid in body:
+            if self._group_of[pid] is not None:
+                raise GlushkovError(
+                    "nested counter groups are not supported; "
+                    "unfold the inner repetition first"
+                )
+        if node.lo == node.hi:
+            width, read, bound = node.lo, ReadKind.EXACT, node.lo
+        elif node.lo == 0:
+            assert node.hi is not None
+            width, read, bound = node.hi, ReadKind.ALL, node.hi
+        else:
+            raise GlushkovError(
+                f"repetition {{{node.lo},{node.hi}}} reached construction; "
+                "run the bounded-repetition rewriting first"
+            )
+        gid = len(self._groups)
+        body_set = set(body)
+        for pid in body:
+            self._group_of[pid] = gid
+        # Body-internal follow edges become copy (same iteration).
+        internal = {
+            (src, dst, action)
+            for (src, dst, action) in self._edges
+            if src in body_set and dst in body_set
+        }
+        for src, dst, action in internal:
+            assert action is EdgeAction.ACTIVATE
+            self._edges.discard((src, dst, action))
+            self._edges.add((src, dst, EdgeAction.COPY))
+        # Loop-back edges advance the iteration count; they coexist with any
+        # same-pair copy edge (e.g. the body (ab)+ both continues an
+        # iteration and starts the next one on b -> a).
+        if width > 1:
+            for src in frag.last:
+                for dst in frag.first:
+                    self._edges.add((src, dst, EdgeAction.SHIFT))
+        self._groups.append(
+            CounterGroup(
+                gid=gid,
+                width=width,
+                read=read,
+                read_bound=bound,
+                positions=tuple(body),
+            )
+        )
+        return gid
+
+    def finish(self, frag: _Frag, nullable: bool) -> Automaton:
+        """Freeze the accumulated construction into an Automaton."""
+        positions = tuple(
+            Position(pid=i, cc=cc, group=self._group_of[i])
+            for i, cc in enumerate(self._ccs)
+        )
+        edges = tuple(
+            Edge(src, dst, action)
+            for (src, dst, action) in sorted(
+                self._edges, key=lambda e: (e[0], e[1], e[2].value)
+            )
+        )
+        automaton = Automaton(
+            positions=positions,
+            edges=edges,
+            groups=tuple(self._groups),
+            initial=frozenset(frag.first),
+            finals=frozenset(frag.last),
+            nullable=nullable,
+        )
+        automaton.validate()
+        return automaton
+
+
+def build_automaton(regex: Regex, *, counters: bool = True) -> Automaton:
+    """Build the (counting) Glushkov automaton of ``regex``.
+
+    With ``counters=True`` (the NBVA path), every surviving
+    :class:`~repro.regex.ast.Repeat` node must be in one of the two
+    hardware-readable shapes (``r{m}`` or ``r{0,k}``) with a non-nullable
+    body and becomes a counter group; the NBVA compiler guarantees this by
+    running the unfolding and bounded-repetition rewritings first.
+
+    With ``counters=False`` (the NFA path), repetitions are *expanded*
+    structurally inside the construction — iteratively, so ClamAV-scale
+    bounds neither recurse deeply nor produce the quadratic follow edges a
+    flat ``(r?)^k`` unfolding would.  The optional copies are chained like
+    the nested form ``r (r (r ...)?)?``: copy ``i+1`` is reachable only
+    through copy ``i``.
+    """
+    builder = _Builder()
+    frag = _build(regex, builder, expand=not counters)
+    return builder.finish(frag, regex.nullable())
+
+
+def _build(node: Regex, b: _Builder, expand: bool = False) -> _Frag:
+    if isinstance(node, Empty):
+        return _Frag(nullable=False, first=(), last=())
+    if isinstance(node, Epsilon):
+        return _Frag(nullable=True, first=(), last=())
+    if isinstance(node, Lit):
+        pid = b.new_position(node.cc)
+        return _Frag(nullable=False, first=(pid,), last=(pid,))
+    if isinstance(node, Concat):
+        return _chain([_build(p, b, expand) for p in node.parts], b)
+    if isinstance(node, Alt):
+        frags = [_build(p, b, expand) for p in node.parts]
+        return _Frag(
+            nullable=any(f.nullable for f in frags),
+            first=_join(f.first for f in frags),
+            last=_join(f.last for f in frags),
+        )
+    if isinstance(node, Star):
+        inner = _build(node.inner, b, expand)
+        b.connect(inner.last, inner.first)
+        return _Frag(nullable=True, first=inner.first, last=inner.last)
+    if isinstance(node, Plus):
+        inner = _build(node.inner, b, expand)
+        b.connect(inner.last, inner.first)
+        return _Frag(nullable=inner.nullable, first=inner.first, last=inner.last)
+    if isinstance(node, Opt):
+        inner = _build(node.inner, b, expand)
+        return _Frag(nullable=True, first=inner.first, last=inner.last)
+    if isinstance(node, Repeat):
+        if expand:
+            return _build_repeat_expanded(node, b)
+        return _build_repeat_counted(node, b)
+    raise TypeError(f"unknown regex node: {type(node).__name__}")
+
+
+def _chain(frags: list[_Frag], b: _Builder) -> _Frag:
+    """Concatenation semantics over already-built fragments."""
+    # follow edges across each boundary, looking through nullable parts
+    for i in range(len(frags) - 1):
+        sources = list(frags[i].last)
+        j = i - 1
+        while j >= 0 and frags[j + 1].nullable:
+            sources.extend(frags[j].last)
+            j -= 1
+        b.connect(tuple(dict.fromkeys(sources)), frags[i + 1].first)
+    first: list[int] = []
+    for f in frags:
+        first.extend(f.first)
+        if not f.nullable:
+            break
+    last: list[int] = []
+    for f in reversed(frags):
+        last.extend(f.last)
+        if not f.nullable:
+            break
+    return _Frag(
+        nullable=all(f.nullable for f in frags),
+        first=tuple(dict.fromkeys(first)),
+        last=tuple(dict.fromkeys(last)),
+    )
+
+
+def _build_repeat_counted(node: Repeat, b: _Builder) -> _Frag:
+    if node.hi is None:
+        raise GlushkovError(
+            "unbounded repetition reached construction; run unfolding first"
+        )
+    if node.inner.nullable():
+        raise GlushkovError(
+            "counted repetition with a nullable body is not counting-"
+            "compatible; the compiler must unfold it"
+        )
+    start = len(b._ccs)
+    inner = _build(node.inner, b)
+    body = tuple(range(start, len(b._ccs)))
+    b.make_group(inner, body, node)
+    return _Frag(
+        nullable=node.lo == 0,
+        first=inner.first,
+        last=inner.last,
+    )
+
+
+def _build_repeat_expanded(node: Repeat, b: _Builder) -> _Frag:
+    """Structural expansion of ``r{lo,hi}`` with linear follow structure."""
+    mandatory = [_build(node.inner, b, expand=True) for _ in range(node.lo)]
+    head = _chain(mandatory, b)  # epsilon fragment when lo == 0
+
+    if node.hi is None:
+        star_inner = _build(node.inner, b, expand=True)
+        b.connect(star_inner.last, star_inner.first)
+        star = _Frag(
+            nullable=True, first=star_inner.first, last=star_inner.last
+        )
+        return _chain([head, star], b)
+
+    # Nested optional tail: copy i+1 only reachable through copy i.
+    pending: list[int] = list(head.last)
+    tail_first: list[int] = []
+    tail_lasts: list[int] = []
+    reachable_emptily = True  # from the tail's entry, consuming nothing
+    for _ in range(node.hi - node.lo):
+        copy = _build(node.inner, b, expand=True)
+        b.connect(tuple(dict.fromkeys(pending)), copy.first)
+        if reachable_emptily:
+            tail_first.extend(copy.first)
+        tail_lasts.extend(copy.last)
+        if copy.nullable:
+            pending = pending + list(copy.last)
+        else:
+            pending = list(copy.last)
+        reachable_emptily = reachable_emptily and copy.nullable
+    first = list(head.first)
+    if head.nullable:
+        first.extend(tail_first)
+    last = list(head.last) + tail_lasts  # zero optional iterations allowed
+    return _Frag(
+        nullable=head.nullable,
+        first=tuple(dict.fromkeys(first)),
+        last=tuple(dict.fromkeys(last)),
+    )
+
+
+def _join(parts) -> tuple[int, ...]:
+    out: list[int] = []
+    for p in parts:
+        out.extend(p)
+    return tuple(dict.fromkeys(out))

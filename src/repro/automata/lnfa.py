@@ -1,0 +1,126 @@
+"""Linear NFAs (LNFA).
+
+An LNFA is a homogeneous NFA whose states sit on a line
+``q0 -> q1 -> ... -> q(n-1)`` with transitions only between neighbours
+(Section 2.1, Example 2.3).  The hardware variant of Section 3.2
+additionally assumes a single initial state ``q0`` and a single final
+state ``q(n-1)``, which makes an LNFA exactly a fixed-length sequence of
+character classes; the compiler's linearization rewriting produces a
+union of such sequences per regex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.glushkov import Automaton, EdgeAction
+from repro.regex.charclass import CharClass
+
+
+@dataclass(frozen=True)
+class LNFA:
+    """A hardware LNFA: one fixed-length sequence of character classes.
+
+    State ``i`` is labeled ``labels[i]``; state 0 is initial and state
+    ``len(labels) - 1`` is final.
+    """
+
+    labels: tuple[CharClass, ...]
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ValueError("an LNFA needs at least one state")
+        if any(cc.is_empty() for cc in self.labels):
+            raise ValueError("LNFA state with an empty character class")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def state_count(self) -> int:
+        """Number of states (Glushkov positions)."""
+        return len(self.labels)
+
+    def to_pattern(self) -> str:
+        """Render back to PCRE-subset concrete syntax."""
+        return "".join(cc.to_pattern() for cc in self.labels)
+
+    def matches_at(self, data: bytes, end: int) -> bool:
+        """Naive check: does a match end at index ``end``?  (Test oracle.)"""
+        n = len(self.labels)
+        start = end - n + 1
+        if start < 0:
+            return False
+        return all(
+            self.labels[k].matches(data[start + k]) for k in range(n)
+        )
+
+    def to_automaton(self) -> Automaton:
+        """The equivalent plain homogeneous NFA (used by NFA-mode runs)."""
+        from repro.automata.glushkov import Edge, Position
+
+        positions = tuple(
+            Position(pid=i, cc=cc) for i, cc in enumerate(self.labels)
+        )
+        edges = tuple(
+            Edge(i, i + 1, EdgeAction.ACTIVATE)
+            for i in range(len(self.labels) - 1)
+        )
+        return Automaton(
+            positions=positions,
+            edges=edges,
+            groups=(),
+            initial=frozenset({0}),
+            finals=frozenset({len(self.labels) - 1}),
+            nullable=False,
+        )
+
+
+def is_linear(automaton: Automaton) -> bool:
+    """Does ``automaton`` have the strict line shape of a hardware LNFA?
+
+    Requires: plain (no counters), a single initial state, a single final
+    state, and every transition going from state ``i`` to ``i + 1`` under
+    some renumbering along the line.
+    """
+    if not automaton.is_plain:
+        return False
+    if len(automaton.initial) != 1 or len(automaton.finals) != 1:
+        return False
+    n = automaton.state_count
+    succ: dict[int, list[int]] = {}
+    for edge in automaton.edges:
+        succ.setdefault(edge.src, []).append(edge.dst)
+    # walk the line from the initial state
+    order: list[int] = []
+    seen: set[int] = set()
+    current = next(iter(automaton.initial))
+    while True:
+        if current in seen:
+            return False  # a cycle: not a line
+        seen.add(current)
+        order.append(current)
+        nexts = succ.get(current, [])
+        if not nexts:
+            break
+        if len(nexts) != 1:
+            return False
+        current = nexts[0]
+    if len(order) != n:
+        return False  # unreachable states exist
+    return order[-1] in automaton.finals
+
+
+def from_automaton(automaton: Automaton) -> LNFA:
+    """Extract the LNFA from a line-shaped automaton; raises otherwise."""
+    if not is_linear(automaton):
+        raise ValueError("automaton is not a hardware LNFA")
+    succ = {e.src: e.dst for e in automaton.edges}
+    labels = []
+    current = next(iter(automaton.initial))
+    while True:
+        labels.append(automaton.positions[current].cc)
+        if current not in succ:
+            break
+        current = succ[current]
+    return LNFA(tuple(labels))

@@ -1,0 +1,252 @@
+"""Simulation of nondeterministic bit vector automata (NBVA).
+
+The configuration of an NBVA assigns each counted state a bit vector whose
+set bits are the iteration counts currently in progress — the "set of
+counter values" of Section 2.1.  One simulation step, driven by one input
+byte, performs:
+
+1. **state-transition**: from the previous configuration, compute every
+   contribution to the next one — plain activations, ``set1`` entries into
+   counter groups (gated by the source's read predicate when the source is
+   itself counted), ``copy`` propagation within a group, and ``shift``
+   loop-backs that advance the iteration count (bits shifted past the
+   group width overflow and disappear, exactly like the hardware's
+   overflow checker deactivating an exhausted BV-STE);
+2. **state-matching**: zero out every target whose character class does
+   not match the input byte (a BV is reset along with its inactive STE);
+3. **reporting**: a match ends at this byte if a plain final state is
+   active or a counted final state's read predicate holds.
+
+Plain states are tracked in one integer bitset; live counted states in a
+dict from position id to vector, so cost scales with actual BV activity —
+the same event counts the hardware energy model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.glushkov import Automaton, EdgeAction
+from repro.regex.charclass import ALPHABET_SIZE
+
+
+@dataclass
+class NBVAStats:
+    """Activity counters for one run (feed the hardware energy model)."""
+
+    cycles: int = 0
+    active_states: int = 0  # plain active + live counted, summed over cycles
+    matched_states: int = 0
+    reports: int = 0
+    bv_phase_cycles: int = 0  # cycles that trigger the bit-vector phase
+    bv_updates: int = 0  # total counted-state vector updates performed
+    set1_events: int = 0
+    shift_events: int = 0
+    copy_events: int = 0
+    read_events: int = 0
+    # counts of the Section 3.1 overflow checker firing: a shift pushed a
+    # vector's last live bit past its width, deactivating the BV-STE
+    overflow_events: int = 0
+    # When set to a list before the run, the indices of cycles that
+    # trigger the bit-vector-processing phase are recorded here (the
+    # array-level stall model needs the union across co-located regexes).
+    bv_cycle_indices: list[int] | None = None
+
+    @property
+    def bv_activation_rate(self) -> float:
+        """Fraction of cycles that trigger the BV phase."""
+        return self.bv_phase_cycles / self.cycles if self.cycles else 0.0
+
+
+class NBVASimulator:
+    """Unanchored multi-match simulation of an automaton with counters.
+
+    Also accepts plain automata (it degenerates to NFA simulation), which
+    the integration tests use to cross-check the two engines.
+    """
+
+    def __init__(self, automaton: Automaton):
+        self._automaton = automaton
+        positions = automaton.positions
+        counted = [p.pid for p in positions if p.is_counted]
+        self._counted = counted
+        self._width_mask = {
+            pid: automaton.groups[positions[pid].group].vector_mask
+            for pid in counted
+        }
+        self._read = {
+            pid: automaton.groups[positions[pid].group].read_predicate
+            for pid in counted
+        }
+
+        # Per-source routing tables.
+        n = automaton.state_count
+        self._plain_act = [0] * n  # src -> plain-target bitmask
+        self._set1_targets: list[tuple[int, ...]] = [()] * n
+        self._copy_targets: list[tuple[int, ...]] = [()] * n
+        self._shift_targets: list[tuple[int, ...]] = [()] * n
+        set1_tmp: list[list[int]] = [[] for _ in range(n)]
+        copy_tmp: list[list[int]] = [[] for _ in range(n)]
+        shift_tmp: list[list[int]] = [[] for _ in range(n)]
+        for edge in automaton.edges:
+            if edge.action is EdgeAction.ACTIVATE:
+                self._plain_act[edge.src] |= 1 << edge.dst
+            elif edge.action is EdgeAction.SET1:
+                set1_tmp[edge.src].append(edge.dst)
+            elif edge.action is EdgeAction.COPY:
+                copy_tmp[edge.src].append(edge.dst)
+            else:
+                shift_tmp[edge.src].append(edge.dst)
+        self._set1_targets = [tuple(t) for t in set1_tmp]
+        self._copy_targets = [tuple(t) for t in copy_tmp]
+        self._shift_targets = [tuple(t) for t in shift_tmp]
+
+        self._initial_plain = 0
+        self._initial_counted: list[int] = []
+        for pid in automaton.initial:
+            if positions[pid].is_counted:
+                self._initial_counted.append(pid)
+            else:
+                self._initial_plain |= 1 << pid
+        self._final_plain = 0
+        self._final_counted: list[int] = []
+        for pid in automaton.finals:
+            if positions[pid].is_counted:
+                self._final_counted.append(pid)
+            else:
+                self._final_plain |= 1 << pid
+
+        self._labels = [0] * ALPHABET_SIZE  # over plain positions
+        self._counted_match = [set() for _ in range(ALPHABET_SIZE)]
+        for pos in positions:
+            if pos.is_counted:
+                for byte in pos.cc:
+                    self._counted_match[byte].add(pos.pid)
+            else:
+                bit = 1 << pos.pid
+                for byte in pos.cc:
+                    self._labels[byte] |= bit
+
+    @property
+    def automaton(self) -> Automaton:
+        """The automaton this simulator executes."""
+        return self._automaton
+
+    def find_matches(
+        self,
+        data: bytes,
+        stats: NBVAStats | None = None,
+        *,
+        anchored_start: bool = False,
+        anchored_end: bool = False,
+    ) -> list[int]:
+        """All end positions of non-empty matches in ``data``."""
+        return list(
+            self.iter_matches(
+                data,
+                stats,
+                anchored_start=anchored_start,
+                anchored_end=anchored_end,
+            )
+        )
+
+    def iter_matches(
+        self,
+        data: bytes,
+        stats: NBVAStats | None = None,
+        *,
+        anchored_start: bool = False,
+        anchored_end: bool = False,
+    ):
+        """Generator over match end positions (and stats, if given)."""
+        plain_act = self._plain_act
+        set1_targets = self._set1_targets
+        copy_targets = self._copy_targets
+        shift_targets = self._shift_targets
+        width_mask = self._width_mask
+        read = self._read
+        labels = self._labels
+        counted_match = self._counted_match
+
+        last = len(data) - 1
+        active = 0
+        vectors: dict[int, int] = {}
+        for i, byte in enumerate(data):
+            if anchored_start and i:
+                avail = 0
+                set1: set[int] = set()
+            else:
+                avail = self._initial_plain
+                set1 = set(self._initial_counted)
+            contrib: dict[int, int] = {}
+            matching = counted_match[byte]
+
+            a = active
+            while a:
+                low = a & -a
+                src = low.bit_length() - 1
+                a ^= low
+                avail |= plain_act[src]
+                set1.update(set1_targets[src])
+
+            for src, vec in vectors.items():
+                for dst in copy_targets[src]:
+                    contrib[dst] = contrib.get(dst, 0) | vec
+                shifted = None
+                for dst in shift_targets[src]:
+                    if shifted is None:
+                        shifted = vec << 1 & width_mask[dst]
+                        if (
+                            stats is not None
+                            and not shifted
+                            and dst in matching
+                        ):
+                            # the Section 3.1 overflow checker: the BV-STE
+                            # matched but every live count shifted past the
+                            # vector width, so it is deactivated
+                            stats.overflow_events += 1
+                    contrib[dst] = contrib.get(dst, 0) | shifted
+                if stats is not None:
+                    stats.copy_events += len(copy_targets[src])
+                    stats.shift_events += len(shift_targets[src])
+                if read[src](vec):
+                    if stats is not None:
+                        stats.read_events += 1
+                    avail |= plain_act[src]
+                    set1.update(set1_targets[src])
+
+            for dst in set1:
+                contrib[dst] = contrib.get(dst, 0) | 1
+
+            # state-matching gate
+            active = avail & labels[byte]
+            vectors = {
+                dst: vec for dst, vec in contrib.items() if vec and dst in matching
+            }
+
+            if stats is not None:
+                stats.cycles += 1
+                stats.active_states += active.bit_count() + len(vectors)
+                stats.matched_states += labels[byte].bit_count() + len(matching)
+                stats.set1_events += len(set1)
+                stats.bv_updates += len(vectors)
+                if vectors:
+                    stats.bv_phase_cycles += 1
+                    if stats.bv_cycle_indices is not None:
+                        stats.bv_cycle_indices.append(i)
+
+            matched = bool(active & self._final_plain)
+            if not matched:
+                for pid in self._final_counted:
+                    vec = vectors.get(pid, 0)
+                    if vec and read[pid](vec):
+                        matched = True
+                        break
+            if matched and (not anchored_end or i == last):
+                if stats is not None:
+                    stats.reports += 1
+                yield i
+
+    def count_matches(self, data: bytes) -> int:
+        """Number of non-empty matches in ``data``."""
+        return sum(1 for _ in self.iter_matches(data))

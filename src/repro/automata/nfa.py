@@ -1,0 +1,142 @@
+"""Bitset simulation of plain homogeneous NFAs.
+
+This is the software model of the AP-style execution loop (Section 2.2):
+each input symbol triggers a *state-matching* phase (compare the symbol
+against every state's character class — here a precomputed per-byte label
+mask) and a *state-transition* phase (OR together the successor masks of
+the active states).  Active-state sets are Python integers used as
+bitsets, which keeps the inner loop allocation-free.
+
+The simulator also exposes per-cycle activity statistics (how many states
+were active, how many matched the symbol) because the hardware simulators
+derive their energy accounting from exactly these counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.glushkov import Automaton, EdgeAction
+from repro.regex.charclass import ALPHABET_SIZE
+
+
+@dataclass
+class StepStats:
+    """Aggregate activity counters accumulated over a run."""
+
+    cycles: int = 0
+    active_states: int = 0  # sum over cycles of |active set|
+    matched_states: int = 0  # sum over cycles of |states matching the symbol|
+    reports: int = 0
+
+    @property
+    def mean_active(self) -> float:
+        """Average number of active states/bits per cycle."""
+        return self.active_states / self.cycles if self.cycles else 0.0
+
+
+class NFASimulator:
+    """Unanchored multi-match simulation of a plain homogeneous NFA.
+
+    Reports the 0-based index of every input byte that completes a match.
+    """
+
+    def __init__(self, automaton: Automaton):
+        if not automaton.is_plain:
+            raise ValueError(
+                "NFASimulator only handles plain automata; use NBVASimulator"
+            )
+        self._automaton = automaton
+        n = automaton.state_count
+        self._initial = _mask(automaton.initial)
+        self._final = _mask(automaton.finals)
+        self._labels = _label_masks(automaton)
+        self._succ = [0] * n
+        for edge in automaton.edges:
+            assert edge.action is EdgeAction.ACTIVATE
+            self._succ[edge.src] |= 1 << edge.dst
+
+    @property
+    def automaton(self) -> Automaton:
+        """The automaton this simulator executes."""
+        return self._automaton
+
+    def find_matches(
+        self,
+        data: bytes,
+        stats: StepStats | None = None,
+        *,
+        anchored_start: bool = False,
+        anchored_end: bool = False,
+    ) -> list[int]:
+        """All end positions of non-empty matches in ``data``.
+
+        ``anchored_start`` makes the initial states start-of-data STEs
+        (available only for the first symbol); ``anchored_end`` reports
+        only matches that consume the final symbol.
+        """
+        return list(
+            self.iter_matches(
+                data,
+                stats,
+                anchored_start=anchored_start,
+                anchored_end=anchored_end,
+            )
+        )
+
+    def iter_matches(
+        self,
+        data: bytes,
+        stats: StepStats | None = None,
+        *,
+        anchored_start: bool = False,
+        anchored_end: bool = False,
+    ):
+        """Generator over match end positions; optionally fills ``stats``."""
+        succ = self._succ
+        labels = self._labels
+        initial = self._initial
+        final = self._final
+        last = len(data) - 1
+        active = 0
+        for i, byte in enumerate(data):
+            # state-transition from the previous cycle, plus the initial
+            # states (every cycle when unanchored, first cycle only when
+            # start-anchored)
+            next_avail = 0 if anchored_start and i else initial
+            a = active
+            while a:
+                low = a & -a
+                next_avail |= succ[low.bit_length() - 1]
+                a ^= low
+            # state-matching against the current symbol
+            active = next_avail & labels[byte]
+            if stats is not None:
+                stats.cycles += 1
+                stats.active_states += active.bit_count()
+                stats.matched_states += labels[byte].bit_count()
+            if active & final and (not anchored_end or i == last):
+                if stats is not None:
+                    stats.reports += 1
+                yield i
+
+    def count_matches(self, data: bytes) -> int:
+        """Number of non-empty matches in ``data``."""
+        return sum(1 for _ in self.iter_matches(data))
+
+
+def _mask(pids) -> int:
+    out = 0
+    for pid in pids:
+        out |= 1 << pid
+    return out
+
+
+def _label_masks(automaton: Automaton) -> list[int]:
+    """``labels[b]`` has bit ``p`` set iff byte ``b`` matches position ``p``."""
+    labels = [0] * ALPHABET_SIZE
+    for pos in automaton.positions:
+        bit = 1 << pos.pid
+        for byte in pos.cc:
+            labels[byte] |= bit
+    return labels

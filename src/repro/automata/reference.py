@@ -1,0 +1,180 @@
+"""Reference oracle matcher: an independent ground-truth implementation.
+
+The paper validates its cycle-accurate simulator by comparing match
+results against Hyperscan.  This module plays that role for the
+reproduction: a deliberately *different* code path — Thompson construction
+with explicit epsilon transitions and plain set-based subset simulation —
+against which every other engine (Glushkov NFA, NBVA, Shift-And, and the
+hardware simulators) is cross-checked.
+
+It is written for clarity and independence, not speed; tests use it on
+small regexes and inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regex.ast import (
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    Lit,
+    Opt,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+)
+from repro.regex.charclass import CharClass
+
+
+@dataclass
+class _ThompsonNFA:
+    """A classical NFA with epsilon transitions."""
+
+    cc_edges: list[list[tuple[CharClass, int]]] = field(default_factory=list)
+    eps_edges: list[list[int]] = field(default_factory=list)
+
+    def new_state(self) -> int:
+        """Allocate a fresh NFA state id."""
+        self.cc_edges.append([])
+        self.eps_edges.append([])
+        return len(self.cc_edges) - 1
+
+    def add_cc(self, src: int, cc: CharClass, dst: int) -> None:
+        """Add a character-class transition."""
+        self.cc_edges[src].append((cc, dst))
+
+    def add_eps(self, src: int, dst: int) -> None:
+        """Add an epsilon transition."""
+        self.eps_edges[src].append(dst)
+
+    def closure_of(self, state: int) -> frozenset[int]:
+        """Epsilon closure of a single state (iterative DFS)."""
+        seen = {state}
+        stack = [state]
+        while stack:
+            s = stack.pop()
+            for t in self.eps_edges[s]:
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        return frozenset(seen)
+
+
+def _build(nfa: _ThompsonNFA, node: Regex) -> tuple[int, int]:
+    """Thompson construction; returns the fragment's (start, accept)."""
+    start = nfa.new_state()
+    accept = nfa.new_state()
+    if isinstance(node, Empty):
+        pass  # no path from start to accept
+    elif isinstance(node, Epsilon):
+        nfa.add_eps(start, accept)
+    elif isinstance(node, Lit):
+        nfa.add_cc(start, node.cc, accept)
+    elif isinstance(node, Concat):
+        current = start
+        for part in node.parts:
+            ps, pa = _build(nfa, part)
+            nfa.add_eps(current, ps)
+            current = pa
+        nfa.add_eps(current, accept)
+    elif isinstance(node, Alt):
+        for part in node.parts:
+            ps, pa = _build(nfa, part)
+            nfa.add_eps(start, ps)
+            nfa.add_eps(pa, accept)
+    elif isinstance(node, Star):
+        ps, pa = _build(nfa, node.inner)
+        nfa.add_eps(start, ps)
+        nfa.add_eps(start, accept)
+        nfa.add_eps(pa, ps)
+        nfa.add_eps(pa, accept)
+    elif isinstance(node, Plus):
+        ps, pa = _build(nfa, node.inner)
+        nfa.add_eps(start, ps)
+        nfa.add_eps(pa, ps)
+        nfa.add_eps(pa, accept)
+    elif isinstance(node, Opt):
+        ps, pa = _build(nfa, node.inner)
+        nfa.add_eps(start, ps)
+        nfa.add_eps(start, accept)
+        nfa.add_eps(pa, accept)
+    elif isinstance(node, Repeat):
+        current = start
+        for _ in range(node.lo):
+            ps, pa = _build(nfa, node.inner)
+            nfa.add_eps(current, ps)
+            current = pa
+        if node.hi is None:
+            ps, pa = _build(nfa, Star(node.inner))
+            nfa.add_eps(current, ps)
+            current = pa
+        else:
+            for _ in range(node.hi - node.lo):
+                ps, pa = _build(nfa, node.inner)
+                nfa.add_eps(current, ps)
+                nfa.add_eps(current, accept)  # stop repeating here
+                current = pa
+        nfa.add_eps(current, accept)
+    else:
+        raise TypeError(f"unknown regex node: {type(node).__name__}")
+    return start, accept
+
+
+class ReferenceMatcher:
+    """Ground-truth multi-match scanning via Thompson NFA.
+
+    Unanchored by default; ``anchored_start`` restricts matches to those
+    beginning at offset 0 and ``anchored_end`` to those consuming the
+    final byte — the ``^`` / ``$`` semantics of
+    :func:`repro.regex.parser.parse_anchored`.
+    """
+
+    def __init__(
+        self,
+        regex: Regex,
+        *,
+        anchored_start: bool = False,
+        anchored_end: bool = False,
+    ):
+        self._nfa = _ThompsonNFA()
+        self._start, self._accept = _build(self._nfa, regex)
+        self._closures = [
+            self._nfa.closure_of(s) for s in range(len(self._nfa.cc_edges))
+        ]
+        self._restart = self._closures[self._start]
+        self._anchored_start = anchored_start
+        self._anchored_end = anchored_end
+
+    def find_matches(self, data: bytes) -> list[int]:
+        """End positions of every non-empty match in ``data``."""
+        out: list[int] = []
+        last = len(data) - 1
+        current: set[int] = set(self._restart)
+        for i, byte in enumerate(data):
+            moved: set[int] = set()
+            for s in current:
+                for cc, t in self._nfa.cc_edges[s]:
+                    if cc.matches(byte):
+                        moved.update(self._closures[t])
+            # Report before re-injecting the restart states so that the
+            # empty match of a nullable regex is never reported.
+            if self._accept in moved and (
+                not self._anchored_end or i == last
+            ):
+                out.append(i)
+            if not self._anchored_start:
+                moved.update(self._restart)
+            current = moved
+        return out
+
+    def count_matches(self, data: bytes) -> int:
+        """Number of non-empty matches in ``data``."""
+        return len(self.find_matches(data))
+
+    def matches_anywhere(self, data: bytes) -> bool:
+        """True iff at least one non-empty match exists."""
+        return bool(self.find_matches(data))

@@ -1,0 +1,221 @@
+"""The Shift-And bit-parallel algorithm (Baeza-Yates & Gonnet).
+
+Two variants are implemented, matching the paper's usage:
+
+* :class:`ShiftAnd` — the classic single-pattern form of Section 2.1 /
+  Fig. 2: ``next = (states << 1) | maskInitial`` then
+  ``states = next & labels[c]``, reporting when ``states & maskFinal``.
+* :class:`MultiShiftAnd` — many LNFAs packed into one wide bitvector, the
+  software technique of Hyperscan/HybridSA that the CPU and GPU baseline
+  models are built on.  In an unanchored scan the per-pattern initial bits
+  are re-injected on every cycle, which also absorbs the bit that shifts
+  across a pattern boundary — no boundary masking is needed.
+
+The hardware LNFA mode (Fig. 6) uses a mirrored bit order (right shift,
+initial at the MSB); that bit-serial variant lives in the tile simulator,
+and its equivalence to :class:`ShiftAnd` is covered by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.lnfa import LNFA
+from repro.regex.charclass import ALPHABET_SIZE
+
+
+@dataclass
+class ShiftAndStats:
+    """Activity counters for one Shift-And run."""
+    cycles: int = 0
+    active_bits: int = 0  # popcount of the state vector, summed over cycles
+    reports: int = 0
+
+    @property
+    def mean_active(self) -> float:
+        """Average number of active states/bits per cycle."""
+        return self.active_bits / self.cycles if self.cycles else 0.0
+
+
+class ShiftAnd:
+    """Classic Shift-And execution of a single LNFA."""
+
+    def __init__(self, lnfa: LNFA):
+        self._lnfa = lnfa
+        n = len(lnfa)
+        self._initial = 1
+        self._final = 1 << (n - 1)
+        self._labels = [0] * ALPHABET_SIZE
+        for i, cc in enumerate(lnfa.labels):
+            bit = 1 << i
+            for byte in cc:
+                self._labels[byte] |= bit
+
+    @property
+    def lnfa(self) -> LNFA:
+        """The LNFA this matcher executes."""
+        return self._lnfa
+
+    def find_matches(
+        self,
+        data: bytes,
+        stats: ShiftAndStats | None = None,
+        *,
+        anchored_start: bool = False,
+        anchored_end: bool = False,
+    ) -> list[int]:
+        """All end positions of non-empty matches in ``data``."""
+        return list(
+            self.iter_matches(
+                data,
+                stats,
+                anchored_start=anchored_start,
+                anchored_end=anchored_end,
+            )
+        )
+
+    def iter_matches(
+        self,
+        data: bytes,
+        stats: ShiftAndStats | None = None,
+        *,
+        anchored_start: bool = False,
+        anchored_end: bool = False,
+    ):
+        """Generator over match end positions (and stats, if given)."""
+        labels = self._labels
+        initial = self._initial
+        final = self._final
+        last = len(data) - 1
+        states = 0
+        for i, byte in enumerate(data):
+            inject = 0 if anchored_start and i else initial
+            states = (states << 1 | inject) & labels[byte]
+            if stats is not None:
+                stats.cycles += 1
+                stats.active_bits += states.bit_count()
+            if states & final and (not anchored_end or i == last):
+                if stats is not None:
+                    stats.reports += 1
+                yield i
+
+
+class MultiShiftAnd:
+    """Shift-And over many LNFAs packed into one wide state vector.
+
+    Patterns are laid out consecutively; ``find_matches`` reports
+    ``(pattern_index, end_position)`` pairs.
+    """
+
+    def __init__(
+        self,
+        lnfas: list[LNFA] | tuple[LNFA, ...],
+        anchors: list[tuple[bool, bool]] | None = None,
+    ):
+        """``anchors`` optionally gives each pattern its
+        ``(anchored_start, anchored_end)`` flags; start-anchored patterns
+        behave like start-of-data STEs (initial bit injected only on the
+        first symbol)."""
+        if not lnfas:
+            raise ValueError("MultiShiftAnd needs at least one pattern")
+        if anchors is not None and len(anchors) != len(lnfas):
+            raise ValueError("anchors must align with the patterns")
+        self._lnfas = tuple(lnfas)
+        self._anchors = tuple(anchors) if anchors else ((False, False),) * len(
+            self._lnfas
+        )
+        self._offsets: list[int] = []
+        self._labels = [0] * ALPHABET_SIZE
+        initial_always = 0
+        initial_once = 0
+        final = 0
+        end_anchored_finals = 0
+        offset = 0
+        for lnfa, (a_start, a_end) in zip(self._lnfas, self._anchors):
+            self._offsets.append(offset)
+            if a_start:
+                initial_once |= 1 << offset
+            else:
+                initial_always |= 1 << offset
+            final_bit = 1 << (offset + len(lnfa) - 1)
+            final |= final_bit
+            if a_end:
+                end_anchored_finals |= final_bit
+            for i, cc in enumerate(lnfa.labels):
+                bit = 1 << (offset + i)
+                for byte in cc:
+                    self._labels[byte] |= bit
+            offset += len(lnfa)
+        self._initial = initial_always | initial_once
+        self._initial_always = initial_always
+        self._final = final
+        self._end_anchored_finals = end_anchored_finals
+        self._total_bits = offset
+        # map a final bit back to its pattern index
+        self._pattern_of_final = {
+            self._offsets[k] + len(lnfa) - 1: k
+            for k, lnfa in enumerate(self._lnfas)
+        }
+
+    @property
+    def total_bits(self) -> int:
+        """Width of the packed multi-pattern state vector."""
+        return self._total_bits
+
+    @property
+    def patterns(self) -> tuple[LNFA, ...]:
+        """The packed LNFAs, in layout order."""
+        return self._lnfas
+
+    def find_matches(
+        self, data: bytes, stats: ShiftAndStats | None = None
+    ) -> list[tuple[int, int]]:
+        """All end positions of non-empty matches in ``data``."""
+        return list(self.iter_matches(data, stats))
+
+    def iter_states(self, data: bytes):
+        """Yield ``(index, packed_state_vector)`` per input byte.
+
+        The hardware simulators map the packed bits back to tiles/regions
+        to account power gating per cycle.  The shift leaks each
+        pattern's last bit onto the next pattern's first bit; for
+        unanchored patterns the unconditional initial-mask injection
+        absorbs the leak, and for start-anchored patterns the leak must
+        be masked off after the first symbol.
+        """
+        labels = self._labels
+        initial = self._initial
+        always = self._initial_always
+        anchored_bits = initial & ~always
+        states = 0
+        for i, byte in enumerate(data):
+            inject = initial if i == 0 else always
+            states = ((states << 1) & ~anchored_bits | inject) & labels[byte]
+            yield i, states
+
+    def bit_location(self, bit: int) -> tuple[int, int]:
+        """Map a packed bit index to ``(pattern_index, state_index)``."""
+        for k in range(len(self._offsets) - 1, -1, -1):
+            if bit >= self._offsets[k]:
+                return k, bit - self._offsets[k]
+        raise ValueError(f"bit {bit} out of range")
+
+    def iter_matches(self, data: bytes, stats: ShiftAndStats | None = None):
+        """Generator over match end positions (and stats, if given)."""
+        pattern_of_final = self._pattern_of_final
+        final = self._final
+        end_anchored = self._end_anchored_finals
+        last = len(data) - 1
+        for i, states in self.iter_states(data):
+            if stats is not None:
+                stats.cycles += 1
+                stats.active_bits += states.bit_count()
+            hits = states & final
+            if i != last:
+                hits &= ~end_anchored
+            while hits:
+                low = hits & -hits
+                hits ^= low
+                if stats is not None:
+                    stats.reports += 1
+                yield pattern_of_final[low.bit_length() - 1], i

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the paper artifact's driver script (``main_gap.py --data ...
+--task ...``): compile rule files, scan inputs, and run the evaluation
+experiments from the shell.
+
+Commands
+--------
+``compile``     compile a pattern file to a JSON ruleset
+``scan``        match an input file against patterns or a compiled ruleset
+``experiment``  run one of the paper's tables/figures
+``inspect``     summarize a compiled JSON ruleset
+``workload``    emit a synthetic benchmark's patterns
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
+from repro.io.serialize import load_ruleset, save_ruleset
+from repro.simulators import RAPSimulator
+
+EXPERIMENTS = {
+    "all": ("repro.experiments.summary", "full evaluation run"),
+    "fig1": ("repro.experiments.fig01_model_mix", "Fig. 1 model mix"),
+    "fig10": ("repro.experiments.fig10_dse", "Fig. 10 DSE"),
+    "table2": ("repro.experiments.table2_nbva", "Table 2 NBVA comparison"),
+    "table3": ("repro.experiments.table3_lnfa", "Table 3 LNFA comparison"),
+    "fig11": ("repro.experiments.fig11_breakdown", "Fig. 11 breakdown"),
+    "fig12": ("repro.experiments.fig12_asic", "Fig. 12 ASIC comparison"),
+    "fig13": ("repro.experiments.fig13_cpu_gpu", "Fig. 13 CPU/GPU"),
+    "table4": ("repro.experiments.table4_fpga", "Table 4 FPGA comparison"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI parser (exposed for shell completion)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RAP (ISCA 2025) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile a pattern file into a JSON ruleset"
+    )
+    p_compile.add_argument(
+        "patterns", type=Path, help="file with one regex per line"
+    )
+    p_compile.add_argument("-o", "--output", type=Path, required=True)
+    p_compile.add_argument("--bv-depth", type=int, default=16)
+    p_compile.add_argument("--unfold-threshold", type=int, default=8)
+    p_compile.add_argument(
+        "--force-mode",
+        choices=[m.value for m in CompiledMode],
+        default=None,
+        help="compile every regex to one mode (experiment methodology)",
+    )
+    p_compile.add_argument(
+        "--hw",
+        type=Path,
+        default=None,
+        help="JSON hardware-config file for a custom design point",
+    )
+
+    p_scan = sub.add_parser(
+        "scan", help="match an input file on the simulated RAP"
+    )
+    source = p_scan.add_mutually_exclusive_group(required=True)
+    source.add_argument("--ruleset", type=Path, help="compiled JSON ruleset")
+    source.add_argument("--patterns", type=Path, help="regex file")
+    p_scan.add_argument("input", type=Path, help="binary input stream")
+    p_scan.add_argument("--bv-depth", type=int, default=16)
+    p_scan.add_argument("--bin-size", type=int, default=None)
+    p_scan.add_argument(
+        "--metrics", action="store_true", help="print hardware metrics"
+    )
+    p_scan.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check every match against the reference oracle "
+        "(the paper's consistency-check methodology)",
+    )
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--size", type=int, default=None)
+    p_exp.add_argument("--input-length", type=int, default=None)
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="summarize a compiled JSON ruleset"
+    )
+    p_inspect.add_argument("ruleset", type=Path)
+
+    p_work = sub.add_parser(
+        "workload", help="print a synthetic benchmark's patterns"
+    )
+    p_work.add_argument("benchmark")
+    p_work.add_argument("--size", type=int, default=24)
+    p_work.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _read_patterns(path: Path) -> list[str]:
+    lines = path.read_text().splitlines()
+    return [line for line in (l.strip() for l in lines) if line and not line.startswith("#")]
+
+
+def _load_hw(path):
+    import json
+
+    from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+
+    if path is None:
+        return DEFAULT_CONFIG
+    with open(path) as f:
+        return HardwareConfig.from_json(json.load(f))
+
+
+def cmd_compile(args) -> int:
+    """Handler for ``repro compile``."""
+    config = CompilerConfig(
+        unfold_threshold=args.unfold_threshold,
+        bv_depth=args.bv_depth,
+        forced_mode=CompiledMode(args.force_mode) if args.force_mode else None,
+        hw=_load_hw(args.hw),
+    )
+    ruleset = compile_ruleset(_read_patterns(args.patterns), config)
+    save_ruleset(ruleset, args.output)
+    counts = ruleset.mode_counts()
+    print(
+        f"compiled {len(ruleset)} regexes "
+        f"({counts[CompiledMode.NFA]} NFA, {counts[CompiledMode.NBVA]} NBVA, "
+        f"{counts[CompiledMode.LNFA]} LNFA) -> {args.output}"
+    )
+    for pattern, reason in ruleset.rejected:
+        print(f"rejected: {pattern!r}: {reason}", file=sys.stderr)
+    return 0 if len(ruleset) else 1
+
+
+def cmd_scan(args) -> int:
+    """Handler for ``repro scan``."""
+    if args.ruleset:
+        ruleset = load_ruleset(args.ruleset)
+    else:
+        ruleset = compile_ruleset(
+            _read_patterns(args.patterns), CompilerConfig(bv_depth=args.bv_depth)
+        )
+    data = args.input.read_bytes()
+    result = RAPSimulator().run(ruleset, data, bin_size=args.bin_size)
+    total = 0
+    for regex in ruleset:
+        for end in result.matches[regex.regex_id]:
+            print(f"{end}\t{regex.regex_id}\t{regex.pattern}")
+            total += 1
+    print(f"# {total} matches over {len(data)} bytes", file=sys.stderr)
+    if args.metrics:
+        print(f"# {result.summary()}", file=sys.stderr)
+    if args.verify:
+        from repro.verification import verify_matches
+
+        report = verify_matches(ruleset, data, result.matches)
+        print(f"# {report.describe()}", file=sys.stderr)
+        if not report.ok:
+            return 3
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """Handler for ``repro experiment``."""
+    import importlib
+
+    from repro.experiments.common import ExperimentConfig
+
+    module_name, _ = EXPERIMENTS[args.name]
+    module = importlib.import_module(module_name)
+    base = ExperimentConfig.scaled()
+    config = ExperimentConfig(
+        benchmark_size=args.size or base.benchmark_size,
+        input_length=args.input_length or base.input_length,
+        seed=args.seed,
+    )
+    result = module.run(config)
+    print(result.to_table())
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """Handler for ``repro inspect``."""
+    ruleset = load_ruleset(args.ruleset)
+    counts = ruleset.mode_counts()
+    print(f"regexes:          {len(ruleset)}")
+    for mode in CompiledMode:
+        print(f"  {mode.value:<5} {counts[mode]}")
+    print(f"hardware states:  {ruleset.total_states}")
+    print(
+        "unfolded states:  "
+        f"{sum(r.unfolded_states for r in ruleset)}"
+    )
+    print(
+        "CAM columns:      "
+        f"{sum(r.total_columns for r in ruleset)} "
+        "(NFA/NBVA tile plans)"
+    )
+    anchored = sum(
+        1 for r in ruleset if r.anchored_start or r.anchored_end
+    )
+    print(f"anchored:         {anchored}")
+    if ruleset.rejected:
+        print(f"rejected:         {len(ruleset.rejected)}")
+    from repro.mapping.mapper import map_ruleset
+
+    mapping = map_ruleset(ruleset)
+    print(f"tiles / arrays:   {mapping.total_tiles} / {mapping.physical_arrays()}")
+    print(f"utilization:      {mapping.utilization():.2f}")
+    return 0
+
+
+def cmd_workload(args) -> int:
+    """Handler for ``repro workload``."""
+    from repro.workloads.anmlzoo import ANMLZOO_PROFILES, generate_anmlzoo_benchmark
+    from repro.workloads.datasets import BENCHMARKS, generate_benchmark
+
+    if args.benchmark in BENCHMARKS:
+        bench = generate_benchmark(args.benchmark, size=args.size, seed=args.seed)
+    elif args.benchmark in ANMLZOO_PROFILES:
+        bench = generate_anmlzoo_benchmark(
+            args.benchmark, size=args.size, seed=args.seed
+        )
+    else:
+        known = sorted(set(BENCHMARKS) | set(ANMLZOO_PROFILES))
+        print(
+            f"unknown benchmark {args.benchmark!r}; known: {', '.join(known)}",
+            file=sys.stderr,
+        )
+        return 2
+    for pattern, mode in zip(bench.patterns, bench.intended_modes):
+        print(f"{mode}\t{pattern}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "compile": cmd_compile,
+        "scan": cmd_scan,
+        "experiment": cmd_experiment,
+        "inspect": cmd_inspect,
+        "workload": cmd_workload,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""The regex-to-hardware compiler (Section 4).
+
+Compilation of one regex proceeds through the Fig. 9 decision graph
+(:mod:`repro.compiler.decision`) into one of three mode-specific backends:
+
+* :mod:`repro.compiler.nbva_compiler` — unfolding, counting-compatibility
+  and bounded-repetition rewriting, tile splitting, NBVA construction;
+* :mod:`repro.compiler.lnfa_compiler` — linearization into character-class
+  sequences and Shift-And mask preparation;
+* :mod:`repro.compiler.nfa_compiler` — full unfolding and the classical
+  Glushkov construction.
+
+:mod:`repro.compiler.pipeline` drives the whole flow and produces the
+:class:`~repro.compiler.program.CompiledRuleset` consumed by the mapper
+and the simulators.
+"""
+
+from repro.compiler.pipeline import CompilerConfig, compile_pattern, compile_ruleset
+from repro.compiler.program import (
+    CompiledMode,
+    CompiledRegex,
+    CompiledRuleset,
+    CompileError,
+    TileRequest,
+)
+
+__all__ = [
+    "CompileError",
+    "CompiledMode",
+    "CompiledRegex",
+    "CompiledRuleset",
+    "CompilerConfig",
+    "TileRequest",
+    "compile_pattern",
+    "compile_ruleset",
+]

@@ -1,0 +1,79 @@
+"""The Fig. 9 compilation decision graph.
+
+For each regex the compiler picks the RAP mode that minimizes space and
+energy cost:
+
+1. reject degenerate patterns (nullable: they match the empty string at
+   every offset, which no pattern-matching deployment wants);
+2. if, after the unfolding and counting-compatibility rewritings, at
+   least one bounded repetition survives with a bit-vector-trackable
+   shape, choose **NBVA** — counting compresses the repetition by a
+   factor of its bound;
+3. otherwise, if linearization succeeds without growing the state count
+   beyond the blowup allowance (2x by default, reflecting LNFA mode's
+   smaller per-state footprint), choose **LNFA**;
+4. otherwise fall back to **NFA**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.program import CompiledMode, CompileError
+from repro.regex.ast import Regex, Repeat
+from repro.regex.rewrite import (
+    RewriteError,
+    linearize,
+    make_countable,
+    unfold,
+)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The chosen mode plus the eligibility facts behind it (Fig. 1 data)."""
+
+    mode: CompiledMode
+    nbva_eligible: bool
+    lnfa_eligible: bool
+
+
+def decide(
+    regex: Regex,
+    *,
+    unfold_threshold: int,
+    lnfa_blowup: float = 2.0,
+    max_lnfa_sequences: int = 4096,
+) -> Decision:
+    """Run the decision graph on one parsed regex."""
+    if regex.nullable():
+        raise CompileError(
+            "nullable regex matches the empty string everywhere; "
+            "not a meaningful hardware pattern"
+        )
+    nbva = nbva_eligible(regex, unfold_threshold=unfold_threshold)
+    base_states = max(regex.unfolded_size(), 1)
+    lnfa = (
+        linearize(
+            regex,
+            max_states=int(base_states * lnfa_blowup),
+            max_sequences=max_lnfa_sequences,
+        )
+        is not None
+    )
+    if nbva:
+        mode = CompiledMode.NBVA
+    elif lnfa:
+        mode = CompiledMode.LNFA
+    else:
+        mode = CompiledMode.NFA
+    return Decision(mode=mode, nbva_eligible=nbva, lnfa_eligible=lnfa)
+
+
+def nbva_eligible(regex: Regex, *, unfold_threshold: int) -> bool:
+    """Does at least one countable repetition survive the rewritings?"""
+    try:
+        prepared = make_countable(unfold(regex, unfold_threshold))
+    except RewriteError:
+        return False
+    return any(isinstance(node, Repeat) for node in prepared.walk())

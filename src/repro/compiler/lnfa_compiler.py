@@ -1,0 +1,62 @@
+"""LNFA-mode compilation (Section 4.2).
+
+Linearization rewrites the regex into a union of fixed-length
+character-class sequences (distributing union over concatenation and
+unfolding small bounded repetitions, Example 4.4); each sequence becomes
+one hardware LNFA executed with Shift-And.  Per Fig. 9, the rewriting is
+accepted only if it does not grow the state count beyond the blowup
+allowance (2x by default).
+
+Each LNFA is additionally classified by *where* it can run (Section 3.2):
+in the CAM when every character class fits a single 32-bit multi-zero
+prefix code (84% of LNFAs in the paper's corpus), otherwise in the local
+switch with two one-hot columns per state.  Tile occupation is decided
+later, by the binning pass of the mapper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.lnfa import LNFA
+from repro.compiler.program import CompiledMode, CompiledRegex, CompileError
+from repro.hardware.config import HardwareConfig
+from repro.hardware.encoding import lnfa_cam_eligible
+from repro.regex.ast import Regex
+from repro.regex.rewrite import linearize
+
+
+def compile_lnfa(
+    regex_id: int,
+    pattern: str,
+    regex: Regex,
+    *,
+    lnfa_blowup: float,
+    hw: HardwareConfig,
+    max_sequences: int = 4096,
+) -> Optional[CompiledRegex]:
+    """Compile for LNFA mode; ``None`` when linearization is not worth it."""
+    base_states = max(regex.unfolded_size(), 1)
+    lin = linearize(
+        regex,
+        max_states=int(base_states * lnfa_blowup),
+        max_sequences=max_sequences,
+    )
+    if lin is None:
+        return None
+    if any(len(seq) > hw.max_regex_states for seq in lin.sequences):
+        raise CompileError(
+            f"an LNFA of this regex exceeds {hw.max_regex_states} states "
+            "(one array)"
+        )
+    lnfas = tuple(LNFA(seq) for seq in lin.sequences)
+    eligibility = tuple(lnfa_cam_eligible(l.labels) for l in lnfas)
+    return CompiledRegex(
+        regex_id=regex_id,
+        pattern=pattern,
+        mode=CompiledMode.LNFA,
+        lnfas=lnfas,
+        lnfa_cam_eligible=eligibility,
+        source_states=regex.literal_count(),
+        unfolded_states=regex.unfolded_size(),
+    )

@@ -1,0 +1,340 @@
+"""NBVA-mode compilation (Section 4.1).
+
+Pipeline: unfolding rewriting (threshold-controlled) -> counting-
+compatibility rewriting -> bounded-repetition rewriting into the two
+hardware-readable shapes -> tile splitting of oversized repetitions
+(Example 4.3) -> counting Glushkov construction -> tile packing under the
+two NBVA tile constraints (at most ``cam_cols`` CAM columns; no ``r(m)``
+and ``rAll`` reads in the same tile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.automata.glushkov import (
+    Automaton,
+    CounterGroup,
+    EdgeAction,
+    ReadKind,
+    build_automaton,
+)
+from repro.compiler.placement import Placement, global_ports
+from repro.compiler.program import (
+    CompiledMode,
+    CompiledRegex,
+    CompileError,
+    TileRequest,
+)
+from repro.hardware.config import HardwareConfig, TileMode
+from repro.hardware.encoding import codes_needed
+from repro.regex import ast
+from repro.regex.ast import (
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    Lit,
+    Opt,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+)
+from repro.regex.rewrite import (
+    RewriteError,
+    make_countable,
+    rewrite_bounds_for_bv,
+    unfold,
+)
+
+
+def prepare_nbva(
+    regex: Regex,
+    *,
+    unfold_threshold: int,
+    depth: int,
+    hw: HardwareConfig,
+    word_align_exact: bool = True,
+) -> Regex:
+    """Run all NBVA-mode rewritings; the result is construction-ready."""
+    try:
+        prepared = make_countable(unfold(regex, unfold_threshold))
+        prepared = rewrite_bounds_for_bv(
+            prepared, depth=depth, word_align_exact=word_align_exact
+        )
+    except RewriteError as err:
+        raise CompileError(f"NBVA rewriting failed: {err}") from err
+    return split_large_repeats(prepared, depth=depth, hw=hw)
+
+
+def compile_nbva(
+    regex_id: int,
+    pattern: str,
+    regex: Regex,
+    *,
+    unfold_threshold: int,
+    depth: int,
+    hw: HardwareConfig,
+    word_align_exact: bool = True,
+) -> Optional[CompiledRegex]:
+    """Compile for NBVA mode; ``None`` if no counter group survives
+    (the caller then falls through the decision graph)."""
+    prepared = prepare_nbva(
+        regex,
+        unfold_threshold=unfold_threshold,
+        depth=depth,
+        hw=hw,
+        word_align_exact=word_align_exact,
+    )
+    automaton = build_automaton(prepared)
+    if automaton.is_plain:
+        return None
+    if regex.unfolded_size() > hw.max_nbva_unfolded_states:
+        raise CompileError(
+            f"regex unfolds to {regex.unfolded_size()} STEs; NBVA mode "
+            f"supports at most {hw.max_nbva_unfolded_states}"
+        )
+    placement, requests = plan_nbva_tiles(automaton, depth=depth, hw=hw)
+    return CompiledRegex(
+        regex_id=regex_id,
+        pattern=pattern,
+        mode=CompiledMode.NBVA,
+        automaton=automaton,
+        tile_requests=requests,
+        source_states=regex.literal_count(),
+        unfolded_states=regex.unfolded_size(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tile splitting (Example 4.3)
+# ---------------------------------------------------------------------------
+
+
+def repeat_columns(node: Repeat, depth: int) -> int:
+    """CAM columns a counted repetition occupies in one tile.
+
+    Per body state: its CC code columns plus ``ceil(bound / depth)`` BV
+    columns; plus one initial-vector (set1) column per entry state.
+    """
+    assert node.hi is not None
+    body_states = [n.cc for n in node.inner.walk() if isinstance(n, Lit)]
+    cc_cols = sum(codes_needed(cc) for cc in body_states)
+    bv_cols_per_state = -(-node.hi // depth)
+    entry_cols = _entry_states(node.inner)
+    return cc_cols + len(body_states) * bv_cols_per_state + entry_cols
+
+
+def _entry_states(body: Regex) -> int:
+    """How many states can be entered first in ``body`` (receive set1)."""
+    if isinstance(body, Lit):
+        return 1
+    if isinstance(body, Concat):
+        count = 0
+        for part in body.parts:
+            count += _entry_states(part)
+            if not part.nullable():
+                break
+        return count
+    if isinstance(body, Alt):
+        return sum(_entry_states(p) for p in body.parts)
+    if isinstance(body, (Star, Plus, Opt)):
+        return _entry_states(body.inner)
+    if isinstance(body, Repeat):
+        return _entry_states(body.inner)
+    return 0
+
+
+def split_large_repeats(regex: Regex, *, depth: int, hw: HardwareConfig) -> Regex:
+    """Split repetitions whose column cost exceeds one tile.
+
+    ``r{m}`` becomes ``r{k} r{k} ... r{rem}`` and ``r{0,k}`` becomes a
+    concatenation of ``r{0,k_i}`` pieces — both language-preserving —
+    where each piece fits a tile (Example 4.3 finds k = 504 for
+    ``a{1024}`` at depth 4).
+    """
+    return _split(regex, depth, hw)
+
+
+def _split(node: Regex, depth: int, hw: HardwareConfig) -> Regex:
+    if isinstance(node, (Empty, Epsilon, Lit)):
+        return node
+    if isinstance(node, Concat):
+        return ast.concat(*(_split(p, depth, hw) for p in node.parts))
+    if isinstance(node, Alt):
+        return ast.alt(*(_split(p, depth, hw) for p in node.parts))
+    if isinstance(node, Star):
+        return ast.star(_split(node.inner, depth, hw))
+    if isinstance(node, Plus):
+        return ast.plus(_split(node.inner, depth, hw))
+    if isinstance(node, Opt):
+        return ast.opt(_split(node.inner, depth, hw))
+    if isinstance(node, Repeat):
+        assert node.hi is not None
+        inner = _split(node.inner, depth, hw)
+        rebuilt = ast.repeat(inner, node.lo, node.hi)
+        if not isinstance(rebuilt, Repeat):
+            return rebuilt
+        if repeat_columns(rebuilt, depth) <= hw.cam_cols:
+            return rebuilt
+        return _split_one(rebuilt, depth, hw)
+    raise TypeError(f"unknown regex node: {type(node).__name__}")
+
+
+def _split_one(node: Repeat, depth: int, hw: HardwareConfig) -> Regex:
+    assert node.hi is not None
+    body_states = [n for n in node.inner.walk() if isinstance(n, Lit)]
+    cc_cols = sum(codes_needed(n.cc) for n in body_states)
+    entry_cols = _entry_states(node.inner)
+    budget = hw.cam_cols - cc_cols - entry_cols
+    s = len(body_states)
+    words = budget // s if s else 0
+    chunk = words * depth
+    if chunk < 2:
+        raise CompileError(
+            f"counted repetition {node.to_pattern()} cannot fit a tile "
+            f"even after splitting (body too wide)"
+        )
+    if node.lo == node.hi:  # exact
+        pieces: list[Regex] = []
+        remaining = node.hi
+        while remaining > 0:
+            piece = min(chunk, remaining)
+            pieces.append(ast.repeat(node.inner, piece, piece))
+            remaining -= piece
+        return ast.concat(*pieces)
+    assert node.lo == 0  # rAll shape
+    pieces = []
+    remaining = node.hi
+    while remaining > 0:
+        piece = min(chunk, remaining)
+        pieces.append(ast.repeat(node.inner, 0, piece))
+        remaining -= piece
+    return ast.concat(*pieces)
+
+
+# ---------------------------------------------------------------------------
+# Tile packing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Unit:
+    """One atomic placement unit: a plain state or a whole counter group."""
+
+    pids: list[int]
+    cc_columns: int
+    bv_columns: int
+    set1_columns: int
+    read: Optional[ReadKind]
+
+
+def plan_nbva_tiles(
+    automaton: Automaton, *, depth: int, hw: HardwareConfig
+) -> tuple[Placement, tuple[TileRequest, ...]]:
+    """Pack states/groups into tiles and derive the per-tile requests."""
+    units = _units_in_order(automaton, depth, hw)
+
+    tiles: list[list[_Unit]] = []
+    current: list[_Unit] = []
+    cols = 0
+    read: Optional[ReadKind] = None
+    for unit in units:
+        unit_cols = unit.cc_columns + unit.bv_columns + unit.set1_columns
+        if unit_cols > hw.cam_cols:
+            raise CompileError(
+                f"placement unit needs {unit_cols} columns "
+                f"(tile capacity {hw.cam_cols}); splitting failed"
+            )
+        conflict = unit.read is not None and read is not None and unit.read != read
+        if current and (cols + unit_cols > hw.cam_cols or conflict):
+            tiles.append(current)
+            current, cols, read = [], 0, None
+        current.append(unit)
+        cols += unit_cols
+        read = read or unit.read
+    if current:
+        tiles.append(current)
+
+    tile_of = [0] * automaton.state_count
+    for tile_idx, tile_units in enumerate(tiles):
+        for unit in tile_units:
+            for pid in unit.pids:
+                tile_of[pid] = tile_idx
+    placement = Placement(tuple(tile_of))
+    ports = global_ports(automaton, placement)
+
+    requests = []
+    for tile_idx, tile_units in enumerate(tiles):
+        bv_cols = sum(u.bv_columns for u in tile_units)
+        reads = {u.read for u in tile_units if u.read is not None}
+        request = TileRequest(
+            mode=TileMode.NBVA if bv_cols else TileMode.NFA,
+            states=sum(len(u.pids) for u in tile_units),
+            cc_columns=sum(u.cc_columns for u in tile_units),
+            bv_columns=bv_cols,
+            set1_columns=sum(u.set1_columns for u in tile_units),
+            depth=depth if bv_cols else None,
+            read=reads.pop() if reads else None,
+            global_ports=ports[tile_idx],
+        )
+        request.validate(hw.cam_cols)
+        requests.append(request)
+    return placement, tuple(requests)
+
+
+def _units_in_order(
+    automaton: Automaton, depth: int, hw: HardwareConfig
+) -> list[_Unit]:
+    set1_targets = {
+        e.dst for e in automaton.edges if e.action is EdgeAction.SET1
+    }
+    set1_targets |= {
+        pid for pid in automaton.initial if automaton.positions[pid].is_counted
+    }
+    group_first_pid = {g.gid: min(g.positions) for g in automaton.groups}
+
+    units: list[_Unit] = []
+    handled: set[int] = set()
+    for pos in automaton.positions:
+        if pos.pid in handled:
+            continue
+        if pos.group is None:
+            units.append(
+                _Unit(
+                    pids=[pos.pid],
+                    cc_columns=codes_needed(pos.cc),
+                    bv_columns=0,
+                    set1_columns=0,
+                    read=None,
+                )
+            )
+            continue
+        group = automaton.groups[pos.group]
+        assert group_first_pid[group.gid] == pos.pid, (
+            "group positions must be contiguous in position order"
+        )
+        if group.width > hw.max_bv_bits:
+            raise CompileError(
+                f"bit vector of {group.width} bits exceeds the "
+                f"{hw.max_bv_bits}-bit hardware limit; splitting failed"
+            )
+        bv_cols_per_state = -(-group.width // depth)
+        units.append(
+            _Unit(
+                pids=list(group.positions),
+                cc_columns=sum(
+                    codes_needed(automaton.positions[p].cc)
+                    for p in group.positions
+                ),
+                bv_columns=bv_cols_per_state * len(group.positions),
+                set1_columns=sum(
+                    1 for p in group.positions if p in set1_targets
+                ),
+                read=group.read,
+            )
+        )
+        handled.update(group.positions)
+    return units

@@ -1,0 +1,87 @@
+"""NFA-mode compilation: full unfolding + classical Glushkov construction.
+
+This is the baseline path (the paper omits its description because it is
+the classical construction): every bounded repetition is unfolded, the
+homogeneous automaton is built, and states are packed into tiles at one
+CAM column per 32-bit character-class code.
+"""
+
+from __future__ import annotations
+
+from repro.automata.glushkov import Automaton, build_automaton
+from repro.compiler.placement import Placement, global_ports
+from repro.compiler.program import (
+    CompiledMode,
+    CompiledRegex,
+    CompileError,
+    TileRequest,
+)
+from repro.hardware.config import HardwareConfig, TileMode
+from repro.hardware.encoding import codes_needed
+from repro.regex.ast import Regex
+
+
+def compile_nfa(
+    regex_id: int,
+    pattern: str,
+    regex: Regex,
+    hw: HardwareConfig,
+) -> CompiledRegex:
+    """Compile ``regex`` for NFA-mode execution.
+
+    Bounded repetitions are expanded structurally inside the Glushkov
+    construction (``counters=False``), which keeps the follow structure
+    linear and avoids materializing ClamAV-scale unfolded ASTs.
+    """
+    if regex.unfolded_size() > hw.max_regex_states:
+        raise CompileError(
+            f"regex needs {regex.unfolded_size()} STEs after unfolding; "
+            f"NFA mode supports at most {hw.max_regex_states} (one array)"
+        )
+    automaton = build_automaton(regex, counters=False)
+    placement = place_nfa(automaton, hw)
+    requests = nfa_tile_requests(automaton, placement, hw)
+    return CompiledRegex(
+        regex_id=regex_id,
+        pattern=pattern,
+        mode=CompiledMode.NFA,
+        automaton=automaton,
+        tile_requests=requests,
+        source_states=regex.literal_count(),
+        unfolded_states=regex.unfolded_size(),
+    )
+
+
+def place_nfa(automaton: Automaton, hw: HardwareConfig) -> Placement:
+    """Pack states into tiles in position order, one code-column each."""
+    tile_of: list[int] = []
+    tile = 0
+    used_cols = 0
+    for pos in automaton.positions:
+        cols = codes_needed(pos.cc)
+        if used_cols + cols > hw.cam_cols:
+            tile += 1
+            used_cols = 0
+        tile_of.append(tile)
+        used_cols += cols
+    return Placement(tuple(tile_of))
+
+
+def nfa_tile_requests(
+    automaton: Automaton, placement: Placement, hw: HardwareConfig
+) -> tuple[TileRequest, ...]:
+    """Per-tile resource requests for a placed NFA."""
+    ports = global_ports(automaton, placement)
+    requests = []
+    for tile in range(placement.tile_count):
+        states = placement.states_in(tile)
+        cc_cols = sum(codes_needed(automaton.positions[p].cc) for p in states)
+        request = TileRequest(
+            mode=TileMode.NFA,
+            states=len(states),
+            cc_columns=cc_cols,
+            global_ports=ports[tile],
+        )
+        request.validate(hw.cam_cols)
+        requests.append(request)
+    return tuple(requests)

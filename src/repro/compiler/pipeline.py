@@ -1,0 +1,203 @@
+"""The end-to-end compilation pipeline.
+
+``compile_ruleset`` takes raw pattern strings, parses them, runs the
+Fig. 9 decision graph per regex, dispatches to the mode-specific
+backends, and returns a :class:`~repro.compiler.program.CompiledRuleset`.
+Patterns outside the supported fragment (or exceeding hardware limits)
+are collected as rejections rather than aborting the whole workload —
+matching how real rule-set deployments handle stragglers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.compiler.decision import decide
+from repro.compiler.lnfa_compiler import compile_lnfa
+from repro.compiler.nbva_compiler import compile_nbva
+from repro.compiler.nfa_compiler import compile_nfa
+from repro.compiler.program import (
+    CompiledMode,
+    CompiledRegex,
+    CompiledRuleset,
+    CompileError,
+)
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+from repro.regex.ast import Regex
+from repro.regex.parser import RegexSyntaxError, parse_anchored
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """User-controlled compilation parameters.
+
+    ``unfold_threshold`` and ``bv_depth`` are the two knobs the paper's
+    design-space exploration tunes per workload (Section 5.3);
+    ``forced_mode`` lets experiments compile everything to one mode (the
+    Table 2/3 methodology unfolds all regexes to basic NFAs for the NFA-
+    mode columns).
+    """
+
+    unfold_threshold: int = 8
+    bv_depth: int = 16
+    lnfa_blowup: float = 2.0
+    word_align_exact: bool = True
+    max_lnfa_sequences: int = 4096
+    forced_mode: Optional[CompiledMode] = None
+    hw: HardwareConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+
+    def with_depth(self, depth: int) -> "CompilerConfig":
+        """A copy of this config with another BV depth."""
+        return CompilerConfig(
+            unfold_threshold=self.unfold_threshold,
+            bv_depth=depth,
+            lnfa_blowup=self.lnfa_blowup,
+            word_align_exact=self.word_align_exact,
+            max_lnfa_sequences=self.max_lnfa_sequences,
+            forced_mode=self.forced_mode,
+            hw=self.hw,
+        )
+
+    def with_forced_mode(self, mode: Optional[CompiledMode]) -> "CompilerConfig":
+        """A copy of this config forcing one mode."""
+        return CompilerConfig(
+            unfold_threshold=self.unfold_threshold,
+            bv_depth=self.bv_depth,
+            lnfa_blowup=self.lnfa_blowup,
+            word_align_exact=self.word_align_exact,
+            max_lnfa_sequences=self.max_lnfa_sequences,
+            forced_mode=mode,
+            hw=self.hw,
+        )
+
+
+def compile_pattern(
+    pattern: Union[str, Regex],
+    regex_id: int = 0,
+    config: CompilerConfig | None = None,
+) -> CompiledRegex:
+    """Compile one pattern; raises :class:`CompileError` on failure."""
+    config = config or CompilerConfig()
+    anchored_start = anchored_end = False
+    if isinstance(pattern, str):
+        try:
+            parsed = parse_anchored(pattern)
+        except RegexSyntaxError as err:
+            raise CompileError(str(err)) from err
+        regex = parsed.regex
+        anchored_start = parsed.anchored_start
+        anchored_end = parsed.anchored_end
+        text = pattern
+    else:
+        regex = pattern
+        text = regex.to_pattern()
+
+    if config.forced_mode is not None:
+        compiled = _compile_forced(regex_id, text, regex, config)
+        return _with_anchors(compiled, anchored_start, anchored_end)
+
+    decision = decide(
+        regex,
+        unfold_threshold=config.unfold_threshold,
+        lnfa_blowup=config.lnfa_blowup,
+        max_lnfa_sequences=config.max_lnfa_sequences,
+    )
+    anchors = (anchored_start, anchored_end)
+    if decision.mode is CompiledMode.NBVA:
+        compiled = compile_nbva(
+            regex_id,
+            text,
+            regex,
+            unfold_threshold=config.unfold_threshold,
+            depth=config.bv_depth,
+            hw=config.hw,
+            word_align_exact=config.word_align_exact,
+        )
+        if compiled is not None:
+            return _with_anchors(compiled, *anchors)
+        # Counting degenerated (e.g. everything word-aligned away): fall
+        # through the rest of the decision graph.
+    if decision.lnfa_eligible:
+        compiled = compile_lnfa(
+            regex_id,
+            text,
+            regex,
+            lnfa_blowup=config.lnfa_blowup,
+            hw=config.hw,
+            max_sequences=config.max_lnfa_sequences,
+        )
+        if compiled is not None:
+            return _with_anchors(compiled, *anchors)
+    return _with_anchors(
+        compile_nfa(regex_id, text, regex, config.hw), *anchors
+    )
+
+
+def _with_anchors(
+    compiled: CompiledRegex, anchored_start: bool, anchored_end: bool
+) -> CompiledRegex:
+    if not (anchored_start or anchored_end):
+        return compiled
+    import dataclasses
+
+    return dataclasses.replace(
+        compiled, anchored_start=anchored_start, anchored_end=anchored_end
+    )
+
+
+def _compile_forced(
+    regex_id: int, text: str, regex: Regex, config: CompilerConfig
+) -> CompiledRegex:
+    """Compile to a specific mode (experiment methodology support).
+
+    NBVA/LNFA forcing raises if the regex is ineligible — the Table 2/3
+    experiments only include regexes the decision graph sent to that mode,
+    so ineligibility there is a bug, not a fallback case.
+    """
+    if regex.nullable():
+        raise CompileError("nullable regex")
+    if config.forced_mode is CompiledMode.NFA:
+        return compile_nfa(regex_id, text, regex, config.hw)
+    if config.forced_mode is CompiledMode.NBVA:
+        compiled = compile_nbva(
+            regex_id,
+            text,
+            regex,
+            unfold_threshold=config.unfold_threshold,
+            depth=config.bv_depth,
+            hw=config.hw,
+            word_align_exact=config.word_align_exact,
+        )
+        if compiled is None:
+            raise CompileError(f"regex has no countable repetition: {text!r}")
+        return compiled
+    assert config.forced_mode is CompiledMode.LNFA
+    compiled = compile_lnfa(
+        regex_id,
+        text,
+        regex,
+        lnfa_blowup=config.lnfa_blowup,
+        hw=config.hw,
+        max_sequences=config.max_lnfa_sequences,
+    )
+    if compiled is None:
+        raise CompileError(f"regex is not linearizable within budget: {text!r}")
+    return compiled
+
+
+def compile_ruleset(
+    patterns: Iterable[Union[str, Regex]],
+    config: CompilerConfig | None = None,
+) -> CompiledRuleset:
+    """Compile a workload; failures become rejections, not exceptions."""
+    config = config or CompilerConfig()
+    compiled: list[CompiledRegex] = []
+    rejected: list[tuple[str, str]] = []
+    for pattern in patterns:
+        text = pattern if isinstance(pattern, str) else pattern.to_pattern()
+        try:
+            compiled.append(compile_pattern(pattern, len(compiled), config))
+        except CompileError as err:
+            rejected.append((text, str(err)))
+    return CompiledRuleset(regexes=tuple(compiled), rejected=tuple(rejected))

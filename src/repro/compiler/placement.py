@@ -1,0 +1,62 @@
+"""Placement of automaton states onto tiles and global-port accounting.
+
+The compiler packs states into tiles in position order (Glushkov position
+order follows the regex text, so most follow edges stay tile-local) and
+counts the states that must reach the array-level global switch: a state
+needs a global port when at least one of its in- or out-edges crosses a
+tile boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.glushkov import Automaton
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Assignment of every position to a tile index (within one regex)."""
+
+    tile_of: tuple[int, ...]
+
+    @property
+    def tile_count(self) -> int:
+        """Number of tiles the placement spans."""
+        return max(self.tile_of) + 1 if self.tile_of else 0
+
+    def states_in(self, tile: int) -> list[int]:
+        """Position ids assigned to one tile."""
+        return [pid for pid, t in enumerate(self.tile_of) if t == tile]
+
+
+def global_ports(automaton: Automaton, placement: Placement) -> list[int]:
+    """Per-tile count of global-switch ports.
+
+    The local switch OR-aggregates fan-in per row (Section 2.2), so one
+    cross-tile *destination* costs one outgoing wire on each source tile
+    and one incoming wire on its own tile, regardless of how many source
+    states feed it.
+    """
+    tile_of = placement.tile_of
+    out_dsts: dict[int, set[int]] = {}
+    in_dsts: dict[int, set[int]] = {}
+    for edge in automaton.edges:
+        src_tile, dst_tile = tile_of[edge.src], tile_of[edge.dst]
+        if src_tile != dst_tile:
+            out_dsts.setdefault(src_tile, set()).add(edge.dst)
+            in_dsts.setdefault(dst_tile, set()).add(edge.dst)
+    counts = [0] * placement.tile_count
+    for tile, dsts in out_dsts.items():
+        counts[tile] += len(dsts)
+    for tile, dsts in in_dsts.items():
+        counts[tile] += len(dsts)
+    return counts
+
+
+def cross_tile_edges(automaton: Automaton, placement: Placement) -> int:
+    """Number of follow edges crossing a tile boundary (wire activity)."""
+    tile_of = placement.tile_of
+    return sum(
+        1 for e in automaton.edges if tile_of[e.src] != tile_of[e.dst]
+    )

@@ -1,0 +1,21 @@
+"""Experiment drivers: one module per table/figure of the evaluation.
+
+Each driver exposes ``run(config) -> <Result>`` with a ``to_table()``
+renderer, and the corresponding ``benchmarks/`` target regenerates the
+paper's rows and asserts the shape expectations listed in DESIGN.md.
+
+| Paper artifact | Module |
+|---|---|
+| Fig. 1   | :mod:`repro.experiments.fig01_model_mix` |
+| Fig. 10  | :mod:`repro.experiments.fig10_dse` |
+| Table 2  | :mod:`repro.experiments.table2_nbva` |
+| Table 3  | :mod:`repro.experiments.table3_lnfa` |
+| Fig. 11  | :mod:`repro.experiments.fig11_breakdown` |
+| Fig. 12  | :mod:`repro.experiments.fig12_asic` |
+| Fig. 13  | :mod:`repro.experiments.fig13_cpu_gpu` |
+| Table 4  | :mod:`repro.experiments.table4_fpga` |
+"""
+
+from repro.experiments.common import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

@@ -1,0 +1,86 @@
+"""Fig. 1: the NFA / NBVA / LNFA mix of each benchmark.
+
+The paper's Fig. 1 motivates reconfigurability: the best automata model
+varies tremendously across rule sets.  This driver compiles each
+benchmark through the decision graph and reports the resulting mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import CompiledMode
+from repro.experiments.common import (
+    ALL_BENCHMARK_NAMES,
+    ExperimentConfig,
+    build_workload,
+    compile_decided,
+    render_table,
+    save_csv,
+    save_json,
+)
+
+
+@dataclass
+class MixRow:
+    """One benchmark's NFA/NBVA/LNFA fractions."""
+    benchmark: str
+    nfa: float
+    nbva: float
+    lnfa: float
+
+
+@dataclass
+class Fig1Result:
+    """The Fig. 1 artifact: mix per benchmark."""
+    rows: list[MixRow]
+
+    def to_table(self) -> str:
+        """Render the artifact as a monospace table."""
+        return render_table(
+            ["Benchmark", "NFA %", "NBVA %", "LNFA %"],
+            [
+                (r.benchmark, r.nfa * 100, r.nbva * 100, r.lnfa * 100)
+                for r in self.rows
+            ],
+            title="Fig. 1 — regex model mix per benchmark",
+        )
+
+    def row(self, benchmark: str) -> MixRow:
+        """The row for one benchmark."""
+        return next(r for r in self.rows if r.benchmark == benchmark)
+
+
+def run(config: ExperimentConfig | None = None) -> Fig1Result:
+    """Regenerate Fig. 1 and persist the results."""
+    config = config or ExperimentConfig()
+    rows = []
+    for name in ALL_BENCHMARK_NAMES:
+        workload = build_workload(name, config)
+        ruleset = compile_decided(
+            workload.benchmark.patterns, config, workload.chosen_depth
+        )
+        fractions = ruleset.mode_fractions()
+        rows.append(
+            MixRow(
+                benchmark=name,
+                nfa=fractions[CompiledMode.NFA],
+                nbva=fractions[CompiledMode.NBVA],
+                lnfa=fractions[CompiledMode.LNFA],
+            )
+        )
+    result = Fig1Result(rows)
+    save_json(
+        "fig01_model_mix",
+        {r.benchmark: {"nfa": r.nfa, "nbva": r.nbva, "lnfa": r.lnfa} for r in rows},
+    )
+    save_csv(
+        "fig01_model_mix",
+        ["benchmark", "nfa", "nbva", "lnfa"],
+        [(r.benchmark, r.nfa, r.nbva, r.lnfa) for r in rows],
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().to_table())

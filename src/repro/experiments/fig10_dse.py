@@ -1,0 +1,197 @@
+"""Fig. 10: design-space exploration of BV depth and LNFA bin size.
+
+* **Fig. 10a** — for the NBVA-compiled regexes of each benchmark, sweep
+  the BV depth over {4, 8, 16, 32} and report energy / area / throughput
+  normalized to depth 4.  Deeper BVs compress more (fewer columns, fewer
+  tiles: lower energy and area) but stall longer per bit-vector phase
+  (lower throughput).
+* **Fig. 10b** — for the LNFA-compiled regexes, sweep the bin size over
+  {1, 2, 4, 8, 16, 32} and report energy / area normalized to bin size 1.
+  Bigger bins concentrate initial states into fewer always-on tiles
+  (lower energy) at the cost of padding redundancy (area).
+
+Prosite has no NBVA regexes and is excluded from the depth sweep, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import CompiledMode
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_mode_workload,
+    compile_decided,
+    compile_forced,
+    render_table,
+    save_json,
+)
+from repro.simulators import RAPSimulator
+from repro.workloads.profiles import TABLE2_BENCHMARKS, TABLE3_BENCHMARKS
+
+DEPTHS = (4, 8, 16, 32)
+BIN_SIZES = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class SweepPoint:
+    """Metrics at one DSE parameter value."""
+    parameter: int
+    energy_uj: float
+    area_mm2: float
+    throughput: float
+
+
+@dataclass
+class BenchmarkSweep:
+    """One benchmark's full parameter sweep."""
+    benchmark: str
+    points: list[SweepPoint]
+    chosen: int
+
+    def normalized(self) -> list[tuple[int, float, float, float]]:
+        """Points normalized to the first sweep point."""
+        base = self.points[0]
+        return [
+            (
+                p.parameter,
+                p.energy_uj / base.energy_uj if base.energy_uj else 0.0,
+                p.area_mm2 / base.area_mm2 if base.area_mm2 else 0.0,
+                p.throughput / base.throughput if base.throughput else 0.0,
+            )
+            for p in self.points
+        ]
+
+    def point(self, parameter: int) -> SweepPoint:
+        """The sweep point at one parameter value."""
+        return next(p for p in self.points if p.parameter == parameter)
+
+
+@dataclass
+class Fig10Result:
+    """The Fig. 10 artifact: both DSE sweeps."""
+    nbva_sweeps: list[BenchmarkSweep]
+    lnfa_sweeps: list[BenchmarkSweep]
+
+    def sweep(self, kind: str, benchmark: str) -> BenchmarkSweep:
+        """The sweep for one benchmark."""
+        sweeps = self.nbva_sweeps if kind == "nbva" else self.lnfa_sweeps
+        return next(s for s in sweeps if s.benchmark == benchmark)
+
+    def to_table(self) -> str:
+        """Render the artifact as a monospace table."""
+        blocks = []
+        for title, sweeps, param_name in [
+            ("Fig. 10a — NBVA depth sweep (normalized to depth 4)",
+             self.nbva_sweeps, "depth"),
+            ("Fig. 10b — LNFA bin-size sweep (normalized to bin 1)",
+             self.lnfa_sweeps, "bin"),
+        ]:
+            rows = []
+            for sweep in sweeps:
+                for param, e, a, t in sweep.normalized():
+                    marker = "*" if param == sweep.chosen else ""
+                    rows.append(
+                        (sweep.benchmark, f"{param}{marker}", e, a, t)
+                    )
+            blocks.append(
+                render_table(
+                    ["Benchmark", param_name, "energy", "area", "throughput"],
+                    rows,
+                    title=title,
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def sweep_nbva(name: str, config: ExperimentConfig) -> BenchmarkSweep:
+    """Sweep the BV depth for one benchmark."""
+    workload = build_mode_workload(name, CompiledMode.NBVA, config)
+    points = []
+    for depth in DEPTHS:
+        ruleset = compile_forced(
+            list(workload.benchmark.patterns),
+            CompiledMode.NBVA,
+            config,
+            bv_depth=depth,
+        )
+        result = RAPSimulator().run(ruleset, workload.data)
+        points.append(
+            SweepPoint(
+                parameter=depth,
+                energy_uj=result.energy_uj,
+                area_mm2=result.area_mm2,
+                throughput=result.throughput_gchps,
+            )
+        )
+    return BenchmarkSweep(
+        benchmark=name,
+        points=points,
+        chosen=workload.chosen_depth,
+    )
+
+
+def sweep_lnfa(name: str, config: ExperimentConfig) -> BenchmarkSweep:
+    """Sweep the bin size for one benchmark."""
+    workload = build_mode_workload(name, CompiledMode.LNFA, config)
+    ruleset = compile_decided(
+        list(workload.benchmark.patterns), config, bv_depth=16
+    )
+    points = []
+    for bin_size in BIN_SIZES:
+        result = RAPSimulator().run(ruleset, workload.data, bin_size=bin_size)
+        points.append(
+            SweepPoint(
+                parameter=bin_size,
+                energy_uj=result.energy_uj,
+                area_mm2=result.area_mm2,
+                throughput=result.throughput_gchps,
+            )
+        )
+    return BenchmarkSweep(
+        benchmark=name,
+        points=points,
+        chosen=workload.chosen_bin_size,
+    )
+
+
+def run(config: ExperimentConfig | None = None) -> Fig10Result:
+    """Regenerate Fig. 10 and persist the results."""
+    config = config or ExperimentConfig()
+    result = Fig10Result(
+        nbva_sweeps=[sweep_nbva(n, config) for n in TABLE2_BENCHMARKS],
+        lnfa_sweeps=[sweep_lnfa(n, config) for n in TABLE3_BENCHMARKS],
+    )
+    save_json(
+        "fig10_dse",
+        {
+            "nbva": {
+                s.benchmark: {
+                    str(p.parameter): {
+                        "energy_uj": p.energy_uj,
+                        "area_mm2": p.area_mm2,
+                        "throughput": p.throughput,
+                    }
+                    for p in s.points
+                }
+                for s in result.nbva_sweeps
+            },
+            "lnfa": {
+                s.benchmark: {
+                    str(p.parameter): {
+                        "energy_uj": p.energy_uj,
+                        "area_mm2": p.area_mm2,
+                        "throughput": p.throughput,
+                    }
+                    for p in s.points
+                }
+                for s in result.lnfa_sweeps
+            },
+        },
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().to_table())

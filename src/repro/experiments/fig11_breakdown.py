@@ -1,0 +1,121 @@
+"""Fig. 11: breakdown of STEs / energy / area across the three modes.
+
+Running every benchmark with its decided modes and chosen DSE parameters,
+the figure shows which fraction of hardware states, energy, and area each
+automata model accounts for.  The paper's observation: NFAs consume a
+*larger* share of energy and area than their share of STEs — i.e. the
+NBVA and LNFA modes are doing their job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import CompiledMode
+from repro.experiments.common import (
+    ALL_BENCHMARK_NAMES,
+    ExperimentConfig,
+    build_workload,
+    compile_decided,
+    render_table,
+    save_json,
+)
+from repro.simulators import RAPSimulator
+
+
+@dataclass
+class ModeShare:
+    """One mode's aggregate STEs/energy/area."""
+    states: int
+    energy_uj: float
+    area_mm2: float
+
+
+@dataclass
+class Fig11Result:
+    """The Fig. 11 artifact: per-mode shares."""
+    shares: dict[str, ModeShare]  # mode name -> aggregate share
+
+    def fraction(self, mode: str, metric: str) -> float:
+        """One mode's share of a metric."""
+        total = sum(getattr(s, metric) for s in self.shares.values())
+        return getattr(self.shares[mode], metric) / total if total else 0.0
+
+    def to_table(self) -> str:
+        """Render the artifact as a monospace table."""
+        rows = []
+        for mode, share in self.shares.items():
+            rows.append(
+                (
+                    mode,
+                    share.states,
+                    self.fraction(mode, "states") * 100,
+                    share.energy_uj,
+                    self.fraction(mode, "energy_uj") * 100,
+                    share.area_mm2,
+                    self.fraction(mode, "area_mm2") * 100,
+                )
+            )
+        return render_table(
+            ["Mode", "STEs", "STE %", "E (uJ)", "E %", "A (mm2)", "A %"],
+            rows,
+            title="Fig. 11 — per-mode share of STEs, energy, and area",
+        )
+
+
+def run(config: ExperimentConfig | None = None) -> Fig11Result:
+    """Regenerate Fig. 11 and persist the results."""
+    config = config or ExperimentConfig()
+    shares = {
+        mode.value: ModeShare(states=0, energy_uj=0.0, area_mm2=0.0)
+        for mode in CompiledMode
+    }
+    sim = RAPSimulator()
+    for name in ALL_BENCHMARK_NAMES:
+        workload = build_workload(name, config)
+        ruleset = compile_decided(
+            workload.benchmark.patterns, config, workload.chosen_depth
+        )
+        for mode in CompiledMode:
+            subset = ruleset.by_mode(mode)
+            if not subset:
+                continue
+            from repro.compiler.program import CompiledRuleset
+
+            sub_ruleset = CompiledRuleset(
+                regexes=tuple(
+                    _renumber(regex, idx) for idx, regex in enumerate(subset)
+                )
+            )
+            result = sim.run(
+                sub_ruleset,
+                workload.data,
+                bin_size=workload.chosen_bin_size,
+            )
+            share = shares[mode.value]
+            share.states += sub_ruleset.total_states
+            share.energy_uj += result.energy_uj
+            share.area_mm2 += result.area_mm2
+    result = Fig11Result(shares)
+    save_json(
+        "fig11_breakdown",
+        {
+            mode: {
+                "states": share.states,
+                "energy_uj": share.energy_uj,
+                "area_mm2": share.area_mm2,
+            }
+            for mode, share in shares.items()
+        },
+    )
+    return result
+
+
+def _renumber(regex, new_id: int):
+    import dataclasses
+
+    return dataclasses.replace(regex, regex_id=new_id)
+
+
+if __name__ == "__main__":
+    print(run().to_table())

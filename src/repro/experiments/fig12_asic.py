@@ -1,0 +1,245 @@
+"""Fig. 12: overall comparison of RAP vs BVAP, CAMA, and CA.
+
+Each benchmark's full mixed workload is compiled per architecture:
+
+* **RAP** — every regex in its decided mode with the benchmark's chosen
+  DSE parameters; per Section 5.5, NBVA arrays whose throughput falls
+  below 2 Gch/s get a duplicate array sharing the workload (small area
+  overhead, throughput doubled).
+* **BVAP** — NBVA where countable, NFA otherwise (no LNFA mode).
+* **CAMA / CA** — everything as fully unfolded NFAs.
+
+Reported per benchmark, normalized to RAP: area, throughput, energy
+efficiency (Gch/J), compute density (Gch/s/mm^2), and power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import CompiledMode
+from repro.experiments.common import (
+    ALL_BENCHMARK_NAMES,
+    ExperimentConfig,
+    Workload,
+    build_workload,
+    compile_bvap_flavor,
+    compile_decided,
+    compile_forced,
+    render_table,
+    save_csv,
+    save_json,
+)
+from repro.mapping.mapper import map_ruleset
+from repro.simulators import (
+    BVAPSimulator,
+    CAMASimulator,
+    CASimulator,
+    RAPSimulator,
+    ca_hardware_config,
+)
+
+ARCHITECTURES = ["RAP", "BVAP", "CAMA", "CA"]
+METRICS = ["area_mm2", "throughput", "energy_eff", "compute_density", "power_w"]
+NBVA_THROUGHPUT_FLOOR = 2.0  # Gch/s, the Section 5.5 duplication rule
+
+
+@dataclass
+class ArchPoint:
+    """One design's absolute metrics on one benchmark."""
+    energy_uj: float
+    area_mm2: float
+    throughput: float
+    power_w: float
+
+    @property
+    def energy_eff(self) -> float:
+        """Throughput per watt (Gch/J)."""
+        return self.throughput / self.power_w if self.power_w else 0.0
+
+    @property
+    def compute_density(self) -> float:
+        """Throughput per square millimetre."""
+        return self.throughput / self.area_mm2 if self.area_mm2 else 0.0
+
+    def metric(self, name: str) -> float:
+        """Look a metric up by its Fig. 12 column name."""
+        if name == "area_mm2":
+            return self.area_mm2
+        if name == "throughput":
+            return self.throughput
+        if name == "energy_eff":
+            return self.energy_eff
+        if name == "compute_density":
+            return self.compute_density
+        if name == "power_w":
+            return self.power_w
+        raise KeyError(name)
+
+
+@dataclass
+class Fig12Row:
+    """One benchmark's points for every design."""
+    benchmark: str
+    points: dict[str, ArchPoint] = field(default_factory=dict)
+
+    def ratio(self, arch: str, metric: str) -> float:
+        """arch's metric relative to RAP (RAP = 1.0)."""
+        rap = self.points["RAP"].metric(metric)
+        other = self.points[arch].metric(metric)
+        return other / rap if rap else 0.0
+
+
+@dataclass
+class Fig12Result:
+    """The Fig. 12 artifact: all benchmarks and designs."""
+    rows: list[Fig12Row]
+
+    def row(self, benchmark: str) -> Fig12Row:
+        """The row for one benchmark."""
+        return next(r for r in self.rows if r.benchmark == benchmark)
+
+    def mean_ratio(self, arch: str, metric: str) -> float:
+        """Geometric-mean ratio across benchmarks."""
+        product, count = 1.0, 0
+        for row in self.rows:
+            ratio = row.ratio(arch, metric)
+            if ratio > 0:
+                product *= ratio
+                count += 1
+        return product ** (1 / count) if count else 0.0
+
+    def to_table(self) -> str:
+        """Render the artifact as a monospace table."""
+        headers = ["Benchmark"] + [
+            f"{m}:{a}" for m in METRICS for a in ARCHITECTURES
+        ]
+        body = []
+        for row in self.rows:
+            cells = [row.benchmark]
+            for metric in METRICS:
+                for arch in ARCHITECTURES:
+                    cells.append(row.points[arch].metric(metric))
+            body.append(cells)
+        return render_table(
+            headers, body, title="Fig. 12 — overall ASIC comparison (absolute)"
+        )
+
+    def ratio_table(self) -> str:
+        """Render the normalized-ratio table."""
+        rows = []
+        for metric in METRICS:
+            rows.append(
+                [metric]
+                + [self.mean_ratio(arch, metric) for arch in ARCHITECTURES]
+            )
+        return render_table(
+            ["metric (vs RAP)"] + ARCHITECTURES,
+            rows,
+            title="Fig. 12 — geometric-mean ratios normalized to RAP",
+        )
+
+
+def _rap_point(workload: Workload, config: ExperimentConfig) -> ArchPoint:
+    """RAP on the full mixed workload with the Section 5.5 sharing rule."""
+    from repro.simulators.asic_base import rap_tile_area
+    from repro.simulators.sharing import plan_workload_sharing
+
+    ruleset = compile_decided(
+        workload.benchmark.patterns, config, workload.chosen_depth
+    )
+    sim = RAPSimulator()
+    result = sim.run(
+        ruleset, workload.data, bin_size=workload.chosen_bin_size
+    )
+    plan = plan_workload_sharing(
+        result.array_reports, floor_gchps=NBVA_THROUGHPUT_FLOOR
+    )
+    area = result.area_mm2 + plan.extra_tiles * rap_tile_area() * 1e-6
+    return ArchPoint(
+        energy_uj=result.energy_uj,
+        area_mm2=area,
+        throughput=plan.system_throughput,
+        power_w=result.power_w,
+    )
+
+
+def simulate_benchmark(workload: Workload, config: ExperimentConfig) -> Fig12Row:
+    """Run all four designs on one benchmark."""
+    points: dict[str, ArchPoint] = {}
+    points["RAP"] = _rap_point(workload, config)
+
+    bvap_rs = compile_bvap_flavor(
+        zip(workload.benchmark.patterns, workload.benchmark.intended_modes),
+        config,
+        bv_depth=16,
+    )
+    bvap = BVAPSimulator().run(bvap_rs, workload.data)
+    points["BVAP"] = ArchPoint(
+        bvap.energy_uj, bvap.area_mm2, bvap.throughput_gchps, bvap.power_w
+    )
+
+    nfa_rs = compile_forced(
+        workload.benchmark.patterns, CompiledMode.NFA, config
+    )
+    cama = CAMASimulator().run(nfa_rs, workload.data)
+    points["CAMA"] = ArchPoint(
+        cama.energy_uj, cama.area_mm2, cama.throughput_gchps, cama.power_w
+    )
+
+    ca_hw = ca_hardware_config()
+    ca_rs = compile_forced(
+        workload.benchmark.patterns, CompiledMode.NFA, config, hw=ca_hw
+    )
+    ca = CASimulator().run(
+        ca_rs, workload.data, mapping=map_ruleset(ca_rs, ca_hw)
+    )
+    points["CA"] = ArchPoint(
+        ca.energy_uj, ca.area_mm2, ca.throughput_gchps, ca.power_w
+    )
+    return Fig12Row(benchmark=workload.name, points=points)
+
+
+def run(config: ExperimentConfig | None = None) -> Fig12Result:
+    """Regenerate Fig. 12 and persist the results."""
+    config = config or ExperimentConfig()
+    rows = []
+    for name in ALL_BENCHMARK_NAMES:
+        workload = build_workload(name, config)
+        rows.append(simulate_benchmark(workload, config))
+    result = Fig12Result(rows)
+    save_json(
+        "fig12_asic",
+        {
+            row.benchmark: {
+                arch: {
+                    "energy_uj": p.energy_uj,
+                    "area_mm2": p.area_mm2,
+                    "throughput": p.throughput,
+                    "power_w": p.power_w,
+                    "energy_eff": p.energy_eff,
+                    "compute_density": p.compute_density,
+                }
+                for arch, p in row.points.items()
+            }
+            for row in rows
+        },
+    )
+    save_csv(
+        "fig12_asic",
+        ["benchmark", "arch"] + METRICS,
+        [
+            [row.benchmark, arch]
+            + [row.points[arch].metric(m) for m in METRICS]
+            for row in rows
+            for arch in ARCHITECTURES
+        ],
+    )
+    return result
+
+
+if __name__ == "__main__":
+    result = run()
+    print(result.to_table())
+    print()
+    print(result.ratio_table())

@@ -1,0 +1,146 @@
+"""Fig. 13: RAP vs GPU (HybridSA) and CPU (Hyperscan).
+
+Per benchmark, compare power and throughput of the full-workload RAP
+configuration against the software engines' operating points.  The
+headline claims: the GPU draws ~16x RAP's power at ~1/9.8 its
+throughput; the CPU runs at ~60x lower throughput while RAP uses ~1.1%
+of its power — over 100x and over 1000x energy-efficiency advantages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ALL_BENCHMARK_NAMES,
+    ExperimentConfig,
+    build_workload,
+    compile_decided,
+    render_table,
+    save_json,
+)
+from repro.experiments.fig12_asic import _rap_point
+from repro.simulators.sw_models import CPUModel, GPUModel
+
+
+@dataclass
+class Fig13Row:
+    """One benchmark's RAP/GPU/CPU operating points."""
+    benchmark: str
+    rap_power_w: float
+    rap_throughput: float
+    gpu_power_w: float
+    gpu_throughput: float
+    cpu_power_w: float
+    cpu_throughput: float
+
+    @property
+    def rap_efficiency(self) -> float:
+        """RAP throughput per watt."""
+        return self.rap_throughput / self.rap_power_w
+
+    @property
+    def gpu_efficiency(self) -> float:
+        """GPU throughput per watt."""
+        return self.gpu_throughput / self.gpu_power_w
+
+    @property
+    def cpu_efficiency(self) -> float:
+        """CPU throughput per watt."""
+        return self.cpu_throughput / self.cpu_power_w
+
+    @property
+    def efficiency_vs_gpu(self) -> float:
+        """RAP / GPU energy-efficiency ratio."""
+        return self.rap_efficiency / self.gpu_efficiency
+
+    @property
+    def efficiency_vs_cpu(self) -> float:
+        """RAP / CPU energy-efficiency ratio."""
+        return self.rap_efficiency / self.cpu_efficiency
+
+
+@dataclass
+class Fig13Result:
+    """The Fig. 13 artifact."""
+    rows: list[Fig13Row]
+
+    def row(self, benchmark: str) -> Fig13Row:
+        """The row for one benchmark."""
+        return next(r for r in self.rows if r.benchmark == benchmark)
+
+    def to_table(self) -> str:
+        """Render the artifact as a monospace table."""
+        return render_table(
+            [
+                "Benchmark",
+                "RAP W",
+                "RAP Gch/s",
+                "GPU W",
+                "GPU Gch/s",
+                "CPU W",
+                "CPU Gch/s",
+                "eff x GPU",
+                "eff x CPU",
+            ],
+            [
+                (
+                    r.benchmark,
+                    r.rap_power_w,
+                    r.rap_throughput,
+                    r.gpu_power_w,
+                    r.gpu_throughput,
+                    r.cpu_power_w,
+                    r.cpu_throughput,
+                    r.efficiency_vs_gpu,
+                    r.efficiency_vs_cpu,
+                )
+                for r in self.rows
+            ],
+            title="Fig. 13 — RAP vs GPU (HybridSA) and CPU (Hyperscan)",
+        )
+
+
+def run(config: ExperimentConfig | None = None) -> Fig13Result:
+    """Regenerate Fig. 13 and persist the results."""
+    config = config or ExperimentConfig()
+    cpu, gpu = CPUModel(), GPUModel()
+    rows = []
+    for name in ALL_BENCHMARK_NAMES:
+        workload = build_workload(name, config)
+        rap = _rap_point(workload, config)
+        ruleset = compile_decided(
+            workload.benchmark.patterns, config, workload.chosen_depth
+        )
+        gpu_point = gpu.operating_point(ruleset)
+        cpu_point = cpu.operating_point(ruleset)
+        rows.append(
+            Fig13Row(
+                benchmark=name,
+                rap_power_w=rap.power_w,
+                rap_throughput=rap.throughput,
+                gpu_power_w=gpu_point.power_w,
+                gpu_throughput=gpu_point.throughput_gchps,
+                cpu_power_w=cpu_point.power_w,
+                cpu_throughput=cpu_point.throughput_gchps,
+            )
+        )
+    result = Fig13Result(rows)
+    save_json(
+        "fig13_cpu_gpu",
+        {
+            r.benchmark: {
+                "rap": {"power_w": r.rap_power_w, "throughput": r.rap_throughput},
+                "gpu": {"power_w": r.gpu_power_w, "throughput": r.gpu_throughput},
+                "cpu": {"power_w": r.cpu_power_w, "throughput": r.cpu_throughput},
+                "efficiency_vs_gpu": r.efficiency_vs_gpu,
+                "efficiency_vs_cpu": r.efficiency_vs_cpu,
+            }
+            for r in rows
+        },
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().to_table())

@@ -1,0 +1,118 @@
+"""One-shot evaluation: run every artifact and emit a combined report.
+
+``python -m repro experiment all`` (or calling :func:`run` directly)
+regenerates Fig. 1, Fig. 10, Tables 2-4, and Figs. 11-13 in sequence and
+writes a single markdown report (``results/summary.md``) with every
+table, plus the headline ratios the paper's abstract quotes.  This is
+the reproduction's equivalent of running the artifact's full
+``main_gap.py --data All`` sweep.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.experiments import (
+    fig01_model_mix,
+    fig10_dse,
+    fig11_breakdown,
+    fig12_asic,
+    fig13_cpu_gpu,
+    table2_nbva,
+    table3_lnfa,
+    table4_fpga,
+)
+from repro.experiments.common import ExperimentConfig, results_dir
+
+
+@dataclass
+class SummaryResult:
+    """Every artifact's result plus the rendered combined report."""
+
+    report: str
+    artifacts: dict[str, object]
+
+    def to_table(self) -> str:
+        """The combined markdown report (CLI rendering hook)."""
+        return self.report
+
+
+def headline_claims(artifacts: dict[str, object]) -> list[str]:
+    """The abstract's headline numbers, recomputed from this run."""
+    fig12 = artifacts["fig12"]
+    lines = []
+    for arch, label in (("CAMA", "CAMA"), ("CA", "CA")):
+        eff = 1.0 / fig12.mean_ratio(arch, "energy_eff")
+        density = 1.0 / fig12.mean_ratio(arch, "compute_density")
+        lines.append(
+            f"- RAP vs {label}: {eff:.1f}x energy efficiency, "
+            f"{density:.1f}x compute density (paper: "
+            f"{'1.5x / 1.3x' if arch == 'CAMA' else '1.2x / 2.5x'})"
+        )
+    bvap_density = 1.0 / fig12.mean_ratio("BVAP", "compute_density")
+    bvap_eff = 1.0 / fig12.mean_ratio("BVAP", "energy_eff")
+    lines.append(
+        f"- RAP vs BVAP: {bvap_density:.1f}x compute density at "
+        f"{bvap_eff:.2f}x energy efficiency (paper: 1.6x, ~1x)"
+    )
+    fig13 = artifacts["fig13"]
+    gpu = statistics.geometric_mean(
+        r.efficiency_vs_gpu for r in fig13.rows
+    )
+    cpu = statistics.geometric_mean(
+        r.efficiency_vs_cpu for r in fig13.rows
+    )
+    lines.append(
+        f"- RAP vs GPU/CPU energy efficiency: {gpu:,.0f}x / {cpu:,.0f}x "
+        "(paper: >100x / >1000x)"
+    )
+    table4 = artifacts["table4"]
+    ratios = [r.throughput_ratio for r in table4.rows]
+    lines.append(
+        f"- RAP vs hAP (FPGA) throughput: {min(ratios):.1f}x-"
+        f"{max(ratios):.1f}x (paper: 11.5x-13.8x)"
+    )
+    return lines
+
+
+def run(config: ExperimentConfig | None = None) -> SummaryResult:
+    """Run all eight artifacts and assemble the combined report."""
+    config = config or ExperimentConfig()
+    artifacts: dict[str, object] = {}
+    sections: list[str] = []
+    for key, module in [
+        ("fig1", fig01_model_mix),
+        ("fig10", fig10_dse),
+        ("table2", table2_nbva),
+        ("table3", table3_lnfa),
+        ("fig11", fig11_breakdown),
+        ("fig12", fig12_asic),
+        ("fig13", fig13_cpu_gpu),
+        ("table4", table4_fpga),
+    ]:
+        result = module.run(config)
+        artifacts[key] = result
+        sections.append(f"## {key}\n\n```\n{result.to_table()}\n```")
+        if key == "fig12":
+            sections.append(f"```\n{result.ratio_table()}\n```")
+
+    header = [
+        "# RAP reproduction — full evaluation run",
+        "",
+        f"Workload: {config.benchmark_size} regexes/benchmark, "
+        f"{config.input_length} input characters, seed {config.seed}.",
+        "",
+        "## Headline claims",
+        "",
+        *headline_claims(artifacts),
+        "",
+    ]
+    report = "\n".join(header) + "\n\n" + "\n\n".join(sections) + "\n"
+    path = results_dir() / "summary.md"
+    path.write_text(report)
+    return SummaryResult(report=report, artifacts=artifacts)
+
+
+if __name__ == "__main__":
+    print(run().report)

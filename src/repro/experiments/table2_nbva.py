@@ -1,0 +1,168 @@
+"""Table 2: RAP's NBVA mode vs its NFA mode and the SotA ASICs.
+
+For the regexes each benchmark compiles to NBVA, the paper reports total
+energy, area, and throughput of: RAP-NBVA (baseline), RAP-NFA (the same
+regexes fully unfolded), CAMA, BVAP, and CA.  Prosite is absent — it has
+no NBVA regexes.
+
+The run doubles as the paper's consistency check: all five simulations
+must report identical match sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import CompiledMode
+from repro.experiments.common import (
+    ExperimentConfig,
+    Workload,
+    build_mode_workload,
+    compile_forced,
+    render_table,
+    save_csv,
+    save_json,
+)
+from repro.mapping.mapper import map_ruleset
+from repro.simulators import (
+    BVAPSimulator,
+    CAMASimulator,
+    CASimulator,
+    RAPSimulator,
+    ca_hardware_config,
+)
+from repro.simulators.result import SimulationResult
+from repro.workloads.profiles import TABLE2_BENCHMARKS
+
+ARCHITECTURES = ["NBVA", "NFA", "CAMA", "BVAP", "CA"]
+
+
+@dataclass
+class Table2Row:
+    """One benchmark's Table 2 metrics per design."""
+    benchmark: str
+    energy_uj: dict[str, float] = field(default_factory=dict)
+    area_mm2: dict[str, float] = field(default_factory=dict)
+    throughput: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Table2Result:
+    """The Table 2 artifact."""
+    rows: list[Table2Row]
+
+    def row(self, benchmark: str) -> Table2Row:
+        """The row for one benchmark."""
+        return next(r for r in self.rows if r.benchmark == benchmark)
+
+    def normalized_averages(self) -> dict[str, dict[str, float]]:
+        """Per-metric geometric-mean ratios vs the NBVA baseline."""
+        out: dict[str, dict[str, float]] = {}
+        for metric in ("energy_uj", "area_mm2", "throughput"):
+            ratios: dict[str, float] = {}
+            for arch in ARCHITECTURES:
+                product, count = 1.0, 0
+                for row in self.rows:
+                    values = getattr(row, metric)
+                    base = values["NBVA"]
+                    if base > 0 and values[arch] > 0:
+                        product *= values[arch] / base
+                        count += 1
+                ratios[arch] = product ** (1 / count) if count else 0.0
+            out[metric] = ratios
+        return out
+
+    def to_table(self) -> str:
+        """Render the artifact as a monospace table."""
+        headers = ["Dataset"]
+        for metric in ("E(uJ)", "A(mm2)", "T(Gch/s)"):
+            headers += [f"{metric} {a}" for a in ARCHITECTURES]
+        body = []
+        for row in self.rows:
+            cells = [row.benchmark]
+            for metric in ("energy_uj", "area_mm2", "throughput"):
+                values = getattr(row, metric)
+                cells += [values[a] for a in ARCHITECTURES]
+            body.append(cells)
+        norm = self.normalized_averages()
+        avg = ["Avg (vs NBVA)"]
+        for metric in ("energy_uj", "area_mm2", "throughput"):
+            avg += [norm[metric][a] for a in ARCHITECTURES]
+        body.append(avg)
+        return render_table(
+            headers, body, title="Table 2 — NBVA-compiled regexes across designs"
+        )
+
+
+def simulate_benchmark(workload: Workload, config: ExperimentConfig) -> Table2Row:
+    """Run all five designs on one NBVA subset."""
+    patterns = list(workload.benchmark.patterns)
+    if not patterns:
+        raise ValueError(f"{workload.name} has no NBVA regexes")
+    data = workload.data
+    depth = workload.chosen_depth
+
+    nbva_rs = compile_forced(patterns, CompiledMode.NBVA, config, bv_depth=depth)
+    nfa_rs = compile_forced(patterns, CompiledMode.NFA, config)
+    ca_hw = ca_hardware_config()
+    ca_rs = compile_forced(patterns, CompiledMode.NFA, config, hw=ca_hw)
+
+    results: dict[str, SimulationResult] = {
+        "NBVA": RAPSimulator().run(nbva_rs, data),
+        "NFA": RAPSimulator().run(nfa_rs, data),
+        "CAMA": CAMASimulator().run(nfa_rs, data),
+        "BVAP": BVAPSimulator().run(nbva_rs, data),
+        "CA": CASimulator().run(ca_rs, data, mapping=map_ruleset(ca_rs, ca_hw)),
+    }
+    _assert_consistent(results, workload.name)
+    return Table2Row(
+        benchmark=workload.name,
+        energy_uj={a: r.energy_uj for a, r in results.items()},
+        area_mm2={a: r.area_mm2 for a, r in results.items()},
+        throughput={a: r.throughput_gchps for a, r in results.items()},
+    )
+
+
+def _assert_consistent(results: dict[str, SimulationResult], name: str) -> None:
+    """The paper's Hyperscan-style cross-check, across architectures."""
+    reference = results["NFA"].matches
+    for arch, result in results.items():
+        if result.matches != reference:
+            raise AssertionError(
+                f"{name}: {arch} match results diverge from NFA mode"
+            )
+
+
+def run(config: ExperimentConfig | None = None) -> Table2Result:
+    """Regenerate Table 2 and persist the results."""
+    config = config or ExperimentConfig()
+    rows = []
+    for name in TABLE2_BENCHMARKS:
+        workload = build_mode_workload(name, CompiledMode.NBVA, config)
+        rows.append(simulate_benchmark(workload, config))
+    result = Table2Result(rows)
+    save_json(
+        "table2_nbva",
+        {
+            r.benchmark: {
+                "energy_uj": r.energy_uj,
+                "area_mm2": r.area_mm2,
+                "throughput": r.throughput,
+            }
+            for r in rows
+        },
+    )
+    save_csv(
+        "table2_nbva",
+        ["benchmark", "metric"] + ARCHITECTURES,
+        [
+            [r.benchmark, metric] + [getattr(r, metric)[a] for a in ARCHITECTURES]
+            for r in rows
+            for metric in ("energy_uj", "area_mm2", "throughput")
+        ],
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().to_table())

@@ -1,0 +1,165 @@
+"""Table 3: RAP's LNFA mode vs its NFA mode and the SotA ASICs.
+
+For the regexes each benchmark compiles to LNFA, the paper reports total
+energy, area, and throughput of: RAP-LNFA (baseline, with the chosen bin
+size), RAP-NFA, CAMA, BVAP (which runs them as plain NFAs on its CAMA
+fabric, dragging its provisioned-but-idle BVMs along), and CA.  All seven
+benchmarks participate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import CompiledMode
+from repro.experiments.common import (
+    ExperimentConfig,
+    Workload,
+    build_mode_workload,
+    compile_decided,
+    compile_forced,
+    render_table,
+    save_csv,
+    save_json,
+)
+from repro.mapping.mapper import map_ruleset
+from repro.simulators import (
+    BVAPSimulator,
+    CAMASimulator,
+    CASimulator,
+    RAPSimulator,
+    ca_hardware_config,
+)
+from repro.simulators.result import SimulationResult
+from repro.workloads.profiles import TABLE3_BENCHMARKS
+
+ARCHITECTURES = ["LNFA", "NFA", "CAMA", "BVAP", "CA"]
+
+
+@dataclass
+class Table3Row:
+    """One benchmark's Table 3 metrics per design."""
+    benchmark: str
+    energy_uj: dict[str, float] = field(default_factory=dict)
+    area_mm2: dict[str, float] = field(default_factory=dict)
+    throughput: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Table3Result:
+    """The Table 3 artifact."""
+    rows: list[Table3Row]
+
+    def row(self, benchmark: str) -> Table3Row:
+        """The row for one benchmark."""
+        return next(r for r in self.rows if r.benchmark == benchmark)
+
+    def normalized_averages(self) -> dict[str, dict[str, float]]:
+        """Geometric-mean ratios vs the baseline."""
+        out: dict[str, dict[str, float]] = {}
+        for metric in ("energy_uj", "area_mm2", "throughput"):
+            ratios: dict[str, float] = {}
+            for arch in ARCHITECTURES:
+                product, count = 1.0, 0
+                for row in self.rows:
+                    values = getattr(row, metric)
+                    base = values["LNFA"]
+                    if base > 0 and values[arch] > 0:
+                        product *= values[arch] / base
+                        count += 1
+                ratios[arch] = product ** (1 / count) if count else 0.0
+            out[metric] = ratios
+        return out
+
+    def to_table(self) -> str:
+        """Render the artifact as a monospace table."""
+        headers = ["Dataset"]
+        for metric in ("E(uJ)", "A(mm2)", "T(Gch/s)"):
+            headers += [f"{metric} {a}" for a in ARCHITECTURES]
+        body = []
+        for row in self.rows:
+            cells = [row.benchmark]
+            for metric in ("energy_uj", "area_mm2", "throughput"):
+                values = getattr(row, metric)
+                cells += [values[a] for a in ARCHITECTURES]
+            body.append(cells)
+        norm = self.normalized_averages()
+        avg = ["Avg (vs LNFA)"]
+        for metric in ("energy_uj", "area_mm2", "throughput"):
+            avg += [norm[metric][a] for a in ARCHITECTURES]
+        body.append(avg)
+        return render_table(
+            headers, body, title="Table 3 — LNFA-compiled regexes across designs"
+        )
+
+
+def simulate_benchmark(workload: Workload, config: ExperimentConfig) -> Table3Row:
+    """Run all five designs on one LNFA subset."""
+    patterns = list(workload.benchmark.patterns)
+    if not patterns:
+        raise ValueError(f"{workload.name} has no LNFA regexes")
+    data = workload.data
+
+    lnfa_rs = compile_decided(patterns, config, bv_depth=16)
+    if any(r.mode is not CompiledMode.LNFA for r in lnfa_rs):
+        raise AssertionError("decided modes drifted from the generator's intent")
+    nfa_rs = compile_forced(patterns, CompiledMode.NFA, config)
+    ca_hw = ca_hardware_config()
+    ca_rs = compile_forced(patterns, CompiledMode.NFA, config, hw=ca_hw)
+
+    results: dict[str, SimulationResult] = {
+        "LNFA": RAPSimulator().run(
+            lnfa_rs, data, bin_size=workload.chosen_bin_size
+        ),
+        "NFA": RAPSimulator().run(nfa_rs, data),
+        "CAMA": CAMASimulator().run(nfa_rs, data),
+        "BVAP": BVAPSimulator().run(nfa_rs, data),
+        "CA": CASimulator().run(ca_rs, data, mapping=map_ruleset(ca_rs, ca_hw)),
+    }
+    reference = results["NFA"].matches
+    for arch, result in results.items():
+        if result.matches != reference:
+            raise AssertionError(
+                f"{workload.name}: {arch} match results diverge from NFA mode"
+            )
+    return Table3Row(
+        benchmark=workload.name,
+        energy_uj={a: r.energy_uj for a, r in results.items()},
+        area_mm2={a: r.area_mm2 for a, r in results.items()},
+        throughput={a: r.throughput_gchps for a, r in results.items()},
+    )
+
+
+def run(config: ExperimentConfig | None = None) -> Table3Result:
+    """Regenerate Table 3 and persist the results."""
+    config = config or ExperimentConfig()
+    rows = []
+    for name in TABLE3_BENCHMARKS:
+        workload = build_mode_workload(name, CompiledMode.LNFA, config)
+        rows.append(simulate_benchmark(workload, config))
+    result = Table3Result(rows)
+    save_json(
+        "table3_lnfa",
+        {
+            r.benchmark: {
+                "energy_uj": r.energy_uj,
+                "area_mm2": r.area_mm2,
+                "throughput": r.throughput,
+            }
+            for r in rows
+        },
+    )
+    save_csv(
+        "table3_lnfa",
+        ["benchmark", "metric"] + ARCHITECTURES,
+        [
+            [r.benchmark, metric] + [getattr(r, metric)[a] for a in ARCHITECTURES]
+            for r in rows
+            for metric in ("energy_uj", "area_mm2", "throughput")
+        ],
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().to_table())

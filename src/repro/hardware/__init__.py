@@ -1,0 +1,21 @@
+"""Hardware models of the RAP microarchitecture (Section 3).
+
+This subpackage holds everything below the simulator: the published 28nm
+circuit models (Table 1), the architectural configuration (tile / array /
+bank geometry, Section 3.3), character-class encodings for the CAM and the
+local switches, resource bookkeeping for the three tile modes, and the
+energy/area ledger the simulators write their event counts into.
+"""
+
+from repro.hardware.circuits import CircuitModel, CircuitLibrary, TABLE1
+from repro.hardware.config import HardwareConfig, TileMode
+from repro.hardware.energy import EnergyLedger
+
+__all__ = [
+    "CircuitLibrary",
+    "CircuitModel",
+    "EnergyLedger",
+    "HardwareConfig",
+    "TABLE1",
+    "TileMode",
+]

@@ -1,0 +1,154 @@
+"""Buffer primitives for the I/O streaming path (Section 3.3).
+
+The bank interfaces the host CPU through a two-level input hierarchy — a
+128-entry ping-pong Bank Input Buffer fed by DMA and an 8-entry FIFO per
+array — and a mirrored output path (2-entry array FIFOs, a 64-entry
+ping-pong Bank Output Buffer, and a CPU interrupt when it fills).  These
+primitives model occupancy, back-pressure, and hand-off so the bank
+simulator can quantify how much of the NBVA stall latency the buffering
+actually hides.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class BufferStats:
+    """Occupancy and back-pressure counters for one buffer."""
+
+    pushes: int = 0
+    pops: int = 0
+    rejected: int = 0  # push attempts against a full buffer
+    occupancy_sum: int = 0  # integrated over observed cycles
+    observations: int = 0
+    max_occupancy: int = 0
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Average observed occupancy."""
+        return self.occupancy_sum / self.observations if self.observations else 0.0
+
+
+class Fifo:
+    """A bounded FIFO (the per-array input/output buffers)."""
+
+    def __init__(self, capacity: int, name: str = "fifo"):
+        if capacity < 1:
+            raise ValueError(f"FIFO capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._items: deque = deque()
+        self.stats = BufferStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """True iff no more items can be accepted."""
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True iff the buffer holds no items."""
+        return not self._items
+
+    def push(self, item) -> bool:
+        """True if accepted; a full FIFO rejects (back-pressure)."""
+        if self.full:
+            self.stats.rejected += 1
+            return False
+        self._items.append(item)
+        self.stats.pushes += 1
+        return True
+
+    def pop(self):
+        """Remove and return the oldest item."""
+        if not self._items:
+            raise IndexError(f"{self.name}: pop from empty FIFO")
+        self.stats.pops += 1
+        return self._items.popleft()
+
+    def peek(self):
+        """The oldest item, without consuming it."""
+        if not self._items:
+            raise IndexError(f"{self.name}: peek at empty FIFO")
+        return self._items[0]
+
+    def observe(self) -> None:
+        """Record the current occupancy (call once per simulated cycle)."""
+        occ = len(self._items)
+        self.stats.occupancy_sum += occ
+        self.stats.observations += 1
+        self.stats.max_occupancy = max(self.stats.max_occupancy, occ)
+
+
+class PingPongBuffer:
+    """A double-buffered staging memory (bank input/output buffers).
+
+    One half drains toward the consumer while the other half fills from
+    the producer; the halves swap only when the filling half is full and
+    the draining half is empty.  This is how the Bank Input Buffer hides
+    DMA latency: the DMA engine writes whole halves in the background.
+    """
+
+    def __init__(self, entries: int, name: str = "pingpong"):
+        if entries < 2 or entries % 2:
+            raise ValueError(
+                f"ping-pong buffer needs an even capacity >= 2, got {entries}"
+            )
+        self.half_capacity = entries // 2
+        self.name = name
+        self._front: deque = deque()  # draining half
+        self._back: deque = deque()  # filling half
+        self.stats = BufferStats()
+        self.swaps = 0
+
+    @property
+    def front_available(self) -> int:
+        """Items ready on the draining half."""
+        return len(self._front)
+
+    @property
+    def back_free(self) -> int:
+        """Free slots on the filling half."""
+        return self.half_capacity - len(self._back)
+
+    def fill(self, items) -> int:
+        """Producer side: append into the filling half; returns accepted."""
+        accepted = 0
+        for item in items:
+            if len(self._back) >= self.half_capacity:
+                self.stats.rejected += 1
+                break
+            self._back.append(item)
+            self.stats.pushes += 1
+            accepted += 1
+        return accepted
+
+    def drain(self):
+        """Consumer side: pop from the draining half (None when empty)."""
+        if not self._front:
+            self.try_swap()
+            if not self._front:
+                return None
+        self.stats.pops += 1
+        return self._front.popleft()
+
+    def try_swap(self) -> bool:
+        """Swap halves when the front is drained and the back has data."""
+        if self._front or not self._back:
+            return False
+        self._front, self._back = self._back, self._front
+        self.swaps += 1
+        return True
+
+    def observe(self) -> None:
+        """Record current occupancy into the statistics."""
+        occ = len(self._front) + len(self._back)
+        self.stats.occupancy_sum += occ
+        self.stats.observations += 1
+        self.stats.max_occupancy = max(self.stats.max_occupancy, occ)

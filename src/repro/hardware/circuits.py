@@ -1,0 +1,132 @@
+"""Circuit models in 28nm CMOS — the published Table 1 of the paper.
+
+The paper's evaluation never re-runs SPICE: it consumes scalar per-access
+models (energy range, delay, area, leakage) extracted from custom-designed
+circuits in TSMC 28nm.  We encode those published numbers verbatim and let
+every simulator share them, exactly as the paper simulates RAP and all
+ASIC baselines with the same circuit model (Section 5.2).
+
+Energies are ranges because access energy depends on switching activity;
+:meth:`CircuitModel.energy` interpolates linearly between the published
+minimum (idle-ish access) and maximum (fully active access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CircuitModel:
+    """One row of Table 1."""
+
+    name: str
+    size: str
+    energy_min_pj: float
+    energy_max_pj: float
+    delay_ps: float
+    area_um2: float
+    leakage_ua: float
+
+    def energy(self, activity: float = 1.0) -> float:
+        """Access energy in pJ at the given switching activity in [0, 1]."""
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity out of range: {activity}")
+        return self.energy_min_pj + (self.energy_max_pj - self.energy_min_pj) * activity
+
+    @property
+    def leakage_power_uw(self) -> float:
+        """Static power in microwatts at the nominal 0.9 V supply."""
+        return self.leakage_ua * _SUPPLY_VOLTAGE_V
+
+
+_SUPPLY_VOLTAGE_V = 0.9
+
+
+@dataclass(frozen=True)
+class CircuitLibrary:
+    """The complete component library shared by all simulated designs."""
+
+    sram_128: CircuitModel  # 128x128 8T SRAM, used as an FCB local switch
+    sram_256: CircuitModel  # 256x256 8T SRAM, used as an FCB global switch
+    cam: CircuitModel  # 32x128 8T CAM (state matching / BV storage)
+    local_controller: CircuitModel
+    global_controller: CircuitModel
+    global_wire_mm: CircuitModel  # per millimetre of global wire
+
+    def components(self) -> tuple[CircuitModel, ...]:
+        """All circuit models as a tuple."""
+        return (
+            self.sram_128,
+            self.sram_256,
+            self.cam,
+            self.local_controller,
+            self.global_controller,
+            self.global_wire_mm,
+        )
+
+
+TABLE1 = CircuitLibrary(
+    sram_128=CircuitModel(
+        name="8T SRAM",
+        size="128x128",
+        energy_min_pj=1.0,
+        energy_max_pj=14.0,
+        delay_ps=298.0,
+        area_um2=5655.0,
+        leakage_ua=57.0,
+    ),
+    sram_256=CircuitModel(
+        name="8T SRAM",
+        size="256x256",
+        energy_min_pj=2.0,
+        energy_max_pj=55.0,
+        delay_ps=410.0,
+        area_um2=18153.0,
+        leakage_ua=228.0,
+    ),
+    cam=CircuitModel(
+        name="8T CAM",
+        size="32x128",
+        energy_min_pj=4.0,
+        energy_max_pj=4.0,
+        delay_ps=325.0,
+        area_um2=2626.0,
+        leakage_ua=14.0,
+    ),
+    local_controller=CircuitModel(
+        name="Local Controller",
+        size="N/A",
+        energy_min_pj=2.0,
+        energy_max_pj=2.0,
+        delay_ps=90.0,
+        area_um2=2900.0,
+        leakage_ua=18.0,
+    ),
+    global_controller=CircuitModel(
+        name="Global Controller",
+        size="N/A",
+        energy_min_pj=2.0,
+        energy_max_pj=2.0,
+        delay_ps=400.0,
+        area_um2=1400.0,
+        leakage_ua=9.0,
+    ),
+    global_wire_mm=CircuitModel(
+        name="Global wire",
+        size="1 mm",
+        energy_min_pj=0.07,
+        energy_max_pj=0.07,
+        delay_ps=66.0,
+        area_um2=50.0,
+        leakage_ua=0.0,
+    ),
+)
+
+# Timing facts quoted in Section 5.2 (used to set clock frequencies).
+RAP_PIPELINE_STAGE_PS = 436.1  # largest RAP pipeline stage delay
+RAP_CLOCK_GHZ = 2.08  # with the 10% safety margin applied
+CAMA_CLOCK_GHZ = 2.14
+CA_CLOCK_GHZ = 1.82
+BVAP_CLOCK_GHZ = 2.0
+CAMA_GLOBAL_WIRE_DELAY_PS = 26.1

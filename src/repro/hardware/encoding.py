@@ -1,0 +1,62 @@
+"""Character-class encodings for the CAM and the local switches.
+
+Two schemes appear in the paper (Section 3.2):
+
+* **Multi-zero prefix encoding** (inherited from CAMA): a character class
+  is compressed into one or more 32-bit column codes.  Our model follows
+  the CAM geometry: an input byte activates one of the 32 CAM rows with
+  its low 5 bits, and a single column code can cover an arbitrary subset
+  of one aligned 32-symbol block selected by the byte's high 3 bits.  A
+  class therefore needs one code per aligned block it touches — except
+  that an all-zero column matches *everything* (the wildcard trick), and
+  a class that is the complement of few blocks can be stored negatively.
+  The cost model is ``codes = max(1, min(blocks(cc), blocks(~cc)))``,
+  which gives 1 for singletons, ranges inside a block, ``.``, and the
+  ``[^x]``-style classes that dominate real rule sets — matching the
+  paper's observation that 84% of LNFAs need only single-code classes.
+
+* **One-hot encoding** into local switches: 256 bits per class stored
+  across two 128-row switch columns; the input byte's MSB selects the
+  column and the remaining 7 bits one-hot-activate a row.
+"""
+
+from __future__ import annotations
+
+from repro.regex.charclass import CharClass
+
+CODE_BITS = 32  # one CAM column
+BLOCK_SHIFT = 5  # low 5 bits select the CAM row
+ONEHOT_SWITCH_COLUMNS = 2  # 256-bit one-hot across two 128-bit columns
+
+
+def blocks_touched(cc: CharClass) -> int:
+    """Number of aligned 32-symbol blocks containing at least one member."""
+    return len({b >> BLOCK_SHIFT for b in cc})
+
+
+def codes_needed(cc: CharClass) -> int:
+    """CAM columns needed to store ``cc`` under multi-zero prefix encoding."""
+    if cc.is_empty():
+        raise ValueError("cannot encode an empty character class")
+    if cc.is_any():
+        return 1  # the all-zero wildcard column
+    positive = blocks_touched(cc)
+    negative = blocks_touched(~cc)
+    return max(1, min(positive, negative))
+
+
+def single_code(cc: CharClass) -> bool:
+    """True iff ``cc`` fits one 32-bit code — the LNFA CAM-mode
+    eligibility test of Section 3.2."""
+    return codes_needed(cc) == 1
+
+
+def lnfa_cam_eligible(labels) -> bool:
+    """Can this whole LNFA run in the CAM (every class single-code)?"""
+    return all(single_code(cc) for cc in labels)
+
+
+def onehot_switch_columns(state_count: int) -> int:
+    """Local-switch columns consumed by ``state_count`` one-hot-encoded
+    LNFA states (2 columns of the 128x128 FCB per state)."""
+    return ONEHOT_SWITCH_COLUMNS * state_count

@@ -1,0 +1,151 @@
+"""Energy, area, and time accounting shared by every simulator.
+
+Simulators translate activity events (CAM searches, switch traversals,
+BV-word updates, wire toggles...) into charges against an
+:class:`EnergyLedger`.  The ledger keeps a per-component breakdown so the
+experiments can reproduce the paper's Fig. 11-style decompositions, and it
+derives the four system metrics of Section 5.2:
+
+* throughput (Gch/s)   = input symbols / elapsed time
+* power (W)            = total energy / elapsed time (incl. leakage)
+* energy efficiency    = throughput / power  (Gch/s per W = Gch/J)
+* compute density      = throughput / area   (Gch/s per mm^2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Metrics:
+    """The system-level results reported for one simulated run."""
+
+    energy_uj: float
+    area_mm2: float
+    cycles: int
+    input_symbols: int
+    clock_ghz: float
+    leakage_w: float = 0.0
+
+    @property
+    def time_s(self) -> float:
+        """Elapsed wall time of the run in seconds."""
+        return self.cycles / (self.clock_ghz * 1e9) if self.clock_ghz else 0.0
+
+    @property
+    def throughput_gchps(self) -> float:
+        """Gigacharacters per second actually sustained."""
+        if self.cycles == 0:
+            return 0.0
+        return self.input_symbols / self.cycles * self.clock_ghz
+
+    @property
+    def power_w(self) -> float:
+        """Average power in watts (dynamic + leakage)."""
+        if self.time_s == 0:
+            return self.leakage_w
+        return self.energy_uj * 1e-6 / self.time_s + self.leakage_w
+
+    @property
+    def energy_efficiency_gch_per_j(self) -> float:
+        """Throughput per watt (Gch/J)."""
+        return self.throughput_gchps / self.power_w if self.power_w else 0.0
+
+    @property
+    def compute_density_gchps_per_mm2(self) -> float:
+        """Throughput per square millimetre."""
+        return self.throughput_gchps / self.area_mm2 if self.area_mm2 else 0.0
+
+
+class EnergyLedger:
+    """Accumulates dynamic energy (pJ) and area (um^2) per component."""
+
+    def __init__(self) -> None:
+        self._energy_pj: dict[str, float] = {}
+        self._area_um2: dict[str, float] = {}
+        self._leakage_uw: dict[str, float] = {}
+
+    # -- charging ----------------------------------------------------------
+
+    def charge(self, component: str, energy_pj: float, count: float = 1.0) -> None:
+        """Add ``count`` events of ``energy_pj`` each to ``component``."""
+        if energy_pj < 0 or count < 0:
+            raise ValueError("energy charges must be non-negative")
+        if count:
+            self._energy_pj[component] = (
+                self._energy_pj.get(component, 0.0) + energy_pj * count
+            )
+
+    def add_area(self, component: str, area_um2: float, count: float = 1.0) -> None:
+        """Add area for ``count`` instances of a component."""
+        if area_um2 < 0 or count < 0:
+            raise ValueError("area must be non-negative")
+        if count:
+            self._area_um2[component] = (
+                self._area_um2.get(component, 0.0) + area_um2 * count
+            )
+
+    def add_leakage(self, component: str, power_uw: float, count: float = 1.0) -> None:
+        """Add static power for ``count`` instances."""
+        if power_uw < 0 or count < 0:
+            raise ValueError("leakage must be non-negative")
+        if count:
+            self._leakage_uw[component] = (
+                self._leakage_uw.get(component, 0.0) + power_uw * count
+            )
+
+    def merge(self, other: "EnergyLedger") -> None:
+        """Fold another ledger into this one (bank <- arrays <- tiles)."""
+        for comp, pj in other._energy_pj.items():
+            self._energy_pj[comp] = self._energy_pj.get(comp, 0.0) + pj
+        for comp, um2 in other._area_um2.items():
+            self._area_um2[comp] = self._area_um2.get(comp, 0.0) + um2
+        for comp, uw in other._leakage_uw.items():
+            self._leakage_uw[comp] = self._leakage_uw.get(comp, 0.0) + uw
+
+    # -- totals and breakdowns ---------------------------------------------
+
+    @property
+    def energy_pj(self) -> float:
+        """Total dynamic energy in picojoules."""
+        return sum(self._energy_pj.values())
+
+    @property
+    def energy_uj(self) -> float:
+        """Total dynamic energy in microjoules."""
+        return self.energy_pj * 1e-6
+
+    @property
+    def area_um2(self) -> float:
+        """Total area in square microns."""
+        return sum(self._area_um2.values())
+
+    @property
+    def area_mm2(self) -> float:
+        """Total area in square millimetres."""
+        return self.area_um2 * 1e-6
+
+    @property
+    def leakage_w(self) -> float:
+        """Total static power in watts."""
+        return sum(self._leakage_uw.values()) * 1e-6
+
+    def energy_breakdown(self) -> dict[str, float]:
+        """Energy per component in pJ (a copy)."""
+        return dict(self._energy_pj)
+
+    def area_breakdown(self) -> dict[str, float]:
+        """Area per component in um^2 (a copy)."""
+        return dict(self._area_um2)
+
+    def metrics(self, cycles: int, input_symbols: int, clock_ghz: float) -> Metrics:
+        """Bundle the totals into a Metrics record."""
+        return Metrics(
+            energy_uj=self.energy_uj,
+            area_mm2=self.area_mm2,
+            cycles=cycles,
+            input_symbols=input_symbols,
+            clock_ghz=clock_ghz,
+            leakage_w=self.leakage_w,
+        )

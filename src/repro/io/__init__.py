@@ -1,0 +1,26 @@
+"""Serialization of compiled programs.
+
+The paper's artifact ships *pre-compiled* datasets (MNRL-format automata)
+so experiments can skip compilation; this package plays the same role
+with a JSON format: a compiled ruleset — automata with counter groups,
+LNFA sequences, tile plans — round-trips losslessly through
+:func:`save_ruleset` / :func:`load_ruleset`.
+"""
+
+from repro.io.serialize import (
+    automaton_from_json,
+    automaton_to_json,
+    load_ruleset,
+    loads_ruleset,
+    ruleset_to_json,
+    save_ruleset,
+)
+
+__all__ = [
+    "automaton_from_json",
+    "automaton_to_json",
+    "load_ruleset",
+    "loads_ruleset",
+    "ruleset_to_json",
+    "save_ruleset",
+]

@@ -1,0 +1,26 @@
+"""Mapping of compiled regexes onto the RAP bank/array/tile hierarchy.
+
+* :mod:`repro.mapping.binning` — the LNFA binning algorithm of
+  Section 4.3 (sort by size, fill the largest bin that fits, halve on
+  overflow) that concentrates initial states so non-initial tiles can be
+  power-gated.
+* :mod:`repro.mapping.resources` — physical tile/array builders enforcing
+  the hardware constraints during placement.
+* :mod:`repro.mapping.mapper` — the greedy mapper that groups regexes into
+  arrays (the paper reports >90% utilization across all benchmarks).
+"""
+
+from repro.mapping.binning import Bin, BinKind, plan_bins
+from repro.mapping.mapper import Mapping, MappingError, map_ruleset
+from repro.mapping.resources import ArrayBuilder, PhysicalTile
+
+__all__ = [
+    "ArrayBuilder",
+    "Bin",
+    "BinKind",
+    "Mapping",
+    "MappingError",
+    "PhysicalTile",
+    "map_ruleset",
+    "plan_bins",
+]

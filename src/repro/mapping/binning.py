@@ -1,0 +1,236 @@
+"""Multi-LNFA binning (Sections 3.2 and 4.3).
+
+Only the first STE of an LNFA is an initial state, so grouping many LNFAs
+into a *bin* and mapping them regex-sliced across tiles puts every initial
+state into the bin's first tile; the remaining tiles can stay power-gated
+until an initial state actually matches.  Within a tile the bin occupies
+one region per LNFA; LNFAs shorter than the bin's longest member leave
+their region partially unused (the redundancy the Fig. 10b DSE trades
+against energy).
+
+Bins are homogeneous in storage kind: CAM bins hold LNFAs whose character
+classes all fit single 32-bit codes (84% in the paper's corpus); switch
+bins hold the rest, one-hot encoded at two local-switch columns per state.
+A physical tile owns one CAM *and* one local switch, so the mapper may
+overlay one CAM bin and one switch bin onto the same tiles — the source of
+LNFA mode's "2x in theory" area saving.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.automata.lnfa import LNFA
+from repro.hardware.config import HardwareConfig
+
+
+class BinKind(enum.Enum):
+    """Which storage side of the tile a bin occupies."""
+    CAM = "cam"  # single-code classes matched in the 8T-CAM
+    SWITCH = "switch"  # one-hot classes matched in the local switch
+
+
+@dataclass(frozen=True)
+class BinItem:
+    """One LNFA with its provenance (which regex, which union member)."""
+
+    regex_id: int
+    lnfa_index: int
+    lnfa: LNFA
+    cam_eligible: bool
+    anchored_start: bool = False
+    anchored_end: bool = False
+
+    @property
+    def length(self) -> int:
+        """States in this LNFA."""
+        return len(self.lnfa)
+
+
+@dataclass(frozen=True)
+class Bin:
+    """A group of LNFAs mapped together, regex-sliced across tiles."""
+
+    kind: BinKind
+    items: tuple[BinItem, ...]
+    tiles: int  # tiles spanned by this bin
+
+    @property
+    def size(self) -> int:
+        """Number of LNFAs in this bin."""
+        return len(self.items)
+
+    @property
+    def max_length(self) -> int:
+        """Longest member LNFA (the region width)."""
+        return max(item.length for item in self.items)
+
+    @property
+    def real_states(self) -> int:
+        """States actually occupied (no padding)."""
+        return sum(item.length for item in self.items)
+
+    @property
+    def padded_states(self) -> int:
+        """States including padding: every region is max_length wide."""
+        return self.size * self.max_length
+
+    @property
+    def utilization(self) -> float:
+        """real_states / padded_states."""
+        return self.real_states / self.padded_states if self.padded_states else 0.0
+
+    @property
+    def footprint_columns(self) -> int:
+        """Column demand on the bin's storage side.
+
+        CAM bins cost one CAM column per padded state; switch bins cost
+        two local-switch columns per padded state (the one-hot encoding).
+        Column accounting lets small bins share tiles, like the region
+        mapping of Fig. 7 does in hardware.
+        """
+        per_state = 1 if self.kind is BinKind.CAM else 2
+        return self.padded_states * per_state
+
+    @property
+    def initial_tiles(self) -> int:
+        """Tiles holding initial states (never power-gated): always 1."""
+        return 1
+
+    @property
+    def gateable_tiles(self) -> int:
+        """Tiles that can be power-gated when idle."""
+        return self.tiles - self.initial_tiles
+
+    def retargeted(self, kind: BinKind, hw: HardwareConfig) -> "Bin":
+        """The same bin stored on the other side of the tile.
+
+        Any class can be one-hot encoded, so a CAM-eligible bin may be
+        stored in the local switch instead; the mapper uses this to fill
+        both sides of each tile (the "2x in theory" density of
+        Section 3.2).  The reverse move requires CAM eligibility.
+        """
+        if kind is self.kind:
+            return self
+        if kind is BinKind.CAM and not all(
+            it.cam_eligible for it in self.items
+        ):
+            raise ValueError("bin contains CAM-ineligible classes")
+        return Bin(
+            kind=kind,
+            items=self.items,
+            tiles=tiles_for(self.size, self.max_length, kind, hw),
+        )
+
+
+def states_per_tile(kind: BinKind, hw: HardwareConfig) -> int:
+    """LNFA states one tile stores for this kind."""
+    if kind is BinKind.CAM:
+        return hw.cam_cols
+    return hw.local_switch_dim // 2  # two one-hot columns per state
+
+
+def tiles_for(size: int, max_length: int, kind: BinKind, hw: HardwareConfig) -> int:
+    """Tiles a bin of ``size`` LNFAs padded to ``max_length`` spans."""
+    region = states_per_tile(kind, hw) // size
+    if region < 1:
+        raise ValueError(f"bin of {size} LNFAs leaves no room per region")
+    return -(-max_length // region)
+
+
+def _fits(size: int, max_length: int, kind: BinKind, hw: HardwareConfig) -> bool:
+    if size > hw.max_bin_size:
+        return False
+    capacity = states_per_tile(kind, hw)
+    if capacity // size < 1:
+        return False
+    return tiles_for(size, max_length, kind, hw) <= hw.tiles_per_array
+
+
+def plan_bins(
+    items: list[BinItem],
+    *,
+    hw: HardwareConfig,
+    bin_size: int | None = None,
+    overlay_split: bool = True,
+) -> list[Bin]:
+    """Run the binning algorithm of Section 4.3.
+
+    LNFAs are sorted by size; along that order we fill the largest bin the
+    constraints allow, halving the target bin size whenever the group's
+    longest member cannot be supported, down to single-LNFA bins.
+    ``bin_size`` (the DSE knob of Fig. 10b) caps the bin size; ``None``
+    uses the hardware maximum.
+
+    With ``overlay_split`` (the default, used by the mapper), each
+    CAM-eligible group is cut ~2:1 into a CAM part and a switch part so
+    the two halves of every physical tile fill together — the "decreases
+    the area by 2x in theory" overlay of Section 3.2.  The 2:1 ratio
+    matches the capacity ratio of the two sides (128 CAM states vs 64
+    one-hot switch states per tile).
+    """
+    limit = hw.max_bin_size if bin_size is None else bin_size
+    if limit < 1:
+        raise ValueError(f"bin size must be positive, got {limit}")
+    bins: list[Bin] = []
+    for kind in BinKind:
+        eligible = [
+            it
+            for it in items
+            if (it.cam_eligible and kind is BinKind.CAM)
+            or (not it.cam_eligible and kind is BinKind.SWITCH)
+        ]
+        eligible.sort(key=lambda it: (it.length, it.regex_id, it.lnfa_index))
+        pos = 0
+        while pos < len(eligible):
+            size = min(limit, len(eligible) - pos, hw.max_bin_size)
+            while size > 1:
+                group = eligible[pos : pos + size]
+                if _fits(size, max(it.length for it in group), kind, hw):
+                    break
+                size //= 2
+            group = eligible[pos : pos + size]
+            max_len = max(it.length for it in group)
+            if not _fits(size, max_len, kind, hw):
+                # A single LNFA too long for an array cannot be binned at
+                # all; the compiler's per-regex checks should have caught
+                # this, so surface it loudly.
+                raise ValueError(
+                    f"LNFA of {max_len} states does not fit one array"
+                )
+            bins.extend(
+                _make_bins(group, kind, hw, overlay_split=overlay_split)
+            )
+            pos += size
+    return bins
+
+
+def _make_bins(
+    group: list[BinItem],
+    kind: BinKind,
+    hw: HardwareConfig,
+    *,
+    overlay_split: bool,
+) -> list[Bin]:
+    def bin_of(part: list[BinItem], part_kind: BinKind) -> Bin:
+        """Build a Bin for one part on one side."""
+        max_len = max(it.length for it in part)
+        return Bin(
+            kind=part_kind,
+            items=tuple(part),
+            tiles=tiles_for(len(part), max_len, part_kind, hw),
+        )
+
+    if not overlay_split or kind is not BinKind.CAM or len(group) < 3:
+        return [bin_of(group, kind)]
+    # 2:1 CAM:switch split; the group is sorted ascending by length, so
+    # the shorter third goes to the tighter (switch) side.
+    switch_count = len(group) // 3
+    switch_part = group[:switch_count]
+    cam_part = group[switch_count:]
+    if not _fits(
+        len(switch_part), max(it.length for it in switch_part), BinKind.SWITCH, hw
+    ):
+        return [bin_of(group, kind)]
+    return [bin_of(switch_part, BinKind.SWITCH), bin_of(cam_part, BinKind.CAM)]

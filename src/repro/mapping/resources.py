@@ -1,0 +1,199 @@
+"""Physical tile and array builders used by the greedy mapper.
+
+These enforce the placement constraints of Section 3.3 while the mapper
+packs compiled regexes:
+
+* a tile has ``cam_cols`` CAM columns shared by character classes, bit
+  vectors, and set1 columns;
+* BVs in one tile share a read action and depth;
+* a tile has a bounded number of global-switch ports;
+* an array has ``tiles_per_array`` tiles and regexes never span arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.automata.glushkov import ReadKind
+from repro.compiler.program import TileRequest
+from repro.hardware.config import HardwareConfig, TileMode
+
+
+@dataclass
+class PhysicalTile:
+    """One physical tile accumulating requests from possibly many regexes."""
+
+    mode: TileMode
+    columns: int = 0
+    states: int = 0
+    bv_columns: int = 0
+    set1_columns: int = 0
+    ports: int = 0
+    depth: Optional[int] = None
+    read: Optional[ReadKind] = None
+    occupants: list[tuple[int, TileRequest]] = field(default_factory=list)
+
+    def compatible(self, request: TileRequest, hw: HardwareConfig) -> bool:
+        """Can this request share the tile?"""
+        if request.mode is not self.mode:
+            return False
+        if self.columns + request.total_columns > hw.cam_cols:
+            return False
+        if self.ports + request.global_ports > hw.global_ports_per_tile:
+            return False
+        if request.read is not None and self.read is not None:
+            if request.read is not self.read:
+                return False
+        if request.depth is not None and self.depth is not None:
+            if request.depth != self.depth:
+                return False
+        return True
+
+    def place(self, regex_id: int, request: TileRequest, hw: HardwareConfig) -> None:
+        """Commit a request onto this tile."""
+        if not self.compatible(request, hw):
+            raise ValueError("incompatible request placed on tile")
+        self.columns += request.total_columns
+        self.states += request.states
+        self.bv_columns += request.bv_columns
+        self.set1_columns += request.set1_columns
+        self.ports += request.global_ports
+        self.depth = self.depth if request.depth is None else request.depth
+        self.read = self.read if request.read is None else request.read
+        self.occupants.append((regex_id, request))
+
+    def column_utilization(self, hw: HardwareConfig) -> float:
+        """Used columns / capacity."""
+        return self.columns / hw.cam_cols
+
+
+@dataclass
+class ArrayBuilder:
+    """One array being filled by the mapper."""
+
+    mode: TileMode
+    hw: HardwareConfig
+    tiles: list[PhysicalTile] = field(default_factory=list)
+    regex_ids: set[int] = field(default_factory=set)
+    # LNFA overlay accounting: CAM-side and switch-side *column* demands
+    # are tracked separately (bins share tiles at region granularity, per
+    # Fig. 7); the physical footprint is the larger side's tile count.
+    lnfa_cam_columns: int = 0
+    lnfa_switch_columns: int = 0
+    bins: list = field(default_factory=list)
+
+    @property
+    def lnfa_cam_tiles(self) -> int:
+        """Tiles implied by the CAM-side column demand."""
+        return -(-self.lnfa_cam_columns // self.hw.cam_cols)
+
+    @property
+    def lnfa_switch_tiles(self) -> int:
+        """Tiles implied by the switch-side demand."""
+        return -(-self.lnfa_switch_columns // self.hw.local_switch_dim)
+
+    @property
+    def tiles_used(self) -> int:
+        """Physical tiles this array occupies."""
+        if self.mode is TileMode.LNFA:
+            return max(self.lnfa_cam_tiles, self.lnfa_switch_tiles)
+        return len(self.tiles)
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff nothing is placed yet."""
+        return self.tiles_used == 0
+
+    def can_place_requests(self, requests: tuple[TileRequest, ...]) -> bool:
+        """Feasibility check without mutation (two-phase placement)."""
+        free_tiles = self.hw.tiles_per_array - len(self.tiles)
+        room = [
+            self.hw.cam_cols - t.columns for t in self.tiles
+        ]
+        ports_room = [
+            self.hw.global_ports_per_tile - t.ports for t in self.tiles
+        ]
+        reads = [t.read for t in self.tiles]
+        depths = [t.depth for t in self.tiles]
+        modes = [t.mode for t in self.tiles]
+        for request in requests:
+            placed = False
+            for i in range(len(room)):
+                if (
+                    modes[i] is request.mode
+                    and room[i] >= request.total_columns
+                    and ports_room[i] >= request.global_ports
+                    and (
+                        request.read is None
+                        or reads[i] is None
+                        or reads[i] is request.read
+                    )
+                    and (
+                        request.depth is None
+                        or depths[i] is None
+                        or depths[i] == request.depth
+                    )
+                ):
+                    room[i] -= request.total_columns
+                    ports_room[i] -= request.global_ports
+                    reads[i] = reads[i] or request.read
+                    depths[i] = depths[i] if request.depth is None else request.depth
+                    placed = True
+                    break
+            if not placed:
+                if free_tiles == 0:
+                    return False
+                free_tiles -= 1
+                room.append(self.hw.cam_cols - request.total_columns)
+                ports_room.append(
+                    self.hw.global_ports_per_tile - request.global_ports
+                )
+                reads.append(request.read)
+                depths.append(request.depth)
+                modes.append(request.mode)
+                if room[-1] < 0 or ports_room[-1] < 0:
+                    return False
+        return True
+
+    def place_requests(
+        self, regex_id: int, requests: tuple[TileRequest, ...]
+    ) -> None:
+        """Place after a successful ``can_place_requests`` check."""
+        for request in requests:
+            target = None
+            for tile in self.tiles:
+                if tile.compatible(request, self.hw):
+                    target = tile
+                    break
+            if target is None:
+                if len(self.tiles) >= self.hw.tiles_per_array:
+                    raise ValueError("array overflow; check feasibility first")
+                target = PhysicalTile(mode=request.mode)
+                self.tiles.append(target)
+            target.place(regex_id, request, self.hw)
+        self.regex_ids.add(regex_id)
+
+    def can_place_bin(self, bin_columns: int, kind_is_cam: bool) -> bool:
+        """Does a bin of that size fit this array?"""
+        if kind_is_cam:
+            capacity = self.hw.tiles_per_array * self.hw.cam_cols
+            return self.lnfa_cam_columns + bin_columns <= capacity
+        capacity = self.hw.tiles_per_array * self.hw.local_switch_dim
+        return self.lnfa_switch_columns + bin_columns <= capacity
+
+    def place_bin(self, bin_obj) -> None:
+        """Commit a bin onto this array."""
+        from repro.mapping.binning import BinKind
+
+        cols = bin_obj.footprint_columns
+        if bin_obj.kind is BinKind.CAM:
+            if not self.can_place_bin(cols, True):
+                raise ValueError("array overflow placing CAM bin")
+            self.lnfa_cam_columns += cols
+        else:
+            if not self.can_place_bin(cols, False):
+                raise ValueError("array overflow placing switch bin")
+            self.lnfa_switch_columns += cols
+        self.bins.append(bin_obj)
+        self.regex_ids.update(item.regex_id for item in bin_obj.items)

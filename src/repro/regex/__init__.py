@@ -1,0 +1,45 @@
+"""Regex frontend: character classes, AST, parser, rewriting, analysis.
+
+This subpackage implements everything the RAP compiler needs to know about
+regular expressions before an automaton is built:
+
+* :mod:`repro.regex.charclass` — predicates over the byte alphabet.
+* :mod:`repro.regex.ast` — the regex abstract syntax tree.
+* :mod:`repro.regex.parser` — a PCRE-subset parser.
+* :mod:`repro.regex.rewrite` — the rewriting passes of Section 4 of the
+  paper (unfolding, bounded-repetition rewriting, linearization).
+* :mod:`repro.regex.analysis` — structural analysis used by the Fig. 9
+  decision graph (sizes, bounded-repetition census, linearizability).
+"""
+
+from repro.regex.ast import (
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    Lit,
+    Opt,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+)
+from repro.regex.charclass import ALPHABET_SIZE, CharClass
+from repro.regex.parser import RegexSyntaxError, parse
+
+__all__ = [
+    "ALPHABET_SIZE",
+    "Alt",
+    "CharClass",
+    "Concat",
+    "Empty",
+    "Epsilon",
+    "Lit",
+    "Opt",
+    "Plus",
+    "Regex",
+    "RegexSyntaxError",
+    "Repeat",
+    "Star",
+    "parse",
+]

@@ -1,0 +1,402 @@
+"""Regex abstract syntax tree.
+
+The grammar follows Section 2.1 of the paper:
+
+    r ::= eps | sigma | (r | r) | r . r | r* | r{m,n}
+
+extended with the usual sugar ``r?`` (optional) and ``r+`` (one or more),
+and with ``r{m,}`` (unbounded lower-bounded repetition).  ``sigma`` is a
+:class:`~repro.regex.charclass.CharClass`.
+
+Nodes are immutable and hashable; the smart constructors in this module
+(:func:`concat`, :func:`alt`, ...) perform light algebraic normalization
+(flattening, identity/zero elimination) so that rewriting passes can build
+trees without accumulating noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.regex.charclass import CharClass
+
+
+class Regex:
+    """Base class for all regex AST nodes."""
+
+    __slots__ = ()
+
+    # -- structural properties, overridden per node -------------------------
+
+    def nullable(self) -> bool:
+        """True iff the language of this regex contains the empty string."""
+        raise NotImplementedError
+
+    def children(self) -> Sequence["Regex"]:
+        """Direct child nodes, in order."""
+        return ()
+
+    def to_pattern(self) -> str:
+        """Render back to PCRE-subset concrete syntax."""
+        raise NotImplementedError
+
+    def _pattern_atom(self) -> str:
+        """Render with grouping parentheses if needed as a repetition base."""
+        return f"(?:{self.to_pattern()})"
+
+    # -- derived metrics -----------------------------------------------------
+
+    def literal_count(self) -> int:
+        """Number of literal (character-class) leaves, without unfolding.
+
+        This equals the number of Glushkov positions of the regex *as
+        written* — the paper's notion of regex size before unfolding.
+        """
+        return sum(c.literal_count() for c in self.children())
+
+    def unfolded_size(self) -> int:
+        """Number of Glushkov positions after fully unfolding repetitions.
+
+        This is the number of STEs a pure-NFA automata processor needs
+        (Section 2: unfolding ``r{m,n}`` blows the pattern up by Theta(n)).
+        """
+        return sum(c.unfolded_size() for c in self.children())
+
+    def walk(self) -> Iterator["Regex"]:
+        """Pre-order traversal over every node in the tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_pattern()!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Empty(Regex):
+    """The empty language (matches nothing): the zero of alternation."""
+
+    __slots__ = ()
+
+    def nullable(self) -> bool:
+        """True iff the language contains the empty string."""
+        return False
+
+    def to_pattern(self) -> str:
+        """Render back to PCRE-subset concrete syntax."""
+        return "[]"
+
+
+@dataclass(frozen=True, repr=False)
+class Epsilon(Regex):
+    """The empty string: the unit of concatenation."""
+
+    __slots__ = ()
+
+    def nullable(self) -> bool:
+        """True iff the language contains the empty string."""
+        return True
+
+    def to_pattern(self) -> str:
+        """Render back to PCRE-subset concrete syntax."""
+        return "(?:)"
+
+
+@dataclass(frozen=True, repr=False)
+class Lit(Regex):
+    """A single character class predicate ``sigma``."""
+
+    cc: CharClass
+
+    __slots__ = ("cc",)
+
+    def nullable(self) -> bool:
+        """True iff the language contains the empty string."""
+        return False
+
+    def literal_count(self) -> int:
+        """Literal leaves contributed by this node."""
+        return 1
+
+    def unfolded_size(self) -> int:
+        """Positions after fully unfolding repetitions."""
+        return 1
+
+    def to_pattern(self) -> str:
+        """Render back to PCRE-subset concrete syntax."""
+        return self.cc.to_pattern()
+
+    def _pattern_atom(self) -> str:
+        return self.to_pattern()
+
+
+@dataclass(frozen=True, repr=False)
+class Concat(Regex):
+    """Concatenation ``r1 r2 ... rk`` with k >= 2."""
+
+    parts: tuple[Regex, ...]
+
+    __slots__ = ("parts",)
+
+    def nullable(self) -> bool:
+        """True iff the language contains the empty string."""
+        return all(p.nullable() for p in self.parts)
+
+    def children(self) -> Sequence[Regex]:
+        """Direct child nodes, in order."""
+        return self.parts
+
+    def to_pattern(self) -> str:
+        """Render back to PCRE-subset concrete syntax."""
+        rendered = []
+        for p in self.parts:
+            if isinstance(p, Alt):
+                rendered.append(f"(?:{p.to_pattern()})")
+            else:
+                rendered.append(p.to_pattern())
+        return "".join(rendered)
+
+
+@dataclass(frozen=True, repr=False)
+class Alt(Regex):
+    """Alternation ``r1 | r2 | ... | rk`` with k >= 2."""
+
+    parts: tuple[Regex, ...]
+
+    __slots__ = ("parts",)
+
+    def nullable(self) -> bool:
+        """True iff the language contains the empty string."""
+        return any(p.nullable() for p in self.parts)
+
+    def children(self) -> Sequence[Regex]:
+        """Direct child nodes, in order."""
+        return self.parts
+
+    def to_pattern(self) -> str:
+        """Render back to PCRE-subset concrete syntax."""
+        return "|".join(p.to_pattern() for p in self.parts)
+
+
+@dataclass(frozen=True, repr=False)
+class Star(Regex):
+    """Kleene star ``r*``."""
+
+    inner: Regex
+
+    __slots__ = ("inner",)
+
+    def nullable(self) -> bool:
+        """True iff the language contains the empty string."""
+        return True
+
+    def children(self) -> Sequence[Regex]:
+        """Direct child nodes, in order."""
+        return (self.inner,)
+
+    def to_pattern(self) -> str:
+        """Render back to PCRE-subset concrete syntax."""
+        return self.inner._pattern_atom() + "*"
+
+
+@dataclass(frozen=True, repr=False)
+class Plus(Regex):
+    """One-or-more ``r+`` (sugar for ``r r*``)."""
+
+    inner: Regex
+
+    __slots__ = ("inner",)
+
+    def nullable(self) -> bool:
+        """True iff the language contains the empty string."""
+        return self.inner.nullable()
+
+    def children(self) -> Sequence[Regex]:
+        """Direct child nodes, in order."""
+        return (self.inner,)
+
+    def literal_count(self) -> int:
+        """Literal leaves contributed by this node."""
+        return self.inner.literal_count()
+
+    def unfolded_size(self) -> int:
+        """Positions after fully unfolding repetitions."""
+        return self.inner.unfolded_size()
+
+    def to_pattern(self) -> str:
+        """Render back to PCRE-subset concrete syntax."""
+        return self.inner._pattern_atom() + "+"
+
+
+@dataclass(frozen=True, repr=False)
+class Opt(Regex):
+    """Optional ``r?`` (sugar for ``r | eps``)."""
+
+    inner: Regex
+
+    __slots__ = ("inner",)
+
+    def nullable(self) -> bool:
+        """True iff the language contains the empty string."""
+        return True
+
+    def children(self) -> Sequence[Regex]:
+        """Direct child nodes, in order."""
+        return (self.inner,)
+
+    def to_pattern(self) -> str:
+        """Render back to PCRE-subset concrete syntax."""
+        return self.inner._pattern_atom() + "?"
+
+
+@dataclass(frozen=True, repr=False)
+class Repeat(Regex):
+    """Bounded repetition ``r{lo,hi}``; ``hi is None`` means ``r{lo,}``.
+
+    ``r{m}`` is represented as ``Repeat(r, m, m)`` per the paper's
+    convention ``r{m} = r{m,m}``.
+    """
+
+    inner: Regex
+    lo: int
+    hi: Optional[int]
+
+    __slots__ = ("inner", "lo", "hi")
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ValueError(f"negative repetition bound: {self.lo}")
+        if self.hi is not None and self.hi < self.lo:
+            raise ValueError(f"inverted repetition bounds: {{{self.lo},{self.hi}}}")
+
+    def nullable(self) -> bool:
+        """True iff the language contains the empty string."""
+        return self.lo == 0 or self.inner.nullable()
+
+    def children(self) -> Sequence[Regex]:
+        """Direct child nodes, in order."""
+        return (self.inner,)
+
+    def literal_count(self) -> int:
+        """Literal leaves contributed by this node."""
+        return self.inner.literal_count()
+
+    def unfolded_size(self) -> int:
+        # r{m,n} unfolds to r^m (r?)^(n-m); r{m,} unfolds to r^m r*.
+        """Positions after fully unfolding repetitions."""
+        copies = self.lo if self.hi is None else self.hi
+        return self.inner.unfolded_size() * max(copies, 1)
+
+    def to_pattern(self) -> str:
+        """Render back to PCRE-subset concrete syntax."""
+        atom = self.inner._pattern_atom()
+        if self.hi is None:
+            return f"{atom}{{{self.lo},}}"
+        if self.hi == self.lo:
+            return f"{atom}{{{self.lo}}}"
+        return f"{atom}{{{self.lo},{self.hi}}}"
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors: flatten and apply identity/zero laws so rewrite passes
+# produce canonical-ish trees.
+# ---------------------------------------------------------------------------
+
+EPSILON = Epsilon()
+EMPTY = Empty()
+
+
+def lit(cc: CharClass) -> Regex:
+    """A literal; the empty class is the empty language."""
+    if cc.is_empty():
+        return EMPTY
+    return Lit(cc)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenation with flattening, eps-elimination, and zero-absorption."""
+    flat: list[Regex] = []
+    for p in parts:
+        if isinstance(p, Empty):
+            return EMPTY
+        if isinstance(p, Epsilon):
+            continue
+        if isinstance(p, Concat):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def alt(*parts: Regex) -> Regex:
+    """Alternation with flattening, deduplication, and empty-elimination."""
+    flat: list[Regex] = []
+    seen: set[Regex] = set()
+    for p in parts:
+        if isinstance(p, Empty):
+            continue
+        sub = p.parts if isinstance(p, Alt) else (p,)
+        for s in sub:
+            if s not in seen:
+                seen.add(s)
+                flat.append(s)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Alt(tuple(flat))
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene star with idempotence laws (eps* = eps, []* = eps, r** = r*)."""
+    if isinstance(inner, (Epsilon, Empty)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    if isinstance(inner, (Plus, Opt)):
+        return star(inner.inner)
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Regex:
+    """One-or-more with absorption laws."""
+    if isinstance(inner, Empty):
+        return EMPTY
+    if isinstance(inner, Epsilon):
+        return EPSILON
+    if isinstance(inner, (Star, Plus)):
+        return inner
+    return Plus(inner)
+
+
+def opt(inner: Regex) -> Regex:
+    """Optional with nullability absorption."""
+    if isinstance(inner, Empty):
+        return EPSILON
+    if inner.nullable():
+        return inner
+    return Opt(inner)
+
+
+def repeat(inner: Regex, lo: int, hi: Optional[int]) -> Regex:
+    """Bounded repetition with degenerate-case elimination."""
+    if isinstance(inner, Empty):
+        return EMPTY if lo > 0 else EPSILON
+    if isinstance(inner, Epsilon):
+        return EPSILON
+    if hi == 0:
+        return EPSILON
+    if lo == 0 and hi is None:
+        return star(inner)
+    if lo == 1 and hi is None:
+        return plus(inner)
+    if (lo, hi) == (1, 1):
+        return inner
+    if (lo, hi) == (0, 1):
+        return opt(inner)
+    return Repeat(inner, lo, hi)

@@ -1,0 +1,281 @@
+"""Character classes: predicates over the 8-bit byte alphabet.
+
+A character class is the ``sigma`` of the paper's regex grammar
+``r ::= eps | sigma | (r|r) | r.r | r* | r{m,n}`` — a subset of the
+256-symbol byte alphabet.  Automata processors store character classes in
+CAM columns, so the class abstraction is the shared currency between the
+regex frontend, the automata models, and the hardware encoding layer.
+
+The representation is a single Python integer used as a 256-bit bitmask:
+bit ``b`` is set iff byte value ``b`` is in the class.  Integers make the
+Boolean algebra (union/intersection/negation) and the per-input-symbol
+membership test O(1) and keep the class hashable and immutable.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Iterator
+
+ALPHABET_SIZE = 256
+_FULL_MASK = (1 << ALPHABET_SIZE) - 1
+
+# Characters that must be escaped when printing a class member inside [...].
+_CLASS_ESCAPES = {ord("\\"), ord("]"), ord("^"), ord("-")}
+# Characters that must be escaped when printing a single-symbol class bare.
+_BARE_ESCAPES = set(b"\\.^$*+?()[]{}|")
+
+
+class CharClass:
+    """An immutable predicate over the byte alphabet ``{0, ..., 255}``.
+
+    Instances support the Boolean set algebra (``|``, ``&``, ``~``, ``-``),
+    containment tests for byte values, and iteration over members.  All
+    constructors normalize to the canonical 256-bit mask, so equality and
+    hashing are structural.
+    """
+
+    __slots__ = ("_mask",)
+
+    def __init__(self, mask: int = 0):
+        if not 0 <= mask <= _FULL_MASK:
+            raise ValueError(f"character class mask out of range: {mask:#x}")
+        self._mask = mask
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "CharClass":
+        """The class matching no symbol."""
+        return _EMPTY
+
+    @classmethod
+    def any(cls) -> "CharClass":
+        """The class matching every byte, i.e. the predicate Sigma (PCRE ``.``
+        without the newline exclusion; automata processors treat ``.`` as
+        all-input)."""
+        return _ANY
+
+    @classmethod
+    def of(cls, *symbols: int | str | bytes) -> "CharClass":
+        """Build a class from individual symbols.
+
+        Symbols may be byte values, one-character strings, or single bytes.
+        """
+        mask = 0
+        for sym in symbols:
+            mask |= 1 << _to_byte(sym)
+        return cls(mask)
+
+    @classmethod
+    def range(cls, lo: int | str, hi: int | str) -> "CharClass":
+        """Build a contiguous range ``[lo-hi]``, both ends inclusive."""
+        lo_b, hi_b = _to_byte(lo), _to_byte(hi)
+        if lo_b > hi_b:
+            raise ValueError(f"invalid range: {lo_b}-{hi_b}")
+        width = hi_b - lo_b + 1
+        return cls(((1 << width) - 1) << lo_b)
+
+    @classmethod
+    def from_iterable(cls, symbols: Iterable[int | str | bytes]) -> "CharClass":
+        """Build a class from an iterable of symbols."""
+        return cls.of(*symbols)
+
+    @classmethod
+    def union_all(cls, classes: Iterable["CharClass"]) -> "CharClass":
+        """Union of an iterable of classes (empty iterable yields empty)."""
+        return reduce(lambda a, b: a | b, classes, _EMPTY)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def mask(self) -> int:
+        """The canonical 256-bit membership mask."""
+        return self._mask
+
+    def matches(self, symbol: int | str | bytes) -> bool:
+        """True iff ``symbol`` is a member of this class."""
+        return bool(self._mask >> _to_byte(symbol) & 1)
+
+    def is_empty(self) -> bool:
+        """True iff nothing is placed yet."""
+        return self._mask == 0
+
+    def is_any(self) -> bool:
+        """True iff the class matches every byte."""
+        return self._mask == _FULL_MASK
+
+    def is_singleton(self) -> bool:
+        """True iff the class contains exactly one symbol."""
+        m = self._mask
+        return m != 0 and m & (m - 1) == 0
+
+    def __len__(self) -> int:
+        return self._mask.bit_count()
+
+    def __contains__(self, symbol: object) -> bool:
+        if isinstance(symbol, (int, str, bytes)):
+            return self.matches(symbol)
+        return False
+
+    def __iter__(self) -> Iterator[int]:
+        mask = self._mask
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    def symbols(self) -> list[int]:
+        """All member byte values, ascending."""
+        return list(self)
+
+    def sample(self) -> int:
+        """An arbitrary member (the smallest); raises on the empty class."""
+        if not self._mask:
+            raise ValueError("empty character class has no sample symbol")
+        return (self._mask & -self._mask).bit_length() - 1
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """The class as maximal inclusive ``(lo, hi)`` runs, ascending."""
+        runs: list[tuple[int, int]] = []
+        start = None
+        for b in range(ALPHABET_SIZE):
+            member = bool(self._mask >> b & 1)
+            if member and start is None:
+                start = b
+            elif not member and start is not None:
+                runs.append((start, b - 1))
+                start = None
+        if start is not None:
+            runs.append((start, ALPHABET_SIZE - 1))
+        return runs
+
+    # -- algebra -----------------------------------------------------------
+
+    def __or__(self, other: "CharClass") -> "CharClass":
+        return CharClass(self._mask | other._mask)
+
+    def __and__(self, other: "CharClass") -> "CharClass":
+        return CharClass(self._mask & other._mask)
+
+    def __sub__(self, other: "CharClass") -> "CharClass":
+        return CharClass(self._mask & ~other._mask & _FULL_MASK)
+
+    def __xor__(self, other: "CharClass") -> "CharClass":
+        return CharClass(self._mask ^ other._mask)
+
+    def __invert__(self) -> "CharClass":
+        return CharClass(~self._mask & _FULL_MASK)
+
+    def overlaps(self, other: "CharClass") -> bool:
+        """True iff the classes share a member."""
+        return bool(self._mask & other._mask)
+
+    def issubset(self, other: "CharClass") -> bool:
+        """True iff every member is also in ``other``."""
+        return self._mask & ~other._mask == 0
+
+    # -- dunder plumbing ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CharClass) and self._mask == other._mask
+
+    def __hash__(self) -> int:
+        return hash(("CharClass", self._mask))
+
+    def __bool__(self) -> bool:
+        return self._mask != 0
+
+    def __repr__(self) -> str:
+        return f"CharClass({self.to_pattern()!r})"
+
+    # -- pretty printing -----------------------------------------------------
+
+    def to_pattern(self) -> str:
+        """Render as a PCRE-style pattern fragment.
+
+        Singletons render bare (escaped if a metacharacter); everything else
+        renders as a bracket expression, negated if that is shorter.
+        """
+        if self.is_any():
+            return "."
+        if self.is_empty():
+            return "[]"  # not valid PCRE, but unambiguous for diagnostics
+        if self.is_singleton():
+            return _render_bare(self.sample())
+        if len(self) > ALPHABET_SIZE // 2:
+            inner = "".join(_render_run(lo, hi) for lo, hi in (~self).ranges())
+            return f"[^{inner}]"
+        inner = "".join(_render_run(lo, hi) for lo, hi in self.ranges())
+        return f"[{inner}]"
+
+
+def _to_byte(symbol: int | str | bytes) -> int:
+    """Normalize a symbol (int, 1-char str, or 1-byte bytes) to a byte value."""
+    if isinstance(symbol, int):
+        value = symbol
+    elif isinstance(symbol, str):
+        if len(symbol) != 1:
+            raise ValueError(f"expected a single character, got {symbol!r}")
+        value = ord(symbol)
+    elif isinstance(symbol, bytes):
+        if len(symbol) != 1:
+            raise ValueError(f"expected a single byte, got {symbol!r}")
+        value = symbol[0]
+    else:
+        raise TypeError(f"unsupported symbol type: {type(symbol).__name__}")
+    if not 0 <= value < ALPHABET_SIZE:
+        raise ValueError(f"symbol out of byte range: {value}")
+    return value
+
+
+def _render_member(b: int) -> str:
+    """Render a byte value for display inside a bracket expression."""
+    if b in _CLASS_ESCAPES:
+        return "\\" + chr(b)
+    if 0x20 <= b < 0x7F:
+        return chr(b)
+    return f"\\x{b:02x}"
+
+
+def _render_bare(b: int) -> str:
+    """Render a byte value for display outside a bracket expression."""
+    if b in _BARE_ESCAPES:
+        return "\\" + chr(b)
+    if 0x20 <= b < 0x7F:
+        return chr(b)
+    return f"\\x{b:02x}"
+
+
+def _render_run(lo: int, hi: int) -> str:
+    if lo == hi:
+        return _render_member(lo)
+    if hi == lo + 1:
+        return _render_member(lo) + _render_member(hi)
+    return f"{_render_member(lo)}-{_render_member(hi)}"
+
+
+def case_folded(cc: CharClass) -> CharClass:
+    """The class closed under ASCII case swapping (``(?i)`` semantics)."""
+    mask = cc.mask
+    extra = 0
+    for b in cc:
+        if 0x41 <= b <= 0x5A:  # A-Z
+            extra |= 1 << (b + 0x20)
+        elif 0x61 <= b <= 0x7A:  # a-z
+            extra |= 1 << (b - 0x20)
+    return CharClass(mask | extra)
+
+
+_EMPTY = CharClass(0)
+_ANY = CharClass(_FULL_MASK)
+
+# Named classes used by the parser for PCRE escapes.
+DIGITS = CharClass.range("0", "9")
+WORD = (
+    CharClass.range("a", "z")
+    | CharClass.range("A", "Z")
+    | DIGITS
+    | CharClass.of("_")
+)
+SPACE = CharClass.of(" ", "\t", "\n", "\r", "\x0b", "\x0c")

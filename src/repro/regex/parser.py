@@ -1,0 +1,380 @@
+"""PCRE-subset regex parser.
+
+Supported syntax (the subset exercised by the paper's seven rule sets):
+
+* literals and escaped metacharacters (``\\.``, ``\\*``, ...)
+* character escapes ``\\n \\r \\t \\f \\v \\0 \\xHH``
+* class escapes ``\\d \\D \\w \\W \\s \\S``
+* the any-symbol predicate ``.`` (all-input, as in automata processors)
+* bracket expressions ``[...]`` and ``[^...]`` with ranges and escapes
+* grouping ``(...)`` and non-capturing ``(?:...)`` (treated identically:
+  the hardware has no capture semantics)
+* alternation ``|``
+* quantifiers ``*``, ``+``, ``?``, ``{m}``, ``{m,}``, ``{m,n}``; lazy and
+  possessive modifiers (``*?``, ``++`` ...) are accepted and ignored since
+  match *reporting* semantics do not depend on greediness
+* optional anchors ``^`` / ``$`` at the outermost ends via
+  :func:`parse_anchored`
+
+Anything else (backreferences, lookaround, inline flags) raises
+:class:`RegexSyntaxError` — the paper's compiler likewise restricts itself
+to the classical regular fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.regex import ast
+from repro.regex.ast import Regex
+from repro.regex.charclass import DIGITS, SPACE, WORD, CharClass
+
+_METACHARS = set(".^$*+?()[]{}|\\")
+
+_CHAR_ESCAPES = {
+    "n": ord("\n"),
+    "r": ord("\r"),
+    "t": ord("\t"),
+    "f": ord("\f"),
+    "v": ord("\v"),
+    "a": 0x07,
+    "e": 0x1B,
+    "0": 0x00,
+}
+
+_CLASS_ESCAPES = {
+    "d": DIGITS,
+    "D": ~DIGITS,
+    "w": WORD,
+    "W": ~WORD,
+    "s": SPACE,
+    "S": ~SPACE,
+}
+
+# Repetition bounds above this are rejected as pathological rather than
+# silently accepted; the paper's largest observed bound class is ~1024
+# (Example 4.3) and the hardware caps a single BV at 4064 bits.
+MAX_REPEAT_BOUND = 1 << 16
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when a pattern is outside the supported PCRE subset."""
+
+    def __init__(self, message: str, pattern: str, pos: int):
+        super().__init__(f"{message} at position {pos} in {pattern!r}")
+        self.pattern = pattern
+        self.pos = pos
+
+
+@dataclass(frozen=True)
+class AnchoredPattern:
+    """A parsed pattern plus its outermost anchoring flags."""
+
+    regex: Regex
+    anchored_start: bool = False
+    anchored_end: bool = False
+    case_insensitive: bool = False
+
+
+def parse(pattern: str) -> Regex:
+    """Parse ``pattern`` into a :class:`~repro.regex.ast.Regex`.
+
+    Anchors are rejected; use :func:`parse_anchored` to accept them.
+    """
+    parsed = parse_anchored(pattern)
+    if parsed.anchored_start or parsed.anchored_end:
+        raise RegexSyntaxError(
+            "anchors are not supported here (use parse_anchored)", pattern, 0
+        )
+    return parsed.regex
+
+
+def parse_anchored(pattern: str) -> AnchoredPattern:
+    """Parse ``pattern``, allowing ``^`` / ``$`` at the outermost ends and
+    a leading ``(?i)`` flag (PCRE's case-insensitive option, the parser's
+    rendering of Snort-style ``nocase``)."""
+    body = pattern
+    case_insensitive = body.startswith("(?i)")
+    if case_insensitive:
+        body = body[len("(?i)") :]
+    anchored_start = body.startswith("^")
+    anchored_end = body.endswith("$") and not body.endswith("\\$")
+    if anchored_start:
+        body = body[1:]
+    if anchored_end:
+        body = body[:-1]
+    regex = _Parser(body, full_pattern=pattern).parse()
+    if case_insensitive:
+        regex = _fold_case(regex)
+    return AnchoredPattern(
+        regex, anchored_start, anchored_end, case_insensitive
+    )
+
+
+def _fold_case(regex: Regex) -> Regex:
+    """Close every literal class under ASCII case swapping."""
+    from repro.regex import ast as _ast
+    from repro.regex.ast import (
+        Alt,
+        Concat,
+        Lit,
+        Opt,
+        Plus,
+        Repeat,
+        Star,
+    )
+    from repro.regex.charclass import case_folded
+
+    if isinstance(regex, Lit):
+        return _ast.lit(case_folded(regex.cc))
+    if isinstance(regex, Concat):
+        return _ast.concat(*(_fold_case(p) for p in regex.parts))
+    if isinstance(regex, Alt):
+        return _ast.alt(*(_fold_case(p) for p in regex.parts))
+    if isinstance(regex, Star):
+        return _ast.star(_fold_case(regex.inner))
+    if isinstance(regex, Plus):
+        return _ast.plus(_fold_case(regex.inner))
+    if isinstance(regex, Opt):
+        return _ast.opt(_fold_case(regex.inner))
+    if isinstance(regex, Repeat):
+        return _ast.repeat(_fold_case(regex.inner), regex.lo, regex.hi)
+    return regex  # Epsilon / Empty
+
+
+class _Parser:
+    """Recursive-descent parser over a pattern string."""
+
+    def __init__(self, text: str, full_pattern: str | None = None):
+        self._text = text
+        self._pos = 0
+        self._pattern = full_pattern if full_pattern is not None else text
+
+    # -- driver --------------------------------------------------------------
+
+    def parse(self) -> Regex:
+        """Parse the whole text into a Regex."""
+        regex = self._alternation()
+        if self._pos != len(self._text):
+            self._fail(f"unexpected {self._peek()!r}")
+        return regex
+
+    # -- grammar productions ---------------------------------------------
+
+    def _alternation(self) -> Regex:
+        branches = [self._concatenation()]
+        while self._accept("|"):
+            branches.append(self._concatenation())
+        return ast.alt(*branches) if len(branches) > 1 else branches[0]
+
+    def _concatenation(self) -> Regex:
+        parts: list[Regex] = []
+        while self._pos < len(self._text) and self._peek() not in "|)":
+            parts.append(self._repetition())
+        return ast.concat(*parts) if parts else ast.EPSILON
+
+    def _repetition(self) -> Regex:
+        atom = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self._pos += 1
+                atom = ast.star(atom)
+            elif ch == "+":
+                self._pos += 1
+                atom = ast.plus(atom)
+            elif ch == "?":
+                self._pos += 1
+                atom = ast.opt(atom)
+            elif ch == "{" and self._looks_like_bound():
+                lo, hi = self._bounds()
+                atom = ast.repeat(atom, lo, hi)
+            else:
+                return atom
+            self._skip_quantifier_modifier()
+
+    def _atom(self) -> Regex:
+        ch = self._peek()
+        if ch == "":
+            self._fail("unexpected end of pattern")
+        if ch == "(":
+            return self._group()
+        if ch == "[":
+            return ast.lit(self._bracket_class())
+        if ch == ".":
+            self._pos += 1
+            return ast.lit(CharClass.any())
+        if ch == "\\":
+            return ast.lit(self._escape())
+        if ch in "*+?":
+            self._fail(f"quantifier {ch!r} with nothing to repeat")
+        if ch in "^$":
+            self._fail(f"inner anchor {ch!r} is not supported")
+        if ch == "{" and self._looks_like_bound():
+            self._fail("repetition bound with nothing to repeat")
+        self._pos += 1
+        return ast.lit(CharClass.of(ch))
+
+    def _group(self) -> Regex:
+        start = self._pos
+        self._expect("(")
+        if self._accept("?"):
+            if not self._accept(":"):
+                self._fail("only non-capturing (?:...) groups are supported", start)
+        inner = self._alternation()
+        if not self._accept(")"):
+            self._fail("unbalanced parenthesis", start)
+        return inner
+
+    # -- quantifier helpers ----------------------------------------------
+
+    def _looks_like_bound(self) -> bool:
+        """True iff the text at the cursor is a ``{m[,[n]]}`` bound.
+
+        A lone ``{`` that is not a bound is treated as a literal, matching
+        PCRE behaviour for e.g. ``a{x}``.
+        """
+        text, i = self._text, self._pos
+        if i >= len(text) or text[i] != "{":
+            return False
+        j = i + 1
+        while j < len(text) and text[j].isdigit():
+            j += 1
+        if j == i + 1:
+            return False
+        if j < len(text) and text[j] == ",":
+            j += 1
+            while j < len(text) and text[j].isdigit():
+                j += 1
+        return j < len(text) and text[j] == "}"
+
+    def _bounds(self) -> tuple[int, int | None]:
+        start = self._pos
+        self._expect("{")
+        lo = self._integer()
+        hi: int | None = lo
+        if self._accept(","):
+            hi = self._integer() if self._peek().isdigit() else None
+        if not self._accept("}"):
+            self._fail("malformed repetition bound", start)
+        if hi is not None and hi < lo:
+            self._fail(f"inverted repetition bound {{{lo},{hi}}}", start)
+        if lo > MAX_REPEAT_BOUND or (hi or 0) > MAX_REPEAT_BOUND:
+            self._fail(f"repetition bound exceeds {MAX_REPEAT_BOUND}", start)
+        return lo, hi
+
+    def _skip_quantifier_modifier(self) -> None:
+        """Consume a lazy/possessive modifier; greediness is irrelevant to
+        the all-match-positions semantics used by automata processors."""
+        ch = self._peek()
+        if ch != "" and ch in "?+":
+            self._pos += 1
+
+    def _integer(self) -> int:
+        start = self._pos
+        while self._peek().isdigit():
+            self._pos += 1
+        if self._pos == start:
+            self._fail("expected an integer")
+        return int(self._text[start : self._pos])
+
+    # -- classes and escapes -----------------------------------------------
+
+    def _bracket_class(self) -> CharClass:
+        start = self._pos
+        self._expect("[")
+        negated = self._accept("^")
+        result = CharClass.empty()
+        first = True
+        while True:
+            ch = self._peek()
+            if ch == "":
+                self._fail("unterminated character class", start)
+            if ch == "]" and not first:
+                self._pos += 1
+                break
+            first = False
+            item = self._class_item()
+            if (
+                isinstance(item, int)
+                and self._peek() == "-"
+                and self._peek(1) not in ("]", "")
+            ):
+                self._pos += 1  # consume '-'
+                hi = self._class_item()
+                if not isinstance(hi, int):
+                    self._fail("character class range with a class escape endpoint")
+                if hi < item:
+                    self._fail(f"inverted class range {chr(item)}-{chr(hi)}")
+                result |= CharClass.range(item, hi)
+            elif isinstance(item, int):
+                result |= CharClass.of(item)
+            else:
+                result |= item
+        return ~result if negated else result
+
+    def _class_item(self) -> int | CharClass:
+        """One item inside ``[...]``: a byte value or a class escape."""
+        ch = self._peek()
+        if ch == "\\":
+            self._pos += 1
+            esc = self._peek()
+            if esc == "":
+                self._fail("dangling backslash in character class")
+            if esc in _CLASS_ESCAPES:
+                self._pos += 1
+                return _CLASS_ESCAPES[esc]
+            return self._single_char_escape()
+        self._pos += 1
+        return ord(ch)
+
+    def _escape(self) -> CharClass:
+        self._expect("\\")
+        esc = self._peek()
+        if esc == "":
+            self._fail("dangling backslash")
+        if esc in _CLASS_ESCAPES:
+            self._pos += 1
+            return _CLASS_ESCAPES[esc]
+        return CharClass.of(self._single_char_escape())
+
+    def _single_char_escape(self) -> int:
+        """An escape denoting a single byte; the cursor sits on the escape
+        character (after the backslash)."""
+        esc = self._peek()
+        self._pos += 1
+        if esc == "x":
+            hex_digits = self._text[self._pos : self._pos + 2]
+            if len(hex_digits) != 2 or not all(
+                c in "0123456789abcdefABCDEF" for c in hex_digits
+            ):
+                self._fail("malformed \\xHH escape")
+            self._pos += 2
+            return int(hex_digits, 16)
+        if esc in _CHAR_ESCAPES:
+            return _CHAR_ESCAPES[esc]
+        if esc in _METACHARS or not esc.isalnum():
+            return ord(esc)
+        self._fail(f"unsupported escape \\{esc}")
+        raise AssertionError("unreachable")
+
+    # -- low-level cursor ------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        i = self._pos + ahead
+        return self._text[i] if i < len(self._text) else ""
+
+    def _accept(self, ch: str) -> bool:
+        if self._peek() == ch:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect(self, ch: str) -> None:
+        if not self._accept(ch):
+            self._fail(f"expected {ch!r}")
+
+    def _fail(self, message: str, pos: int | None = None) -> None:
+        raise RegexSyntaxError(
+            message, self._pattern, self._pos if pos is None else pos
+        )

@@ -1,0 +1,392 @@
+"""Regex rewriting passes (Section 4 of the paper).
+
+Three rewriting families feed the three RAP modes:
+
+* **Unfolding rewriting** (Example 4.1): bounded repetitions whose upper
+  bound is at or below the *unfolding threshold* are expanded into
+  concatenations (``e{1,3}`` -> ``ee?e?``); unbounded repetitions
+  ``r{m,}`` are always expanded into ``r^m r*`` since no finite bit vector
+  can track them.
+* **Bounded-repetition rewriting** (Example 4.2): surviving repetitions are
+  normalized to the two shapes the hardware reads support — ``r{m}``
+  (read ``r(m)``) and ``r{0,k}`` (read ``rAll``) — via
+  ``r{m,n} -> r{m} r{0,n-m}``, with optional word-alignment of exact
+  bounds to the BV depth (``d{34} -> d{32}dd`` at depth 16).
+* **Linearization** (Example 4.4): distribution of union over
+  concatenation to turn a regex into a union of fixed-length
+  character-class sequences executable in LNFA mode
+  (``a(b{1,2}|c)e`` -> ``abe | abbe | ace``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.regex import ast
+from repro.regex.ast import (
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    Lit,
+    Opt,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+)
+from repro.regex.charclass import CharClass
+
+
+class RewriteError(ValueError):
+    """Raised when a rewrite cannot be applied within its resource budget."""
+
+
+# ---------------------------------------------------------------------------
+# Unfolding rewriting
+# ---------------------------------------------------------------------------
+
+
+def unfold(regex: Regex, threshold: int, *, max_size: int = 1 << 20) -> Regex:
+    """Apply the unfolding rewriting with the given threshold.
+
+    Bounded repetitions with a finite upper bound ``<= threshold`` are
+    unfolded; ``r{m,}`` is always rewritten to ``r^m r*``.  Repetitions kept
+    folded still have their bodies rewritten recursively, so after this pass
+    no small or unbounded repetition remains anywhere in the tree.
+
+    ``max_size`` bounds the unfolded literal count to catch pathological
+    expansions early (mirrors the hardware's 64528-STE NBVA-mode cap).
+    """
+    result = _unfold(regex, threshold)
+    if result.literal_count() > max_size:
+        raise RewriteError(
+            f"unfolding produced {result.literal_count()} positions "
+            f"(limit {max_size})"
+        )
+    return result
+
+
+def unfold_all(regex: Regex, *, max_size: int = 1 << 20) -> Regex:
+    """Fully unfold every bounded repetition (NFA-mode compilation)."""
+    return unfold(regex, threshold=_UNBOUNDED, max_size=max_size)
+
+
+_UNBOUNDED = 1 << 62
+
+
+def _unfold(regex: Regex, threshold: int) -> Regex:
+    if isinstance(regex, (Empty, Epsilon, Lit)):
+        return regex
+    if isinstance(regex, Concat):
+        return ast.concat(*(_unfold(p, threshold) for p in regex.parts))
+    if isinstance(regex, Alt):
+        return ast.alt(*(_unfold(p, threshold) for p in regex.parts))
+    if isinstance(regex, Star):
+        return ast.star(_unfold(regex.inner, threshold))
+    if isinstance(regex, Plus):
+        return ast.plus(_unfold(regex.inner, threshold))
+    if isinstance(regex, Opt):
+        return ast.opt(_unfold(regex.inner, threshold))
+    if isinstance(regex, Repeat):
+        inner = _unfold(regex.inner, threshold)
+        if regex.hi is None:
+            # r{m,} -> r^m r*   (Example 4.1: f{2,} -> fff*)
+            return ast.concat(*([inner] * regex.lo), ast.star(inner))
+        if regex.hi <= threshold:
+            return unfold_repeat(inner, regex.lo, regex.hi)
+        return ast.repeat(inner, regex.lo, regex.hi)
+    raise TypeError(f"unknown regex node: {type(regex).__name__}")
+
+
+def unfold_repeat(inner: Regex, lo: int, hi: int) -> Regex:
+    """Expand ``inner{lo,hi}`` into ``inner^lo (inner (inner ...)?)?``.
+
+    The optional tail is *nested* rather than flat: ``a{1,3}`` becomes
+    ``a(?:a(?:a)?)?`` instead of ``aa?a?``.  Both denote the same
+    language, but the flat form's Glushkov automaton has a follow edge
+    between every pair of optional positions (Theta(k^2) edges — every
+    optional can be skipped independently), while the nested form keeps
+    the linear chain structure automata processors map efficiently.
+
+    For very wide optional ranges the nesting depth itself becomes a
+    hazard (every later tree traversal recurses through it), so beyond
+    ``_NEST_LIMIT`` the flat form is emitted instead; the NFA compiler
+    never sees those trees (it expands repetitions structurally inside
+    the Glushkov construction).
+    """
+    if hi - lo > _NEST_LIMIT:
+        optional = [ast.opt(inner)] * (hi - lo)
+        return ast.concat(*([inner] * lo), *optional)
+    tail: Regex = ast.EPSILON
+    for _ in range(hi - lo):
+        tail = ast.opt(ast.concat(inner, tail))
+    return ast.concat(*([inner] * lo), tail)
+
+
+_NEST_LIMIT = 200
+
+
+# ---------------------------------------------------------------------------
+# Counting-compatibility rewriting
+# ---------------------------------------------------------------------------
+
+
+def make_countable(regex: Regex) -> Regex:
+    """Unfold every surviving repetition that cannot use a bit vector.
+
+    After the unfolding pass, a repetition may still be non-countable for
+    two reasons:
+
+    * a **nullable body** (the counter could stall — not expressible with
+      the single shift action): the repetition itself is unfolded;
+    * a **nested surviving repetition** (the hardware has no nested counter
+      groups): the repetition with the larger upper bound is kept counted
+      (it compresses more) and the other is unfolded.
+
+    The result is a tree in which every remaining :class:`Repeat` is
+    counting-compatible, ready for the BV-shape rewriting.
+    """
+    return _make_countable(regex)
+
+
+def _make_countable(regex: Regex) -> Regex:
+    if isinstance(regex, (Empty, Epsilon, Lit)):
+        return regex
+    if isinstance(regex, Concat):
+        return ast.concat(*(_make_countable(p) for p in regex.parts))
+    if isinstance(regex, Alt):
+        return ast.alt(*(_make_countable(p) for p in regex.parts))
+    if isinstance(regex, Star):
+        return ast.star(_make_countable(regex.inner))
+    if isinstance(regex, Plus):
+        return ast.plus(_make_countable(regex.inner))
+    if isinstance(regex, Opt):
+        return ast.opt(_make_countable(regex.inner))
+    if isinstance(regex, Repeat):
+        assert regex.hi is not None, "run the unfolding pass first"
+        inner = _make_countable(regex.inner)
+        nested = [n for n in inner.walk() if isinstance(n, Repeat)]
+        if nested and regex.hi >= max(n.hi or 0 for n in nested):
+            inner = unfold_all(inner)  # keep the outer (bigger) counter
+        node = ast.repeat(inner, regex.lo, regex.hi)
+        if not isinstance(node, Repeat):
+            return node  # degenerated to something simpler
+        if node.inner.nullable() or any(
+            isinstance(n, Repeat) for n in node.inner.walk()
+        ):
+            return _make_countable(unfold_repeat(node.inner, node.lo, node.hi))
+        return node
+    raise TypeError(f"unknown regex node: {type(regex).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Bounded-repetition rewriting for BV actions
+# ---------------------------------------------------------------------------
+
+
+def rewrite_bounds_for_bv(
+    regex: Regex, *, depth: int, word_align_exact: bool = True
+) -> Regex:
+    """Normalize surviving repetitions to hardware-readable shapes.
+
+    After this pass every :class:`Repeat` node in the tree is either
+    ``r{m,m}`` (simulated with the ``r(m)`` read) or ``r{0,k}`` (simulated
+    with ``rAll``):
+
+    * ``r{m,n}`` with ``0 < m < n`` becomes ``r{m} r{0,n-m}``.
+    * With ``word_align_exact``, an exact bound that does not fill its last
+      BV word is split so the counted part is a multiple of ``depth``
+      (``d{34}`` at depth 16 -> ``d{32} d d``); the remainder is unfolded.
+
+    The unfolding pass must run first: unbounded repetitions are rejected.
+    """
+    if depth < 1:
+        raise ValueError(f"BV depth must be positive, got {depth}")
+    return _rewrite_bounds(regex, depth, word_align_exact)
+
+
+def _rewrite_bounds(regex: Regex, depth: int, word_align: bool) -> Regex:
+    if isinstance(regex, (Empty, Epsilon, Lit)):
+        return regex
+    if isinstance(regex, Concat):
+        return ast.concat(*(_rewrite_bounds(p, depth, word_align) for p in regex.parts))
+    if isinstance(regex, Alt):
+        return ast.alt(*(_rewrite_bounds(p, depth, word_align) for p in regex.parts))
+    if isinstance(regex, Star):
+        return ast.star(_rewrite_bounds(regex.inner, depth, word_align))
+    if isinstance(regex, Plus):
+        return ast.plus(_rewrite_bounds(regex.inner, depth, word_align))
+    if isinstance(regex, Opt):
+        return ast.opt(_rewrite_bounds(regex.inner, depth, word_align))
+    if isinstance(regex, Repeat):
+        if regex.hi is None:
+            raise RewriteError(
+                "unbounded repetition reached BV rewriting; run unfolding first"
+            )
+        inner = _rewrite_bounds(regex.inner, depth, word_align)
+        return _rewrite_one_bound(inner, regex.lo, regex.hi, depth, word_align)
+    raise TypeError(f"unknown regex node: {type(regex).__name__}")
+
+
+def _rewrite_one_bound(
+    inner: Regex, lo: int, hi: int, depth: int, word_align: bool
+) -> Regex:
+    if lo == 0:
+        return ast.repeat(inner, 0, hi)  # already an rAll shape
+    if lo == hi:
+        return _word_aligned_exact(inner, lo, depth) if word_align else ast.repeat(
+            inner, lo, lo
+        )
+    # r{m,n} -> r{m} r{0,n-m}   (Example 4.2: b{10,48} -> b{10} b{0,38})
+    exact = (
+        _word_aligned_exact(inner, lo, depth)
+        if word_align
+        else ast.repeat(inner, lo, lo)
+    )
+    return ast.concat(exact, ast.repeat(inner, 0, hi - lo))
+
+
+def _word_aligned_exact(inner: Regex, m: int, depth: int) -> Regex:
+    """Align an exact bound to full BV words (Example 4.2: d{34} -> d{32}dd)."""
+    remainder = m % depth
+    if remainder == 0 or m < depth:
+        return ast.repeat(inner, m, m)
+    aligned = m - remainder
+    return ast.concat(ast.repeat(inner, aligned, aligned), *([inner] * remainder))
+
+
+# ---------------------------------------------------------------------------
+# Linearization for LNFA mode
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Linearization:
+    """Result of a successful linearization.
+
+    ``sequences`` is the union of fixed-length character-class sequences
+    equivalent to the original regex; each sequence becomes one hardware
+    LNFA.  ``total_states`` is the Shift-And state count (sum of lengths).
+    """
+
+    sequences: tuple[tuple[CharClass, ...], ...]
+    total_states: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "total_states", sum(len(s) for s in self.sequences)
+        )
+
+
+def linearize(
+    regex: Regex,
+    *,
+    max_states: int,
+    max_sequences: int = 4096,
+) -> Optional[Linearization]:
+    """Rewrite ``regex`` into a union of character-class sequences.
+
+    Returns ``None`` when the regex cannot be expressed that way (it
+    contains an unbounded repetition) or when the expansion would exceed
+    ``max_states`` total Shift-And states — the caller passes ``2x`` the
+    original state count per the Fig. 9 decision rule.
+
+    Empty sequences (the regex matching the empty string) are rejected:
+    the hardware LNFA has a single non-trivial final state.
+    """
+    budget = _LinearBudget(max_states=max_states, max_sequences=max_sequences)
+    try:
+        seqs = _linearize(regex, budget)
+    except _BudgetExceeded:
+        return None
+    if seqs is None:
+        return None
+    unique = _dedupe(seqs)
+    if any(len(s) == 0 for s in unique):
+        return None
+    return Linearization(sequences=tuple(unique), total_states=0)
+
+
+class _BudgetExceeded(Exception):
+    pass
+
+
+@dataclass
+class _LinearBudget:
+    max_states: int
+    max_sequences: int
+
+    def charge(self, seqs: list[tuple[CharClass, ...]]) -> list[tuple[CharClass, ...]]:
+        """Enforce the budget on a candidate sequence set."""
+        if len(seqs) > self.max_sequences:
+            raise _BudgetExceeded
+        if sum(len(s) for s in seqs) > self.max_states:
+            raise _BudgetExceeded
+        return seqs
+
+
+def _linearize(
+    regex: Regex, budget: _LinearBudget
+) -> Optional[list[tuple[CharClass, ...]]]:
+    if isinstance(regex, Empty):
+        return []
+    if isinstance(regex, Epsilon):
+        return [()]
+    if isinstance(regex, Lit):
+        return [(regex.cc,)]
+    if isinstance(regex, (Star, Plus)):
+        return None  # unbounded: not expressible as a finite union
+    if isinstance(regex, Opt):
+        inner = _linearize(regex.inner, budget)
+        if inner is None:
+            return None
+        return budget.charge(_dedupe([()] + inner))
+    if isinstance(regex, Alt):
+        out: list[tuple[CharClass, ...]] = []
+        for p in regex.parts:
+            sub = _linearize(p, budget)
+            if sub is None:
+                return None
+            out.extend(sub)
+            budget.charge(out)
+        return _dedupe(out)
+    if isinstance(regex, Concat):
+        out = [()]
+        for p in regex.parts:
+            sub = _linearize(p, budget)
+            if sub is None:
+                return None
+            out = budget.charge([a + b for a in out for b in sub])
+        return _dedupe(out)
+    if isinstance(regex, Repeat):
+        if regex.hi is None:
+            return None
+        inner = _linearize(regex.inner, budget)
+        if inner is None:
+            return None
+        # Sequences of length lo..hi repetitions of the inner alternatives.
+        prefix = [()]
+        for _ in range(regex.lo):
+            prefix = budget.charge([a + b for a in prefix for b in inner])
+        out = list(prefix)
+        tail = prefix
+        for _ in range(regex.hi - regex.lo):
+            tail = budget.charge([a + b for a in tail for b in inner])
+            out.extend(tail)
+            budget.charge(out)
+        return _dedupe(out)
+    raise TypeError(f"unknown regex node: {type(regex).__name__}")
+
+
+def _dedupe(
+    seqs: list[tuple[CharClass, ...]]
+) -> list[tuple[CharClass, ...]]:
+    seen: set[tuple[CharClass, ...]] = set()
+    out: list[tuple[CharClass, ...]] = []
+    for s in seqs:
+        if s not in seen:
+            seen.add(s)
+            out.append(s)
+    return out

@@ -1,0 +1,39 @@
+"""Cycle-level simulators of RAP and the baseline platforms.
+
+* :mod:`repro.simulators.activity` — functional execution of compiled
+  regexes/bins, producing the event counts every energy model consumes.
+* :mod:`repro.simulators.rap` — the RAP simulator (NFA / NBVA / LNFA tile
+  modes, bit-vector-phase stalls, bin power gating).
+* :mod:`repro.simulators.cama`, :mod:`repro.simulators.ca`,
+  :mod:`repro.simulators.bvap` — the three SotA ASIC baselines of the
+  evaluation, sharing the functional engines and Table 1 circuit models
+  but with their own microarchitectural cost structures.
+* :mod:`repro.simulators.sw_models` — analytical CPU (Hyperscan), GPU
+  (HybridSA), and FPGA (hAP) comparators built on published operating
+  points.
+"""
+
+from repro.simulators.bvap import BVAPSimulator
+from repro.simulators.ca import CASimulator, ca_hardware_config
+from repro.simulators.cama import CAMASimulator
+from repro.simulators.rap import RAPSimulator
+from repro.simulators.result import SimulationResult
+from repro.simulators.sw_models import (
+    CPUModel,
+    FPGAModel,
+    GPUModel,
+    SoftwarePoint,
+)
+
+__all__ = [
+    "BVAPSimulator",
+    "CAMASimulator",
+    "CASimulator",
+    "CPUModel",
+    "FPGAModel",
+    "GPUModel",
+    "RAPSimulator",
+    "SimulationResult",
+    "SoftwarePoint",
+    "ca_hardware_config",
+]

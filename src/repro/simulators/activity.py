@@ -1,0 +1,170 @@
+"""Functional execution of compiled regexes, collecting activity events.
+
+The paper's simulator "uses the actual dataflow to emulate the
+cycle-accurate hardware behavior" (Section 5.2): energy is a function of
+which states are active, which bit vectors update, and which tiles wake up
+on each input symbol.  This module runs the functional engines over the
+input once per compiled regex (or per LNFA bin) and returns exactly those
+event counts; the architecture-specific simulators then price the events
+with the Table 1 circuit models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.nbva import NBVASimulator, NBVAStats
+from repro.automata.nfa import NFASimulator, StepStats
+from repro.automata.shift_and import MultiShiftAnd
+from repro.compiler.program import CompiledMode, CompiledRegex
+from repro.hardware.config import HardwareConfig
+from repro.mapping.binning import Bin, states_per_tile
+
+
+@dataclass
+class RegexActivity:
+    """Event counts from running one compiled regex over the input."""
+
+    regex_id: int
+    mode: CompiledMode
+    cycles: int
+    matches: list[int]
+    active_state_cycles: int = 0  # sum over cycles of active state count
+    bv_phase_cycles: int = 0
+    bv_cycle_indices: list[int] = field(default_factory=list)
+    bv_updates: int = 0
+    set1_events: int = 0
+    shift_events: int = 0
+    copy_events: int = 0
+
+    @property
+    def mean_activity(self) -> float:
+        """Average active states per cycle."""
+        return self.active_state_cycles / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class BinActivity:
+    """Per-tile wake-up statistics from running one LNFA bin."""
+
+    bin: Bin
+    cycles: int
+    matches: dict[int, list[int]]  # regex_id -> end positions
+    tile_active_cycles: list[int] = field(default_factory=list)
+    tile_active_bits: list[int] = field(default_factory=list)
+
+    @property
+    def woken_tile_cycles(self) -> int:
+        """Total tile-cycles that could not be power-gated."""
+        return sum(self.tile_active_cycles)
+
+
+def collect_regex_activity(compiled: CompiledRegex, data: bytes) -> RegexActivity:
+    """Run one NFA- or NBVA-mode regex and harvest its event counts."""
+    if compiled.mode is CompiledMode.LNFA:
+        raise ValueError("LNFA regexes are executed per bin; see collect_bin_activity")
+    assert compiled.automaton is not None
+    anchors = dict(
+        anchored_start=compiled.anchored_start,
+        anchored_end=compiled.anchored_end,
+    )
+    if compiled.mode is CompiledMode.NFA:
+        stats = StepStats()
+        matches = NFASimulator(compiled.automaton).find_matches(
+            data, stats, **anchors
+        )
+        return RegexActivity(
+            regex_id=compiled.regex_id,
+            mode=compiled.mode,
+            cycles=stats.cycles,
+            matches=matches,
+            active_state_cycles=stats.active_states,
+        )
+    stats = NBVAStats(bv_cycle_indices=[])
+    matches = NBVASimulator(compiled.automaton).find_matches(
+        data, stats, **anchors
+    )
+    return RegexActivity(
+        regex_id=compiled.regex_id,
+        mode=compiled.mode,
+        cycles=stats.cycles,
+        matches=matches,
+        active_state_cycles=stats.active_states,
+        bv_phase_cycles=stats.bv_phase_cycles,
+        bv_cycle_indices=stats.bv_cycle_indices or [],
+        bv_updates=stats.bv_updates,
+        set1_events=stats.set1_events,
+        shift_events=stats.shift_events,
+        copy_events=stats.copy_events,
+    )
+
+
+def collect_bin_activity(
+    bin_obj: Bin, data: bytes, hw: HardwareConfig
+) -> BinActivity:
+    """Run one LNFA bin, tracking which of its tiles wake up each cycle.
+
+    The bin's LNFAs are mapped regex-sliced: tile ``t`` holds states
+    ``[t * region, (t + 1) * region)`` of every member, where ``region``
+    is the per-LNFA share of the tile's capacity.  Tile 0 holds all the
+    initial states, so it is awake every cycle; later tiles are awake only
+    on cycles where they hold at least one active state (Fig. 7's power
+    gating).
+    """
+    lnfas = [item.lnfa for item in bin_obj.items]
+    anchors = [
+        (item.anchored_start, item.anchored_end) for item in bin_obj.items
+    ]
+    packed = MultiShiftAnd(lnfas, anchors=anchors)
+    region = states_per_tile(bin_obj.kind, hw) // bin_obj.size
+    tile_count = bin_obj.tiles
+
+    # Precompute a packed-bit mask per tile.
+    tile_masks = [0] * tile_count
+    offset = 0
+    for lnfa in lnfas:
+        for state in range(len(lnfa)):
+            tile_masks[state // region] |= 1 << (offset + state)
+        offset += len(lnfa)
+
+    finals = {}
+    end_anchored_mask = 0
+    offset = 0
+    for item, lnfa in zip(bin_obj.items, lnfas):
+        final_bit = offset + len(lnfa) - 1
+        finals[final_bit] = item.regex_id
+        if item.anchored_end:
+            end_anchored_mask |= 1 << final_bit
+        offset += len(lnfa)
+    final_mask = 0
+    for bit in finals:
+        final_mask |= 1 << bit
+
+    matches: dict[int, list[int]] = {item.regex_id: [] for item in bin_obj.items}
+    tile_active_cycles = [0] * tile_count
+    tile_active_bits = [0] * tile_count
+    cycles = 0
+    last = len(data) - 1
+    for i, states in packed.iter_states(data):
+        cycles += 1
+        tile_active_cycles[0] += 1  # initial tile is never gated
+        tile_active_bits[0] += (states & tile_masks[0]).bit_count()
+        for t in range(1, tile_count):
+            live = states & tile_masks[t]
+            if live:
+                tile_active_cycles[t] += 1
+                tile_active_bits[t] += live.bit_count()
+        hits = states & final_mask
+        if i != last:
+            hits &= ~end_anchored_mask
+        while hits:
+            low = hits & -hits
+            hits ^= low
+            matches[finals[low.bit_length() - 1]].append(i)
+    return BinActivity(
+        bin=bin_obj,
+        cycles=cycles,
+        matches=matches,
+        tile_active_cycles=tile_active_cycles,
+        tile_active_bits=tile_active_bits,
+    )

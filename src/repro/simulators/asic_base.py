@@ -1,0 +1,287 @@
+"""Shared machinery for AP-style in-memory automata processor simulators.
+
+Every architecture in the evaluation (RAP, CAMA, CA, BVAP) executes the
+same two-phase loop — state matching against a memory of character
+classes, state transition through routing switches (Section 2.2) — and is
+priced with the same Table 1 circuit models (Section 5.2: "all other
+automata processor architectures ... are simulated with the same circuit
+model and simulator").  What differs is the microarchitectural cost
+structure: per-tile match energy, switch geometry, controller overheads,
+clock frequency, and mode support.  :class:`ArchParams` captures those
+differences; :class:`ApStyleSimulator` implements the common flow for
+plain NFA execution, which CAMA and CA use directly and RAP/BVAP extend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.program import CompiledMode, CompiledRuleset
+from repro.hardware.circuits import TABLE1, CircuitLibrary
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+from repro.hardware.energy import EnergyLedger
+from repro.mapping.mapper import Mapping, map_ruleset
+from repro.mapping.resources import ArrayBuilder, PhysicalTile
+from repro.simulators.activity import RegexActivity, collect_regex_activity
+from repro.simulators.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """Cost structure of one AP-style architecture."""
+
+    name: str
+    clock_ghz: float
+    # state matching: energy per tile per cycle at full column enablement
+    match_pj: float
+    # local switch access energy bounds (activity-interpolated)
+    switch_min_pj: float
+    switch_max_pj: float
+    # controllers
+    local_ctrl_pj: float
+    global_ctrl_pj: float
+    # area per tile and per array (um^2)
+    tile_area_um2: float
+    array_overhead_um2: float
+    # leakage per tile and per array (uW)
+    tile_leak_uw: float
+    array_leak_uw: float
+    # global switch access bounds per array-cycle
+    gswitch_min_pj: float
+    gswitch_max_pj: float
+    # wire energy charged per cross-tile signal event
+    wire_pj: float
+
+    def switch_pj(self, activity: float) -> float:
+        """Local-switch access energy at an activity level."""
+        activity = min(max(activity, 0.0), 1.0)
+        return self.switch_min_pj + (self.switch_max_pj - self.switch_min_pj) * activity
+
+    def gswitch_pj(self, activity: float) -> float:
+        """Global-switch access energy at an activity level."""
+        activity = min(max(activity, 0.0), 1.0)
+        return self.gswitch_min_pj + (
+            self.gswitch_max_pj - self.gswitch_min_pj
+        ) * activity
+
+
+def rap_tile_area(circuits: CircuitLibrary = TABLE1) -> float:
+    """A RAP tile: 32x128 CAM + 128x128 FCB + full local controller."""
+    return (
+        circuits.cam.area_um2
+        + circuits.sram_128.area_um2
+        + circuits.local_controller.area_um2
+    )
+
+
+def cama_params(circuits: CircuitLibrary = TABLE1) -> ArchParams:
+    """CAMA: the CAM-based baseline RAP builds on.
+
+    Same CAM and switch fabric as a RAP tile but with a far simpler,
+    single-mode controller (the paper attributes RAP's NFA-mode overhead
+    to its reconfiguration controller).
+    """
+    from repro.hardware.circuits import CAMA_CLOCK_GHZ
+
+    simple_ctrl_area = 1000.0  # single-mode sequencing only
+    return ArchParams(
+        name="CAMA",
+        clock_ghz=CAMA_CLOCK_GHZ,
+        match_pj=circuits.cam.energy(),
+        switch_min_pj=circuits.sram_128.energy_min_pj,
+        switch_max_pj=circuits.sram_128.energy_max_pj,
+        local_ctrl_pj=0.5,
+        global_ctrl_pj=1.0,
+        tile_area_um2=circuits.cam.area_um2
+        + circuits.sram_128.area_um2
+        + simple_ctrl_area,
+        array_overhead_um2=circuits.sram_256.area_um2 + 700.0,
+        tile_leak_uw=(circuits.cam.leakage_ua + circuits.sram_128.leakage_ua)
+        * 0.9,
+        array_leak_uw=circuits.sram_256.leakage_ua * 0.9,
+        gswitch_min_pj=circuits.sram_256.energy_min_pj,
+        gswitch_max_pj=circuits.sram_256.energy_max_pj,
+        wire_pj=circuits.global_wire_mm.energy() * 0.5,
+    )
+
+
+def rap_nfa_params(circuits: CircuitLibrary = TABLE1) -> ArchParams:
+    """RAP running plain NFAs: CAMA's loop plus the reconfigurable
+    controllers (the source of the RegexLib regression in Fig. 12)."""
+    from repro.hardware.circuits import RAP_CLOCK_GHZ
+
+    return ArchParams(
+        name="RAP-NFA",
+        clock_ghz=RAP_CLOCK_GHZ,
+        match_pj=circuits.cam.energy(),
+        switch_min_pj=circuits.sram_128.energy_min_pj,
+        switch_max_pj=circuits.sram_128.energy_max_pj,
+        local_ctrl_pj=circuits.local_controller.energy(),
+        global_ctrl_pj=circuits.global_controller.energy(),
+        tile_area_um2=rap_tile_area(circuits),
+        array_overhead_um2=circuits.sram_256.area_um2
+        + circuits.global_controller.area_um2,
+        tile_leak_uw=(
+            circuits.cam.leakage_ua
+            + circuits.sram_128.leakage_ua
+            + circuits.local_controller.leakage_ua
+        )
+        * 0.9,
+        array_leak_uw=(
+            circuits.sram_256.leakage_ua + circuits.global_controller.leakage_ua
+        )
+        * 0.9,
+        gswitch_min_pj=circuits.sram_256.energy_min_pj,
+        gswitch_max_pj=circuits.sram_256.energy_max_pj,
+        wire_pj=circuits.global_wire_mm.energy() * 0.5,
+    )
+
+
+class ApStyleSimulator:
+    """Common NFA-execution flow for AP-style architectures."""
+
+    def __init__(
+        self,
+        params: ArchParams,
+        hw: HardwareConfig = DEFAULT_CONFIG,
+    ):
+        self.params = params
+        self.hw = hw
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        ruleset: CompiledRuleset,
+        data: bytes,
+        mapping: Mapping | None = None,
+    ) -> SimulationResult:
+        """Simulate a pure-NFA ruleset (CAMA / CA usage)."""
+        for regex in ruleset:
+            if regex.mode is not CompiledMode.NFA:
+                raise ValueError(
+                    f"{self.params.name} executes NFAs only; regex "
+                    f"{regex.regex_id} is {regex.mode.value}"
+                )
+        mapping = mapping or map_ruleset(ruleset, self.hw)
+        ledger = EnergyLedger()
+        matches: dict[int, list[int]] = {}
+        activities = {
+            regex.regex_id: collect_regex_activity(regex, data)
+            for regex in ruleset
+        }
+        compiled_by_id = {r.regex_id: r for r in ruleset}
+        for activity in activities.values():
+            matches[activity.regex_id] = activity.matches
+        cycles = len(data)
+        for array in mapping.arrays:
+            self.charge_array_structure(ledger, array, include_overhead=False)
+            self.charge_nfa_array_energy(
+                ledger, array, activities, compiled_by_id, cycles
+            )
+        self.charge_overhead_units(ledger, mapping.total_tiles)
+        metrics = ledger.metrics(
+            cycles=cycles, input_symbols=len(data), clock_ghz=self.params.clock_ghz
+        )
+        return SimulationResult(
+            architecture=self.params.name,
+            metrics=metrics,
+            matches=matches,
+            energy_breakdown_pj=ledger.energy_breakdown(),
+            area_breakdown_um2=ledger.area_breakdown(),
+            arrays=mapping.total_arrays,
+            tiles=mapping.total_tiles,
+        )
+
+    # -- shared charging helpers -------------------------------------------
+
+    def charge_array_structure(
+        self,
+        ledger: EnergyLedger,
+        array: ArrayBuilder,
+        *,
+        include_overhead: bool = True,
+    ) -> None:
+        """Charge one array's tiles (and optionally overhead)."""
+        p = self.params
+        tiles = array.tiles_used
+        ledger.add_area("tile", p.tile_area_um2, tiles)
+        ledger.add_leakage("tile", p.tile_leak_uw, tiles)
+        if include_overhead:
+            ledger.add_area("array-overhead", p.array_overhead_um2, 1)
+            ledger.add_leakage("array-overhead", p.array_leak_uw, 1)
+
+    def charge_overhead_units(self, ledger: EnergyLedger, tiles: int) -> None:
+        """Array-level structures (global switch, controller, wiring),
+        charged proportionally to the tiles actually occupied.
+
+        The paper reports fractional per-workload areas (e.g. 0.63 mm^2,
+        not a multiple of a full array), i.e. it accounts the resources a
+        workload occupies rather than whole provisioned arrays; we do the
+        same so small workloads are not dominated by array granularity.
+        """
+        p = self.params
+        units = tiles / self.hw.tiles_per_array
+        ledger.add_area("array-overhead", p.array_overhead_um2, units)
+        ledger.add_leakage("array-overhead", p.array_leak_uw, units)
+
+    def tile_switch_activity(
+        self,
+        tile: PhysicalTile,
+        activities: dict[int, RegexActivity],
+        compiled_by_id,
+    ) -> float:
+        """Mean fraction of this tile's switch rows driven per cycle."""
+        driven = 0.0
+        for regex_id, request in tile.occupants:
+            activity = activities[regex_id]
+            total_states = max(compiled_by_id[regex_id].states, 1)
+            share = request.states / total_states
+            driven += activity.mean_activity * share
+        return driven / self.hw.local_switch_dim
+
+    def charge_nfa_array_energy(
+        self,
+        ledger: EnergyLedger,
+        array: ArrayBuilder,
+        activities: dict[int, RegexActivity],
+        compiled_by_id,
+        cycles: int,
+        *,
+        charge_gctrl: bool = True,
+    ) -> None:
+        """Per-cycle matching/transition/control energy of one NFA array."""
+        p = self.params
+        ports_used = 0
+        for tile in array.tiles:
+            act = self.tile_switch_activity(tile, activities, compiled_by_id)
+            ledger.charge("state-matching", p.match_pj, cycles)
+            ledger.charge("state-transition", p.switch_pj(act), cycles)
+            ledger.charge("local-control", p.local_ctrl_pj, cycles)
+            ports_used += tile.ports
+        if charge_gctrl:
+            ledger.charge("global-control", p.global_ctrl_pj, cycles)
+        if ports_used:
+            port_frac = ports_used / self.hw.global_switch_dim
+            mean_act = _array_mean_activity(array, activities, compiled_by_id)
+            ledger.charge(
+                "global-switch", p.gswitch_pj(port_frac * mean_act), cycles
+            )
+            ledger.charge(
+                "global-wire", p.wire_pj * ports_used * mean_act, cycles
+            )
+
+
+def _array_mean_activity(
+    array: ArrayBuilder,
+    activities: dict[int, RegexActivity],
+    compiled_by_id,
+) -> float:
+    """Mean per-state activity across the regexes in one array."""
+    total_states = 0
+    weighted = 0.0
+    for rid in array.regex_ids:
+        states = max(compiled_by_id[rid].states, 1)
+        weighted += activities[rid].mean_activity
+        total_states += states
+    return min(1.0, weighted / total_states) if total_states else 0.0

@@ -1,0 +1,71 @@
+"""Cache Automaton (CA) baseline simulator (Subramaniyan et al., MICRO'17).
+
+CA repurposes last-level-cache slices: state matching reads 256-wide
+sense-amplifier arrays and transitions traverse 256x256 switches.  Per
+*state*, matching is cheaper than a CAM search (one wide read amortized
+over twice as many states), but the full-size crossbars make CA the
+largest design per state — the paper's tables show CA with the lowest
+NFA energy of the baselines and the highest area.  CA clocks at
+1.82 GHz.
+
+CA's geometry differs from the CAM-based designs, so it compiles and
+maps with its own :class:`HardwareConfig` (256-state tiles, 8 tiles per
+array); :func:`ca_hardware_config` builds it.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.circuits import CA_CLOCK_GHZ, TABLE1, CircuitLibrary
+from repro.hardware.config import HardwareConfig
+from repro.simulators.asic_base import ApStyleSimulator, ArchParams
+
+
+def ca_hardware_config() -> HardwareConfig:
+    """CA's geometry: 256-state tiles, 8 per array, one global crossbar."""
+    return HardwareConfig(
+        cam_rows=256,
+        cam_cols=256,
+        local_switch_dim=256,
+        tiles_per_array=8,
+        global_switch_dim=256,
+        clock_ghz=CA_CLOCK_GHZ,
+    )
+
+
+def ca_params(circuits: CircuitLibrary = TABLE1) -> ArchParams:
+    # Matching: one 256-row sense-amp read per tile-cycle.  The energy is
+    # a low-activity access of the 256x256 array (a single wordline).
+    """CA's cost structure from the shared circuit library."""
+    match_pj = circuits.sram_256.energy(0.05)
+    # Switch: the full 256x256 crossbar; CA shares sense amplifiers and
+    # drivers between the match array and the switch, which we reflect as
+    # a half-array area charge for the switch (calibrated to the paper's
+    # ~1.5x area vs CAMA).
+    return ArchParams(
+        name="CA",
+        clock_ghz=CA_CLOCK_GHZ,
+        match_pj=match_pj,
+        switch_min_pj=circuits.sram_256.energy_min_pj,
+        switch_max_pj=circuits.sram_256.energy_max_pj,
+        local_ctrl_pj=0.5,
+        global_ctrl_pj=1.0,
+        tile_area_um2=circuits.sram_256.area_um2 * 1.5 + 500.0,
+        array_overhead_um2=circuits.sram_256.area_um2 + 700.0,
+        tile_leak_uw=circuits.sram_256.leakage_ua * 1.5 * 0.9,
+        array_leak_uw=circuits.sram_256.leakage_ua * 0.9,
+        gswitch_min_pj=circuits.sram_256.energy_min_pj,
+        gswitch_max_pj=circuits.sram_256.energy_max_pj,
+        wire_pj=circuits.global_wire_mm.energy() * 1.0,  # longer LLC wires
+    )
+
+
+class CASimulator(ApStyleSimulator):
+    """NFA-only execution with CA's cost structure and geometry.
+
+    Rulesets passed to :meth:`run` must have been compiled **and mapped**
+    with :func:`ca_hardware_config` so tile requests match CA's 256-state
+    tiles.
+    """
+
+    def __init__(self, circuits: CircuitLibrary = TABLE1):
+        super().__init__(ca_params(circuits), ca_hardware_config())

@@ -1,0 +1,27 @@
+"""CAMA baseline simulator (Huang et al., HPCA 2022).
+
+CAMA is the CAM-based automata processor RAP adopts for basic NFA
+processing (Section 3): 8T-CAM state matching, FCB local switches, and a
+conventional AP control path.  It executes every regex as a fully
+unfolded NFA — bounded repetitions cost one STE per unfolded position —
+at a 2.14 GHz clock.  Relative to RAP's NFA mode it saves the
+reconfiguration controller's energy and area, which is exactly the
+overhead the paper charges RAP on NFA-dominant workloads (RegexLib).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.circuits import TABLE1, CircuitLibrary
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+from repro.simulators.asic_base import ApStyleSimulator, cama_params
+
+
+class CAMASimulator(ApStyleSimulator):
+    """NFA-only execution with CAMA's cost structure."""
+
+    def __init__(
+        self,
+        hw: HardwareConfig = DEFAULT_CONFIG,
+        circuits: CircuitLibrary = TABLE1,
+    ):
+        super().__init__(cama_params(circuits), hw)

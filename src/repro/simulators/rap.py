@@ -1,0 +1,313 @@
+"""The RAP simulator (Section 3): three tile modes, stalls, power gating.
+
+The simulator executes a mapped ruleset over an input stream:
+
+* **NFA-mode tiles** run the CAMA-style two-phase loop plus RAP's
+  reconfiguration controllers.
+* **NBVA-mode tiles** activate only the CAM columns holding character
+  classes during state matching; when a BV-STE fires, the array enters
+  the bit-vector-processing phase for ``depth`` cycles (read / route /
+  update of every BV word), stalling the other tiles of the array (whose
+  CAM and switch are disabled meanwhile).  Array throughput is derived
+  from the union of stall cycles across the array's regexes.
+* **LNFA-mode tiles** execute bins with the bit-serial Shift-And path:
+  the active vector gates CAM columns, the local switch (CAM bins) or
+  CAM (switch bins) is power-gated, and non-initial tiles of a bin wake
+  up only on cycles where they hold a live state (Fig. 7).
+
+Areas and leakage come from the Table 1 components; the global switch of
+an LNFA array is present (area, leakage) but never accessed (power-gated,
+replaced by the ring network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.program import CompiledMode, CompiledRuleset
+from repro.hardware.circuits import TABLE1, CircuitLibrary
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig, TileMode
+from repro.hardware.energy import EnergyLedger
+from repro.mapping.binning import BinKind
+from repro.mapping.mapper import Mapping, map_ruleset
+from repro.mapping.resources import ArrayBuilder
+from repro.simulators.activity import (
+    collect_bin_activity,
+    collect_regex_activity,
+)
+from repro.simulators.asic_base import ApStyleSimulator, rap_nfa_params
+from repro.simulators.result import ArrayReport, SimulationResult
+
+
+@dataclass
+class _ArrayOutcome:
+    cycles: int
+    stalls: int
+
+
+class RAPSimulator(ApStyleSimulator):
+    """Cycle-level simulation of the full reconfigurable design."""
+
+    def __init__(
+        self,
+        hw: HardwareConfig = DEFAULT_CONFIG,
+        circuits: CircuitLibrary = TABLE1,
+    ):
+        import dataclasses
+
+        super().__init__(rap_nfa_params(circuits), hw)
+        self.circuits = circuits
+        self.params = dataclasses.replace(self.params, name="RAP")
+
+    def run(
+        self,
+        ruleset: CompiledRuleset,
+        data: bytes,
+        mapping: Mapping | None = None,
+        bin_size: int | None = None,
+    ) -> SimulationResult:
+        """Simulate the mapped ruleset on RAP over ``data``."""
+        if mapping is None:
+            mapping = map_ruleset(ruleset, self.hw, bin_size=bin_size)
+        ledger = EnergyLedger()
+        matches: dict[int, list[int]] = {}
+        compiled_by_id = {r.regex_id: r for r in ruleset}
+        activities = {
+            r.regex_id: collect_regex_activity(r, data)
+            for r in ruleset
+            if r.mode is not CompiledMode.LNFA
+        }
+        for activity in activities.values():
+            matches[activity.regex_id] = activity.matches
+        for r in ruleset:
+            if r.mode is CompiledMode.LNFA:
+                matches[r.regex_id] = []
+
+        n = len(data)
+        total_stalls = 0
+        worst_cycles = n if n else 0
+        array_reports: list[ArrayReport] = []
+        for array in mapping.arrays:
+            if array.mode is TileMode.LNFA:
+                # structure charged inside, with leakage scaled by the
+                # measured power-gating duty cycle (Fig. 7)
+                self._charge_lnfa_array(ledger, array, data, matches)
+                outcome = _ArrayOutcome(cycles=n, stalls=0)
+                total_stalls += outcome.stalls
+                worst_cycles = max(worst_cycles, outcome.cycles)
+                array_reports.append(
+                    ArrayReport(
+                        mode=array.mode.value,
+                        tiles=array.tiles_used,
+                        cycles=outcome.cycles,
+                        stalls=0,
+                        throughput_gchps=(
+                            self.params.clock_ghz if n else 0.0
+                        ),
+                    )
+                )
+                continue
+            self.charge_array_structure(ledger, array, include_overhead=False)
+            if array.mode is TileMode.NBVA:
+                outcome = self._charge_nbva_array(
+                    ledger, array, activities, compiled_by_id, n
+                )
+            else:
+                self.charge_nfa_array_energy(
+                    ledger,
+                    array,
+                    activities,
+                    compiled_by_id,
+                    n,
+                    charge_gctrl=False,
+                )
+                outcome = _ArrayOutcome(cycles=n, stalls=0)
+            total_stalls += outcome.stalls
+            worst_cycles = max(worst_cycles, outcome.cycles)
+            array_reports.append(
+                ArrayReport(
+                    mode=array.mode.value,
+                    tiles=array.tiles_used,
+                    cycles=outcome.cycles,
+                    stalls=outcome.stalls,
+                    throughput_gchps=(
+                        n / outcome.cycles * self.params.clock_ghz
+                        if outcome.cycles
+                        else 0.0
+                    ),
+                )
+            )
+        # Array-level structures: area/leakage proportional to occupied
+        # tiles; one global controller runs per physical array (NFA and
+        # LNFA tiles consolidate into shared arrays per Section 3.3,
+        # NBVA arrays stay dedicated because their stalls are array-wide).
+        self.charge_overhead_units(ledger, mapping.total_tiles)
+        groups = mapping.physical_arrays()
+        if n:
+            ledger.charge(
+                "global-control", self.params.global_ctrl_pj, n * groups
+            )
+
+        metrics = ledger.metrics(
+            cycles=worst_cycles,
+            input_symbols=n,
+            clock_ghz=self.params.clock_ghz,
+        )
+        return SimulationResult(
+            architecture=self.params.name,
+            metrics=metrics,
+            matches=merge_lnfa_matches(matches),
+            energy_breakdown_pj=ledger.energy_breakdown(),
+            area_breakdown_um2=ledger.area_breakdown(),
+            stall_cycles=total_stalls,
+            arrays=mapping.total_arrays,
+            tiles=mapping.total_tiles,
+            array_reports=tuple(array_reports),
+        )
+
+    # -- NBVA arrays --------------------------------------------------------
+
+    def _charge_nbva_array(
+        self,
+        ledger: EnergyLedger,
+        array: ArrayBuilder,
+        activities,
+        compiled_by_id,
+        cycles: int,
+    ) -> _ArrayOutcome:
+        p = self.params
+        cam_cols = self.hw.cam_cols
+        stall_cycles: set[int] = set()
+        depth = None
+        for tile in array.tiles:
+            act = self.tile_switch_activity(tile, activities, compiled_by_id)
+            # State matching activates only the columns that hold CCs (and
+            # the set1 columns routed during transitions).
+            cc_frac = (tile.columns - tile.bv_columns) / cam_cols
+            ledger.charge("state-matching", p.match_pj * cc_frac, cycles)
+            ledger.charge("state-transition", p.switch_pj(act), cycles)
+            ledger.charge("local-control", p.local_ctrl_pj, cycles)
+            if tile.depth is not None:
+                depth = tile.depth
+
+        ports_used = sum(t.ports for t in array.tiles)
+        if ports_used:
+            from repro.simulators.asic_base import _array_mean_activity
+
+            port_frac = ports_used / self.hw.global_switch_dim
+            mean_act = _array_mean_activity(array, activities, compiled_by_id)
+            ledger.charge(
+                "global-switch", p.gswitch_pj(port_frac * mean_act), cycles
+            )
+            ledger.charge("global-wire", p.wire_pj * ports_used * mean_act, cycles)
+
+        # Bit-vector-processing phase: depth pipeline iterations of
+        # BV-word read, switch routing, and write-back per triggering
+        # cycle, for each regex with live counters.
+        for rid in array.regex_ids:
+            activity = activities[rid]
+            compiled = compiled_by_id[rid]
+            regex_depth = depth or self.hw.bv_depth_choices[0]
+            bv_cols = sum(t.bv_columns for t in compiled.tile_requests)
+            bv_frac = min(1.0, bv_cols / cam_cols)
+            per_phase = regex_depth * (
+                2 * p.match_pj * bv_frac  # CAM word read + write-back
+                + p.switch_pj(bv_frac)  # routing and BV actions
+                + p.local_ctrl_pj
+            )
+            ledger.charge("bv-processing", per_phase, activity.bv_phase_cycles)
+            stall_cycles.update(activity.bv_cycle_indices)
+
+        stalls = (depth or 0) * len(stall_cycles)
+        return _ArrayOutcome(cycles=cycles + stalls, stalls=stalls)
+
+    # -- LNFA arrays ---------------------------------------------------------
+
+    def _charge_lnfa_array(
+        self,
+        ledger: EnergyLedger,
+        array: ArrayBuilder,
+        data: bytes,
+        matches: dict[int, list[int]],
+    ) -> None:
+        p = self.params
+        cycles = len(data)
+        activities = [
+            collect_bin_activity(bin_obj, data, self.hw)
+            for bin_obj in array.bins
+        ]
+        # Tile area is physical; tile leakage follows the power-gating
+        # duty cycle (a gated tile retains its configuration at ~10% of
+        # active leakage).
+        tiles = array.tiles_used
+        ledger.add_area("tile", p.tile_area_um2, tiles)
+        possible = sum(a.bin.tiles for a in activities) * cycles
+        woken = sum(a.woken_tile_cycles for a in activities)
+        duty = min(1.0, woken / possible) if possible else 1.0
+        retention = 0.1
+        effective_leak = p.tile_leak_uw * (retention + (1 - retention) * duty)
+        ledger.add_leakage("tile", effective_leak, tiles)
+        for bin_obj, activity in zip(array.bins, activities):
+            for rid, ends in activity.matches.items():
+                if ends:
+                    merged = matches.setdefault(rid, [])
+                    merged.extend(ends)
+            capacity = (
+                self.hw.cam_cols
+                if bin_obj.kind is BinKind.CAM
+                else self.hw.local_switch_dim // 2
+            )
+            # Bins share physical tiles at region granularity, so this
+            # bin owns only a fraction of each tile it touches — its
+            # controller/sequencing charge scales with that share.
+            tile_share = min(
+                1.0,
+                bin_obj.footprint_columns
+                / (bin_obj.tiles * self.hw.cam_cols),
+            )
+            for t in range(bin_obj.tiles):
+                active_cycles = activity.tile_active_cycles[t]
+                if not active_cycles:
+                    continue
+                # Enabled columns follow the active vector; the initial
+                # column of tile 0 is always enabled.
+                enabled = activity.tile_active_bits[t] + active_cycles
+                col_frac = min(1.0, enabled / (active_cycles * capacity))
+                if bin_obj.kind is BinKind.CAM:
+                    ledger.charge(
+                        "state-matching", p.match_pj * col_frac, active_cycles
+                    )
+                else:
+                    ledger.charge(
+                        "state-matching", p.switch_pj(col_frac), active_cycles
+                    )
+                ledger.charge(
+                    "local-control",
+                    p.local_ctrl_pj * tile_share,
+                    active_cycles,
+                )
+            # Ring network: one short hop per tile boundary per cycle the
+            # downstream tile is awake.
+            boundary_hops = sum(activity.tile_active_cycles[1:])
+            ring_pj = (
+                self.circuits.global_wire_mm.energy()
+                * self.hw.ring_hop_wire_mm
+                * bin_obj.size
+            )
+            ledger.charge("ring-network", ring_pj, boundary_hops)
+        # Ring wiring area: ring_width wires linking adjacent tiles.
+        ring_area = (
+            self.hw.ring_width_bits
+            * self.hw.ring_hop_wire_mm
+            * self.circuits.global_wire_mm.area_um2
+            * max(array.tiles_used - 1, 0)
+        )
+        ledger.add_area("ring-network", ring_area, 1)
+
+    # -- post-run dedup -----------------------------------------------------
+
+
+def merge_lnfa_matches(matches: dict[int, list[int]]) -> dict[int, list[int]]:
+    """Sort and deduplicate per-regex match lists (bins may report the
+    same end position via several union members)."""
+    return {rid: sorted(set(ends)) for rid, ends in matches.items()}

@@ -1,0 +1,83 @@
+"""Simulation results: metrics plus per-component breakdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.energy import Metrics
+
+
+@dataclass(frozen=True)
+class ArrayReport:
+    """Per-array outcome of one run (drives workload-sharing decisions)."""
+
+    mode: str
+    tiles: int
+    cycles: int
+    stalls: int
+    throughput_gchps: float
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything one simulated run reports.
+
+    ``matches`` maps ``regex_id -> list of match end positions`` so that
+    correctness can be asserted against the reference oracle; the metric
+    properties mirror the paper's Section 5.2 definitions.
+    """
+
+    architecture: str
+    metrics: Metrics
+    matches: dict[int, list[int]] = field(default_factory=dict)
+    energy_breakdown_pj: dict[str, float] = field(default_factory=dict)
+    area_breakdown_um2: dict[str, float] = field(default_factory=dict)
+    stall_cycles: int = 0
+    arrays: int = 0
+    tiles: int = 0
+    array_reports: tuple[ArrayReport, ...] = ()
+
+    @property
+    def energy_uj(self) -> float:
+        """Total dynamic energy in microjoules."""
+        return self.metrics.energy_uj
+
+    @property
+    def area_mm2(self) -> float:
+        """Total area in square millimetres."""
+        return self.metrics.area_mm2
+
+    @property
+    def throughput_gchps(self) -> float:
+        """Sustained gigacharacters per second."""
+        return self.metrics.throughput_gchps
+
+    @property
+    def power_w(self) -> float:
+        """Average power in watts (dynamic + leakage)."""
+        return self.metrics.power_w
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Throughput per watt (Gch/J)."""
+        return self.metrics.energy_efficiency_gch_per_j
+
+    @property
+    def compute_density(self) -> float:
+        """Throughput per square millimetre."""
+        return self.metrics.compute_density_gchps_per_mm2
+
+    @property
+    def match_count(self) -> int:
+        """Total matches across all regexes."""
+        return sum(len(v) for v in self.matches.values())
+
+    def summary(self) -> str:
+        """One-line human-readable result summary."""
+        return (
+            f"{self.architecture}: energy={self.energy_uj:.2f}uJ "
+            f"area={self.area_mm2:.3f}mm2 "
+            f"throughput={self.throughput_gchps:.2f}Gch/s "
+            f"power={self.power_w:.3f}W "
+            f"matches={self.match_count}"
+        )

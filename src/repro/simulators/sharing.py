@@ -1,0 +1,80 @@
+"""Workload sharing across arrays/banks (Sections 3.3 and 5.5).
+
+NBVA-mode arrays lose throughput to bit-vector-processing stalls.  The
+paper's remedy: "To reduce the throughput discrepancy between NBVA mode
+and NFA/LNFA mode, multiple RAP banks can be configured to share the
+workload of low throughput banks", operationalized in Section 5.5 as —
+if an NBVA array's throughput is below 2 Gch/s, assign additional arrays
+to the same regexes so each processes a slice of the input stream.
+
+:func:`plan_workload_sharing` turns a run's per-array reports into a
+replication plan: how many copies each slow array needs, the resulting
+system throughput, and the extra area the copies cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.circuits import RAP_CLOCK_GHZ
+from repro.simulators.result import ArrayReport
+
+
+@dataclass(frozen=True)
+class SharingPlan:
+    """The replication decision for one workload."""
+
+    replicas: tuple[int, ...]  # total copies per array (1 = not shared)
+    array_throughputs: tuple[float, ...]  # after sharing
+    system_throughput: float
+    extra_tiles: int
+
+    @property
+    def total_copies(self) -> int:
+        """Total array instances including replicas."""
+        return sum(self.replicas)
+
+    @property
+    def shared_arrays(self) -> int:
+        """How many arrays received extra copies."""
+        return sum(1 for r in self.replicas if r > 1)
+
+
+def plan_workload_sharing(
+    reports: list[ArrayReport] | tuple[ArrayReport, ...],
+    *,
+    floor_gchps: float = 2.0,
+    clock_ghz: float = RAP_CLOCK_GHZ,
+    max_replicas: int = 4,
+) -> SharingPlan:
+    """Replicate slow NBVA arrays until they clear ``floor_gchps``.
+
+    ``k`` copies of an array each see ``1/k`` of the stream, so the
+    array's effective rate scales by ``k`` (capped at the clock).  Arrays
+    already at the floor, and NFA/LNFA arrays (which never stall), keep a
+    single copy.  ``max_replicas`` bounds the area an extremely stalled
+    array may claim — beyond it the workload simply stays slow, which is
+    what the paper reports for ClamAV-class suites.
+    """
+    if floor_gchps <= 0:
+        raise ValueError("floor must be positive")
+    replicas: list[int] = []
+    throughputs: list[float] = []
+    extra_tiles = 0
+    for report in reports:
+        base = report.throughput_gchps
+        k = 1
+        if report.mode == "nbva" and 0 < base < floor_gchps:
+            while k < max_replicas and min(base * k, clock_ghz) < floor_gchps:
+                k += 1
+        effective = min(base * k, clock_ghz) if base else 0.0
+        replicas.append(k)
+        throughputs.append(effective)
+        extra_tiles += (k - 1) * report.tiles
+    system = min(throughputs) if throughputs else 0.0
+    return SharingPlan(
+        replicas=tuple(replicas),
+        array_throughputs=tuple(throughputs),
+        system_throughput=system,
+        extra_tiles=extra_tiles,
+    )

@@ -1,0 +1,141 @@
+"""Analytical CPU / GPU / FPGA comparators (Fig. 13 and Table 4).
+
+The paper measures Hyperscan on an i9-12900K (Intel SoC Watch for socket
+power), HybridSA's GPU engine on an RTX 4060 Ti (NVML power sampling at
+50 Hz), and quotes hAP's published FPGA numbers.  Absent that hardware,
+we encode the published operating points and scale them with the workload
+statistics the way the measurements respond in practice:
+
+* CPU (Hyperscan): SIMD Shift-And over packed patterns; throughput falls
+  with the number of state-vector words the pattern set needs (cache and
+  instruction pressure) and with the density of matches (reporting
+  overhead).  Socket power is effectively workload-independent at
+  saturation.
+* GPU (HybridSA): massive bit-parallelism hides pattern count until the
+  state vectors exceed the register budget; baseline throughput is an
+  order of magnitude under the ASICs because each symbol crosses the
+  memory hierarchy.
+* FPGA (hAP): a spatial design with a published per-benchmark operating
+  point around 0.15-0.18 Gch/s; power scales mildly with utilization.
+
+These models feed only the cross-platform comparison; every ASIC number
+comes from the cycle-level simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.program import CompiledRuleset
+
+
+@dataclass(frozen=True)
+class SoftwarePoint:
+    """A published operating point: sustained throughput and power."""
+
+    name: str
+    throughput_gchps: float
+    power_w: float
+
+    @property
+    def energy_efficiency_gch_per_j(self) -> float:
+        """Throughput per watt (Gch/J)."""
+        return self.throughput_gchps / self.power_w
+
+    def energy_uj(self, input_symbols: int) -> float:
+        """Total dynamic energy in microjoules."""
+        seconds = input_symbols / (self.throughput_gchps * 1e9)
+        return self.power_w * seconds * 1e6
+
+
+# Published baselines (Section 5.5): the GPU engine consumes ~16x RAP's
+# power at ~1/9.8 of its throughput; the CPU runs at ~60x lower
+# throughput with a ~90 W socket.
+_CPU_BASE_GCHPS = 0.035
+_CPU_SOCKET_W = 90.0
+_GPU_BASE_GCHPS = 0.21
+_GPU_BOARD_W = 55.0
+
+
+class CPUModel:
+    """Hyperscan-like multi-pattern matcher on a desktop CPU."""
+
+    name = "CPU-Hyperscan"
+
+    def __init__(
+        self,
+        base_gchps: float = _CPU_BASE_GCHPS,
+        socket_w: float = _CPU_SOCKET_W,
+        simd_bits: int = 512,
+    ):
+        self.base_gchps = base_gchps
+        self.socket_w = socket_w
+        self.simd_bits = simd_bits
+
+    def operating_point(self, ruleset: CompiledRuleset) -> SoftwarePoint:
+        """The published/derived throughput-power point."""
+        states = max(ruleset.total_states, 1)
+        # Shift-And words the pattern set needs; throughput degrades
+        # sub-linearly as the working set outgrows one SIMD register set.
+        words = max(1, -(-states // self.simd_bits))
+        slowdown = words ** 0.35
+        return SoftwarePoint(
+            name=self.name,
+            throughput_gchps=self.base_gchps / slowdown,
+            power_w=self.socket_w,
+        )
+
+
+class GPUModel:
+    """HybridSA-like GPU bit-parallel matcher."""
+
+    name = "GPU-HybridSA"
+
+    def __init__(
+        self,
+        base_gchps: float = _GPU_BASE_GCHPS,
+        board_w: float = _GPU_BOARD_W,
+        register_budget_states: int = 1 << 16,
+    ):
+        self.base_gchps = base_gchps
+        self.board_w = board_w
+        self.register_budget_states = register_budget_states
+
+    def operating_point(self, ruleset: CompiledRuleset) -> SoftwarePoint:
+        """The published/derived throughput-power point."""
+        states = max(ruleset.total_states, 1)
+        # Throughput holds until the packed state vectors spill out of
+        # the register file, then degrades gently with occupancy loss.
+        pressure = max(1.0, states / self.register_budget_states)
+        slowdown = pressure ** 0.5
+        return SoftwarePoint(
+            name=self.name,
+            throughput_gchps=self.base_gchps / slowdown,
+            power_w=self.board_w,
+        )
+
+
+class FPGAModel:
+    """hAP-like spatial/von-Neumann FPGA automata processor (Table 4)."""
+
+    name = "FPGA-hAP"
+
+    # Published per-ANMLZoo-benchmark operating points (Table 4).
+    PUBLISHED = {
+        "Brill": SoftwarePoint("FPGA-hAP", 0.18, 1.56),
+        "ClamAV": SoftwarePoint("FPGA-hAP", 0.18, 1.42),
+        "Dotstar": SoftwarePoint("FPGA-hAP", 0.18, 1.47),
+        "PowerEN": SoftwarePoint("FPGA-hAP", 0.18, 1.52),
+        "Snort": SoftwarePoint("FPGA-hAP", 0.15, 1.41),
+    }
+
+    def operating_point(
+        self, benchmark: str, ruleset: CompiledRuleset | None = None
+    ) -> SoftwarePoint:
+        """The published/derived throughput-power point."""
+        if benchmark in self.PUBLISHED:
+            return self.PUBLISHED[benchmark]
+        # Unlisted benchmark: interpolate from utilization.
+        states = max(ruleset.total_states, 1) if ruleset else 1
+        power = 1.4 + min(0.2, states / 1e6)
+        return SoftwarePoint(self.name, 0.17, power)

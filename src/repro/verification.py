@@ -1,0 +1,120 @@
+"""Self-checking: validate simulator output against the reference oracle.
+
+The paper "performed consistency checks ... to verify the functionality
+of RAP under all modes and the correctness of the hardware simulator by
+comparing matching results of the simulator against a production software
+matcher" (Section 5.2).  This module ships that methodology as a public
+API: run any compiled ruleset's matches past the independent
+Thompson-construction oracle and get a structured report of every
+deviation.  The CLI exposes it as ``repro scan --verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.reference import ReferenceMatcher
+from repro.compiler.program import CompiledRegex, CompiledRuleset
+from repro.regex.parser import parse_anchored
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One regex whose simulated matches deviate from the oracle."""
+
+    regex_id: int
+    pattern: str
+    missing: tuple[int, ...]  # oracle-only end positions
+    spurious: tuple[int, ...]  # simulator-only end positions
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        parts = [f"regex {self.regex_id} ({self.pattern!r}):"]
+        if self.missing:
+            parts.append(f"missing {list(self.missing)}")
+        if self.spurious:
+            parts.append(f"spurious {list(self.spurious)}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of one consistency check."""
+
+    regexes_checked: int
+    input_length: int
+    total_matches: int
+    mismatches: tuple[Mismatch, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no mismatches were found."""
+        return not self.mismatches
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        if self.ok:
+            return (
+                f"OK: {self.total_matches} matches from "
+                f"{self.regexes_checked} regexes over "
+                f"{self.input_length} bytes verified against the oracle"
+            )
+        lines = [
+            f"FAILED: {len(self.mismatches)} of {self.regexes_checked} "
+            "regexes deviate from the oracle"
+        ]
+        lines += ["  " + m.describe() for m in self.mismatches]
+        return "\n".join(lines)
+
+
+def oracle_matches(regex: CompiledRegex, data: bytes) -> list[int]:
+    """Ground-truth end positions for one compiled regex's pattern."""
+    parsed = parse_anchored(regex.pattern)
+    return ReferenceMatcher(
+        parsed.regex,
+        anchored_start=parsed.anchored_start,
+        anchored_end=parsed.anchored_end,
+    ).find_matches(data)
+
+
+def verify_matches(
+    ruleset: CompiledRuleset,
+    data: bytes,
+    matches: dict[int, list[int]],
+) -> VerificationReport:
+    """Compare simulator-reported ``matches`` against the oracle."""
+    mismatches: list[Mismatch] = []
+    total = 0
+    for regex in ruleset:
+        got = matches.get(regex.regex_id, [])
+        total += len(got)
+        expected = oracle_matches(regex, data)
+        if got != expected:
+            got_set, expected_set = set(got), set(expected)
+            mismatches.append(
+                Mismatch(
+                    regex_id=regex.regex_id,
+                    pattern=regex.pattern,
+                    missing=tuple(sorted(expected_set - got_set)),
+                    spurious=tuple(sorted(got_set - expected_set)),
+                )
+            )
+    return VerificationReport(
+        regexes_checked=len(ruleset),
+        input_length=len(data),
+        total_matches=total,
+        mismatches=tuple(mismatches),
+    )
+
+
+def self_check(
+    ruleset: CompiledRuleset,
+    data: bytes,
+    *,
+    bin_size: int | None = None,
+) -> VerificationReport:
+    """Run the RAP simulator on ``data`` and verify it against the oracle."""
+    from repro.simulators import RAPSimulator
+
+    result = RAPSimulator().run(ruleset, data, bin_size=bin_size)
+    return verify_matches(ruleset, data, result.matches)

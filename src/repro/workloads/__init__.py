@@ -1,0 +1,25 @@
+"""Synthetic workloads standing in for the paper's proprietary rule sets.
+
+The evaluation uses seven real-world benchmarks (Snort, Suricata,
+Prosite, Yara, ClamAV, SpamAssassin, RegexLib) plus ANMLZoo for the FPGA
+comparison.  Those exact rule sets are not redistributable, so this
+package generates seeded synthetic equivalents whose *measured
+characteristics* match what the paper reports: the NFA/NBVA/LNFA mix of
+Fig. 1, the bounded-repetition size distributions that drive the NBVA
+results, and the pattern-length/alphabet profiles of each domain.
+
+All generators are deterministic given a seed, so experiments are
+reproducible run to run.
+"""
+
+from repro.workloads.datasets import BENCHMARKS, generate_benchmark
+from repro.workloads.inputs import generate_input
+from repro.workloads.profiles import PROFILES, BenchmarkProfile
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "PROFILES",
+    "generate_benchmark",
+    "generate_input",
+]

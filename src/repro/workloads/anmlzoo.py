@@ -1,0 +1,73 @@
+"""Synthetic ANMLZoo-style benchmarks for the FPGA comparison (Table 4).
+
+The paper evaluates RAP against hAP on five ANMLZoo suites.  ANMLZoo
+ships automata with bounded repetitions already unfolded, so — except for
+ClamAV's large repetitions — these suites exercise plain NFA/LNFA
+behaviour.  The generators reuse the synthetic machinery with profiles
+matching each suite's published character:
+
+* **Brill**: part-of-speech rewrite rules — word-literal patterns;
+* **ClamAV**: virus signatures with large gap repetitions;
+* **Dotstar**: synthetic ``lit .* lit`` patterns (the suite's namesake);
+* **PowerEN**: complex multi-feature patterns from IBM's PowerEN rules;
+* **Snort**: network payload rules.
+"""
+
+from __future__ import annotations
+
+
+from repro.workloads.datasets import GeneratedBenchmark, generate_from_profile
+from repro.workloads.profiles import PROFILES, BenchmarkProfile
+
+ANMLZOO_PROFILES: dict[str, BenchmarkProfile] = {
+    "Brill": BenchmarkProfile(
+        name="Brill",
+        domain="text",
+        nfa_fraction=0.30,
+        nbva_fraction=0.0,
+        lnfa_fraction=0.70,
+        rep_bound_range=(2, 4),
+        lnfa_length_range=(5, 18),
+        nfa_literal_range=(4, 10),
+        chosen_bv_depth=4,
+        chosen_bin_size=16,
+        nominal_size=2000,
+    ),
+    "ClamAV": PROFILES["ClamAV"],
+    "Dotstar": BenchmarkProfile(
+        name="Dotstar",
+        domain="text",
+        nfa_fraction=0.95,
+        nbva_fraction=0.0,
+        lnfa_fraction=0.05,
+        rep_bound_range=(2, 4),
+        lnfa_length_range=(4, 10),
+        nfa_literal_range=(4, 10),
+        chosen_bv_depth=4,
+        chosen_bin_size=4,
+        nominal_size=3000,
+    ),
+    "PowerEN": BenchmarkProfile(
+        name="PowerEN",
+        domain="network",
+        nfa_fraction=0.60,
+        nbva_fraction=0.15,
+        lnfa_fraction=0.25,
+        rep_bound_range=(10, 60),
+        lnfa_length_range=(5, 14),
+        nfa_literal_range=(4, 12),
+        chosen_bv_depth=4,
+        chosen_bin_size=8,
+        nominal_size=2500,
+    ),
+    "Snort": PROFILES["Snort"],
+}
+
+ANMLZOO_BENCHMARKS = list(ANMLZOO_PROFILES)
+
+
+def generate_anmlzoo_benchmark(
+    name: str, size: int | None = None, seed: int = 0
+) -> GeneratedBenchmark:
+    """Generate one ANMLZoo-style suite (deterministic per seed)."""
+    return generate_from_profile(ANMLZOO_PROFILES[name], size=size, seed=seed)

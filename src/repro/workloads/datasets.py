@@ -1,0 +1,265 @@
+"""Synthetic benchmark generators.
+
+Each benchmark draws regexes from three mode-typed generators until its
+Fig. 1 mix is met:
+
+* **LNFA-class**: fixed-length character sequences — string literals,
+  small classes, wildcards, at most a couple of optionals (Prosite
+  motifs, SpamAssassin phrases);
+* **NBVA-class**: a literal prefix, a counted character class with a
+  domain-typical bound (``[^\\\\]{1,64}`` in Yara, hex gap runs in
+  ClamAV, payload length checks in Snort), and a short suffix;
+* **NFA-class**: unbounded constructs — ``.*`` gaps, ``+`` runs,
+  variable-length alternations (RegexLib validation patterns).
+
+Every generated regex is verified against the Fig. 9 decision graph at
+the compiler's default settings, so a benchmark's advertised mix is a
+guarantee, not a hope.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.compiler.decision import decide
+from repro.compiler.program import CompiledMode
+from repro.regex.parser import parse
+from repro.workloads.profiles import PROFILES, BenchmarkProfile
+
+# Decision-graph settings used for mix verification (compiler defaults).
+_VERIFY_THRESHOLD = 8
+_VERIFY_BLOWUP = 2.0
+
+# The "binary" domain (Yara / ClamAV) works on raw byte values rendered
+# as \xHH escapes — real malware signatures are byte strings, and their
+# byte-range classes stay within one aligned 32-value block (the 84%
+# single-code population of Section 3.2).  The others are ASCII domains.
+_DOMAIN_LITERALS = {
+    "text": "abcdefghijklmnopqrstuvwxyz0123456789",
+    "email": "abcdefghijklmnopqrstuvwxyz",
+    "network": "abcdefghijklmnopqrstuvwxyz0123456789/=&?",
+    "binary": None,  # any byte value; see _literal_char
+    "protein": "ACDEFGHIKLMNPQRSTVWY",
+}
+
+_DOMAIN_CLASSES = {
+    "text": ["[a-z]", "[0-9]", "[a-f]", "[x-z]"],
+    "email": ["[a-z]", "[eio]", "[rst]"],
+    "network": ["[a-z]", "[0-9]", "[g-o]", "[/=&]"],
+    "binary": [
+        "[\\x00-\\x1f]",
+        "[\\x20-\\x3f]",
+        "[\\x40-\\x5f]",
+        "[\\x80-\\x9f]",
+        "[\\xe0-\\xff]",
+    ],
+    "protein": ["[ACDE]", "[FGHI]", "[KLMN]", "[PQRS]", "[TVWY]"],
+}
+
+_GAP_CLASSES = {
+    "text": ["[a-z]", "[0-9]", "[^;]"],
+    "email": ["[a-z]", "[^ ]"],
+    "network": ["[^\\n]", "[a-z0-9]", "[^;]"],
+    "binary": ["[^\\x00]", ".", "[^\\xff]"],
+    "protein": ["[ACDEFGHIKLMNPQRSTVWY]", "."],
+}
+
+
+@dataclass(frozen=True)
+class GeneratedBenchmark:
+    """A synthetic benchmark: patterns plus their generation profile."""
+
+    name: str
+    profile: BenchmarkProfile
+    patterns: tuple[str, ...]
+    intended_modes: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+
+BENCHMARKS = list(PROFILES)
+
+
+def generate_benchmark(
+    name: str, size: int | None = None, seed: int = 0
+) -> GeneratedBenchmark:
+    """Generate the named benchmark with ``size`` regexes (deterministic)."""
+    return generate_from_profile(PROFILES[name], size=size, seed=seed)
+
+
+def generate_from_profile(
+    profile: BenchmarkProfile, size: int | None = None, seed: int = 0
+) -> GeneratedBenchmark:
+    """Generate a benchmark from an explicit profile (ANMLZoo reuses this)."""
+    total = size if size is not None else profile.nominal_size
+    rng = random.Random((_stable_hash(profile.name) & 0xFFFF_FFFF) ^ seed)
+    counts = profile.counts(total)
+    patterns: list[str] = []
+    modes: list[str] = []
+    for mode_name, count in counts.items():
+        target = CompiledMode[mode_name]
+        for _ in range(count):
+            patterns.append(_generate_verified(target, profile, rng))
+            modes.append(mode_name)
+    order = list(range(len(patterns)))
+    rng.shuffle(order)
+    return GeneratedBenchmark(
+        name=profile.name,
+        profile=profile,
+        patterns=tuple(patterns[i] for i in order),
+        intended_modes=tuple(modes[i] for i in order),
+    )
+
+
+def generate_mode_patterns(
+    profile: BenchmarkProfile,
+    mode: CompiledMode,
+    count: int,
+    seed: int = 0,
+) -> tuple[str, ...]:
+    """Generate ``count`` regexes of one decided mode from a profile.
+
+    The Table 2/3 experiments evaluate "all regexes compiled to NBVA
+    (resp. LNFA)" of a benchmark; this helper sizes those subsets
+    independently of the full benchmark's mix.
+    """
+    rng = random.Random(
+        (_stable_hash(f"{profile.name}:{mode.value}") & 0xFFFF_FFFF) ^ seed
+    )
+    return tuple(
+        _generate_verified(mode, profile, rng) for _ in range(count)
+    )
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic across processes (unlike ``hash`` with PYTHONHASHSEED)."""
+    value = 0
+    for ch in text:
+        value = (value * 131 + ord(ch)) & 0xFFFF_FFFF
+    return value
+
+
+def _generate_verified(
+    target: CompiledMode, profile: BenchmarkProfile, rng: random.Random
+) -> str:
+    for _ in range(50):
+        pattern = _GENERATORS[target](profile, rng)
+        decision = decide(
+            parse(pattern),
+            unfold_threshold=_VERIFY_THRESHOLD,
+            lnfa_blowup=_VERIFY_BLOWUP,
+        )
+        if decision.mode is target:
+            if rng.random() < profile.anchored_fraction:
+                pattern = f"^{pattern}$"
+            if rng.random() < profile.nocase_fraction:
+                pattern = f"(?i){pattern}"
+            return pattern
+    raise RuntimeError(
+        f"could not generate a {target.value} regex for {profile.name}"
+    )
+
+
+# -- per-mode generators -------------------------------------------------------
+
+
+_METACHARS = set(".^$*+?()[]{}|\\")
+
+
+def _literal_char(profile: BenchmarkProfile, rng: random.Random) -> str:
+    alphabet = _DOMAIN_LITERALS[profile.domain]
+    if alphabet is None:  # raw-byte domain
+        return f"\\x{rng.randrange(256):02x}"
+    ch = rng.choice(alphabet)
+    return "\\" + ch if ch in _METACHARS else ch
+
+
+def _literal_run(profile: BenchmarkProfile, rng: random.Random, length: int) -> str:
+    return "".join(_literal_char(profile, rng) for _ in range(length))
+
+
+def _lnfa_regex(profile: BenchmarkProfile, rng: random.Random) -> str:
+    length = rng.randint(*profile.lnfa_length_range)
+    classes = _DOMAIN_CLASSES[profile.domain]
+    parts: list[str] = []
+    optionals = 0
+    for i in range(length):
+        roll = rng.random()
+        if roll < 0.62:
+            parts.append(_literal_char(profile, rng))
+        elif roll < 0.82:
+            parts.append(rng.choice(classes))
+        elif roll < 0.94:
+            parts.append(".")
+        elif optionals < 2 and i > 0:
+            parts.append(_literal_char(profile, rng) + "?")
+            optionals += 1
+        else:
+            parts.append(rng.choice(classes))
+    return "".join(parts)
+
+
+def _nbva_regex(profile: BenchmarkProfile, rng: random.Random) -> str:
+    # Complex prefixes keep the BV activation rate low (the paper's Yara
+    # observation); short prefixes would light counters up on random
+    # background bytes.
+    prefix = _literal_run(profile, rng, rng.randint(4, 7))
+    suffix = _literal_run(profile, rng, rng.randint(1, 3))
+    gap_cc = rng.choice(_GAP_CLASSES[profile.domain])
+    lo_bound, hi_bound = profile.rep_bound_range
+    hi = rng.randint(max(lo_bound, _VERIFY_THRESHOLD + 1), hi_bound)
+    style = rng.random()
+    if style < 0.45:
+        counted = f"{gap_cc}{{{hi}}}"  # exact bound
+    elif style < 0.8:
+        lo = rng.randint(1, max(1, hi // 4))
+        counted = f"{gap_cc}{{{lo},{hi}}}"  # range bound
+    else:
+        counted = f"{gap_cc}{{0,{hi}}}"  # pure rAll gap
+        suffix = _literal_run(profile, rng, rng.randint(2, 3))
+    # Signature-style patterns are prefix-gap-suffix; an unbounded ``.*``
+    # ahead of the counter would pin the BV active from the first prefix
+    # hit onward, which real gap signatures avoid.
+    return f"{prefix}{counted}{suffix}"
+
+
+def _literal_tokens(
+    profile: BenchmarkProfile, rng: random.Random, length: int
+) -> list[str]:
+    """One escaped token per symbol, so slicing stays escape-safe."""
+    return [_literal_char(profile, rng) for _ in range(length)]
+
+
+def _nfa_regex(profile: BenchmarkProfile, rng: random.Random) -> str:
+    def lit() -> str:
+        """Shorthand literal constructor used by the generators."""
+        return "".join(
+            _literal_tokens(
+                profile, rng, rng.randint(*profile.nfa_literal_range)
+            )
+        )
+
+    classes = _DOMAIN_CLASSES[profile.domain]
+    style = rng.random()
+    if style < 0.35:
+        return f"{lit()}.*{lit()}"
+    if style < 0.6:
+        return f"{lit()}{rng.choice(classes)}+{lit()}"
+    if style < 0.8:
+        # variable-length alternation under a star: never linearizable
+        a = lit()
+        b_tokens = _literal_tokens(
+            profile, rng, rng.randint(*profile.nfa_literal_range)
+        )
+        b = "".join(b_tokens[: max(2, len(b_tokens) // 2)])
+        return f"{lit()}(?:{a}|{b})*{lit()}"
+    return f"{lit()}{rng.choice(classes)}*{lit()}{rng.choice(classes)}+"
+
+
+_GENERATORS = {
+    CompiledMode.LNFA: _lnfa_regex,
+    CompiledMode.NBVA: _nbva_regex,
+    CompiledMode.NFA: _nfa_regex,
+}

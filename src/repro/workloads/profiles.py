@@ -1,0 +1,181 @@
+"""Per-benchmark workload profiles.
+
+Each profile records the characteristics the paper reports (or that are
+well known for the source rule sets) and that the results actually depend
+on:
+
+* the target NFA / NBVA / LNFA regex mix (Fig. 1);
+* the bounded-repetition size range (drives the NBVA columns/compression
+  and the chosen BV depth of Fig. 10a);
+* pattern length ranges and the input-domain alphabet;
+* the DSE parameters the paper selects per benchmark in Fig. 10
+  (BV depth, LNFA bin size).
+
+Fig. 1's exact percentages are read off the bar chart; where only
+qualitative statements exist in the text ("more than 80% ... ClamAV",
+"majority ... Prosite and SpamAssassin", "most ... RegexLib ... NFA",
+"no regex ... NBVA in Prosite") the profiles honour those statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Generation parameters for one synthetic benchmark."""
+
+    name: str
+    domain: str  # input-domain generator key (see workloads.inputs)
+    # target regex mix (fractions summing to 1)
+    nfa_fraction: float
+    nbva_fraction: float
+    lnfa_fraction: float
+    # bounded repetitions: (lo, hi) range of the *upper* bounds generated
+    rep_bound_range: tuple[int, int]
+    # fixed-pattern lengths for LNFA-class regexes
+    lnfa_length_range: tuple[int, int]
+    # literal-run lengths for NFA-class regexes
+    nfa_literal_range: tuple[int, int]
+    # DSE parameters the paper chooses for this benchmark (Fig. 10)
+    chosen_bv_depth: int
+    chosen_bin_size: int
+    # regexes in the full-size benchmark (scaled down for quick runs)
+    nominal_size: int
+    # fraction of regexes wrapped in ^...$ (RegexLib's input-validation
+    # patterns are typically fully anchored; scanning rule sets are not)
+    anchored_fraction: float = 0.0
+    # fraction of regexes marked (?i) (Snort/Suricata content rules are
+    # frequently nocase; binary signatures never are)
+    nocase_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.nfa_fraction + self.nbva_fraction + self.lnfa_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: mode fractions sum to {total}")
+
+    def counts(self, total: int) -> dict[str, int]:
+        """Integer per-mode counts for a benchmark of ``total`` regexes."""
+        nbva = round(total * self.nbva_fraction)
+        lnfa = round(total * self.lnfa_fraction)
+        nfa = total - nbva - lnfa
+        return {"NFA": max(nfa, 0), "NBVA": nbva, "LNFA": lnfa}
+
+
+PROFILES: dict[str, BenchmarkProfile] = {
+    "RegexLib": BenchmarkProfile(
+        name="RegexLib",
+        domain="text",
+        nfa_fraction=0.70,
+        nbva_fraction=0.12,
+        lnfa_fraction=0.18,
+        rep_bound_range=(9, 20),  # low ratio and small sizes (Section 5.4)
+        lnfa_length_range=(5, 10),
+        nfa_literal_range=(3, 8),
+        chosen_bv_depth=4,
+        chosen_bin_size=16,
+        nominal_size=2000,
+        anchored_fraction=0.4,
+    ),
+    "SpamAssassin": BenchmarkProfile(
+        name="SpamAssassin",
+        domain="email",
+        nfa_fraction=0.22,
+        nbva_fraction=0.15,
+        lnfa_fraction=0.63,
+        rep_bound_range=(8, 24),  # "Jeste.{1,8}firm.{1,8}" -> small BVs
+        lnfa_length_range=(6, 14),
+        nfa_literal_range=(4, 10),
+        chosen_bv_depth=4,
+        chosen_bin_size=16,
+        nominal_size=3000,
+    ),
+    "Snort": BenchmarkProfile(
+        name="Snort",
+        domain="network",
+        nfa_fraction=0.40,
+        nbva_fraction=0.42,
+        lnfa_fraction=0.18,
+        rep_bound_range=(16, 300),
+        lnfa_length_range=(5, 12),
+        nfa_literal_range=(4, 12),
+        chosen_bv_depth=8,
+        chosen_bin_size=16,
+        nominal_size=4000,
+        nocase_fraction=0.25,
+    ),
+    "Suricata": BenchmarkProfile(
+        name="Suricata",
+        domain="network",
+        nfa_fraction=0.38,
+        nbva_fraction=0.44,
+        lnfa_fraction=0.18,
+        rep_bound_range=(16, 300),
+        lnfa_length_range=(5, 12),
+        nfa_literal_range=(4, 12),
+        chosen_bv_depth=8,
+        chosen_bin_size=16,
+        nominal_size=4000,
+        nocase_fraction=0.25,
+    ),
+    "Yara": BenchmarkProfile(
+        name="Yara",
+        domain="binary",
+        nfa_fraction=0.15,
+        nbva_fraction=0.60,
+        lnfa_fraction=0.25,
+        rep_bound_range=(32, 128),  # AppPath=[C-Z]:\\[^\\]{1,64}\.exe
+        lnfa_length_range=(8, 14),
+        nfa_literal_range=(4, 10),
+        chosen_bv_depth=16,
+        chosen_bin_size=16,
+        nominal_size=2500,
+    ),
+    "ClamAV": BenchmarkProfile(
+        name="ClamAV",
+        domain="binary",
+        nfa_fraction=0.05,
+        nbva_fraction=0.85,
+        lnfa_fraction=0.10,
+        rep_bound_range=(64, 1000),  # large bounds dominate
+        lnfa_length_range=(12, 20),
+        nfa_literal_range=(6, 12),
+        chosen_bv_depth=32,
+        chosen_bin_size=16,
+        nominal_size=5000,
+    ),
+    "Prosite": BenchmarkProfile(
+        name="Prosite",
+        domain="protein",
+        nfa_fraction=0.25,
+        nbva_fraction=0.0,  # "No regex has been compiled to NBVA in Prosite"
+        lnfa_fraction=0.75,
+        rep_bound_range=(2, 4),  # only small motif repeats, all unfolded
+        lnfa_length_range=(10, 18),
+        nfa_literal_range=(4, 10),
+        chosen_bv_depth=4,
+        chosen_bin_size=32,
+        nominal_size=1500,
+    ),
+}
+
+# The order the paper's tables use.
+TABLE2_BENCHMARKS = [
+    "RegexLib",
+    "SpamAssassin",
+    "Snort",
+    "Suricata",
+    "Yara",
+    "ClamAV",
+]
+TABLE3_BENCHMARKS = [
+    "RegexLib",
+    "Prosite",
+    "SpamAssassin",
+    "Snort",
+    "Suricata",
+    "Yara",
+    "ClamAV",
+]
+ALL_BENCHMARKS = TABLE3_BENCHMARKS

@@ -1,0 +1,200 @@
+"""Anchored-pattern semantics across every engine.
+
+``^`` makes the initial states start-of-data STEs (available only for
+the first symbol); ``$`` restricts reporting to matches that consume the
+final symbol.  Every engine must implement both identically.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.glushkov import build_automaton
+from repro.automata.lnfa import LNFA
+from repro.automata.nbva import NBVASimulator
+from repro.automata.nfa import NFASimulator
+from repro.automata.reference import ReferenceMatcher
+from repro.automata.shift_and import MultiShiftAnd, ShiftAnd
+from repro.compiler import CompilerConfig, compile_ruleset
+from repro.regex.charclass import CharClass
+from repro.regex.parser import parse, parse_anchored
+from repro.simulators import RAPSimulator
+
+from tests.helpers import inputs, regex_trees
+
+
+def re_anchored_ends(pattern: str, text: str) -> list[int]:
+    """Oracle: end positions under ^/$ semantics via Python's re."""
+    parsed = parse_anchored(pattern)
+    body = re.compile(parsed.regex.to_pattern())
+    out = []
+    for end in range(len(text)):
+        starts = [0] if parsed.anchored_start else range(end + 1)
+        if parsed.anchored_end and end != len(text) - 1:
+            continue
+        if any(body.fullmatch(text, s, end + 1) for s in starts):
+            out.append(end)
+    return out
+
+
+class TestNFAAnchors:
+    def matcher(self, pattern):
+        return NFASimulator(build_automaton(parse(pattern)))
+
+    def test_start_anchor(self):
+        m = self.matcher("ab")
+        assert m.find_matches(b"abab", anchored_start=True) == [1]
+        assert m.find_matches(b"xab", anchored_start=True) == []
+
+    def test_end_anchor(self):
+        m = self.matcher("ab")
+        assert m.find_matches(b"abab", anchored_end=True) == [3]
+        assert m.find_matches(b"abx", anchored_end=True) == []
+
+    def test_both_anchors(self):
+        m = self.matcher("ab")
+        assert m.find_matches(
+            b"ab", anchored_start=True, anchored_end=True
+        ) == [1]
+        assert m.find_matches(
+            b"abab", anchored_start=True, anchored_end=True
+        ) == []
+
+    def test_star_with_start_anchor(self):
+        m = self.matcher("ab*c")
+        assert m.find_matches(b"abbc", anchored_start=True) == [3]
+        assert m.find_matches(b"xabbc", anchored_start=True) == []
+
+
+class TestNBVAAnchors:
+    def test_start_anchor(self):
+        m = NBVASimulator(build_automaton(parse("a{9}")))
+        assert m.find_matches(b"a" * 12, anchored_start=True) == [8]
+        assert m.find_matches(b"xa" + b"a" * 12, anchored_start=True) == []
+
+    def test_end_anchor(self):
+        m = NBVASimulator(build_automaton(parse("ba{3}")))
+        assert m.find_matches(b"baaaa", anchored_end=True) == []
+        assert m.find_matches(b"xbaaa", anchored_end=True) == [4]
+
+
+class TestShiftAndAnchors:
+    def test_single(self):
+        m = ShiftAnd(LNFA((CharClass.of("a"), CharClass.of("b"))))
+        assert m.find_matches(b"abab", anchored_start=True) == [1]
+        assert m.find_matches(b"abab", anchored_end=True) == [3]
+
+    def test_multi_mixed_anchors(self):
+        ab = LNFA((CharClass.of("a"), CharClass.of("b")))
+        cd = LNFA((CharClass.of("c"), CharClass.of("d")))
+        packed = MultiShiftAnd(
+            [ab, cd], anchors=[(True, False), (False, False)]
+        )
+        hits = packed.find_matches(b"abcdab")
+        assert (0, 1) in hits  # anchored ab at the start
+        assert (0, 5) not in hits  # later ab suppressed
+        assert (1, 3) in hits  # unanchored cd still matches
+
+    def test_anchored_leak_masked(self):
+        """A start-anchored pattern's first bit must not receive the
+        packed shift leak from its predecessor pattern."""
+        ab = LNFA((CharClass.of("a"), CharClass.of("b")))
+        bb = LNFA((CharClass.of("b"), CharClass.of("c")))
+        packed = MultiShiftAnd(
+            [ab, bb], anchors=[(False, False), (True, False)]
+        )
+        # 'ab' matching at 1 shifts toward bb's first bit at step 2; bb is
+        # anchored so 'abc' must NOT report bb at position 2.
+        assert (1, 2) not in packed.find_matches(b"abc")
+
+    def test_anchor_list_validated(self):
+        ab = LNFA((CharClass.of("a"),))
+        with pytest.raises(ValueError):
+            MultiShiftAnd([ab], anchors=[(False, False), (True, True)])
+
+
+class TestReferenceAnchors:
+    @pytest.mark.parametrize(
+        "pattern,text",
+        [
+            ("^ab", "abab"),
+            ("ab$", "abab"),
+            ("^ab$", "ab"),
+            ("^ab$", "abab"),
+            ("^a+b", "aabxaab"),
+            ("a[bc]$", "zacab"),
+        ],
+    )
+    def test_against_re(self, pattern, text):
+        parsed = parse_anchored(pattern)
+        matcher = ReferenceMatcher(
+            parsed.regex,
+            anchored_start=parsed.anchored_start,
+            anchored_end=parsed.anchored_end,
+        )
+        assert matcher.find_matches(text.encode()) == re_anchored_ends(
+            pattern, text
+        )
+
+
+class TestCompiledAnchors:
+    def test_flags_compiled(self):
+        ruleset = compile_ruleset(["^abc", "abc$", "^abc$", "abc"])
+        flags = [(r.anchored_start, r.anchored_end) for r in ruleset]
+        assert flags == [
+            (True, False),
+            (False, True),
+            (True, True),
+            (False, False),
+        ]
+
+    @pytest.mark.parametrize(
+        "pattern", ["^ab{20}c", "^a[bc]d", "^ab*c", "ab{20}c$", "a[bc]d$"]
+    )
+    def test_rap_honours_anchors(self, pattern):
+        data = b"xx a" + b"b" * 20 + b"c abd acd " + b"a" + b"b" * 20 + b"c"
+        ruleset = compile_ruleset([pattern], CompilerConfig(bv_depth=4))
+        result = RAPSimulator().run(ruleset, data)
+        parsed = parse_anchored(pattern)
+        expected = ReferenceMatcher(
+            parsed.regex,
+            anchored_start=parsed.anchored_start,
+            anchored_end=parsed.anchored_end,
+        ).find_matches(data)
+        assert result.matches[0] == expected, pattern
+
+    def test_anchored_lnfa_through_bins(self):
+        data = b"abc xyz abc"
+        ruleset = compile_ruleset(["^abc", "xyz"], CompilerConfig())
+        result = RAPSimulator().run(ruleset, data, bin_size=2)
+        assert result.matches[0] == [2]  # only the start occurrence
+        assert result.matches[1] == [6]
+
+    def test_serialization_preserves_anchors(self, tmp_path):
+        from repro.io.serialize import load_ruleset, save_ruleset
+
+        ruleset = compile_ruleset(["^ab{12}c$"], CompilerConfig(bv_depth=4))
+        restored = load_ruleset(save_ruleset(ruleset, tmp_path / "r.json"))
+        assert restored.regexes[0].anchored_start
+        assert restored.regexes[0].anchored_end
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    regex_trees(max_leaves=6, max_bound=3),
+    inputs(max_size=14),
+    st.booleans(),
+    st.booleans(),
+)
+def test_all_engines_agree_on_anchored_semantics(tree, data, a_start, a_end):
+    """NFA engine vs reference oracle under every anchor combination."""
+    reference = ReferenceMatcher(
+        tree, anchored_start=a_start, anchored_end=a_end
+    )
+    from repro.regex.rewrite import unfold_all
+
+    engine = NFASimulator(build_automaton(unfold_all(tree)))
+    got = engine.find_matches(data, anchored_start=a_start, anchored_end=a_end)
+    assert got == reference.find_matches(data)

@@ -1,0 +1,100 @@
+"""Fig. 6 bit-serial LNFA datapath tests, including the paper's trace."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.bitserial import BitSerialLNFA, format_trace
+from repro.automata.lnfa import LNFA
+from repro.automata.shift_and import ShiftAnd
+from repro.regex.charclass import CharClass
+from repro.regex.parser import parse
+from repro.regex.rewrite import linearize
+
+from tests.automata.test_lnfa import lnfa_strategy
+from tests.helpers import inputs
+
+
+def lnfa_of(pattern: str) -> LNFA:
+    lin = linearize(parse(pattern), max_states=64)
+    assert lin is not None and len(lin.sequences) == 1
+    return LNFA(lin.sequences[0])
+
+
+class TestFig6Walkthrough:
+    """The worked example of Fig. 6: a.[bc] over input 'abc'."""
+
+    def setup_method(self):
+        self.engine = BitSerialLNFA(lnfa_of("a.[bc]"))
+
+    def test_cycle_by_cycle(self):
+        t1, t2, t3 = self.engine.trace(b"abc")
+        # cycle 1: input a matches STE1 (and no others of a.[bc]... the
+        # wildcard column matches everything, so labels = 110)
+        assert f"{t1.labels:03b}" == "110"
+        assert f"{t1.next_vector:03b}" == "100"  # only the initial column
+        assert f"{t1.states:03b}" == "100"
+        assert not t1.report
+        # cycle 2: the active vector right-shifted keeps column 2 enabled
+        assert f"{t2.next_vector:03b}" == "110"
+        assert f"{t2.states:03b}" == "010"
+        assert not t2.report
+        # cycle 3: c matches the final column -> match report
+        assert t3.states & 1
+        assert t3.report
+
+    def test_matches(self):
+        assert self.engine.find_matches(b"abc") == [2]
+        assert self.engine.find_matches(b"ab") == []
+
+    def test_active_columns_follow_the_vector(self):
+        (t1, t2, _) = self.engine.trace(b"abc")
+        assert self.engine.active_columns(t1.states) == [0]
+        assert self.engine.active_columns(t2.states) == [1]
+
+
+class TestEquivalenceWithClassicShiftAnd:
+    @pytest.mark.parametrize(
+        "pattern,data",
+        [
+            ("a[bc].d", b"abcdabxdzacd"),
+            ("ana", b"banana"),
+            ("a", b"aaaa"),
+            ("abc", b"xxabcxabc"),
+        ],
+    )
+    def test_same_matches(self, pattern, data):
+        seq = lnfa_of(pattern)
+        assert BitSerialLNFA(seq).find_matches(data) == ShiftAnd(
+            seq
+        ).find_matches(data)
+
+    def test_anchored_variants(self):
+        seq = lnfa_of("ab")
+        data = b"abab"
+        assert BitSerialLNFA(seq, anchored_start=True).find_matches(
+            data
+        ) == ShiftAnd(seq).find_matches(data, anchored_start=True)
+        assert BitSerialLNFA(seq).find_matches(
+            data, anchored_end=True
+        ) == ShiftAnd(seq).find_matches(data, anchored_end=True)
+
+
+class TestFormatTrace:
+    def test_renders_all_rows(self):
+        text = format_trace(lnfa_of("a.[bc]"), b"abc")
+        for row in ("input", "labels", "next", "states", "report"):
+            assert row in text
+
+    def test_nonprintable_symbols_escaped(self):
+        text = format_trace(LNFA((CharClass.any(),)), bytes([0]))
+        assert "\\x00" in text
+
+
+@settings(max_examples=100, deadline=None)
+@given(lnfa_strategy(), inputs(max_size=24))
+def test_bit_serial_equals_classic_everywhere(auto, data):
+    """The mirrored hardware datapath is exactly the Shift-And language."""
+    assert BitSerialLNFA(auto).find_matches(data) == ShiftAnd(
+        auto
+    ).find_matches(data)

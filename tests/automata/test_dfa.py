@@ -1,0 +1,80 @@
+"""Subset-construction DFA tests: oracle equivalence and the blowup claim."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.dfa import DFA, DFABlowupError, determinize
+from repro.automata.glushkov import build_automaton
+from repro.automata.nfa import NFASimulator
+from repro.automata.reference import ReferenceMatcher
+from repro.regex.parser import parse
+
+from tests.helpers import inputs, regex_trees
+
+
+def dfa_of(pattern: str, max_states: int = 1 << 16) -> DFA:
+    return determinize(
+        build_automaton(parse(pattern), counters=False), max_states=max_states
+    )
+
+
+class TestBasics:
+    def test_literal(self):
+        assert dfa_of("ana").find_matches(b"banana") == [3, 5]
+
+    def test_alternation(self):
+        assert dfa_of("an|na").find_matches(b"banana") == [2, 3, 4, 5]
+
+    def test_star(self):
+        assert dfa_of("ab*c").find_matches(b"abbbc ac") == [4, 7]
+
+    def test_counted_automata_rejected(self):
+        counted = build_automaton(parse("a{40}"))
+        with pytest.raises(ValueError):
+            determinize(counted)
+
+    def test_state_count_reasonable_for_literals(self):
+        dfa = dfa_of("abcde")
+        assert dfa.state_count <= 6 + 1  # one per prefix, plus sink-ish
+
+    def test_count_matches(self):
+        assert dfa_of("aa").count_matches(b"aaaa") == 3
+
+
+class TestBlowup:
+    def test_classic_exponential_family(self):
+        """a.{n}b needs ~2^n DFA states (the n-th-from-last construction):
+        the Section 2.1 motivation, executable."""
+        small = dfa_of("a.{4}b")
+        assert small.state_count > 2**4
+        with pytest.raises(DFABlowupError) as err:
+            dfa_of("a.{18}b", max_states=4096)
+        assert err.value.budget == 4096
+
+    def test_blowup_grows_with_bound(self):
+        sizes = [dfa_of(f"a.{{{n}}}b").state_count for n in (3, 5, 7)]
+        assert sizes[0] < sizes[1] < sizes[2]
+        # roughly doubling per extra gap symbol
+        assert sizes[2] > 3 * sizes[1] / 2
+
+    def test_nbva_sidesteps_the_blowup(self):
+        """The same pattern the DFA cannot afford costs the NBVA a single
+        counted state — the whole reason RAP has an NBVA mode."""
+        from repro.automata.glushkov import build_automaton as build
+
+        counted = build(parse("a.{60}b"))
+        assert counted.state_count == 3  # a, gap (counted), b
+        with pytest.raises(DFABlowupError):
+            dfa_of("a.{60}b", max_states=1 << 15)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex_trees(max_leaves=6, max_bound=3), inputs(max_size=18))
+def test_dfa_is_a_third_oracle(tree, data):
+    auto = build_automaton(tree, counters=False)
+    try:
+        dfa = determinize(auto, max_states=1 << 12)
+    except DFABlowupError:
+        return
+    assert dfa.find_matches(data) == NFASimulator(auto).find_matches(data)
+    assert dfa.find_matches(data) == ReferenceMatcher(tree).find_matches(data)

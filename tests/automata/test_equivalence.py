@@ -1,0 +1,109 @@
+"""Cross-engine equivalence: every execution model reports the same matches.
+
+This mirrors the paper's consistency checks (Section 5.2): the simulator's
+results are compared against a production matcher.  Here each engine —
+Glushkov NFA, NBVA with counters, Shift-And over linearized patterns, and
+the Thompson reference oracle — must agree on the exact set of match end
+positions for randomized regexes and inputs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.glushkov import build_automaton
+from repro.automata.lnfa import LNFA
+from repro.automata.nbva import NBVASimulator
+from repro.automata.nfa import NFASimulator
+from repro.automata.reference import ReferenceMatcher
+from repro.automata.shift_and import MultiShiftAnd
+from repro.regex.parser import parse
+from repro.regex.rewrite import (
+    linearize,
+    make_countable,
+    rewrite_bounds_for_bv,
+    unfold,
+    unfold_all,
+)
+
+from tests.helpers import inputs, regex_trees
+
+
+def nfa_matches(tree, data):
+    return NFASimulator(build_automaton(unfold_all(tree))).find_matches(data)
+
+
+def nbva_matches(tree, data, threshold=2, depth=4):
+    regex = rewrite_bounds_for_bv(
+        make_countable(unfold(tree, threshold)),
+        depth=depth,
+        word_align_exact=False,
+    )
+    return NBVASimulator(build_automaton(regex)).find_matches(data)
+
+
+def reference_matches(tree, data):
+    return ReferenceMatcher(tree).find_matches(data)
+
+
+def lnfa_matches(tree, data):
+    lin = linearize(tree, max_states=512)
+    if lin is None or not lin.sequences:
+        return None
+    packed = MultiShiftAnd([LNFA(seq) for seq in lin.sequences])
+    return sorted({end for _, end in packed.find_matches(data)})
+
+
+@settings(max_examples=120, deadline=None)
+@given(regex_trees(max_leaves=8, max_bound=4), inputs(max_size=20))
+def test_nfa_equals_reference(tree, data):
+    assert nfa_matches(tree, data) == reference_matches(tree, data)
+
+
+@settings(max_examples=120, deadline=None)
+@given(regex_trees(max_leaves=8, max_bound=5), inputs(max_size=20))
+def test_nbva_equals_reference(tree, data):
+    assert nbva_matches(tree, data) == reference_matches(tree, data)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    regex_trees(max_leaves=6, with_unbounded=False, max_bound=3),
+    inputs(max_size=16),
+)
+def test_lnfa_equals_reference_when_linearizable(tree, data):
+    got = lnfa_matches(tree, data)
+    if got is None:
+        return  # not linearizable; nothing to compare
+    assert got == reference_matches(tree, data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    regex_trees(max_leaves=6, max_bound=4),
+    inputs(max_size=16),
+    st.sampled_from([1, 2, 3, 8]),
+    st.sampled_from([2, 4, 16]),
+)
+def test_nbva_invariant_to_threshold_and_depth(tree, data, threshold, depth):
+    """Compiler parameters change cost, never the language."""
+    expected = reference_matches(tree, data)
+    assert nbva_matches(tree, data, threshold, depth) == expected
+
+
+@settings(max_examples=120, deadline=None)
+@given(regex_trees(max_leaves=8, max_bound=6), inputs(max_size=20))
+def test_expanded_builder_equals_reference(tree, data):
+    """The NFA path's structural repetition expansion is exact."""
+    auto = build_automaton(tree, counters=False)
+    got = NFASimulator(auto).find_matches(data)
+    assert got == reference_matches(tree, data)
+
+
+def test_expanded_builder_handles_huge_bounds_without_recursion():
+    """ClamAV-scale bounds build iteratively (no deep AST, linear edges)."""
+    tree = parse("ab[0-9a-f]{25,985}c")
+    auto = build_automaton(tree, counters=False)
+    assert auto.state_count == 2 + 985 + 1
+    assert len(auto.edges) <= 3 * auto.state_count
+    data = b"ab" + b"7" * 500 + b"c"
+    assert NFASimulator(auto).find_matches(data) == [len(data) - 1]

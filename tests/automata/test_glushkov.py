@@ -1,0 +1,200 @@
+"""Tests for the Glushkov construction with counter groups."""
+
+import pytest
+from hypothesis import given
+
+from repro.automata.glushkov import (
+    EdgeAction,
+    GlushkovError,
+    ReadKind,
+    build_automaton,
+)
+from repro.regex.charclass import CharClass
+from repro.regex.parser import parse
+from repro.regex.rewrite import rewrite_bounds_for_bv, unfold, unfold_all
+
+from tests.helpers import regex_trees
+
+
+def build(pattern: str):
+    return build_automaton(parse(pattern))
+
+
+def build_nbva(pattern: str, threshold: int = 4, depth: int = 4):
+    regex = rewrite_bounds_for_bv(
+        unfold(parse(pattern), threshold), depth=depth, word_align_exact=False
+    )
+    return build_automaton(regex)
+
+
+class TestPlainConstruction:
+    def test_paper_example_2_1(self):
+        """a([bc]|b.*d) has 5 states and is homogeneous."""
+        auto = build("a(?:[bc]|b.*d)")
+        assert auto.state_count == 5
+        assert auto.is_plain
+        # q0 is the only initial state; q1 ([bc]) and q4 (d) are final.
+        assert auto.initial == {0}
+        final_ccs = sorted(
+            auto.positions[pid].cc.to_pattern() for pid in auto.finals
+        )
+        assert final_ccs == ["[bc]", "d"]
+
+    def test_homogeneity(self):
+        """All transitions into one state carry that state's class."""
+        auto = build("a(?:[bc]|b.*d)")
+        for edge in auto.edges:
+            assert auto.positions[edge.dst].cc == auto.positions[edge.dst].cc
+
+    def test_single_literal(self):
+        auto = build("a")
+        assert auto.state_count == 1
+        assert auto.initial == {0} and auto.finals == {0}
+        assert auto.edges == ()
+
+    def test_concat_chain(self):
+        auto = build("abc")
+        assert auto.state_count == 3
+        assert {(e.src, e.dst) for e in auto.edges} == {(0, 1), (1, 2)}
+
+    def test_alt_initials_and_finals(self):
+        auto = build("ab|cd")
+        assert auto.initial == {0, 2}
+        assert auto.finals == {1, 3}
+
+    def test_star_loop(self):
+        auto = build("ab*c")
+        edges = {(e.src, e.dst) for e in auto.edges}
+        assert (1, 1) in edges  # b self-loop
+        assert (0, 2) in edges  # skip over nullable b*
+        assert (0, 1) in edges and (1, 2) in edges
+
+    def test_nullable_chain_skip(self):
+        auto = build("ab?c?d")
+        edges = {(e.src, e.dst) for e in auto.edges}
+        assert (0, 3) in edges  # a -> d skipping both optionals
+        assert (0, 1) in edges and (0, 2) in edges
+
+    def test_nullable_flag(self):
+        assert build("a*").nullable
+        assert not build("a+").nullable
+
+    def test_empty_language(self):
+        from repro.regex.ast import EMPTY
+
+        auto = build_automaton(EMPTY)
+        assert auto.state_count == 0
+        assert not auto.initial and not auto.finals
+
+    def test_plus_loop(self):
+        auto = build("a+")
+        assert {(e.src, e.dst) for e in auto.edges} == {(0, 0)}
+
+    def test_all_edges_activate_when_plain(self):
+        auto = build("a(?:b|c)*d")
+        assert all(e.action is EdgeAction.ACTIVATE for e in auto.edges)
+
+    def test_unfolded_repeat_is_plain(self):
+        auto = build_automaton(unfold_all(parse("a{5}")))
+        assert auto.is_plain
+        assert auto.state_count == 5
+
+
+class TestCounterGroups:
+    def test_single_cc_group(self):
+        """c{5}: one counted position with a self shift loop."""
+        auto = build_nbva("a.*bc{5}")
+        assert len(auto.groups) == 1
+        group = auto.groups[0]
+        assert group.width == 5
+        assert group.read is ReadKind.EXACT
+        assert group.read_bound == 5
+        assert len(group.positions) == 1
+        pid = group.positions[0]
+        shift_edges = [
+            (e.src, e.dst) for e in auto.edges if e.action is EdgeAction.SHIFT
+        ]
+        assert shift_edges == [(pid, pid)]
+
+    def test_set1_on_entry(self):
+        auto = build_nbva("ab{9}")
+        set1 = [e for e in auto.edges if e.action is EdgeAction.SET1]
+        assert len(set1) == 1
+        assert auto.positions[set1[0].src].group is None
+        assert auto.positions[set1[0].dst].group == 0
+
+    def test_upto_group_is_rall(self):
+        auto = build_nbva("ab{0,9}c")
+        group = auto.groups[0]
+        assert group.read is ReadKind.ALL
+        assert group.width == 9
+
+    def test_range_bound_splits_into_two_groups(self):
+        auto = build_nbva("ab{10,48}c")
+        reads = sorted(g.read.value for g in auto.groups)
+        assert reads == ["r(m)", "rAll"]
+        widths = sorted(g.width for g in auto.groups)
+        assert widths == [10, 38]
+
+    def test_multi_state_body_copy_and_shift(self):
+        auto = build_nbva("(?:ab){7}")
+        group = auto.groups[0]
+        assert len(group.positions) == 2
+        actions = {e.action for e in auto.edges}
+        assert EdgeAction.COPY in actions and EdgeAction.SHIFT in actions
+
+    def test_plus_body_has_copy_and_shift_on_same_pair(self):
+        """(ab)+{3}-style bodies need both actions between the same states."""
+        regex = parse("(?:a+){3}")
+        # a+ is not nullable, so this is counting-compatible
+        auto = build_automaton(regex)
+        pairs = {(e.src, e.dst, e.action) for e in auto.edges}
+        pid = auto.groups[0].positions[0]
+        assert (pid, pid, EdgeAction.COPY) in pairs
+        assert (pid, pid, EdgeAction.SHIFT) in pairs
+
+    def test_counted_final_state(self):
+        auto = build_nbva("ab{9}")
+        (final,) = auto.finals
+        assert auto.positions[final].is_counted
+
+    def test_nested_groups_rejected(self):
+        with pytest.raises(GlushkovError):
+            build_automaton(parse("(?:a{9}b){9}"))
+
+    def test_nullable_body_rejected(self):
+        with pytest.raises(GlushkovError):
+            build_automaton(parse("(?:a*){0,9}"))
+
+    def test_unbounded_repeat_rejected(self):
+        with pytest.raises(GlushkovError):
+            build_automaton(parse("a{3,}"))
+
+    def test_unrewritten_range_rejected(self):
+        with pytest.raises(GlushkovError):
+            build_automaton(parse("a{3,9}"))
+
+    def test_group_positions_count_toward_state_count(self):
+        auto = build_nbva("ab{100}c")
+        assert auto.state_count == 3  # a, b (counted), c
+
+    def test_validate_passes(self):
+        build_nbva("ab{10,48}cd{34}ef{128}", depth=16).validate()
+
+
+@given(regex_trees(max_leaves=10))
+def test_construction_state_count_matches_unfolded_size(tree):
+    """Fully unfolded Glushkov automata have one state per position."""
+    unfolded = unfold_all(tree)
+    auto = build_automaton(unfolded)
+    assert auto.state_count == unfolded.literal_count()
+    assert auto.is_plain
+    auto.validate()
+
+
+@given(regex_trees(max_leaves=8))
+def test_initials_and_finals_are_valid_positions(tree):
+    auto = build_automaton(unfold_all(tree))
+    n = auto.state_count
+    assert all(0 <= pid < n for pid in auto.initial)
+    assert all(0 <= pid < n for pid in auto.finals)

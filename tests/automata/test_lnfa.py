@@ -1,0 +1,168 @@
+"""LNFA and Shift-And tests (paper Section 2.1 Fig. 2, Section 3.2 Fig. 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.glushkov import build_automaton
+from repro.automata.lnfa import LNFA, from_automaton, is_linear
+from repro.automata.nfa import NFASimulator
+from repro.automata.shift_and import MultiShiftAnd, ShiftAnd, ShiftAndStats
+from repro.regex.charclass import CharClass
+from repro.regex.parser import parse
+from repro.regex.rewrite import linearize
+
+from tests.helpers import charclasses, inputs
+
+
+def lnfa(pattern: str) -> LNFA:
+    lin = linearize(parse(pattern), max_states=256)
+    assert lin is not None and len(lin.sequences) == 1
+    return LNFA(lin.sequences[0])
+
+
+class TestLNFA:
+    def test_paper_example_2_3(self):
+        """a[bc].d is a 4-state LNFA."""
+        auto = lnfa("a[bc].d")
+        assert auto.state_count == 4
+        assert auto.labels[1] == CharClass.of("b", "c")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LNFA(())
+
+    def test_rejects_empty_class(self):
+        with pytest.raises(ValueError):
+            LNFA((CharClass.empty(),))
+
+    def test_to_pattern(self):
+        assert lnfa("a[bc].d").to_pattern() == "a[bc].d"
+
+    def test_matches_at_oracle(self):
+        auto = lnfa("ab")
+        assert auto.matches_at(b"xab", 2)
+        assert not auto.matches_at(b"xab", 1)
+        assert not auto.matches_at(b"a", 0)
+
+    def test_to_automaton_line_shape(self):
+        auto = lnfa("abc").to_automaton()
+        assert is_linear(auto)
+        assert auto.state_count == 3
+
+    def test_from_automaton_round_trip(self):
+        original = lnfa("a[bc].d")
+        assert from_automaton(original.to_automaton()) == original
+
+    def test_is_linear_rejects_branching(self):
+        auto = build_automaton(parse("a(?:b|c)d"))
+        assert not is_linear(auto)
+
+    def test_is_linear_rejects_self_loop(self):
+        auto = build_automaton(parse("ab*c"))
+        assert not is_linear(auto)
+
+    def test_is_linear_rejects_multiple_finals(self):
+        auto = build_automaton(parse("ab?"))
+        assert not is_linear(auto)
+
+    def test_from_automaton_rejects_nonlinear(self):
+        with pytest.raises(ValueError):
+            from_automaton(build_automaton(parse("a(?:b|c)d")))
+
+
+class TestShiftAnd:
+    def test_paper_fig2_trace(self):
+        """Shift-And over a[bc].d? — the classical LNFA of Fig. 2 matches
+        'abc' at position 2 (state q2 is final in the classical version;
+        the hardware variant uses the single-final sequences a[bc]. and
+        a[bc].d)."""
+        matcher = ShiftAnd(lnfa("a[bc]."))
+        assert matcher.find_matches(b"abc") == [2]
+
+    def test_simple(self):
+        matcher = ShiftAnd(lnfa("ana"))
+        assert matcher.find_matches(b"banana") == [3, 5]
+
+    def test_single_state(self):
+        matcher = ShiftAnd(lnfa("a"))
+        assert matcher.find_matches(b"aba") == [0, 2]
+
+    def test_stats(self):
+        stats = ShiftAndStats()
+        ShiftAnd(lnfa("ab")).find_matches(b"abab", stats)
+        assert stats.cycles == 4
+        assert stats.reports == 2
+        assert stats.active_bits > 0
+
+    def test_agrees_with_nfa(self):
+        seq = lnfa("a[bc].d")
+        expected = NFASimulator(seq.to_automaton()).find_matches(b"abcdabxd")
+        assert ShiftAnd(seq).find_matches(b"abcdabxd") == expected
+
+
+class TestMultiShiftAnd:
+    def patterns(self):
+        return [lnfa("ab"), lnfa("bc"), lnfa("abc"), lnfa("c")]
+
+    def test_reports_pattern_ids(self):
+        matcher = MultiShiftAnd(self.patterns())
+        hits = matcher.find_matches(b"abc")
+        assert set(hits) == {(0, 1), (1, 2), (2, 2), (3, 2)}
+
+    def test_no_cross_pattern_leakage(self):
+        # pattern 'ab' followed in layout by 'cd': matching 'ab' must not
+        # start 'd' matching via the boundary shift.
+        matcher = MultiShiftAnd([lnfa("ab"), lnfa("cd")])
+        assert matcher.find_matches(b"abd") == [(0, 1)]
+
+    def test_total_bits(self):
+        assert MultiShiftAnd(self.patterns()).total_bits == 2 + 2 + 3 + 1
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            MultiShiftAnd([])
+
+    def test_equivalent_to_independent_runs(self):
+        patterns = self.patterns()
+        data = b"abcabcbcc"
+        packed = MultiShiftAnd(patterns)
+        expected = set()
+        for k, p in enumerate(patterns):
+            for end in ShiftAnd(p).find_matches(data):
+                expected.add((k, end))
+        assert set(packed.find_matches(data)) == expected
+
+
+# -- property tests ------------------------------------------------------------
+
+
+@st.composite
+def lnfa_strategy(draw, max_len: int = 6):
+    labels = draw(st.lists(charclasses(), min_size=1, max_size=max_len))
+    return LNFA(tuple(labels))
+
+
+@settings(max_examples=80, deadline=None)
+@given(lnfa_strategy(), inputs(max_size=20))
+def test_shift_and_equals_nfa_simulation(auto, data):
+    expected = NFASimulator(auto.to_automaton()).find_matches(data)
+    assert ShiftAnd(auto).find_matches(data) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(lnfa_strategy(max_len=4), min_size=1, max_size=5), inputs(max_size=16))
+def test_multi_shift_and_equals_per_pattern(lnfas, data):
+    packed = MultiShiftAnd(lnfas)
+    expected = set()
+    for k, p in enumerate(lnfas):
+        for end in ShiftAnd(p).find_matches(data):
+            expected.add((k, end))
+    assert set(packed.find_matches(data)) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(lnfa_strategy(max_len=4), inputs(max_size=14))
+def test_shift_and_matches_naive_oracle(auto, data):
+    expected = [i for i in range(len(data)) if auto.matches_at(data, i)]
+    assert ShiftAnd(auto).find_matches(data) == expected

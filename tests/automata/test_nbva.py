@@ -1,0 +1,182 @@
+"""NBVA simulator tests: counting semantics, overflow, and equivalence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.glushkov import build_automaton
+from repro.automata.nbva import NBVASimulator, NBVAStats
+from repro.automata.nfa import NFASimulator
+from repro.regex.parser import parse
+from repro.regex.rewrite import rewrite_bounds_for_bv, unfold, unfold_all
+
+from tests.helpers import inputs
+
+
+def nbva(pattern: str, threshold: int = 2, depth: int = 4) -> NBVASimulator:
+    regex = rewrite_bounds_for_bv(
+        unfold(parse(pattern), threshold), depth=depth, word_align_exact=False
+    )
+    return NBVASimulator(build_automaton(regex))
+
+
+def nfa(pattern: str) -> NFASimulator:
+    return NFASimulator(build_automaton(unfold_all(parse(pattern))))
+
+
+class TestExactCounting:
+    def test_simple_count(self):
+        assert nbva("a{5}").find_matches(b"aaaaaaa") == [4, 5, 6]
+
+    def test_count_not_reached(self):
+        assert nbva("a{5}").find_matches(b"aaaa") == []
+
+    def test_count_reset_on_mismatch(self):
+        assert nbva("a{3}").find_matches(b"aaxaaa") == [5]
+
+    def test_prefixed_count(self):
+        assert nbva("ba{4}").find_matches(b"baaaaa") == [4]
+
+    def test_paper_example_2_2(self):
+        """a.*bc{3}: counting after an unbounded gap."""
+        matcher = nbva("a.*bc{3}")
+        assert matcher.find_matches(b"axxbccc") == [6]
+        assert matcher.find_matches(b"axxbcc") == []
+        assert matcher.find_matches(b"abcccbccc") == [4, 8]
+
+    def test_multi_state_body(self):
+        """(ab){3} counts iterations of a two-state body."""
+        matcher = nbva("(?:ab){3}")
+        assert matcher.find_matches(b"ababab") == [5]
+        assert matcher.find_matches(b"abababab") == [5, 7]
+        assert matcher.find_matches(b"abab") == []
+
+    def test_overflow_deactivates(self):
+        """b(a{3})c: too many a's overflow the vector and kill the path."""
+        matcher = nbva("ba{3}c")
+        assert matcher.find_matches(b"baaac") == [4]
+        assert matcher.find_matches(b"baaaac") == []
+
+    def test_overlapping_counts_tracked_as_set(self):
+        """Nondeterministic starts: multiple counter values live at once."""
+        matcher = nbva("(?:a|b)a{3}x")
+        # 'aaaax': starts at 0 (a prefix) and counts from several offsets
+        assert matcher.find_matches(b"aaaax") == [4]
+        assert matcher.find_matches(b"baaax") == [4]
+
+
+class TestUptoCounting:
+    def test_upto_is_optional(self):
+        matcher = nbva("xa{0,3}y")
+        for text, expected in [
+            (b"xy", [1]),
+            (b"xay", [2]),
+            (b"xaay", [3]),
+            (b"xaaay", [4]),
+            (b"xaaaay", []),
+        ]:
+            assert matcher.find_matches(text) == expected, text
+
+    def test_range_bound(self):
+        matcher = nbva("xa{2,4}y")
+        assert matcher.find_matches(b"xay") == []
+        assert matcher.find_matches(b"xaay") == [3]
+        assert matcher.find_matches(b"xaaaay") == [5]
+        assert matcher.find_matches(b"xaaaaay") == []
+
+    def test_paper_example_4_2_pattern(self):
+        matcher = nbva("ab{10,48}c")
+        assert matcher.find_matches(b"a" + b"b" * 10 + b"c") == [11]
+        assert matcher.find_matches(b"a" + b"b" * 48 + b"c") == [49]
+        assert matcher.find_matches(b"a" + b"b" * 9 + b"c") == []
+        assert matcher.find_matches(b"a" + b"b" * 49 + b"c") == []
+
+
+class TestMixedAutomata:
+    def test_fig5_regex(self):
+        """b(a{7}|c{5})b from Fig. 5."""
+        matcher = nbva("b(?:a{7}|c{5})b")
+        assert matcher.find_matches(b"baaaaaaab") == [8]
+        assert matcher.find_matches(b"bcccccb") == [6]
+        assert matcher.find_matches(b"bccccccb") == []
+        assert matcher.find_matches(b"bccccb") == []
+
+    def test_fig3_regex(self):
+        """a(.a){3}b from Fig. 3."""
+        matcher = nbva("a(?:.a){3}b")
+        assert matcher.find_matches(b"axaxaxab") == [7]
+        assert matcher.find_matches(b"aaaaaaab") == [7]
+        assert matcher.find_matches(b"axaxab") == []
+
+    def test_plain_automaton_accepted(self):
+        """NBVASimulator degenerates to NFA simulation without groups."""
+        matcher = nbva("ab|cd", threshold=100)
+        assert matcher.automaton.is_plain
+        assert matcher.find_matches(b"abcd") == [1, 3]
+
+    def test_counted_initial_state(self):
+        """A counted group at the very start of the regex."""
+        matcher = nbva("a{4}b")
+        assert matcher.find_matches(b"aaaab") == [4]
+        assert matcher.find_matches(b"xaaaab") == [5]
+
+
+class TestStats:
+    def test_bv_phase_only_when_counters_live(self):
+        stats = NBVAStats()
+        nbva("za{5}").find_matches(b"xxxxx", stats)
+        assert stats.bv_phase_cycles == 0
+
+        stats = NBVAStats()
+        nbva("za{5}").find_matches(b"zaaaaa", stats)
+        assert stats.bv_phase_cycles == 5
+        assert stats.set1_events > 0
+        assert stats.shift_events > 0
+
+    def test_overflow_checker_counts(self):
+        """Feeding one symbol too many shifts the last live bit out."""
+        stats = NBVAStats()
+        nbva("ba{3}c").find_matches(b"baaaa", stats)
+        assert stats.overflow_events >= 1
+
+        stats = NBVAStats()
+        nbva("ba{3}c").find_matches(b"baaac", stats)
+        assert stats.overflow_events == 0
+
+    def test_activation_rate(self):
+        stats = NBVAStats()
+        nbva("za{3}").find_matches(b"zaaa" + b"x" * 12, stats)
+        assert 0 < stats.bv_activation_rate < 0.5
+
+
+# -- equivalence with full unfolding ------------------------------------------
+
+_PATTERNS = [
+    "a{5}",
+    "xa{3,6}y",
+    "(?:ab){4}",
+    "b(?:a{7}|c{5})b",
+    "a.*bc{3}",
+    "a{4}b{3}",
+    "(?:a[ab]){3}x",
+    "ab{0,5}c",
+    "(?:a|b)c{4}",
+    "a{8}",
+]
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.sampled_from(_PATTERNS), inputs(max_size=20))
+def test_nbva_equivalent_to_unfolded_nfa(pattern, data):
+    """The counting automaton accepts exactly like the unfolded NFA."""
+    assert nbva(pattern).find_matches(data) == nfa(pattern).find_matches(data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(2, 6),
+    st.integers(0, 4),
+    inputs(alphabet="ab", max_size=20),
+)
+def test_random_bounds_equivalent(lo, extra, data):
+    pattern = f"b(?:a|b)a{{{lo},{lo + extra}}}b" if extra else f"ba{{{lo}}}b"
+    assert nbva(pattern).find_matches(data) == nfa(pattern).find_matches(data)

@@ -1,0 +1,109 @@
+"""NFA simulator tests against hand-computed and re-derived oracles."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.glushkov import build_automaton
+from repro.automata.nfa import NFASimulator, StepStats
+from repro.regex.parser import parse
+from repro.regex.rewrite import unfold_all
+
+from tests.helpers import inputs, re_end_positions, regex_trees
+
+
+def sim(pattern: str) -> NFASimulator:
+    return NFASimulator(build_automaton(unfold_all(parse(pattern))))
+
+
+class TestBasicMatching:
+    def test_single_char(self):
+        assert sim("a").find_matches(b"banana") == [1, 3, 5]
+
+    def test_literal_word(self):
+        assert sim("ana").find_matches(b"banana") == [3, 5]
+
+    def test_no_match(self):
+        assert sim("xyz").find_matches(b"banana") == []
+
+    def test_empty_input(self):
+        assert sim("a").find_matches(b"") == []
+
+    def test_alternation(self):
+        assert sim("an|na").find_matches(b"banana") == [2, 3, 4, 5]
+
+    def test_dot_star_semantics(self):
+        """a.*d reports at every d after the first a."""
+        assert sim("a.*d").find_matches(b"xaxdxdx") == [3, 5]
+
+    def test_paper_example_2_1(self):
+        """a([bc]|b.*d) from the paper."""
+        matcher = sim("a(?:[bc]|b.*d)")
+        assert matcher.find_matches(b"ab") == [1]
+        assert matcher.find_matches(b"ac") == [1]
+        assert matcher.find_matches(b"abxxd") == [1, 4]
+        assert matcher.find_matches(b"ad") == []
+
+    def test_overlapping_matches(self):
+        assert sim("aa").find_matches(b"aaaa") == [1, 2, 3]
+
+    def test_unanchored_restart(self):
+        assert sim("ab").find_matches(b"aab") == [2]
+
+    def test_nullable_regex_reports_no_empty_match(self):
+        assert sim("a*").find_matches(b"bbb") == []
+        assert sim("a*").find_matches(b"aba") == [0, 2]
+
+    def test_unfolded_bounded_repetition(self):
+        assert sim("a{3}").find_matches(b"aaaaa") == [2, 3, 4]
+
+    def test_bounded_range_unfolded(self):
+        matcher = sim("ba{1,3}")
+        assert matcher.find_matches(b"baaaa") == [1, 2, 3]
+
+    def test_charclass(self):
+        assert sim("[ab]x").find_matches(b"axbxcx") == [1, 3]
+
+    def test_byte_alphabet(self):
+        matcher = sim("\\x00\\xff")
+        assert matcher.find_matches(bytes([0, 255, 0, 255])) == [1, 3]
+
+    def test_rejects_counted_automaton(self):
+        from repro.automata.glushkov import build_automaton as build
+
+        counted = build(parse("a{9}"))
+        with pytest.raises(ValueError):
+            NFASimulator(counted)
+
+
+class TestStats:
+    def test_cycle_count(self):
+        stats = StepStats()
+        sim("ab").find_matches(b"abab", stats)
+        assert stats.cycles == 4
+
+    def test_report_count(self):
+        stats = StepStats()
+        sim("a").find_matches(b"aaa", stats)
+        assert stats.reports == 3
+
+    def test_active_states_positive_on_matches(self):
+        stats = StepStats()
+        sim("ab").find_matches(b"abab", stats)
+        assert stats.active_states >= 4
+        assert stats.mean_active > 0
+
+    def test_stats_zero_on_empty_input(self):
+        stats = StepStats()
+        sim("ab").find_matches(b"", stats)
+        assert stats.cycles == 0
+        assert stats.mean_active == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex_trees(max_leaves=7, max_bound=3), inputs(max_size=16))
+def test_nfa_agrees_with_python_re(tree, data):
+    """Glushkov + bitset simulation matches the re-derived oracle."""
+    unfolded = unfold_all(tree)
+    expected = re_end_positions(unfolded.to_pattern(), data.decode("ascii"))
+    matcher = NFASimulator(build_automaton(unfolded))
+    assert matcher.find_matches(data) == expected

@@ -1,0 +1,60 @@
+"""Reference (Thompson) oracle tests — validated against Python's re."""
+
+from hypothesis import given, settings
+
+from repro.automata.reference import ReferenceMatcher
+from repro.regex.parser import parse
+
+from tests.helpers import inputs, re_end_positions, regex_trees
+
+
+class TestReferenceMatcher:
+    def check(self, pattern: str, text: str):
+        expected = re_end_positions(pattern, text)
+        got = ReferenceMatcher(parse(pattern)).find_matches(text.encode())
+        assert got == expected, (pattern, text)
+
+    def test_literal(self):
+        self.check("ana", "banana")
+
+    def test_alternation(self):
+        self.check("an|na", "banana")
+
+    def test_star(self):
+        self.check("ab*c", "abbbc ac abc")
+
+    def test_plus(self):
+        self.check("ab+c", "abbbc ac abc")
+
+    def test_opt(self):
+        self.check("ab?c", "abbbc ac abc")
+
+    def test_bounded(self):
+        self.check("a{2,4}", "aaaaaa")
+
+    def test_open_bound(self):
+        self.check("ba{2,}", "baaaa ba")
+
+    def test_exact_bound(self):
+        self.check("(?:ab){2}", "ababab")
+
+    def test_nullable_no_empty_matches(self):
+        assert ReferenceMatcher(parse("a*")).find_matches(b"bb") == []
+
+    def test_empty_language(self):
+        from repro.regex.ast import EMPTY
+
+        assert ReferenceMatcher(EMPTY).find_matches(b"anything") == []
+
+    def test_count_and_anywhere(self):
+        m = ReferenceMatcher(parse("aa"))
+        assert m.count_matches(b"aaaa") == 3
+        assert m.matches_anywhere(b"aaaa")
+        assert not m.matches_anywhere(b"bbb")
+
+
+@settings(max_examples=80, deadline=None)
+@given(regex_trees(max_leaves=7, max_bound=3), inputs(max_size=12))
+def test_reference_agrees_with_python_re(tree, data):
+    expected = re_end_positions(tree.to_pattern(), data.decode("ascii"))
+    assert ReferenceMatcher(tree).find_matches(data) == expected

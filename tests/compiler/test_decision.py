@@ -1,0 +1,84 @@
+"""Tests for the Fig. 9 decision graph."""
+
+import pytest
+
+from repro.compiler.decision import decide, nbva_eligible
+from repro.compiler.program import CompiledMode, CompileError
+from repro.regex.parser import parse
+
+
+def mode(pattern: str, threshold: int = 8, blowup: float = 2.0) -> CompiledMode:
+    return decide(
+        parse(pattern), unfold_threshold=threshold, lnfa_blowup=blowup
+    ).mode
+
+
+class TestDecide:
+    def test_large_bounded_rep_is_nbva(self):
+        assert mode("ab{100}c") is CompiledMode.NBVA
+
+    def test_small_bounded_rep_unfolds_away(self):
+        assert mode("ab{3}c") is CompiledMode.LNFA
+
+    def test_fixed_sequence_is_lnfa(self):
+        assert mode("a[bc].d") is CompiledMode.LNFA
+
+    def test_prosite_style_motif_is_lnfa(self):
+        assert mode("[ac][de]x[fg]") is CompiledMode.LNFA
+
+    def test_star_is_nfa(self):
+        assert mode("ab*c") is CompiledMode.NFA
+
+    def test_alternation_with_star_is_nfa(self):
+        assert mode("a(?:b.*|c)d") is CompiledMode.NFA
+
+    def test_nbva_priority_over_lnfa(self):
+        # a{300} is linearizable (one 300-state sequence) but counting
+        # compresses far more; NBVA wins.
+        assert mode("xa{300}") is CompiledMode.NBVA
+
+    def test_bounded_rep_with_star_body_is_nfa_or_nbva(self):
+        # (ab*c){40}: star inside a counted body is fine -> NBVA.
+        assert mode("(?:ab*c){40}") is CompiledMode.NBVA
+
+    def test_open_bound_alone_is_not_nbva(self):
+        # a{3,} always unfolds to aaa a*; with threshold >= 3 no counter
+        # survives and the star forces NFA.
+        assert mode("xa{3,}") is CompiledMode.NFA
+
+    def test_threshold_controls_the_boundary(self):
+        assert mode("ab{10}", threshold=16) is CompiledMode.LNFA
+        assert mode("ab{10}", threshold=4) is CompiledMode.NBVA
+
+    def test_blowup_controls_lnfa(self):
+        # (ab|c){3}x linearizes to 8 sequences totalling 44 states from 10
+        # unfolded positions: a 4.4x blowup.
+        pattern = "(?:ab|c){3}x"
+        assert mode(pattern, blowup=5.0) is CompiledMode.LNFA
+        assert mode(pattern, blowup=1.01) is CompiledMode.NFA
+
+    def test_nullable_rejected(self):
+        with pytest.raises(CompileError):
+            mode("a*")
+
+    def test_decision_carries_eligibility(self):
+        decision = decide(parse("ab{100}c"), unfold_threshold=8)
+        assert decision.nbva_eligible
+        assert decision.lnfa_eligible  # 102 states <= 2x of 102
+
+
+class TestNbvaEligible:
+    def test_eligible(self):
+        assert nbva_eligible(parse("a{50}"), unfold_threshold=8)
+
+    def test_below_threshold_not_eligible(self):
+        assert not nbva_eligible(parse("a{5}"), unfold_threshold=8)
+
+    def test_nullable_body_not_eligible(self):
+        assert not nbva_eligible(parse("(?:a?){50}"), unfold_threshold=8)
+
+    def test_open_bound_not_eligible(self):
+        assert not nbva_eligible(parse("a{50,}"), unfold_threshold=8)
+
+    def test_range_eligible(self):
+        assert nbva_eligible(parse("a{10,60}"), unfold_threshold=8)

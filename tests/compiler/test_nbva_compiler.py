@@ -1,0 +1,170 @@
+"""NBVA compiler tests: splitting, packing, constraints (Example 4.3)."""
+
+import pytest
+
+from repro.automata.glushkov import ReadKind
+from repro.automata.nbva import NBVASimulator
+from repro.automata.nfa import NFASimulator
+from repro.automata.glushkov import build_automaton
+from repro.compiler.nbva_compiler import (
+    compile_nbva,
+    prepare_nbva,
+    repeat_columns,
+    split_large_repeats,
+)
+from repro.compiler.program import CompiledMode, CompileError
+from repro.hardware.config import DEFAULT_CONFIG, TileMode
+from repro.regex.ast import Repeat
+from repro.regex.parser import parse
+from repro.regex.rewrite import unfold_all
+
+HW = DEFAULT_CONFIG
+
+
+def compiled(pattern: str, threshold: int = 8, depth: int = 4, align: bool = True):
+    return compile_nbva(
+        0,
+        pattern,
+        parse(pattern),
+        unfold_threshold=threshold,
+        depth=depth,
+        hw=HW,
+        word_align_exact=align,
+    )
+
+
+class TestRepeatColumns:
+    def test_paper_example_4_3_cost(self):
+        """a{1024} at depth 4 needs 258 columns: 1 CC + 256 BV + 1 set1."""
+        rep = parse("a{1024}")
+        assert isinstance(rep, Repeat)
+        assert repeat_columns(rep, depth=4) == 258
+
+    def test_small_repeat(self):
+        rep = parse("a{16}")
+        assert repeat_columns(rep, depth=4) == 1 + 4 + 1
+
+    def test_multi_state_body(self):
+        rep = parse("(?:ab){32}")
+        # 2 CC columns, 2 states x 8 BV words, 1 entry state
+        assert repeat_columns(rep, depth=4) == 2 + 16 + 1
+
+    def test_alternation_body_entry_states(self):
+        rep = parse("(?:a|b){32}")
+        # both a and b are entry states -> 2 set1 columns
+        assert repeat_columns(rep, depth=4) == 2 + 16 + 2
+
+
+class TestSplitting:
+    def test_paper_example_4_3(self):
+        """a{1024} at depth 4 splits into a{504} a{504} a{16}."""
+        out = split_large_repeats(parse("a{1024}"), depth=4, hw=HW)
+        assert out == parse("a{504}a{504}a{16}")
+
+    def test_small_repeat_untouched(self):
+        regex = parse("a{100}")
+        assert split_large_repeats(regex, depth=4, hw=HW) == regex
+
+    def test_upto_splits_additively(self):
+        out = split_large_repeats(parse("a{0,1024}"), depth=4, hw=HW)
+        assert out == parse("a{0,504}a{0,504}a{0,16}")
+
+    def test_split_preserves_total_bound(self):
+        out = split_large_repeats(parse("a{2000}"), depth=8, hw=HW)
+        reps = [n for n in out.walk() if isinstance(n, Repeat)]
+        assert sum(r.hi for r in reps) == 2000
+        for rep in reps:
+            assert repeat_columns(rep, depth=8) <= HW.cam_cols
+
+    def test_deeper_bv_allows_bigger_pieces(self):
+        shallow = split_large_repeats(parse("a{4096}"), depth=4, hw=HW)
+        deep = split_large_repeats(parse("a{4096}"), depth=32, hw=HW)
+        n_shallow = sum(isinstance(n, Repeat) for n in shallow.walk())
+        n_deep = sum(isinstance(n, Repeat) for n in deep.walk())
+        assert n_deep < n_shallow
+
+
+class TestCompileNbva:
+    def test_plain_regex_returns_none(self):
+        assert compiled("abc") is None
+
+    def test_small_bounds_unfold_to_none(self):
+        assert compiled("a{4}", threshold=8) is None
+
+    def test_basic_compile(self):
+        out = compiled("ab{100}c")
+        assert out is not None
+        assert out.mode is CompiledMode.NBVA
+        assert out.automaton is not None
+        assert len(out.automaton.groups) == 1
+        assert out.unfolded_states == 102
+
+    def test_tile_request_shape(self):
+        out = compiled("ab{100}c", depth=4)
+        assert out.tiles_needed == 1
+        (req,) = out.tile_requests
+        assert req.mode is TileMode.NBVA
+        assert req.states == 3
+        assert req.cc_columns == 3
+        assert req.bv_columns == 25  # ceil(100/4)
+        assert req.set1_columns == 1
+        assert req.read is ReadKind.EXACT
+        assert req.depth == 4
+
+    def test_r_and_rall_never_share_a_tile(self):
+        """Example 4.3: bc{0,16} goes to its own tile."""
+        out = compiled("a{100}bc{0,16}", depth=4, align=False)
+        for req in out.tile_requests:
+            assert req.read in (None, ReadKind.EXACT, ReadKind.ALL)
+        reads = [req.read for req in out.tile_requests if req.read]
+        assert ReadKind.EXACT in reads and ReadKind.ALL in reads
+        assert len(out.tile_requests) >= 2
+
+    def test_paper_example_4_3_tiles(self):
+        """a{1024}bc{0,16} at depth 4 needs four tiles."""
+        out = compiled("a{1024}bc{0,16}", depth=4, align=False)
+        assert out.tiles_needed == 4
+
+    def test_columns_never_exceed_capacity(self):
+        out = compiled("a{1024}b{777}c{0,333}", depth=4, align=False)
+        for req in out.tile_requests:
+            assert req.total_columns <= HW.cam_cols
+
+    def test_global_ports_on_split(self):
+        out = compiled("a{1024}", depth=4)
+        assert out.tiles_needed == 3
+        assert any(req.global_ports > 0 for req in out.tile_requests)
+
+    def test_huge_regex_rejected(self):
+        """Unfolded size beyond the 64528-STE NBVA cap is rejected."""
+        with pytest.raises(CompileError):
+            compiled("a{65000}", depth=32)
+
+    def test_functional_equivalence_after_preparation(self):
+        """Splitting and alignment never change the language."""
+        pattern = "xa{50,70}y"
+        prepared = prepare_nbva(
+            parse(pattern), unfold_threshold=4, depth=4, hw=HW
+        )
+        nbva_sim = NBVASimulator(build_automaton(prepared))
+        nfa_sim = NFASimulator(build_automaton(unfold_all(parse(pattern))))
+        for count in (49, 50, 60, 70, 71):
+            data = b"x" + b"a" * count + b"y"
+            assert nbva_sim.find_matches(data) == nfa_sim.find_matches(data), count
+
+    def test_word_alignment_applied(self):
+        out = compiled("ad{34}e", depth=16)
+        # d{34} -> d{32} d d : group of width 32 plus two plain states
+        group = out.automaton.groups[0]
+        assert group.width == 32
+        assert out.automaton.state_count == 5
+
+    def test_multi_tile_split_equivalence(self):
+        """A split counted run still matches exactly at the boundary."""
+        prepared = prepare_nbva(
+            parse("a{300}"), unfold_threshold=4, depth=4, hw=HW
+        )
+        sim = NBVASimulator(build_automaton(prepared))
+        assert sim.find_matches(b"a" * 299) == []
+        assert sim.find_matches(b"a" * 300) == [299]
+        assert sim.find_matches(b"a" * 302) == [299, 300, 301]

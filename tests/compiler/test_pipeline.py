@@ -1,0 +1,143 @@
+"""End-to-end compiler pipeline tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.nbva import NBVASimulator
+from repro.automata.nfa import NFASimulator
+from repro.automata.reference import ReferenceMatcher
+from repro.automata.shift_and import MultiShiftAnd
+from repro.compiler import (
+    CompileError,
+    CompiledMode,
+    CompilerConfig,
+    compile_pattern,
+    compile_ruleset,
+)
+from repro.regex.parser import parse
+
+from tests.helpers import inputs, regex_trees
+
+
+def run_compiled(compiled, data: bytes) -> list[int]:
+    """Execute a CompiledRegex functionally, whatever its mode."""
+    if compiled.mode is CompiledMode.LNFA:
+        packed = MultiShiftAnd(list(compiled.lnfas))
+        return sorted({end for _, end in packed.find_matches(data)})
+    if compiled.mode is CompiledMode.NBVA:
+        return NBVASimulator(compiled.automaton).find_matches(data)
+    return NFASimulator(compiled.automaton).find_matches(data)
+
+
+class TestCompilePattern:
+    def test_mode_selection_end_to_end(self):
+        assert compile_pattern("ab{100}c").mode is CompiledMode.NBVA
+        assert compile_pattern("a[bc]d").mode is CompiledMode.LNFA
+        assert compile_pattern("ab*c").mode is CompiledMode.NFA
+
+    def test_syntax_error_becomes_compile_error(self):
+        with pytest.raises(CompileError):
+            compile_pattern("a(b")
+
+    def test_nullable_rejected(self):
+        with pytest.raises(CompileError):
+            compile_pattern("(?:abc)*")
+
+    def test_forced_nfa(self):
+        config = CompilerConfig(forced_mode=CompiledMode.NFA)
+        compiled = compile_pattern("ab{100}c", config=config)
+        assert compiled.mode is CompiledMode.NFA
+        assert compiled.automaton.state_count == 102
+
+    def test_forced_nbva_on_ineligible_raises(self):
+        config = CompilerConfig(forced_mode=CompiledMode.NBVA)
+        with pytest.raises(CompileError):
+            compile_pattern("abc", config=config)
+
+    def test_forced_lnfa_on_ineligible_raises(self):
+        config = CompilerConfig(forced_mode=CompiledMode.LNFA)
+        with pytest.raises(CompileError):
+            compile_pattern("ab*c", config=config)
+
+    def test_accepts_parsed_regex(self):
+        compiled = compile_pattern(parse("abc"))
+        assert compiled.pattern == "abc"
+
+    def test_states_property(self):
+        compiled = compile_pattern("a(?:b{1,2}|c)e")
+        assert compiled.mode is CompiledMode.LNFA
+        assert compiled.states == 10  # abe + abbe + ace
+
+    def test_source_and_unfolded_states_recorded(self):
+        compiled = compile_pattern("ab{100}c")
+        assert compiled.source_states == 3
+        assert compiled.unfolded_states == 102
+
+
+class TestCompileRuleset:
+    PATTERNS = ["ab{100}c", "a[bc]d", "ab*c", "a(b", "x{3,}y"]
+
+    def test_rejections_collected(self):
+        ruleset = compile_ruleset(self.PATTERNS)
+        assert len(ruleset) == 4
+        assert len(ruleset.rejected) == 1
+        assert ruleset.rejected[0][0] == "a(b"
+
+    def test_mode_counts(self):
+        ruleset = compile_ruleset(self.PATTERNS)
+        counts = ruleset.mode_counts()
+        assert counts[CompiledMode.NBVA] == 1
+        assert counts[CompiledMode.LNFA] == 1
+        assert counts[CompiledMode.NFA] == 2  # ab*c and x{3,}y
+
+    def test_mode_fractions_sum_to_one(self):
+        fractions = compile_ruleset(self.PATTERNS).mode_fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_by_mode(self):
+        ruleset = compile_ruleset(self.PATTERNS)
+        assert [r.pattern for r in ruleset.by_mode(CompiledMode.NBVA)] == [
+            "ab{100}c"
+        ]
+
+    def test_regex_ids_are_dense(self):
+        ruleset = compile_ruleset(self.PATTERNS)
+        assert [r.regex_id for r in ruleset.regexes] == list(range(4))
+
+
+class TestFunctionalCorrectness:
+    CASES = [
+        ("ab{12}c", b"a" + b"b" * 12 + b"c"),
+        ("a[bc]d", b"abdacd"),
+        ("ab*c", b"abbbcac"),
+        ("b(?:a{7}|c{5})b", b"baaaaaaab"),
+    ]
+
+    @pytest.mark.parametrize("pattern,data", CASES)
+    def test_compiled_matches_reference(self, pattern, data):
+        compiled = compile_pattern(pattern)
+        expected = ReferenceMatcher(parse(pattern)).find_matches(data)
+        assert run_compiled(compiled, data) == expected
+
+    @pytest.mark.parametrize("mode", list(CompiledMode))
+    def test_forced_modes_agree(self, mode):
+        pattern = "xa{20,30}y"
+        if mode is CompiledMode.LNFA:
+            pytest.skip("a{20,30} exceeds the LNFA blowup budget")
+        config = CompilerConfig(forced_mode=mode)
+        compiled = compile_pattern(pattern, config=config)
+        data = b"x" + b"a" * 25 + b"y"
+        expected = ReferenceMatcher(parse(pattern)).find_matches(data)
+        assert run_compiled(compiled, data) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(regex_trees(max_leaves=7, max_bound=5), inputs(max_size=18))
+def test_pipeline_preserves_semantics(tree, data):
+    """Whatever mode the decision graph picks, matches are exact."""
+    try:
+        compiled = compile_pattern(tree)
+    except CompileError:
+        return  # rejected patterns (nullable etc.) are fine
+    expected = ReferenceMatcher(tree).find_matches(data)
+    assert run_compiled(compiled, data) == expected

@@ -1,0 +1,83 @@
+"""Placement and global-port accounting tests."""
+
+from repro.automata.glushkov import build_automaton
+from repro.compiler.nfa_compiler import nfa_tile_requests, place_nfa
+from repro.compiler.placement import Placement, cross_tile_edges, global_ports
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+from repro.regex.parser import parse
+
+HW = DEFAULT_CONFIG
+
+
+def chain_automaton(n: int):
+    return build_automaton(parse("a" * n))
+
+
+class TestPlacement:
+    def test_tile_count(self):
+        assert Placement((0, 0, 1, 1, 2)).tile_count == 3
+        assert Placement(()).tile_count == 0
+
+    def test_states_in(self):
+        placement = Placement((0, 1, 0, 1))
+        assert placement.states_in(0) == [0, 2]
+        assert placement.states_in(1) == [1, 3]
+
+
+class TestPlaceNfa:
+    def test_small_regex_single_tile(self):
+        auto = chain_automaton(10)
+        placement = place_nfa(auto, HW)
+        assert placement.tile_count == 1
+
+    def test_split_at_column_capacity(self):
+        auto = chain_automaton(200)
+        placement = place_nfa(auto, HW)
+        assert placement.tile_count == 2
+        assert len(placement.states_in(0)) == HW.cam_cols
+
+    def test_multicode_classes_cost_more_columns(self):
+        # each scattered class needs 2+ codes, so fewer states fit a tile
+        pattern = "[\\x01\\x41]" * 100
+        auto = build_automaton(parse(pattern))
+        placement = place_nfa(auto, HW)
+        assert placement.tile_count == 2
+
+
+class TestGlobalPorts:
+    def test_no_ports_within_one_tile(self):
+        auto = chain_automaton(10)
+        placement = place_nfa(auto, HW)
+        assert global_ports(auto, placement) == [0]
+
+    def test_chain_crossing_costs_one_port_each_side(self):
+        auto = chain_automaton(200)
+        placement = place_nfa(auto, HW)
+        ports = global_ports(auto, placement)
+        # one aggregated wire out of tile 0, one destination in tile 1
+        assert ports == [1, 1]
+
+    def test_fanin_aggregates_to_one_wire(self):
+        """The optional-chain exit (many sources, one destination across
+        the boundary) costs one port per side, not one per source."""
+        auto = build_automaton(parse("x[ab]{120,126}z"), counters=False)
+        placement = place_nfa(auto, HW)
+        ports = global_ports(auto, placement)
+        assert max(ports) <= HW.global_ports_per_tile
+
+    def test_cross_tile_edges_counted(self):
+        auto = chain_automaton(200)
+        placement = place_nfa(auto, HW)
+        assert cross_tile_edges(auto, placement) == 1
+        one_tile = place_nfa(chain_automaton(10), HW)
+        assert cross_tile_edges(chain_automaton(10), one_tile) == 0
+
+
+class TestNfaTileRequests:
+    def test_requests_cover_all_states(self):
+        auto = chain_automaton(200)
+        placement = place_nfa(auto, HW)
+        requests = nfa_tile_requests(auto, placement, HW)
+        assert sum(r.states for r in requests) == 200
+        assert all(r.total_columns <= HW.cam_cols for r in requests)
+        assert all(r.bv_columns == 0 for r in requests)

@@ -1,0 +1,121 @@
+"""Property tests on NBVA tile plans: the hardware constraints always hold.
+
+The packer must never emit a plan violating the Section 3 constraints,
+whatever the regex: column capacity, read-kind purity per tile, atomic
+counter groups, port budgets, and depth uniformity.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CompileError
+from repro.compiler.nbva_compiler import compile_nbva
+from repro.compiler.nfa_compiler import compile_nfa
+from repro.hardware.config import DEFAULT_CONFIG
+from repro.regex.parser import parse
+
+HW = DEFAULT_CONFIG
+
+_cc = st.sampled_from(["a", "[a-f]", "[^;]", "[0-9]", "."])
+_lit = st.text(alphabet="xyzw", min_size=1, max_size=6)
+
+
+@st.composite
+def counted_patterns(draw):
+    """Random signature-shaped patterns with 1-3 counted parts."""
+    parts = [draw(_lit)]
+    for _ in range(draw(st.integers(1, 3))):
+        cc = draw(_cc)
+        style = draw(st.integers(0, 2))
+        hi = draw(st.integers(9, 1200))
+        if style == 0:
+            parts.append(f"{cc}{{{hi}}}")
+        elif style == 1:
+            lo = draw(st.integers(1, max(1, hi // 3)))
+            parts.append(f"{cc}{{{lo},{hi}}}")
+        else:
+            parts.append(f"{cc}{{0,{hi}}}")
+        parts.append(draw(_lit))
+    return "".join(parts)
+
+
+def check_plan(compiled):
+    hw = HW
+    depths = set()
+    for request in compiled.tile_requests:
+        request.validate(hw.cam_cols)
+        assert request.total_columns <= hw.cam_cols
+        assert request.global_ports <= hw.global_ports_per_tile
+        if request.depth is not None:
+            depths.add(request.depth)
+        if request.bv_columns:
+            assert request.read is not None
+            assert request.depth is not None
+    assert len(depths) <= 1, "one depth per regex (per-workload DSE choice)"
+    # groups are atomic: counted states never split across requests
+    assert sum(r.states for r in compiled.tile_requests) == compiled.states
+
+
+@settings(max_examples=120, deadline=None)
+@given(counted_patterns(), st.sampled_from([4, 8, 16, 32]))
+def test_nbva_plans_respect_hardware_constraints(pattern, depth):
+    try:
+        compiled = compile_nbva(
+            0,
+            pattern,
+            parse(pattern),
+            unfold_threshold=8,
+            depth=depth,
+            hw=HW,
+        )
+    except CompileError:
+        return  # over hardware limits: rejecting is the correct behaviour
+    if compiled is None:
+        return  # everything unfolded away
+    check_plan(compiled)
+    assert compiled.automaton is not None
+    compiled.automaton.validate()
+
+
+@settings(max_examples=80, deadline=None)
+@given(counted_patterns())
+def test_nfa_plans_respect_hardware_constraints(pattern):
+    regex = parse(pattern)
+    if regex.unfolded_size() > HW.max_regex_states:
+        return
+    compiled = compile_nfa(0, pattern, regex, HW)
+    for request in compiled.tile_requests:
+        request.validate(HW.cam_cols)
+        assert request.global_ports <= HW.global_ports_per_tile
+    assert sum(r.states for r in compiled.tile_requests) == compiled.states
+
+
+@settings(max_examples=60, deadline=None)
+@given(counted_patterns(), st.sampled_from([4, 16]))
+def test_deeper_bvs_never_need_more_columns(pattern, depth):
+    """Compression monotonicity: depth 32 uses <= columns of depth d.
+
+    Checked with word alignment off — alignment unfolds the remainder
+    ``m mod depth`` into plain states, whose count legitimately grows
+    with depth (``d{34}`` at depth 32 carries two more plain states than
+    at depth 4, where 34 is an exact multiple of nothing to trim).
+    """
+    def compiled_at(d):
+        return compile_nbva(
+            0,
+            pattern,
+            parse(pattern),
+            unfold_threshold=8,
+            depth=d,
+            hw=HW,
+            word_align_exact=False,
+        )
+
+    try:
+        shallow = compiled_at(depth)
+        deep = compiled_at(32)
+    except CompileError:
+        return
+    if shallow is None or deep is None:
+        return
+    assert deep.total_columns <= shallow.total_columns

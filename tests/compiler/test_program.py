@@ -1,0 +1,119 @@
+"""Program-IR validation and property tests."""
+
+import pytest
+
+from repro.automata.glushkov import ReadKind, build_automaton
+from repro.automata.lnfa import LNFA
+from repro.compiler.program import (
+    CompiledMode,
+    CompiledRegex,
+    CompiledRuleset,
+    CompileError,
+    TileRequest,
+)
+from repro.hardware.config import TileMode
+from repro.regex.charclass import CharClass
+from repro.regex.parser import parse
+
+
+def plain_auto():
+    return build_automaton(parse("abc"))
+
+
+class TestTileRequest:
+    def test_total_columns(self):
+        request = TileRequest(
+            mode=TileMode.NBVA,
+            states=2,
+            cc_columns=2,
+            bv_columns=10,
+            set1_columns=1,
+            depth=4,
+            read=ReadKind.EXACT,
+        )
+        assert request.total_columns == 13
+
+    def test_validate_capacity(self):
+        request = TileRequest(mode=TileMode.NFA, states=129, cc_columns=129)
+        with pytest.raises(CompileError):
+            request.validate(128)
+
+    def test_validate_negative(self):
+        request = TileRequest(mode=TileMode.NFA, states=-1, cc_columns=1)
+        with pytest.raises(CompileError):
+            request.validate(128)
+
+    def test_validate_bv_without_depth(self):
+        request = TileRequest(
+            mode=TileMode.NBVA, states=1, cc_columns=1, bv_columns=4
+        )
+        with pytest.raises(CompileError):
+            request.validate(128)
+
+
+class TestCompiledRegex:
+    def test_lnfa_mode_requires_sequences(self):
+        with pytest.raises(CompileError):
+            CompiledRegex(regex_id=0, pattern="x", mode=CompiledMode.LNFA)
+
+    def test_lnfa_flags_must_align(self):
+        lnfa = LNFA((CharClass.of("a"),))
+        with pytest.raises(CompileError):
+            CompiledRegex(
+                regex_id=0,
+                pattern="a",
+                mode=CompiledMode.LNFA,
+                lnfas=(lnfa,),
+                lnfa_cam_eligible=(True, False),
+            )
+
+    def test_automaton_modes_require_automaton(self):
+        with pytest.raises(CompileError):
+            CompiledRegex(regex_id=0, pattern="x", mode=CompiledMode.NFA)
+
+    def test_states_by_mode(self):
+        nfa = CompiledRegex(
+            regex_id=0, pattern="abc", mode=CompiledMode.NFA, automaton=plain_auto()
+        )
+        assert nfa.states == 3
+        lnfa = CompiledRegex(
+            regex_id=1,
+            pattern="ab",
+            mode=CompiledMode.LNFA,
+            lnfas=(LNFA((CharClass.of("a"), CharClass.of("b"))),),
+            lnfa_cam_eligible=(True,),
+        )
+        assert lnfa.states == 2
+
+    def test_bv_bits(self):
+        counted = build_automaton(parse("a{40}"))
+        regex = CompiledRegex(
+            regex_id=0,
+            pattern="a{40}",
+            mode=CompiledMode.NBVA,
+            automaton=counted,
+        )
+        assert regex.bv_bits == 40
+
+
+class TestCompiledRuleset:
+    def make(self):
+        regex = CompiledRegex(
+            regex_id=0, pattern="abc", mode=CompiledMode.NFA, automaton=plain_auto()
+        )
+        return CompiledRuleset(regexes=(regex,), rejected=(("bad(", "oops"),))
+
+    def test_len_and_iter(self):
+        ruleset = self.make()
+        assert len(ruleset) == 1
+        assert [r.pattern for r in ruleset] == ["abc"]
+
+    def test_by_mode(self):
+        ruleset = self.make()
+        assert len(ruleset.by_mode(CompiledMode.NFA)) == 1
+        assert ruleset.by_mode(CompiledMode.NBVA) == ()
+
+    def test_fractions_with_empty_ruleset(self):
+        empty = CompiledRuleset(regexes=())
+        fractions = empty.mode_fractions()
+        assert all(v == 0.0 for v in fractions.values())

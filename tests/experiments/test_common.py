@@ -1,0 +1,151 @@
+"""Tests for the experiment plumbing (workload prep, rendering, output)."""
+
+import json
+
+import pytest
+
+from repro.compiler import CompiledMode
+from repro.experiments.common import (
+    ALL_BENCHMARK_NAMES,
+    ExperimentConfig,
+    build_mode_workload,
+    build_workload,
+    compile_bvap_flavor,
+    compile_decided,
+    compile_forced,
+    render_table,
+    save_csv,
+    save_json,
+)
+
+SMALL = ExperimentConfig(benchmark_size=12, input_length=1200)
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.benchmark_size == 24
+        assert config.input_length == 6000
+
+    def test_scaled_respects_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2")
+        config = ExperimentConfig.scaled()
+        assert config.benchmark_size == 48
+        assert config.input_length == 12000
+
+    def test_scaled_ignores_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "banana")
+        assert ExperimentConfig.scaled().benchmark_size == 24
+
+    def test_scaled_floors(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+        config = ExperimentConfig.scaled()
+        assert config.benchmark_size >= 6
+        assert config.input_length >= 1500
+
+
+class TestWorkloads:
+    def test_build_workload_shape(self):
+        workload = build_workload("Snort", SMALL)
+        assert workload.name == "Snort"
+        assert len(workload.data) == SMALL.input_length
+        assert len(workload.benchmark.patterns) == SMALL.benchmark_size
+        assert workload.chosen_depth == 8
+        assert workload.chosen_bin_size == 16
+
+    def test_patterns_for_mode(self):
+        workload = build_workload("Snort", SMALL)
+        nbva = workload.patterns_for_mode(CompiledMode.NBVA)
+        assert nbva
+        assert set(nbva) <= set(workload.benchmark.patterns)
+
+    def test_build_mode_workload_is_single_mode(self):
+        workload = build_mode_workload("Yara", CompiledMode.LNFA, SMALL)
+        assert set(workload.benchmark.intended_modes) == {"LNFA"}
+        assert len(workload.benchmark.patterns) >= 12
+
+    def test_workloads_deterministic(self):
+        a = build_workload("Yara", SMALL)
+        b = build_workload("Yara", SMALL)
+        assert a.benchmark.patterns == b.benchmark.patterns
+        assert a.data == b.data
+
+
+class TestCompileHelpers:
+    def test_compile_decided_uses_depth(self):
+        workload = build_mode_workload("ClamAV", CompiledMode.NBVA, SMALL)
+        ruleset = compile_decided(workload.benchmark.patterns, SMALL, 32)
+        depths = {
+            t.depth
+            for r in ruleset
+            for t in r.tile_requests
+            if t.depth is not None
+        }
+        assert depths == {32}
+
+    def test_compile_forced(self):
+        workload = build_mode_workload("ClamAV", CompiledMode.NBVA, SMALL)
+        ruleset = compile_forced(
+            workload.benchmark.patterns, CompiledMode.NFA, SMALL
+        )
+        assert all(r.mode is CompiledMode.NFA for r in ruleset)
+
+    def test_compile_bvap_flavor_maps_lnfa_to_nfa(self):
+        pairs = [("ab{40}c", "NBVA"), ("abcd", "LNFA"), ("ab*c", "NFA")]
+        ruleset = compile_bvap_flavor(pairs, SMALL)
+        modes = [r.mode for r in ruleset]
+        assert modes == [
+            CompiledMode.NBVA,
+            CompiledMode.NFA,
+            CompiledMode.NFA,
+        ]
+
+    def test_compile_rejections_raise(self):
+        with pytest.raises(RuntimeError):
+            compile_decided(["a("], SMALL, 8)
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"],
+            [("alpha", 1.25), ("b", 100.0)],
+            title="Title",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3] and "1.25" in lines[3]
+        assert "100" in lines[4]
+
+    def test_float_formatting(self):
+        from repro.experiments.common import _fmt
+
+        assert _fmt(0.0) == "0"
+        assert _fmt(1234.5) == "1234"
+        assert _fmt(3.14159) == "3.14"
+        assert _fmt(0.01234) == "0.012"
+        assert _fmt("text") == "text"
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestOutputs:
+    def test_save_json(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_json("unit", {"x": 1})
+        assert json.loads(path.read_text()) == {"x": 1}
+        assert path.parent == tmp_path
+
+    def test_save_csv(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_csv("unit", ["a", "b"], [(1, 2.5), (3, 4.0)])
+        lines = path.read_text().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.50"
+
+    def test_benchmark_name_list(self):
+        assert len(ALL_BENCHMARK_NAMES) == 7

@@ -1,0 +1,162 @@
+"""Small-scale smoke+shape tests for every experiment driver.
+
+The benchmarks/ harness runs the drivers at full scale with the paper's
+shape assertions; these unit tests exercise each driver's machinery at
+the smallest useful scale so a broken driver fails fast in `pytest
+tests/`.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig01_model_mix,
+    fig10_dse,
+    fig11_breakdown,
+    fig12_asic,
+    fig13_cpu_gpu,
+    table2_nbva,
+    table3_lnfa,
+    table4_fpga,
+)
+from repro.experiments.common import ExperimentConfig
+
+TINY = ExperimentConfig(benchmark_size=10, input_length=1000)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_results(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+
+class TestFig01:
+    def test_runs_and_renders(self):
+        result = fig01_model_mix.run(TINY)
+        assert len(result.rows) == 7
+        assert "Fig. 1" in result.to_table()
+
+    def test_row_lookup(self):
+        result = fig01_model_mix.run(TINY)
+        assert result.row("ClamAV").nbva > 0.5
+
+
+class TestFig10:
+    def test_sweep_structure(self):
+        result = fig10_dse.run(TINY)
+        assert len(result.nbva_sweeps) == 6  # Prosite excluded
+        assert len(result.lnfa_sweeps) == 7
+        sweep = result.sweep("nbva", "ClamAV")
+        assert [p.parameter for p in sweep.points] == [4, 8, 16, 32]
+        norm = sweep.normalized()
+        assert norm[0][1:] == (1.0, 1.0, 1.0)  # self-normalized baseline
+
+    def test_table_contains_chosen_markers(self):
+        text = fig10_dse.run(TINY).to_table()
+        assert "*" in text
+
+
+class TestTable2:
+    def test_rows_and_consistency(self):
+        result = table2_nbva.run(TINY)
+        assert [r.benchmark for r in result.rows] == [
+            "RegexLib",
+            "SpamAssassin",
+            "Snort",
+            "Suricata",
+            "Yara",
+            "ClamAV",
+        ]
+        for row in result.rows:
+            for arch in table2_nbva.ARCHITECTURES:
+                assert row.energy_uj[arch] > 0
+                assert row.area_mm2[arch] > 0
+                assert row.throughput[arch] > 0
+
+    def test_normalized_baseline_is_one(self):
+        result = table2_nbva.run(TINY)
+        norm = result.normalized_averages()
+        for metric in norm:
+            assert norm[metric]["NBVA"] == pytest.approx(1.0)
+
+
+class TestTable3:
+    def test_runs_all_seven(self):
+        result = table3_lnfa.run(TINY)
+        assert len(result.rows) == 7
+        assert "Prosite" in {r.benchmark for r in result.rows}
+
+
+class TestFig11:
+    def test_shares_are_positive_distribution(self):
+        result = fig11_breakdown.run(TINY)
+        total = sum(
+            result.fraction(mode, "energy_uj")
+            for mode in ("NFA", "NBVA", "LNFA")
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestFig12:
+    def test_ratios_and_tables(self):
+        result = fig12_asic.run(TINY)
+        assert len(result.rows) == 7
+        for arch in ("BVAP", "CAMA", "CA"):
+            assert result.mean_ratio(arch, "area_mm2") > 0
+        row = result.rows[0]
+        assert row.ratio("RAP", "area_mm2") == pytest.approx(1.0)
+        assert "Fig. 12" in result.ratio_table()
+
+    def test_archpoint_derived_metrics(self):
+        point = fig12_asic.ArchPoint(
+            energy_uj=1.0, area_mm2=2.0, throughput=2.0, power_w=0.5
+        )
+        assert point.energy_eff == pytest.approx(4.0)
+        assert point.compute_density == pytest.approx(1.0)
+        with pytest.raises(KeyError):
+            point.metric("nope")
+
+
+class TestFig13:
+    def test_rows(self):
+        result = fig13_cpu_gpu.run(TINY)
+        assert len(result.rows) == 7
+        for row in result.rows:
+            assert row.rap_efficiency > row.gpu_efficiency > row.cpu_efficiency
+
+
+class TestSummary:
+    def test_full_run_produces_report(self, tmp_path):
+        from repro.experiments import summary
+
+        result = summary.run(TINY)
+        assert set(result.artifacts) == {
+            "fig1",
+            "fig10",
+            "table2",
+            "table3",
+            "fig11",
+            "fig12",
+            "fig13",
+            "table4",
+        }
+        assert "Headline claims" in result.report
+        assert "RAP vs CAMA" in result.report
+        assert (tmp_path / "summary.md").exists()
+
+    def test_cli_lists_all(self):
+        from repro.cli import EXPERIMENTS
+
+        assert "all" in EXPERIMENTS
+
+
+class TestTable4:
+    def test_rows(self):
+        result = table4_fpga.run(TINY)
+        assert [r.benchmark for r in result.rows] == [
+            "Brill",
+            "ClamAV",
+            "Dotstar",
+            "PowerEN",
+            "Snort",
+        ]
+        for row in result.rows:
+            assert row.throughput_ratio > 1

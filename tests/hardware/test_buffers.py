@@ -1,0 +1,123 @@
+"""Tests for the buffer primitives of the I/O streaming path."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.buffers import Fifo, PingPongBuffer
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        fifo = Fifo(4)
+        for x in (1, 2, 3):
+            assert fifo.push(x)
+        assert [fifo.pop(), fifo.pop(), fifo.pop()] == [1, 2, 3]
+
+    def test_capacity_backpressure(self):
+        fifo = Fifo(2)
+        assert fifo.push(1) and fifo.push(2)
+        assert not fifo.push(3)
+        assert fifo.stats.rejected == 1
+        assert len(fifo) == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            Fifo(2).pop()
+
+    def test_peek_does_not_consume(self):
+        fifo = Fifo(2)
+        fifo.push("a")
+        assert fifo.peek() == "a"
+        assert len(fifo) == 1
+        with pytest.raises(IndexError):
+            Fifo(2).peek()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Fifo(0)
+
+    def test_occupancy_stats(self):
+        fifo = Fifo(4)
+        fifo.push(1)
+        fifo.observe()
+        fifo.push(2)
+        fifo.observe()
+        assert fifo.stats.mean_occupancy == pytest.approx(1.5)
+        assert fifo.stats.max_occupancy == 2
+
+    def test_flags(self):
+        fifo = Fifo(1)
+        assert fifo.empty and not fifo.full
+        fifo.push(1)
+        assert fifo.full and not fifo.empty
+
+
+class TestPingPong:
+    def test_fill_then_drain(self):
+        buf = PingPongBuffer(8)
+        assert buf.fill([1, 2, 3]) == 3
+        assert buf.drain() == 1  # implicit swap on first drain
+        assert buf.drain() == 2
+        assert buf.drain() == 3
+        assert buf.drain() is None
+
+    def test_half_capacity_limit(self):
+        buf = PingPongBuffer(8)  # halves of 4
+        assert buf.fill(range(10)) == 4
+        assert buf.stats.rejected == 1
+
+    def test_swap_semantics(self):
+        buf = PingPongBuffer(4)
+        buf.fill([1, 2])
+        assert buf.try_swap()
+        # refill the back while the front drains
+        assert buf.fill([3, 4]) == 2
+        assert buf.drain() == 1
+        assert not buf.try_swap()  # front not yet empty
+        assert buf.drain() == 2
+        assert buf.try_swap()
+        assert buf.drain() == 3
+
+    def test_swap_counter(self):
+        buf = PingPongBuffer(4)
+        buf.fill([1])
+        buf.drain()
+        assert buf.swaps == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PingPongBuffer(3)
+        with pytest.raises(ValueError):
+            PingPongBuffer(0)
+
+    def test_observe(self):
+        buf = PingPongBuffer(8)
+        buf.fill([1, 2])
+        buf.observe()
+        assert buf.stats.mean_occupancy == 2
+        assert buf.stats.max_occupancy == 2
+
+
+@given(st.lists(st.integers(), max_size=60), st.integers(1, 8))
+def test_fifo_preserves_order_and_content(items, capacity):
+    fifo = Fifo(capacity)
+    accepted = [x for x in items if fifo.push(x)]
+    popped = [fifo.pop() for _ in range(len(fifo))]
+    assert popped == accepted[: len(popped)]
+
+
+@given(st.lists(st.integers(), max_size=40))
+def test_pingpong_drains_everything_in_order(items):
+    buf = PingPongBuffer(128)
+    out = []
+    position = 0
+    while position < len(items) or buf.front_available or True:
+        accepted = buf.fill(items[position : position + 4])
+        position += accepted
+        value = buf.drain()
+        if value is not None:
+            out.append(value)
+        if position >= len(items) and value is None:
+            break
+    assert out == items

@@ -1,0 +1,72 @@
+"""Table 1 circuit model tests."""
+
+import pytest
+
+from repro.hardware.circuits import (
+    CAMA_CLOCK_GHZ,
+    RAP_CLOCK_GHZ,
+    RAP_PIPELINE_STAGE_PS,
+    TABLE1,
+)
+
+
+class TestTable1Values:
+    """The published numbers, verbatim."""
+
+    def test_sram_128(self):
+        m = TABLE1.sram_128
+        assert (m.energy_min_pj, m.energy_max_pj) == (1.0, 14.0)
+        assert m.delay_ps == 298.0
+        assert m.area_um2 == 5655.0
+        assert m.leakage_ua == 57.0
+
+    def test_sram_256(self):
+        m = TABLE1.sram_256
+        assert (m.energy_min_pj, m.energy_max_pj) == (2.0, 55.0)
+        assert m.delay_ps == 410.0
+        assert m.area_um2 == 18153.0
+        assert m.leakage_ua == 228.0
+
+    def test_cam(self):
+        m = TABLE1.cam
+        assert m.energy(0.0) == m.energy(1.0) == 4.0
+        assert m.delay_ps == 325.0
+        assert m.area_um2 == 2626.0
+        assert m.leakage_ua == 14.0
+
+    def test_controllers(self):
+        assert TABLE1.local_controller.area_um2 == 2900.0
+        assert TABLE1.global_controller.area_um2 == 1400.0
+        assert TABLE1.local_controller.energy() == 2.0
+        assert TABLE1.global_controller.energy() == 2.0
+
+    def test_wire(self):
+        assert TABLE1.global_wire_mm.energy() == pytest.approx(0.07)
+        assert TABLE1.global_wire_mm.area_um2 == 50.0
+
+    def test_clock_derivation(self):
+        """2.08 GHz from the 436.1 ps stage with a ~10% margin."""
+        raw_ghz = 1e3 / RAP_PIPELINE_STAGE_PS
+        assert RAP_CLOCK_GHZ < raw_ghz
+        assert RAP_CLOCK_GHZ == pytest.approx(raw_ghz / 1.1, rel=0.02)
+        assert CAMA_CLOCK_GHZ == 2.14
+
+
+class TestEnergyInterpolation:
+    def test_linear(self):
+        m = TABLE1.sram_128
+        assert m.energy(0.0) == 1.0
+        assert m.energy(1.0) == 14.0
+        assert m.energy(0.5) == pytest.approx(7.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TABLE1.sram_128.energy(1.5)
+        with pytest.raises(ValueError):
+            TABLE1.sram_128.energy(-0.1)
+
+    def test_leakage_power(self):
+        assert TABLE1.sram_128.leakage_power_uw == pytest.approx(57 * 0.9)
+
+    def test_components_enumeration(self):
+        assert len(TABLE1.components()) == 6

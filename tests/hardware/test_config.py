@@ -1,0 +1,60 @@
+"""Architecture configuration tests (Section 3.3 derived capacities)."""
+
+import pytest
+
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig, TileMode
+
+
+class TestDerivedCapacities:
+    """The capacities Section 3.3 quotes for the default design point."""
+
+    def test_max_regex_states(self):
+        assert DEFAULT_CONFIG.max_regex_states == 2048
+
+    def test_max_bv_bits(self):
+        assert DEFAULT_CONFIG.max_bv_bits == 4064
+
+    def test_max_nbva_unfolded_states(self):
+        assert DEFAULT_CONFIG.max_nbva_unfolded_states == 64528
+
+    def test_global_ports_per_tile(self):
+        assert DEFAULT_CONFIG.global_ports_per_tile == 16
+
+    def test_stes_per_array(self):
+        assert DEFAULT_CONFIG.stes_per_array == 2048
+
+    def test_clock(self):
+        assert DEFAULT_CONFIG.clock_ghz == 2.08
+        assert DEFAULT_CONFIG.cycle_ns == pytest.approx(1 / 2.08)
+
+
+class TestBvColumns:
+    def test_exact_fit(self):
+        assert DEFAULT_CONFIG.bv_columns(128, 16) == 8
+
+    def test_partial_last_word(self):
+        assert DEFAULT_CONFIG.bv_columns(34, 16) == 3
+
+    def test_single_bit(self):
+        assert DEFAULT_CONFIG.bv_columns(1, 4) == 1
+
+    def test_unsupported_depth(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.bv_columns(64, 5)
+
+    def test_zero_bits(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.bv_columns(0, 4)
+
+
+class TestValidation:
+    def test_switch_must_match_cam_columns(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(cam_cols=128, local_switch_dim=256)
+
+    def test_ports_must_divide(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(global_switch_dim=250)
+
+    def test_tile_modes(self):
+        assert {m.value for m in TileMode} == {"nfa", "nbva", "lnfa"}

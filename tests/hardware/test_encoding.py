@@ -1,0 +1,74 @@
+"""Character-class encoding model tests."""
+
+import pytest
+from hypothesis import given
+
+from repro.hardware.encoding import (
+    blocks_touched,
+    codes_needed,
+    lnfa_cam_eligible,
+    onehot_switch_columns,
+    single_code,
+)
+from repro.regex.charclass import DIGITS, CharClass
+
+from tests.regex.test_charclass import byte_sets
+
+
+class TestCodesNeeded:
+    def test_singleton_is_one_code(self):
+        assert codes_needed(CharClass.of("a")) == 1
+
+    def test_range_within_block(self):
+        # a..z spans bytes 97..122, all within the 96..127 block
+        assert codes_needed(CharClass.range("a", "z")) == 1
+
+    def test_digits_one_code(self):
+        assert codes_needed(DIGITS) == 1
+
+    def test_any_is_wildcard(self):
+        assert codes_needed(CharClass.any()) == 1
+
+    def test_negated_singleton_stored_negatively(self):
+        assert codes_needed(~CharClass.of("\\")) == 1
+
+    def test_scattered_class_needs_many(self):
+        cc = CharClass.of(0x01, 0x21, 0x41, 0x61, 0x81, 0xA1)
+        assert codes_needed(cc) == 6
+
+    def test_two_blocks(self):
+        cc = CharClass.of("a") | CharClass.of(0x01)
+        assert codes_needed(cc) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            codes_needed(CharClass.empty())
+
+
+class TestEligibility:
+    def test_simple_lnfa_eligible(self):
+        labels = [CharClass.of("a"), CharClass.range("0", "9"), CharClass.any()]
+        assert lnfa_cam_eligible(labels)
+
+    def test_scattered_class_breaks_eligibility(self):
+        scattered = CharClass.of(0x01, 0x41, 0x81)
+        assert not single_code(scattered)
+        assert not lnfa_cam_eligible([CharClass.of("a"), scattered])
+
+    def test_onehot_columns(self):
+        assert onehot_switch_columns(1) == 2
+        assert onehot_switch_columns(10) == 20
+
+
+@given(byte_sets.filter(bool))
+def test_codes_bounded_by_blocks(members):
+    cc = CharClass.from_iterable(members)
+    assert 1 <= codes_needed(cc) <= 8
+    assert codes_needed(cc) <= max(blocks_touched(cc), 1)
+
+
+@given(byte_sets.filter(bool))
+def test_negation_symmetry(members):
+    cc = CharClass.from_iterable(members)
+    if not cc.is_any() and not (~cc).is_empty():
+        assert codes_needed(cc) == codes_needed(~cc)

@@ -1,0 +1,115 @@
+"""Energy ledger and metric derivation tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.energy import EnergyLedger, Metrics
+
+
+class TestLedger:
+    def test_charge_accumulates(self):
+        ledger = EnergyLedger()
+        ledger.charge("cam", 4.0, 10)
+        ledger.charge("cam", 4.0, 5)
+        ledger.charge("switch", 1.5, 2)
+        assert ledger.energy_pj == pytest.approx(63.0)
+        assert ledger.energy_breakdown()["cam"] == pytest.approx(60.0)
+
+    def test_zero_count_is_free(self):
+        ledger = EnergyLedger()
+        ledger.charge("cam", 4.0, 0)
+        assert ledger.energy_pj == 0.0
+        assert "cam" not in ledger.energy_breakdown()
+
+    def test_negative_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValueError):
+            ledger.charge("cam", -1.0)
+        with pytest.raises(ValueError):
+            ledger.add_area("tile", -5.0)
+        with pytest.raises(ValueError):
+            ledger.add_leakage("tile", -5.0)
+
+    def test_area_and_leakage(self):
+        ledger = EnergyLedger()
+        ledger.add_area("tile", 11181.0, 16)
+        ledger.add_leakage("tile", 80.0, 16)
+        assert ledger.area_mm2 == pytest.approx(16 * 11181e-6)
+        assert ledger.leakage_w == pytest.approx(16 * 80e-6)
+
+    def test_merge(self):
+        a, b = EnergyLedger(), EnergyLedger()
+        a.charge("cam", 4.0, 1)
+        b.charge("cam", 4.0, 2)
+        b.charge("switch", 1.0, 1)
+        b.add_area("tile", 100.0)
+        a.merge(b)
+        assert a.energy_breakdown() == {"cam": 12.0, "switch": 1.0}
+        assert a.area_um2 == 100.0
+
+    def test_unit_conversions(self):
+        ledger = EnergyLedger()
+        ledger.charge("x", 1e6)  # 1e6 pJ = 1 uJ
+        assert ledger.energy_uj == pytest.approx(1.0)
+
+
+class TestMetrics:
+    def make(self, **kw):
+        defaults = dict(
+            energy_uj=10.0,
+            area_mm2=2.0,
+            cycles=100_000,
+            input_symbols=100_000,
+            clock_ghz=2.08,
+        )
+        defaults.update(kw)
+        return Metrics(**defaults)
+
+    def test_throughput_without_stalls(self):
+        assert self.make().throughput_gchps == pytest.approx(2.08)
+
+    def test_throughput_with_stalls(self):
+        m = self.make(cycles=200_000)
+        assert m.throughput_gchps == pytest.approx(1.04)
+
+    def test_power(self):
+        m = self.make()
+        # 10 uJ over 100k cycles at 2.08 GHz
+        expected = 10e-6 / (100_000 / 2.08e9)
+        assert m.power_w == pytest.approx(expected)
+
+    def test_leakage_adds_to_power(self):
+        base = self.make().power_w
+        assert self.make(leakage_w=0.5).power_w == pytest.approx(base + 0.5)
+
+    def test_efficiency_and_density(self):
+        m = self.make()
+        assert m.energy_efficiency_gch_per_j == pytest.approx(
+            m.throughput_gchps / m.power_w
+        )
+        assert m.compute_density_gchps_per_mm2 == pytest.approx(2.08 / 2.0)
+
+    def test_degenerate_zero_cycles(self):
+        m = self.make(cycles=0, input_symbols=0, energy_uj=0.0)
+        assert m.throughput_gchps == 0.0
+        assert m.power_w == 0.0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.floats(0, 100),
+            st.integers(0, 1000),
+        ),
+        max_size=30,
+    )
+)
+def test_ledger_total_is_sum_of_breakdown(charges):
+    ledger = EnergyLedger()
+    for comp, pj, count in charges:
+        ledger.charge(comp, pj, count)
+    assert ledger.energy_pj == pytest.approx(
+        sum(ledger.energy_breakdown().values())
+    )

@@ -1,0 +1,71 @@
+"""Shared test helpers: oracles and regex/input strategies."""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import strategies as st
+
+from repro.regex import ast
+from repro.regex.charclass import CharClass
+
+
+def re_end_positions(pattern: str, text: str) -> list[int]:
+    """Ground-truth end positions of non-empty matches via Python's re.
+
+    Position ``i`` is reported iff some non-empty substring ending at
+    ``i`` (inclusive) matches the whole pattern — the unanchored
+    multi-match convention every engine in this project follows.
+    """
+    compiled = re.compile(pattern)
+    out = []
+    for end in range(len(text)):
+        for start in range(end + 1):
+            if compiled.fullmatch(text, start, end + 1):
+                out.append(end)
+                break
+    return out
+
+
+# -- hypothesis strategies -----------------------------------------------------
+
+SAFE_ALPHABET = "abcd"
+
+
+def charclasses() -> st.SearchStrategy[CharClass]:
+    single = st.sampled_from(SAFE_ALPHABET).map(CharClass.of)
+    multi = st.sets(
+        st.sampled_from(SAFE_ALPHABET), min_size=1, max_size=3
+    ).map(CharClass.from_iterable)
+    return st.one_of(single, multi, st.just(CharClass.any()))
+
+
+def regex_trees(
+    max_leaves: int = 8, with_unbounded: bool = True, max_bound: int = 4
+) -> st.SearchStrategy:
+    """Random ASTs over a small alphabet, built via the smart constructors."""
+    leaf = charclasses().map(ast.lit)
+
+    def extend(sub):
+        options = [
+            st.tuples(sub, sub).map(lambda t: ast.concat(*t)),
+            st.tuples(sub, sub).map(lambda t: ast.alt(*t)),
+            sub.map(ast.opt),
+            st.tuples(
+                sub,
+                st.integers(0, max_bound),
+                st.integers(0, max_bound),
+            ).map(lambda t: ast.repeat(t[0], t[1], t[1] + t[2])),
+        ]
+        if with_unbounded:
+            options.append(sub.map(ast.star))
+            options.append(sub.map(ast.plus))
+        return st.one_of(options)
+
+    return st.recursive(leaf, extend, max_leaves=max_leaves)
+
+
+def inputs(alphabet: str = SAFE_ALPHABET + "x", max_size: int = 24):
+    return st.text(alphabet=alphabet, max_size=max_size).map(
+        lambda s: s.encode("ascii")
+    )

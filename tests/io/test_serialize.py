@@ -1,0 +1,107 @@
+"""Round-trip and error-path tests for ruleset serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.glushkov import build_automaton
+from repro.automata.nbva import NBVASimulator
+from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
+from repro.io.serialize import (
+    SerializationError,
+    automaton_from_json,
+    automaton_to_json,
+    load_ruleset,
+    loads_ruleset,
+    ruleset_from_json,
+    ruleset_to_json,
+    save_ruleset,
+)
+from repro.regex.parser import parse
+from repro.regex.rewrite import unfold_all
+from repro.simulators import RAPSimulator
+
+from tests.helpers import regex_trees
+
+PATTERNS = ["ab{40}c", "a[bc]de", "xy*z", "\\x00[\\x01-\\x1f]{12}\\xff"]
+
+
+@pytest.fixture()
+def ruleset():
+    return compile_ruleset(PATTERNS, CompilerConfig(bv_depth=8))
+
+
+class TestAutomatonRoundTrip:
+    @pytest.mark.parametrize(
+        "pattern", ["abc", "a(?:b|c)*d", "ab{40}c", "x[^y]{3,9}z"]
+    )
+    def test_round_trip_structural(self, pattern):
+        from repro.compiler.nbva_compiler import prepare_nbva
+        from repro.hardware.config import DEFAULT_CONFIG
+
+        regex = prepare_nbva(
+            parse(pattern), unfold_threshold=4, depth=8, hw=DEFAULT_CONFIG
+        )
+        original = build_automaton(regex)
+        restored = automaton_from_json(automaton_to_json(original))
+        assert restored == original
+
+    def test_round_trip_preserves_semantics(self):
+        original = build_automaton(parse("a{9}b"))
+        restored = automaton_from_json(automaton_to_json(original))
+        data = b"aaaaaaaaab" * 3
+        assert (
+            NBVASimulator(restored).find_matches(data)
+            == NBVASimulator(original).find_matches(data)
+        )
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            automaton_from_json({"positions": [{"cc": "zz", "group": None}]})
+        with pytest.raises(SerializationError):
+            automaton_from_json({})
+
+
+class TestRulesetRoundTrip:
+    def test_file_round_trip(self, ruleset, tmp_path):
+        path = save_ruleset(ruleset, tmp_path / "rules.json")
+        restored = load_ruleset(path)
+        assert restored == ruleset
+
+    def test_string_round_trip(self, ruleset):
+        text = json.dumps(ruleset_to_json(ruleset))
+        assert loads_ruleset(text) == ruleset
+
+    def test_restored_ruleset_simulates_identically(self, ruleset, tmp_path):
+        data = (b"noise " * 10 + b"a" + b"b" * 40 + b"c a[bc]de xyz") * 3
+        path = save_ruleset(ruleset, tmp_path / "rules.json")
+        restored = load_ruleset(path)
+        sim = RAPSimulator()
+        assert sim.run(restored, data).matches == sim.run(ruleset, data).matches
+
+    def test_rejections_preserved(self, tmp_path):
+        ruleset = compile_ruleset(["abc", "a("], CompilerConfig())
+        path = save_ruleset(ruleset, tmp_path / "r.json")
+        restored = load_ruleset(path)
+        assert restored.rejected == ruleset.rejected
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            ruleset_from_json({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SerializationError):
+            ruleset_from_json({"format": "rap-repro-ruleset", "version": 99})
+
+    def test_mode_mix_preserved(self, ruleset, tmp_path):
+        path = save_ruleset(ruleset, tmp_path / "r.json")
+        assert load_ruleset(path).mode_counts() == ruleset.mode_counts()
+
+
+@settings(max_examples=40, deadline=None)
+@given(regex_trees(max_leaves=7, max_bound=4))
+def test_random_automata_round_trip(tree):
+    original = build_automaton(unfold_all(tree))
+    restored = automaton_from_json(automaton_to_json(original))
+    assert restored == original

@@ -1,0 +1,170 @@
+"""Tests for the LNFA binning algorithm (Section 4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.lnfa import LNFA
+from repro.hardware.config import DEFAULT_CONFIG
+from repro.mapping.binning import (
+    Bin,
+    BinItem,
+    BinKind,
+    plan_bins,
+    states_per_tile,
+    tiles_for,
+)
+from repro.regex.charclass import CharClass
+
+HW = DEFAULT_CONFIG
+
+
+def item(length: int, regex_id: int = 0, idx: int = 0, cam: bool = True) -> BinItem:
+    labels = tuple(CharClass.of("a") for _ in range(length))
+    return BinItem(
+        regex_id=regex_id, lnfa_index=idx, lnfa=LNFA(labels), cam_eligible=cam
+    )
+
+
+def items(lengths, cam=True):
+    return [item(n, regex_id=i, cam=cam) for i, n in enumerate(lengths)]
+
+
+class TestCapacities:
+    def test_states_per_tile(self):
+        assert states_per_tile(BinKind.CAM, HW) == 128
+        assert states_per_tile(BinKind.SWITCH, HW) == 64
+
+    def test_tiles_for_single(self):
+        assert tiles_for(1, 128, BinKind.CAM, HW) == 1
+        assert tiles_for(1, 129, BinKind.CAM, HW) == 2
+
+    def test_tiles_for_bin(self):
+        # 4 LNFAs of 64 states: region = 128 // 4 = 32, 2 tiles
+        assert tiles_for(4, 64, BinKind.CAM, HW) == 2
+
+    def test_tiles_for_switch(self):
+        assert tiles_for(2, 64, BinKind.SWITCH, HW) == 2
+
+
+class TestPlanBins:
+    def test_small_uniform_set_fills_one_bin(self):
+        bins = plan_bins(items([4] * 8), hw=HW, overlay_split=False)
+        assert len(bins) == 1
+        assert bins[0].size == 8
+        assert bins[0].kind is BinKind.CAM
+
+    def test_overlay_split_two_to_one(self):
+        """CAM-eligible groups split ~2:1 across the tile's two sides."""
+        bins = plan_bins(items([4] * 9), hw=HW)
+        assert len(bins) == 2
+        by_kind = {b.kind: b for b in bins}
+        assert by_kind[BinKind.CAM].size == 6
+        assert by_kind[BinKind.SWITCH].size == 3
+
+    def test_overlay_split_skips_tiny_groups(self):
+        bins = plan_bins(items([4] * 2), hw=HW)
+        assert len(bins) == 1
+
+    def test_footprint_columns(self):
+        cam, switch = (
+            plan_bins(items([10] * 6), hw=HW, overlay_split=False)[0],
+            plan_bins(items([10] * 6, cam=False), hw=HW)[0],
+        )
+        assert cam.footprint_columns == 60
+        assert switch.footprint_columns == 120
+
+    def test_bin_size_cap_respected(self):
+        bins = plan_bins(items([4] * 8), hw=HW, bin_size=2)
+        assert all(b.size == 2 for b in bins)
+        assert len(bins) == 4
+
+    def test_fig7_scenario(self):
+        """4 LNFAs binned pairwise across two tiles each (Fig. 7b)."""
+        bins = plan_bins(items([100, 100, 100, 100]), hw=HW, bin_size=2)
+        assert len(bins) == 2
+        for b in bins:
+            assert b.size == 2
+            assert b.tiles == tiles_for(2, 100, BinKind.CAM, HW)
+
+    def test_halving_on_oversized(self):
+        """A long LNFA forces the bin to shrink until it fits."""
+        bins = plan_bins(items([1000] * 32), hw=HW, bin_size=32)
+        # region at size 32 is 4 states -> 250 tiles > 16: must halve.
+        for b in bins:
+            assert b.tiles <= HW.tiles_per_array
+
+    def test_all_items_exactly_once(self):
+        lengths = [3, 5, 8, 8, 13, 21, 34, 55, 4, 4]
+        bins = plan_bins(items(lengths), hw=HW, bin_size=4)
+        seen = sorted(
+            (it.regex_id, it.lnfa_index) for b in bins for it in b.items
+        )
+        assert seen == sorted((i, 0) for i in range(len(lengths)))
+
+    def test_kinds_partitioned(self):
+        """CAM bins never contain CAM-ineligible classes; switch bins may
+        contain either (one-hot encoding is universal)."""
+        mixed = items([4] * 4, cam=True) + [
+            item(4, regex_id=10 + i, cam=False) for i in range(4)
+        ]
+        bins = plan_bins(mixed, hw=HW)
+        for b in bins:
+            if b.kind is BinKind.CAM:
+                assert all(it.cam_eligible for it in b.items)
+        ineligible_bins = [
+            b
+            for b in bins
+            if any(not it.cam_eligible for it in b.items)
+        ]
+        assert all(b.kind is BinKind.SWITCH for b in ineligible_bins)
+
+    def test_sorted_by_size_minimizes_padding(self):
+        """Similar sizes end up together, keeping utilization high."""
+        bins = plan_bins(
+            items([4] * 16 + [64] * 16),
+            hw=HW,
+            bin_size=16,
+            overlay_split=False,
+        )
+        assert len(bins) == 2
+        assert all(b.utilization == 1.0 for b in bins)
+
+    def test_utilization_accounts_padding(self):
+        bins = plan_bins(items([2, 4]), hw=HW, bin_size=2)
+        (b,) = bins
+        assert b.padded_states == 8
+        assert b.real_states == 6
+        assert b.utilization == pytest.approx(0.75)
+
+    def test_oversized_single_lnfa_raises(self):
+        too_long = HW.cam_cols * HW.tiles_per_array + 1
+        with pytest.raises(ValueError):
+            plan_bins(items([too_long]), hw=HW)
+
+    def test_invalid_bin_size(self):
+        with pytest.raises(ValueError):
+            plan_bins(items([4]), hw=HW, bin_size=0)
+
+    def test_gateable_tiles(self):
+        bins = plan_bins(items([100, 100]), hw=HW, bin_size=2)
+        (b,) = bins
+        assert b.initial_tiles == 1
+        assert b.gateable_tiles == b.tiles - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(1, 300), min_size=1, max_size=40),
+    st.sampled_from([1, 2, 4, 8, 16, 32]),
+)
+def test_binning_invariants(lengths, bin_size):
+    """Every LNFA appears exactly once; every bin respects the limits."""
+    all_items = items(lengths)
+    bins = plan_bins(all_items, hw=HW, bin_size=bin_size)
+    seen = [(it.regex_id, it.lnfa_index) for b in bins for it in b.items]
+    assert sorted(seen) == sorted((it.regex_id, it.lnfa_index) for it in all_items)
+    for b in bins:
+        assert 1 <= b.size <= min(bin_size, HW.max_bin_size)
+        assert b.tiles <= HW.tiles_per_array
+        assert 0 < b.utilization <= 1.0

@@ -1,0 +1,64 @@
+"""Tests for physical-array consolidation (Section 3.3 per-tile modes)."""
+
+from repro.compiler import CompilerConfig, compile_ruleset
+from repro.hardware.config import DEFAULT_CONFIG, TileMode
+from repro.mapping.mapper import Mapping, map_ruleset
+from repro.mapping.resources import ArrayBuilder
+
+
+def synthetic_mapping(tile_counts: dict[TileMode, list[int]]) -> Mapping:
+    mapping = Mapping(arrays=[], hw=DEFAULT_CONFIG)
+    for mode, counts in tile_counts.items():
+        for tiles in counts:
+            array = ArrayBuilder(mode=mode, hw=DEFAULT_CONFIG)
+            if mode is TileMode.LNFA:
+                array.lnfa_cam_columns = tiles * DEFAULT_CONFIG.cam_cols
+            else:
+                from repro.mapping.resources import PhysicalTile
+
+                array.tiles = [PhysicalTile(mode=mode) for _ in range(tiles)]
+            mapping.arrays.append(array)
+    return mapping
+
+
+class TestPhysicalArrays:
+    def test_nfa_and_lnfa_share(self):
+        mapping = synthetic_mapping(
+            {TileMode.NFA: [3], TileMode.LNFA: [2]}
+        )
+        assert mapping.total_arrays == 2
+        assert mapping.physical_arrays() == 1
+
+    def test_nbva_stays_dedicated(self):
+        mapping = synthetic_mapping(
+            {TileMode.NBVA: [1], TileMode.NFA: [1], TileMode.LNFA: [1]}
+        )
+        assert mapping.physical_arrays() == 2  # NBVA alone + shared pair
+
+    def test_capacity_respected(self):
+        mapping = synthetic_mapping(
+            {TileMode.NFA: [10], TileMode.LNFA: [10]}
+        )
+        # 10 + 10 > 16: cannot share one array
+        assert mapping.physical_arrays() == 2
+
+    def test_multiple_small_arrays_pack(self):
+        mapping = synthetic_mapping({TileMode.NFA: [4, 4, 4, 4]})
+        assert mapping.physical_arrays() == 1
+
+    def test_empty_mapping(self):
+        mapping = Mapping(arrays=[], hw=DEFAULT_CONFIG)
+        assert mapping.physical_arrays() == 0
+        assert mapping.banks_needed == 0
+
+    def test_banks_derive_from_physical_arrays(self):
+        mapping = synthetic_mapping({TileMode.NBVA: [2]} | {})
+        assert mapping.banks_needed == 1
+
+    def test_real_mixed_workload_consolidates(self):
+        ruleset = compile_ruleset(
+            ["ab{40}c", "wxyz", "pq*r"], CompilerConfig(bv_depth=8)
+        )
+        mapping = map_ruleset(ruleset)
+        assert mapping.total_arrays == 3  # one per mode during placement
+        assert mapping.physical_arrays() == 2  # NFA+LNFA consolidate

@@ -1,0 +1,162 @@
+"""Greedy mapper tests: constraints, sharing, utilization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CompilerConfig, compile_ruleset
+from repro.compiler.program import CompiledMode
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig, TileMode
+from repro.mapping.mapper import Mapping, MappingError, map_ruleset
+
+HW = DEFAULT_CONFIG
+
+
+def mapped(patterns, bin_size=None, **cfg) -> Mapping:
+    ruleset = compile_ruleset(patterns, CompilerConfig(**cfg))
+    assert not ruleset.rejected, ruleset.rejected
+    return map_ruleset(ruleset, HW, bin_size=bin_size)
+
+
+class TestTiledPlacement:
+    def test_small_regexes_share_a_tile(self):
+        mapping = mapped(["ab*c", "de*f", "gh*i"])
+        assert mapping.total_arrays == 1
+        (array,) = mapping.arrays
+        assert array.mode is TileMode.NFA
+        assert len(array.tiles) == 1
+        assert array.tiles[0].states == 9
+
+    def test_mode_partitioning(self):
+        mapping = mapped(["ab*c", "xy{100}z"])
+        modes = sorted(a.mode.value for a in mapping.arrays)
+        assert modes == ["nbva", "nfa"]
+
+    def test_nbva_read_kinds_separate_tiles(self):
+        mapping = mapped(["aa{100}b", "cc{0,100}d"], unfold_threshold=4)
+        arrays = mapping.arrays_in_mode(TileMode.NBVA)
+        assert len(arrays) == 1
+        reads = [t.read for t in arrays[0].tiles if t.read is not None]
+        assert len(set(reads)) == len(reads)  # no tile mixes read kinds
+
+    def test_multi_tile_regex_single_array(self):
+        mapping = mapped(["a{3000}"], bv_depth=4)
+        arrays = mapping.arrays_in_mode(TileMode.NBVA)
+        assert len(arrays) == 1
+        regex_tiles = [
+            t for t in arrays[0].tiles for occ in t.occupants
+        ]
+        assert len(arrays[0].tiles) >= 2
+
+    def test_array_overflow_spawns_new_array(self):
+        # Each a{500}-style regex at depth 4 takes ~127 columns, one tile
+        # each; 20 of them need two arrays of 16 tiles.
+        patterns = [f"{c}{{500}}" for c in "abcdefghijklmnopqrst"]
+        mapping = mapped(patterns, bv_depth=4)
+        assert len(mapping.arrays_in_mode(TileMode.NBVA)) == 2
+
+    def test_column_utilization_high_for_dense_packing(self):
+        patterns = [f"{c}{{504}}" for c in "abcdefgh"]
+        mapping = mapped(patterns, bv_depth=4)
+        assert mapping.column_utilization() > 0.9
+
+    def test_impossible_regex_raises(self):
+        from repro.compiler.program import CompiledRegex, TileRequest
+        from repro.compiler import CompiledMode as M
+        from repro.compiler.program import CompiledRuleset
+        from repro.automata.glushkov import build_automaton
+        from repro.regex.parser import parse
+
+        auto = build_automaton(parse("a"))
+        too_many_tiles = tuple(
+            TileRequest(mode=TileMode.NFA, states=1, cc_columns=1)
+            for _ in range(HW.tiles_per_array + 1)
+        )
+        regex = CompiledRegex(
+            regex_id=0,
+            pattern="synthetic",
+            mode=M.NFA,
+            automaton=auto,
+            tile_requests=too_many_tiles,
+        )
+        with pytest.raises(MappingError):
+            map_ruleset(CompiledRuleset(regexes=(regex,)), HW)
+
+
+class TestLnfaPlacement:
+    def test_bins_created_and_placed(self):
+        mapping = mapped(["abcd", "efgh", "ijkl"], bin_size=2)
+        assert mapping.bins
+        arrays = mapping.arrays_in_mode(TileMode.LNFA)
+        assert len(arrays) == 1
+        assert arrays[0].tiles_used >= 1
+
+    def test_overlay_of_cam_and_switch_bins(self):
+        # A switch-ineligible class: scattered bytes across many blocks.
+        scattered = "[\\x01\\x21\\x41\\x61\\x81\\xa1]"
+        cam_patterns = ["abcd", "efgh"]
+        switch_patterns = [scattered * 4]
+        mapping = mapped(cam_patterns + switch_patterns, bin_size=2)
+        (array,) = mapping.arrays_in_mode(TileMode.LNFA)
+        # Overlay: physical tiles = max(cam, switch) demand, not the sum.
+        assert array.tiles_used == max(
+            array.lnfa_cam_tiles, array.lnfa_switch_tiles
+        )
+        assert array.lnfa_cam_tiles > 0 and array.lnfa_switch_tiles > 0
+
+    def test_bin_utilization_reported(self):
+        mapping = mapped(["ab", "cdef"], bin_size=2)
+        assert 0 < mapping.bin_utilization() <= 1.0
+
+
+class TestMappingMetrics:
+    def test_total_tiles_and_banks(self):
+        mapping = mapped(["ab*c", "abcd", "xy{100}z"])
+        assert mapping.total_tiles >= 3
+        assert mapping.banks_needed == 1
+
+    def test_blended_utilization_in_range(self):
+        mapping = mapped(["ab*c", "abcd", "xy{100}z"])
+        assert 0 < mapping.utilization() <= 1.0
+
+    def test_empty_ruleset(self):
+        from repro.compiler.program import CompiledRuleset
+
+        mapping = map_ruleset(CompiledRuleset(regexes=()), HW)
+        assert mapping.total_arrays == 0
+        assert mapping.utilization() == 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(
+            ["ab*c", "abcd", "xy{100}z", "p{0,60}q", "(?:ab){40}", "[ab]{3}cd"]
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    st.sampled_from([1, 4, 32]),
+)
+def test_mapping_invariants(patterns, bin_size):
+    """No constraint violations regardless of workload composition."""
+    mapping = mapped(patterns, bin_size=bin_size)
+    hw = mapping.hw
+    for array in mapping.arrays:
+        assert array.tiles_used <= hw.tiles_per_array
+        for tile in array.tiles:
+            assert tile.columns <= hw.cam_cols
+            assert tile.ports <= hw.global_ports_per_tile
+            reads = {
+                occ.read
+                for _, occ in tile.occupants
+                if occ.read is not None
+            }
+            assert len(reads) <= 1
+    # every compiled regex is placed in exactly one array
+    placed: dict[int, int] = {}
+    for idx, array in enumerate(mapping.arrays):
+        for rid in array.regex_ids:
+            assert rid not in placed, "regex split across arrays"
+            placed[rid] = idx
+    assert len(placed) == len(patterns)

@@ -1,0 +1,125 @@
+"""Tests for structural regex analysis."""
+
+import pytest
+
+from repro.regex.analysis import (
+    analyze,
+    counting_compatible,
+    describe,
+    has_unbounded,
+    max_finite_bound,
+)
+from repro.regex.ast import Repeat
+from repro.regex.parser import parse
+
+
+class TestHasUnbounded:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("abc", False),
+            ("a*", True),
+            ("a+", True),
+            ("a{3,}", True),
+            ("a{3,9}", False),
+            ("(a*b){2}", True),
+        ],
+    )
+    def test(self, pattern, expected):
+        assert has_unbounded(parse(pattern)) is expected
+
+
+class TestMaxFiniteBound:
+    def test_no_bounds(self):
+        assert max_finite_bound(parse("abc")) == 0
+
+    def test_picks_largest(self):
+        assert max_finite_bound(parse("a{3}b{100}c{7,12}")) == 100
+
+    def test_ignores_open_bounds(self):
+        assert max_finite_bound(parse("a{500,}b{3}")) == 3
+
+
+class TestCountingCompatible:
+    def get_repeat(self, pattern) -> Repeat:
+        reps = [n for n in parse(pattern).walk() if isinstance(n, Repeat)]
+        assert len(reps) == 1
+        return reps[0]
+
+    def test_charclass_body(self):
+        assert counting_compatible(self.get_repeat("a{100}"))
+
+    def test_sequence_body(self):
+        assert counting_compatible(self.get_repeat("(abc){50}"))
+
+    def test_alternation_body(self):
+        assert counting_compatible(self.get_repeat("(ab|cd){50}"))
+
+    def test_star_inside_body_ok(self):
+        assert counting_compatible(self.get_repeat("(ab*c){50}"))
+
+    def test_nullable_body_rejected(self):
+        assert not counting_compatible(self.get_repeat("(a*){50}"))
+
+    def test_nested_repeat_rejected(self):
+        rep = [n for n in parse("(a{30}b){50}").walk() if isinstance(n, Repeat)][0]
+        assert not counting_compatible(rep)
+
+
+class TestAnalyze:
+    def test_plain_regex_profile(self):
+        profile = analyze(parse("ab[cd]"), unfold_threshold=4)
+        assert profile.literal_count == 3
+        assert profile.unfolded_size == 3
+        assert not profile.nullable
+        assert not profile.has_unbounded
+        assert profile.bounded_reps == ()
+        assert profile.is_linearizable
+
+    def test_census_after_unfolding(self):
+        profile = analyze(parse("a{3}b{100}"), unfold_threshold=4)
+        assert len(profile.bounded_reps) == 1
+        rep = profile.bounded_reps[0]
+        assert (rep.lo, rep.hi) == (100, 100)
+        assert rep.body_is_charclass
+        assert rep.counting_compatible
+        assert rep.bv_size == 100
+        assert rep.unfolded_positions == 100
+
+    def test_total_bv_bits_counts_only_compatible(self):
+        profile = analyze(parse("a{100}(b{60}c){90}"), unfold_threshold=4)
+        sizes = sorted(r.bv_size for r in profile.bounded_reps)
+        assert sizes == [90, 100]
+        compatible = [r for r in profile.bounded_reps if r.counting_compatible]
+        assert len(compatible) == 1
+        assert profile.total_bv_bits == 100
+
+    def test_linearizable_within_blowup(self):
+        profile = analyze(parse("a(b{1,2}|c)e"), unfold_threshold=8)
+        assert profile.is_linearizable
+        assert profile.linearization.total_states == 10
+
+    def test_not_linearizable_beyond_blowup(self):
+        # (a|bbbbbbbb){3}: linearization needs up to 24 states from 9 unfolded.
+        profile = analyze(parse("(?:a|bbbbbbbb){3}"), unfold_threshold=8, lnfa_blowup=1.5)
+        assert not profile.is_linearizable
+
+    def test_unbounded_never_linearizable(self):
+        profile = analyze(parse("ab*c"), unfold_threshold=4)
+        assert not profile.is_linearizable
+        assert profile.has_unbounded
+
+    def test_nullable_flag(self):
+        assert analyze(parse("a*"), unfold_threshold=4).nullable
+
+    def test_unfolded_size_from_source_tree(self):
+        profile = analyze(parse("a{1000}"), unfold_threshold=4)
+        assert profile.unfolded_size == 1000
+        assert profile.literal_count == 1
+
+
+class TestDescribe:
+    def test_describe_contains_key_facts(self):
+        text = describe(parse("a{9}b*"))
+        assert "max_bound=9" in text
+        assert "unbounded=True" in text

@@ -1,0 +1,164 @@
+"""AST node and smart-constructor tests."""
+
+import pytest
+
+from repro.regex import ast
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Alt,
+    Concat,
+    Epsilon,
+    Lit,
+    Opt,
+    Plus,
+    Repeat,
+    Star,
+)
+from repro.regex.charclass import CharClass
+
+
+A = ast.lit(CharClass.of("a"))
+B = ast.lit(CharClass.of("b"))
+C = ast.lit(CharClass.of("c"))
+
+
+class TestSmartConstructors:
+    def test_lit_empty_class_is_empty_language(self):
+        assert ast.lit(CharClass.empty()) is EMPTY
+
+    def test_concat_flattens(self):
+        node = ast.concat(ast.concat(A, B), C)
+        assert node == Concat((A, B, C))
+
+    def test_concat_drops_epsilon(self):
+        assert ast.concat(A, EPSILON, B) == Concat((A, B))
+
+    def test_concat_absorbs_empty(self):
+        assert ast.concat(A, EMPTY, B) is EMPTY
+
+    def test_concat_of_nothing_is_epsilon(self):
+        assert ast.concat() is EPSILON
+
+    def test_concat_singleton_unwrapped(self):
+        assert ast.concat(A) is A
+
+    def test_alt_flattens_and_dedupes(self):
+        node = ast.alt(ast.alt(A, B), A, C)
+        assert node == Alt((A, B, C))
+
+    def test_alt_drops_empty(self):
+        assert ast.alt(A, EMPTY) is A
+
+    def test_alt_of_nothing_is_empty(self):
+        assert ast.alt() is EMPTY
+
+    def test_star_of_epsilon(self):
+        assert ast.star(EPSILON) is EPSILON
+
+    def test_star_of_star(self):
+        assert ast.star(ast.star(A)) == Star(A)
+
+    def test_star_of_plus(self):
+        assert ast.star(ast.plus(A)) == Star(A)
+
+    def test_star_of_opt(self):
+        assert ast.star(ast.opt(A)) == Star(A)
+
+    def test_plus_of_star_is_star(self):
+        assert ast.plus(ast.star(A)) == Star(A)
+
+    def test_opt_of_nullable_is_identity(self):
+        assert ast.opt(ast.star(A)) == Star(A)
+
+    def test_opt_of_empty_is_epsilon(self):
+        assert ast.opt(EMPTY) is EPSILON
+
+    def test_repeat_zero_is_epsilon(self):
+        assert ast.repeat(A, 0, 0) is EPSILON
+
+    def test_repeat_one_one_is_identity(self):
+        assert ast.repeat(A, 1, 1) is A
+
+    def test_repeat_zero_one_is_opt(self):
+        assert ast.repeat(A, 0, 1) == Opt(A)
+
+    def test_repeat_zero_unbounded_is_star(self):
+        assert ast.repeat(A, 0, None) == Star(A)
+
+    def test_repeat_one_unbounded_is_plus(self):
+        assert ast.repeat(A, 1, None) == Plus(A)
+
+    def test_repeat_validates_bounds(self):
+        with pytest.raises(ValueError):
+            Repeat(A, 3, 1)
+        with pytest.raises(ValueError):
+            Repeat(A, -1, 2)
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "node,expected",
+        [
+            (EPSILON, True),
+            (EMPTY, False),
+            (A, False),
+            (Star(A), True),
+            (Plus(A), False),
+            (Opt(A), True),
+            (Concat((A, B)), False),
+            (Concat((Star(A), Star(B))), True),
+            (Alt((A, Star(B))), True),
+            (Alt((A, B)), False),
+            (Repeat(A, 0, 5), True),
+            (Repeat(A, 2, 5), False),
+        ],
+    )
+    def test_nullable(self, node, expected):
+        assert node.nullable() is expected
+
+
+class TestSizes:
+    def test_literal_count_ignores_repetition(self):
+        assert Repeat(Concat((A, B)), 3, 7).literal_count() == 2
+
+    def test_unfolded_size_multiplies_by_upper_bound(self):
+        assert Repeat(Concat((A, B)), 3, 7).unfolded_size() == 14
+
+    def test_unfolded_size_open_bound_uses_lower(self):
+        assert Repeat(A, 5, None).unfolded_size() == 5
+
+    def test_nested_repeats_multiply(self):
+        inner = Repeat(A, 2, 2)
+        assert Repeat(inner, 3, 3).unfolded_size() == 6
+
+    def test_star_counts_body_once(self):
+        assert Star(Concat((A, B))).unfolded_size() == 2
+
+
+class TestWalk:
+    def test_walk_preorder(self):
+        node = Concat((A, Star(B)))
+        kinds = [type(n).__name__ for n in node.walk()]
+        assert kinds == ["Concat", "Lit", "Star", "Lit"]
+
+
+class TestRendering:
+    def test_alt_inside_concat_grouped(self):
+        node = ast.concat(A, ast.alt(B, C))
+        assert node.to_pattern() == "a(?:b|c)"
+
+    def test_repeat_rendering(self):
+        assert Repeat(A, 3, 3).to_pattern() == "a{3}"
+        assert Repeat(A, 2, 5).to_pattern() == "a{2,5}"
+        assert Repeat(A, 2, None).to_pattern() == "a{2,}"
+
+    def test_group_needed_for_concat_repetition(self):
+        node = Repeat(Concat((A, B)), 2, 2)
+        assert node.to_pattern() == "(?:ab){2}"
+
+    def test_epsilon_renders_empty_group(self):
+        assert Epsilon().to_pattern() == "(?:)"
+
+    def test_repr_contains_pattern(self):
+        assert "a{3}" in repr(Repeat(A, 3, 3))

@@ -1,0 +1,83 @@
+"""Case-insensitive (?i) support tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compiler import CompilerConfig, compile_ruleset
+from repro.regex.charclass import CharClass, case_folded
+from repro.regex.parser import parse_anchored
+from repro.simulators import RAPSimulator
+
+
+class TestCaseFolded:
+    def test_lower_gains_upper(self):
+        assert set(case_folded(CharClass.of("a"))) == {ord("a"), ord("A")}
+
+    def test_upper_gains_lower(self):
+        assert set(case_folded(CharClass.of("Z"))) == {ord("z"), ord("Z")}
+
+    def test_non_letters_untouched(self):
+        cc = CharClass.of("5", "-", 0x00)
+        assert case_folded(cc) == cc
+
+    def test_range_folds(self):
+        folded = case_folded(CharClass.range("a", "c"))
+        assert folded == CharClass.of("a", "b", "c", "A", "B", "C")
+
+    def test_idempotent(self):
+        cc = CharClass.range("a", "m") | CharClass.of("Q")
+        assert case_folded(case_folded(cc)) == case_folded(cc)
+
+
+class TestParseFlag:
+    def test_flag_detected_and_stripped(self):
+        parsed = parse_anchored("(?i)abc")
+        assert parsed.case_insensitive
+        assert parsed.regex.to_pattern() == "[Aa][Bb][Cc]"
+
+    def test_flag_composes_with_anchors(self):
+        parsed = parse_anchored("(?i)^abc$")
+        assert parsed.case_insensitive
+        assert parsed.anchored_start and parsed.anchored_end
+
+    def test_no_flag(self):
+        assert not parse_anchored("abc").case_insensitive
+
+    def test_folding_reaches_nested_structure(self):
+        parsed = parse_anchored("(?i)a(?:b|c{3})d*")
+        rendered = parsed.regex.to_pattern()
+        assert "[Aa]" in rendered and "[Dd]" in rendered
+
+    def test_classes_fold(self):
+        parsed = parse_anchored("(?i)[a-c]x")
+        first = parsed.regex.parts[0].cc
+        assert first.matches("B") and first.matches("b")
+
+
+class TestEndToEnd:
+    def test_nocase_rule_matches_both_cases(self):
+        ruleset = compile_ruleset(["(?i)attack"], CompilerConfig())
+        data = b"...ATTACK... attack ...AtTaCk..."
+        result = RAPSimulator().run(ruleset, data)
+        assert len(result.matches[0]) == 3
+
+    def test_case_sensitive_rule_does_not(self):
+        ruleset = compile_ruleset(["attack"], CompilerConfig())
+        data = b"...ATTACK... attack ...AtTaCk..."
+        result = RAPSimulator().run(ruleset, data)
+        assert len(result.matches[0]) == 1
+
+    def test_nocase_counted_pattern(self):
+        ruleset = compile_ruleset(["(?i)x[a-f]{12}y"], CompilerConfig(bv_depth=4))
+        data = b"zzX" + b"aBcDeFAbCdEf" + b"Y" + b"z" * 5
+        result = RAPSimulator().run(ruleset, data)
+        assert result.matches[0] == [15]
+
+
+@given(st.sampled_from("azAZmM"), st.sampled_from("azAZmM"))
+def test_fold_symmetry(a, b):
+    """Folding makes letter membership case-blind."""
+    folded = case_folded(CharClass.of(a))
+    if a.lower() == b.lower():
+        assert folded.matches(b)

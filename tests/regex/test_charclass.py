@@ -1,0 +1,217 @@
+"""Unit and property tests for character classes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.regex.charclass import (
+    ALPHABET_SIZE,
+    DIGITS,
+    SPACE,
+    WORD,
+    CharClass,
+)
+
+byte_values = st.integers(min_value=0, max_value=ALPHABET_SIZE - 1)
+byte_sets = st.frozensets(byte_values, max_size=40)
+
+
+def cc_of(values) -> CharClass:
+    return CharClass.from_iterable(values)
+
+
+class TestConstruction:
+    def test_empty_matches_nothing(self):
+        empty = CharClass.empty()
+        assert empty.is_empty()
+        assert len(empty) == 0
+        assert not any(empty.matches(b) for b in range(ALPHABET_SIZE))
+
+    def test_any_matches_everything(self):
+        any_cc = CharClass.any()
+        assert any_cc.is_any()
+        assert len(any_cc) == ALPHABET_SIZE
+        assert all(any_cc.matches(b) for b in range(ALPHABET_SIZE))
+
+    def test_of_accepts_mixed_symbol_types(self):
+        cc = CharClass.of("a", 0x62, b"c")
+        assert sorted(cc) == [ord("a"), ord("b"), ord("c")]
+
+    def test_range_inclusive(self):
+        cc = CharClass.range("a", "e")
+        assert sorted(cc) == [ord(c) for c in "abcde"]
+
+    def test_range_single(self):
+        assert CharClass.range("x", "x") == CharClass.of("x")
+
+    def test_range_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            CharClass.range("z", "a")
+
+    def test_of_rejects_multichar_string(self):
+        with pytest.raises(ValueError):
+            CharClass.of("ab")
+
+    def test_of_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            CharClass.of(256)
+        with pytest.raises(ValueError):
+            CharClass.of(-1)
+
+    def test_mask_bounds_checked(self):
+        with pytest.raises(ValueError):
+            CharClass(1 << ALPHABET_SIZE)
+        with pytest.raises(ValueError):
+            CharClass(-1)
+
+    def test_union_all_empty_iterable(self):
+        assert CharClass.union_all([]) == CharClass.empty()
+
+    def test_union_all(self):
+        parts = [CharClass.of("a"), CharClass.of("b"), CharClass.of("a")]
+        assert CharClass.union_all(parts) == CharClass.of("a", "b")
+
+
+class TestPredicates:
+    def test_singleton(self):
+        assert CharClass.of("x").is_singleton()
+        assert not CharClass.of("x", "y").is_singleton()
+        assert not CharClass.empty().is_singleton()
+
+    def test_sample_smallest_member(self):
+        assert CharClass.of("c", "a", "b").sample() == ord("a")
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            CharClass.empty().sample()
+
+    def test_contains(self):
+        cc = CharClass.of("a")
+        assert "a" in cc
+        assert ord("a") in cc
+        assert b"a" in cc
+        assert "b" not in cc
+        assert None not in cc
+
+    def test_issubset(self):
+        assert CharClass.of("a").issubset(CharClass.range("a", "z"))
+        assert not CharClass.of("A").issubset(CharClass.range("a", "z"))
+
+    def test_overlaps(self):
+        assert CharClass.range("a", "m").overlaps(CharClass.range("m", "z"))
+        assert not CharClass.range("a", "l").overlaps(CharClass.range("m", "z"))
+
+    def test_bool(self):
+        assert CharClass.of("a")
+        assert not CharClass.empty()
+
+
+class TestRanges:
+    def test_ranges_round_trip(self):
+        cc = CharClass.of("a", "b", "c", "x", "z")
+        assert cc.ranges() == [
+            (ord("a"), ord("c")),
+            (ord("x"), ord("x")),
+            (ord("z"), ord("z")),
+        ]
+
+    def test_ranges_full(self):
+        assert CharClass.any().ranges() == [(0, 255)]
+
+    def test_ranges_empty(self):
+        assert CharClass.empty().ranges() == []
+
+
+class TestNamedClasses:
+    def test_digits(self):
+        assert sorted(DIGITS) == [ord(c) for c in "0123456789"]
+
+    def test_word_contains_underscore_and_alnum(self):
+        for ch in "azAZ09_":
+            assert WORD.matches(ch)
+        assert not WORD.matches("-")
+
+    def test_space(self):
+        for ch in " \t\n\r\x0b\x0c":
+            assert SPACE.matches(ch)
+        assert not SPACE.matches("a")
+
+
+class TestPatternRendering:
+    def test_any_renders_dot(self):
+        assert CharClass.any().to_pattern() == "."
+
+    def test_singleton_renders_bare(self):
+        assert CharClass.of("a").to_pattern() == "a"
+
+    def test_singleton_metachar_escaped(self):
+        assert CharClass.of(".").to_pattern() == "\\."
+        assert CharClass.of("*").to_pattern() == "\\*"
+
+    def test_range_renders_brackets(self):
+        assert CharClass.range("a", "e").to_pattern() == "[a-e]"
+
+    def test_large_class_renders_negated(self):
+        cc = ~CharClass.of("a")
+        assert cc.to_pattern() == "[^a]"
+
+    def test_nonprintable_rendered_as_hex(self):
+        assert CharClass.of(0).to_pattern() == "\\x00"
+
+
+@given(byte_sets, byte_sets)
+def test_union_is_set_union(a, b):
+    assert set(cc_of(a) | cc_of(b)) == a | b
+
+
+@given(byte_sets, byte_sets)
+def test_intersection_is_set_intersection(a, b):
+    assert set(cc_of(a) & cc_of(b)) == a & b
+
+
+@given(byte_sets, byte_sets)
+def test_difference_is_set_difference(a, b):
+    assert set(cc_of(a) - cc_of(b)) == a - b
+
+
+@given(byte_sets, byte_sets)
+def test_symmetric_difference(a, b):
+    assert set(cc_of(a) ^ cc_of(b)) == a ^ b
+
+
+@given(byte_sets)
+def test_double_negation_is_identity(a):
+    assert ~~cc_of(a) == cc_of(a)
+
+
+@given(byte_sets)
+def test_de_morgan(a):
+    cc = cc_of(a)
+    assert ~(cc | CharClass.of("a")) == ~cc & ~CharClass.of("a")
+
+
+@given(byte_sets)
+def test_len_matches_cardinality(a):
+    assert len(cc_of(a)) == len(a)
+
+
+@given(byte_sets)
+def test_iteration_sorted_unique(a):
+    members = list(cc_of(a))
+    assert members == sorted(set(members))
+    assert set(members) == a
+
+
+@given(byte_sets)
+def test_ranges_cover_exactly(a):
+    cc = cc_of(a)
+    covered = set()
+    for lo, hi in cc.ranges():
+        assert lo <= hi
+        covered.update(range(lo, hi + 1))
+    assert covered == a
+
+
+@given(byte_sets)
+def test_hash_consistent_with_eq(a):
+    assert hash(cc_of(a)) == hash(CharClass.from_iterable(sorted(a)))

@@ -1,0 +1,269 @@
+"""Parser unit tests: syntax coverage, error paths, and round-trips."""
+
+import re
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.regex import ast
+from repro.regex.ast import Alt, Concat, Lit, Opt, Plus, Repeat, Star
+from repro.regex.charclass import CharClass
+from repro.regex.parser import (
+    AnchoredPattern,
+    RegexSyntaxError,
+    parse,
+    parse_anchored,
+)
+
+
+def lit(ch: str) -> Lit:
+    return Lit(CharClass.of(ch))
+
+
+class TestBasicAtoms:
+    def test_single_literal(self):
+        assert parse("a") == lit("a")
+
+    def test_concatenation(self):
+        assert parse("abc") == Concat((lit("a"), lit("b"), lit("c")))
+
+    def test_dot_is_any(self):
+        node = parse(".")
+        assert isinstance(node, Lit) and node.cc.is_any()
+
+    def test_alternation(self):
+        assert parse("a|b") == Alt((lit("a"), lit("b")))
+
+    def test_alternation_three_way_flat(self):
+        node = parse("a|b|c")
+        assert isinstance(node, Alt) and len(node.parts) == 3
+
+    def test_empty_pattern_is_epsilon(self):
+        assert parse("") is ast.EPSILON
+
+    def test_empty_alternation_branch(self):
+        node = parse("a|")
+        assert node.nullable()
+
+    def test_group_is_transparent(self):
+        assert parse("(ab)c") == parse("abc")
+
+    def test_non_capturing_group(self):
+        assert parse("(?:ab)c") == parse("abc")
+
+    def test_nested_groups(self):
+        assert parse("((a))") == lit("a")
+
+
+class TestQuantifiers:
+    def test_star(self):
+        assert parse("a*") == Star(lit("a"))
+
+    def test_plus(self):
+        assert parse("a+") == Plus(lit("a"))
+
+    def test_opt(self):
+        assert parse("a?") == Opt(lit("a"))
+
+    def test_exact_bound(self):
+        assert parse("a{3}") == Repeat(lit("a"), 3, 3)
+
+    def test_range_bound(self):
+        assert parse("a{2,5}") == Repeat(lit("a"), 2, 5)
+
+    def test_open_bound(self):
+        assert parse("a{2,}") == Repeat(lit("a"), 2, None)
+
+    def test_bound_on_group(self):
+        assert parse("(ab){2,3}") == Repeat(parse("ab"), 2, 3)
+
+    def test_quantifier_binds_to_last_atom(self):
+        assert parse("ab*") == Concat((lit("a"), Star(lit("b"))))
+
+    def test_lazy_modifier_ignored(self):
+        assert parse("a*?") == parse("a*")
+        assert parse("a+?") == parse("a+")
+        assert parse("a{2,5}?") == parse("a{2,5}")
+
+    def test_possessive_modifier_ignored(self):
+        assert parse("a*+") == parse("a*")
+
+    def test_one_one_bound_collapses(self):
+        assert parse("a{1}") == lit("a")
+
+    def test_zero_one_bound_is_opt(self):
+        assert parse("a{0,1}") == Opt(lit("a"))
+
+    def test_literal_brace_not_a_bound(self):
+        node = parse("a{x}")
+        assert node == parse("a\\{x\\}")
+
+    def test_stacked_quantifiers(self):
+        # (a+)* collapses to a* under the smart constructors.
+        assert parse("(a+)*") == Star(lit("a"))
+
+
+class TestCharacterClasses:
+    def test_simple_class(self):
+        node = parse("[abc]")
+        assert isinstance(node, Lit)
+        assert sorted(node.cc) == [ord(c) for c in "abc"]
+
+    def test_range_class(self):
+        node = parse("[a-f]")
+        assert node == Lit(CharClass.range("a", "f"))
+
+    def test_negated_class(self):
+        node = parse("[^a]")
+        assert isinstance(node, Lit)
+        assert not node.cc.matches("a")
+        assert node.cc.matches("b")
+        assert len(node.cc) == 255
+
+    def test_mixed_class(self):
+        node = parse("[a-cx]")
+        assert sorted(node.cc) == [ord(c) for c in "abcx"]
+
+    def test_leading_close_bracket_is_literal(self):
+        node = parse("[]a]")
+        assert sorted(node.cc) == sorted([ord("]"), ord("a")])
+
+    def test_trailing_dash_is_literal(self):
+        node = parse("[a-]")
+        assert sorted(node.cc) == sorted([ord("a"), ord("-")])
+
+    def test_leading_dash_is_literal(self):
+        node = parse("[-a]")
+        assert sorted(node.cc) == sorted([ord("a"), ord("-")])
+
+    def test_class_escape_inside_class(self):
+        node = parse("[\\d_]")
+        assert node.cc.matches("5") and node.cc.matches("_")
+        assert not node.cc.matches("a")
+
+    def test_escaped_bracket_inside_class(self):
+        node = parse("[\\]]")
+        assert node == lit("]")
+
+    def test_hex_escape_inside_class(self):
+        node = parse("[\\x41-\\x43]")
+        assert sorted(node.cc) == [0x41, 0x42, 0x43]
+
+    def test_dot_inside_class_is_literal(self):
+        node = parse("[.]")
+        assert node == lit(".")
+
+
+class TestEscapes:
+    @pytest.mark.parametrize(
+        "pattern,byte",
+        [("\\n", 10), ("\\t", 9), ("\\r", 13), ("\\0", 0), ("\\x7f", 0x7F)],
+    )
+    def test_char_escapes(self, pattern, byte):
+        assert parse(pattern) == Lit(CharClass.of(byte))
+
+    @pytest.mark.parametrize("meta", list(".^$*+?()[]{}|\\"))
+    def test_escaped_metachars(self, meta):
+        assert parse("\\" + meta) == Lit(CharClass.of(meta))
+
+    def test_digit_class_escape(self):
+        node = parse("\\d")
+        assert isinstance(node, Lit) and len(node.cc) == 10
+
+    def test_negated_word_escape(self):
+        node = parse("\\W")
+        assert not node.cc.matches("a")
+        assert node.cc.matches("-")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "(",
+            ")",
+            "(a",
+            "a)",
+            "[",
+            "[a",
+            "*",
+            "+a*",
+            "a{3,1}",
+            "a{99999999}",
+            "\\",
+            "[\\",
+            "\\xZZ",
+            "\\x1",
+            "(?P<x>a)",
+            "(?=a)",
+            "[z-a]",
+            "a^b",
+            "a$b",
+        ],
+    )
+    def test_rejected(self, pattern):
+        with pytest.raises(RegexSyntaxError):
+            parse(pattern)
+
+    def test_error_carries_position(self):
+        with pytest.raises(RegexSyntaxError) as err:
+            parse("ab[")
+        assert err.value.pos >= 2
+        assert err.value.pattern == "ab["
+
+    def test_anchors_rejected_by_plain_parse(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("^a")
+        with pytest.raises(RegexSyntaxError):
+            parse("a$")
+
+
+class TestAnchoredParse:
+    def test_both_anchors(self):
+        parsed = parse_anchored("^abc$")
+        assert parsed == AnchoredPattern(parse("abc"), True, True)
+
+    def test_no_anchors(self):
+        parsed = parse_anchored("abc")
+        assert not parsed.anchored_start and not parsed.anchored_end
+
+    def test_escaped_dollar_is_literal(self):
+        parsed = parse_anchored("ab\\$")
+        assert not parsed.anchored_end
+        assert parsed.regex == parse("ab\\$")
+
+
+# -- round-trip property ------------------------------------------------------
+
+_safe_chars = st.sampled_from("abcdefgh01_ ")
+
+
+def _regex_trees(depth: int = 3):
+    leaf = _safe_chars.map(lambda c: ast.lit(CharClass.of(c)))
+    return st.recursive(
+        leaf,
+        lambda sub: st.one_of(
+            st.tuples(sub, sub).map(lambda t: ast.concat(*t)),
+            st.tuples(sub, sub).map(lambda t: ast.alt(*t)),
+            sub.map(ast.star),
+            sub.map(ast.plus),
+            sub.map(ast.opt),
+            st.tuples(sub, st.integers(0, 4), st.integers(0, 3)).map(
+                lambda t: ast.repeat(t[0], t[1], t[1] + t[2])
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+@given(_regex_trees())
+def test_to_pattern_round_trips(tree):
+    """Rendering and re-parsing yields a structurally equal tree."""
+    assert parse(tree.to_pattern()) == tree
+
+
+@given(_regex_trees())
+def test_rendered_pattern_is_valid_python_re(tree):
+    """Our concrete syntax stays inside Python's re dialect."""
+    re.compile(tree.to_pattern())

@@ -1,0 +1,70 @@
+"""Parser robustness: arbitrary input never crashes unexpectedly.
+
+The parser's contract is total: any string either parses to a valid AST
+or raises :class:`RegexSyntaxError` — no other exception type, no hangs,
+no invalid trees.
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.ast import Regex
+from repro.regex.parser import RegexSyntaxError, parse, parse_anchored
+
+# strings biased toward regex metacharacters to stress the grammar
+_meta_text = st.text(
+    alphabet=st.sampled_from(list("ab01(){}[]|*+?\\^$.,-x")), max_size=30
+)
+
+
+@settings(max_examples=400, deadline=None)
+@given(_meta_text)
+def test_parse_is_total(text):
+    try:
+        result = parse(text)
+    except RegexSyntaxError:
+        return
+    assert isinstance(result, Regex)
+    # a successful parse must render to something Python's re accepts
+    re.compile(result.to_pattern())
+
+
+@settings(max_examples=200, deadline=None)
+@given(_meta_text)
+def test_parse_anchored_is_total(text):
+    try:
+        parsed = parse_anchored(text)
+    except RegexSyntaxError:
+        return
+    assert isinstance(parsed.regex, Regex)
+    assert isinstance(parsed.anchored_start, bool)
+    assert isinstance(parsed.anchored_end, bool)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_meta_text)
+def test_parse_reparse_fixpoint(text):
+    """Rendering a parsed tree and parsing it again is a fixpoint."""
+    try:
+        first = parse(text)
+    except RegexSyntaxError:
+        return
+    second = parse(first.to_pattern())
+    assert second == first
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(max_size=20))
+def test_parser_handles_weird_unicode_free_bytes(raw):
+    """Latin-1-decoded binary garbage parses or fails cleanly."""
+    text = raw.decode("latin-1")
+    try:
+        parse(text)
+    except RegexSyntaxError:
+        pass
+    except ValueError as err:
+        # symbols above \xff cannot occur from latin-1; any ValueError
+        # must be the parser's own type
+        raise AssertionError(f"wrong error type: {err!r}")

@@ -1,0 +1,291 @@
+"""Tests for the rewriting passes of Section 4."""
+
+import re
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.regex import ast
+from repro.regex.ast import Repeat
+from repro.regex.charclass import CharClass
+from repro.regex.parser import parse
+from repro.regex.rewrite import (
+    RewriteError,
+    linearize,
+    make_countable,
+    rewrite_bounds_for_bv,
+    unfold,
+    unfold_all,
+    unfold_repeat,
+)
+
+
+def surviving_repeats(regex):
+    return [n for n in regex.walk() if isinstance(n, Repeat)]
+
+
+class TestUnfolding:
+    def test_paper_example_4_1(self):
+        """ab(cd){2}e{1,3}f{2,}g{5} with threshold 4 unfolds everything but
+        g{5}.  The paper prints the flat form abcdcdee?e?fff*g{5}; we emit
+        the language-equivalent nested form (linear Glushkov structure)."""
+        regex = parse("ab(cd){2}e{1,3}f{2,}g{5}")
+        unfolded = unfold(regex, threshold=4)
+        assert unfolded == parse("abcdcde(?:ee?)?fff*g{5}")
+        # language equivalence with the paper's flat rendering
+        flat = re.compile(parse("abcdcdee?e?fff*g{5}").to_pattern())
+        nested = re.compile(unfolded.to_pattern())
+        for text in ["abcdcdefffggggg", "abcdcdeeefffffggggg", "abcdcdeggggg"]:
+            assert bool(flat.fullmatch(text)) == bool(nested.fullmatch(text))
+
+    def test_threshold_boundary_inclusive(self):
+        regex = parse("a{4}")
+        assert unfold(regex, threshold=4) == parse("aaaa")
+        assert unfold(regex, threshold=3) == parse("a{4}")
+
+    def test_open_bound_always_unfolded(self):
+        assert unfold(parse("a{3,}"), threshold=0) == parse("aaaa*")
+
+    def test_zero_lower_bound(self):
+        assert unfold(parse("a{0,2}"), threshold=4) == parse("(?:a(?:a)?)?")
+
+    def test_unfold_all_removes_every_repeat(self):
+        regex = parse("a{10}(bc){3,7}d{2,}")
+        assert surviving_repeats(unfold_all(regex)) == []
+
+    def test_unfold_preserves_size_accounting(self):
+        regex = parse("a{10}")
+        assert unfold_all(regex).literal_count() == regex.unfolded_size()
+
+    def test_nested_repeats_unfold_inside_out(self):
+        regex = parse("(a{2}){3}")
+        assert unfold_all(regex) == parse("aaaaaa")
+
+    def test_kept_repeat_body_still_rewritten(self):
+        regex = parse("(a{2}b){100}")
+        out = unfold(regex, threshold=4)
+        reps = surviving_repeats(out)
+        assert len(reps) == 1
+        assert reps[0].inner == parse("aab")
+
+    def test_max_size_guard(self):
+        with pytest.raises(RewriteError):
+            unfold(parse("a{60000}b{60000}"), threshold=1 << 61, max_size=100_000)
+
+    def test_unfold_repeat_shape(self):
+        a = parse("a")
+        assert unfold_repeat(a, 1, 3) == parse("a(?:a(?:a)?)?")
+
+    def test_nested_unfolding_has_linear_follow_structure(self):
+        """The point of nesting: edge count grows linearly, not
+        quadratically, in the optional-chain length."""
+        from repro.automata.glushkov import build_automaton
+
+        auto = build_automaton(unfold_all(parse("a{0,40}b")))
+        # flat unfolding would give ~40*40/2 edges; nested gives ~2 per state
+        assert len(auto.edges) <= 3 * auto.state_count
+
+
+class TestBoundedRepetitionRewriting:
+    def test_paper_example_4_2(self):
+        """ab{10,48}cd{34}ef{128} at depth 16: b{10}b{0,38}, d{32}dd, f{128}."""
+        regex = unfold(parse("ab{10,48}cd{34}ef{128}"), threshold=4)
+        out = rewrite_bounds_for_bv(regex, depth=16)
+        assert out == parse("ab{10}b{0,38}cd{32}ddef{128}")
+
+    def test_exact_multiple_of_depth_untouched(self):
+        out = rewrite_bounds_for_bv(parse("f{128}"), depth=16)
+        assert out == parse("f{128}")
+
+    def test_exact_below_depth_untouched(self):
+        out = rewrite_bounds_for_bv(parse("a{9}"), depth=16)
+        assert out == parse("a{9}")
+
+    def test_word_alignment_can_be_disabled(self):
+        out = rewrite_bounds_for_bv(parse("d{34}"), depth=16, word_align_exact=False)
+        assert out == parse("d{34}")
+
+    def test_range_splits_into_exact_and_upto(self):
+        out = rewrite_bounds_for_bv(parse("b{10,48}"), depth=16)
+        reps = surviving_repeats(out)
+        assert [(r.lo, r.hi) for r in reps] == [(10, 10), (0, 38)]
+
+    def test_zero_lower_bound_is_pure_rall(self):
+        out = rewrite_bounds_for_bv(parse("b{0,38}"), depth=16)
+        assert out == parse("b{0,38}")
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(RewriteError):
+            rewrite_bounds_for_bv(parse("a{2,}"), depth=16)
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            rewrite_bounds_for_bv(parse("a{8}"), depth=0)
+
+    def test_group_body_repetition(self):
+        out = rewrite_bounds_for_bv(parse("(ab){6,9}"), depth=4)
+        reps = surviving_repeats(out)
+        assert [(r.lo, r.hi) for r in reps] == [(4, 4), (0, 3)]
+        # remainder of the 6 mandatory copies is unfolded: (ab){4}abab(ab){0,3}
+        assert out == parse("(?:ab){4}abab(?:ab){0,3}")
+
+
+class TestMakeCountable:
+    def compatible(self, regex):
+        from repro.regex.analysis import counting_compatible
+
+        return all(
+            counting_compatible(n)
+            for n in regex.walk()
+            if isinstance(n, Repeat)
+        )
+
+    def test_compatible_repeat_untouched(self):
+        regex = parse("a{100}")
+        assert make_countable(regex) == regex
+
+    def test_nullable_body_unfolded(self):
+        out = make_countable(parse("(?:a?){0,3}"))
+        assert surviving_repeats(out) == []
+
+    def test_nested_keeps_larger_outer(self):
+        out = make_countable(parse("(?:a{5}b){50}"))
+        reps = surviving_repeats(out)
+        assert [(r.lo, r.hi) for r in reps] == [(50, 50)]
+        assert reps[0].inner == parse("aaaaab")
+
+    def test_nested_keeps_larger_inner(self):
+        out = make_countable(parse("(?:a{50}b){5}"))
+        reps = surviving_repeats(out)
+        assert all((r.lo, r.hi) == (50, 50) for r in reps)
+        assert len(reps) == 5
+
+    def test_result_is_always_compatible(self):
+        for pattern in [
+            "(?:a?){0,3}",
+            "(?:a{5}b){50}",
+            "(?:a{50}b){5}",
+            "(?:(?:a{3}){4}){5}",
+            "(?:a*b){9}",
+        ]:
+            out = make_countable(parse(pattern))
+            assert self.compatible(out), pattern
+
+    def test_language_preserved(self):
+        for pattern, text in [
+            ("(?:a{2}b){3}", "aabaabaab"),
+            ("(?:a?){0,3}", "aaa"),
+        ]:
+            original = re.compile(parse(pattern).to_pattern())
+            rewritten = re.compile(make_countable(parse(pattern)).to_pattern())
+            assert bool(original.fullmatch(text)) == bool(
+                rewritten.fullmatch(text)
+            )
+
+
+class TestLinearization:
+    def seqs(self, pattern, max_states=64):
+        lin = linearize(parse(pattern), max_states=max_states)
+        if lin is None:
+            return None
+        return {
+            "".join(cc.to_pattern() for cc in seq) for seq in lin.sequences
+        }
+
+    def test_paper_example_4_4(self):
+        """a(b{1,2}|c)e -> abe | abbe | ace."""
+        assert self.seqs("a(b{1,2}|c)e") == {"abe", "abbe", "ace"}
+
+    def test_plain_sequence(self):
+        assert self.seqs("a[bc].d") == {"a[bc].d"}
+
+    def test_optional_tail(self):
+        assert self.seqs("ab?") == {"a", "ab"}
+
+    def test_star_not_linearizable(self):
+        assert self.seqs("ab*c") is None
+
+    def test_plus_not_linearizable(self):
+        assert self.seqs("a+") is None
+
+    def test_open_repeat_not_linearizable(self):
+        assert self.seqs("a{2,}") is None
+
+    def test_budget_rejects_blowup(self):
+        # (a|b){8} has 256 sequences of length 8 = 2048 states.
+        assert self.seqs("(?:a|b){8}", max_states=100) is None
+
+    def test_budget_allows_within_limit(self):
+        assert self.seqs("(?:a|b){2}", max_states=100) == {"aa", "ab", "ba", "bb"}
+
+    def test_nullable_regex_rejected(self):
+        # An empty sequence cannot be an LNFA.
+        assert self.seqs("a?") is None
+
+    def test_total_states_accounting(self):
+        lin = linearize(parse("a(b{1,2}|c)e"), max_states=64)
+        assert lin.total_states == len("abe") + len("abbe") + len("ace")
+
+    def test_sequences_deduplicated(self):
+        lin = linearize(parse("(?:a|a)b"), max_states=64)
+        assert lin.sequences == ((CharClass.of("a"), CharClass.of("b")),)
+
+    def test_repeat_of_alternation(self):
+        assert self.seqs("(?:ab|c){2}") == {"abab", "abc", "cab", "cc"}
+
+
+# -- language preservation properties ----------------------------------------
+
+_patterns = st.sampled_from(
+    [
+        "ab{2,4}c",
+        "(ab){1,3}",
+        "a{3}|b{2}",
+        "x(y|z){2,3}",
+        "[ab]{2,5}",
+        "a{2,}b",
+        "(a|bb){1,2}c",
+        "a?b{3}",
+    ]
+)
+_inputs = st.text(alphabet="abcxyz", max_size=12)
+
+
+@given(_patterns, _inputs)
+def test_unfolding_preserves_language(pattern, text):
+    original = re.compile(parse(pattern).to_pattern())
+    unfolded = re.compile(unfold_all(parse(pattern)).to_pattern())
+    assert bool(original.fullmatch(text)) == bool(unfolded.fullmatch(text))
+
+
+@given(_patterns, st.integers(0, 6), _inputs)
+def test_threshold_unfolding_preserves_language(pattern, threshold, text):
+    original = re.compile(parse(pattern).to_pattern())
+    rewritten = re.compile(unfold(parse(pattern), threshold).to_pattern())
+    assert bool(original.fullmatch(text)) == bool(rewritten.fullmatch(text))
+
+
+@given(_patterns, st.sampled_from([2, 4, 16]), _inputs)
+def test_bv_rewriting_preserves_language(pattern, depth, text):
+    source = unfold(parse(pattern), threshold=1)
+    original = re.compile(source.to_pattern())
+    rewritten = re.compile(rewrite_bounds_for_bv(source, depth=depth).to_pattern())
+    assert bool(original.fullmatch(text)) == bool(rewritten.fullmatch(text))
+
+
+@given(
+    st.sampled_from(["a(b{1,2}|c)e", "ab?c?", "(?:a|b){2}x", "[xy]{1,3}"]),
+    st.text(alphabet="abcex y", max_size=8),
+)
+def test_linearization_preserves_language(pattern, text):
+    regex = parse(pattern)
+    lin = linearize(regex, max_states=256)
+    assert lin is not None
+    original = re.compile(regex.to_pattern())
+    matched_by_union = any(
+        len(text) == len(seq)
+        and all(cc.matches(ch) for cc, ch in zip(seq, text))
+        for seq in lin.sequences
+    )
+    assert bool(original.fullmatch(text)) == matched_by_union

@@ -1,0 +1,163 @@
+"""CAMA / CA / BVAP baseline simulator tests."""
+
+import pytest
+
+from repro.automata.reference import ReferenceMatcher
+from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
+from repro.mapping.mapper import map_ruleset
+from repro.regex.parser import parse
+from repro.simulators.bvap import BVAPSimulator, bvap_demand
+from repro.simulators.ca import CASimulator, ca_hardware_config
+from repro.simulators.cama import CAMASimulator
+from repro.simulators.rap import RAPSimulator
+
+PATTERNS = ["ab{40}c", "a[bc]de", "xy*z"]
+DATA = (b"filler text " * 10 + b"a" + b"b" * 40 + b"c" + b"xyz abde") * 5
+
+
+def nfa_ruleset(patterns=PATTERNS, hw=None):
+    cfg = CompilerConfig(forced_mode=CompiledMode.NFA)
+    if hw is not None:
+        cfg = CompilerConfig(forced_mode=CompiledMode.NFA, hw=hw)
+    ruleset = compile_ruleset(patterns, cfg)
+    assert not ruleset.rejected
+    return ruleset
+
+
+class TestCAMA:
+    def test_matches_reference(self):
+        result = CAMASimulator().run(nfa_ruleset(), DATA)
+        for k, pattern in enumerate(PATTERNS):
+            expected = ReferenceMatcher(parse(pattern)).find_matches(DATA)
+            assert result.matches[k] == expected
+
+    def test_clock(self):
+        result = CAMASimulator().run(nfa_ruleset(), DATA)
+        assert result.throughput_gchps == pytest.approx(2.14)
+
+    def test_rejects_non_nfa_ruleset(self):
+        mixed = compile_ruleset(["ab{40}c"], CompilerConfig())
+        with pytest.raises(ValueError):
+            CAMASimulator().run(mixed, DATA)
+
+    def test_cheaper_than_rap_nfa_mode(self):
+        """RAP pays its reconfiguration controller on plain NFAs."""
+        ruleset = nfa_ruleset()
+        mapping = map_ruleset(ruleset)
+        cama = CAMASimulator().run(ruleset, DATA, mapping=mapping)
+        rap = RAPSimulator().run(ruleset, DATA, mapping=mapping)
+        assert cama.energy_uj < rap.energy_uj
+        assert cama.area_mm2 < rap.area_mm2
+
+
+class TestCA:
+    def run_ca(self, patterns=PATTERNS, data=DATA):
+        hw = ca_hardware_config()
+        ruleset = nfa_ruleset(patterns, hw=hw)
+        mapping = map_ruleset(ruleset, hw)
+        return CASimulator().run(ruleset, data, mapping=mapping)
+
+    def test_matches_reference(self):
+        result = self.run_ca()
+        for k, pattern in enumerate(PATTERNS):
+            expected = ReferenceMatcher(parse(pattern)).find_matches(DATA)
+            assert result.matches[k] == expected
+
+    def test_clock(self):
+        assert self.run_ca().throughput_gchps == pytest.approx(1.82)
+
+    def test_biggest_area_lowest_nfa_energy(self):
+        """CA: cheapest matching energy, largest footprint (Tables 2-3).
+
+        CA's per-state advantage comes from 256-state tiles needing half
+        as many structures, so the comparison needs a workload spanning
+        several tiles.
+        """
+        patterns = [f"{c}x{{60}}y{{60}}z" for c in "abcdefgh"]  # ~980 states
+        data = b"scan me please " * 30
+        cama = CAMASimulator().run(nfa_ruleset(patterns), data)
+        ca = self.run_ca(patterns, data)
+        assert ca.area_mm2 > cama.area_mm2
+        assert ca.energy_uj < cama.energy_uj
+
+
+class TestBVAP:
+    def nbva_ruleset(self, patterns=("ab{40}c", "xy{90}z")):
+        ruleset = compile_ruleset(list(patterns), CompilerConfig(bv_depth=8))
+        assert all(r.mode is CompiledMode.NBVA for r in ruleset)
+        return ruleset
+
+    def test_matches_reference(self):
+        ruleset = self.nbva_ruleset()
+        result = BVAPSimulator().run(ruleset, DATA)
+        for regex in ruleset:
+            expected = ReferenceMatcher(parse(regex.pattern)).find_matches(DATA)
+            assert result.matches[regex.regex_id] == expected
+
+    def test_demand_accounting(self):
+        ruleset = self.nbva_ruleset(["ab{300}c"])
+        demand = bvap_demand(ruleset.regexes[0], RAPSimulator().hw)
+        assert demand.bv_slots == 2  # 300 bits over 256-bit slots
+        assert demand.cc_columns >= 2
+
+    def test_fixed_slots_waste_area_on_small_bvs(self):
+        """Many small BVs strand BVM capacity vs RAP's dynamic columns."""
+        patterns = [f"{c}x{{40}}y" for c in "abcdefgh"]
+        ruleset = compile_ruleset(patterns, CompilerConfig(bv_depth=8))
+        data = b"irrelevant filler " * 50
+        bvap = BVAPSimulator().run(ruleset, data)
+        rap = RAPSimulator().run(ruleset, data)
+        assert bvap.area_mm2 > rap.area_mm2
+
+    def test_rejects_lnfa(self):
+        ruleset = compile_ruleset(["abcd"], CompilerConfig())
+        with pytest.raises(ValueError):
+            BVAPSimulator().run(ruleset, DATA)
+
+    def test_accepts_plain_nfa_regexes(self):
+        """NFA regexes run on the CAMA portion with BVMs idle."""
+        ruleset = compile_ruleset(
+            ["ab*c"], CompilerConfig(forced_mode=CompiledMode.NFA)
+        )
+        result = BVAPSimulator().run(ruleset, b"abbbc" * 10)
+        expected = ReferenceMatcher(parse("ab*c")).find_matches(b"abbbc" * 10)
+        assert result.matches[0] == expected
+
+    def test_stalls_with_fixed_latency(self):
+        data = (b"a" + b"b" * 40 + b"c") * 30
+        ruleset = self.nbva_ruleset(["ab{40}c"])
+        result = BVAPSimulator().run(ruleset, data)
+        assert result.stall_cycles > 0
+        assert result.throughput_gchps < 2.0
+
+
+class TestCrossArchitectureAgreement:
+    def test_all_asics_report_identical_matches(self):
+        patterns = ["ab{30}c", "q[rs]tu"]
+        data = (b"junk " * 8 + b"a" + b"b" * 30 + b"c qrtu qstu") * 4
+        rap_rs = compile_ruleset(patterns, CompilerConfig(bv_depth=4))
+        nfa_rs = nfa_ruleset(patterns)
+        ca_hw = ca_hardware_config()
+        ca_rs = nfa_ruleset(patterns, hw=ca_hw)
+
+        # BVAP has no LNFA mode: its ruleset compiles the linear pattern
+        # as a plain NFA alongside the counted one.
+        from repro.compiler import compile_pattern
+        from repro.compiler.program import CompiledRuleset
+
+        bvap_rs = CompiledRuleset(
+            regexes=(
+                compile_pattern(patterns[0], 0, CompilerConfig(bv_depth=4)),
+                compile_pattern(
+                    patterns[1],
+                    1,
+                    CompilerConfig(forced_mode=CompiledMode.NFA),
+                ),
+            )
+        )
+
+        rap = RAPSimulator().run(rap_rs, data)
+        cama = CAMASimulator().run(nfa_rs, data)
+        ca = CASimulator().run(ca_rs, data, mapping=map_ruleset(ca_rs, ca_hw))
+        bvap = BVAPSimulator().run(bvap_rs, data)
+        assert rap.matches == cama.matches == ca.matches == bvap.matches

@@ -1,0 +1,155 @@
+"""RAP simulator tests: correctness, accounting, stalls, power gating."""
+
+import pytest
+
+from repro.automata.reference import ReferenceMatcher
+from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
+from repro.regex.parser import parse
+from repro.simulators.rap import RAPSimulator
+
+PATTERNS = ["ab{40}c", "a[bc]de", "xy*z", "p(?:q|r)s"]
+DATA = (b"ab" * 30 + b"a" + b"b" * 40 + b"c" + b"xyyz" + b"pqs" + b"a[bc]de") * 3
+
+
+def run(patterns=PATTERNS, data=DATA, depth=4, bin_size=None, **cfg):
+    config = CompilerConfig(bv_depth=depth, **cfg)
+    ruleset = compile_ruleset(patterns, config)
+    assert not ruleset.rejected
+    result = RAPSimulator().run(ruleset, data, bin_size=bin_size)
+    return ruleset, result
+
+
+class TestCorrectness:
+    def test_matches_agree_with_reference(self):
+        ruleset, result = run()
+        for regex in ruleset:
+            expected = ReferenceMatcher(parse(regex.pattern)).find_matches(DATA)
+            assert result.matches[regex.regex_id] == expected, regex.pattern
+
+    def test_all_modes_present_in_workload(self):
+        ruleset, _ = run()
+        modes = {r.mode for r in ruleset}
+        assert modes == {CompiledMode.NBVA, CompiledMode.LNFA, CompiledMode.NFA}
+
+    def test_empty_input(self):
+        _, result = run(data=b"")
+        assert result.match_count == 0
+        assert result.energy_uj == 0.0
+
+    def test_lnfa_union_matches_deduplicated(self):
+        ruleset, result = run(patterns=["ab(?:c|.)d"], data=b"xabcdx")
+        (regex,) = ruleset.regexes
+        assert regex.mode is CompiledMode.LNFA
+        expected = ReferenceMatcher(parse("ab(?:c|.)d")).find_matches(b"xabcdx")
+        assert result.matches[0] == expected
+
+
+class TestAccounting:
+    def test_energy_positive_and_consistent(self):
+        _, result = run()
+        assert result.energy_uj > 0
+        total = sum(result.energy_breakdown_pj.values())
+        assert total == pytest.approx(result.energy_uj * 1e6)
+
+    def test_area_positive_and_consistent(self):
+        _, result = run()
+        assert result.area_mm2 > 0
+        total = sum(result.area_breakdown_um2.values())
+        assert total == pytest.approx(result.area_mm2 * 1e6)
+
+    def test_breakdown_components(self):
+        _, result = run()
+        assert "state-matching" in result.energy_breakdown_pj
+        assert "bv-processing" in result.energy_breakdown_pj
+        assert "tile" in result.area_breakdown_um2
+
+    def test_power_and_efficiency_derived(self):
+        _, result = run()
+        assert result.power_w > 0
+        assert result.energy_efficiency > 0
+        assert result.compute_density > 0
+
+    def test_energy_scales_with_input_length(self):
+        _, short = run(data=DATA[: len(DATA) // 2])
+        _, full = run()
+        assert full.energy_uj > short.energy_uj
+
+
+class TestThroughput:
+    def test_nfa_only_runs_at_clock(self):
+        _, result = run(patterns=["xy*z", "pq*r"])
+        assert result.throughput_gchps == pytest.approx(2.08, rel=1e-6)
+        assert result.stall_cycles == 0
+
+    def test_bv_phases_stall(self):
+        # Dense counting traffic: the counted symbol dominates the input.
+        data = b"a" * 2000
+        _, result = run(patterns=["ba{64}c", "a{100}x"], data=data, depth=8)
+        assert result.stall_cycles > 0
+        assert result.throughput_gchps < 2.08
+
+    def test_deeper_bv_stalls_more(self):
+        data = (b"b" + b"a" * 64 + b"c") * 20
+        _, shallow = run(patterns=["ba{64}c"], data=data, depth=4)
+        _, deep = run(patterns=["ba{64}c"], data=data, depth=32)
+        assert deep.throughput_gchps < shallow.throughput_gchps
+
+    def test_idle_counters_do_not_stall(self):
+        # Input never activates the counted branch.
+        _, result = run(patterns=["zq{50}v"], data=b"abcd" * 500)
+        assert result.stall_cycles == 0
+
+
+class TestModeEfficiency:
+    """Mini Section 5.4: the mode-level claims at small scale."""
+
+    def test_nbva_mode_beats_forced_nfa(self):
+        # Realistic traffic: the counted suffix fires rarely (the paper's
+        # "complex prefix leads to a low activation rate" observation).
+        patterns = ["ab{120}c", "xy{90}z"]
+        data = (b"the quick brown fox " * 20 + b"a" + b"b" * 120 + b"c") * 3
+        nbva_rs = compile_ruleset(patterns, CompilerConfig(bv_depth=8))
+        nfa_rs = compile_ruleset(
+            patterns, CompilerConfig(forced_mode=CompiledMode.NFA)
+        )
+        sim = RAPSimulator()
+        nbva = sim.run(nbva_rs, data)
+        nfa = sim.run(nfa_rs, data)
+        assert nbva.matches == nfa.matches
+        assert nbva.energy_uj < nfa.energy_uj
+        assert nbva.area_mm2 < nfa.area_mm2
+
+    def test_lnfa_mode_beats_forced_nfa_on_energy(self):
+        patterns = ["abcdefgh", "ijklmnop", "qrstuvwx", "wxyzabcd"]
+        data = b"the quick brown fox jumps over the lazy dog " * 40
+        lnfa_rs = compile_ruleset(patterns, CompilerConfig())
+        nfa_rs = compile_ruleset(
+            patterns, CompilerConfig(forced_mode=CompiledMode.NFA)
+        )
+        assert all(r.mode is CompiledMode.LNFA for r in lnfa_rs)
+        sim = RAPSimulator()
+        lnfa = sim.run(lnfa_rs, data, bin_size=4)
+        nfa = sim.run(nfa_rs, data)
+        assert lnfa.matches == nfa.matches
+        assert lnfa.energy_uj < nfa.energy_uj
+
+    def test_power_gating_cuts_lnfa_leakage(self):
+        """Idle LNFA tiles leak at the retention floor, not full power."""
+        pattern = "abcdefgh" * 20  # 160 states -> spans two tiles
+        quiet = b"z" * 1500  # prefix never matches: downstream gated
+        busy = b"abcdefgh" * 188  # constantly live everywhere
+        ruleset = compile_ruleset([pattern], CompilerConfig())
+        sim = RAPSimulator()
+        leak_quiet = sim.run(ruleset, quiet, bin_size=1).metrics.leakage_w
+        leak_busy = sim.run(ruleset, busy[:1500], bin_size=1).metrics.leakage_w
+        assert leak_quiet < leak_busy
+
+    def test_binning_saves_energy(self):
+        patterns = [c * 8 for c in "abcdefgh"]
+        data = b"zzzzzzzz" * 300  # no activity beyond initial states
+        ruleset = compile_ruleset(patterns, CompilerConfig())
+        sim = RAPSimulator()
+        unbinned = sim.run(ruleset, data, bin_size=1)
+        binned = sim.run(ruleset, data, bin_size=8)
+        assert binned.matches == unbinned.matches
+        assert binned.energy_uj < unbinned.energy_uj

@@ -1,0 +1,151 @@
+"""Tests for the Section 5.5 workload-sharing rule."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulators.result import ArrayReport
+from repro.simulators.sharing import plan_workload_sharing
+
+
+def report(mode="nbva", throughput=1.0, tiles=4):
+    cycles = 1000
+    return ArrayReport(
+        mode=mode,
+        tiles=tiles,
+        cycles=cycles,
+        stalls=0,
+        throughput_gchps=throughput,
+    )
+
+
+class TestPlan:
+    def test_fast_arrays_untouched(self):
+        plan = plan_workload_sharing([report(throughput=2.08)])
+        assert plan.replicas == (1,)
+        assert plan.extra_tiles == 0
+        assert plan.system_throughput == pytest.approx(2.08)
+
+    def test_slow_nbva_array_duplicated(self):
+        plan = plan_workload_sharing([report(throughput=1.2, tiles=5)])
+        assert plan.replicas == (2,)
+        assert plan.extra_tiles == 5
+        assert plan.system_throughput == pytest.approx(2.08)  # clock cap
+
+    def test_very_slow_array_replicates_more(self):
+        plan = plan_workload_sharing([report(throughput=0.6)])
+        assert plan.replicas == (4,)
+        assert plan.system_throughput == pytest.approx(2.08)
+
+    def test_replica_cap(self):
+        plan = plan_workload_sharing([report(throughput=0.1)])
+        assert plan.replicas == (4,)
+        assert plan.system_throughput == pytest.approx(0.4)
+
+    def test_nfa_and_lnfa_arrays_never_shared(self):
+        plan = plan_workload_sharing(
+            [report(mode="nfa", throughput=1.0), report(mode="lnfa", throughput=1.0)]
+        )
+        assert plan.replicas == (1, 1)
+        assert plan.extra_tiles == 0
+
+    def test_system_is_bottleneck(self):
+        plan = plan_workload_sharing(
+            [report(throughput=2.08), report(throughput=0.3)]
+        )
+        assert plan.system_throughput == pytest.approx(1.2)
+
+    def test_zero_throughput_array(self):
+        plan = plan_workload_sharing([report(throughput=0.0)])
+        assert plan.system_throughput == 0.0
+        assert plan.replicas == (1,)
+
+    def test_empty_reports(self):
+        plan = plan_workload_sharing([])
+        assert plan.system_throughput == 0.0
+        assert plan.total_copies == 0
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            plan_workload_sharing([report()], floor_gchps=0)
+
+    def test_shared_array_count(self):
+        plan = plan_workload_sharing(
+            [report(throughput=1.0), report(throughput=2.08)]
+        )
+        assert plan.shared_arrays == 1
+        assert plan.total_copies == 3
+
+
+class TestAgainstBankModel:
+    def test_plan_prediction_matches_cycle_level_split(self):
+        """Splitting the stall schedule across k replicas, replayed
+        through the cycle-level bank simulator, sustains (about) the
+        throughput the analytical plan predicts."""
+        from repro.simulators.bank import ArrayStream, BankSimulator
+
+        symbols = 4000
+        depth = 16
+        stall_indices = list(range(0, symbols, 25))  # 4% activation
+        base_rate = 1 / (1 + len(stall_indices) * depth / symbols)
+        plan = plan_workload_sharing(
+            [
+                ArrayReport(
+                    mode="nbva",
+                    tiles=4,
+                    cycles=int(symbols / base_rate),
+                    stalls=len(stall_indices) * depth,
+                    throughput_gchps=base_rate * 2.08,
+                )
+            ]
+        )
+        k = plan.replicas[0]
+        assert k >= 2
+        # "share the workload": the input stream is striped into k
+        # contiguous chunks, one replica array per chunk, all running in
+        # parallel; aggregate throughput = symbols / slowest replica.
+        sim = BankSimulator()
+        chunk = symbols // k
+        replica_cycles = []
+        for i in range(k):
+            lo, hi = i * chunk, (i + 1) * chunk
+            stalls = {
+                idx - lo: depth
+                for idx in stall_indices
+                if lo <= idx < hi
+            }
+            result = sim.run(
+                [ArrayStream(f"rep{i}", stall_after=stalls)], chunk
+            )
+            replica_cycles.append(result.total_cycles)
+        aggregate = symbols / max(replica_cycles) * 2.08
+        # the plan caps at the clock: the bank's input path delivers the
+        # stream once, so aggregate rate beyond one array's clock cannot
+        # be consumed
+        measured = min(aggregate, 2.08)
+        predicted = plan.array_throughputs[0]
+        assert aggregate >= predicted - 1e-9
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["nbva", "nfa", "lnfa"]),
+            st.floats(0.05, 2.08),
+            st.integers(1, 16),
+        ),
+        max_size=8,
+    )
+)
+def test_sharing_invariants(specs):
+    reports = [report(mode=m, throughput=t, tiles=k) for m, t, k in specs]
+    plan = plan_workload_sharing(reports)
+    assert len(plan.replicas) == len(reports)
+    for r, k, after in zip(reports, plan.replicas, plan.array_throughputs):
+        assert 1 <= k <= 4
+        assert after <= 2.08 + 1e-9
+        assert after >= r.throughput_gchps - 1e-9  # sharing never hurts
+        if r.mode != "nbva":
+            assert k == 1
+    assert plan.extra_tiles >= 0

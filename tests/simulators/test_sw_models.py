@@ -1,0 +1,81 @@
+"""CPU / GPU / FPGA analytical model tests."""
+
+import pytest
+
+from repro.compiler import CompilerConfig, compile_ruleset
+from repro.simulators.sw_models import CPUModel, FPGAModel, GPUModel
+
+
+def ruleset(n_patterns: int = 5):
+    return compile_ruleset(
+        [f"pattern{i}xyz" for i in range(n_patterns)], CompilerConfig()
+    )
+
+
+class TestCPUModel:
+    def test_operating_point_shape(self):
+        point = CPUModel().operating_point(ruleset())
+        assert 0 < point.throughput_gchps < 1.0
+        assert point.power_w == pytest.approx(90.0)
+
+    def test_throughput_degrades_with_pattern_count(self):
+        small = CPUModel().operating_point(ruleset(3))
+        large = CPUModel().operating_point(ruleset(300))
+        assert large.throughput_gchps < small.throughput_gchps
+
+    def test_energy_accounting(self):
+        point = CPUModel().operating_point(ruleset())
+        energy = point.energy_uj(100_000)
+        seconds = 100_000 / (point.throughput_gchps * 1e9)
+        assert energy == pytest.approx(point.power_w * seconds * 1e6)
+
+
+class TestGPUModel:
+    def test_faster_than_cpu(self):
+        rs = ruleset(50)
+        cpu = CPUModel().operating_point(rs)
+        gpu = GPUModel().operating_point(rs)
+        assert gpu.throughput_gchps > cpu.throughput_gchps
+
+    def test_lower_power_than_cpu(self):
+        rs = ruleset()
+        assert (
+            GPUModel().operating_point(rs).power_w
+            < CPUModel().operating_point(rs).power_w
+        )
+
+    def test_small_sets_hold_base_throughput(self):
+        rs = ruleset(3)
+        assert GPUModel().operating_point(rs).throughput_gchps == pytest.approx(
+            0.21
+        )
+
+
+class TestFPGAModel:
+    def test_published_points(self):
+        point = FPGAModel().operating_point("Snort")
+        assert point.throughput_gchps == 0.15
+        assert point.power_w == 1.41
+
+    def test_all_anmlzoo_benchmarks_published(self):
+        for name in ["Brill", "ClamAV", "Dotstar", "PowerEN", "Snort"]:
+            point = FPGAModel().operating_point(name)
+            assert 0.1 < point.throughput_gchps < 0.2
+            assert 1.0 < point.power_w < 2.0
+
+    def test_unlisted_benchmark_interpolates(self):
+        point = FPGAModel().operating_point("Custom", ruleset())
+        assert point.throughput_gchps > 0
+        assert point.power_w >= 1.4
+
+    def test_efficiency_ordering(self):
+        """ASIC >> FPGA > GPU > CPU in energy efficiency."""
+        rs = ruleset(50)
+        cpu = CPUModel().operating_point(rs)
+        gpu = GPUModel().operating_point(rs)
+        fpga = FPGAModel().operating_point("Snort")
+        assert (
+            fpga.energy_efficiency_gch_per_j
+            > gpu.energy_efficiency_gch_per_j
+            > cpu.energy_efficiency_gch_per_j
+        )

@@ -1,0 +1,192 @@
+"""CLI tests: compile / scan / workload / experiment plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+@pytest.fixture()
+def pattern_file(tmp_path):
+    path = tmp_path / "rules.txt"
+    path.write_text("ab{40}c\na[bc]de\n# a comment\n\nxy*z\n")
+    return path
+
+
+@pytest.fixture()
+def input_file(tmp_path):
+    path = tmp_path / "input.bin"
+    path.write_bytes(b"noise " * 5 + b"a" + b"b" * 40 + b"c abde xyz")
+    return path
+
+
+class TestCompile:
+    def test_compile_writes_ruleset(self, pattern_file, tmp_path, capsys):
+        out = tmp_path / "rules.json"
+        code = main(["compile", str(pattern_file), "-o", str(out)])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["format"] == "rap-repro-ruleset"
+        assert len(doc["regexes"]) == 3
+        stdout = capsys.readouterr().out
+        assert "compiled 3 regexes" in stdout
+        assert "1 NFA, 1 NBVA, 1 LNFA" in stdout
+
+    def test_rejections_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("a(\n")
+        out = tmp_path / "out.json"
+        code = main(["compile", str(bad), "-o", str(out)])
+        assert code == 1
+        assert "rejected" in capsys.readouterr().err
+
+    def test_forced_mode(self, pattern_file, tmp_path):
+        out = tmp_path / "nfa.json"
+        code = main(
+            [
+                "compile",
+                str(pattern_file),
+                "-o",
+                str(out),
+                "--force-mode",
+                "NFA",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert all(r["mode"] == "NFA" for r in doc["regexes"])
+
+
+class TestScan:
+    def test_scan_patterns(self, pattern_file, input_file, capsys):
+        code = main(["scan", "--patterns", str(pattern_file), str(input_file)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "matches over" in captured.err
+        lines = [l for l in captured.out.splitlines() if l]
+        assert lines, "the planted payloads must match"
+        end, regex_id, pattern = lines[0].split("\t")
+        assert int(end) >= 0 and pattern
+
+    def test_scan_compiled_ruleset(self, pattern_file, input_file, tmp_path, capsys):
+        out = tmp_path / "rules.json"
+        main(["compile", str(pattern_file), "-o", str(out)])
+        code = main(
+            ["scan", "--ruleset", str(out), str(input_file), "--metrics"]
+        )
+        assert code == 0
+        assert "RAP:" in capsys.readouterr().err
+
+    def test_scan_results_identical_between_paths(
+        self, pattern_file, input_file, tmp_path, capsys
+    ):
+        main(["scan", "--patterns", str(pattern_file), str(input_file)])
+        direct = capsys.readouterr().out
+        out = tmp_path / "rules.json"
+        main(["compile", str(pattern_file), "-o", str(out)])
+        capsys.readouterr()
+        main(["scan", "--ruleset", str(out), str(input_file)])
+        via_file = capsys.readouterr().out
+        assert direct == via_file
+
+
+class TestWorkload:
+    def test_known_benchmark(self, capsys):
+        code = main(["workload", "Snort", "--size", "6"])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 6
+        assert all("\t" in line for line in lines)
+
+    def test_anmlzoo_benchmark(self, capsys):
+        code = main(["workload", "Dotstar", "--size", "4"])
+        assert code == 0
+        assert len(capsys.readouterr().out.splitlines()) == 4
+
+    def test_unknown_benchmark(self, capsys):
+        code = main(["workload", "NotAThing"])
+        assert code == 2
+        assert "known:" in capsys.readouterr().err
+
+
+class TestInspect:
+    def test_inspect_summarizes(self, pattern_file, tmp_path, capsys):
+        out = tmp_path / "rules.json"
+        main(["compile", str(pattern_file), "-o", str(out)])
+        capsys.readouterr()
+        code = main(["inspect", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "regexes:" in text
+        assert "hardware states:" in text
+        assert "utilization:" in text
+
+
+class TestCustomHardware:
+    def test_compile_with_hw_file(self, pattern_file, tmp_path, capsys):
+        import json as _json
+
+        from repro.hardware.config import HardwareConfig
+
+        hw = HardwareConfig(
+            cam_cols=64,
+            local_switch_dim=64,
+            tiles_per_array=32,
+            global_switch_dim=256,
+        )
+        hw_path = tmp_path / "hw.json"
+        hw_path.write_text(_json.dumps(hw.to_json()))
+        out = tmp_path / "rules.json"
+        code = main(
+            ["compile", str(pattern_file), "-o", str(out), "--hw", str(hw_path)]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        # the custom 64-column tiles constrain the tile plans
+        for regex in doc["regexes"]:
+            for request in regex["tile_requests"]:
+                total = (
+                    request["cc_columns"]
+                    + request["bv_columns"]
+                    + request["set1_columns"]
+                )
+                assert total <= 64
+
+    def test_hw_round_trip(self):
+        from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+
+        assert HardwareConfig.from_json(DEFAULT_CONFIG.to_json()) == DEFAULT_CONFIG
+
+    def test_hw_unknown_key_rejected(self):
+        from repro.hardware.config import HardwareConfig
+
+        with pytest.raises(ValueError):
+            HardwareConfig.from_json({"frobnicator": 7})
+
+
+class TestExperiment:
+    def test_experiment_names_cover_all_artifacts(self):
+        assert sorted(EXPERIMENTS) == [
+            "all",
+            "fig1",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "table2",
+            "table3",
+            "table4",
+        ]
+
+    def test_fig1_runs_small(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        code = main(
+            ["experiment", "fig1", "--size", "12", "--input-length", "1500"]
+        )
+        assert code == 0
+        assert "Fig. 1" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,202 @@
+"""Failure-injection tests: every guard fires loudly, never silently."""
+
+import pytest
+
+from repro.automata.glushkov import (
+    Automaton,
+    CounterGroup,
+    Edge,
+    EdgeAction,
+    GlushkovError,
+    Position,
+    ReadKind,
+)
+from repro.hardware.config import DEFAULT_CONFIG
+from repro.mapping.binning import Bin, BinItem, BinKind
+from repro.regex.charclass import CharClass
+from repro.regex.parser import parse
+
+
+def _pos(pid, cc="a", group=None):
+    return Position(pid=pid, cc=CharClass.of(cc), group=group)
+
+
+class TestAutomatonValidation:
+    def base(self, **overrides):
+        fields = dict(
+            positions=(_pos(0), _pos(1)),
+            edges=(Edge(0, 1, EdgeAction.ACTIVATE),),
+            groups=(),
+            initial=frozenset({0}),
+            finals=frozenset({1}),
+            nullable=False,
+        )
+        fields.update(overrides)
+        return Automaton(**fields)
+
+    def test_valid_passes(self):
+        self.base().validate()
+
+    def test_edge_out_of_range(self):
+        bad = self.base(edges=(Edge(0, 9, EdgeAction.ACTIVATE),))
+        with pytest.raises(GlushkovError):
+            bad.validate()
+
+    def test_position_id_mismatch(self):
+        bad = self.base(positions=(_pos(0), _pos(7)))
+        with pytest.raises(GlushkovError):
+            bad.validate()
+
+    def test_copy_between_plain_states(self):
+        bad = self.base(edges=(Edge(0, 1, EdgeAction.COPY),))
+        with pytest.raises(GlushkovError):
+            bad.validate()
+
+    def test_set1_into_plain_state(self):
+        bad = self.base(edges=(Edge(0, 1, EdgeAction.SET1),))
+        with pytest.raises(GlushkovError):
+            bad.validate()
+
+    def test_activate_into_counted_state(self):
+        bad = self.base(
+            positions=(_pos(0), _pos(1, group=0)),
+            groups=(
+                CounterGroup(
+                    gid=0,
+                    width=4,
+                    read=ReadKind.EXACT,
+                    read_bound=4,
+                    positions=(1,),
+                ),
+            ),
+            edges=(Edge(0, 1, EdgeAction.ACTIVATE),),
+        )
+        with pytest.raises(GlushkovError):
+            bad.validate()
+
+    def test_exact_group_bound_must_equal_width(self):
+        bad = self.base(
+            positions=(_pos(0), _pos(1, group=0)),
+            groups=(
+                CounterGroup(
+                    gid=0,
+                    width=4,
+                    read=ReadKind.EXACT,
+                    read_bound=3,
+                    positions=(1,),
+                ),
+            ),
+            edges=(Edge(0, 1, EdgeAction.SET1),),
+        )
+        with pytest.raises(GlushkovError):
+            bad.validate()
+
+    def test_group_membership_consistency(self):
+        bad = self.base(
+            positions=(_pos(0), _pos(1)),  # position 1 not tagged
+            groups=(
+                CounterGroup(
+                    gid=0,
+                    width=4,
+                    read=ReadKind.ALL,
+                    read_bound=4,
+                    positions=(1,),
+                ),
+            ),
+        )
+        with pytest.raises(GlushkovError):
+            bad.validate()
+
+
+class TestBinRetargeting:
+    def items(self, cam=True):
+        from repro.automata.lnfa import LNFA
+
+        lnfa = LNFA((CharClass.of("a"), CharClass.of("b")))
+        return (
+            BinItem(regex_id=0, lnfa_index=0, lnfa=lnfa, cam_eligible=cam),
+        )
+
+    def test_retarget_to_same_kind_is_identity(self):
+        bin_obj = Bin(kind=BinKind.CAM, items=self.items(), tiles=1)
+        assert bin_obj.retargeted(BinKind.CAM, DEFAULT_CONFIG) is bin_obj
+
+    def test_retarget_ineligible_to_cam_rejected(self):
+        bin_obj = Bin(
+            kind=BinKind.SWITCH, items=self.items(cam=False), tiles=1
+        )
+        with pytest.raises(ValueError):
+            bin_obj.retargeted(BinKind.CAM, DEFAULT_CONFIG)
+
+    def test_retarget_recomputes_tiles(self):
+        from repro.automata.lnfa import LNFA
+
+        long = LNFA(tuple(CharClass.of("a") for _ in range(100)))
+        items = (
+            BinItem(regex_id=0, lnfa_index=0, lnfa=long, cam_eligible=True),
+        )
+        cam_bin = Bin(kind=BinKind.CAM, items=items, tiles=1)
+        switch_bin = cam_bin.retargeted(BinKind.SWITCH, DEFAULT_CONFIG)
+        assert switch_bin.tiles == 2  # 100 states at 64/tile
+
+
+class TestMetricsDegenerates:
+    def test_zero_clock(self):
+        from repro.hardware.energy import Metrics
+
+        m = Metrics(
+            energy_uj=1.0,
+            area_mm2=1.0,
+            cycles=10,
+            input_symbols=10,
+            clock_ghz=0.0,
+        )
+        assert m.time_s == 0.0
+        assert m.power_w == 0.0
+
+    def test_zero_area(self):
+        from repro.hardware.energy import Metrics
+
+        m = Metrics(
+            energy_uj=1.0,
+            area_mm2=0.0,
+            cycles=10,
+            input_symbols=10,
+            clock_ghz=2.0,
+        )
+        assert m.compute_density_gchps_per_mm2 == 0.0
+
+
+class TestSimulatorGuards:
+    def test_rap_empty_ruleset(self):
+        from repro.compiler.program import CompiledRuleset
+        from repro.simulators import RAPSimulator
+
+        result = RAPSimulator().run(CompiledRuleset(regexes=()), b"abc")
+        assert result.matches == {}
+        assert result.tiles == 0
+
+    def test_bvap_oversized_regex(self):
+        from repro.compiler import CompiledMode, CompilerConfig, compile_pattern
+        from repro.compiler.program import CompiledRuleset
+        from repro.simulators import BVAPSimulator
+
+        # 2049+ CC columns cannot fit one BVAP array
+        big = compile_pattern(
+            "a" * 2060 + "b{100}",
+            0,
+            CompilerConfig(bv_depth=4),
+        )
+        assert big.mode is CompiledMode.NBVA
+        with pytest.raises(ValueError):
+            BVAPSimulator().run(CompiledRuleset(regexes=(big,)), b"x")
+
+
+class TestParserGuardRails:
+    def test_deeply_nested_groups_parse(self):
+        pattern = "(" * 40 + "a" + ")" * 40
+        assert parse(pattern).to_pattern() == "a"
+
+    def test_class_with_all_bytes(self):
+        node = parse("[\\x00-\\xff]")
+        assert node.cc.is_any()

@@ -1,0 +1,109 @@
+"""End-to-end integration: the full pipeline on every synthetic benchmark.
+
+For each of the seven benchmark suites (small instances): generate,
+compile through the decision graph, map, simulate on RAP, and verify
+every reported match against the independent Thompson oracle — the
+reproduction's standing equivalent of the paper's Hyperscan consistency
+check (Section 5.2), exercised across all domains, modes, and anchors.
+"""
+
+import pytest
+
+from repro.automata.reference import ReferenceMatcher
+from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
+from repro.mapping.mapper import map_ruleset
+from repro.regex.parser import parse_anchored
+from repro.simulators import BVAPSimulator, CAMASimulator, RAPSimulator
+from repro.workloads.datasets import BENCHMARKS, generate_benchmark
+from repro.workloads.inputs import generate_input
+
+
+def oracle_matches(pattern: str, data: bytes) -> list[int]:
+    parsed = parse_anchored(pattern)
+    return ReferenceMatcher(
+        parsed.regex,
+        anchored_start=parsed.anchored_start,
+        anchored_end=parsed.anchored_end,
+    ).find_matches(data)
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_full_pipeline_against_oracle(name):
+    benchmark = generate_benchmark(name, size=14, seed=5)
+    data = generate_input(
+        benchmark.profile.domain,
+        2500,
+        seed=5,
+        patterns=benchmark.patterns,
+        plant_every=400,
+    )
+    config = CompilerConfig(bv_depth=benchmark.profile.chosen_bv_depth)
+    ruleset = compile_ruleset(benchmark.patterns, config)
+    assert not ruleset.rejected
+
+    result = RAPSimulator().run(
+        ruleset, data, bin_size=benchmark.profile.chosen_bin_size
+    )
+    for regex in ruleset:
+        expected = oracle_matches(regex.pattern, data)
+        assert result.matches[regex.regex_id] == expected, regex.pattern
+
+    # physical sanity of every reported quantity
+    assert result.energy_uj > 0
+    assert result.area_mm2 > 0
+    assert 0 < result.throughput_gchps <= 2.081
+    assert result.tiles >= 1
+
+
+@pytest.mark.parametrize("name", ["Snort", "ClamAV", "Prosite"])
+def test_baselines_agree_with_rap(name):
+    benchmark = generate_benchmark(name, size=10, seed=9)
+    data = generate_input(
+        benchmark.profile.domain,
+        2000,
+        seed=9,
+        patterns=benchmark.patterns,
+        plant_every=350,
+    )
+    rap_rs = compile_ruleset(benchmark.patterns, CompilerConfig(bv_depth=8))
+    nfa_rs = compile_ruleset(
+        benchmark.patterns, CompilerConfig(forced_mode=CompiledMode.NFA)
+    )
+    rap = RAPSimulator().run(rap_rs, data)
+    cama = CAMASimulator().run(nfa_rs, data)
+    bvap = BVAPSimulator().run(nfa_rs, data)
+    assert rap.matches == cama.matches == bvap.matches
+
+
+def test_mapping_utilization_stays_high():
+    """The paper reports >90% average utilization; at small scale the
+    greedy mapper should still keep packing healthy."""
+    total = 0.0
+    for name in BENCHMARKS:
+        benchmark = generate_benchmark(name, size=20, seed=4)
+        ruleset = compile_ruleset(
+            benchmark.patterns,
+            CompilerConfig(bv_depth=benchmark.profile.chosen_bv_depth),
+        )
+        mapping = map_ruleset(
+            ruleset, bin_size=benchmark.profile.chosen_bin_size
+        )
+        utilization = mapping.utilization()
+        assert utilization > 0.4, name
+        total += utilization
+    assert total / len(BENCHMARKS) > 0.6
+
+
+def test_determinism_end_to_end():
+    """Same seed -> byte-identical results, across the whole pipeline."""
+
+    def run_once():
+        benchmark = generate_benchmark("Suricata", size=10, seed=3)
+        data = generate_input(
+            "network", 1500, seed=3, patterns=benchmark.patterns
+        )
+        ruleset = compile_ruleset(benchmark.patterns, CompilerConfig(bv_depth=8))
+        result = RAPSimulator().run(ruleset, data)
+        return result.matches, result.energy_uj, result.area_mm2
+
+    assert run_once() == run_once()

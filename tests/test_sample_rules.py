@@ -1,0 +1,61 @@
+"""The shipped sample rule files must compile and scan end to end."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+RULES_DIR = Path(__file__).resolve().parent.parent / "data" / "sample_rules"
+RULE_FILES = sorted(RULES_DIR.iterdir())
+
+
+def test_sample_rules_shipped():
+    assert {p.name for p in RULE_FILES} == {
+        "network.rules",
+        "malware.sig",
+        "motifs.prosite",
+    }
+
+
+@pytest.mark.parametrize("rules", RULE_FILES, ids=lambda p: p.name)
+def test_sample_rules_compile(rules, tmp_path, capsys):
+    out = tmp_path / "compiled.json"
+    code = main(["compile", str(rules), "-o", str(out)])
+    assert code == 0
+    stderr = capsys.readouterr().err
+    assert "rejected" not in stderr
+
+
+def test_network_rules_scan_synthetic_traffic(tmp_path, capsys):
+    traffic = tmp_path / "traffic.bin"
+    traffic.write_bytes(
+        b"GET /index HTTP/1.1\r\n"
+        b"user-agent: scanbot4242\r\n"
+        b"GET /ADMIN backdoor passwd\r\n"
+        b"cmd.exe /c whoami\r\n"
+    )
+    code = main(
+        ["scan", "--patterns", str(RULES_DIR / "network.rules"), str(traffic)]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    hits = [l for l in captured.out.splitlines() if l]
+    matched_patterns = {line.split("\t")[2] for line in hits}
+    assert "user-agent: scanbot[0-9]{2,8}" in matched_patterns
+    assert "cmd\\.exe.*whoami" in matched_patterns
+    assert "(?i)get /admin[^\\n]{0,64}passwd" in matched_patterns
+
+
+def test_malware_signatures_scan_binary(tmp_path, capsys):
+    image = tmp_path / "image.bin"
+    image.write_bytes(
+        b"\x4d\x5a" + bytes(range(1, 101)) + b"\x50\x45\x00\x00"
+        + b"\x7fELF\x02\x01\x01" + b"\x00" * 20
+    )
+    code = main(
+        ["scan", "--patterns", str(RULES_DIR / "malware.sig"), str(image)]
+    )
+    assert code == 0
+    hits = [l for l in capsys.readouterr().out.splitlines() if l]
+    assert len(hits) >= 2  # the MZ..PE and ELF signatures fire

@@ -1,0 +1,87 @@
+"""Tests for the public consistency-check API."""
+
+import pytest
+
+from repro.compiler import CompilerConfig, compile_ruleset
+from repro.verification import (
+    Mismatch,
+    VerificationReport,
+    self_check,
+    verify_matches,
+)
+
+PATTERNS = ["ab{12}c", "a[bc]de", "^xy*z", "(?i)hello"]
+DATA = b"start a" + b"b" * 12 + b"c abde HELLO xyz hello"
+
+
+@pytest.fixture()
+def ruleset():
+    return compile_ruleset(PATTERNS, CompilerConfig(bv_depth=4))
+
+
+class TestSelfCheck:
+    def test_clean_run_passes(self, ruleset):
+        report = self_check(ruleset, DATA)
+        assert report.ok
+        assert report.regexes_checked == 4
+        assert report.total_matches >= 3
+        assert "OK" in report.describe()
+
+    def test_empty_input(self, ruleset):
+        report = self_check(ruleset, b"")
+        assert report.ok
+        assert report.total_matches == 0
+
+
+class TestVerifyMatches:
+    def test_detects_missing_match(self, ruleset):
+        from repro.simulators import RAPSimulator
+
+        result = RAPSimulator().run(ruleset, DATA)
+        broken = dict(result.matches)
+        victim = next(rid for rid, ends in broken.items() if ends)
+        broken[victim] = broken[victim][:-1]
+        report = verify_matches(ruleset, DATA, broken)
+        assert not report.ok
+        (mismatch,) = report.mismatches
+        assert mismatch.regex_id == victim
+        assert mismatch.missing and not mismatch.spurious
+        assert "missing" in report.describe()
+
+    def test_detects_spurious_match(self, ruleset):
+        from repro.simulators import RAPSimulator
+
+        result = RAPSimulator().run(ruleset, DATA)
+        broken = dict(result.matches)
+        broken[0] = sorted(set(broken[0]) | {0})
+        report = verify_matches(ruleset, DATA, broken)
+        assert not report.ok
+        assert report.mismatches[0].spurious == (0,)
+
+    def test_mismatch_description(self):
+        mismatch = Mismatch(
+            regex_id=7, pattern="abc", missing=(3,), spurious=(9,)
+        )
+        text = mismatch.describe()
+        assert "regex 7" in text and "[3]" in text and "[9]" in text
+
+    def test_report_structure(self):
+        report = VerificationReport(
+            regexes_checked=2, input_length=10, total_matches=5
+        )
+        assert report.ok
+
+
+class TestCliVerify:
+    def test_scan_verify_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rules = tmp_path / "rules.txt"
+        rules.write_text("\n".join(PATTERNS) + "\n")
+        payload = tmp_path / "input.bin"
+        payload.write_bytes(DATA)
+        code = main(
+            ["scan", "--patterns", str(rules), str(payload), "--verify"]
+        )
+        assert code == 0
+        assert "OK:" in capsys.readouterr().err

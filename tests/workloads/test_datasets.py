@@ -1,0 +1,128 @@
+"""Synthetic benchmark generator tests."""
+
+from collections import Counter
+
+import pytest
+
+from repro.compiler import CompilerConfig, compile_ruleset
+from repro.compiler.decision import decide
+from repro.regex.parser import parse
+from repro.workloads.anmlzoo import ANMLZOO_BENCHMARKS, generate_anmlzoo_benchmark
+from repro.workloads.datasets import BENCHMARKS, generate_benchmark
+from repro.workloads.profiles import PROFILES, BenchmarkProfile
+
+
+class TestProfiles:
+    def test_all_seven_benchmarks_defined(self):
+        assert sorted(PROFILES) == sorted(
+            [
+                "ClamAV",
+                "Prosite",
+                "RegexLib",
+                "SpamAssassin",
+                "Snort",
+                "Suricata",
+                "Yara",
+            ]
+        )
+
+    def test_fractions_validated(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="bad",
+                domain="text",
+                nfa_fraction=0.5,
+                nbva_fraction=0.5,
+                lnfa_fraction=0.5,
+                rep_bound_range=(2, 4),
+                lnfa_length_range=(2, 4),
+                nfa_literal_range=(2, 4),
+                chosen_bv_depth=4,
+                chosen_bin_size=4,
+                nominal_size=10,
+            )
+
+    def test_counts_sum_to_total(self):
+        for profile in PROFILES.values():
+            counts = profile.counts(97)
+            assert sum(counts.values()) == 97
+
+    def test_paper_mix_statements(self):
+        """The qualitative Fig. 1 facts the text states explicitly."""
+        assert PROFILES["Prosite"].nbva_fraction == 0.0
+        assert PROFILES["ClamAV"].nbva_fraction >= 0.8
+        assert PROFILES["Prosite"].lnfa_fraction > 0.5
+        assert PROFILES["SpamAssassin"].lnfa_fraction > 0.5
+        assert PROFILES["RegexLib"].nfa_fraction > 0.5
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_benchmark("Snort", size=15, seed=3)
+        b = generate_benchmark("Snort", size=15, seed=3)
+        assert a.patterns == b.patterns
+
+    def test_seed_changes_output(self):
+        a = generate_benchmark("Snort", size=15, seed=3)
+        b = generate_benchmark("Snort", size=15, seed=4)
+        assert a.patterns != b.patterns
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_mix_matches_profile(self, name):
+        bench = generate_benchmark(name, size=24, seed=1)
+        counted = Counter(bench.intended_modes)
+        expected = bench.profile.counts(24)
+        assert counted == {k: v for k, v in expected.items() if v} or counted == expected
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_decision_graph_confirms_modes(self, name):
+        from repro.regex.parser import parse_anchored
+
+        bench = generate_benchmark(name, size=18, seed=2)
+        for pattern, intended in zip(bench.patterns, bench.intended_modes):
+            decision = decide(
+                parse_anchored(pattern).regex, unfold_threshold=8
+            )
+            assert decision.mode.value == intended, pattern
+
+    def test_regexlib_patterns_partly_anchored(self):
+        bench = generate_benchmark("RegexLib", size=40, seed=2)
+        anchored = [p for p in bench.patterns if p.startswith("^")]
+        assert 0 < len(anchored) < len(bench.patterns)
+        assert all(p.endswith("$") for p in anchored)
+
+    def test_scanning_benchmarks_unanchored(self):
+        for name in ("Snort", "ClamAV", "Prosite"):
+            bench = generate_benchmark(name, size=20, seed=2)
+            assert not any(p.startswith("^") for p in bench.patterns), name
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_everything_compiles_cleanly(self, name):
+        bench = generate_benchmark(name, size=12, seed=5)
+        ruleset = compile_ruleset(bench.patterns, CompilerConfig(bv_depth=8))
+        assert not ruleset.rejected
+        assert len(ruleset) == 12
+
+
+class TestAnmlzoo:
+    def test_benchmarks_listed(self):
+        assert ANMLZOO_BENCHMARKS == [
+            "Brill",
+            "ClamAV",
+            "Dotstar",
+            "PowerEN",
+            "Snort",
+        ]
+
+    def test_dotstar_is_nfa_dominated(self):
+        bench = generate_anmlzoo_benchmark("Dotstar", size=20, seed=0)
+        assert Counter(bench.intended_modes)["NFA"] >= 18
+
+    def test_brill_has_no_counting(self):
+        bench = generate_anmlzoo_benchmark("Brill", size=20, seed=0)
+        assert Counter(bench.intended_modes)["NBVA"] == 0
+
+    def test_reuses_main_suites(self):
+        ours = generate_anmlzoo_benchmark("Snort", size=10, seed=7)
+        main = generate_benchmark("Snort", size=10, seed=7)
+        assert ours.patterns == main.patterns

@@ -1,0 +1,117 @@
+"""Input generator and witness sampler tests."""
+
+import random
+import re
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.reference import ReferenceMatcher
+from repro.regex.parser import parse
+from repro.workloads.inputs import background_traffic, generate_input
+from repro.workloads.witness import sample_witness
+
+from tests.helpers import regex_trees
+
+
+class TestWitness:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "abc",
+            "a[xy]c",
+            "ab{3,7}c",
+            "a.*b",
+            "x(?:ab|cd)+y",
+            "a{12}",
+            "ab?c?d",
+        ],
+    )
+    def test_witness_matches_its_regex(self, pattern):
+        rng = random.Random(11)
+        regex = parse(pattern)
+        for _ in range(20):
+            witness = sample_witness(regex, rng)
+            assert re.fullmatch(
+                regex.to_pattern().encode(), witness, re.DOTALL
+            ), (pattern, witness)
+
+    def test_empty_language_rejected(self):
+        from repro.regex.ast import EMPTY
+
+        with pytest.raises(ValueError):
+            sample_witness(EMPTY, random.Random(0))
+
+    def test_witnesses_stay_short(self):
+        rng = random.Random(5)
+        witness = sample_witness(parse("a{3,1000}b*"), rng)
+        assert len(witness) <= 3 + 2 + 2
+
+
+class TestInputs:
+    def test_exact_length(self):
+        data = generate_input("text", 500, seed=1)
+        assert len(data) == 500
+
+    def test_deterministic(self):
+        assert generate_input("text", 300, seed=2) == generate_input(
+            "text", 300, seed=2
+        )
+
+    def test_domain_alphabets(self):
+        protein = generate_input("protein", 400, seed=3)
+        assert set(protein) <= set(b"ACDEFGHIKLMNPQRSTVWY")
+        text = generate_input("text", 400, seed=3)
+        assert all(b < 128 for b in text)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            generate_input("klingon", 100)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            generate_input("text", -1)
+
+    def test_planted_witnesses_actually_match(self):
+        patterns = ["wolf[0-9]{2}", "abcd"]
+        data = generate_input(
+            "text", 4000, seed=4, patterns=patterns, plant_every=300
+        )
+        hits = sum(
+            len(ReferenceMatcher(parse(p)).find_matches(data))
+            for p in patterns
+        )
+        assert hits >= 5
+
+    def test_plant_rate_controls_match_density(self):
+        patterns = ["zqzq"]
+        sparse = generate_input(
+            "text", 6000, seed=5, patterns=patterns, plant_every=2000
+        )
+        dense = generate_input(
+            "text", 6000, seed=5, patterns=patterns, plant_every=200
+        )
+        matcher = ReferenceMatcher(parse("zqzq"))
+        assert len(matcher.find_matches(dense)) > len(
+            matcher.find_matches(sparse)
+        )
+
+    def test_no_patterns_is_pure_background(self):
+        data = generate_input("binary", 256, seed=6)
+        assert len(data) == 256
+
+    def test_background_traffic_uses_rng(self):
+        a = background_traffic("text", 100, random.Random(1))
+        b = background_traffic("text", 100, random.Random(2))
+        assert a != b
+
+
+@settings(max_examples=40, deadline=None)
+@given(regex_trees(max_leaves=6, max_bound=4))
+def test_witness_property(tree):
+    rng = random.Random(99)
+    try:
+        witness = sample_witness(tree, rng)
+    except ValueError:
+        return  # empty language
+    assert re.fullmatch(tree.to_pattern().encode(), witness, re.DOTALL)
