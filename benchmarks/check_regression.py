@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for CI.
+
+Compares a fresh ``pytest-benchmark`` JSON run against the committed
+baseline (``benchmarks/BENCH_baseline.json``).  Raw means don't transfer
+across machines, so every mean is first normalized by the run's own
+``test_calibration_loop`` mean (a pure-python busy loop that tracks host
+speed); the gate then fails if any benchmark's normalized mean grew more
+than ``--threshold`` (default 25%) over the baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_engine_speed.py \
+        --benchmark-json=bench.json
+    python benchmarks/check_regression.py bench.json
+
+Refresh the baseline by re-running the first command with
+``--benchmark-json=benchmarks/BENCH_baseline.json`` on a quiet machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+CALIBRATION = "test_calibration_loop"
+
+# Recorded but not gated: multiprocess wall-clock depends on pool spawn
+# latency and core count, which vary far more than compute-bound means.
+# The benchmark itself still asserts correctness and (on >= 4 cores) the
+# 2x speedup floor.
+UNGATED = {"test_parallel_batch_speedup"}
+
+
+def normalized_means(path: Path) -> dict[str, float]:
+    """Benchmark name -> mean normalized by the calibration loop."""
+    with open(path) as f:
+        doc = json.load(f)
+    means = {b["name"]: b["stats"]["mean"] for b in doc["benchmarks"]}
+    calibration = next(
+        (mean for name, mean in means.items() if CALIBRATION in name), None
+    )
+    if not calibration:
+        raise SystemExit(f"{path}: no {CALIBRATION} benchmark to anchor on")
+    return {
+        name: mean / calibration
+        for name, mean in means.items()
+        if CALIBRATION not in name
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="fresh benchmark JSON")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).parent / "BENCH_baseline.json",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum allowed normalized-mean growth (0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = normalized_means(args.baseline)
+    current = normalized_means(args.current)
+    failures = []
+    for name, ratio in sorted(current.items()):
+        if any(name.startswith(skip) for skip in UNGATED):
+            print(f"skip  {name}: {ratio:.3f} (ungated: multiprocess noise)")
+            continue
+        if name not in baseline:
+            print(f"NEW   {name}: {ratio:.3f} (no baseline; recorded only)")
+            continue
+        delta = ratio / baseline[name] - 1.0
+        status = "FAIL" if delta > args.threshold else "ok"
+        print(
+            f"{status:5} {name}: {baseline[name]:.3f} -> {ratio:.3f} "
+            f"({delta:+.1%})"
+        )
+        if status == "FAIL":
+            failures.append(name)
+    for name in sorted(set(baseline) - set(current)):
+        print(f"GONE  {name}: in baseline but not in this run")
+    if failures:
+        print(
+            f"{len(failures)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

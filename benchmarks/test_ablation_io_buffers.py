@@ -52,11 +52,11 @@ def test_ablation_io_buffer_hiding(benchmark):
         <= together.array_finish_cycles["nbva"]
     )
     assert together.total_cycles <= alone.total_cycles + 8
+    finish = together.array_finish_cycles
     print(
-        f"\nNBVA array finished at {together.array_finish_cycles['nbva']} "
-        f"cycles; buffered sibling at "
-        f"{together.array_finish_cycles['sibling']} "
-        f"(window hid {together.array_finish_cycles['nbva'] - together.array_finish_cycles['sibling']} cycles of exposure)"
+        f"\nNBVA array finished at {finish['nbva']} cycles; buffered "
+        f"sibling at {finish['sibling']} (window hid "
+        f"{finish['nbva'] - finish['sibling']} cycles of exposure)"
     )
 
 

@@ -4,19 +4,47 @@ Not a paper artifact — these track the speed of the functional engines
 themselves, which bounds how large a workload the harness can sweep.
 The paper's artifact quotes ~72 hours on 40 cores for full-size runs;
 these numbers calibrate what `REPRO_BENCH_SCALE` costs here.
+
+``test_calibration_loop`` anchors the regression gate: CI normalizes
+every mean by it before comparing against ``BENCH_baseline.json`` (see
+``check_regression.py``), so the committed baseline transfers across
+machines of different absolute speed.
 """
+
+import os
+import time
 
 from repro.automata.glushkov import build_automaton
 from repro.automata.nbva import NBVASimulator
 from repro.automata.nfa import NFASimulator
 from repro.automata.shift_and import MultiShiftAnd
 from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
+from repro.engine import BatchEngine, BatchTask, CompileCache, EngineConfig
+from repro.engine.cache import cached_compile_ruleset
+from repro.experiments.common import (
+    ALL_BENCHMARK_NAMES,
+    ExperimentConfig,
+    build_workload,
+    compile_decided,
+)
 from repro.regex.parser import parse
 from repro.simulators import RAPSimulator
 from repro.workloads.datasets import generate_benchmark
 from repro.workloads.inputs import generate_input
 
 INPUT = generate_input("network", 30_000, seed=1, patterns=["abcd"])
+
+
+def test_calibration_loop(benchmark):
+    """Pure-python busy loop: the machine-speed anchor for the gate."""
+
+    def spin() -> int:
+        acc = 0
+        for i in range(300_000):
+            acc += i * i
+        return acc
+
+    assert benchmark(spin) > 0
 
 
 def test_nfa_engine_speed(benchmark):
@@ -38,7 +66,7 @@ def test_multi_shift_and_speed(benchmark):
         [p for p in generate_benchmark("Prosite", size=24, seed=1).patterns],
         CompilerConfig(),
     )
-    lnfas = [l for r in ruleset.by_mode(CompiledMode.LNFA) for l in r.lnfas]
+    lnfas = [s for r in ruleset.by_mode(CompiledMode.LNFA) for s in r.lnfas]
     packed = MultiShiftAnd(lnfas)
     data = generate_input("protein", 30_000, seed=2)
     hits = benchmark(packed.find_matches, data)
@@ -56,3 +84,64 @@ def test_full_rap_simulation_speed(benchmark):
         sim.run, args=(ruleset, data), rounds=1, iterations=1
     )
     assert result.energy_uj > 0
+
+
+def test_compile_cache_warm_speed(benchmark, tmp_path):
+    """A warm cache hit must be >= 10x faster than a cold compile."""
+    bench = generate_benchmark("Snort", size=48, seed=5)
+    config = CompilerConfig(bv_depth=8)
+    cache = CompileCache(tmp_path)
+
+    start = time.perf_counter()
+    cold_ruleset = cached_compile_ruleset(bench.patterns, config, cache)
+    cold = time.perf_counter() - start
+
+    warm = min(
+        _timed(cached_compile_ruleset, bench.patterns, config, cache)[1]
+        for _ in range(3)
+    )
+    warm_ruleset = benchmark(
+        cached_compile_ruleset, bench.patterns, config, cache
+    )
+    assert [r.pattern for r in warm_ruleset] == [
+        r.pattern for r in cold_ruleset
+    ]
+    assert cache.hits > 0 and cache.misses == 1
+    assert warm * 10 <= cold, f"warm {warm:.4f}s vs cold {cold:.4f}s"
+
+
+def test_parallel_batch_speedup(benchmark):
+    """The fig12-style batch at --jobs 4; >= 2x is asserted on >= 4 cores."""
+    config = ExperimentConfig(benchmark_size=12, input_length=3000)
+    tasks = []
+    for name in ALL_BENCHMARK_NAMES[:4]:
+        workload = build_workload(name, config)
+        ruleset = compile_decided(
+            workload.benchmark.patterns, config, workload.chosen_depth
+        )
+        tasks.append(
+            BatchTask(
+                data=workload.data,
+                ruleset=ruleset,
+                bin_size=workload.chosen_bin_size,
+            )
+        )
+    sequential = BatchEngine(EngineConfig(jobs=1, use_cache=False))
+    parallel = BatchEngine(EngineConfig(jobs=4, use_cache=False))
+
+    seq_results, seq_time = _timed(sequential.run_batch, tasks)
+    par_results, par_time = _timed(parallel.run_batch, tasks)
+    benchmark.pedantic(
+        parallel.run_batch, args=(tasks,), rounds=1, iterations=1
+    )
+    assert par_results == seq_results  # bit-identical, any job count
+    if (os.cpu_count() or 1) >= 4:
+        assert seq_time >= 2 * par_time, (
+            f"jobs=4 speedup only {seq_time / par_time:.2f}x"
+        )
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start

@@ -118,7 +118,13 @@ def format_trace(lnfa: LNFA, data: bytes) -> str:
     engine = BitSerialLNFA(lnfa)
     width = engine.width
     rows = [
-        ("input", [chr(t.symbol) if 32 <= t.symbol < 127 else f"\\x{t.symbol:02x}" for t in engine.trace(data)]),
+        (
+            "input",
+            [
+                chr(t.symbol) if 32 <= t.symbol < 127 else f"\\x{t.symbol:02x}"
+                for t in engine.trace(data)
+            ],
+        ),
         ("labels", [f"{t.labels:0{width}b}" for t in engine.trace(data)]),
         ("next", [f"{t.next_vector:0{width}b}" for t in engine.trace(data)]),
         ("states", [f"{t.states:0{width}b}" for t in engine.trace(data)]),

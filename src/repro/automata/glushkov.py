@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.regex.ast import (
     Alt,
@@ -70,7 +69,7 @@ class Position:
 
     pid: int
     cc: CharClass
-    group: Optional[int] = None  # counter group id, None for plain states
+    group: int | None = None  # counter group id, None for plain states
 
     @property
     def is_counted(self) -> bool:
@@ -140,7 +139,7 @@ class Automaton:
         """Number of states (Glushkov positions)."""
         return len(self.positions)
 
-    def group_of(self, pid: int) -> Optional[CounterGroup]:
+    def group_of(self, pid: int) -> CounterGroup | None:
         """The counter group of position ``pid`` (None when plain)."""
         gid = self.positions[pid].group
         return None if gid is None else self.groups[gid]
@@ -192,7 +191,7 @@ class _Builder:
 
     def __init__(self) -> None:
         self._ccs: list[CharClass] = []
-        self._group_of: list[Optional[int]] = []
+        self._group_of: list[int | None] = []
         self._edges: set[tuple[int, int, EdgeAction]] = set()
         self._groups: list[CounterGroup] = []
 

@@ -34,6 +34,18 @@ class StepStats:
         """Average number of active states/bits per cycle."""
         return self.active_states / self.cycles if self.cycles else 0.0
 
+    def merge(self, other: "StepStats") -> "StepStats":
+        """Associative combination of two runs' counters (all integers,
+        so merging is exact — the parallel engine relies on this)."""
+        return StepStats(
+            cycles=self.cycles + other.cycles,
+            active_states=self.active_states + other.active_states,
+            matched_states=self.matched_states + other.matched_states,
+            reports=self.reports + other.reports,
+        )
+
+    __add__ = merge
+
 
 class NFASimulator:
     """Unanchored multi-match simulation of a plain homogeneous NFA.
@@ -68,12 +80,16 @@ class NFASimulator:
         *,
         anchored_start: bool = False,
         anchored_end: bool = False,
+        stats_from: int = 0,
     ) -> list[int]:
         """All end positions of non-empty matches in ``data``.
 
         ``anchored_start`` makes the initial states start-of-data STEs
         (available only for the first symbol); ``anchored_end`` reports
-        only matches that consume the final symbol.
+        only matches that consume the final symbol.  ``stats_from`` turns
+        the first bytes into a warm-up prefix: they drive the active set
+        but are excluded from ``stats`` and reporting (the parallel
+        engine's overlap-window stitching).
         """
         return list(
             self.iter_matches(
@@ -81,6 +97,7 @@ class NFASimulator:
                 stats,
                 anchored_start=anchored_start,
                 anchored_end=anchored_end,
+                stats_from=stats_from,
             )
         )
 
@@ -91,6 +108,7 @@ class NFASimulator:
         *,
         anchored_start: bool = False,
         anchored_end: bool = False,
+        stats_from: int = 0,
     ):
         """Generator over match end positions; optionally fills ``stats``."""
         succ = self._succ
@@ -111,6 +129,8 @@ class NFASimulator:
                 a ^= low
             # state-matching against the current symbol
             active = next_avail & labels[byte]
+            if i < stats_from:
+                continue
             if stats is not None:
                 stats.cycles += 1
                 stats.active_states += active.bit_count()

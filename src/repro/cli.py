@@ -21,7 +21,6 @@ from pathlib import Path
 
 from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
 from repro.io.serialize import load_ruleset, save_ruleset
-from repro.simulators import RAPSimulator
 
 EXPERIMENTS = {
     "all": ("repro.experiments.summary", "full evaluation run"),
@@ -34,6 +33,9 @@ EXPERIMENTS = {
     "fig13": ("repro.experiments.fig13_cpu_gpu", "Fig. 13 CPU/GPU"),
     "table4": ("repro.experiments.table4_fpga", "Table 4 FPGA comparison"),
 }
+
+# Zero-padded spellings matching the results/ artifact filenames.
+EXPERIMENT_ALIASES = {"fig01": "fig1"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +78,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument("--bv-depth", type=int, default=16)
     p_scan.add_argument("--bin-size", type=int, default=None)
     p_scan.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU); parallel output is "
+        "bit-identical to --jobs 1",
+    )
+    p_scan.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse compiled rulesets from the on-disk compile cache "
+        "(keyed by patterns + compiler config; see RAP_CACHE_DIR)",
+    )
+    p_scan.add_argument(
         "--metrics", action="store_true", help="print hardware metrics"
     )
     p_scan.add_argument(
@@ -86,12 +103,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_exp = sub.add_parser(
-        "experiment", help="regenerate one of the paper's tables/figures"
+        "experiment",
+        aliases=["exp"],
+        help="regenerate one of the paper's tables/figures",
     )
-    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument(
+        "name", choices=sorted(set(EXPERIMENTS) | set(EXPERIMENT_ALIASES))
+    )
     p_exp.add_argument("--size", type=int, default=None)
     p_exp.add_argument("--input-length", type=int, default=None)
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for per-benchmark simulation "
+        "(0 = one per CPU); results are independent of the job count",
+    )
+    p_exp.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse compiled rulesets from the on-disk compile cache",
+    )
 
     p_inspect = sub.add_parser(
         "inspect", help="summarize a compiled JSON ruleset"
@@ -109,7 +144,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _read_patterns(path: Path) -> list[str]:
     lines = path.read_text().splitlines()
-    return [line for line in (l.strip() for l in lines) if line and not line.startswith("#")]
+    stripped = (line.strip() for line in lines)
+    return [line for line in stripped if line and not line.startswith("#")]
 
 
 def _load_hw(path):
@@ -146,14 +182,17 @@ def cmd_compile(args) -> int:
 
 def cmd_scan(args) -> int:
     """Handler for ``repro scan``."""
+    from repro.engine import BatchEngine, EngineConfig
+
+    engine = BatchEngine(EngineConfig(jobs=args.jobs, use_cache=args.cache))
     if args.ruleset:
         ruleset = load_ruleset(args.ruleset)
     else:
-        ruleset = compile_ruleset(
+        ruleset = engine.compile(
             _read_patterns(args.patterns), CompilerConfig(bv_depth=args.bv_depth)
         )
     data = args.input.read_bytes()
-    result = RAPSimulator().run(ruleset, data, bin_size=args.bin_size)
+    result = engine.scan(ruleset, data, bin_size=args.bin_size)
     total = 0
     for regex in ruleset:
         for end in result.matches[regex.regex_id]:
@@ -178,13 +217,16 @@ def cmd_experiment(args) -> int:
 
     from repro.experiments.common import ExperimentConfig
 
-    module_name, _ = EXPERIMENTS[args.name]
+    name = EXPERIMENT_ALIASES.get(args.name, args.name)
+    module_name, _ = EXPERIMENTS[name]
     module = importlib.import_module(module_name)
     base = ExperimentConfig.scaled()
     config = ExperimentConfig(
         benchmark_size=args.size or base.benchmark_size,
         input_length=args.input_length or base.input_length,
         seed=args.seed,
+        jobs=args.jobs,
+        use_cache=args.cache,
     )
     result = module.run(config)
     print(result.to_table())
@@ -252,6 +294,7 @@ def main(argv: list[str] | None = None) -> int:
         "compile": cmd_compile,
         "scan": cmd_scan,
         "experiment": cmd_experiment,
+        "exp": cmd_experiment,
         "inspect": cmd_inspect,
         "workload": cmd_workload,
     }

@@ -16,7 +16,6 @@ later, by the binning pass of the mapper.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.automata.lnfa import LNFA
 from repro.compiler.program import CompiledMode, CompiledRegex, CompileError
@@ -34,7 +33,7 @@ def compile_lnfa(
     lnfa_blowup: float,
     hw: HardwareConfig,
     max_sequences: int = 4096,
-) -> Optional[CompiledRegex]:
+) -> CompiledRegex | None:
     """Compile for LNFA mode; ``None`` when linearization is not worth it."""
     base_states = max(regex.unfolded_size(), 1)
     lin = linearize(
@@ -50,7 +49,7 @@ def compile_lnfa(
             "(one array)"
         )
     lnfas = tuple(LNFA(seq) for seq in lin.sequences)
-    eligibility = tuple(lnfa_cam_eligible(l.labels) for l in lnfas)
+    eligibility = tuple(lnfa_cam_eligible(lnfa.labels) for lnfa in lnfas)
     return CompiledRegex(
         regex_id=regex_id,
         pattern=pattern,

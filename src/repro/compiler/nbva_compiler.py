@@ -11,11 +11,9 @@ and ``rAll`` reads in the same tile).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.automata.glushkov import (
     Automaton,
-    CounterGroup,
     EdgeAction,
     ReadKind,
     build_automaton,
@@ -78,7 +76,7 @@ def compile_nbva(
     depth: int,
     hw: HardwareConfig,
     word_align_exact: bool = True,
-) -> Optional[CompiledRegex]:
+) -> CompiledRegex | None:
     """Compile for NBVA mode; ``None`` if no counter group survives
     (the caller then falls through the decision graph)."""
     prepared = prepare_nbva(
@@ -228,7 +226,7 @@ class _Unit:
     cc_columns: int
     bv_columns: int
     set1_columns: int
-    read: Optional[ReadKind]
+    read: ReadKind | None
 
 
 def plan_nbva_tiles(
@@ -240,7 +238,7 @@ def plan_nbva_tiles(
     tiles: list[list[_Unit]] = []
     current: list[_Unit] = []
     cols = 0
-    read: Optional[ReadKind] = None
+    read: ReadKind | None = None
     for unit in units:
         unit_cols = unit.cc_columns + unit.bv_columns + unit.set1_columns
         if unit_cols > hw.cam_cols:

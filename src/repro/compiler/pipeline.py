@@ -10,8 +10,8 @@ matching how real rule-set deployments handle stragglers.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Union
 
 from repro.compiler.decision import decide
 from repro.compiler.lnfa_compiler import compile_lnfa
@@ -44,7 +44,7 @@ class CompilerConfig:
     lnfa_blowup: float = 2.0
     word_align_exact: bool = True
     max_lnfa_sequences: int = 4096
-    forced_mode: Optional[CompiledMode] = None
+    forced_mode: CompiledMode | None = None
     hw: HardwareConfig = field(default_factory=lambda: DEFAULT_CONFIG)
 
     def with_depth(self, depth: int) -> "CompilerConfig":
@@ -59,7 +59,7 @@ class CompilerConfig:
             hw=self.hw,
         )
 
-    def with_forced_mode(self, mode: Optional[CompiledMode]) -> "CompilerConfig":
+    def with_forced_mode(self, mode: CompiledMode | None) -> "CompilerConfig":
         """A copy of this config forcing one mode."""
         return CompilerConfig(
             unfold_threshold=self.unfold_threshold,
@@ -73,7 +73,7 @@ class CompilerConfig:
 
 
 def compile_pattern(
-    pattern: Union[str, Regex],
+    pattern: str | Regex,
     regex_id: int = 0,
     config: CompilerConfig | None = None,
 ) -> CompiledRegex:
@@ -187,7 +187,7 @@ def _compile_forced(
 
 
 def compile_ruleset(
-    patterns: Iterable[Union[str, Regex]],
+    patterns: Iterable[str | Regex],
     config: CompilerConfig | None = None,
 ) -> CompiledRuleset:
     """Compile a workload; failures become rejections, not exceptions."""

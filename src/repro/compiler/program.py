@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.automata.glushkov import Automaton, ReadKind
 from repro.automata.lnfa import LNFA
@@ -61,8 +60,8 @@ class TileRequest:
     cc_columns: int
     bv_columns: int = 0
     set1_columns: int = 0
-    depth: Optional[int] = None
-    read: Optional[ReadKind] = None
+    depth: int | None = None
+    read: ReadKind | None = None
     global_ports: int = 0
 
     @property
@@ -92,7 +91,7 @@ class CompiledRegex:
     regex_id: int
     pattern: str
     mode: CompiledMode
-    automaton: Optional[Automaton] = None
+    automaton: Automaton | None = None
     lnfas: tuple[LNFA, ...] = ()
     lnfa_cam_eligible: tuple[bool, ...] = ()
     tile_requests: tuple[TileRequest, ...] = ()

@@ -1,0 +1,39 @@
+"""Parallel batch execution engine and keyed compile cache.
+
+The paper's evaluation is embarrassingly parallel — per-array cycle
+counts and per-regex energy ledgers are independent (Section 3) — and
+this package exploits exactly that structure: work shards across worker
+processes while integer activity merges exactly, so parallel output is
+bit-identical to the sequential reference path.
+"""
+
+from repro.engine.batch import BatchEngine, BatchTask, EngineConfig
+from repro.engine.cache import (
+    CACHE_DIR_ENV,
+    CompileCache,
+    cached_compile_ruleset,
+    default_cache_dir,
+    ruleset_cache_key,
+)
+from repro.engine.partition import (
+    Chunk,
+    plan_chunks,
+    required_overlap,
+)
+from repro.engine.pool import effective_jobs, parallel_map
+
+__all__ = [
+    "BatchEngine",
+    "BatchTask",
+    "CACHE_DIR_ENV",
+    "Chunk",
+    "CompileCache",
+    "EngineConfig",
+    "cached_compile_ruleset",
+    "default_cache_dir",
+    "effective_jobs",
+    "parallel_map",
+    "plan_chunks",
+    "required_overlap",
+    "ruleset_cache_key",
+]

@@ -1,0 +1,322 @@
+"""The batch execution engine: parallel scans with bit-identical output.
+
+Two axes of parallelism, both with deterministic merges:
+
+* **Across tasks** — :meth:`BatchEngine.run_batch` runs many (ruleset x
+  input stream) pairs over worker processes; each task executes the
+  same code path as a sequential run, so per-task results are identical
+  by construction and come back in task order.
+* **Within one scan** — :meth:`BatchEngine.scan` parallelizes a single
+  (ruleset, stream) pair.  When every regex has bounded state memory
+  (see :func:`~repro.engine.partition.required_overlap`) the stream is
+  chunked with overlap-window stitching; otherwise work shards per
+  regex / per LNFA bin over the whole stream.  Either way workers only
+  *collect* integer activity; the parent merges it exactly and prices
+  energy once, performing the very float operations a sequential run
+  would — output is bit-identical (same match offsets, cycles, and
+  picojoule totals).
+
+Workers are seeded once per process with the pickled ruleset, hardware
+config, and input stream (fork makes this cheap on Linux); per-unit task
+descriptors are tiny tuples.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+from repro.compiler import CompilerConfig
+from repro.compiler.program import CompiledMode, CompiledRuleset
+from repro.engine.cache import CompileCache, cached_compile_ruleset
+from repro.engine.partition import Chunk, plan_chunks, required_overlap
+from repro.engine.pool import effective_jobs, parallel_map
+from repro.hardware.config import TileMode
+from repro.simulators.activity import (
+    BinActivity,
+    RegexActivity,
+    collect_bin_activity,
+    collect_regex_activity,
+)
+from repro.simulators.rap import RAPSimulator, RunActivity
+from repro.simulators.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Batch-engine knobs (the CLI's ``--jobs`` / ``--cache`` flags)."""
+
+    jobs: int = 1
+    use_cache: bool = True
+    cache_dir: str | None = None  # None: RAP_CACHE_DIR or ~/.cache/rap-repro
+    # Smallest owned-bytes-per-chunk worth forking for; streams shorter
+    # than two chunks run unchunked.
+    min_chunk_bytes: int = 4096
+    # Force a stitching window instead of deriving the safe bound (tests
+    # and experiments with known match lengths); None derives it.
+    overlap: int | None = None
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One unit of batch work: a ruleset (or patterns) and one stream."""
+
+    data: bytes
+    patterns: tuple[str, ...] | None = None
+    ruleset: CompiledRuleset | None = None
+    compiler: CompilerConfig = field(default_factory=CompilerConfig)
+    bin_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.patterns is None) == (self.ruleset is None):
+            raise ValueError("a task needs exactly one of patterns/ruleset")
+
+
+class BatchEngine:
+    """Shards batch and single-stream scans across worker processes."""
+
+    def __init__(self, config: EngineConfig | None = None, hw=None):
+        from repro.hardware.config import DEFAULT_CONFIG
+
+        self.config = config or EngineConfig()
+        self.hw = hw or DEFAULT_CONFIG
+        self.cache = (
+            CompileCache(self.config.cache_dir)
+            if self.config.use_cache
+            else None
+        )
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(
+        self,
+        patterns,
+        compiler: CompilerConfig | None = None,
+    ) -> CompiledRuleset:
+        """Compile through the keyed cache when caching is enabled."""
+        if self.cache is not None:
+            return cached_compile_ruleset(patterns, compiler, self.cache)
+        from repro.compiler import compile_ruleset
+
+        return compile_ruleset(list(patterns), compiler)
+
+    def _resolve(self, task: BatchTask) -> CompiledRuleset:
+        if task.ruleset is not None:
+            return task.ruleset
+        return self.compile(task.patterns, task.compiler)
+
+    # -- batch execution ---------------------------------------------------
+
+    def run_batch(self, tasks) -> list[SimulationResult]:
+        """Run every task, fanned out across processes, in task order."""
+        tasks = list(tasks)
+        payloads = [
+            pickle.dumps(
+                (self._resolve(task), task.data, task.bin_size, self.hw),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            for task in tasks
+        ]
+        return parallel_map(_execute_task, payloads, jobs=self.config.jobs)
+
+    def merge_results(self, results) -> SimulationResult:
+        """Fold shard results with :meth:`SimulationResult.merge`."""
+        results = list(results)
+        if not results:
+            raise ValueError("no results to merge")
+        merged = results[0]
+        for result in results[1:]:
+            merged = merged.merge(result)
+        return merged
+
+    # -- single-stream scans -----------------------------------------------
+
+    def scan(
+        self,
+        source,
+        data: bytes,
+        bin_size: int | None = None,
+        compiler: CompilerConfig | None = None,
+    ) -> SimulationResult:
+        """Scan one stream, parallelized, bit-identical to sequential.
+
+        ``source`` is a compiled ruleset or an iterable of patterns.
+        """
+        if isinstance(source, CompiledRuleset):
+            ruleset = source
+        else:
+            ruleset = self.compile(source, compiler)
+        sim = RAPSimulator(self.hw)
+        jobs = effective_jobs(self.config.jobs)
+        if jobs <= 1 or not len(ruleset) or not data:
+            return sim.run(ruleset, data, bin_size=bin_size)
+
+        mapping = sim.build_mapping(ruleset, bin_size=bin_size)
+        chunks = self._plan(ruleset, len(data), jobs)
+        units = self._work_units(ruleset, mapping, chunks)
+        if len(units) <= 1:
+            return sim.run_from_activity(
+                ruleset, sim.collect_activities(ruleset, data, mapping), mapping
+            )
+        payload = pickle.dumps(
+            (ruleset, data, bin_size, self.hw),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        outcomes = parallel_map(
+            _scan_unit,
+            units,
+            jobs=jobs,
+            initializer=_init_scan_worker,
+            initargs=(payload,),
+        )
+        activity = self._merge_outcomes(ruleset, mapping, outcomes, len(data))
+        return sim.run_from_activity(ruleset, activity, mapping)
+
+    def _plan(self, ruleset, n: int, jobs: int) -> list[Chunk]:
+        """Chunk the stream when safe and worthwhile, else one chunk."""
+        overlap = (
+            self.config.overlap
+            if self.config.overlap is not None
+            else required_overlap(ruleset)
+        )
+        whole = [Chunk(start=0, end=n, warm_start=0)]
+        if overlap is None:
+            return whole
+        min_owned = max(self.config.min_chunk_bytes, 4 * overlap)
+        if n < 2 * min_owned:
+            return whole
+        return plan_chunks(n, jobs, overlap, min_owned=min_owned)
+
+    @staticmethod
+    def _work_units(ruleset, mapping, chunks) -> list[tuple]:
+        """Flat descriptors: every (regex | bin) x every chunk."""
+        units: list[tuple] = []
+        for regex in ruleset:
+            if regex.mode is CompiledMode.LNFA:
+                continue
+            for chunk in chunks:
+                # NBVA counters cannot be warm-started; they only appear
+                # here unchunked (required_overlap forces one chunk).
+                units.append(
+                    (
+                        "regex",
+                        regex.regex_id,
+                        chunk.start,
+                        chunk.end,
+                        chunk.warm_start,
+                    )
+                )
+        for index, array in enumerate(mapping.arrays):
+            if array.mode is not TileMode.LNFA:
+                continue
+            for bin_index in range(len(array.bins)):
+                for chunk in chunks:
+                    units.append(
+                        (
+                            "bin",
+                            index,
+                            bin_index,
+                            chunk.start,
+                            chunk.end,
+                            chunk.warm_start,
+                        )
+                    )
+        return units
+
+    @staticmethod
+    def _merge_outcomes(ruleset, mapping, outcomes, n: int) -> RunActivity:
+        """Fold worker outcomes, in deterministic unit order, into the
+        exact activity a sequential run would have collected."""
+        regex_parts: dict[int, RegexActivity] = {}
+        bin_parts: dict[tuple[int, int], BinActivity] = {}
+        for outcome in outcomes:
+            kind = outcome[0]
+            if kind == "regex":
+                _, rid, activity = outcome
+                prior = regex_parts.get(rid)
+                regex_parts[rid] = (
+                    activity if prior is None else prior.merge(activity)
+                )
+            else:
+                _, index, bin_index, cycles, matches, tac, tab = outcome
+                activity = BinActivity(
+                    bin=mapping.arrays[index].bins[bin_index],
+                    cycles=cycles,
+                    matches=matches,
+                    tile_active_cycles=tac,
+                    tile_active_bits=tab,
+                )
+                key = (index, bin_index)
+                prior = bin_parts.get(key)
+                bin_parts[key] = (
+                    activity if prior is None else prior.merge(activity)
+                )
+        # Rebuild containers in the sequential collection order so even
+        # dict iteration order matches the reference run.
+        regex = {
+            r.regex_id: regex_parts[r.regex_id]
+            for r in ruleset
+            if r.mode is not CompiledMode.LNFA
+        }
+        lnfa_bins = {
+            index: [
+                bin_parts[(index, bin_index)]
+                for bin_index in range(len(array.bins))
+            ]
+            for index, array in enumerate(mapping.arrays)
+            if array.mode is TileMode.LNFA
+        }
+        return RunActivity(regex=regex, lnfa_bins=lnfa_bins, input_symbols=n)
+
+
+# -- worker-side functions (module level: picklable by the pool) -----------
+
+_WORKER_STATE: dict = {}
+
+
+def _init_scan_worker(payload: bytes) -> None:
+    """Seed one worker process with the scan's shared state."""
+    ruleset, data, bin_size, hw = pickle.loads(payload)
+    sim = RAPSimulator(hw)
+    _WORKER_STATE["data"] = data
+    _WORKER_STATE["hw"] = hw
+    _WORKER_STATE["regex_by_id"] = {r.regex_id: r for r in ruleset}
+    _WORKER_STATE["mapping"] = sim.build_mapping(ruleset, bin_size=bin_size)
+
+
+def _scan_unit(unit: tuple):
+    """Collect one (regex | bin) x chunk activity inside a worker."""
+    data = _WORKER_STATE["data"]
+    if unit[0] == "regex":
+        _, rid, start, end, warm_start = unit
+        activity = collect_regex_activity(
+            _WORKER_STATE["regex_by_id"][rid],
+            data[warm_start:end],
+            base=warm_start,
+            stats_from=start - warm_start,
+        )
+        return ("regex", rid, activity)
+    _, index, bin_index, start, end, warm_start = unit
+    bin_obj = _WORKER_STATE["mapping"].arrays[index].bins[bin_index]
+    activity = collect_bin_activity(
+        bin_obj,
+        data[warm_start:end],
+        _WORKER_STATE["hw"],
+        base=warm_start,
+        stats_from=start - warm_start,
+    )
+    return (
+        "bin",
+        index,
+        bin_index,
+        activity.cycles,
+        activity.matches,
+        activity.tile_active_cycles,
+        activity.tile_active_bits,
+    )
+
+
+def _execute_task(payload: bytes) -> SimulationResult:
+    """Run one fully-specified batch task inside a worker."""
+    ruleset, data, bin_size, hw = pickle.loads(payload)
+    return RAPSimulator(hw).run(ruleset, data, bin_size=bin_size)

@@ -1,0 +1,158 @@
+"""On-disk compile cache keyed by workload content.
+
+Every ``scan``/``experiment`` invocation used to recompile its regexes
+from scratch; compilation (parsing, the Fig. 9 decision graph, unfolding,
+tile planning) dominates start-up for realistic rule sets.  The cache
+stores compiled rulesets as the versioned JSON documents of
+:mod:`repro.io.serialize` under ``~/.cache/rap-repro/`` (override with
+the ``RAP_CACHE_DIR`` environment variable or an explicit root).
+
+The key is a SHA-256 over the canonical JSON of everything that can
+change the compiler's output: the pattern list (in order), every
+:class:`~repro.compiler.pipeline.CompilerConfig` field including the
+full hardware config, and the serializer's ``FORMAT_VERSION``.  Bumping
+the format version therefore invalidates every cached entry, and two
+processes racing on the same key both write the same bytes.
+
+Writes are atomic (temp file + ``os.replace``) and reads are
+corruption-tolerant: a truncated, garbled, or version-skewed entry is
+deleted and treated as a miss, falling back to a fresh compile.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.compiler import CompilerConfig, compile_ruleset
+from repro.compiler.program import CompiledRuleset
+from repro.io.serialize import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    SerializationError,
+    ruleset_from_json,
+    ruleset_to_json,
+)
+
+CACHE_DIR_ENV = "RAP_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$RAP_CACHE_DIR`` if set, else ``~/.cache/rap-repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "rap-repro"
+
+
+def _json_default(value):
+    if isinstance(value, enum.Enum):
+        return value.value
+    raise TypeError(f"unhashable cache-key component: {value!r}")
+
+
+def ruleset_cache_key(
+    patterns: Iterable[str], config: CompilerConfig | None = None
+) -> str:
+    """Content hash identifying one compile's exact inputs.
+
+    Uses ``dataclasses.asdict`` over the compiler config so that any
+    field added to :class:`CompilerConfig` (or to the nested
+    :class:`HardwareConfig`) automatically becomes part of the key.
+    """
+    config = config or CompilerConfig()
+    doc = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "patterns": list(patterns),
+        "config": dataclasses.asdict(config),
+    }
+    if not all(isinstance(p, str) for p in doc["patterns"]):
+        raise TypeError("the compile cache keys on string patterns only")
+    canonical = json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class CompileCache:
+    """A directory of compiled rulesets addressed by content hash."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        """Where a key's entry lives on disk."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> CompiledRuleset | None:
+        """The cached ruleset, or None on a miss or a corrupted entry."""
+        path = self.path(key)
+        try:
+            with open(path) as f:
+                ruleset = ruleset_from_json(json.load(f))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError, SerializationError):
+            # Corrupted or stale entry (partial write from a crashed
+            # process, disk damage, or an old format): drop it and
+            # recompile rather than failing the run.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ruleset
+
+    def put(self, key: str, ruleset: CompiledRuleset) -> Path:
+        """Atomically persist a compiled ruleset under ``key``."""
+        path = self.path(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(ruleset_to_json(ruleset), f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+def cached_compile_ruleset(
+    patterns: Iterable[str],
+    config: CompilerConfig | None = None,
+    cache: CompileCache | None = None,
+) -> CompiledRuleset:
+    """``compile_ruleset`` behind the on-disk cache.
+
+    A warm hit skips parsing and compilation entirely (the JSON load is
+    an order of magnitude cheaper); a miss compiles and populates the
+    cache for the next run.
+    """
+    patterns = list(patterns)
+    config = config or CompilerConfig()
+    if cache is None:
+        cache = CompileCache()
+    key = ruleset_cache_key(patterns, config)
+    ruleset = cache.get(key)
+    if ruleset is None:
+        ruleset = compile_ruleset(patterns, config)
+        cache.put(key, ruleset)
+    return ruleset

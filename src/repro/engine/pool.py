@@ -1,0 +1,50 @@
+"""Process-pool plumbing shared by the batch engine and experiments.
+
+``parallel_map`` is the one primitive everything else builds on: an
+order-preserving map over a :class:`~concurrent.futures.ProcessPoolExecutor`
+that degrades to a plain in-process loop for ``jobs <= 1`` (the reference
+path parallel output is checked against) or single-item inputs.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, TypeVar
+
+_Item = TypeVar("_Item")
+
+
+def effective_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None/0 means one per CPU."""
+    if not jobs or jobs < 1:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[_Item], Any],
+    items: Sequence[_Item],
+    jobs: int = 1,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+) -> list:
+    """``[fn(item) for item in items]``, fanned out over processes.
+
+    Results come back in input order regardless of completion order, so
+    output is deterministic.  ``fn`` and every item must be picklable
+    (module-level functions and plain data).  Worker exceptions
+    propagate to the caller.
+    """
+    jobs = effective_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)),
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        return list(pool.map(fn, items))

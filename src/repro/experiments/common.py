@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import json
 import os
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
 
 from repro.compiler import (
     CompiledMode,
@@ -45,6 +45,11 @@ class ExperimentConfig:
     input_length: int = 6000  # characters matched (paper: 100,000)
     seed: int = 0
     unfold_threshold: int = 8
+    # Execution knobs (the CLI's --jobs/--cache); they parallelize the
+    # per-benchmark loops and memoize compilation but never change any
+    # reported number.
+    jobs: int = 1
+    use_cache: bool = False
 
     @classmethod
     def scaled(cls) -> "ExperimentConfig":
@@ -154,15 +159,29 @@ def build_mode_workload(
     return Workload(benchmark=benchmark, data=data)
 
 
+def _compile(
+    patterns: Sequence[str],
+    compiler: CompilerConfig,
+    config: ExperimentConfig,
+) -> CompiledRuleset:
+    """Compile, through the keyed on-disk cache when the config asks."""
+    if config.use_cache:
+        from repro.engine.cache import CompileCache, cached_compile_ruleset
+
+        return cached_compile_ruleset(patterns, compiler, CompileCache())
+    return compile_ruleset(list(patterns), compiler)
+
+
 def compile_decided(
     patterns: Sequence[str], config: ExperimentConfig, bv_depth: int
 ) -> CompiledRuleset:
     """Compile with the decision graph at the benchmark's chosen depth."""
-    ruleset = compile_ruleset(
-        list(patterns),
+    ruleset = _compile(
+        patterns,
         CompilerConfig(
             unfold_threshold=config.unfold_threshold, bv_depth=bv_depth
         ),
+        config,
     )
     if ruleset.rejected:
         raise RuntimeError(f"unexpected rejections: {ruleset.rejected}")
@@ -184,10 +203,32 @@ def compile_forced(
     )
     if hw is not None:
         kwargs["hw"] = hw
-    ruleset = compile_ruleset(list(patterns), CompilerConfig(**kwargs))
+    ruleset = _compile(patterns, CompilerConfig(**kwargs), config)
     if ruleset.rejected:
         raise RuntimeError(f"unexpected rejections: {ruleset.rejected}")
     return ruleset
+
+
+def map_benchmarks(
+    worker: Callable,
+    names: Sequence[str],
+    config: ExperimentConfig,
+):
+    """Run a per-benchmark worker over ``names``, in name order.
+
+    With ``config.jobs > 1`` the benchmarks fan out across worker
+    processes through the batch engine's pool; results always come back
+    in input order, and the workers are ordinary sequential simulations,
+    so the experiment's numbers are independent of the job count.
+
+    ``worker`` must be a module-level function taking ``(name, config)``
+    tuples (picklable by the pool).
+    """
+    from repro.engine.pool import parallel_map
+
+    return parallel_map(
+        worker, [(name, config) for name in names], jobs=config.jobs
+    )
 
 
 def compile_bvap_flavor(
@@ -227,7 +268,9 @@ def render_table(
     """A plain monospace table (the harness prints the paper's rows)."""
     str_rows = [[_fmt(cell) for cell in row] for row in rows]
     widths = [
-        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        max(len(headers[i]), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(headers[i])
         for i in range(len(headers))
     ]
     lines = []

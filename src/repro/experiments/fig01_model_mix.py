@@ -15,6 +15,7 @@ from repro.experiments.common import (
     ExperimentConfig,
     build_workload,
     compile_decided,
+    map_benchmarks,
     render_table,
     save_csv,
     save_json,
@@ -51,24 +52,26 @@ class Fig1Result:
         return next(r for r in self.rows if r.benchmark == benchmark)
 
 
+def _mix_row(item: tuple[str, ExperimentConfig]) -> MixRow:
+    """Per-benchmark worker: compile one benchmark and report its mix."""
+    name, config = item
+    workload = build_workload(name, config)
+    ruleset = compile_decided(
+        workload.benchmark.patterns, config, workload.chosen_depth
+    )
+    fractions = ruleset.mode_fractions()
+    return MixRow(
+        benchmark=name,
+        nfa=fractions[CompiledMode.NFA],
+        nbva=fractions[CompiledMode.NBVA],
+        lnfa=fractions[CompiledMode.LNFA],
+    )
+
+
 def run(config: ExperimentConfig | None = None) -> Fig1Result:
     """Regenerate Fig. 1 and persist the results."""
     config = config or ExperimentConfig()
-    rows = []
-    for name in ALL_BENCHMARK_NAMES:
-        workload = build_workload(name, config)
-        ruleset = compile_decided(
-            workload.benchmark.patterns, config, workload.chosen_depth
-        )
-        fractions = ruleset.mode_fractions()
-        rows.append(
-            MixRow(
-                benchmark=name,
-                nfa=fractions[CompiledMode.NFA],
-                nbva=fractions[CompiledMode.NBVA],
-                lnfa=fractions[CompiledMode.LNFA],
-            )
-        )
+    rows = map_benchmarks(_mix_row, ALL_BENCHMARK_NAMES, config)
     result = Fig1Result(rows)
     save_json(
         "fig01_model_mix",

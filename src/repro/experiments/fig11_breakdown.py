@@ -17,6 +17,7 @@ from repro.experiments.common import (
     ExperimentConfig,
     build_workload,
     compile_decided,
+    map_benchmarks,
     render_table,
     save_json,
 )
@@ -63,6 +64,48 @@ class Fig11Result:
         )
 
 
+def _mode_contributions(
+    item: tuple[str, ExperimentConfig],
+) -> list[tuple[str, int, float, float]]:
+    """Per-benchmark worker: each mode's (states, energy, area) share.
+
+    Contributions come back in :class:`CompiledMode` declaration order so
+    the parent's fold adds floats in exactly the sequential order.
+    """
+    name, config = item
+    sim = RAPSimulator()
+    workload = build_workload(name, config)
+    ruleset = compile_decided(
+        workload.benchmark.patterns, config, workload.chosen_depth
+    )
+    contributions: list[tuple[str, int, float, float]] = []
+    for mode in CompiledMode:
+        subset = ruleset.by_mode(mode)
+        if not subset:
+            continue
+        from repro.compiler.program import CompiledRuleset
+
+        sub_ruleset = CompiledRuleset(
+            regexes=tuple(
+                _renumber(regex, idx) for idx, regex in enumerate(subset)
+            )
+        )
+        result = sim.run(
+            sub_ruleset,
+            workload.data,
+            bin_size=workload.chosen_bin_size,
+        )
+        contributions.append(
+            (
+                mode.value,
+                sub_ruleset.total_states,
+                result.energy_uj,
+                result.area_mm2,
+            )
+        )
+    return contributions
+
+
 def run(config: ExperimentConfig | None = None) -> Fig11Result:
     """Regenerate Fig. 11 and persist the results."""
     config = config or ExperimentConfig()
@@ -70,32 +113,15 @@ def run(config: ExperimentConfig | None = None) -> Fig11Result:
         mode.value: ModeShare(states=0, energy_uj=0.0, area_mm2=0.0)
         for mode in CompiledMode
     }
-    sim = RAPSimulator()
-    for name in ALL_BENCHMARK_NAMES:
-        workload = build_workload(name, config)
-        ruleset = compile_decided(
-            workload.benchmark.patterns, config, workload.chosen_depth
-        )
-        for mode in CompiledMode:
-            subset = ruleset.by_mode(mode)
-            if not subset:
-                continue
-            from repro.compiler.program import CompiledRuleset
-
-            sub_ruleset = CompiledRuleset(
-                regexes=tuple(
-                    _renumber(regex, idx) for idx, regex in enumerate(subset)
-                )
-            )
-            result = sim.run(
-                sub_ruleset,
-                workload.data,
-                bin_size=workload.chosen_bin_size,
-            )
-            share = shares[mode.value]
-            share.states += sub_ruleset.total_states
-            share.energy_uj += result.energy_uj
-            share.area_mm2 += result.area_mm2
+    per_benchmark = map_benchmarks(
+        _mode_contributions, ALL_BENCHMARK_NAMES, config
+    )
+    for contributions in per_benchmark:
+        for mode_value, states, energy_uj, area_mm2 in contributions:
+            share = shares[mode_value]
+            share.states += states
+            share.energy_uj += energy_uj
+            share.area_mm2 += area_mm2
     result = Fig11Result(shares)
     save_json(
         "fig11_breakdown",

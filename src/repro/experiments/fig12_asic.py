@@ -26,6 +26,7 @@ from repro.experiments.common import (
     compile_bvap_flavor,
     compile_decided,
     compile_forced,
+    map_benchmarks,
     render_table,
     save_csv,
     save_json,
@@ -200,13 +201,16 @@ def simulate_benchmark(workload: Workload, config: ExperimentConfig) -> Fig12Row
     return Fig12Row(benchmark=workload.name, points=points)
 
 
+def _benchmark_row(item: tuple[str, ExperimentConfig]) -> Fig12Row:
+    """Per-benchmark worker: all four designs on one benchmark."""
+    name, config = item
+    return simulate_benchmark(build_workload(name, config), config)
+
+
 def run(config: ExperimentConfig | None = None) -> Fig12Result:
     """Regenerate Fig. 12 and persist the results."""
     config = config or ExperimentConfig()
-    rows = []
-    for name in ALL_BENCHMARK_NAMES:
-        workload = build_workload(name, config)
-        rows.append(simulate_benchmark(workload, config))
+    rows = map_benchmarks(_benchmark_row, ALL_BENCHMARK_NAMES, config)
     result = Fig12Result(rows)
     save_json(
         "fig12_asic",

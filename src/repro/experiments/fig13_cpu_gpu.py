@@ -16,6 +16,7 @@ from repro.experiments.common import (
     ExperimentConfig,
     build_workload,
     compile_decided,
+    map_benchmarks,
     render_table,
     save_json,
 )
@@ -101,30 +102,32 @@ class Fig13Result:
         )
 
 
+def _benchmark_row(item: tuple[str, ExperimentConfig]) -> Fig13Row:
+    """Per-benchmark worker: RAP, GPU, and CPU operating points."""
+    name, config = item
+    cpu, gpu = CPUModel(), GPUModel()
+    workload = build_workload(name, config)
+    rap = _rap_point(workload, config)
+    ruleset = compile_decided(
+        workload.benchmark.patterns, config, workload.chosen_depth
+    )
+    gpu_point = gpu.operating_point(ruleset)
+    cpu_point = cpu.operating_point(ruleset)
+    return Fig13Row(
+        benchmark=name,
+        rap_power_w=rap.power_w,
+        rap_throughput=rap.throughput,
+        gpu_power_w=gpu_point.power_w,
+        gpu_throughput=gpu_point.throughput_gchps,
+        cpu_power_w=cpu_point.power_w,
+        cpu_throughput=cpu_point.throughput_gchps,
+    )
+
+
 def run(config: ExperimentConfig | None = None) -> Fig13Result:
     """Regenerate Fig. 13 and persist the results."""
     config = config or ExperimentConfig()
-    cpu, gpu = CPUModel(), GPUModel()
-    rows = []
-    for name in ALL_BENCHMARK_NAMES:
-        workload = build_workload(name, config)
-        rap = _rap_point(workload, config)
-        ruleset = compile_decided(
-            workload.benchmark.patterns, config, workload.chosen_depth
-        )
-        gpu_point = gpu.operating_point(ruleset)
-        cpu_point = cpu.operating_point(ruleset)
-        rows.append(
-            Fig13Row(
-                benchmark=name,
-                rap_power_w=rap.power_w,
-                rap_throughput=rap.throughput,
-                gpu_power_w=gpu_point.power_w,
-                gpu_throughput=gpu_point.throughput_gchps,
-                cpu_power_w=cpu_point.power_w,
-                cpu_throughput=cpu_point.throughput_gchps,
-            )
-        )
+    rows = map_benchmarks(_benchmark_row, ALL_BENCHMARK_NAMES, config)
     result = Fig13Result(rows)
     save_json(
         "fig13_cpu_gpu",

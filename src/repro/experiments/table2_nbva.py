@@ -19,6 +19,7 @@ from repro.experiments.common import (
     Workload,
     build_mode_workload,
     compile_forced,
+    map_benchmarks,
     render_table,
     save_csv,
     save_json,
@@ -133,13 +134,17 @@ def _assert_consistent(results: dict[str, SimulationResult], name: str) -> None:
             )
 
 
+def _benchmark_row(item: tuple[str, ExperimentConfig]) -> Table2Row:
+    """Per-benchmark worker: all five designs on one NBVA subset."""
+    name, config = item
+    workload = build_mode_workload(name, CompiledMode.NBVA, config)
+    return simulate_benchmark(workload, config)
+
+
 def run(config: ExperimentConfig | None = None) -> Table2Result:
     """Regenerate Table 2 and persist the results."""
     config = config or ExperimentConfig()
-    rows = []
-    for name in TABLE2_BENCHMARKS:
-        workload = build_mode_workload(name, CompiledMode.NBVA, config)
-        rows.append(simulate_benchmark(workload, config))
+    rows = map_benchmarks(_benchmark_row, TABLE2_BENCHMARKS, config)
     result = Table2Result(rows)
     save_json(
         "table2_nbva",

@@ -18,6 +18,7 @@ from repro.experiments.common import (
     build_mode_workload,
     compile_decided,
     compile_forced,
+    map_benchmarks,
     render_table,
     save_csv,
     save_json,
@@ -130,13 +131,17 @@ def simulate_benchmark(workload: Workload, config: ExperimentConfig) -> Table3Ro
     )
 
 
+def _benchmark_row(item: tuple[str, ExperimentConfig]) -> Table3Row:
+    """Per-benchmark worker: all five designs on one LNFA subset."""
+    name, config = item
+    workload = build_mode_workload(name, CompiledMode.LNFA, config)
+    return simulate_benchmark(workload, config)
+
+
 def run(config: ExperimentConfig | None = None) -> Table3Result:
     """Regenerate Table 3 and persist the results."""
     config = config or ExperimentConfig()
-    rows = []
-    for name in TABLE3_BENCHMARKS:
-        workload = build_mode_workload(name, CompiledMode.LNFA, config)
-        rows.append(simulate_benchmark(workload, config))
+    rows = map_benchmarks(_benchmark_row, TABLE3_BENCHMARKS, config)
     result = Table3Result(rows)
     save_json(
         "table3_lnfa",

@@ -12,13 +12,13 @@ from dataclasses import dataclass
 
 from repro.experiments.common import (
     ExperimentConfig,
-    compile_decided,
+    Workload,
+    map_benchmarks,
     render_table,
     save_csv,
     save_json,
 )
 from repro.experiments.fig12_asic import _rap_point
-from repro.experiments.common import Workload
 from repro.simulators.sw_models import FPGAModel
 from repro.workloads.anmlzoo import ANMLZOO_BENCHMARKS, generate_anmlzoo_benchmark
 from repro.workloads.inputs import generate_input
@@ -81,39 +81,41 @@ class Table4Result:
         )
 
 
+def _benchmark_row(item: tuple[str, ExperimentConfig]) -> Table4Row:
+    """Per-benchmark worker: RAP vs hAP on one ANMLZoo suite."""
+    name, config = item
+    fpga = FPGAModel()
+    benchmark = generate_anmlzoo_benchmark(
+        name, size=config.benchmark_size, seed=config.seed
+    )
+    weights = [
+        0.02 if mode == "NBVA" else 1.0
+        for mode in benchmark.intended_modes
+    ]
+    data = generate_input(
+        benchmark.profile.domain,
+        config.input_length,
+        seed=config.seed + 29,
+        patterns=benchmark.patterns,
+        plant_every=max(250, config.input_length // 10),
+        weights=weights,
+    )
+    workload = Workload(benchmark=benchmark, data=data)
+    rap = _rap_point(workload, config)
+    fpga_point = fpga.operating_point(name)
+    return Table4Row(
+        benchmark=name,
+        rap_power_w=rap.power_w,
+        rap_throughput=rap.throughput,
+        fpga_power_w=fpga_point.power_w,
+        fpga_throughput=fpga_point.throughput_gchps,
+    )
+
+
 def run(config: ExperimentConfig | None = None) -> Table4Result:
     """Regenerate Table 4 and persist the results."""
     config = config or ExperimentConfig()
-    fpga = FPGAModel()
-    rows = []
-    for name in ANMLZOO_BENCHMARKS:
-        benchmark = generate_anmlzoo_benchmark(
-            name, size=config.benchmark_size, seed=config.seed
-        )
-        weights = [
-            0.02 if mode == "NBVA" else 1.0
-            for mode in benchmark.intended_modes
-        ]
-        data = generate_input(
-            benchmark.profile.domain,
-            config.input_length,
-            seed=config.seed + 29,
-            patterns=benchmark.patterns,
-            plant_every=max(250, config.input_length // 10),
-            weights=weights,
-        )
-        workload = Workload(benchmark=benchmark, data=data)
-        rap = _rap_point(workload, config)
-        fpga_point = fpga.operating_point(name)
-        rows.append(
-            Table4Row(
-                benchmark=name,
-                rap_power_w=rap.power_w,
-                rap_throughput=rap.throughput,
-                fpga_power_w=fpga_point.power_w,
-                fpga_throughput=fpga_point.throughput_gchps,
-            )
-        )
+    rows = map_benchmarks(_benchmark_row, ANMLZOO_BENCHMARKS, config)
     result = Table4Result(rows)
     save_json(
         "table4_fpga",
@@ -131,7 +133,13 @@ def run(config: ExperimentConfig | None = None) -> Table4Result:
         "table4_fpga",
         ["benchmark", "rap_w", "rap_gchps", "hap_w", "hap_gchps"],
         [
-            (r.benchmark, r.rap_power_w, r.rap_throughput, r.fpga_power_w, r.fpga_throughput)
+            (
+                r.benchmark,
+                r.rap_power_w,
+                r.rap_throughput,
+                r.fpga_power_w,
+                r.fpga_throughput,
+            )
             for r in rows
         ],
     )

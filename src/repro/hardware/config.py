@@ -21,7 +21,7 @@ treats it as the inter-tile fan-out budget.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hardware.circuits import RAP_CLOCK_GHZ
 

@@ -57,6 +57,27 @@ class Metrics:
         """Throughput per square millimetre."""
         return self.throughput_gchps / self.area_mm2 if self.area_mm2 else 0.0
 
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Associative combination of two disjoint slices of work run on
+        the same hardware: energy, cycles, and input symbols accumulate;
+        area and leakage describe the (shared) hardware, so the larger
+        footprint wins.  Both operands must share a clock."""
+        if self.clock_ghz != other.clock_ghz:
+            raise ValueError(
+                f"cannot merge metrics at different clocks "
+                f"({self.clock_ghz} vs {other.clock_ghz} GHz)"
+            )
+        return Metrics(
+            energy_uj=self.energy_uj + other.energy_uj,
+            area_mm2=max(self.area_mm2, other.area_mm2),
+            cycles=self.cycles + other.cycles,
+            input_symbols=self.input_symbols + other.input_symbols,
+            clock_ghz=self.clock_ghz,
+            leakage_w=max(self.leakage_w, other.leakage_w),
+        )
+
+    __add__ = merge
+
 
 class EnergyLedger:
     """Accumulates dynamic energy (pJ) and area (um^2) per component."""
@@ -103,6 +124,16 @@ class EnergyLedger:
             self._area_um2[comp] = self._area_um2.get(comp, 0.0) + um2
         for comp, uw in other._leakage_uw.items():
             self._leakage_uw[comp] = self._leakage_uw.get(comp, 0.0) + uw
+
+    def __add__(self, other: "EnergyLedger") -> "EnergyLedger":
+        """Associative out-of-place :meth:`merge`: charges, areas, and
+        leakage accumulate per component, operands untouched."""
+        if not isinstance(other, EnergyLedger):
+            return NotImplemented
+        merged = EnergyLedger()
+        merged.merge(self)
+        merged.merge(other)
+        return merged
 
     # -- totals and breakdowns ---------------------------------------------
 

@@ -13,7 +13,6 @@ packs compiled regexes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.automata.glushkov import ReadKind
 from repro.compiler.program import TileRequest
@@ -30,8 +29,8 @@ class PhysicalTile:
     bv_columns: int = 0
     set1_columns: int = 0
     ports: int = 0
-    depth: Optional[int] = None
-    read: Optional[ReadKind] = None
+    depth: int | None = None
+    read: ReadKind | None = None
     occupants: list[tuple[int, TileRequest]] = field(default_factory=list)
 
     def compatible(self, request: TileRequest, hw: HardwareConfig) -> bool:

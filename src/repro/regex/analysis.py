@@ -11,7 +11,6 @@ into character-class sequences within the 2x state blowup allowance).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.regex.ast import (
     Alt,
@@ -60,7 +59,7 @@ class RegexProfile:
     nullable: bool
     has_unbounded: bool
     bounded_reps: tuple[BoundedRep, ...] = field(default_factory=tuple)
-    linearization: Optional[Linearization] = None
+    linearization: Linearization | None = None
 
     @property
     def has_countable_reps(self) -> bool:

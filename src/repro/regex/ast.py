@@ -16,8 +16,8 @@ trees without accumulating noise.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
 
 from repro.regex.charclass import CharClass
 
@@ -260,7 +260,7 @@ class Repeat(Regex):
 
     inner: Regex
     lo: int
-    hi: Optional[int]
+    hi: int | None
 
     __slots__ = ("inner", "lo", "hi")
 
@@ -383,7 +383,7 @@ def opt(inner: Regex) -> Regex:
     return Opt(inner)
 
 
-def repeat(inner: Regex, lo: int, hi: Optional[int]) -> Regex:
+def repeat(inner: Regex, lo: int, hi: int | None) -> Regex:
     """Bounded repetition with degenerate-case elimination."""
     if isinstance(inner, Empty):
         return EMPTY if lo > 0 else EPSILON

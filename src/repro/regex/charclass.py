@@ -14,8 +14,8 @@ membership test O(1) and keep the class hashable and immutable.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from functools import reduce
-from typing import Iterable, Iterator
 
 ALPHABET_SIZE = 256
 _FULL_MASK = (1 << ALPHABET_SIZE) - 1

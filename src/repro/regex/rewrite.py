@@ -21,7 +21,6 @@ Three rewriting families feed the three RAP modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.regex import ast
 from repro.regex.ast import (
@@ -285,7 +284,7 @@ def linearize(
     *,
     max_states: int,
     max_sequences: int = 4096,
-) -> Optional[Linearization]:
+) -> Linearization | None:
     """Rewrite ``regex`` into a union of character-class sequences.
 
     Returns ``None`` when the regex cannot be expressed that way (it
@@ -329,7 +328,7 @@ class _LinearBudget:
 
 def _linearize(
     regex: Regex, budget: _LinearBudget
-) -> Optional[list[tuple[CharClass, ...]]]:
+) -> list[tuple[CharClass, ...]] | None:
     if isinstance(regex, Empty):
         return []
     if isinstance(regex, Epsilon):

@@ -42,6 +42,32 @@ class RegexActivity:
         """Average active states per cycle."""
         return self.active_state_cycles / self.cycles if self.cycles else 0.0
 
+    def merge(self, other: "RegexActivity") -> "RegexActivity":
+        """Associative combination of two disjoint slices of one run.
+
+        Every field is an integer counter or a list of global indices, so
+        the merge is exact: folding per-chunk activities in chunk order
+        reproduces the whole-stream activity bit for bit (the invariant
+        the parallel engine's energy accounting rests on).
+        """
+        if (self.regex_id, self.mode) != (other.regex_id, other.mode):
+            raise ValueError("cannot merge activities of different regexes")
+        return RegexActivity(
+            regex_id=self.regex_id,
+            mode=self.mode,
+            cycles=self.cycles + other.cycles,
+            matches=self.matches + other.matches,
+            active_state_cycles=(
+                self.active_state_cycles + other.active_state_cycles
+            ),
+            bv_phase_cycles=self.bv_phase_cycles + other.bv_phase_cycles,
+            bv_cycle_indices=self.bv_cycle_indices + other.bv_cycle_indices,
+            bv_updates=self.bv_updates + other.bv_updates,
+            set1_events=self.set1_events + other.set1_events,
+            shift_events=self.shift_events + other.shift_events,
+            copy_events=self.copy_events + other.copy_events,
+        )
+
 
 @dataclass
 class BinActivity:
@@ -58,9 +84,48 @@ class BinActivity:
         """Total tile-cycles that could not be power-gated."""
         return sum(self.tile_active_cycles)
 
+    def merge(self, other: "BinActivity") -> "BinActivity":
+        """Associative combination of two disjoint slices of one run
+        (same exactness guarantee as :meth:`RegexActivity.merge`)."""
+        if self.bin is not other.bin and self.bin != other.bin:
+            raise ValueError("cannot merge activities of different bins")
+        matches = {rid: list(ends) for rid, ends in self.matches.items()}
+        for rid, ends in other.matches.items():
+            matches.setdefault(rid, []).extend(ends)
+        return BinActivity(
+            bin=self.bin,
+            cycles=self.cycles + other.cycles,
+            matches=matches,
+            tile_active_cycles=[
+                a + b
+                for a, b in zip(self.tile_active_cycles, other.tile_active_cycles)
+            ],
+            tile_active_bits=[
+                a + b
+                for a, b in zip(self.tile_active_bits, other.tile_active_bits)
+            ],
+        )
 
-def collect_regex_activity(compiled: CompiledRegex, data: bytes) -> RegexActivity:
-    """Run one NFA- or NBVA-mode regex and harvest its event counts."""
+
+def collect_regex_activity(
+    compiled: CompiledRegex,
+    data: bytes,
+    *,
+    base: int = 0,
+    stats_from: int = 0,
+) -> RegexActivity:
+    """Run one NFA- or NBVA-mode regex and harvest its event counts.
+
+    ``data`` may be a slice of a longer stream starting at global offset
+    ``base``: reported match positions and BV cycle indices are globally
+    offset.  ``stats_from`` marks the first slice-local index that this
+    chunk owns; earlier bytes only warm the active set up (the parallel
+    engine's overlap window) and contribute nothing to the counters.
+    Warm-up is only sound for window-bounded regexes — see
+    :func:`repro.engine.partition.required_overlap` — and is not
+    supported for NBVA-mode regexes (their counter vectors carry
+    unbounded history).
+    """
     if compiled.mode is CompiledMode.LNFA:
         raise ValueError("LNFA regexes are executed per bin; see collect_bin_activity")
     assert compiled.automaton is not None
@@ -71,27 +136,30 @@ def collect_regex_activity(compiled: CompiledRegex, data: bytes) -> RegexActivit
     if compiled.mode is CompiledMode.NFA:
         stats = StepStats()
         matches = NFASimulator(compiled.automaton).find_matches(
-            data, stats, **anchors
+            data, stats, stats_from=stats_from, **anchors
         )
         return RegexActivity(
             regex_id=compiled.regex_id,
             mode=compiled.mode,
             cycles=stats.cycles,
-            matches=matches,
+            matches=[base + m for m in matches] if base else matches,
             active_state_cycles=stats.active_states,
         )
+    if stats_from:
+        raise ValueError("NBVA regexes cannot be chunk-windowed")
     stats = NBVAStats(bv_cycle_indices=[])
     matches = NBVASimulator(compiled.automaton).find_matches(
         data, stats, **anchors
     )
+    bv_indices = stats.bv_cycle_indices or []
     return RegexActivity(
         regex_id=compiled.regex_id,
         mode=compiled.mode,
         cycles=stats.cycles,
-        matches=matches,
+        matches=[base + m for m in matches] if base else matches,
         active_state_cycles=stats.active_states,
         bv_phase_cycles=stats.bv_phase_cycles,
-        bv_cycle_indices=stats.bv_cycle_indices or [],
+        bv_cycle_indices=[base + i for i in bv_indices] if base else bv_indices,
         bv_updates=stats.bv_updates,
         set1_events=stats.set1_events,
         shift_events=stats.shift_events,
@@ -100,9 +168,19 @@ def collect_regex_activity(compiled: CompiledRegex, data: bytes) -> RegexActivit
 
 
 def collect_bin_activity(
-    bin_obj: Bin, data: bytes, hw: HardwareConfig
+    bin_obj: Bin,
+    data: bytes,
+    hw: HardwareConfig,
+    *,
+    base: int = 0,
+    stats_from: int = 0,
 ) -> BinActivity:
     """Run one LNFA bin, tracking which of its tiles wake up each cycle.
+
+    ``base``/``stats_from`` have the same chunk-windowing semantics as in
+    :func:`collect_regex_activity`: the slice's first ``stats_from``
+    bytes warm up the shift registers without being counted, and match
+    positions are offset to the global stream.
 
     The bin's LNFAs are mapped regex-sliced: tile ``t`` holds states
     ``[t * region, (t + 1) * region)`` of every member, where ``region``
@@ -146,6 +224,8 @@ def collect_bin_activity(
     cycles = 0
     last = len(data) - 1
     for i, states in packed.iter_states(data):
+        if i < stats_from:
+            continue
         cycles += 1
         tile_active_cycles[0] += 1  # initial tile is never gated
         tile_active_bits[0] += (states & tile_masks[0]).bit_count()
@@ -160,7 +240,7 @@ def collect_bin_activity(
         while hits:
             low = hits & -hits
             hits ^= low
-            matches[finals[low.bit_length() - 1]].append(i)
+            matches[finals[low.bit_length() - 1]].append(base + i)
     return BinActivity(
         bin=bin_obj,
         cycles=cycles,

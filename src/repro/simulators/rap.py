@@ -32,6 +32,8 @@ from repro.mapping.binning import BinKind
 from repro.mapping.mapper import Mapping, map_ruleset
 from repro.mapping.resources import ArrayBuilder
 from repro.simulators.activity import (
+    BinActivity,
+    RegexActivity,
     collect_bin_activity,
     collect_regex_activity,
 )
@@ -43,6 +45,23 @@ from repro.simulators.result import ArrayReport, SimulationResult
 class _ArrayOutcome:
     cycles: int
     stalls: int
+
+
+@dataclass
+class RunActivity:
+    """All functional activity of one run over one input stream.
+
+    This is the integer-exact intermediate the parallel engine merges:
+    ``regex`` holds per-regex event counts for NFA/NBVA modes, and
+    ``lnfa_bins`` the per-bin wake-up statistics of every LNFA array,
+    keyed by the array's index in the mapping.  Pricing a merged
+    ``RunActivity`` performs the same float operations as pricing a
+    sequential run, so parallel results are bit-identical.
+    """
+
+    regex: dict[int, RegexActivity]
+    lnfa_bins: dict[int, list[BinActivity]]
+    input_symbols: int
 
 
 class RAPSimulator(ApStyleSimulator):
@@ -59,6 +78,36 @@ class RAPSimulator(ApStyleSimulator):
         self.circuits = circuits
         self.params = dataclasses.replace(self.params, name="RAP")
 
+    def build_mapping(
+        self, ruleset: CompiledRuleset, bin_size: int | None = None
+    ) -> Mapping:
+        """The deterministic tile/array mapping of a ruleset."""
+        return map_ruleset(ruleset, self.hw, bin_size=bin_size)
+
+    def collect_activities(
+        self,
+        ruleset: CompiledRuleset,
+        data: bytes,
+        mapping: Mapping,
+    ) -> RunActivity:
+        """Phase 1: run the functional engines and count every event."""
+        regex = {
+            r.regex_id: collect_regex_activity(r, data)
+            for r in ruleset
+            if r.mode is not CompiledMode.LNFA
+        }
+        lnfa_bins = {
+            index: [
+                collect_bin_activity(bin_obj, data, self.hw)
+                for bin_obj in array.bins
+            ]
+            for index, array in enumerate(mapping.arrays)
+            if array.mode is TileMode.LNFA
+        }
+        return RunActivity(
+            regex=regex, lnfa_bins=lnfa_bins, input_symbols=len(data)
+        )
+
     def run(
         self,
         ruleset: CompiledRuleset,
@@ -68,30 +117,40 @@ class RAPSimulator(ApStyleSimulator):
     ) -> SimulationResult:
         """Simulate the mapped ruleset on RAP over ``data``."""
         if mapping is None:
-            mapping = map_ruleset(ruleset, self.hw, bin_size=bin_size)
+            mapping = self.build_mapping(ruleset, bin_size=bin_size)
+        activity = self.collect_activities(ruleset, data, mapping)
+        return self.run_from_activity(ruleset, activity, mapping)
+
+    def run_from_activity(
+        self,
+        ruleset: CompiledRuleset,
+        activity: RunActivity,
+        mapping: Mapping,
+    ) -> SimulationResult:
+        """Phase 2: price a run's collected activity with the Table 1
+        circuit models.  Deterministic given ``activity`` — the parallel
+        engine merges per-chunk activities and prices them here once."""
         ledger = EnergyLedger()
         matches: dict[int, list[int]] = {}
         compiled_by_id = {r.regex_id: r for r in ruleset}
-        activities = {
-            r.regex_id: collect_regex_activity(r, data)
-            for r in ruleset
-            if r.mode is not CompiledMode.LNFA
-        }
-        for activity in activities.values():
-            matches[activity.regex_id] = activity.matches
+        activities = activity.regex
+        for regex_activity in activities.values():
+            matches[regex_activity.regex_id] = regex_activity.matches
         for r in ruleset:
             if r.mode is CompiledMode.LNFA:
                 matches[r.regex_id] = []
 
-        n = len(data)
+        n = activity.input_symbols
         total_stalls = 0
         worst_cycles = n if n else 0
         array_reports: list[ArrayReport] = []
-        for array in mapping.arrays:
+        for index, array in enumerate(mapping.arrays):
             if array.mode is TileMode.LNFA:
                 # structure charged inside, with leakage scaled by the
                 # measured power-gating duty cycle (Fig. 7)
-                self._charge_lnfa_array(ledger, array, data, matches)
+                self._charge_lnfa_array(
+                    ledger, array, activity.lnfa_bins[index], n, matches
+                )
                 outcome = _ArrayOutcome(cycles=n, stalls=0)
                 total_stalls += outcome.stalls
                 worst_cycles = max(worst_cycles, outcome.cycles)
@@ -227,15 +286,11 @@ class RAPSimulator(ApStyleSimulator):
         self,
         ledger: EnergyLedger,
         array: ArrayBuilder,
-        data: bytes,
+        activities: list[BinActivity],
+        cycles: int,
         matches: dict[int, list[int]],
     ) -> None:
         p = self.params
-        cycles = len(data)
-        activities = [
-            collect_bin_activity(bin_obj, data, self.hw)
-            for bin_obj in array.bins
-        ]
         # Tile area is physical; tile leakage follows the power-gating
         # duty cycle (a gated tile retains its configuration at ~10% of
         # active leakage).

@@ -81,3 +81,45 @@ class SimulationResult:
             f"power={self.power_w:.3f}W "
             f"matches={self.match_count}"
         )
+
+    def merge(self, other: "SimulationResult") -> "SimulationResult":
+        """Associative combination of two shards of one batch.
+
+        Both shards must come from the same architecture; the merged
+        record models the same hardware having processed both inputs:
+        energy, cycles, input symbols, and stalls accumulate, the
+        hardware footprint (area, arrays, tiles) takes the larger shard,
+        matches union per regex (sorted, deduplicated), and per-array
+        reports concatenate.  Replaces the ad-hoc aggregation experiment
+        scripts used to do by hand.
+        """
+        if self.architecture != other.architecture:
+            raise ValueError(
+                f"cannot merge results from different architectures "
+                f"({self.architecture!r} vs {other.architecture!r})"
+            )
+        matches = {
+            rid: sorted(
+                set(self.matches.get(rid, ())) | set(other.matches.get(rid, ()))
+            )
+            for rid in sorted(set(self.matches) | set(other.matches))
+        }
+        energy = dict(self.energy_breakdown_pj)
+        for comp, pj in other.energy_breakdown_pj.items():
+            energy[comp] = energy.get(comp, 0.0) + pj
+        area = dict(self.area_breakdown_um2)
+        for comp, um2 in other.area_breakdown_um2.items():
+            area[comp] = max(area.get(comp, 0.0), um2)
+        return SimulationResult(
+            architecture=self.architecture,
+            metrics=self.metrics.merge(other.metrics),
+            matches=matches,
+            energy_breakdown_pj=energy,
+            area_breakdown_um2=area,
+            stall_cycles=self.stall_cycles + other.stall_cycles,
+            arrays=max(self.arrays, other.arrays),
+            tiles=max(self.tiles, other.tiles),
+            array_reports=self.array_reports + other.array_reports,
+        )
+
+    __add__ = merge

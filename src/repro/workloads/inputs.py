@@ -10,7 +10,7 @@ counter traffic, match reporting, and bin wake-ups.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.regex.parser import parse_anchored
 from repro.workloads.witness import sample_witness

@@ -2,7 +2,6 @@
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.automata.bitserial import BitSerialLNFA, format_trace
 from repro.automata.lnfa import LNFA

@@ -9,7 +9,6 @@ from repro.automata.glushkov import (
     ReadKind,
     build_automaton,
 )
-from repro.regex.charclass import CharClass
 from repro.regex.parser import parse
 from repro.regex.rewrite import rewrite_bounds_for_bv, unfold, unfold_all
 

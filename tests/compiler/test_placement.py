@@ -3,7 +3,7 @@
 from repro.automata.glushkov import build_automaton
 from repro.compiler.nfa_compiler import nfa_tile_requests, place_nfa
 from repro.compiler.placement import Placement, cross_tile_edges, global_ports
-from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+from repro.hardware.config import DEFAULT_CONFIG
 from repro.regex.parser import parse
 
 HW = DEFAULT_CONFIG

@@ -1,0 +1,203 @@
+"""Batch-engine tests: parallel output must be bit-identical to sequential.
+
+The expensive multi-process paths run a couple of times on fixed
+workloads; the hypothesis property drives the chunk-stitching machinery
+in-process (same code the workers run, without fork overhead) so it can
+afford many examples.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CompilerConfig, compile_ruleset
+from repro.engine import (
+    BatchEngine,
+    BatchTask,
+    EngineConfig,
+    effective_jobs,
+    plan_chunks,
+    required_overlap,
+)
+from repro.engine import batch as batch_mod
+from repro.simulators import RAPSimulator
+
+# All bounded-memory (acyclic, unanchored, no counters): chunkable.
+WINDOWABLE = ["abcd", "ab?cd", "a[bc]d", "bcx"]
+# Counters and unbounded repetition: sharded fallback territory.
+UNBOUNDED = ["za{20}", "ab*c"]
+
+
+def compiled(patterns):
+    return compile_ruleset(patterns, CompilerConfig())
+
+
+def chunked_scan_inprocess(ruleset, data, overlap, pieces):
+    """Drive the exact worker/merge code path without a process pool."""
+    engine = BatchEngine(EngineConfig(use_cache=False))
+    sim = RAPSimulator()
+    mapping = sim.build_mapping(ruleset, bin_size=None)
+    chunks = plan_chunks(len(data), pieces, overlap, min_owned=1)
+    units = BatchEngine._work_units(ruleset, mapping, chunks)
+    if len(units) <= 1:  # the engine's own sequential fallback
+        return sim.run(ruleset, data)
+    payload = pickle.dumps((ruleset, data, None, engine.hw))
+    batch_mod._init_scan_worker(payload)
+    outcomes = [batch_mod._scan_unit(unit) for unit in units]
+    activity = BatchEngine._merge_outcomes(ruleset, mapping, outcomes, len(data))
+    return sim.run_from_activity(ruleset, activity, mapping)
+
+
+class TestPartitionPlanning:
+    def test_chunks_tile_the_stream(self):
+        chunks = plan_chunks(1000, 4, overlap=7)
+        assert chunks[0].start == 0
+        assert chunks[-1].end == 1000
+        for prev, cur in zip(chunks, chunks[1:]):
+            assert cur.start == prev.end
+            assert cur.warm_start == cur.start - 7
+        assert chunks[0].warm_start == 0
+
+    def test_min_owned_limits_pieces(self):
+        assert len(plan_chunks(100, 8, overlap=1, min_owned=40)) <= 2
+        assert plan_chunks(0, 4, overlap=1) == []
+
+    def test_required_overlap_windowable(self):
+        overlap = required_overlap(compiled(WINDOWABLE))
+        # Must cover the longest pattern's state memory.
+        assert overlap is not None
+        assert overlap >= 4
+
+    def test_required_overlap_refuses_unbounded(self):
+        assert required_overlap(compiled(["ab*c"])) is None  # cyclic NFA
+        assert required_overlap(compiled(["za{20}"])) is None  # counter
+        assert required_overlap(compiled(["^abcd"])) is None  # anchor
+
+    def test_effective_jobs(self):
+        assert effective_jobs(3) == 3
+        assert effective_jobs(1) == 1
+        assert effective_jobs(0) >= 1
+        assert effective_jobs(None) >= 1
+
+
+class TestChunkedScan:
+    def test_boundary_straddling_match(self):
+        ruleset = compiled(["abcd"])
+        overlap = required_overlap(ruleset)
+        # Two chunks of 32; "abcd" straddles the 32-byte boundary.
+        data = bytearray(b"x" * 64)
+        data[30:34] = b"abcd"
+        seq = RAPSimulator().run(ruleset, bytes(data))
+        par = chunked_scan_inprocess(ruleset, bytes(data), overlap, 2)
+        assert 33 in par.matches[0]
+        assert par == seq
+
+    def test_match_inside_warmup_not_duplicated(self):
+        ruleset = compiled(["abcd"])
+        overlap = required_overlap(ruleset)
+        # A match entirely inside chunk 1's warm-up window must be
+        # reported exactly once (by chunk 0, which owns it).
+        data = bytearray(b"x" * 40)
+        data[16:20] = b"abcd"
+        seq = RAPSimulator().run(ruleset, bytes(data))
+        par = chunked_scan_inprocess(ruleset, bytes(data), overlap, 2)
+        assert par.matches == seq.matches
+        assert par == seq
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        patterns=st.lists(
+            st.sampled_from(WINDOWABLE), min_size=1, max_size=3, unique=True
+        ),
+        data=st.text(alphabet="abcdx", max_size=120).map(
+            lambda s: s.encode()
+        ),
+        pieces=st.integers(min_value=2, max_value=5),
+        slack=st.integers(min_value=0, max_value=3),
+    )
+    def test_chunked_equals_sequential(self, patterns, data, pieces, slack):
+        ruleset = compiled(patterns)
+        overlap = required_overlap(ruleset)
+        assert overlap is not None
+        seq = RAPSimulator().run(ruleset, data)
+        par = chunked_scan_inprocess(ruleset, data, overlap + slack, pieces)
+        assert par.matches == seq.matches
+        assert par.energy_breakdown_pj == seq.energy_breakdown_pj
+        assert par == seq
+
+
+class TestParallelScan:
+    def test_pool_chunked_scan_identical(self):
+        ruleset = compiled(WINDOWABLE)
+        data = (b"x" * 97 + b"abcd" + b"y" * 30) * 40
+        engine = BatchEngine(
+            EngineConfig(jobs=2, use_cache=False, min_chunk_bytes=256)
+        )
+        assert required_overlap(ruleset) is not None
+        assert engine.scan(ruleset, data) == RAPSimulator().run(ruleset, data)
+
+    def test_pool_sharded_fallback_identical(self):
+        # Counters + a cyclic NFA force per-regex sharding over the
+        # whole stream; LNFA literals add per-bin units.
+        ruleset = compiled(WINDOWABLE + UNBOUNDED)
+        assert required_overlap(ruleset) is None
+        data = (b"za" * 40 + b"abcd" + b"abbc" + b"x" * 20) * 8
+        engine = BatchEngine(EngineConfig(jobs=2, use_cache=False))
+        assert engine.scan(ruleset, data) == RAPSimulator().run(ruleset, data)
+
+    def test_jobs_one_is_the_reference_path(self):
+        ruleset = compiled(WINDOWABLE)
+        data = b"xabcdx" * 50
+        engine = BatchEngine(EngineConfig(jobs=1, use_cache=False))
+        assert engine.scan(ruleset, data) == RAPSimulator().run(ruleset, data)
+
+    def test_empty_input(self):
+        engine = BatchEngine(EngineConfig(jobs=2, use_cache=False))
+        result = engine.scan(compiled(["abcd"]), b"")
+        assert result.match_count == 0
+
+
+class TestRunBatch:
+    def test_batch_matches_sequential_runs(self):
+        ruleset = compiled(WINDOWABLE + UNBOUNDED)
+        streams = [b"abcd" * 30, b"za" * 60, b"abbbc" * 25]
+        tasks = [BatchTask(data=s, ruleset=ruleset) for s in streams]
+        engine = BatchEngine(EngineConfig(jobs=2, use_cache=False))
+        results = engine.run_batch(tasks)
+        sim = RAPSimulator()
+        expected = [sim.run(ruleset, s) for s in streams]
+        assert results == expected  # same values, same (task) order
+
+    def test_task_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BatchTask(data=b"x")
+        with pytest.raises(ValueError):
+            BatchTask(
+                data=b"x", patterns=("a",), ruleset=compiled(["a"])
+            )
+
+    def test_merge_results_folds_left(self):
+        ruleset = compiled(["abcd"])
+        sim = RAPSimulator()
+        shards = [sim.run(ruleset, b"abcd" * n) for n in (1, 2, 3)]
+        engine = BatchEngine(EngineConfig(use_cache=False))
+        merged = engine.merge_results(shards)
+        assert merged == (shards[0] + shards[1]) + shards[2]
+
+    def test_compile_through_cache(self, tmp_path):
+        engine = BatchEngine(
+            EngineConfig(jobs=1, use_cache=True, cache_dir=str(tmp_path))
+        )
+        first = engine.compile(["abcd", "a[bc]d"])
+        second = engine.compile(["abcd", "a[bc]d"])
+        assert engine.cache.hits == 1
+        assert [r.pattern for r in second] == [r.pattern for r in first]
+
+    def test_tasks_compile_lazily(self):
+        task = BatchTask(data=b"abcd", patterns=("abcd",))
+        engine = BatchEngine(EngineConfig(jobs=1, use_cache=False))
+        (result,) = engine.run_batch([task])
+        assert result.matches[0] == [3]

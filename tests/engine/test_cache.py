@@ -1,0 +1,130 @@
+"""Compile-cache tests: keying, invalidation, and corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.compiler import CompilerConfig
+from repro.engine import cache as cache_mod
+from repro.engine.cache import (
+    CACHE_DIR_ENV,
+    CompileCache,
+    cached_compile_ruleset,
+    default_cache_dir,
+    ruleset_cache_key,
+)
+from repro.hardware.config import DEFAULT_CONFIG
+from repro.io.serialize import ruleset_to_json
+
+PATTERNS = ["abc", "a{4}b", "x[yz]w"]
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        a = ruleset_cache_key(PATTERNS, CompilerConfig())
+        b = ruleset_cache_key(list(PATTERNS), CompilerConfig())
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_key_tracks_patterns(self):
+        base = ruleset_cache_key(PATTERNS)
+        assert ruleset_cache_key(PATTERNS + ["q"]) != base
+        # Order is part of the compile's identity (regex ids).
+        assert ruleset_cache_key(list(reversed(PATTERNS))) != base
+
+    def test_key_tracks_compiler_config(self):
+        base = ruleset_cache_key(PATTERNS, CompilerConfig())
+        assert (
+            ruleset_cache_key(PATTERNS, CompilerConfig(bv_depth=32)) != base
+        )
+        assert (
+            ruleset_cache_key(PATTERNS, CompilerConfig(unfold_threshold=3))
+            != base
+        )
+
+    def test_key_tracks_hardware_config(self):
+        import dataclasses
+
+        base = ruleset_cache_key(PATTERNS, CompilerConfig())
+        hw = dataclasses.replace(DEFAULT_CONFIG, clock_ghz=9.9)
+        assert ruleset_cache_key(PATTERNS, CompilerConfig(hw=hw)) != base
+
+    def test_key_tracks_format_version(self, monkeypatch):
+        base = ruleset_cache_key(PATTERNS)
+        monkeypatch.setattr(
+            cache_mod, "FORMAT_VERSION", cache_mod.FORMAT_VERSION + 1
+        )
+        assert ruleset_cache_key(PATTERNS) != base
+
+    def test_non_string_patterns_rejected(self):
+        with pytest.raises(TypeError):
+            ruleset_cache_key([b"abc"])
+
+
+class TestCacheDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "over"))
+        assert default_cache_dir() == tmp_path / "over"
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir().name == "rap-repro"
+
+
+class TestCompileCache:
+    def test_miss_then_hit_round_trips(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cold = cached_compile_ruleset(PATTERNS, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        warm = cached_compile_ruleset(PATTERNS, cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert ruleset_to_json(warm) == ruleset_to_json(cold)
+
+    def test_different_config_different_entry(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cached_compile_ruleset(PATTERNS, CompilerConfig(), cache)
+        cached_compile_ruleset(PATTERNS, CompilerConfig(bv_depth=32), cache)
+        assert cache.misses == 2
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = CompileCache(tmp_path)
+        cached_compile_ruleset(PATTERNS, cache=cache)
+        monkeypatch.setattr(
+            cache_mod, "FORMAT_VERSION", cache_mod.FORMAT_VERSION + 1
+        )
+        cached_compile_ruleset(PATTERNS, cache=cache)
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cold = cached_compile_ruleset(PATTERNS, cache=cache)
+        key = ruleset_cache_key(PATTERNS, CompilerConfig())
+        cache.path(key).write_text("{ not json")
+        again = cached_compile_ruleset(PATTERNS, cache=cache)
+        assert ruleset_to_json(again) == ruleset_to_json(cold)
+        # The bad entry was replaced with a good one.
+        assert cache.get(key) is not None
+
+    def test_truncated_json_recovers(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cached_compile_ruleset(PATTERNS, cache=cache)
+        key = ruleset_cache_key(PATTERNS, CompilerConfig())
+        full = cache.path(key).read_text()
+        cache.path(key).write_text(full[: len(full) // 2])
+        assert cache.get(key) is None
+        assert not cache.path(key).exists()
+
+    def test_wrong_document_recovers(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        key = ruleset_cache_key(PATTERNS, CompilerConfig())
+        cache.root.mkdir(parents=True, exist_ok=True)
+        cache.path(key).write_text(json.dumps({"format": "other"}))
+        assert cache.get(key) is None
+
+    def test_put_is_atomic(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cached_compile_ruleset(PATTERNS, cache=cache)
+        # No temp droppings survive a successful write.
+        assert list(tmp_path.glob("*.tmp")) == []

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 
 from repro.automata.glushkov import build_automaton
 from repro.automata.nbva import NBVASimulator
-from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
+from repro.compiler import CompilerConfig, compile_ruleset
 from repro.io.serialize import (
     SerializationError,
     automaton_from_json,

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.automata.lnfa import LNFA
 from repro.hardware.config import DEFAULT_CONFIG
 from repro.mapping.binning import (
-    Bin,
     BinItem,
     BinKind,
     plan_bins,

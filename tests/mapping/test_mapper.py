@@ -5,8 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compiler import CompilerConfig, compile_ruleset
-from repro.compiler.program import CompiledMode
-from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig, TileMode
+from repro.hardware.config import DEFAULT_CONFIG, TileMode
 from repro.mapping.mapper import Mapping, MappingError, map_ruleset
 
 HW = DEFAULT_CONFIG

@@ -101,7 +101,9 @@ class TestAnalyze:
 
     def test_not_linearizable_beyond_blowup(self):
         # (a|bbbbbbbb){3}: linearization needs up to 24 states from 9 unfolded.
-        profile = analyze(parse("(?:a|bbbbbbbb){3}"), unfold_threshold=8, lnfa_blowup=1.5)
+        profile = analyze(
+            parse("(?:a|bbbbbbbb){3}"), unfold_threshold=8, lnfa_blowup=1.5
+        )
         assert not profile.is_linearizable
 
     def test_unbounded_never_linearizable(self):

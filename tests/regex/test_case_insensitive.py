@@ -1,6 +1,5 @@
 """Case-insensitive (?i) support tests."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

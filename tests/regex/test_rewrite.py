@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.regex import ast
 from repro.regex.ast import Repeat
 from repro.regex.charclass import CharClass
 from repro.regex.parser import parse

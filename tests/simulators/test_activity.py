@@ -4,7 +4,7 @@ import pytest
 
 from repro.compiler import CompiledMode, CompilerConfig, compile_pattern
 from repro.hardware.config import DEFAULT_CONFIG
-from repro.mapping.binning import BinItem, BinKind, plan_bins
+from repro.mapping.binning import BinItem, plan_bins
 from repro.simulators.activity import (
     collect_bin_activity,
     collect_regex_activity,

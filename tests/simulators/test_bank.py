@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
-from repro.simulators.bank import ArrayStream, BankIoResult, BankSimulator
+from repro.simulators.bank import ArrayStream, BankSimulator
 
 
 def stream(name="a0", stalls=None, reports=()):

@@ -64,7 +64,7 @@ class TestScan:
         assert code == 0
         captured = capsys.readouterr()
         assert "matches over" in captured.err
-        lines = [l for l in captured.out.splitlines() if l]
+        lines = [line for line in captured.out.splitlines() if line]
         assert lines, "the planted payloads must match"
         end, regex_id, pattern = lines[0].split("\t")
         assert int(end) >= 0 and pattern

@@ -40,7 +40,7 @@ def test_network_rules_scan_synthetic_traffic(tmp_path, capsys):
     )
     assert code == 0
     captured = capsys.readouterr()
-    hits = [l for l in captured.out.splitlines() if l]
+    hits = [line for line in captured.out.splitlines() if line]
     matched_patterns = {line.split("\t")[2] for line in hits}
     assert "user-agent: scanbot[0-9]{2,8}" in matched_patterns
     assert "cmd\\.exe.*whoami" in matched_patterns
@@ -57,5 +57,5 @@ def test_malware_signatures_scan_binary(tmp_path, capsys):
         ["scan", "--patterns", str(RULES_DIR / "malware.sig"), str(image)]
     )
     assert code == 0
-    hits = [l for l in capsys.readouterr().out.splitlines() if l]
+    hits = [line for line in capsys.readouterr().out.splitlines() if line]
     assert len(hits) >= 2  # the MZ..PE and ELF signatures fire
