@@ -24,7 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.automata.lnfa import LNFA
-from repro.regex.charclass import ALPHABET_SIZE
+from repro.core.program import KernelProgram, ProgramKind
+from repro.core.registry import get_kernel
+from repro.regex.charclass import label_masks
 
 
 @dataclass(frozen=True)
@@ -49,11 +51,10 @@ class BitSerialLNFA:
         self._final = 1  # LSB: state q(n-1)
         self._anchored_start = anchored_start
         # labels[c] bit (n-1-i) set iff column i's CC matches byte c
-        self._labels = [0] * ALPHABET_SIZE
-        for i, cc in enumerate(lnfa.labels):
-            bit = 1 << (n - 1 - i)
-            for byte in cc:
-                self._labels[byte] |= bit
+        self._labels = tuple(
+            label_masks((n - 1 - i, cc) for i, cc in enumerate(lnfa.labels))
+        )
+        self._programs: dict[bool, KernelProgram] = {}
 
     @property
     def lnfa(self) -> LNFA:
@@ -85,23 +86,30 @@ class BitSerialLNFA:
             )
         return out
 
+    def program(self, *, anchored_end: bool = False) -> KernelProgram:
+        """The kernel program for this datapath (cached per end anchor)."""
+        prog = self._programs.get(anchored_end)
+        if prog is None:
+            prog = KernelProgram(
+                kind=ProgramKind.SHIFT_RIGHT,
+                width=self._width,
+                labels=self._labels,
+                inject_first=self._initial,
+                inject_always=0 if self._anchored_start else self._initial,
+                final=self._final,
+                end_anchored_finals=self._final if anchored_end else 0,
+            )
+            self._programs[anchored_end] = prog
+        return prog
+
     def find_matches(
         self, data: bytes, *, anchored_end: bool = False
     ) -> list[int]:
         """All end positions of non-empty matches in ``data``."""
-        labels = self._labels
-        initial = self._initial
-        final = self._final
-        anchored_start = self._anchored_start
-        last = len(data) - 1
-        states = 0
-        out = []
-        for i, byte in enumerate(data):
-            inject = 0 if anchored_start and i else initial
-            states = (states >> 1 | inject) & labels[byte]
-            if states & final and (not anchored_end or i == last):
-                out.append(i)
-        return out
+        events, _ = get_kernel().scan(
+            self.program(anchored_end=anchored_end), data
+        )
+        return [i for i, _ in events]
 
     def active_columns(self, states: int) -> list[int]:
         """Which CAM columns the active vector keeps enabled (the power

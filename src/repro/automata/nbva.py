@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.automata.glushkov import Automaton, EdgeAction
-from repro.regex.charclass import ALPHABET_SIZE
+from repro.regex.charclass import ALPHABET_SIZE, label_masks, members
 
 
 @dataclass
@@ -116,16 +116,18 @@ class NBVASimulator:
             else:
                 self._final_plain |= 1 << pid
 
-        self._labels = [0] * ALPHABET_SIZE  # over plain positions
+        # Per-byte tables over plain positions (one shared expansion) and
+        # counted positions (sets — the BV loop below walks live vectors
+        # and stays pure-Python regardless of the selected backend: its
+        # per-state counter dataflow is not a bitset program).
+        self._labels = label_masks(
+            (pos.pid, pos.cc) for pos in positions if not pos.is_counted
+        )
         self._counted_match = [set() for _ in range(ALPHABET_SIZE)]
         for pos in positions:
             if pos.is_counted:
-                for byte in pos.cc:
+                for byte in members(pos.cc):
                     self._counted_match[byte].add(pos.pid)
-            else:
-                bit = 1 << pos.pid
-                for byte in pos.cc:
-                    self._labels[byte] |= bit
 
     @property
     def automaton(self) -> Automaton:

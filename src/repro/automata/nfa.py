@@ -7,44 +7,23 @@ mask) and a *state-transition* phase (OR together the successor masks of
 the active states).  Active-state sets are Python integers used as
 bitsets, which keeps the inner loop allocation-free.
 
-The simulator also exposes per-cycle activity statistics (how many states
-were active, how many matched the symbol) because the hardware simulators
-derive their energy accounting from exactly these counts.
+The loop itself lives in the execution-core layer: this module lowers an
+automaton to a :class:`~repro.core.program.KernelProgram` (a ``GATHER``
+machine) and delegates scanning to the registered step kernel, so the
+same simulator runs on the stdlib bitset kernel or the NumPy
+block-vectorized one.  The per-cycle activity statistics the hardware
+simulators price come back as the kernel's exact integer counters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.automata.glushkov import Automaton, EdgeAction
-from repro.regex.charclass import ALPHABET_SIZE
+from repro.core.kernel import StepStats
+from repro.core.program import KernelProgram, ProgramKind
+from repro.core.registry import get_kernel
+from repro.regex.charclass import label_masks
 
-
-@dataclass
-class StepStats:
-    """Aggregate activity counters accumulated over a run."""
-
-    cycles: int = 0
-    active_states: int = 0  # sum over cycles of |active set|
-    matched_states: int = 0  # sum over cycles of |states matching the symbol|
-    reports: int = 0
-
-    @property
-    def mean_active(self) -> float:
-        """Average number of active states/bits per cycle."""
-        return self.active_states / self.cycles if self.cycles else 0.0
-
-    def merge(self, other: "StepStats") -> "StepStats":
-        """Associative combination of two runs' counters (all integers,
-        so merging is exact — the parallel engine relies on this)."""
-        return StepStats(
-            cycles=self.cycles + other.cycles,
-            active_states=self.active_states + other.active_states,
-            matched_states=self.matched_states + other.matched_states,
-            reports=self.reports + other.reports,
-        )
-
-    __add__ = merge
+__all__ = ["NFASimulator", "StepStats"]
 
 
 class NFASimulator:
@@ -62,16 +41,41 @@ class NFASimulator:
         n = automaton.state_count
         self._initial = _mask(automaton.initial)
         self._final = _mask(automaton.finals)
-        self._labels = _label_masks(automaton)
-        self._succ = [0] * n
+        self._labels = tuple(
+            label_masks((pos.pid, pos.cc) for pos in automaton.positions)
+        )
+        succ = [0] * n
         for edge in automaton.edges:
             assert edge.action is EdgeAction.ACTIVATE
-            self._succ[edge.src] |= 1 << edge.dst
+            succ[edge.src] |= 1 << edge.dst
+        self._succ = tuple(succ)
+        self._programs: dict[tuple[bool, bool], KernelProgram] = {}
 
     @property
     def automaton(self) -> Automaton:
         """The automaton this simulator executes."""
         return self._automaton
+
+    def program(
+        self, *, anchored_start: bool = False, anchored_end: bool = False
+    ) -> KernelProgram:
+        """The kernel program for one anchoring combination (cached)."""
+        key = (anchored_start, anchored_end)
+        prog = self._programs.get(key)
+        if prog is None:
+            prog = KernelProgram(
+                kind=ProgramKind.GATHER,
+                width=self._automaton.state_count,
+                labels=self._labels,
+                inject_first=self._initial,
+                inject_always=0 if anchored_start else self._initial,
+                final=self._final,
+                end_anchored_finals=self._final if anchored_end else 0,
+                succ=self._succ,
+                track_matched=True,
+            )
+            self._programs[key] = prog
+        return prog
 
     def find_matches(
         self,
@@ -91,15 +95,19 @@ class NFASimulator:
         but are excluded from ``stats`` and reporting (the parallel
         engine's overlap-window stitching).
         """
-        return list(
-            self.iter_matches(
-                data,
-                stats,
-                anchored_start=anchored_start,
-                anchored_end=anchored_end,
-                stats_from=stats_from,
-            )
+        events, run = get_kernel().scan(
+            self.program(
+                anchored_start=anchored_start, anchored_end=anchored_end
+            ),
+            data,
+            stats_from=stats_from,
         )
+        if stats is not None:
+            stats.cycles += run.cycles
+            stats.active_states += run.active_states
+            stats.matched_states += run.matched_states
+            stats.reports += run.reports
+        return [i for i, _ in events]
 
     def iter_matches(
         self,
@@ -110,31 +118,25 @@ class NFASimulator:
         anchored_end: bool = False,
         stats_from: int = 0,
     ):
-        """Generator over match end positions; optionally fills ``stats``."""
-        succ = self._succ
-        labels = self._labels
-        initial = self._initial
-        final = self._final
+        """Generator over match end positions; optionally fills ``stats``.
+
+        The lazy view steps through the kernel's per-cycle iterator;
+        callers that want the whole scan should prefer
+        :meth:`find_matches`, which uses the kernel's block path.
+        """
+        program = self.program(
+            anchored_start=anchored_start, anchored_end=anchored_end
+        )
+        labels = program.labels
+        final = program.final
         last = len(data) - 1
-        active = 0
-        for i, byte in enumerate(data):
-            # state-transition from the previous cycle, plus the initial
-            # states (every cycle when unanchored, first cycle only when
-            # start-anchored)
-            next_avail = 0 if anchored_start and i else initial
-            a = active
-            while a:
-                low = a & -a
-                next_avail |= succ[low.bit_length() - 1]
-                a ^= low
-            # state-matching against the current symbol
-            active = next_avail & labels[byte]
+        for i, active in get_kernel().iter_states(program, data):
             if i < stats_from:
                 continue
             if stats is not None:
                 stats.cycles += 1
                 stats.active_states += active.bit_count()
-                stats.matched_states += labels[byte].bit_count()
+                stats.matched_states += labels[data[i]].bit_count()
             if active & final and (not anchored_end or i == last):
                 if stats is not None:
                     stats.reports += 1
@@ -142,7 +144,7 @@ class NFASimulator:
 
     def count_matches(self, data: bytes) -> int:
         """Number of non-empty matches in ``data``."""
-        return sum(1 for _ in self.iter_matches(data))
+        return len(self.find_matches(data))
 
 
 def _mask(pids) -> int:
@@ -150,13 +152,3 @@ def _mask(pids) -> int:
     for pid in pids:
         out |= 1 << pid
     return out
-
-
-def _label_masks(automaton: Automaton) -> list[int]:
-    """``labels[b]`` has bit ``p`` set iff byte ``b`` matches position ``p``."""
-    labels = [0] * ALPHABET_SIZE
-    for pos in automaton.positions:
-        bit = 1 << pos.pid
-        for byte in pos.cc:
-            labels[byte] |= bit
-    return labels

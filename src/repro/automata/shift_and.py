@@ -11,9 +11,11 @@ Two variants are implemented, matching the paper's usage:
   are re-injected on every cycle, which also absorbs the bit that shifts
   across a pattern boundary — no boundary masking is needed.
 
-The hardware LNFA mode (Fig. 6) uses a mirrored bit order (right shift,
-initial at the MSB); that bit-serial variant lives in the tile simulator,
-and its equivalence to :class:`ShiftAnd` is covered by tests.
+Both lower to ``SHIFT_LEFT`` :class:`~repro.core.program.KernelProgram`
+machines and scan through the registered step kernel.  The hardware LNFA
+mode (Fig. 6) uses a mirrored bit order (right shift, initial at the
+MSB); that bit-serial variant lives in the tile simulator, and its
+equivalence to :class:`ShiftAnd` is covered by tests.
 """
 
 from __future__ import annotations
@@ -21,7 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.automata.lnfa import LNFA
-from repro.regex.charclass import ALPHABET_SIZE
+from repro.core.program import KernelProgram, ProgramKind
+from repro.core.registry import get_kernel
+from repro.regex.charclass import label_masks
 
 
 @dataclass
@@ -45,16 +49,32 @@ class ShiftAnd:
         n = len(lnfa)
         self._initial = 1
         self._final = 1 << (n - 1)
-        self._labels = [0] * ALPHABET_SIZE
-        for i, cc in enumerate(lnfa.labels):
-            bit = 1 << i
-            for byte in cc:
-                self._labels[byte] |= bit
+        self._labels = tuple(label_masks(enumerate(lnfa.labels)))
+        self._programs: dict[tuple[bool, bool], KernelProgram] = {}
 
     @property
     def lnfa(self) -> LNFA:
         """The LNFA this matcher executes."""
         return self._lnfa
+
+    def program(
+        self, *, anchored_start: bool = False, anchored_end: bool = False
+    ) -> KernelProgram:
+        """The kernel program for one anchoring combination (cached)."""
+        key = (anchored_start, anchored_end)
+        prog = self._programs.get(key)
+        if prog is None:
+            prog = KernelProgram(
+                kind=ProgramKind.SHIFT_LEFT,
+                width=len(self._lnfa),
+                labels=self._labels,
+                inject_first=self._initial,
+                inject_always=0 if anchored_start else self._initial,
+                final=self._final,
+                end_anchored_finals=self._final if anchored_end else 0,
+            )
+            self._programs[key] = prog
+        return prog
 
     def find_matches(
         self,
@@ -65,14 +85,17 @@ class ShiftAnd:
         anchored_end: bool = False,
     ) -> list[int]:
         """All end positions of non-empty matches in ``data``."""
-        return list(
-            self.iter_matches(
-                data,
-                stats,
-                anchored_start=anchored_start,
-                anchored_end=anchored_end,
-            )
+        events, run = get_kernel().scan(
+            self.program(
+                anchored_start=anchored_start, anchored_end=anchored_end
+            ),
+            data,
         )
+        if stats is not None:
+            stats.cycles += run.cycles
+            stats.active_bits += run.active_states
+            stats.reports += run.reports
+        return [i for i, _ in events]
 
     def iter_matches(
         self,
@@ -83,14 +106,10 @@ class ShiftAnd:
         anchored_end: bool = False,
     ):
         """Generator over match end positions (and stats, if given)."""
-        labels = self._labels
-        initial = self._initial
         final = self._final
         last = len(data) - 1
-        states = 0
-        for i, byte in enumerate(data):
-            inject = 0 if anchored_start and i else initial
-            states = (states << 1 | inject) & labels[byte]
+        program = self.program(anchored_start=anchored_start)
+        for i, states in get_kernel().iter_states(program, data):
             if stats is not None:
                 stats.cycles += 1
                 stats.active_bits += states.bit_count()
@@ -125,7 +144,7 @@ class MultiShiftAnd:
             self._lnfas
         )
         self._offsets: list[int] = []
-        self._labels = [0] * ALPHABET_SIZE
+        assignments: list[tuple[int, object]] = []
         initial_always = 0
         initial_once = 0
         final = 0
@@ -142,15 +161,27 @@ class MultiShiftAnd:
             if a_end:
                 end_anchored_finals |= final_bit
             for i, cc in enumerate(lnfa.labels):
-                bit = 1 << (offset + i)
-                for byte in cc:
-                    self._labels[byte] |= bit
+                assignments.append((offset + i, cc))
             offset += len(lnfa)
         self._initial = initial_always | initial_once
         self._initial_always = initial_always
         self._final = final
         self._end_anchored_finals = end_anchored_finals
         self._total_bits = offset
+        # The shift leaks each pattern's last bit onto the next pattern's
+        # first bit; for unanchored patterns the unconditional initial
+        # injection absorbs the leak, and for start-anchored patterns the
+        # leaked bit must be cleared after the shift.
+        self._program = KernelProgram(
+            kind=ProgramKind.SHIFT_LEFT,
+            width=offset,
+            labels=tuple(label_masks(assignments)),
+            inject_first=self._initial,
+            inject_always=initial_always,
+            final=final,
+            end_anchored_finals=end_anchored_finals,
+            clear_after_shift=initial_once,
+        )
         # map a final bit back to its pattern index
         self._pattern_of_final = {
             self._offsets[k] + len(lnfa) - 1: k
@@ -167,31 +198,36 @@ class MultiShiftAnd:
         """The packed LNFAs, in layout order."""
         return self._lnfas
 
+    @property
+    def program(self) -> KernelProgram:
+        """The packed machine as a kernel program."""
+        return self._program
+
     def find_matches(
         self, data: bytes, stats: ShiftAndStats | None = None
     ) -> list[tuple[int, int]]:
         """All end positions of non-empty matches in ``data``."""
-        return list(self.iter_matches(data, stats))
+        events, run = get_kernel().scan(self._program, data)
+        pattern_of_final = self._pattern_of_final
+        out: list[tuple[int, int]] = []
+        for i, hits in events:
+            while hits:
+                low = hits & -hits
+                hits ^= low
+                out.append((pattern_of_final[low.bit_length() - 1], i))
+        if stats is not None:
+            stats.cycles += run.cycles
+            stats.active_bits += run.active_states
+            stats.reports += len(out)
+        return out
 
     def iter_states(self, data: bytes):
         """Yield ``(index, packed_state_vector)`` per input byte.
 
         The hardware simulators map the packed bits back to tiles/regions
-        to account power gating per cycle.  The shift leaks each
-        pattern's last bit onto the next pattern's first bit; for
-        unanchored patterns the unconditional initial-mask injection
-        absorbs the leak, and for start-anchored patterns the leak must
-        be masked off after the first symbol.
+        to account power gating per cycle.
         """
-        labels = self._labels
-        initial = self._initial
-        always = self._initial_always
-        anchored_bits = initial & ~always
-        states = 0
-        for i, byte in enumerate(data):
-            inject = initial if i == 0 else always
-            states = ((states << 1) & ~anchored_bits | inject) & labels[byte]
-            yield i, states
+        return get_kernel().iter_states(self._program, data)
 
     def bit_location(self, bit: int) -> tuple[int, int]:
         """Map a packed bit index to ``(pattern_index, state_index)``."""

@@ -20,6 +20,7 @@ import sys
 from pathlib import Path
 
 from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
+from repro.core import backend_names
 from repro.io.serialize import load_ruleset, save_ruleset
 
 EXPERIMENTS = {
@@ -93,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(keyed by patterns + compiler config; see RAP_CACHE_DIR)",
     )
     p_scan.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="step-kernel backend for the hot loops (default: RAP_BACKEND "
+        "or python); an unavailable backend falls back to python, and "
+        "results are bit-identical either way",
+    )
+    p_scan.add_argument(
         "--metrics", action="store_true", help="print hardware metrics"
     )
     p_scan.add_argument(
@@ -126,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=False,
         help="reuse compiled rulesets from the on-disk compile cache",
+    )
+    p_exp.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="step-kernel backend for the hot loops (default: RAP_BACKEND "
+        "or python); reported numbers are independent of the choice",
     )
 
     p_inspect = sub.add_parser(
@@ -184,7 +200,11 @@ def cmd_scan(args) -> int:
     """Handler for ``repro scan``."""
     from repro.engine import BatchEngine, EngineConfig
 
-    engine = BatchEngine(EngineConfig(jobs=args.jobs, use_cache=args.cache))
+    engine = BatchEngine(
+        EngineConfig(
+            jobs=args.jobs, use_cache=args.cache, backend=args.backend
+        )
+    )
     if args.ruleset:
         ruleset = load_ruleset(args.ruleset)
     else:
@@ -227,6 +247,7 @@ def cmd_experiment(args) -> int:
         seed=args.seed,
         jobs=args.jobs,
         use_cache=args.cache,
+        backend=args.backend,
     )
     result = module.run(config)
     print(result.to_table())

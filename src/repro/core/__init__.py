@@ -1,0 +1,44 @@
+"""The execution-core layer: one inner loop for every bitset machine.
+
+``repro.core`` is the seam between the automata models and the machine
+they actually run on.  The automata layer describes each engine as a
+:class:`~repro.core.program.KernelProgram`; a pluggable
+:class:`~repro.core.kernel.StepKernel` executes it.  Backends register
+in :mod:`repro.core.registry` (``RAP_BACKEND`` / ``--backend`` select
+one, with silent fallback to the stdlib kernel) and are bit-identical
+by contract — switching backends can change speed, never results.
+
+:mod:`repro.core.trace` (the scan-once/price-many
+:class:`~repro.core.trace.ActivityTrace`) bridges to the simulator
+layer and is imported directly rather than re-exported here, keeping
+this package importable from the automata layer without cycles.
+"""
+
+from repro.core.kernel import MatchEvent, StepKernel, StepStats
+from repro.core.program import KernelProgram, ProgramKind
+from repro.core.registry import (
+    BACKEND_ENV,
+    KERNEL_FORMAT_VERSION,
+    available_backends,
+    backend_names,
+    get_kernel,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "KERNEL_FORMAT_VERSION",
+    "KernelProgram",
+    "MatchEvent",
+    "ProgramKind",
+    "StepKernel",
+    "StepStats",
+    "available_backends",
+    "backend_names",
+    "get_kernel",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]

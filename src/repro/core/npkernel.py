@@ -1,0 +1,153 @@
+"""Optional NumPy-accelerated step kernel (``RAP_BACKEND=numpy``).
+
+An unanchored bitset scan is inherently sequential while states are
+live, but real rule sets spend most cycles with an *empty* active set —
+and from the empty set the next state depends only on the input byte
+(``states' = inject_always & labels[b]``).  This kernel exploits that
+SFA-style data-parallel observation:
+
+* a 256-entry boolean LUT marks the "hot" byte values that can revive
+  an empty machine; ``np.flatnonzero`` over the LUT-mapped input yields
+  every hot position up front;
+* whenever the active set empties, the scan jumps straight to the next
+  hot position by advancing a monotone cursor over that index array
+  instead of stepping byte by byte — cold stretches cost O(1) amortized
+  Python work regardless of length;
+* ``matched_states`` (a pure function of the input bytes) is one
+  vectorized LUT-gather-and-sum.
+
+Live stretches still step through the exact integer datapath of the
+pure-Python kernel, so every counter and match event is bit-identical
+to :class:`~repro.core.pykernel.PythonKernel` — the differential suite
+asserts this.  Only construct this kernel through
+:func:`repro.core.registry.get_kernel`, which falls back to pure Python
+when NumPy is absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernel import MatchEvent, StepStats
+from repro.core.program import KernelProgram, ProgramKind
+from repro.core.pykernel import PythonKernel
+
+
+def _np_tables(program: KernelProgram):
+    """Cached LUTs: cold-revival masks, hot flags, label popcounts."""
+    cached = getattr(program, "_np_tables", None)
+    if cached is None:
+        cold_next = tuple(
+            program.inject_always & mask for mask in program.labels
+        )
+        hot = np.fromiter(
+            (mask != 0 for mask in cold_next), dtype=bool, count=len(cold_next)
+        )
+        pops = np.fromiter(
+            (mask.bit_count() for mask in program.labels),
+            dtype=np.int64,
+            count=len(program.labels),
+        )
+        cached = (cold_next, hot, pops)
+        object.__setattr__(program, "_np_tables", cached)
+    return cached
+
+
+class NumpyKernel:
+    """Block-vectorized scan: skip cold stretches, step hot ones exactly."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self._py = PythonKernel()
+
+    def scan(
+        self,
+        program: KernelProgram,
+        data: bytes,
+        *,
+        stats_from: int = 0,
+    ) -> tuple[list[MatchEvent], StepStats]:
+        """Run ``program`` over ``data``; bit-identical to the Python
+        kernel (see :class:`~repro.core.kernel.StepKernel`)."""
+        n = len(data)
+        stats_from = min(max(stats_from, 0), n)
+        if n == 0:
+            return [], StepStats()
+        cold_next, hot, pops = _np_tables(program)
+        arr = np.frombuffer(data, dtype=np.uint8)
+        # A plain list: the cursor below reads one element per revival,
+        # where NumPy scalar indexing (or a per-event searchsorted)
+        # would dominate the scan on hot-dense streams.
+        hot_idx = np.flatnonzero(hot[arr]).tolist()
+        n_hot = len(hot_idx)
+
+        labels = program.labels
+        succ = program.succ
+        final = program.final
+        end_anchored = program.end_anchored_finals
+        inject = program.inject_always
+        gather = program.kind is ProgramKind.GATHER
+        left = program.kind is ProgramKind.SHIFT_LEFT
+        keep = ~program.clear_after_shift
+        last = n - 1
+        events: list[MatchEvent] = []
+        active = 0
+        states = program.inject_first & labels[data[0]]
+        if stats_from == 0 and states:
+            active += states.bit_count()
+            hits = states & final
+            if hits and last != 0:
+                hits &= ~end_anchored
+            if hits:
+                events.append((0, hits))
+        i = 1
+        k = 0  # monotone cursor into hot_idx (indices only grow)
+        while i < n:
+            if not states:
+                # Cold: the machine stays empty until the next hot byte.
+                # The skipped cycles contribute nothing to active_states
+                # or events; cycles/matched_states are accounted globally.
+                while k < n_hot and hot_idx[k] < i:
+                    k += 1
+                if k == n_hot:
+                    break
+                i = hot_idx[k]
+                k += 1
+                states = cold_next[data[i]]
+            else:
+                byte = data[i]
+                if gather:
+                    avail = inject
+                    a = states
+                    while a:
+                        low = a & -a
+                        avail |= succ[low.bit_length() - 1]
+                        a ^= low
+                elif left:
+                    avail = (states << 1) & keep | inject
+                else:
+                    avail = states >> 1 | inject
+                states = avail & labels[byte]
+            if states and i >= stats_from:
+                active += states.bit_count()
+                hits = states & final
+                if hits:
+                    if i != last:
+                        hits &= ~end_anchored
+                    if hits:
+                        events.append((i, hits))
+            i += 1
+        matched = (
+            int(pops[arr[stats_from:]].sum()) if program.track_matched else 0
+        )
+        return events, StepStats(
+            cycles=n - stats_from,
+            active_states=active,
+            matched_states=matched,
+            reports=len(events),
+        )
+
+    def iter_states(self, program: KernelProgram, data: bytes):
+        """Lazy per-cycle view (no block skipping — delegated)."""
+        return self._py.iter_states(program, data)

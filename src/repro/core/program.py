@@ -1,0 +1,81 @@
+"""Declarative description of one bitset machine for the step kernels.
+
+All the bitset engines in :mod:`repro.automata` run the same two-phase
+loop and differ only in how the *available* set is derived from the
+previous cycle's active set:
+
+* plain NFAs OR together the successor masks of the active states
+  (:attr:`ProgramKind.GATHER`);
+* classic Shift-And and the packed multi-pattern variant shift the
+  vector left (:attr:`ProgramKind.SHIFT_LEFT`);
+* the Fig. 6 bit-serial tile datapath shifts right, with the initial
+  state at the MSB (:attr:`ProgramKind.SHIFT_RIGHT`).
+
+A :class:`KernelProgram` captures one machine declaratively — label
+table, injection masks, finals, and the transition rule — so any
+registered backend can execute it.  Programs are frozen and hashable,
+which also makes them usable as memoization keys.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.regex.charclass import ALPHABET_SIZE
+
+
+class ProgramKind(enum.Enum):
+    """How the state-transition phase derives availability."""
+
+    GATHER = "gather"  # OR of per-state successor masks (plain NFA)
+    SHIFT_LEFT = "shift-left"  # classic Shift-And (LSB-first layout)
+    SHIFT_RIGHT = "shift-right"  # Fig. 6 bit-serial datapath (MSB-first)
+
+
+@dataclass(frozen=True)
+class KernelProgram:
+    """One bitset machine, ready for any :class:`~repro.core.kernel.
+    StepKernel` to execute.
+
+    Per input byte ``b`` at index ``i`` the step is::
+
+        inject = inject_first if i == 0 else inject_always
+        avail  = transition(states) | inject     # per ``kind``
+        states = avail & labels[b]
+        hits   = states & final                  # masked by
+                                                 # ~end_anchored_finals
+                                                 # unless i is the last
+
+    where ``transition`` is the successor gather, a left shift masked by
+    ``~clear_after_shift`` (packed multi-pattern layouts clear the bit
+    that leaks across a start-anchored pattern's boundary), or a right
+    shift.  Anchoring is encoded entirely in the masks: a start anchor
+    zeroes the state's bit in ``inject_always``; an end anchor sets the
+    final's bit in ``end_anchored_finals``.
+    """
+
+    kind: ProgramKind
+    width: int  # state-vector bits
+    labels: tuple[int, ...]  # per-byte state-matching masks (256 entries)
+    inject_first: int  # injected on the first symbol
+    inject_always: int  # injected on every later symbol
+    final: int
+    end_anchored_finals: int = 0  # finals that only report on the last symbol
+    clear_after_shift: int = 0  # bits zeroed after the shift (SHIFT_LEFT)
+    succ: tuple[int, ...] | None = None  # per-state successor masks (GATHER)
+    # Whether kernels must account matched_states (the popcount of the
+    # byte's label mask, the state-matching energy proxy).  Only the NFA
+    # activity model consumes it; shift programs leave it off.
+    track_matched: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != ALPHABET_SIZE:
+            raise ValueError(
+                f"labels must cover the byte alphabet, got {len(self.labels)}"
+            )
+        if self.kind is ProgramKind.GATHER:
+            if self.succ is None or len(self.succ) != self.width:
+                raise ValueError("GATHER programs need one succ mask per state")
+        elif self.succ is not None:
+            raise ValueError(f"{self.kind.value} programs take no succ table")

@@ -1,0 +1,132 @@
+"""Backend registry: which step kernel executes the hot loops.
+
+Selection order (first hit wins):
+
+1. an explicit name passed to :func:`get_kernel` / :func:`resolve_backend`;
+2. the process default set via :func:`set_default_backend` /
+   :func:`use_backend` (the CLI's ``--backend`` lands here);
+3. the ``RAP_BACKEND`` environment variable;
+4. ``"python"``.
+
+Every backend is capability-flagged: requesting ``numpy`` on a machine
+without NumPy *silently* resolves to the pure-Python kernel, so scripts
+and CI recipes can pin ``RAP_BACKEND=numpy`` unconditionally.  This is
+safe because kernels are bit-identical by contract — the backend only
+changes speed, never results.  Anything that persists derived artifacts
+(the engine's compile cache) must embed :data:`KERNEL_FORMAT_VERSION`
+and the resolved backend in its keys.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+
+from repro.core.kernel import StepKernel
+
+BACKEND_ENV = "RAP_BACKEND"
+
+# Version of the kernel program encoding / step semantics.  Bump on any
+# change to KernelProgram's meaning so keyed caches can never serve an
+# artifact produced under different execution semantics.
+KERNEL_FORMAT_VERSION = 1
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _make_python() -> StepKernel:
+    from repro.core.pykernel import PythonKernel
+
+    return PythonKernel()
+
+
+def _make_numpy() -> StepKernel:
+    from repro.core.npkernel import NumpyKernel
+
+    return NumpyKernel()
+
+
+# name -> (capability probe, factory)
+_BACKENDS: dict[str, tuple[Callable[[], bool], Callable[[], StepKernel]]] = {
+    "python": (lambda: True, _make_python),
+    "numpy": (_numpy_available, _make_numpy),
+}
+
+_default: str | None = None
+_instances: dict[str, StepKernel] = {}
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every registered backend name, available or not."""
+    return tuple(_BACKENDS)
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends whose capability probe passes on this machine."""
+    return tuple(
+        name for name, (probe, _) in _BACKENDS.items() if probe()
+    )
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """The backend that would actually execute, after fallbacks.
+
+    An explicitly passed unknown name raises; an unknown ``RAP_BACKEND``
+    value quietly resolves to ``python`` (a stale environment must not
+    break a run).  A known-but-unavailable backend resolves to
+    ``python`` silently in both cases.
+    """
+    if name is None:
+        name = _default
+    if name is None:
+        name = os.environ.get(BACKEND_ENV, "").strip().lower() or "python"
+        if name not in _BACKENDS:
+            return "python"
+    else:
+        name = name.strip().lower()
+        if name not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {name!r}; registered: {sorted(_BACKENDS)}"
+            )
+    if not _BACKENDS[name][0]():
+        return "python"
+    return name
+
+
+def get_kernel(name: str | None = None) -> StepKernel:
+    """The (shared) kernel instance for a backend, after resolution."""
+    resolved = resolve_backend(name)
+    kernel = _instances.get(resolved)
+    if kernel is None:
+        kernel = _BACKENDS[resolved][1]()
+        _instances[resolved] = kernel
+    return kernel
+
+
+def set_default_backend(name: str | None) -> None:
+    """Pin the process-wide default backend (``None`` unpins it).
+
+    The name is resolved eagerly, so pinning ``numpy`` without NumPy
+    pins ``python`` — later probes cannot flip the choice mid-run.
+    """
+    global _default
+    _default = None if name is None else resolve_backend(name)
+
+
+@contextmanager
+def use_backend(name: str | None) -> Iterator[str]:
+    """Scoped :func:`set_default_backend`; yields the resolved name."""
+    global _default
+    previous = _default
+    set_default_backend(name)
+    try:
+        yield resolve_backend()
+    finally:
+        _default = previous

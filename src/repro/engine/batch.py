@@ -24,10 +24,12 @@ descriptors are tiny tuples.
 from __future__ import annotations
 
 import pickle
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.compiler import CompilerConfig
 from repro.compiler.program import CompiledMode, CompiledRuleset
+from repro.core import resolve_backend, set_default_backend, use_backend
 from repro.engine.cache import CompileCache, cached_compile_ruleset
 from repro.engine.partition import Chunk, plan_chunks, required_overlap
 from repro.engine.pool import effective_jobs, parallel_map
@@ -49,6 +51,11 @@ class EngineConfig:
     jobs: int = 1
     use_cache: bool = True
     cache_dir: str | None = None  # None: RAP_CACHE_DIR or ~/.cache/rap-repro
+    # Step-kernel backend for the hot loops (see repro.core.registry);
+    # None keeps the ambient default (RAP_BACKEND or python).  Workers
+    # inherit the parent's resolved choice, and the compile-cache key
+    # embeds it, so the backend never changes results — only speed.
+    backend: str | None = None
     # Smallest owned-bytes-per-chunk worth forking for; streams shorter
     # than two chunks run unchunked.
     min_chunk_bytes: int = 4096
@@ -86,6 +93,12 @@ class BatchEngine:
             else None
         )
 
+    def _backend_scope(self):
+        """Scope the configured backend, or keep the ambient default."""
+        if self.config.backend is None:
+            return nullcontext()
+        return use_backend(self.config.backend)
+
     # -- compilation -------------------------------------------------------
 
     def compile(
@@ -94,11 +107,12 @@ class BatchEngine:
         compiler: CompilerConfig | None = None,
     ) -> CompiledRuleset:
         """Compile through the keyed cache when caching is enabled."""
-        if self.cache is not None:
-            return cached_compile_ruleset(patterns, compiler, self.cache)
-        from repro.compiler import compile_ruleset
+        with self._backend_scope():
+            if self.cache is not None:
+                return cached_compile_ruleset(patterns, compiler, self.cache)
+            from repro.compiler import compile_ruleset
 
-        return compile_ruleset(list(patterns), compiler)
+            return compile_ruleset(list(patterns), compiler)
 
     def _resolve(self, task: BatchTask) -> CompiledRuleset:
         if task.ruleset is not None:
@@ -110,9 +124,10 @@ class BatchEngine:
     def run_batch(self, tasks) -> list[SimulationResult]:
         """Run every task, fanned out across processes, in task order."""
         tasks = list(tasks)
+        backend = resolve_backend(self.config.backend)
         payloads = [
             pickle.dumps(
-                (self._resolve(task), task.data, task.bin_size, self.hw),
+                (self._resolve(task), task.data, task.bin_size, self.hw, backend),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
             for task in tasks
@@ -146,31 +161,39 @@ class BatchEngine:
             ruleset = source
         else:
             ruleset = self.compile(source, compiler)
-        sim = RAPSimulator(self.hw)
-        jobs = effective_jobs(self.config.jobs)
-        if jobs <= 1 or not len(ruleset) or not data:
-            return sim.run(ruleset, data, bin_size=bin_size)
+        with self._backend_scope():
+            sim = RAPSimulator(self.hw)
+            jobs = effective_jobs(self.config.jobs)
+            if jobs <= 1 or not len(ruleset) or not data:
+                return sim.run(ruleset, data, bin_size=bin_size)
 
-        mapping = sim.build_mapping(ruleset, bin_size=bin_size)
-        chunks = self._plan(ruleset, len(data), jobs)
-        units = self._work_units(ruleset, mapping, chunks)
-        if len(units) <= 1:
-            return sim.run_from_activity(
-                ruleset, sim.collect_activities(ruleset, data, mapping), mapping
+            mapping = sim.build_mapping(ruleset, bin_size=bin_size)
+            chunks = self._plan(ruleset, len(data), jobs)
+            units = self._work_units(ruleset, mapping, chunks)
+            if len(units) <= 1:
+                return sim.run_from_activity(
+                    ruleset,
+                    sim.collect_activities(ruleset, data, mapping),
+                    mapping,
+                )
+            # Partitioned chunks run through the same kernel API as the
+            # sequential path: workers pin the parent's resolved backend
+            # and collect the exact same integer activity.
+            payload = pickle.dumps(
+                (ruleset, data, bin_size, self.hw, resolve_backend()),
+                protocol=pickle.HIGHEST_PROTOCOL,
             )
-        payload = pickle.dumps(
-            (ruleset, data, bin_size, self.hw),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
-        outcomes = parallel_map(
-            _scan_unit,
-            units,
-            jobs=jobs,
-            initializer=_init_scan_worker,
-            initargs=(payload,),
-        )
-        activity = self._merge_outcomes(ruleset, mapping, outcomes, len(data))
-        return sim.run_from_activity(ruleset, activity, mapping)
+            outcomes = parallel_map(
+                _scan_unit,
+                units,
+                jobs=jobs,
+                initializer=_init_scan_worker,
+                initargs=(payload,),
+            )
+            activity = self._merge_outcomes(
+                ruleset, mapping, outcomes, len(data)
+            )
+            return sim.run_from_activity(ruleset, activity, mapping)
 
     def _plan(self, ruleset, n: int, jobs: int) -> list[Chunk]:
         """Chunk the stream when safe and worthwhile, else one chunk."""
@@ -276,7 +299,8 @@ _WORKER_STATE: dict = {}
 
 def _init_scan_worker(payload: bytes) -> None:
     """Seed one worker process with the scan's shared state."""
-    ruleset, data, bin_size, hw = pickle.loads(payload)
+    ruleset, data, bin_size, hw, backend = pickle.loads(payload)
+    set_default_backend(backend)
     sim = RAPSimulator(hw)
     _WORKER_STATE["data"] = data
     _WORKER_STATE["hw"] = hw
@@ -318,5 +342,6 @@ def _scan_unit(unit: tuple):
 
 def _execute_task(payload: bytes) -> SimulationResult:
     """Run one fully-specified batch task inside a worker."""
-    ruleset, data, bin_size, hw = pickle.loads(payload)
-    return RAPSimulator(hw).run(ruleset, data, bin_size=bin_size)
+    ruleset, data, bin_size, hw, backend = pickle.loads(payload)
+    with use_backend(backend):
+        return RAPSimulator(hw).run(ruleset, data, bin_size=bin_size)

@@ -10,9 +10,13 @@ the ``RAP_CACHE_DIR`` environment variable or an explicit root).
 The key is a SHA-256 over the canonical JSON of everything that can
 change the compiler's output: the pattern list (in order), every
 :class:`~repro.compiler.pipeline.CompilerConfig` field including the
-full hardware config, and the serializer's ``FORMAT_VERSION``.  Bumping
-the format version therefore invalidates every cached entry, and two
-processes racing on the same key both write the same bytes.
+full hardware config, and the serializer's ``FORMAT_VERSION`` — plus
+the resolved step-kernel backend and
+:data:`~repro.core.KERNEL_FORMAT_VERSION`, so switching ``RAP_BACKEND``
+(or bumping the kernel encoding) can never serve an artifact produced
+under different execution semantics.  Bumping either version therefore
+invalidates every cached entry, and two processes racing on the same
+key both write the same bytes.
 
 Writes are atomic (temp file + ``os.replace``) and reads are
 corruption-tolerant: a truncated, garbled, or version-skewed entry is
@@ -32,6 +36,7 @@ from pathlib import Path
 
 from repro.compiler import CompilerConfig, compile_ruleset
 from repro.compiler.program import CompiledRuleset
+from repro.core import KERNEL_FORMAT_VERSION, resolve_backend
 from repro.io.serialize import (
     FORMAT_NAME,
     FORMAT_VERSION,
@@ -65,11 +70,17 @@ def ruleset_cache_key(
     Uses ``dataclasses.asdict`` over the compiler config so that any
     field added to :class:`CompilerConfig` (or to the nested
     :class:`HardwareConfig`) automatically becomes part of the key.
+    The active step-kernel backend and kernel format version are part
+    of the key too: kernels are bit-identical by contract, but a cache
+    entry must never outlive the execution semantics it was produced
+    under.
     """
     config = config or CompilerConfig()
     doc = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
+        "backend": resolve_backend(),
+        "kernel_format": KERNEL_FORMAT_VERSION,
         "patterns": list(patterns),
         "config": dataclasses.asdict(config),
     }

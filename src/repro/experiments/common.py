@@ -45,11 +45,13 @@ class ExperimentConfig:
     input_length: int = 6000  # characters matched (paper: 100,000)
     seed: int = 0
     unfold_threshold: int = 8
-    # Execution knobs (the CLI's --jobs/--cache); they parallelize the
-    # per-benchmark loops and memoize compilation but never change any
-    # reported number.
+    # Execution knobs (the CLI's --jobs/--cache/--backend); they
+    # parallelize the per-benchmark loops, memoize compilation, and pick
+    # the step kernel for the hot loops, but never change any reported
+    # number (kernels are bit-identical by contract).
     jobs: int = 1
     use_cache: bool = False
+    backend: str | None = None  # None: RAP_BACKEND or python
 
     @classmethod
     def scaled(cls) -> "ExperimentConfig":
@@ -222,13 +224,27 @@ def map_benchmarks(
     so the experiment's numbers are independent of the job count.
 
     ``worker`` must be a module-level function taking ``(name, config)``
-    tuples (picklable by the pool).
+    tuples (picklable by the pool).  ``config.backend`` is applied
+    around every worker call, in-process and in pool workers alike.
     """
     from repro.engine.pool import parallel_map
 
     return parallel_map(
-        worker, [(name, config) for name in names], jobs=config.jobs
+        _run_benchmark_worker,
+        [(worker, name, config) for name in names],
+        jobs=config.jobs,
     )
+
+
+def _run_benchmark_worker(item):
+    """Pool trampoline: scope the configured backend around one worker."""
+    worker, name, config = item
+    if config.backend is None:
+        return worker((name, config))
+    from repro.core import use_backend
+
+    with use_backend(config.backend):
+        return worker((name, config))
 
 
 def compile_bvap_flavor(

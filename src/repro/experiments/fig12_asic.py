@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.compiler import CompiledMode
+from repro.core.trace import ActivityTrace
 from repro.experiments.common import (
     ALL_BENCHMARK_NAMES,
     ExperimentConfig,
@@ -141,7 +142,11 @@ class Fig12Result:
         )
 
 
-def _rap_point(workload: Workload, config: ExperimentConfig) -> ArchPoint:
+def _rap_point(
+    workload: Workload,
+    config: ExperimentConfig,
+    trace: ActivityTrace | None = None,
+) -> ArchPoint:
     """RAP on the full mixed workload with the Section 5.5 sharing rule."""
     from repro.simulators.asic_base import rap_tile_area
     from repro.simulators.sharing import plan_workload_sharing
@@ -151,7 +156,10 @@ def _rap_point(workload: Workload, config: ExperimentConfig) -> ArchPoint:
     )
     sim = RAPSimulator()
     result = sim.run(
-        ruleset, workload.data, bin_size=workload.chosen_bin_size
+        ruleset,
+        workload.data,
+        bin_size=workload.chosen_bin_size,
+        trace=trace,
     )
     plan = plan_workload_sharing(
         result.array_reports, floor_gchps=NBVA_THROUGHPUT_FLOOR
@@ -165,17 +173,29 @@ def _rap_point(workload: Workload, config: ExperimentConfig) -> ArchPoint:
     )
 
 
-def simulate_benchmark(workload: Workload, config: ExperimentConfig) -> Fig12Row:
-    """Run all four designs on one benchmark."""
+def simulate_benchmark(
+    workload: Workload,
+    config: ExperimentConfig,
+    trace: ActivityTrace | None = None,
+) -> Fig12Row:
+    """Run all four designs on one benchmark.
+
+    One :class:`ActivityTrace` is shared across the four architecture
+    simulators, so the functional scan over the benchmark's input runs
+    exactly once per distinct automaton and every design is priced from
+    the same events (CAMA and CA compile to identical NFAs and therefore
+    share every scan; RAP's decided-NFA regexes share with both).
+    """
+    trace = trace if trace is not None else ActivityTrace(workload.data)
     points: dict[str, ArchPoint] = {}
-    points["RAP"] = _rap_point(workload, config)
+    points["RAP"] = _rap_point(workload, config, trace)
 
     bvap_rs = compile_bvap_flavor(
         zip(workload.benchmark.patterns, workload.benchmark.intended_modes),
         config,
         bv_depth=16,
     )
-    bvap = BVAPSimulator().run(bvap_rs, workload.data)
+    bvap = BVAPSimulator().run(bvap_rs, workload.data, trace=trace)
     points["BVAP"] = ArchPoint(
         bvap.energy_uj, bvap.area_mm2, bvap.throughput_gchps, bvap.power_w
     )
@@ -183,7 +203,7 @@ def simulate_benchmark(workload: Workload, config: ExperimentConfig) -> Fig12Row
     nfa_rs = compile_forced(
         workload.benchmark.patterns, CompiledMode.NFA, config
     )
-    cama = CAMASimulator().run(nfa_rs, workload.data)
+    cama = CAMASimulator().run(nfa_rs, workload.data, trace=trace)
     points["CAMA"] = ArchPoint(
         cama.energy_uj, cama.area_mm2, cama.throughput_gchps, cama.power_w
     )
@@ -193,7 +213,7 @@ def simulate_benchmark(workload: Workload, config: ExperimentConfig) -> Fig12Row
         workload.benchmark.patterns, CompiledMode.NFA, config, hw=ca_hw
     )
     ca = CASimulator().run(
-        ca_rs, workload.data, mapping=map_ruleset(ca_rs, ca_hw)
+        ca_rs, workload.data, mapping=map_ruleset(ca_rs, ca_hw), trace=trace
     )
     points["CA"] = ArchPoint(
         ca.energy_uj, ca.area_mm2, ca.throughput_gchps, ca.power_w

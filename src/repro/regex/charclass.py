@@ -15,7 +15,7 @@ membership test O(1) and keep the class hashable and immutable.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
-from functools import reduce
+from functools import lru_cache, reduce
 
 ALPHABET_SIZE = 256
 _FULL_MASK = (1 << ALPHABET_SIZE) - 1
@@ -253,6 +253,44 @@ def _render_run(lo: int, hi: int) -> str:
     if hi == lo + 1:
         return _render_member(lo) + _render_member(hi)
     return f"{_render_member(lo)}-{_render_member(hi)}"
+
+
+@lru_cache(maxsize=None)
+def _members_of_mask(mask: int) -> tuple[int, ...]:
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return tuple(out)
+
+
+def members(cc: CharClass) -> tuple[int, ...]:
+    """All member byte values of ``cc``, ascending, cached per mask.
+
+    Rule sets reuse a small population of character classes (digits,
+    word characters, a handful of literals) across thousands of states,
+    so the byte expansion is memoized on the canonical 256-bit mask.
+    """
+    return _members_of_mask(cc.mask)
+
+
+def label_masks(
+    assignments: Iterable[tuple[int, CharClass]], *, size: int | None = None
+) -> list[int]:
+    """Per-byte label masks: ``labels[b]`` has bit ``i`` set for every
+    assignment ``(i, cc)`` with ``b`` in ``cc``.
+
+    This is the one charclass->byte-table expansion every bitset engine
+    (NFA, Shift-And, bit-serial, DFA, NBVA) performs while building its
+    state-matching table; ``size`` defaults to the full byte alphabet.
+    """
+    labels = [0] * (ALPHABET_SIZE if size is None else size)
+    for index, cc in assignments:
+        bit = 1 << index
+        for byte in members(cc):
+            labels[byte] |= bit
+    return labels
 
 
 def case_folded(cc: CharClass) -> CharClass:

@@ -17,13 +17,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compiler.program import CompiledMode, CompiledRuleset
+from repro.core.trace import ActivityTrace
 from repro.hardware.circuits import TABLE1, CircuitLibrary
 from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
 from repro.hardware.energy import EnergyLedger
 from repro.mapping.mapper import Mapping, map_ruleset
 from repro.mapping.resources import ArrayBuilder, PhysicalTile
-from repro.simulators.activity import RegexActivity, collect_regex_activity
+from repro.simulators.activity import RegexActivity
 from repro.simulators.result import SimulationResult
+
+
+def shared_trace(data: bytes, trace: ActivityTrace | None) -> ActivityTrace:
+    """The trace to collect activity through: the caller's shared one
+    (validated against ``data``) or a fresh private one."""
+    if trace is None:
+        return ActivityTrace(data)
+    if trace.data is not data and trace.data != data:
+        raise ValueError("shared ActivityTrace was built over different data")
+    return trace
 
 
 @dataclass(frozen=True)
@@ -155,8 +166,14 @@ class ApStyleSimulator:
         ruleset: CompiledRuleset,
         data: bytes,
         mapping: Mapping | None = None,
+        trace: ActivityTrace | None = None,
     ) -> SimulationResult:
-        """Simulate a pure-NFA ruleset (CAMA / CA usage)."""
+        """Simulate a pure-NFA ruleset (CAMA / CA usage).
+
+        ``trace`` optionally shares one :class:`ActivityTrace` across
+        architectures so the functional scan runs once and every design
+        is priced from the same events (the fig12 flow).
+        """
         for regex in ruleset:
             if regex.mode is not CompiledMode.NFA:
                 raise ValueError(
@@ -166,9 +183,9 @@ class ApStyleSimulator:
         mapping = mapping or map_ruleset(ruleset, self.hw)
         ledger = EnergyLedger()
         matches: dict[int, list[int]] = {}
+        trace = shared_trace(data, trace)
         activities = {
-            regex.regex_id: collect_regex_activity(regex, data)
-            for regex in ruleset
+            regex.regex_id: trace.regex_activity(regex) for regex in ruleset
         }
         compiled_by_id = {r.regex_id: r for r in ruleset}
         for activity in activities.values():

@@ -24,12 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compiler.program import CompiledMode, CompiledRegex, CompiledRuleset
+from repro.core.trace import ActivityTrace
 from repro.hardware.circuits import BVAP_CLOCK_GHZ, TABLE1, CircuitLibrary
 from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
 from repro.hardware.encoding import codes_needed
 from repro.hardware.energy import EnergyLedger
-from repro.simulators.activity import collect_regex_activity
-from repro.simulators.asic_base import cama_params
+from repro.simulators.asic_base import cama_params, shared_trace
 from repro.simulators.result import SimulationResult
 
 # Fixed BVM provisioning (the inflexibility the paper contrasts with
@@ -103,8 +103,17 @@ class BVAPSimulator:
         ) * 0.9
         self.bvm_idle_pj = 0.5  # per module per cycle (clocking/precharge)
 
-    def run(self, ruleset: CompiledRuleset, data: bytes) -> SimulationResult:
-        """Simulate the ruleset on BVAP over ``data``."""
+    def run(
+        self,
+        ruleset: CompiledRuleset,
+        data: bytes,
+        trace: ActivityTrace | None = None,
+    ) -> SimulationResult:
+        """Simulate the ruleset on BVAP over ``data``.
+
+        ``trace`` optionally shares functional scans with the other
+        architectures' runs over the same input.
+        """
         for regex in ruleset:
             if regex.mode is CompiledMode.LNFA:
                 raise ValueError("BVAP has no LNFA mode; compile to NFA/NBVA")
@@ -113,8 +122,9 @@ class BVAPSimulator:
         n = len(data)
 
         demands = {r.regex_id: bvap_demand(r, self.hw) for r in ruleset}
+        trace = shared_trace(data, trace)
         activities = {
-            r.regex_id: collect_regex_activity(r, data) for r in ruleset
+            r.regex_id: trace.regex_activity(r) for r in ruleset
         }
         for activity in activities.values():
             matches[activity.regex_id] = activity.matches

@@ -25,19 +25,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compiler.program import CompiledMode, CompiledRuleset
+from repro.core.trace import ActivityTrace
 from repro.hardware.circuits import TABLE1, CircuitLibrary
 from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig, TileMode
 from repro.hardware.energy import EnergyLedger
 from repro.mapping.binning import BinKind
 from repro.mapping.mapper import Mapping, map_ruleset
 from repro.mapping.resources import ArrayBuilder
-from repro.simulators.activity import (
-    BinActivity,
-    RegexActivity,
-    collect_bin_activity,
-    collect_regex_activity,
+from repro.simulators.activity import BinActivity, RegexActivity
+from repro.simulators.asic_base import (
+    ApStyleSimulator,
+    rap_nfa_params,
+    shared_trace,
 )
-from repro.simulators.asic_base import ApStyleSimulator, rap_nfa_params
 from repro.simulators.result import ArrayReport, SimulationResult
 
 
@@ -89,16 +89,22 @@ class RAPSimulator(ApStyleSimulator):
         ruleset: CompiledRuleset,
         data: bytes,
         mapping: Mapping,
+        trace: ActivityTrace | None = None,
     ) -> RunActivity:
-        """Phase 1: run the functional engines and count every event."""
+        """Phase 1: run the functional engines and count every event.
+
+        With a shared ``trace``, scans memoized by another architecture's
+        collection over the same input are reused instead of re-run.
+        """
+        trace = shared_trace(data, trace)
         regex = {
-            r.regex_id: collect_regex_activity(r, data)
+            r.regex_id: trace.regex_activity(r)
             for r in ruleset
             if r.mode is not CompiledMode.LNFA
         }
         lnfa_bins = {
             index: [
-                collect_bin_activity(bin_obj, data, self.hw)
+                trace.bin_activity(bin_obj, self.hw)
                 for bin_obj in array.bins
             ]
             for index, array in enumerate(mapping.arrays)
@@ -114,11 +120,12 @@ class RAPSimulator(ApStyleSimulator):
         data: bytes,
         mapping: Mapping | None = None,
         bin_size: int | None = None,
+        trace: ActivityTrace | None = None,
     ) -> SimulationResult:
         """Simulate the mapped ruleset on RAP over ``data``."""
         if mapping is None:
             mapping = self.build_mapping(ruleset, bin_size=bin_size)
-        activity = self.collect_activities(ruleset, data, mapping)
+        activity = self.collect_activities(ruleset, data, mapping, trace)
         return self.run_from_activity(ruleset, activity, mapping)
 
     def run_from_activity(

@@ -1,0 +1,152 @@
+"""Differential kernel tests: NumPy must be bit-identical to pure Python.
+
+The backend contract (see :mod:`repro.core.registry`) is that kernels
+only change speed, never results: the same program over the same bytes
+yields the same match events and the same exact integer
+:class:`~repro.core.StepStats` on every backend.  Hypothesis drives all
+three program kinds (GATHER from Glushkov NFAs, SHIFT_LEFT from packed
+Shift-And layouts, SHIFT_RIGHT from the bit-serial datapath) through
+both kernels, including anchoring combinations and warm-up offsets.
+
+The whole module skips cleanly when NumPy is not installed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.bitserial import BitSerialLNFA
+from repro.automata.glushkov import build_automaton
+from repro.automata.nfa import NFASimulator, StepStats
+from repro.automata.shift_and import MultiShiftAnd, ShiftAnd
+from repro.core import available_backends, get_kernel, use_backend
+from repro.regex.parser import parse
+from repro.regex.rewrite import unfold_all
+
+from tests.automata.test_lnfa import lnfa_strategy
+from tests.helpers import inputs, regex_trees
+
+pytestmark = pytest.mark.skipif(
+    "numpy" not in available_backends(),
+    reason="NumPy backend not available",
+)
+
+
+def assert_kernels_agree(program, data: bytes, stats_from: int = 0) -> None:
+    py_events, py_stats = get_kernel("python").scan(
+        program, data, stats_from=stats_from
+    )
+    np_events, np_stats = get_kernel("numpy").scan(
+        program, data, stats_from=stats_from
+    )
+    assert np_events == py_events
+    assert np_stats == py_stats
+
+
+anchor_flags = st.booleans()
+
+
+class TestGatherPrograms:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        regex_trees(max_leaves=6),
+        inputs(max_size=24),
+        anchor_flags,
+        anchor_flags,
+        st.integers(0, 8),
+    )
+    def test_differential(self, tree, data, astart, aend, stats_from):
+        sim = NFASimulator(build_automaton(unfold_all(tree)))
+        program = sim.program(anchored_start=astart, anchored_end=aend)
+        assert_kernels_agree(program, data, stats_from=stats_from)
+
+    def test_empty_input(self):
+        sim = NFASimulator(build_automaton(unfold_all(parse("ab*c"))))
+        assert_kernels_agree(sim.program(), b"")
+
+    def test_stats_from_past_the_end(self):
+        sim = NFASimulator(build_automaton(unfold_all(parse("ab"))))
+        assert_kernels_agree(sim.program(), b"abab", stats_from=99)
+
+
+class TestShiftPrograms:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        lnfa_strategy(max_len=5),
+        inputs(max_size=24),
+        anchor_flags,
+        anchor_flags,
+        st.integers(0, 8),
+    )
+    def test_shift_left_differential(
+        self, lnfa, data, astart, aend, stats_from
+    ):
+        program = ShiftAnd(lnfa).program(
+            anchored_start=astart, anchored_end=aend
+        )
+        assert_kernels_agree(program, data, stats_from=stats_from)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(lnfa_strategy(max_len=4), min_size=1, max_size=4),
+        inputs(max_size=20),
+    )
+    def test_packed_shift_left_differential(self, lnfas, data):
+        # clear_after_shift (per-pattern boundary masking) only arises
+        # in the packed multi-pattern layout.
+        assert_kernels_agree(MultiShiftAnd(lnfas).program, data)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        lnfa_strategy(max_len=5),
+        inputs(max_size=24),
+        anchor_flags,
+        anchor_flags,
+    )
+    def test_shift_right_differential(self, lnfa, data, astart, aend):
+        engine = BitSerialLNFA(lnfa, anchored_start=astart)
+        assert_kernels_agree(engine.program(anchored_end=aend), data)
+
+
+class TestEndToEnd:
+    @settings(max_examples=60, deadline=None)
+    @given(regex_trees(max_leaves=6), inputs(max_size=24))
+    def test_simulator_results_identical_across_backends(self, tree, data):
+        sim = NFASimulator(build_automaton(unfold_all(tree)))
+        results = {}
+        for backend in ("python", "numpy"):
+            stats = StepStats()
+            with use_backend(backend):
+                results[backend] = (sim.find_matches(data, stats), stats)
+        assert results["python"] == results["numpy"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(lnfa_strategy(max_len=4), min_size=1, max_size=4),
+        inputs(max_size=20),
+    )
+    def test_packed_matcher_identical_across_backends(self, lnfas, data):
+        matcher = MultiShiftAnd(lnfas)
+        with use_backend("python"):
+            py = matcher.find_matches(data)
+        with use_backend("numpy"):
+            np_ = matcher.find_matches(data)
+        assert py == np_
+
+
+class TestIterStates:
+    @settings(max_examples=40, deadline=None)
+    @given(lnfa_strategy(max_len=4), inputs(max_size=16))
+    def test_iter_states_identical(self, lnfa, data):
+        program = ShiftAnd(lnfa).program()
+        py = list(get_kernel("python").iter_states(program, data))
+        np_ = list(get_kernel("numpy").iter_states(program, data))
+        assert py == np_
+
+
+def test_long_cold_stream_with_sparse_hits():
+    """The NumPy cold-skip path over a realistic mostly-idle stream."""
+    sim = NFASimulator(build_automaton(unfold_all(parse("ab[cd]d"))))
+    data = (b"x" * 997 + b"abcd") * 40 + b"a" * 100
+    assert_kernels_agree(sim.program(), data)
+    assert_kernels_agree(sim.program(), data, stats_from=1234)

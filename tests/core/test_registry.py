@@ -1,0 +1,114 @@
+"""Backend registry: resolution order, fallbacks, and scoping."""
+
+import pytest
+
+from repro.core import (
+    BACKEND_ENV,
+    KERNEL_FORMAT_VERSION,
+    available_backends,
+    backend_names,
+    get_kernel,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.core import registry as registry_mod
+
+HAVE_NUMPY = "numpy" in available_backends()
+
+
+@pytest.fixture(autouse=True)
+def clean_registry(monkeypatch):
+    """Each test starts unpinned and with no RAP_BACKEND in the env."""
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    monkeypatch.setattr(registry_mod, "_default", None)
+
+
+class TestResolution:
+    def test_python_is_the_default(self):
+        assert resolve_backend() == "python"
+
+    def test_python_always_available(self):
+        assert "python" in available_backends()
+        assert set(available_backends()) <= set(backend_names())
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        expected = "numpy" if HAVE_NUMPY else "python"
+        assert resolve_backend() == expected
+
+    def test_env_is_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "  PyThOn ")
+        assert resolve_backend() == "python"
+
+    def test_unknown_env_value_falls_back_silently(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "cuda")
+        assert resolve_backend() == "python"
+
+    def test_explicit_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("cuda")
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend("python") == "python"
+
+    def test_unavailable_backend_falls_back_silently(self, monkeypatch):
+        monkeypatch.setitem(
+            registry_mod._BACKENDS, "ghost", (lambda: False, lambda: None)
+        )
+        assert resolve_backend("ghost") == "python"
+        monkeypatch.setenv(BACKEND_ENV, "ghost")
+        assert resolve_backend() == "python"
+
+
+class TestDefaultPinning:
+    def test_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        set_default_backend("python")
+        assert resolve_backend() == "python"
+
+    def test_none_unpins(self, monkeypatch):
+        set_default_backend("python")
+        set_default_backend(None)
+        monkeypatch.setenv(BACKEND_ENV, "nonsense")
+        assert resolve_backend() == "python"
+
+    def test_pinning_resolves_eagerly(self, monkeypatch):
+        # An unavailable pin resolves to python at pin time, so a later
+        # (hypothetically successful) probe cannot flip the choice.
+        monkeypatch.setitem(
+            registry_mod._BACKENDS, "ghost", (lambda: False, lambda: None)
+        )
+        set_default_backend("ghost")
+        assert registry_mod._default == "python"
+
+    def test_use_backend_scopes_and_restores(self):
+        set_default_backend("python")
+        with use_backend("numpy") as resolved:
+            assert resolved == ("numpy" if HAVE_NUMPY else "python")
+            assert resolve_backend() == resolved
+        assert resolve_backend() == "python"
+
+    def test_use_backend_restores_on_error(self):
+        set_default_backend("python")
+        with pytest.raises(RuntimeError):
+            with use_backend("numpy"):
+                raise RuntimeError("boom")
+        assert registry_mod._default == "python"
+
+
+class TestKernels:
+    def test_instances_are_shared(self):
+        assert get_kernel("python") is get_kernel("python")
+
+    def test_kernel_reports_its_name(self):
+        assert get_kernel("python").name == "python"
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not available")
+    def test_numpy_kernel_resolves(self):
+        assert get_kernel("numpy").name == "numpy"
+
+    def test_format_version_is_a_positive_int(self):
+        assert isinstance(KERNEL_FORMAT_VERSION, int)
+        assert KERNEL_FORMAT_VERSION >= 1

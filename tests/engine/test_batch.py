@@ -42,7 +42,9 @@ def chunked_scan_inprocess(ruleset, data, overlap, pieces):
     units = BatchEngine._work_units(ruleset, mapping, chunks)
     if len(units) <= 1:  # the engine's own sequential fallback
         return sim.run(ruleset, data)
-    payload = pickle.dumps((ruleset, data, None, engine.hw))
+    payload = pickle.dumps(
+        (ruleset, data, None, engine.hw, batch_mod.resolve_backend())
+    )
     batch_mod._init_scan_worker(payload)
     outcomes = [batch_mod._scan_unit(unit) for unit in units]
     activity = BatchEngine._merge_outcomes(ruleset, mapping, outcomes, len(data))
