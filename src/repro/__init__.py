@@ -23,13 +23,22 @@ paper's tables and figures.
 """
 
 from repro.compiler import (
-    CompileError,
     CompiledMode,
     CompiledRegex,
     CompiledRuleset,
     CompilerConfig,
     compile_pattern,
     compile_ruleset,
+)
+from repro.errors import (
+    CacheCorruptionError,
+    CapacityError,
+    CompileError,
+    QuarantineEntry,
+    QuarantineReport,
+    ReproError,
+    TaskTimeoutError,
+    WorkerCrashError,
 )
 from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig, TileMode
 from repro.mapping.mapper import Mapping, MappingError, map_ruleset
@@ -47,6 +56,8 @@ __all__ = [
     "BVAPSimulator",
     "CAMASimulator",
     "CASimulator",
+    "CacheCorruptionError",
+    "CapacityError",
     "CompileError",
     "CompiledMode",
     "CompiledRegex",
@@ -56,9 +67,14 @@ __all__ = [
     "HardwareConfig",
     "Mapping",
     "MappingError",
+    "QuarantineEntry",
+    "QuarantineReport",
     "RAPSimulator",
+    "ReproError",
     "SimulationResult",
+    "TaskTimeoutError",
     "TileMode",
+    "WorkerCrashError",
     "compile_pattern",
     "compile_ruleset",
     "map_ruleset",

@@ -21,6 +21,7 @@ from pathlib import Path
 
 from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
 from repro.core import backend_names
+from repro.errors import ON_ERROR_POLICIES, ReproError
 from repro.io.serialize import load_ruleset, save_ruleset
 
 EXPERIMENTS = {
@@ -101,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
         "or python); an unavailable backend falls back to python, and "
         "results are bit-identical either way",
     )
+    _add_fault_args(p_scan)
+    p_scan.add_argument(
+        "--on-error",
+        choices=list(ON_ERROR_POLICIES),
+        default="fail",
+        help="what to do with patterns that fail compilation: fail "
+        "(default) aborts with the structured error, skip drops them, "
+        "quarantine drops them and reports each offender on stderr "
+        "(exit code 4 marks the partial result)",
+    )
     p_scan.add_argument(
         "--metrics", action="store_true", help="print hardware metrics"
     )
@@ -143,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="step-kernel backend for the hot loops (default: RAP_BACKEND "
         "or python); reported numbers are independent of the choice",
     )
+    _add_fault_args(p_exp)
 
     p_inspect = sub.add_parser(
         "inspect", help="summarize a compiled JSON ruleset"
@@ -156,6 +168,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("--size", type=int, default=24)
     p_work.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    """The supervised-execution knobs shared by ``scan``/``experiment``."""
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-work-unit deadline in seconds; overruns are retried "
+        "and, as a last resort, re-run in-process (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per work unit after a worker crash, "
+        "deadline overrun, or transient error (default: 2)",
+    )
 
 
 def _read_patterns(path: Path) -> list[str]:
@@ -197,20 +227,46 @@ def cmd_compile(args) -> int:
 
 
 def cmd_scan(args) -> int:
-    """Handler for ``repro scan``."""
+    """Handler for ``repro scan``.
+
+    Exit codes: 0 clean, 2 structured failure (compile/capacity/crash
+    beyond recovery under ``--on-error fail``), 3 oracle mismatch under
+    ``--verify``, 4 partial success (``--on-error quarantine`` excluded
+    at least one pattern; the healthy results still printed).
+    """
     from repro.engine import BatchEngine, EngineConfig
 
     engine = BatchEngine(
         EngineConfig(
-            jobs=args.jobs, use_cache=args.cache, backend=args.backend
+            jobs=args.jobs,
+            use_cache=args.cache,
+            backend=args.backend,
+            timeout=args.timeout,
+            retries=args.retries,
+            on_error=args.on_error,
         )
     )
+    quarantined = 0
     if args.ruleset:
         ruleset = load_ruleset(args.ruleset)
     else:
-        ruleset = engine.compile(
-            _read_patterns(args.patterns), CompilerConfig(bv_depth=args.bv_depth)
-        )
+        try:
+            ruleset = engine.compile(
+                _read_patterns(args.patterns),
+                CompilerConfig(bv_depth=args.bv_depth),
+            )
+        except ReproError as err:
+            print(f"error: {err}", file=sys.stderr)
+            for key, value in sorted(err.context().items()):
+                print(f"  {key}: {value!r}", file=sys.stderr)
+            return 2
+        if args.on_error == "quarantine" and ruleset.rejected:
+            quarantined = len(ruleset.rejected)
+            for pattern, reason in ruleset.rejected:
+                print(f"quarantined: {pattern!r}: {reason}", file=sys.stderr)
+            if not len(ruleset):
+                print("# all patterns quarantined", file=sys.stderr)
+                return 4
     data = args.input.read_bytes()
     result = engine.scan(ruleset, data, bin_size=args.bin_size)
     total = 0
@@ -228,6 +284,11 @@ def cmd_scan(args) -> int:
         print(f"# {report.describe()}", file=sys.stderr)
         if not report.ok:
             return 3
+    if quarantined:
+        print(
+            f"# partial: {quarantined} pattern(s) quarantined", file=sys.stderr
+        )
+        return 4
     return 0
 
 
@@ -248,6 +309,8 @@ def cmd_experiment(args) -> int:
         jobs=args.jobs,
         use_cache=args.cache,
         backend=args.backend,
+        timeout=args.timeout,
+        retries=args.retries,
     )
     result = module.run(config)
     print(result.to_table())

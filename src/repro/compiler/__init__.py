@@ -17,6 +17,7 @@ and the simulators.
 
 from repro.compiler.pipeline import CompilerConfig, compile_pattern, compile_ruleset
 from repro.compiler.program import (
+    CapacityError,
     CompiledMode,
     CompiledRegex,
     CompiledRuleset,
@@ -25,6 +26,7 @@ from repro.compiler.program import (
 )
 
 __all__ = [
+    "CapacityError",
     "CompileError",
     "CompiledMode",
     "CompiledRegex",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 
 from repro.automata.lnfa import LNFA
-from repro.compiler.program import CompiledMode, CompiledRegex, CompileError
+from repro.compiler.program import CapacityError, CompiledMode, CompiledRegex
 from repro.hardware.config import HardwareConfig
 from repro.hardware.encoding import lnfa_cam_eligible
 from repro.regex.ast import Regex
@@ -44,7 +44,7 @@ def compile_lnfa(
     if lin is None:
         return None
     if any(len(seq) > hw.max_regex_states for seq in lin.sequences):
-        raise CompileError(
+        raise CapacityError(
             f"an LNFA of this regex exceeds {hw.max_regex_states} states "
             "(one array)"
         )

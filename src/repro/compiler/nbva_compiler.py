@@ -20,6 +20,7 @@ from repro.automata.glushkov import (
 )
 from repro.compiler.placement import Placement, global_ports
 from repro.compiler.program import (
+    CapacityError,
     CompiledMode,
     CompiledRegex,
     CompileError,
@@ -90,7 +91,7 @@ def compile_nbva(
     if automaton.is_plain:
         return None
     if regex.unfolded_size() > hw.max_nbva_unfolded_states:
-        raise CompileError(
+        raise CapacityError(
             f"regex unfolds to {regex.unfolded_size()} STEs; NBVA mode "
             f"supports at most {hw.max_nbva_unfolded_states}"
         )
@@ -191,7 +192,7 @@ def _split_one(node: Repeat, depth: int, hw: HardwareConfig) -> Regex:
     words = budget // s if s else 0
     chunk = words * depth
     if chunk < 2:
-        raise CompileError(
+        raise CapacityError(
             f"counted repetition {node.to_pattern()} cannot fit a tile "
             f"even after splitting (body too wide)"
         )
@@ -242,7 +243,7 @@ def plan_nbva_tiles(
     for unit in units:
         unit_cols = unit.cc_columns + unit.bv_columns + unit.set1_columns
         if unit_cols > hw.cam_cols:
-            raise CompileError(
+            raise CapacityError(
                 f"placement unit needs {unit_cols} columns "
                 f"(tile capacity {hw.cam_cols}); splitting failed"
             )
@@ -315,7 +316,7 @@ def _units_in_order(
             "group positions must be contiguous in position order"
         )
         if group.width > hw.max_bv_bits:
-            raise CompileError(
+            raise CapacityError(
                 f"bit vector of {group.width} bits exceeds the "
                 f"{hw.max_bv_bits}-bit hardware limit; splitting failed"
             )

@@ -11,9 +11,9 @@ from __future__ import annotations
 from repro.automata.glushkov import Automaton, build_automaton
 from repro.compiler.placement import Placement, global_ports
 from repro.compiler.program import (
+    CapacityError,
     CompiledMode,
     CompiledRegex,
-    CompileError,
     TileRequest,
 )
 from repro.hardware.config import HardwareConfig, TileMode
@@ -34,7 +34,7 @@ def compile_nfa(
     linear and avoids materializing ClamAV-scale unfolded ASTs.
     """
     if regex.unfolded_size() > hw.max_regex_states:
-        raise CompileError(
+        raise CapacityError(
             f"regex needs {regex.unfolded_size()} STEs after unfolding; "
             f"NFA mode supports at most {hw.max_regex_states} (one array)"
         )

@@ -194,10 +194,19 @@ def compile_ruleset(
     config = config or CompilerConfig()
     compiled: list[CompiledRegex] = []
     rejected: list[tuple[str, str]] = []
-    for pattern in patterns:
+    errors: list[CompileError] = []
+    for index, pattern in enumerate(patterns):
         text = pattern if isinstance(pattern, str) else pattern.to_pattern()
         try:
             compiled.append(compile_pattern(pattern, len(compiled), config))
         except CompileError as err:
+            err.pattern = text
+            err.pattern_index = index
+            err.phase = "compile"
             rejected.append((text, str(err)))
-    return CompiledRuleset(regexes=tuple(compiled), rejected=tuple(rejected))
+            errors.append(err)
+    return CompiledRuleset(
+        regexes=tuple(compiled),
+        rejected=tuple(rejected),
+        rejected_errors=tuple(errors),
+    )

@@ -20,15 +20,17 @@ plan preserves the per-tile activity accounting the energy model needs.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.automata.glushkov import Automaton, ReadKind
 from repro.automata.lnfa import LNFA
+
+# Re-exported from the repo-wide taxonomy: CompileError moved to
+# repro.errors so the execution layer can classify failures without
+# importing the compiler; existing `from repro.compiler.program import
+# CompileError` call sites keep working.
+from repro.errors import CapacityError, CompileError
 from repro.hardware.config import TileMode
-
-
-class CompileError(ValueError):
-    """Raised when a regex cannot be compiled for the target hardware."""
 
 
 class CompiledMode(enum.Enum):
@@ -72,7 +74,7 @@ class TileRequest:
     def validate(self, cam_cols: int) -> None:
         """Check the request against the tile capacity."""
         if self.total_columns > cam_cols:
-            raise CompileError(
+            raise CapacityError(
                 f"tile request needs {self.total_columns} columns "
                 f"(capacity {cam_cols})"
             )
@@ -144,6 +146,14 @@ class CompiledRuleset:
 
     regexes: tuple[CompiledRegex, ...]
     rejected: tuple[tuple[str, str], ...] = ()  # (pattern, reason)
+    # The exception objects behind `rejected`, aligned index-for-index,
+    # so the execution layer can classify failures (CapacityError vs
+    # plain CompileError) without re-parsing reason strings.  Excluded
+    # from equality and not serialized: a cache round trip drops them,
+    # in which case classification falls back to CompileError.
+    rejected_errors: tuple[CompileError, ...] = field(
+        default=(), compare=False, repr=False
+    )
 
     def __len__(self) -> int:
         return len(self.regexes)

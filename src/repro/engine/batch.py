@@ -33,6 +33,13 @@ from repro.core import resolve_backend, set_default_backend, use_backend
 from repro.engine.cache import CompileCache, cached_compile_ruleset
 from repro.engine.partition import Chunk, plan_chunks, required_overlap
 from repro.engine.pool import effective_jobs, parallel_map
+from repro.engine.supervisor import SupervisorConfig, run_supervised
+from repro.errors import (
+    CompileError,
+    QuarantineEntry,
+    QuarantineReport,
+    validate_on_error,
+)
 from repro.hardware.config import TileMode
 from repro.simulators.activity import (
     BinActivity,
@@ -62,6 +69,46 @@ class EngineConfig:
     # Force a stitching window instead of deriving the safe bound (tests
     # and experiments with known match lengths); None derives it.
     overlap: int | None = None
+    # -- fault tolerance (the CLI's --timeout/--retries/--on-error) --------
+    # Per-unit deadline in seconds; None disables deadlines.
+    timeout: float | None = None
+    # Extra attempts per unit (crashes, timeouts, transient errors)
+    # before the in-process last resort.
+    retries: int = 2
+    # Base for the bounded exponential backoff between retry rounds.
+    backoff: float = 0.05
+    # What to do with patterns/tasks that fail beyond recovery:
+    # "fail" raises the structured error, "skip" drops the offender,
+    # "quarantine" drops it and reports it (see BatchEngine.run_batch).
+    on_error: str = "fail"
+    # Deterministic fault-injection plan (see repro.engine.faults);
+    # None defers to RAP_FAULT_PLAN, "" disables injection outright.
+    fault_plan: str | None = None
+
+    def __post_init__(self) -> None:
+        validate_on_error(self.on_error)
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """The outcome of a batch run under ``on_error="quarantine"``.
+
+    ``results`` is aligned with the input task order; quarantined tasks
+    hold ``None``.  ``quarantine`` names every excluded pattern/task
+    with its phase and error.
+    """
+
+    results: tuple
+    quarantine: QuarantineReport
+
+    @property
+    def ok(self) -> bool:
+        """Whether every task completed healthy."""
+        return not self.quarantine
+
+    def healthy(self) -> list:
+        """The non-quarantined results, in task order."""
+        return [r for r in self.results if r is not None]
 
 
 @dataclass(frozen=True)
@@ -99,40 +146,122 @@ class BatchEngine:
             return nullcontext()
         return use_backend(self.config.backend)
 
+    def _supervisor_config(self) -> SupervisorConfig:
+        """The retry/deadline knobs as the supervisor sees them."""
+        return SupervisorConfig(
+            timeout=self.config.timeout,
+            retries=self.config.retries,
+            backoff=self.config.backoff,
+        )
+
     # -- compilation -------------------------------------------------------
 
     def compile(
         self,
         patterns,
         compiler: CompilerConfig | None = None,
+        on_error: str | None = None,
     ) -> CompiledRuleset:
-        """Compile through the keyed cache when caching is enabled."""
+        """Compile through the keyed cache when caching is enabled.
+
+        Under the (default) ``"fail"`` policy a pattern the compiler
+        rejects raises its structured :class:`CompileError` /
+        :class:`~repro.errors.CapacityError`; under ``"skip"`` and
+        ``"quarantine"`` rejections stay recorded on the returned
+        ruleset (``ruleset.rejected``) and compilation proceeds with
+        the healthy patterns, matching real rule-feed deployments.
+        """
+        policy = validate_on_error(
+            on_error if on_error is not None else self.config.on_error
+        )
+        patterns = list(patterns)
         with self._backend_scope():
             if self.cache is not None:
-                return cached_compile_ruleset(patterns, compiler, self.cache)
-            from repro.compiler import compile_ruleset
+                ruleset = cached_compile_ruleset(patterns, compiler, self.cache)
+            else:
+                from repro.compiler import compile_ruleset
 
-            return compile_ruleset(list(patterns), compiler)
+                ruleset = compile_ruleset(patterns, compiler)
+        if policy == "fail" and ruleset.rejected:
+            raise _rejection_error(ruleset, patterns)
+        return ruleset
 
-    def _resolve(self, task: BatchTask) -> CompiledRuleset:
+    def _resolve(self, task: BatchTask, policy: str) -> CompiledRuleset:
         if task.ruleset is not None:
             return task.ruleset
-        return self.compile(task.patterns, task.compiler)
+        return self.compile(task.patterns, task.compiler, on_error=policy)
 
     # -- batch execution ---------------------------------------------------
 
-    def run_batch(self, tasks) -> list[SimulationResult]:
-        """Run every task, fanned out across processes, in task order."""
+    def run_batch(self, tasks, on_error: str | None = None):
+        """Run every task, fanned out across processes, in task order.
+
+        Execution is supervised: crashed workers are respawned, units
+        that blow ``EngineConfig.timeout`` are retried with backoff,
+        and stragglers fall back to in-process execution — results are
+        identical to a sequential run regardless.
+
+        The ``on_error`` policy (default ``EngineConfig.on_error``)
+        governs failures that survive all of that:
+
+        * ``"fail"`` — raise the first structured error (a list of
+          results is returned only when everything succeeded);
+        * ``"skip"`` — return a list with ``None`` at failed tasks;
+        * ``"quarantine"`` — return a :class:`BatchReport` whose
+          ``results`` align with the task order and whose
+          ``quarantine`` report names every excluded pattern/task.
+        """
+        policy = validate_on_error(
+            on_error if on_error is not None else self.config.on_error
+        )
         tasks = list(tasks)
         backend = resolve_backend(self.config.backend)
-        payloads = [
-            pickle.dumps(
-                (self._resolve(task), task.data, task.bin_size, self.hw, backend),
-                protocol=pickle.HIGHEST_PROTOCOL,
+        entries: list[QuarantineEntry] = []
+        results: list[SimulationResult | None] = [None] * len(tasks)
+        payloads: list[bytes] = []
+        payload_tasks: list[int] = []
+        for index, task in enumerate(tasks):
+            ruleset = self._resolve(task, policy)  # raises under "fail"
+            if policy == "quarantine":
+                entries.extend(_rejection_entries(ruleset, task, index))
+            if task.patterns is not None and ruleset.rejected and not len(ruleset):
+                continue  # nothing compiled: quarantine the whole task
+            payloads.append(
+                pickle.dumps(
+                    (ruleset, task.data, task.bin_size, self.hw, backend),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
             )
-            for task in tasks
-        ]
-        return parallel_map(_execute_task, payloads, jobs=self.config.jobs)
+            payload_tasks.append(index)
+        outcomes = run_supervised(
+            _execute_task,
+            payloads,
+            jobs=self.config.jobs,
+            config=self._supervisor_config(),
+            fault_plan=self.config.fault_plan,
+        )
+        for outcome, index in zip(outcomes, payload_tasks):
+            if outcome.error is None:
+                results[index] = outcome.result
+                continue
+            if policy == "fail":
+                raise outcome.error
+            if policy == "quarantine":
+                entries.append(
+                    QuarantineEntry(
+                        phase="execute",
+                        error=str(outcome.error),
+                        error_type=type(outcome.error).__name__,
+                        task_index=index,
+                        attempts=outcome.attempts,
+                    )
+                )
+        if policy == "quarantine":
+            return BatchReport(
+                results=tuple(results),
+                quarantine=QuarantineReport(tuple(entries)),
+            )
+        return results
 
     def merge_results(self, results) -> SimulationResult:
         """Fold shard results with :meth:`SimulationResult.merge`."""
@@ -156,6 +285,12 @@ class BatchEngine:
         """Scan one stream, parallelized, bit-identical to sequential.
 
         ``source`` is a compiled ruleset or an iterable of patterns.
+
+        Execution is supervised (see :meth:`run_batch`): worker
+        crashes, deadline overruns, and injected faults are retried and
+        re-collected; because retried units recompute the same integer
+        activity, the merged result stays bit-identical to the
+        sequential reference no matter which faults fired.
         """
         if isinstance(source, CompiledRuleset):
             ruleset = source
@@ -189,6 +324,11 @@ class BatchEngine:
                 jobs=jobs,
                 initializer=_init_scan_worker,
                 initargs=(payload,),
+                finalizer=_reset_scan_worker,
+                timeout=self.config.timeout,
+                retries=self.config.retries,
+                backoff=self.config.backoff,
+                fault_plan=self.config.fault_plan,
             )
             activity = self._merge_outcomes(
                 ruleset, mapping, outcomes, len(data)
@@ -292,6 +432,57 @@ class BatchEngine:
         return RunActivity(regex=regex, lnfa_bins=lnfa_bins, input_symbols=n)
 
 
+# -- policy helpers ---------------------------------------------------------
+
+
+def _rejection_error(ruleset: CompiledRuleset, patterns: list) -> CompileError:
+    """The structured error for the first rejected pattern of a compile."""
+    pattern, reason = ruleset.rejected[0]
+    causes = ruleset.rejected_errors
+    cause = causes[0] if causes else None
+    # Re-raise as the original class (CapacityError stays CapacityError)
+    # even when the ruleset came out of the cache without error objects.
+    cls = type(cause) if isinstance(cause, CompileError) else CompileError
+    try:
+        index = patterns.index(pattern)
+    except ValueError:
+        index = None
+    return cls(
+        f"{len(ruleset.rejected)} of {len(patterns)} pattern(s) failed to "
+        f"compile; first: {pattern!r}: {reason}",
+        pattern=pattern,
+        pattern_index=index,
+        phase="compile",
+    )
+
+
+def _rejection_entries(
+    ruleset: CompiledRuleset, task: BatchTask, task_index: int
+) -> list[QuarantineEntry]:
+    """Quarantine entries for every pattern a task's compile rejected."""
+    causes = ruleset.rejected_errors
+    entries = []
+    for offset, (pattern, reason) in enumerate(ruleset.rejected):
+        cause = causes[offset] if offset < len(causes) else None
+        pattern_index = getattr(cause, "pattern_index", None)
+        if pattern_index is None and task.patterns is not None:
+            try:
+                pattern_index = task.patterns.index(pattern)
+            except ValueError:
+                pattern_index = None
+        entries.append(
+            QuarantineEntry(
+                phase="compile",
+                error=reason,
+                error_type=type(cause).__name__ if cause else "CompileError",
+                pattern=pattern,
+                pattern_index=pattern_index,
+                task_index=task_index,
+            )
+        )
+    return entries
+
+
 # -- worker-side functions (module level: picklable by the pool) -----------
 
 _WORKER_STATE: dict = {}
@@ -306,6 +497,17 @@ def _init_scan_worker(payload: bytes) -> None:
     _WORKER_STATE["hw"] = hw
     _WORKER_STATE["regex_by_id"] = {r.regex_id: r for r in ruleset}
     _WORKER_STATE["mapping"] = sim.build_mapping(ruleset, bin_size=bin_size)
+
+
+def _reset_scan_worker() -> None:
+    """Clear the worker globals.
+
+    Worker processes die with their state, but the in-process fallback
+    runs ``_init_scan_worker`` in the *parent* — without this reset the
+    seeded ruleset/stream would leak into (and pin memory for) every
+    later scan in the process.
+    """
+    _WORKER_STATE.clear()
 
 
 def _scan_unit(unit: tuple):

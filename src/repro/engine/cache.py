@@ -18,9 +18,14 @@ under different execution semantics.  Bumping either version therefore
 invalidates every cached entry, and two processes racing on the same
 key both write the same bytes.
 
-Writes are atomic (temp file + ``os.replace``) and reads are
-corruption-tolerant: a truncated, garbled, or version-skewed entry is
-deleted and treated as a miss, falling back to a fresh compile.
+Writes are atomic (temp file + ``os.replace``) and carry a SHA-256
+content checksum over the serialized payload; reads verify it before
+deserializing, so *any* corruption — truncation, bit rot, a partial
+write from a crashed process — is caught positively rather than by
+hoping the deserializer chokes.  A failed entry is mapped onto
+:class:`~repro.errors.CacheCorruptionError`, logged at debug level,
+evicted, and treated as a miss: a broken cache can slow a run down but
+never change its results.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from collections.abc import Iterable
@@ -37,6 +43,7 @@ from pathlib import Path
 from repro.compiler import CompilerConfig, compile_ruleset
 from repro.compiler.program import CompiledRuleset
 from repro.core import KERNEL_FORMAT_VERSION, resolve_backend
+from repro.errors import CacheCorruptionError
 from repro.io.serialize import (
     FORMAT_NAME,
     FORMAT_VERSION,
@@ -46,6 +53,12 @@ from repro.io.serialize import (
 )
 
 CACHE_DIR_ENV = "RAP_CACHE_DIR"
+
+# Version of the on-disk envelope (checksum wrapper), independent of
+# the payload's FORMAT_VERSION; bumping it invalidates every entry.
+ENTRY_VERSION = 1
+
+log = logging.getLogger(__name__)
 
 
 def default_cache_dir() -> Path:
@@ -93,12 +106,25 @@ def ruleset_cache_key(
 
 
 class CompileCache:
-    """A directory of compiled rulesets addressed by content hash."""
+    """A directory of compiled rulesets addressed by content hash.
+
+    Entries are checksummed envelopes::
+
+        {"format": ..., "entry_version": 1,
+         "checksum": sha256(payload), "payload": "<ruleset JSON text>"}
+
+    The checksum is computed over the exact payload text written, so a
+    read verifies content integrity byte-for-byte before touching the
+    deserializer.
+    """
 
     def __init__(self, root: str | Path | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # The last eviction's structured error (diagnostics/tests).
+        self.last_corruption: CacheCorruptionError | None = None
 
     def path(self, key: str) -> Path:
         """Where a key's entry lives on disk."""
@@ -109,33 +135,84 @@ class CompileCache:
         path = self.path(key)
         try:
             with open(path) as f:
-                ruleset = ruleset_from_json(json.load(f))
+                document = json.load(f)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError, SerializationError):
-            # Corrupted or stale entry (partial write from a crashed
-            # process, disk damage, or an old format): drop it and
-            # recompile rather than failing the run.
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
-            self.misses += 1
-            return None
+        except (OSError, ValueError) as err:
+            return self._evict(path, f"unreadable entry: {err}")
+        try:
+            ruleset = self._verify(document)
+        except CacheCorruptionError as err:
+            return self._evict(path, str(err))
         self.hits += 1
         return ruleset
+
+    def _verify(self, document) -> CompiledRuleset:
+        """Checksum-validate one envelope and deserialize its payload."""
+        if not isinstance(document, dict) or "checksum" not in document:
+            raise CacheCorruptionError(
+                "entry predates the checksummed envelope format"
+            )
+        if document.get("entry_version") != ENTRY_VERSION:
+            raise CacheCorruptionError(
+                f"entry version {document.get('entry_version')!r} "
+                f"(this build writes {ENTRY_VERSION})"
+            )
+        payload = document.get("payload")
+        if not isinstance(payload, str):
+            raise CacheCorruptionError("entry payload missing")
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        if digest != document["checksum"]:
+            raise CacheCorruptionError(
+                f"checksum mismatch: entry says {document['checksum']!r}, "
+                f"payload hashes to {digest!r}"
+            )
+        try:
+            return ruleset_from_json(json.loads(payload))
+        except (ValueError, KeyError, TypeError, SerializationError) as err:
+            # Checksum passed but the payload is version-skewed or was
+            # written by a buggy serializer: still an eviction.
+            raise CacheCorruptionError(f"undeserializable payload: {err}")
+
+    def _evict(self, path: Path, reason: str) -> None:
+        """Drop a corrupt entry, mapping it onto CacheCorruptionError.
+
+        Always returns None (a miss): corruption must never fail the
+        run — the caller recompiles and overwrites the entry.
+        """
+        error = CacheCorruptionError(
+            f"cache entry {path.name} corrupt ({reason}); "
+            "evicted and recompiling",
+            phase="cache",
+        )
+        log.debug("%s", error)
+        self.last_corruption = error
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        self.misses += 1
+        self.evictions += 1
+        return None
 
     def put(self, key: str, ruleset: CompiledRuleset) -> Path:
         """Atomically persist a compiled ruleset under ``key``."""
         path = self.path(key)
         self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(ruleset_to_json(ruleset))
+        document = {
+            "format": FORMAT_NAME,
+            "entry_version": ENTRY_VERSION,
+            "checksum": hashlib.sha256(payload.encode()).hexdigest(),
+            "payload": payload,
+        }
         fd, tmp = tempfile.mkstemp(
             dir=self.root, prefix=f".{key[:16]}-", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w") as f:
-                json.dump(ruleset_to_json(ruleset), f)
+                json.dump(document, f)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -143,6 +220,11 @@ class CompileCache:
             except OSError:
                 pass
             raise
+        # Deterministic fault injection: a "truncate_cache" directive
+        # corrupts this write so recovery paths are testable in CI.
+        from repro.engine import faults
+
+        faults.inject_cache_put(path)
         return path
 
 

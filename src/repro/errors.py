@@ -1,0 +1,188 @@
+"""Structured exception taxonomy for the whole reproduction.
+
+Every failure the execution layer can recover from (or report on) is an
+instance of :class:`ReproError`, carrying machine-readable context —
+which pattern, which work unit, how many attempts — so supervisors,
+quarantine reports, and the CLI can act on failures without parsing
+message strings.
+
+The taxonomy mirrors the failure domains of a production automata
+service ingesting adversarial rule feeds:
+
+* :class:`CompileError` — a pattern the compiler cannot lower
+  (syntax, unsupported fragment, semantic guard).  Subclasses
+  ``ValueError`` so pre-taxonomy ``except ValueError`` call sites keep
+  working.
+* :class:`CapacityError` — a *well-formed* pattern that exceeds a
+  hardware limit (tile columns, one-array state budget, BV width).
+  Distinguished from :class:`CompileError` because real rulesets
+  (Snort/ClamAV-scale feeds) routinely contain such stragglers and
+  deployments quarantine rather than reject the whole feed.
+* :class:`WorkerCrashError` — a worker process died (segfault, OOM
+  kill, ``os._exit``); the unit may be re-run, the pool respawned.
+* :class:`TaskTimeoutError` — a unit exceeded its deadline; subclasses
+  ``TimeoutError`` for interoperability.
+* :class:`CacheCorruptionError` — an on-disk compile-cache entry failed
+  its checksum or failed to deserialize; always recoverable (evict and
+  recompile).
+
+Errors are picklable across process boundaries with their context
+intact (``__reduce__`` preserves keyword state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ReproError(Exception):
+    """Base class: a failure with machine-readable context attached.
+
+    ``pattern`` / ``pattern_index`` locate a failing regex inside its
+    workload; ``unit`` names the execution work unit (an index or a
+    descriptor tuple); ``attempts`` counts how many times a supervisor
+    tried the unit before giving up; ``phase`` says where in the
+    pipeline the failure happened (``"compile"`` / ``"execute"`` /
+    ``"cache"``).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        pattern: str | None = None,
+        pattern_index: int | None = None,
+        unit=None,
+        attempts: int | None = None,
+        phase: str | None = None,
+    ):
+        super().__init__(message)
+        self.pattern = pattern
+        self.pattern_index = pattern_index
+        self.unit = unit
+        self.attempts = attempts
+        self.phase = phase
+
+    def context(self) -> dict:
+        """The non-empty context fields, as a plain dict."""
+        fields = {
+            "pattern": self.pattern,
+            "pattern_index": self.pattern_index,
+            "unit": self.unit,
+            "attempts": self.attempts,
+            "phase": self.phase,
+        }
+        return {k: v for k, v in fields.items() if v is not None}
+
+    def __reduce__(self):
+        # Exception's default __reduce__ only replays positional args;
+        # carry the keyword context across pickling (worker -> parent).
+        return (self.__class__, self.args, self.__dict__)
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+class CompileError(ReproError, ValueError):
+    """A regex cannot be compiled for the target hardware."""
+
+
+class CapacityError(CompileError):
+    """A well-formed regex exceeds a hardware capacity limit."""
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died while (or before) executing a unit."""
+
+
+class TaskTimeoutError(ReproError, TimeoutError):
+    """A work unit exceeded its per-unit deadline."""
+
+
+class CacheCorruptionError(ReproError):
+    """An on-disk cache entry failed validation; evicted and recompiled."""
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One quarantined pattern or task: what failed, where, and why."""
+
+    phase: str  # "compile" | "execute"
+    error: str  # human-readable reason
+    error_type: str = "ReproError"  # exception class name
+    pattern: str | None = None
+    pattern_index: int | None = None
+    task_index: int | None = None
+    attempts: int | None = None
+
+    def describe(self) -> str:
+        """One log line for this entry."""
+        where = (
+            f"pattern {self.pattern!r}"
+            if self.pattern is not None
+            else f"task {self.task_index}"
+        )
+        return f"[{self.phase}] {where}: {self.error_type}: {self.error}"
+
+
+@dataclass(frozen=True)
+class QuarantineReport:
+    """The offenders excluded from a batch run under ``on_error`` !=
+    ``fail``, returned alongside the healthy results."""
+
+    entries: tuple[QuarantineEntry, ...] = field(default=())
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def patterns(self) -> tuple[str, ...]:
+        """The quarantined pattern strings (compile-phase offenders)."""
+        return tuple(
+            e.pattern for e in self.entries if e.pattern is not None
+        )
+
+    def by_phase(self, phase: str) -> tuple[QuarantineEntry, ...]:
+        """Entries from one pipeline phase."""
+        return tuple(e for e in self.entries if e.phase == phase)
+
+    def describe(self) -> str:
+        """A multi-line human-readable summary."""
+        if not self.entries:
+            return "quarantine: empty"
+        noun = "entry" if len(self.entries) == 1 else "entries"
+        lines = [f"quarantine: {len(self.entries)} {noun}"]
+        lines.extend(f"  {entry.describe()}" for entry in self.entries)
+        return "\n".join(lines)
+
+
+ON_ERROR_POLICIES = ("fail", "skip", "quarantine")
+
+
+def validate_on_error(policy: str) -> str:
+    """Check an ``on_error`` policy name, returning it unchanged."""
+    if policy not in ON_ERROR_POLICIES:
+        raise ValueError(
+            f"unknown on_error policy {policy!r}; "
+            f"expected one of {', '.join(ON_ERROR_POLICIES)}"
+        )
+    return policy
+
+
+__all__ = [
+    "ON_ERROR_POLICIES",
+    "CacheCorruptionError",
+    "CapacityError",
+    "CompileError",
+    "QuarantineEntry",
+    "QuarantineReport",
+    "ReproError",
+    "TaskTimeoutError",
+    "WorkerCrashError",
+    "validate_on_error",
+]

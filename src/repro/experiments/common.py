@@ -52,6 +52,12 @@ class ExperimentConfig:
     jobs: int = 1
     use_cache: bool = False
     backend: str | None = None  # None: RAP_BACKEND or python
+    # Supervised-execution knobs (the CLI's --timeout/--retries): a
+    # per-benchmark deadline in seconds (None: no deadline) and extra
+    # attempts after crashes/overruns; retried benchmarks recompute the
+    # same numbers, so these never change a reported quantity either.
+    timeout: float | None = None
+    retries: int = 2
 
     @classmethod
     def scaled(cls) -> "ExperimentConfig":
@@ -233,6 +239,8 @@ def map_benchmarks(
         _run_benchmark_worker,
         [(worker, name, config) for name in names],
         jobs=config.jobs,
+        timeout=config.timeout,
+        retries=config.retries,
     )
 
 

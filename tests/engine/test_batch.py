@@ -8,12 +8,14 @@ afford many examples.
 
 import pickle
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compiler import CompilerConfig, compile_ruleset
 from repro.engine import (
     BatchEngine,
+    BatchReport,
     BatchTask,
     EngineConfig,
     effective_jobs,
@@ -21,6 +23,8 @@ from repro.engine import (
     required_overlap,
 )
 from repro.engine import batch as batch_mod
+from repro.engine.supervisor import run_supervised
+from repro.errors import CapacityError, CompileError
 from repro.simulators import RAPSimulator
 
 # All bounded-memory (acyclic, unanchored, no counters): chunkable.
@@ -203,3 +207,211 @@ class TestRunBatch:
         engine = BatchEngine(EngineConfig(jobs=1, use_cache=False))
         (result,) = engine.run_batch([task])
         assert result.matches[0] == [3]
+
+    def test_merge_results_rejects_empty(self):
+        engine = BatchEngine(EngineConfig(use_cache=False))
+        with pytest.raises(ValueError):
+            engine.merge_results([])
+
+
+# An unparseable pattern and a well-formed one the NFA backend cannot
+# place (needs ~2400 STEs against a 2048-state one-array budget).
+BROKEN_PATTERN = "a("
+OVERSIZED_PATTERN = "abc" + "(x|y)" * 1200
+
+
+class TestOnErrorPolicies:
+    def engine(self, **overrides):
+        defaults = dict(jobs=1, use_cache=False, fault_plan="")
+        defaults.update(overrides)
+        return BatchEngine(EngineConfig(**defaults))
+
+    def mixed_tasks(self):
+        return [
+            BatchTask(data=b"xGATTACAx", patterns=(BROKEN_PATTERN,)),
+            BatchTask(
+                data=b"xGATTACAx",
+                patterns=("GATTACA", OVERSIZED_PATTERN),
+            ),
+        ]
+
+    def test_fail_raises_structured_compile_error(self):
+        with pytest.raises(CompileError) as info:
+            self.engine().run_batch(self.mixed_tasks())
+        assert info.value.pattern == BROKEN_PATTERN
+        assert info.value.pattern_index == 0
+        assert info.value.phase == "compile"
+
+    def test_fail_preserves_capacity_class(self):
+        with pytest.raises(CapacityError):
+            self.engine().compile([OVERSIZED_PATTERN])
+
+    def test_quarantine_names_both_offenders(self):
+        # The acceptance scenario: one uncompilable pattern and one
+        # over-capacity pattern; the batch completes, returns the
+        # healthy results, and the report names both offenders.
+        report = self.engine().run_batch(
+            self.mixed_tasks(), on_error="quarantine"
+        )
+        assert isinstance(report, BatchReport)
+        assert not report.ok
+        assert set(report.quarantine.patterns()) == {
+            BROKEN_PATTERN,
+            OVERSIZED_PATTERN,
+        }
+        by_pattern = {e.pattern: e for e in report.quarantine}
+        assert by_pattern[BROKEN_PATTERN].error_type == "CompileError"
+        assert by_pattern[OVERSIZED_PATTERN].error_type == "CapacityError"
+        assert all(e.phase == "compile" for e in report.quarantine)
+        # Task 0 had no healthy pattern at all: fully quarantined.
+        assert report.results[0] is None
+        # Task 1's healthy pattern still ran and matched.
+        (healthy,) = report.healthy()
+        assert report.results[1] is healthy
+        assert healthy.matches[0] == [7]
+
+    def test_skip_returns_holes(self):
+        results = self.engine().run_batch(self.mixed_tasks(), on_error="skip")
+        assert results[0] is None
+        assert results[1] is not None
+
+    def test_all_clean_quarantine_report_is_empty(self):
+        report = self.engine().run_batch(
+            [BatchTask(data=b"abcd", patterns=("abcd",))],
+            on_error="quarantine",
+        )
+        assert report.ok
+        assert report.healthy() == list(report.results)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(on_error="retry")
+        with pytest.raises(ValueError):
+            self.engine().run_batch([], on_error="explode")
+
+
+class TestFaultInjectedExecution:
+    """The acceptance property: crashes and deadline overruns during
+    execution must never change results — only timing."""
+
+    def test_batch_identical_under_crash_and_hang(self):
+        ruleset = compiled(WINDOWABLE)
+        streams = [b"abcd" * 30, b"xbcxabcd" * 20, b"acdx" * 25]
+        tasks = [BatchTask(data=s, ruleset=ruleset) for s in streams]
+        engine = BatchEngine(
+            EngineConfig(
+                jobs=2,
+                use_cache=False,
+                timeout=20.0,
+                retries=3,
+                backoff=0.001,
+                fault_plan="crash@0:0;hang@1:0*0.05",
+            )
+        )
+        sim = RAPSimulator()
+        assert engine.run_batch(tasks) == [
+            sim.run(ruleset, s) for s in streams
+        ]
+
+    def test_scan_identical_under_crash_and_timeout(self):
+        # One worker crashes on its first unit, another unit sleeps
+        # past the deadline; the merged scan is still bit-identical.
+        ruleset = compiled(WINDOWABLE)
+        data = (b"x" * 97 + b"abcd" + b"y" * 30) * 40
+        engine = BatchEngine(
+            EngineConfig(
+                jobs=2,
+                use_cache=False,
+                min_chunk_bytes=256,
+                timeout=0.5,
+                retries=3,
+                backoff=0.001,
+                fault_plan="crash@0:0;hang@1:0*2.0",
+            )
+        )
+        seq = RAPSimulator().run(ruleset, data)
+        par = engine.scan(ruleset, data)
+        assert par.matches == seq.matches
+        assert par.energy_breakdown_pj == seq.energy_breakdown_pj
+        assert par == seq
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        data=st.text(alphabet="abcdx", min_size=40, max_size=160).map(
+            lambda s: s.encode()
+        ),
+        crash_unit=st.integers(min_value=0, max_value=3),
+        hang_unit=st.integers(min_value=0, max_value=3),
+    )
+    def test_scan_under_faults_equals_sequential(
+        self, data, crash_unit, hang_unit
+    ):
+        ruleset = compiled(WINDOWABLE)
+        engine = BatchEngine(
+            EngineConfig(
+                jobs=2,
+                use_cache=False,
+                min_chunk_bytes=8,
+                overlap=8,
+                timeout=10.0,
+                retries=3,
+                backoff=0.001,
+                fault_plan=(
+                    f"crash@{crash_unit}:0;hang@{hang_unit}:0*0.01"
+                ),
+            )
+        )
+        seq = RAPSimulator().run(ruleset, data)
+        par = engine.scan(ruleset, data)
+        assert par.matches == seq.matches
+        assert par.energy_breakdown_pj == seq.energy_breakdown_pj
+        assert par == seq
+
+
+class TestWorkerStateHygiene:
+    def test_inline_fallback_clears_worker_state(self):
+        # The in-process path seeds _WORKER_STATE in the *parent*; the
+        # finalizer must clear it so a scan cannot pin its ruleset and
+        # stream in memory for the life of the process (regression).
+        ruleset = compiled(["abcd"])
+        data = b"xxabcdxx" * 4
+        sim = RAPSimulator()
+        mapping = sim.build_mapping(ruleset, bin_size=None)
+        chunks = plan_chunks(len(data), 2, overlap=8, min_owned=1)
+        units = BatchEngine._work_units(ruleset, mapping, chunks)
+        payload = pickle.dumps(
+            (ruleset, data, None, BatchEngine().hw, batch_mod.resolve_backend())
+        )
+        outcomes = run_supervised(
+            batch_mod._scan_unit,
+            units,
+            jobs=1,
+            initializer=batch_mod._init_scan_worker,
+            initargs=(payload,),
+            finalizer=batch_mod._reset_scan_worker,
+            fault_plan="",
+        )
+        assert all(o.ok for o in outcomes)
+        assert batch_mod._WORKER_STATE == {}
+
+    def test_scan_leaves_no_parent_state(self):
+        # End to end: exhaust the pool for every unit so scan's own
+        # parallel_map takes the inline fallback inside this process.
+        ruleset = compiled(["abcd"])
+        data = (b"x" * 40 + b"abcd") * 30
+        plan = ";".join(
+            f"crash@{u}:{a}" for u in range(8) for a in range(3)
+        )
+        engine = BatchEngine(
+            EngineConfig(
+                jobs=2,
+                use_cache=False,
+                min_chunk_bytes=64,
+                overlap=8,
+                retries=2,
+                backoff=0.001,
+                fault_plan=plan,
+            )
+        )
+        assert engine.scan(ruleset, data) == RAPSimulator().run(ruleset, data)
+        assert batch_mod._WORKER_STATE == {}

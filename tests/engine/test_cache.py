@@ -128,3 +128,80 @@ class TestCompileCache:
         cached_compile_ruleset(PATTERNS, cache=cache)
         # No temp droppings survive a successful write.
         assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestChecksumIntegrity:
+    def entry(self, cache):
+        cached_compile_ruleset(PATTERNS, cache=cache)
+        return cache.path(ruleset_cache_key(PATTERNS, CompilerConfig()))
+
+    def test_entries_carry_a_checksum(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        document = json.loads(self.entry(cache).read_text())
+        assert document["entry_version"] == cache_mod.ENTRY_VERSION
+        assert len(document["checksum"]) == 64
+        assert isinstance(document["payload"], str)
+
+    def test_payload_tamper_is_positively_detected(self, tmp_path):
+        # Flip one byte of the payload while keeping the envelope (and
+        # even the payload itself) valid JSON: only the checksum can
+        # catch this, the deserializer alone would not.
+        cache = CompileCache(tmp_path)
+        path = self.entry(cache)
+        document = json.loads(path.read_text())
+        document["payload"] = document["payload"].replace(
+            '"abc"', '"abq"', 1
+        )
+        path.write_text(json.dumps(document))
+        assert cache.get(path.stem) is None
+        assert cache.evictions == 1
+        assert not path.exists()
+        err = cache.last_corruption
+        assert err is not None
+        assert "checksum mismatch" in str(err)
+        assert err.phase == "cache"
+
+    def test_pre_envelope_entry_is_a_corrupt_miss(self, tmp_path):
+        # An entry from before the checksummed envelope (a bare ruleset
+        # document) must evict, not crash.
+        cache = CompileCache(tmp_path)
+        path = self.entry(cache)
+        document = json.loads(path.read_text())
+        path.write_text(document["payload"])
+        assert cache.get(path.stem) is None
+        assert cache.evictions == 1
+
+    def test_eviction_counts_and_recovers(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cold = cached_compile_ruleset(PATTERNS, cache=cache)
+        path = cache.path(ruleset_cache_key(PATTERNS, CompilerConfig()))
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        again = cached_compile_ruleset(PATTERNS, cache=cache)
+        assert ruleset_to_json(again) == ruleset_to_json(cold)
+        assert cache.evictions == 1
+        assert (cache.hits, cache.misses) == (0, 2)
+        # The rewritten entry verifies clean.
+        assert cached_compile_ruleset(PATTERNS, cache=cache) is not None
+        assert cache.hits == 1
+
+
+class TestFaultInjectedCachePuts:
+    def test_truncate_cache_directive_round_trips(self, tmp_path):
+        # The injected half-write is caught by the checksum on the next
+        # read, evicted, and recompiled — results never change.
+        from repro.engine import faults
+
+        faults.install_plan("truncate_cache@0")
+        try:
+            cache = CompileCache(tmp_path)
+            cold = cached_compile_ruleset(PATTERNS, cache=cache)
+            # Ordinal 0 write was truncated on disk.
+            again = cached_compile_ruleset(PATTERNS, cache=cache)
+            assert ruleset_to_json(again) == ruleset_to_json(cold)
+            assert cache.evictions == 1
+            # Ordinal 1 rewrite was clean: now it hits.
+            cached_compile_ruleset(PATTERNS, cache=cache)
+            assert cache.hits == 1
+        finally:
+            faults.reset()

@@ -1,0 +1,133 @@
+"""Fault-plan tests: parsing, resolution precedence, deterministic firing."""
+
+import pickle
+
+import pytest
+
+from repro.engine import faults
+from repro.engine.faults import (
+    FAULT_PLAN_ENV,
+    FaultDirective,
+    FaultPlan,
+)
+from repro.errors import WorkerCrashError
+
+
+@pytest.fixture(autouse=True)
+def clean_state(monkeypatch):
+    """Every test starts with no installed plan and no env plan."""
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestPlanParsing:
+    def test_compact_single(self):
+        plan = FaultPlan.parse("crash@3")
+        assert plan.directives == (FaultDirective("crash", index=3),)
+
+    def test_compact_full_coordinates(self):
+        plan = FaultPlan.parse("hang@1:2*0.25")
+        (d,) = plan.directives
+        assert (d.kind, d.index, d.attempt, d.seconds) == ("hang", 1, 2, 0.25)
+
+    def test_compact_multi_with_either_separator(self):
+        semi = FaultPlan.parse("crash@0;error@1:1")
+        comma = FaultPlan.parse("crash@0, error@1:1")
+        assert semi == comma
+        assert [d.kind for d in semi.directives] == ["crash", "error"]
+
+    def test_json_form(self):
+        plan = FaultPlan.parse(
+            '[{"kind": "truncate_cache", "index": 1}, {"kind": "pickle"}]'
+        )
+        assert plan.directives[0].kind == "truncate_cache"
+        assert plan.directives[1] == FaultDirective("pickle")
+
+    def test_spec_round_trips(self):
+        plan = FaultPlan.parse("crash@0;hang@1:0*2.5;error@2:1;pickle@3")
+        assert FaultPlan.parse(plan.spec()) == plan
+
+    def test_empty_specs(self):
+        assert not FaultPlan.parse(None)
+        assert not FaultPlan.parse("")
+        assert not FaultPlan.parse("  ;  ")
+        assert FaultPlan.parse(FaultPlan()) == FaultPlan()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("meltdown@0")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash")
+
+
+class TestPlanLookup:
+    def test_for_unit_is_exact_coordinate(self):
+        plan = FaultPlan.parse("error@2:1")
+        assert plan.for_unit(2, 1) is not None
+        assert plan.for_unit(2, 0) is None
+        assert plan.for_unit(1, 1) is None
+
+    def test_cache_kinds_never_match_units(self):
+        plan = FaultPlan.parse("truncate_cache@0")
+        assert plan.for_unit(0, 0) is None
+        assert plan.for_cache_put(0) is not None
+        assert plan.for_cache_put(1) is None
+
+
+class TestResolution:
+    def test_env_plan(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "crash@0")
+        assert faults.plan_from_env().directives[0].kind == "crash"
+        assert faults.resolve_plan(None) == faults.plan_from_env()
+
+    def test_explicit_empty_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "crash@0")
+        assert not faults.resolve_plan("")
+
+    def test_installed_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "crash@0")
+        faults.install_plan("error@5")
+        assert faults.active_plan().directives[0].kind == "error"
+        # An explicitly installed *empty* plan disables env injection.
+        faults.install_plan("")
+        assert not faults.active_plan()
+        faults.reset()
+        assert faults.active_plan().directives[0].kind == "crash"
+
+
+class TestInjection:
+    def test_no_directive_is_a_noop(self):
+        faults.inject_unit(0, 0, plan=FaultPlan.parse("crash@7"))
+
+    def test_in_process_crash_is_an_exception(self):
+        # A worker would os._exit; in-process the crash must stay
+        # parent-safe and raise the structured error instead.
+        with pytest.raises(WorkerCrashError) as info:
+            faults.inject_unit(
+                3, 1, plan=FaultPlan.parse("crash@3:1"), in_process=True
+            )
+        assert info.value.unit == 3
+
+    def test_error_and_pickle_kinds(self):
+        with pytest.raises(RuntimeError):
+            faults.inject_unit(0, 0, plan=FaultPlan.parse("error@0"))
+        with pytest.raises(pickle.PicklingError):
+            faults.inject_unit(0, 0, plan=FaultPlan.parse("pickle@0"))
+
+    def test_hang_returns_after_sleeping(self):
+        faults.inject_unit(0, 0, plan=FaultPlan.parse("hang@0*0.001"))
+
+    def test_cache_truncation_fires_at_exact_ordinal(self, tmp_path):
+        faults.install_plan("truncate_cache@1")
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        first.write_bytes(b"x" * 100)
+        second.write_bytes(b"y" * 100)
+        faults.inject_cache_put(first)  # ordinal 0: untouched
+        faults.inject_cache_put(second)  # ordinal 1: truncated
+        assert first.read_bytes() == b"x" * 100
+        assert second.read_bytes() == b"y" * 50

@@ -91,6 +91,106 @@ class TestScan:
         assert direct == via_file
 
 
+class TestScanFaultPolicies:
+    @pytest.fixture()
+    def mixed_rules(self, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text("GATTACA\na(\n")
+        return path
+
+    @pytest.fixture()
+    def stream(self, tmp_path):
+        path = tmp_path / "in.bin"
+        path.write_bytes(b"xxGATTACAyy")
+        return path
+
+    def test_default_fail_is_structured_exit_2(
+        self, mixed_rules, stream, capsys
+    ):
+        code = main(
+            ["scan", "--patterns", str(mixed_rules), str(stream), "--no-cache"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "pattern: 'a('" in err
+        assert "phase: 'compile'" in err
+
+    def test_quarantine_is_partial_exit_4(self, mixed_rules, stream, capsys):
+        code = main(
+            [
+                "scan",
+                "--patterns",
+                str(mixed_rules),
+                str(stream),
+                "--no-cache",
+                "--on-error",
+                "quarantine",
+            ]
+        )
+        assert code == 4
+        captured = capsys.readouterr()
+        # The healthy pattern still matched and printed.
+        assert "GATTACA" in captured.out
+        assert "quarantined: 'a('" in captured.err
+        assert "partial: 1 pattern(s) quarantined" in captured.err
+
+    def test_all_quarantined_exit_4_without_scanning(
+        self, tmp_path, stream, capsys
+    ):
+        rules = tmp_path / "allbad.txt"
+        rules.write_text("a(\n")
+        code = main(
+            [
+                "scan",
+                "--patterns",
+                str(rules),
+                str(stream),
+                "--no-cache",
+                "--on-error",
+                "quarantine",
+            ]
+        )
+        assert code == 4
+        assert "all patterns quarantined" in capsys.readouterr().err
+
+    def test_skip_drops_offenders_cleanly(self, mixed_rules, stream, capsys):
+        code = main(
+            [
+                "scan",
+                "--patterns",
+                str(mixed_rules),
+                str(stream),
+                "--no-cache",
+                "--on-error",
+                "skip",
+            ]
+        )
+        assert code == 0
+        assert "GATTACA" in capsys.readouterr().out
+
+    def test_supervision_flags_parse_and_run(self, mixed_rules, stream):
+        args = build_parser().parse_args(
+            [
+                "scan",
+                "--patterns",
+                str(mixed_rules),
+                str(stream),
+                "--timeout",
+                "2.5",
+                "--retries",
+                "5",
+            ]
+        )
+        assert args.timeout == 2.5
+        assert args.retries == 5
+        args = build_parser().parse_args(
+            ["experiment", "fig1", "--timeout", "30", "--retries", "1"]
+        )
+        assert args.timeout == 30.0
+        assert args.retries == 1
+
+
 class TestWorkload:
     def test_known_benchmark(self, capsys):
         code = main(["workload", "Snort", "--size", "6"])

@@ -200,3 +200,105 @@ class TestParserGuardRails:
     def test_class_with_all_bytes(self):
         node = parse("[\\x00-\\xff]")
         assert node.cc.is_any()
+
+
+class TestErrorTaxonomy:
+    def test_hierarchy_keeps_legacy_handlers_working(self):
+        from repro.errors import (
+            CapacityError,
+            CompileError,
+            ReproError,
+            TaskTimeoutError,
+        )
+
+        # Pre-taxonomy call sites catch ValueError / TimeoutError.
+        assert issubclass(CompileError, ValueError)
+        assert issubclass(CapacityError, CompileError)
+        assert issubclass(TaskTimeoutError, TimeoutError)
+        assert issubclass(CapacityError, ReproError)
+
+    def test_context_reports_only_set_fields(self):
+        from repro.errors import CompileError
+
+        err = CompileError("nope", pattern="a(", pattern_index=3)
+        assert err.context() == {"pattern": "a(", "pattern_index": 3}
+
+    def test_context_survives_pickling(self):
+        import pickle
+
+        from repro.errors import TaskTimeoutError
+
+        err = TaskTimeoutError(
+            "deadline", unit=("regex", 4), attempts=3, phase="execute"
+        )
+        back = pickle.loads(pickle.dumps(err))
+        assert type(back) is TaskTimeoutError
+        assert str(back) == "deadline"
+        assert back.context() == err.context()
+
+    def test_capacity_overflow_raises_capacity_error(self):
+        from repro.compiler import CompilerConfig, compile_pattern
+        from repro.errors import CapacityError
+
+        with pytest.raises(CapacityError):
+            compile_pattern("abc" + "(x|y)" * 1200, 0, CompilerConfig())
+
+    def test_compile_ruleset_annotates_rejections(self):
+        from repro.compiler import CompilerConfig, compile_ruleset
+        from repro.errors import CompileError
+
+        ruleset = compile_ruleset(["ok", "a("], CompilerConfig())
+        (cause,) = ruleset.rejected_errors
+        assert isinstance(cause, CompileError)
+        assert cause.pattern == "a("
+        assert cause.pattern_index == 1
+        assert cause.phase == "compile"
+
+    def test_on_error_policy_validation(self):
+        from repro.errors import ON_ERROR_POLICIES, validate_on_error
+
+        for policy in ON_ERROR_POLICIES:
+            assert validate_on_error(policy) == policy
+        with pytest.raises(ValueError):
+            validate_on_error("ignore")
+
+
+class TestQuarantineReport:
+    def entries(self):
+        from repro.errors import QuarantineEntry
+
+        return (
+            QuarantineEntry(
+                phase="compile",
+                error="unbalanced parenthesis",
+                error_type="CompileError",
+                pattern="a(",
+                pattern_index=0,
+            ),
+            QuarantineEntry(
+                phase="execute",
+                error="worker crashed",
+                error_type="WorkerCrashError",
+                task_index=2,
+                attempts=3,
+            ),
+        )
+
+    def test_report_shape(self):
+        from repro.errors import QuarantineReport
+
+        report = QuarantineReport(self.entries())
+        assert len(report) == 2
+        assert bool(report)
+        assert report.patterns() == ("a(",)
+        assert [e.phase for e in report.by_phase("execute")] == ["execute"]
+        assert not QuarantineReport()
+
+    def test_describe_names_every_offender(self):
+        from repro.errors import QuarantineReport
+
+        text = QuarantineReport(self.entries()).describe()
+        assert "2 entries" in text
+        assert "pattern 'a('" in text
+        assert "task 2" in text
+        assert "WorkerCrashError" in text
