@@ -161,25 +161,102 @@ class NBVASimulator:
         anchored_end: bool = False,
     ):
         """Generator over match end positions (and stats, if given)."""
-        plain_act = self._plain_act
-        set1_targets = self._set1_targets
-        copy_targets = self._copy_targets
-        shift_targets = self._shift_targets
-        width_mask = self._width_mask
-        read = self._read
-        labels = self._labels
-        counted_match = self._counted_match
+        return self.scanner(
+            anchored_start=anchored_start, anchored_end=anchored_end
+        ).iter_feed(data, stats, at_end=True)
 
-        last = len(data) - 1
-        active = 0
-        vectors: dict[int, int] = {}
-        for i, byte in enumerate(data):
-            if anchored_start and i:
+    def count_matches(self, data: bytes) -> int:
+        """Number of non-empty matches in ``data``."""
+        return sum(1 for _ in self.iter_matches(data))
+
+    def scanner(
+        self, *, anchored_start: bool = False, anchored_end: bool = False
+    ) -> "NBVAScanner":
+        """A streaming scanner with snapshot/restore for this NBVA."""
+        return NBVAScanner(
+            self, anchored_start=anchored_start, anchored_end=anchored_end
+        )
+
+
+# Version of the serialized NBVA frontier encoding.
+NBVA_STATE_VERSION = 1
+
+
+class NBVAScanner:
+    """Streaming NBVA scan: feed segments, snapshot/restore mid-stream.
+
+    The frontier is the plain active-state bitset plus every live
+    counted-state bit vector — exactly what the simulation step carries
+    between symbols — so a scanner restored from :meth:`snapshot`
+    continues the counter dataflow bit-identically.  Match positions
+    (and recorded ``bv_cycle_indices``) are *global* stream offsets.
+    """
+
+    def __init__(
+        self,
+        sim: NBVASimulator,
+        *,
+        anchored_start: bool = False,
+        anchored_end: bool = False,
+    ):
+        self._sim = sim
+        self._anchored_start = anchored_start
+        self._anchored_end = anchored_end
+        self._offset = 0
+        self._active = 0
+        self._vectors: dict[int, int] = {}
+
+    @property
+    def offset(self) -> int:
+        """Global stream position: bytes consumed so far."""
+        return self._offset
+
+    def feed(
+        self,
+        segment: bytes,
+        stats: NBVAStats | None = None,
+        *,
+        at_end: bool = True,
+    ) -> list[int]:
+        """Consume the next segment; match positions are global."""
+        return list(self.iter_feed(segment, stats, at_end=at_end))
+
+    def iter_feed(
+        self,
+        segment: bytes,
+        stats: NBVAStats | None = None,
+        *,
+        at_end: bool = True,
+    ):
+        """Lazy :meth:`feed`: yields global match positions as found.
+
+        The frontier advances per consumed symbol, so abandoning the
+        generator mid-segment leaves the scanner at the last consumed
+        position (the whole-stream ``iter_matches`` relies on this).
+        """
+        sim = self._sim
+        plain_act = sim._plain_act
+        set1_targets = sim._set1_targets
+        copy_targets = sim._copy_targets
+        shift_targets = sim._shift_targets
+        width_mask = sim._width_mask
+        read = sim._read
+        labels = sim._labels
+        counted_match = sim._counted_match
+        anchored_start = self._anchored_start
+        anchored_end = self._anchored_end
+
+        offset = self._offset
+        last = len(segment) - 1
+        active = self._active
+        vectors = self._vectors
+        for i, byte in enumerate(segment):
+            if anchored_start and (offset + i):
                 avail = 0
                 set1: set[int] = set()
             else:
-                avail = self._initial_plain
-                set1 = set(self._initial_counted)
+                avail = sim._initial_plain
+                set1 = set(sim._initial_counted)
             contrib: dict[int, int] = {}
             matching = counted_match[byte]
 
@@ -225,6 +302,9 @@ class NBVASimulator:
             vectors = {
                 dst: vec for dst, vec in contrib.items() if vec and dst in matching
             }
+            self._active = active
+            self._vectors = vectors
+            self._offset = offset + i + 1
 
             if stats is not None:
                 stats.cycles += 1
@@ -235,20 +315,52 @@ class NBVASimulator:
                 if vectors:
                     stats.bv_phase_cycles += 1
                     if stats.bv_cycle_indices is not None:
-                        stats.bv_cycle_indices.append(i)
+                        stats.bv_cycle_indices.append(offset + i)
 
-            matched = bool(active & self._final_plain)
+            matched = bool(active & sim._final_plain)
             if not matched:
-                for pid in self._final_counted:
+                for pid in sim._final_counted:
                     vec = vectors.get(pid, 0)
                     if vec and read[pid](vec):
                         matched = True
                         break
-            if matched and (not anchored_end or i == last):
+            if matched and (not anchored_end or (at_end and i == last)):
                 if stats is not None:
                     stats.reports += 1
-                yield i
+                yield offset + i
 
-    def count_matches(self, data: bytes) -> int:
-        """Number of non-empty matches in ``data``."""
-        return sum(1 for _ in self.iter_matches(data))
+    def snapshot(self) -> dict:
+        """JSON-ready mid-stream state (vectors in sorted pid order —
+        dict order never affects results, but determinism keeps the
+        serialized bytes, and hence checkpoint checksums, stable)."""
+        return {
+            "version": NBVA_STATE_VERSION,
+            "offset": self._offset,
+            "active": f"{self._active:x}",
+            "vectors": [
+                [pid, f"{vec:x}"]
+                for pid, vec in sorted(self._vectors.items())
+            ],
+        }
+
+    def restore(self, doc: dict) -> None:
+        """Adopt a state produced by :meth:`snapshot`."""
+        try:
+            version = doc["version"]
+            if version != NBVA_STATE_VERSION:
+                raise ValueError(
+                    f"NBVA-state version {version!r} "
+                    f"(this build reads {NBVA_STATE_VERSION})"
+                )
+            offset = int(doc["offset"])
+            active = int(doc["active"], 16)
+            vectors = {
+                int(pid): int(vec, 16) for pid, vec in doc["vectors"]
+            }
+        except (KeyError, TypeError) as err:
+            raise ValueError(f"malformed NBVA-state document: {err}") from err
+        if offset < 0:
+            raise ValueError("state offset must be non-negative")
+        self._offset = offset
+        self._active = active
+        self._vectors = vectors

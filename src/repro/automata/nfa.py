@@ -18,12 +18,13 @@ simulators price come back as the kernel's exact integer counters.
 from __future__ import annotations
 
 from repro.automata.glushkov import Automaton, EdgeAction
+from repro.automata.streaming import ProgramScanner
 from repro.core.kernel import StepStats
 from repro.core.program import KernelProgram, ProgramKind
 from repro.core.registry import get_kernel
 from repro.regex.charclass import label_masks
 
-__all__ = ["NFASimulator", "StepStats"]
+__all__ = ["NFAScanner", "NFASimulator", "StepStats"]
 
 
 class NFASimulator:
@@ -145,6 +146,57 @@ class NFASimulator:
     def count_matches(self, data: bytes) -> int:
         """Number of non-empty matches in ``data``."""
         return len(self.find_matches(data))
+
+    def scanner(
+        self, *, anchored_start: bool = False, anchored_end: bool = False
+    ) -> "NFAScanner":
+        """A streaming scanner with snapshot/restore for this NFA."""
+        return NFAScanner(
+            self.program(
+                anchored_start=anchored_start, anchored_end=anchored_end
+            )
+        )
+
+
+class NFAScanner:
+    """Streaming NFA scan: feed segments, snapshot/restore mid-stream.
+
+    Feeding a stream in any segmentation yields the same match
+    positions and accumulated stats as one :meth:`NFASimulator.
+    find_matches` call over the whole stream.
+    """
+
+    def __init__(self, program: KernelProgram):
+        self._scanner = ProgramScanner(program)
+
+    @property
+    def offset(self) -> int:
+        """Global stream position: bytes consumed so far."""
+        return self._scanner.offset
+
+    def feed(
+        self,
+        segment: bytes,
+        stats: StepStats | None = None,
+        *,
+        at_end: bool = True,
+    ) -> list[int]:
+        """Consume the next segment; match positions are global."""
+        events, run = self._scanner.feed(segment, at_end=at_end)
+        if stats is not None:
+            stats.cycles += run.cycles
+            stats.active_states += run.active_states
+            stats.matched_states += run.matched_states
+            stats.reports += run.reports
+        return [i for i, _ in events]
+
+    def snapshot(self) -> dict:
+        """JSON-ready mid-stream state."""
+        return self._scanner.snapshot()
+
+    def restore(self, doc: dict) -> None:
+        """Adopt a state produced by :meth:`snapshot`."""
+        self._scanner.restore(doc)
 
 
 def _mask(pids) -> int:

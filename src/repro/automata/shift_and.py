@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.automata.lnfa import LNFA
+from repro.automata.streaming import ProgramScanner
 from repro.core.program import KernelProgram, ProgramKind
 from repro.core.registry import get_kernel
 from repro.regex.charclass import label_masks
@@ -117,6 +118,51 @@ class ShiftAnd:
                 if stats is not None:
                     stats.reports += 1
                 yield i
+
+    def scanner(
+        self, *, anchored_start: bool = False, anchored_end: bool = False
+    ) -> "ShiftAndScanner":
+        """A streaming scanner with snapshot/restore for this pattern."""
+        return ShiftAndScanner(
+            self.program(
+                anchored_start=anchored_start, anchored_end=anchored_end
+            )
+        )
+
+
+class ShiftAndScanner:
+    """Streaming Shift-And scan over one LNFA with snapshot/restore."""
+
+    def __init__(self, program: KernelProgram):
+        self._scanner = ProgramScanner(program)
+
+    @property
+    def offset(self) -> int:
+        """Global stream position: bytes consumed so far."""
+        return self._scanner.offset
+
+    def feed(
+        self,
+        segment: bytes,
+        stats: ShiftAndStats | None = None,
+        *,
+        at_end: bool = True,
+    ) -> list[int]:
+        """Consume the next segment; match positions are global."""
+        events, run = self._scanner.feed(segment, at_end=at_end)
+        if stats is not None:
+            stats.cycles += run.cycles
+            stats.active_bits += run.active_states
+            stats.reports += run.reports
+        return [i for i, _ in events]
+
+    def snapshot(self) -> dict:
+        """JSON-ready mid-stream state."""
+        return self._scanner.snapshot()
+
+    def restore(self, doc: dict) -> None:
+        """Adopt a state produced by :meth:`snapshot`."""
+        self._scanner.restore(doc)
 
 
 class MultiShiftAnd:
@@ -255,3 +301,54 @@ class MultiShiftAnd:
                 if stats is not None:
                     stats.reports += 1
                 yield pattern_of_final[low.bit_length() - 1], i
+
+    def scanner(self) -> "MultiShiftAndScanner":
+        """A streaming scanner with snapshot/restore for this pack."""
+        return MultiShiftAndScanner(self)
+
+
+class MultiShiftAndScanner:
+    """Streaming scan of a packed multi-pattern machine.
+
+    ``feed`` returns ``(pattern_index, global_end_position)`` pairs in
+    the same order :meth:`MultiShiftAnd.find_matches` reports them.
+    """
+
+    def __init__(self, packed: MultiShiftAnd):
+        self._packed = packed
+        self._scanner = ProgramScanner(packed.program)
+
+    @property
+    def offset(self) -> int:
+        """Global stream position: bytes consumed so far."""
+        return self._scanner.offset
+
+    def feed(
+        self,
+        segment: bytes,
+        stats: ShiftAndStats | None = None,
+        *,
+        at_end: bool = True,
+    ) -> list[tuple[int, int]]:
+        """Consume the next segment; end positions are global."""
+        events, run = self._scanner.feed(segment, at_end=at_end)
+        pattern_of_final = self._packed._pattern_of_final
+        out: list[tuple[int, int]] = []
+        for i, hits in events:
+            while hits:
+                low = hits & -hits
+                hits ^= low
+                out.append((pattern_of_final[low.bit_length() - 1], i))
+        if stats is not None:
+            stats.cycles += run.cycles
+            stats.active_bits += run.active_states
+            stats.reports += len(out)
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-ready mid-stream state."""
+        return self._scanner.snapshot()
+
+    def restore(self, doc: dict) -> None:
+        """Adopt a state produced by :meth:`snapshot`."""
+        self._scanner.restore(doc)

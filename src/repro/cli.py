@@ -103,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
         "results are bit-identical either way",
     )
     _add_fault_args(p_scan)
+    _add_durability_args(p_scan)
     p_scan.add_argument(
         "--on-error",
         choices=list(ON_ERROR_POLICIES),
@@ -155,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         "or python); reported numbers are independent of the choice",
     )
     _add_fault_args(p_exp)
+    _add_budget_args(p_exp)
 
     p_inspect = sub.add_parser(
         "inspect", help="summarize a compiled JSON ruleset"
@@ -185,6 +187,66 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
         default=2,
         help="extra attempts per work unit after a worker crash, "
         "deadline overrun, or transient error (default: 2)",
+    )
+
+
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    """The resource-budget knobs shared by ``scan``/``experiment``."""
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget for the run; exceeded budgets follow "
+        "--degrade where available, else abort (default: none)",
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        help="peak resident-set budget in MiB (default: none)",
+    )
+
+
+def _add_durability_args(parser: argparse.ArgumentParser) -> None:
+    """The checkpoint/resume and degradation knobs of ``scan``."""
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="directory for atomic scan checkpoints; a scan killed at "
+        "any point (even SIGKILL) re-run with --resume continues from "
+        "the newest intact checkpoint, bit-identical to an "
+        "uninterrupted run",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1 << 20,
+        metavar="BYTES",
+        help="bytes of input per durable-scan chunk (and checkpoint "
+        "eligibility point; default: 1 MiB)",
+    )
+    parser.add_argument(
+        "--checkpoint-seconds",
+        type=float,
+        default=None,
+        help="minimum seconds between checkpoint writes "
+        "(default: checkpoint every chunk)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the newest intact checkpoint in "
+        "--checkpoint-dir (fresh start when none exists)",
+    )
+    _add_budget_args(parser)
+    parser.add_argument(
+        "--degrade",
+        choices=["fail", "shed"],
+        default="fail",
+        help="budget-pressure policy: fail (default) aborts with a "
+        "structured error; shed freezes the lowest-weight patterns, "
+        "quarantines them, and finishes partial (exit code 4)",
     )
 
 
@@ -236,6 +298,9 @@ def cmd_scan(args) -> int:
     """
     from repro.engine import BatchEngine, EngineConfig
 
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     engine = BatchEngine(
         EngineConfig(
             jobs=args.jobs,
@@ -244,6 +309,15 @@ def cmd_scan(args) -> int:
             timeout=args.timeout,
             retries=args.retries,
             on_error=args.on_error,
+            checkpoint_dir=(
+                str(args.checkpoint_dir) if args.checkpoint_dir else None
+            ),
+            checkpoint_every_bytes=args.checkpoint_every,
+            checkpoint_every_seconds=args.checkpoint_seconds,
+            resume=args.resume,
+            max_seconds=args.max_seconds,
+            max_rss_mb=args.max_rss_mb,
+            degrade=args.degrade,
         )
     )
     quarantined = 0
@@ -268,13 +342,41 @@ def cmd_scan(args) -> int:
                 print("# all patterns quarantined", file=sys.stderr)
                 return 4
     data = args.input.read_bytes()
-    result = engine.scan(ruleset, data, bin_size=args.bin_size)
+    durable = (
+        args.checkpoint_dir is not None
+        or args.max_seconds is not None
+        or args.max_rss_mb is not None
+    )
+    outcome = None
+    if durable:
+        try:
+            outcome = engine.durable_scan(ruleset, data, bin_size=args.bin_size)
+        except ReproError as err:
+            print(f"error: {err}", file=sys.stderr)
+            for key, value in sorted(err.context().items()):
+                print(f"  {key}: {value!r}", file=sys.stderr)
+            return 2
+        result = outcome.result
+    else:
+        result = engine.scan(ruleset, data, bin_size=args.bin_size)
     total = 0
     for regex in ruleset:
         for end in result.matches[regex.regex_id]:
             print(f"{end}\t{regex.regex_id}\t{regex.pattern}")
             total += 1
     print(f"# {total} matches over {len(data)} bytes", file=sys.stderr)
+    if outcome is not None:
+        if outcome.resumed_from is not None:
+            print(
+                f"# resumed from checkpoint at byte {outcome.resumed_from}",
+                file=sys.stderr,
+            )
+        if outcome.checkpoints_written or outcome.checkpoint_failures:
+            print(
+                f"# checkpoints: {outcome.checkpoints_written} written, "
+                f"{outcome.checkpoint_failures} failed",
+                file=sys.stderr,
+            )
     if args.metrics:
         print(f"# {result.summary()}", file=sys.stderr)
     if args.verify:
@@ -284,6 +386,14 @@ def cmd_scan(args) -> int:
         print(f"# {report.describe()}", file=sys.stderr)
         if not report.ok:
             return 3
+    if outcome is not None and outcome.quarantine:
+        print(outcome.quarantine.describe(), file=sys.stderr)
+        print(
+            f"# partial: {len(outcome.quarantine)} pattern(s) shed "
+            "under budget pressure",
+            file=sys.stderr,
+        )
+        return 4
     if quarantined:
         print(
             f"# partial: {quarantined} pattern(s) quarantined", file=sys.stderr
@@ -311,8 +421,16 @@ def cmd_experiment(args) -> int:
         backend=args.backend,
         timeout=args.timeout,
         retries=args.retries,
+        max_seconds=args.max_seconds,
+        max_rss_mb=args.max_rss_mb,
     )
-    result = module.run(config)
+    try:
+        result = module.run(config)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        for key, value in sorted(err.context().items()):
+            print(f"  {key}: {value!r}", file=sys.stderr)
+        return 2
     print(result.to_table())
     return 0
 

@@ -26,15 +26,23 @@ from repro.core.registry import (
     set_default_backend,
     use_backend,
 )
+from repro.core.state import (
+    STATE_FORMAT_VERSION,
+    KernelState,
+    iter_states_from,
+)
 
 __all__ = [
     "BACKEND_ENV",
     "KERNEL_FORMAT_VERSION",
+    "STATE_FORMAT_VERSION",
     "KernelProgram",
+    "KernelState",
     "MatchEvent",
     "ProgramKind",
     "StepKernel",
     "StepStats",
+    "iter_states_from",
     "available_backends",
     "backend_names",
     "get_kernel",

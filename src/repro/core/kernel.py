@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 if TYPE_CHECKING:
     from repro.core.program import KernelProgram
+    from repro.core.state import KernelState
 
 # A reporting cycle: (end position, mask of final bits that fired).
 MatchEvent = tuple[int, int]
@@ -86,6 +87,26 @@ class StepKernel(Protocol):
         ``stats_from`` bytes are a warm-up prefix: they drive the active
         set but contribute neither events nor counters (the parallel
         engine's overlap-window stitching).
+        """
+        ...
+
+    def scan_segment(
+        self,
+        program: "KernelProgram",
+        data: bytes,
+        state: "KernelState | None" = None,
+        *,
+        at_end: bool = True,
+    ) -> tuple[list[MatchEvent], StepStats, "KernelState"]:
+        """Run ``program`` over one segment of a longer stream.
+
+        ``state`` is the frontier left by the previous segment (``None``
+        for a fresh stream); the returned state continues the scan.
+        Event positions are *global* stream offsets.  ``at_end=False``
+        says more input follows, so end-anchored finals are masked even
+        on the segment's last byte.  Feeding a stream in any segmentation
+        yields the same concatenated events and merged stats as one
+        ``scan`` over the whole stream — the durable-scan invariant.
         """
         ...
 

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.kernel import MatchEvent, StepStats
 from repro.core.program import KernelProgram, ProgramKind
 from repro.core.pykernel import PythonKernel
+from repro.core.state import KernelState
 
 
 def _np_tables(program: KernelProgram):
@@ -147,6 +148,91 @@ class NumpyKernel:
             matched_states=matched,
             reports=len(events),
         )
+
+    def scan_segment(
+        self,
+        program: KernelProgram,
+        data: bytes,
+        state: KernelState | None = None,
+        *,
+        at_end: bool = True,
+    ) -> tuple[list[MatchEvent], StepStats, KernelState]:
+        """Resumable segment scan with the same cold-skip acceleration;
+        bit-identical to :meth:`PythonKernel.scan_segment`."""
+        state = state or KernelState()
+        n = len(data)
+        if n == 0:
+            return [], StepStats(), state
+        cold_next, hot, pops = _np_tables(program)
+        arr = np.frombuffer(data, dtype=np.uint8)
+        hot_idx = np.flatnonzero(hot[arr]).tolist()
+        n_hot = len(hot_idx)
+
+        labels = program.labels
+        succ = program.succ
+        final = program.final
+        end_anchored = program.end_anchored_finals
+        inject = program.inject_always
+        gather = program.kind is ProgramKind.GATHER
+        left = program.kind is ProgramKind.SHIFT_LEFT
+        keep = ~program.clear_after_shift
+        offset = state.offset
+        last = n - 1
+        events: list[MatchEvent] = []
+        active = 0
+        states = state.states
+        i = 0
+        if offset == 0:
+            states = program.inject_first & labels[data[0]]
+            if states:
+                active += states.bit_count()
+                hits = states & final
+                if hits and not (at_end and last == 0):
+                    hits &= ~end_anchored
+                if hits:
+                    events.append((0, hits))
+            i = 1
+        k = 0  # monotone cursor into hot_idx (indices only grow)
+        while i < n:
+            if not states:
+                while k < n_hot and hot_idx[k] < i:
+                    k += 1
+                if k == n_hot:
+                    break
+                i = hot_idx[k]
+                k += 1
+                states = cold_next[data[i]]
+            else:
+                byte = data[i]
+                if gather:
+                    avail = inject
+                    a = states
+                    while a:
+                        low = a & -a
+                        avail |= succ[low.bit_length() - 1]
+                        a ^= low
+                elif left:
+                    avail = (states << 1) & keep | inject
+                else:
+                    avail = states >> 1 | inject
+                states = avail & labels[byte]
+            if states:
+                active += states.bit_count()
+                hits = states & final
+                if hits:
+                    if not (at_end and i == last):
+                        hits &= ~end_anchored
+                    if hits:
+                        events.append((offset + i, hits))
+            i += 1
+        matched = int(pops[arr].sum()) if program.track_matched else 0
+        stats = StepStats(
+            cycles=n,
+            active_states=active,
+            matched_states=matched,
+            reports=len(events),
+        )
+        return events, stats, KernelState(offset=offset + n, states=states)
 
     def iter_states(self, program: KernelProgram, data: bytes):
         """Lazy per-cycle view (no block skipping — delegated)."""

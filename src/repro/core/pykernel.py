@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.core.kernel import MatchEvent, StepStats
 from repro.core.program import KernelProgram, ProgramKind
+from repro.core.state import KernelState
 
 # Above this many label-carrying byte values, per-value ``bytes.count``
 # sweeps cost more than one C-level map over the whole input.
@@ -177,6 +178,79 @@ class PythonKernel:
                         if hits:
                             events.append((i, hits))
         return events, active
+
+    # -- resumable segment scan ----------------------------------------------
+
+    def scan_segment(
+        self,
+        program: KernelProgram,
+        data: bytes,
+        state: KernelState | None = None,
+        *,
+        at_end: bool = True,
+    ) -> tuple[list[MatchEvent], StepStats, KernelState]:
+        """Resumable scan over one stream segment (see
+        :class:`~repro.core.kernel.StepKernel` for the contract)."""
+        state = state or KernelState()
+        n = len(data)
+        if n == 0:
+            return [], StepStats(), state
+        labels = program.labels
+        succ = program.succ
+        final = program.final
+        end_anchored = program.end_anchored_finals
+        inject = program.inject_always
+        gather = program.kind is ProgramKind.GATHER
+        left = program.kind is ProgramKind.SHIFT_LEFT
+        keep = ~program.clear_after_shift
+        offset = state.offset
+        last = n - 1
+        events: list[MatchEvent] = []
+        active = 0
+        states = state.states
+        start = 0
+        if offset == 0:
+            # The stream's true first symbol: availability is the
+            # injection mask alone (transition of the empty set is
+            # empty), matching the whole-stream loops bit for bit.
+            states = program.inject_first & labels[data[0]]
+            if states:
+                active += states.bit_count()
+                hits = states & final
+                if hits and not (at_end and last == 0):
+                    hits &= ~end_anchored
+                if hits:
+                    events.append((0, hits))
+            start = 1
+        for i, byte in enumerate(memoryview(data)[start:], start):
+            if gather:
+                avail = inject
+                a = states
+                while a:
+                    low = a & -a
+                    avail |= succ[low.bit_length() - 1]
+                    a ^= low
+            elif left:
+                avail = (states << 1) & keep | inject
+            else:
+                avail = states >> 1 | inject
+            states = avail & labels[byte]
+            if states:
+                active += states.bit_count()
+                hits = states & final
+                if hits:
+                    if not (at_end and i == last):
+                        hits &= ~end_anchored
+                    if hits:
+                        events.append((offset + i, hits))
+        matched = _matched_states(program, data, 0) if program.track_matched else 0
+        stats = StepStats(
+            cycles=n,
+            active_states=active,
+            matched_states=matched,
+            reports=len(events),
+        )
+        return events, stats, KernelState(offset=offset + n, states=states)
 
     # -- lazy per-cycle view -------------------------------------------------
 

@@ -15,7 +15,20 @@ Failures that survive recovery follow the engine's ``on_error`` policy
 (fail / skip / quarantine, see :class:`~repro.errors.QuarantineReport`).
 """
 
-from repro.engine.batch import BatchEngine, BatchReport, BatchTask, EngineConfig
+from repro.engine.batch import (
+    BatchEngine,
+    BatchReport,
+    BatchTask,
+    DurableScanOutcome,
+    EngineConfig,
+)
+from repro.engine.budget import (
+    DEGRADE_POLICIES,
+    BudgetMonitor,
+    ResourceBudget,
+    current_rss_mb,
+    validate_degrade,
+)
 from repro.engine.cache import (
     CACHE_DIR_ENV,
     CompileCache,
@@ -23,6 +36,7 @@ from repro.engine.cache import (
     default_cache_dir,
     ruleset_cache_key,
 )
+from repro.engine.checkpoint import CheckpointStore, DurableScan
 from repro.engine.faults import FAULT_PLAN_ENV, FaultDirective, FaultPlan
 from repro.engine.partition import (
     Chunk,
@@ -40,16 +54,23 @@ __all__ = [
     "BatchEngine",
     "BatchReport",
     "BatchTask",
+    "BudgetMonitor",
     "CACHE_DIR_ENV",
+    "CheckpointStore",
     "Chunk",
     "CompileCache",
+    "DEGRADE_POLICIES",
+    "DurableScan",
+    "DurableScanOutcome",
     "EngineConfig",
     "FAULT_PLAN_ENV",
     "FaultDirective",
     "FaultPlan",
+    "ResourceBudget",
     "SupervisorConfig",
     "UnitOutcome",
     "cached_compile_ruleset",
+    "current_rss_mb",
     "default_cache_dir",
     "effective_jobs",
     "parallel_map",
@@ -57,4 +78,5 @@ __all__ = [
     "required_overlap",
     "run_supervised",
     "ruleset_cache_key",
+    "validate_degrade",
 ]

@@ -30,11 +30,15 @@ from dataclasses import dataclass, field
 from repro.compiler import CompilerConfig
 from repro.compiler.program import CompiledMode, CompiledRuleset
 from repro.core import resolve_backend, set_default_backend, use_backend
+from repro.engine import faults
+from repro.engine.budget import BudgetMonitor, ResourceBudget, validate_degrade
 from repro.engine.cache import CompileCache, cached_compile_ruleset
+from repro.engine.checkpoint import CheckpointStore, DurableScan
 from repro.engine.partition import Chunk, plan_chunks, required_overlap
 from repro.engine.pool import effective_jobs, parallel_map
 from repro.engine.supervisor import SupervisorConfig, run_supervised
 from repro.errors import (
+    BudgetExceededError,
     CompileError,
     QuarantineEntry,
     QuarantineReport,
@@ -84,9 +88,28 @@ class EngineConfig:
     # Deterministic fault-injection plan (see repro.engine.faults);
     # None defers to RAP_FAULT_PLAN, "" disables injection outright.
     fault_plan: str | None = None
+    # -- durability (the CLI's --checkpoint-dir/--resume family) ------------
+    # Directory for atomic scan checkpoints; None disables checkpointing.
+    checkpoint_dir: str | None = None
+    # Durable-scan chunk size: a checkpoint becomes eligible every this
+    # many consumed bytes (also the segment granularity of the scan).
+    checkpoint_every_bytes: int = 1 << 20
+    # Minimum seconds between checkpoint writes; None writes every chunk.
+    checkpoint_every_seconds: float | None = None
+    # Resume from the newest intact checkpoint in checkpoint_dir.
+    resume: bool = False
+    # -- resource budgets (the CLI's --max-seconds/--max-rss-mb) ------------
+    max_seconds: float | None = None
+    max_rss_mb: float | None = None
+    # Budget-pressure policy: "fail" raises BudgetExceededError, "shed"
+    # quarantines lowest-weight patterns and finishes partial (exit 4).
+    degrade: str = "fail"
 
     def __post_init__(self) -> None:
         validate_on_error(self.on_error)
+        validate_degrade(self.degrade)
+        if self.checkpoint_every_bytes <= 0:
+            raise ValueError("checkpoint_every_bytes must be positive")
 
 
 @dataclass(frozen=True)
@@ -109,6 +132,30 @@ class BatchReport:
     def healthy(self) -> list:
         """The non-quarantined results, in task order."""
         return [r for r in self.results if r is not None]
+
+
+@dataclass(frozen=True)
+class DurableScanOutcome:
+    """The outcome of one durable (checkpointed, budgeted) scan.
+
+    ``result`` is bit-identical to an uninterrupted sequential run when
+    nothing was shed; with shedding it prices the partial activity of
+    the frozen units, and ``quarantine`` names every shed pattern
+    (phase ``"degrade"``).  ``resumed_from`` is the stream offset a
+    restored checkpoint provided (``None`` for a fresh start).
+    """
+
+    result: SimulationResult
+    quarantine: QuarantineReport
+    resumed_from: int | None = None
+    checkpoints_written: int = 0
+    checkpoint_failures: int = 0
+    bytes_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scan finished complete, with nothing shed."""
+        return not self.quarantine
 
 
 @dataclass(frozen=True)
@@ -334,6 +381,110 @@ class BatchEngine:
                 ruleset, mapping, outcomes, len(data)
             )
             return sim.run_from_activity(ruleset, activity, mapping)
+
+    def durable_scan(
+        self,
+        source,
+        data: bytes,
+        bin_size: int | None = None,
+        compiler: CompilerConfig | None = None,
+        weights: dict[int, float] | None = None,
+    ) -> DurableScanOutcome:
+        """Scan one stream durably: checkpointed, budgeted, resumable.
+
+        The stream is consumed in ``checkpoint_every_bytes`` chunks.
+        With ``checkpoint_dir`` set, the scan's complete state lands in
+        an atomic checkpoint after each chunk (rate-limited by
+        ``checkpoint_every_seconds``); a scan killed at *any* point —
+        including ``SIGKILL`` mid-chunk — re-run with ``resume=True``
+        continues from the newest intact checkpoint and produces a
+        result bit-identical to an uninterrupted run.  A checkpoint
+        that fails to write (disk full) is counted and skipped; the
+        scan itself keeps going.
+
+        Resource budgets (``max_seconds`` / ``max_rss_mb``) are checked
+        between chunks.  Under ``degrade="fail"`` pressure raises
+        :class:`~repro.errors.BudgetExceededError`; under ``"shed"``
+        the lowest-weight work units (by ``weights``, keyed on regex
+        id, default 1.0) are frozen and quarantined, and the scan
+        finishes partial — the CLI maps that to exit code 4.
+        """
+        if isinstance(source, CompiledRuleset):
+            ruleset = source
+        else:
+            ruleset = self.compile(source, compiler)
+        config = self.config
+        plan = faults.resolve_plan(config.fault_plan)
+        with self._backend_scope():
+            sim = RAPSimulator(self.hw)
+            mapping = sim.build_mapping(ruleset, bin_size=bin_size)
+            scan = DurableScan(
+                ruleset, mapping, self.hw, bin_size=bin_size, weights=weights
+            )
+            store = (
+                CheckpointStore(config.checkpoint_dir, plan)
+                if config.checkpoint_dir is not None
+                else None
+            )
+            resumed_from = None
+            if config.resume and store is not None:
+                doc = store.load_latest()
+                if doc is not None:
+                    scan.restore(doc, data)  # CheckpointError on mismatch
+                    resumed_from = scan.offset
+            monitor = BudgetMonitor(
+                ResourceBudget(
+                    max_seconds=config.max_seconds,
+                    max_rss_mb=config.max_rss_mb,
+                )
+            )
+            n = len(data)
+            start_offset = scan.offset
+            checkpoints_written = 0
+            checkpoint_failures = 0
+            last_write: float | None = None
+            ordinal = 0
+            while scan.offset < n:
+                # The injection point a checkpoint must survive: "kill"
+                # SIGKILLs this very process before the chunk is fed.
+                faults.inject_chunk(ordinal, plan)
+                ordinal += 1
+                end = min(scan.offset + config.checkpoint_every_bytes, n)
+                scan.feed(data[scan.offset : end], at_end=(end == n))
+                if store is not None and scan.offset < n:
+                    due = (
+                        config.checkpoint_every_seconds is None
+                        or last_write is None
+                        or monitor.elapsed - last_write
+                        >= config.checkpoint_every_seconds
+                    )
+                    if due:
+                        try:
+                            store.write(scan.snapshot(), scan.offset)
+                            checkpoints_written += 1
+                            last_write = monitor.elapsed
+                        except OSError:
+                            # A full disk costs durability, never the
+                            # scan: keep the previous restore point.
+                            checkpoint_failures += 1
+                pressure = monitor.check()
+                if pressure is not None:
+                    if config.degrade != "shed":
+                        raise BudgetExceededError(pressure, phase="execute")
+                    scan.shed(0.25, pressure)
+                    if scan.live_units == 0:
+                        break
+            if store is not None:
+                store.clear()
+            result = sim.run_from_activity(ruleset, scan.finish(), mapping)
+        return DurableScanOutcome(
+            result=result,
+            quarantine=QuarantineReport(tuple(scan.quarantine_entries)),
+            resumed_from=resumed_from,
+            checkpoints_written=checkpoints_written,
+            checkpoint_failures=checkpoint_failures,
+            bytes_scanned=scan.offset - start_offset,
+        )
 
     def _plan(self, ruleset, n: int, jobs: int) -> list[Chunk]:
         """Chunk the stream when safe and worthwhile, else one chunk."""

@@ -1,0 +1,109 @@
+"""Per-scan resource budgets: wall-clock and resident-set guards.
+
+A long scan on a shared host must not be allowed to grow without bound:
+the ROADMAP's production setting hands the engine effectively unbounded
+streams, and the operator — not the input — decides how much time and
+memory one scan may consume.  A :class:`ResourceBudget` captures those
+limits; a :class:`BudgetMonitor` is the heartbeat the durable-scan
+driver polls between chunks.  What happens on pressure is policy
+(``degrade="fail"`` raises :class:`~repro.errors.BudgetExceededError`;
+``"shed"`` quarantines low-weight patterns) and lives with the driver.
+
+RSS comes from ``resource.getrusage`` — stdlib-only, but the peak
+(high-water mark), not the current size, and in platform-dependent
+units (kilobytes on Linux, bytes on macOS).  That is the right guard
+semantics anyway: a scan that *ever* exceeded the budget is over
+budget, even if the allocator has since returned pages.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+try:
+    import resource
+except ImportError:  # non-POSIX platform: RSS budgets become inert
+    resource = None
+
+
+def current_rss_mb() -> float | None:
+    """Peak resident-set size of this process in MiB, if measurable."""
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Limits for one scan; ``None`` disables the corresponding guard."""
+
+    max_seconds: float | None = None
+    max_rss_mb: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_seconds is not None and not self.max_seconds > 0:
+            raise ValueError("max_seconds must be positive when set")
+        if self.max_rss_mb is not None and not self.max_rss_mb > 0:
+            raise ValueError("max_rss_mb must be positive when set")
+
+    def __bool__(self) -> bool:
+        return self.max_seconds is not None or self.max_rss_mb is not None
+
+
+class BudgetMonitor:
+    """Heartbeat over one budget: call :meth:`check` between chunks."""
+
+    def __init__(self, budget: ResourceBudget):
+        self.budget = budget
+        self._start = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the monitor started."""
+        return time.monotonic() - self._start
+
+    def check(self) -> str | None:
+        """A pressure description if any guard tripped, else ``None``."""
+        budget = self.budget
+        if budget.max_seconds is not None:
+            elapsed = self.elapsed
+            if elapsed > budget.max_seconds:
+                return (
+                    f"wall-clock budget exceeded: {elapsed:.1f}s elapsed "
+                    f"of {budget.max_seconds:g}s allowed"
+                )
+        if budget.max_rss_mb is not None:
+            rss = current_rss_mb()
+            if rss is not None and rss > budget.max_rss_mb:
+                return (
+                    f"memory budget exceeded: peak RSS {rss:.1f} MiB "
+                    f"of {budget.max_rss_mb:g} MiB allowed"
+                )
+        return None
+
+
+DEGRADE_POLICIES = ("fail", "shed")
+
+
+def validate_degrade(policy: str) -> str:
+    """Check a ``degrade`` policy name, returning it unchanged."""
+    if policy not in DEGRADE_POLICIES:
+        raise ValueError(
+            f"unknown degrade policy {policy!r}; "
+            f"expected one of {', '.join(DEGRADE_POLICIES)}"
+        )
+    return policy
+
+
+__all__ = [
+    "DEGRADE_POLICIES",
+    "BudgetMonitor",
+    "ResourceBudget",
+    "current_rss_mb",
+    "validate_degrade",
+]

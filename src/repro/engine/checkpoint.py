@@ -1,0 +1,481 @@
+"""Durable scans: atomic checkpoints and resumable whole-run state.
+
+A scan over a long stream must survive the process dying under it — an
+OOM kill, a host reboot, a deploy — without losing hours of work or,
+worse, silently changing its answer.  Two pieces make that possible:
+
+* :class:`DurableScan` drives every functional collector of one run
+  (per-regex NFA/NBVA collectors, per-bin LNFA collectors) segment by
+  segment and can serialize its **entire** mid-stream state — scanner
+  frontiers, counter vectors, activity counters, match lists — as one
+  JSON document.  Restoring that document and feeding the remaining
+  bytes reproduces the uninterrupted run bit for bit, because every
+  engine's segment contract guarantees segmentation independence.
+* :class:`CheckpointStore` persists those documents atomically (temp
+  file + fsync + ``os.replace``) inside a checksummed envelope — the
+  same scheme as the compile cache — so a torn or bit-rotten checkpoint
+  is *detected*, discarded, and an older intact one used instead.
+  Corruption can cost re-scanned bytes, never correctness.
+
+A checkpoint binds to its scan via :func:`~repro.io.serialize.scan_fingerprint`
+(ruleset + hardware + bin size) and to its input via a SHA-256 over the
+consumed prefix; resuming under a different ruleset, config, or input
+raises :class:`~repro.errors.CheckpointError` instead of producing a
+plausible-but-wrong result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import math
+import os
+import tempfile
+from pathlib import Path
+
+from repro.compiler.program import CompiledMode, CompiledRuleset
+from repro.engine import faults
+from repro.errors import CheckpointError, QuarantineEntry
+from repro.hardware.config import HardwareConfig, TileMode
+from repro.io.serialize import scan_fingerprint
+from repro.mapping.mapper import Mapping
+from repro.simulators.activity import (
+    BinActivityCollector,
+    RegexActivityCollector,
+)
+from repro.simulators.rap import RunActivity
+
+CHECKPOINT_FORMAT = "rap-repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+# Intact checkpoints retained per store: the newest plus one fallback,
+# so a torn latest (crash mid-rename, injected truncation) still leaves
+# a usable restore point.
+KEEP = 2
+
+log = logging.getLogger(__name__)
+
+
+class CheckpointStore:
+    """A directory of atomic, checksummed scan checkpoints.
+
+    File names encode the stream offset (``ckpt-<offset>.json``) so the
+    newest checkpoint sorts last lexicographically.  Writes go through
+    a temp file, ``fsync``, and ``os.replace`` — a crash at any instant
+    leaves either the previous set or the new file, never a torn
+    committed entry (torn files can still appear via injected faults or
+    disk corruption, which is what the checksum envelope catches).
+    """
+
+    def __init__(self, root: str | Path, plan: faults.FaultPlan | None = None):
+        self.root = Path(root)
+        self.plan = plan  # explicit fault plan; None defers to env
+        self.writes = 0  # write ordinal (fault-injection point)
+        self.discarded = 0  # corrupt entries dropped during load
+
+    def _paths(self) -> list[Path]:
+        """Checkpoint files, oldest first."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("ckpt-*.json"))
+
+    def write(self, payload_doc: dict, offset: int) -> Path:
+        """Atomically persist one snapshot taken at ``offset``.
+
+        Raises ``OSError`` when the disk is full (real or injected);
+        the caller decides whether a failed checkpoint is fatal — for
+        the durable scan it is not, the scan just keeps going with the
+        previous restore point.
+        """
+        ordinal = self.writes
+        self.writes += 1
+        faults.inject_checkpoint_reserve(ordinal, self.plan)
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            payload_doc, sort_keys=True, separators=(",", ":")
+        )
+        document = {
+            "format": CHECKPOINT_FORMAT,
+            "entry_version": CHECKPOINT_VERSION,
+            "checksum": hashlib.sha256(payload.encode()).hexdigest(),
+            "payload": payload,
+        }
+        path = self.root / f"ckpt-{offset:016d}.json"
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".ckpt-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(document, f)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._fsync_dir()
+        faults.inject_checkpoint_commit(path, ordinal, self.plan)
+        self._prune()
+        return path
+
+    def _fsync_dir(self) -> None:
+        """Best-effort directory fsync so the rename itself is durable."""
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def _prune(self) -> None:
+        """Drop all but the newest ``KEEP`` checkpoints."""
+        for path in self._paths()[:-KEEP]:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def load_latest(self) -> dict | None:
+        """The newest intact snapshot payload, or ``None``.
+
+        Corrupt entries (bad envelope, checksum mismatch, undecodable
+        payload) are unlinked and the next-older checkpoint tried — the
+        recovery path a torn latest checkpoint exercises.
+        """
+        for path in reversed(self._paths()):
+            payload_doc = self._load_one(path)
+            if payload_doc is not None:
+                return payload_doc
+        return None
+
+    def _load_one(self, path: Path) -> dict | None:
+        try:
+            with open(path) as f:
+                document = json.load(f)
+        except (OSError, ValueError) as err:
+            return self._discard(path, f"unreadable entry: {err}")
+        if not isinstance(document, dict) or "checksum" not in document:
+            return self._discard(path, "missing checksum envelope")
+        if document.get("format") != CHECKPOINT_FORMAT:
+            return self._discard(
+                path, f"not a checkpoint (format={document.get('format')!r})"
+            )
+        if document.get("entry_version") != CHECKPOINT_VERSION:
+            return self._discard(
+                path,
+                f"entry version {document.get('entry_version')!r} "
+                f"(this build reads {CHECKPOINT_VERSION})",
+            )
+        payload = document.get("payload")
+        if not isinstance(payload, str):
+            return self._discard(path, "payload missing")
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        if digest != document["checksum"]:
+            return self._discard(path, "checksum mismatch")
+        try:
+            payload_doc = json.loads(payload)
+        except ValueError as err:
+            return self._discard(path, f"undecodable payload: {err}")
+        if not isinstance(payload_doc, dict):
+            return self._discard(path, "payload is not an object")
+        return payload_doc
+
+    def _discard(self, path: Path, reason: str) -> None:
+        log.debug("checkpoint %s corrupt (%s); discarded", path.name, reason)
+        self.discarded += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+
+    def clear(self) -> None:
+        """Remove every checkpoint (the scan completed)."""
+        for path in self._paths():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+class DurableScan:
+    """One resumable scan: every collector of a run, fed in lockstep.
+
+    Feeding segments whose concatenation is the stream produces, via
+    :meth:`finish`, the exact :class:`~repro.simulators.rap.RunActivity`
+    a sequential :meth:`RAPSimulator.collect_activities` call would —
+    regardless of segmentation and of any snapshot/restore round trips
+    in between.  Pricing that activity once then yields a bit-identical
+    :class:`~repro.simulators.result.SimulationResult`.
+
+    Under budget pressure with ``degrade="shed"``, :meth:`shed` freezes
+    the lowest-weight work units (a regex, or a whole LNFA bin): they
+    stop consuming cycles but their partial activity still prices into
+    the final (partial) result, and each shed pattern lands in the
+    quarantine report with phase ``"degrade"``.
+    """
+
+    def __init__(
+        self,
+        ruleset: CompiledRuleset,
+        mapping: Mapping,
+        hw: HardwareConfig,
+        *,
+        bin_size: int | None = None,
+        weights: dict[int, float] | None = None,
+    ):
+        self._ruleset = ruleset
+        self._mapping = mapping
+        self._weights = dict(weights or {})
+        self.fingerprint = scan_fingerprint(ruleset, hw, bin_size)
+        self._regex: dict[int, RegexActivityCollector] = {
+            r.regex_id: RegexActivityCollector(r)
+            for r in ruleset
+            if r.mode is not CompiledMode.LNFA
+        }
+        self._bins: dict[tuple[int, int], BinActivityCollector] = {}
+        for index, array in enumerate(mapping.arrays):
+            if array.mode is not TileMode.LNFA:
+                continue
+            for bin_index, bin_obj in enumerate(array.bins):
+                self._bins[(index, bin_index)] = BinActivityCollector(
+                    bin_obj, hw
+                )
+        self._offset = 0
+        self._hasher = hashlib.sha256()
+        self._shed: set[tuple] = set()
+        self.quarantine_entries: list[QuarantineEntry] = []
+
+    @property
+    def offset(self) -> int:
+        """Global stream position: bytes consumed so far."""
+        return self._offset
+
+    @property
+    def live_units(self) -> int:
+        """Work units still being fed (not shed)."""
+        return len(self._regex) + len(self._bins) - len(self._shed)
+
+    def feed(self, segment: bytes, *, at_end: bool = True) -> None:
+        """Consume the next segment of the stream on every live unit."""
+        for rid, collector in self._regex.items():
+            if ("regex", rid) not in self._shed:
+                collector.feed(segment, at_end=at_end)
+        for (index, bin_index), collector in self._bins.items():
+            if ("bin", index, bin_index) not in self._shed:
+                collector.feed(segment, at_end=at_end)
+        self._offset += len(segment)
+        self._hasher.update(segment)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The scan's complete state as one JSON-ready document."""
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "offset": self._offset,
+            "input_sha": self._hasher.copy().hexdigest(),
+            "regex": [
+                [rid, collector.snapshot()]
+                for rid, collector in sorted(self._regex.items())
+            ],
+            "bins": [
+                [index, bin_index, collector.snapshot()]
+                for (index, bin_index), collector in sorted(
+                    self._bins.items()
+                )
+            ],
+            "shed": sorted(list(key) for key in self._shed),
+            "quarantine": [
+                {
+                    "phase": e.phase,
+                    "error": e.error,
+                    "error_type": e.error_type,
+                    "pattern": e.pattern,
+                    "pattern_index": e.pattern_index,
+                    "task_index": e.task_index,
+                    "attempts": e.attempts,
+                }
+                for e in self.quarantine_entries
+            ],
+        }
+
+    def restore(self, doc: dict, data: bytes) -> None:
+        """Adopt a snapshot, verifying it belongs to *this* scan.
+
+        ``data`` is the full input stream: the snapshot's consumed
+        prefix must hash to the recorded digest, or the checkpoint was
+        taken over different bytes and resuming would silently corrupt
+        the result — that is a :class:`~repro.errors.CheckpointError`.
+        """
+        if doc.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"not a checkpoint document (format={doc.get('format')!r})",
+                phase="checkpoint",
+            )
+        if doc.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {doc.get('version')!r} "
+                f"(this build reads {CHECKPOINT_VERSION})",
+                phase="checkpoint",
+            )
+        if doc.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                "checkpoint belongs to a different scan: ruleset, hardware "
+                "config, or bin size changed since it was written",
+                phase="checkpoint",
+            )
+        try:
+            offset = int(doc["offset"])
+            input_sha = doc["input_sha"]
+            regex_docs = dict(
+                (int(rid), sub) for rid, sub in doc["regex"]
+            )
+            bin_docs = {
+                (int(index), int(bin_index)): sub
+                for index, bin_index, sub in doc["bins"]
+            }
+            shed = {tuple(key) for key in doc.get("shed", [])}
+            quarantine = [
+                QuarantineEntry(**entry) for entry in doc.get("quarantine", [])
+            ]
+        except (KeyError, TypeError, ValueError) as err:
+            raise CheckpointError(
+                f"malformed checkpoint document: {err}", phase="checkpoint"
+            ) from err
+        if offset > len(data):
+            raise CheckpointError(
+                f"checkpoint offset {offset} beyond the input "
+                f"({len(data)} bytes): not the same stream",
+                phase="checkpoint",
+            )
+        prefix_sha = hashlib.sha256(data[:offset]).hexdigest()
+        if prefix_sha != input_sha:
+            raise CheckpointError(
+                "checkpoint was taken over a different input: the consumed "
+                f"prefix ({offset} bytes) does not hash to the recorded "
+                "digest",
+                phase="checkpoint",
+            )
+        if set(regex_docs) != set(self._regex) or set(bin_docs) != set(
+            self._bins
+        ):
+            raise CheckpointError(
+                "checkpoint work units do not match this scan's mapping",
+                phase="checkpoint",
+            )
+        for rid, sub in regex_docs.items():
+            self._regex[rid].restore(sub)
+        for key, sub in bin_docs.items():
+            self._bins[key].restore(sub)
+        self._offset = offset
+        hasher = hashlib.sha256()
+        hasher.update(data[:offset])
+        self._hasher = hasher
+        self._shed = shed
+        self.quarantine_entries = quarantine
+
+    # -- graceful degradation ------------------------------------------------
+
+    def _unit_weight(self, key: tuple) -> float:
+        if key[0] == "regex":
+            return self._weights.get(key[1], 1.0)
+        _, index, bin_index = key
+        bin_obj = self._mapping.arrays[index].bins[bin_index]
+        return min(
+            self._weights.get(item.regex_id, 1.0) for item in bin_obj.items
+        )
+
+    def _unit_cost(self, key: tuple) -> int:
+        """Accumulated activity — how much work the unit has consumed."""
+        if key[0] == "regex":
+            return self._regex[key[1]].activity().active_state_cycles
+        return self._bins[(key[1], key[2])].activity().woken_tile_cycles
+
+    def shed(self, fraction: float, reason: str) -> list[tuple]:
+        """Freeze the lowest-weight live units, quarantining their patterns.
+
+        ``fraction`` of the live units (at least one) stop being fed;
+        ties on weight break toward the most expensive unit (shed what
+        costs most first), then by key for determinism.  Returns the
+        shed unit keys.
+        """
+        live = [
+            key
+            for key in (
+                [("regex", rid) for rid in self._regex]
+                + [("bin", i, b) for (i, b) in self._bins]
+            )
+            if key not in self._shed
+        ]
+        if not live:
+            return []
+        count = min(len(live), max(1, math.ceil(fraction * len(live))))
+        live.sort(
+            key=lambda key: (
+                self._unit_weight(key),
+                -self._unit_cost(key),
+                key,
+            )
+        )
+        victims = live[:count]
+        compiled_by_id = {r.regex_id: r for r in self._ruleset}
+        for key in victims:
+            self._shed.add(key)
+            if key[0] == "regex":
+                rids = [key[1]]
+            else:
+                bin_obj = self._mapping.arrays[key[1]].bins[key[2]]
+                rids = sorted({item.regex_id for item in bin_obj.items})
+            for rid in rids:
+                compiled = compiled_by_id.get(rid)
+                self.quarantine_entries.append(
+                    QuarantineEntry(
+                        phase="degrade",
+                        error=reason,
+                        error_type="BudgetExceededError",
+                        pattern=compiled.pattern if compiled else None,
+                        pattern_index=rid,
+                    )
+                )
+        return victims
+
+    # -- completion ----------------------------------------------------------
+
+    def finish(self) -> RunActivity:
+        """The accumulated activity, in sequential collection order."""
+        regex = {
+            r.regex_id: self._regex[r.regex_id].activity()
+            for r in self._ruleset
+            if r.mode is not CompiledMode.LNFA
+        }
+        lnfa_bins = {
+            index: [
+                self._bins[(index, bin_index)].activity()
+                for bin_index in range(len(array.bins))
+            ]
+            for index, array in enumerate(self._mapping.arrays)
+            if array.mode is TileMode.LNFA
+        }
+        return RunActivity(
+            regex=regex, lnfa_bins=lnfa_bins, input_symbols=self._offset
+        )
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "KEEP",
+    "CheckpointStore",
+    "DurableScan",
+]

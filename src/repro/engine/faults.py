@@ -25,6 +25,22 @@ Directive kinds and where they fire:
 ``truncate_cache``
     At the *index*-th compile-cache write since the plan was installed:
     truncate the freshly-written entry file to half its size.
+``kill``
+    At the *index*-th chunk of a durable scan, before the chunk is fed:
+    the process dies with ``SIGKILL`` — the unskippable signal, exactly
+    what a host OOM killer or operator ``kill -9`` delivers.  CI uses
+    this to prove checkpoint resume is bit-identical.
+``torn_checkpoint``
+    At the *index*-th checkpoint write of a durable scan: truncate the
+    freshly-committed checkpoint file to half its size (a torn write
+    that survived the rename — e.g. lost fsync semantics).  Resume must
+    detect the damage via the envelope checksum and fall back to the
+    previous good checkpoint.
+``disk_full``
+    At the *index*-th checkpoint write of a durable scan: fail the
+    write with ``ENOSPC`` before any bytes land.  The scan must degrade
+    gracefully — keep scanning, count the failure, rely on an earlier
+    checkpoint if interrupted.
 
 Plan specs are compact strings — directives separated by ``;`` or
 ``,``, each ``kind@index[:attempt][*seconds]``::
@@ -44,9 +60,11 @@ results.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import pickle
+import signal
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -57,6 +75,9 @@ FAULT_PLAN_ENV = "RAP_FAULT_PLAN"
 
 UNIT_KINDS = ("crash", "hang", "error", "pickle")
 CACHE_KINDS = ("truncate_cache",)
+CHUNK_KINDS = ("kill",)
+CHECKPOINT_KINDS = ("torn_checkpoint", "disk_full")
+ALL_KINDS = UNIT_KINDS + CACHE_KINDS + CHUNK_KINDS + CHECKPOINT_KINDS
 
 
 @dataclass(frozen=True)
@@ -69,10 +90,23 @@ class FaultDirective:
     seconds: float = 1.0  # hang duration
 
     def __post_init__(self) -> None:
-        if self.kind not in UNIT_KINDS + CACHE_KINDS:
+        if self.kind not in ALL_KINDS:
             raise ValueError(
-                f"unknown fault kind {self.kind!r}; expected one of "
-                f"{', '.join(UNIT_KINDS + CACHE_KINDS)}"
+                f"unknown fault kind in directive {self.spec()!r}; "
+                f"expected one of {', '.join(ALL_KINDS)}"
+            )
+        if self.index < 0:
+            raise ValueError(
+                f"fault directive {self.spec()!r} has a negative index"
+            )
+        if self.attempt < 0:
+            raise ValueError(
+                f"fault directive {self.spec()!r} has a negative attempt"
+            )
+        if not self.seconds > 0:
+            raise ValueError(
+                f"fault directive {self.spec()!r} has a non-positive "
+                f"duration {self.seconds!r}; *seconds must be > 0"
             )
 
     def spec(self) -> str:
@@ -103,10 +137,13 @@ class FaultPlan:
         if not text:
             return cls()
         if text.startswith("["):
-            raw = json.loads(text)
-            return cls(
-                tuple(FaultDirective(**entry) for entry in raw)
-            )
+            try:
+                raw = json.loads(text)
+            except json.JSONDecodeError as err:
+                raise ValueError(
+                    f"malformed JSON fault plan {text!r}: {err}"
+                ) from err
+            return cls(tuple(_from_json_entry(entry) for entry in raw))
         directives = []
         for part in text.replace(",", ";").split(";"):
             part = part.strip()
@@ -136,26 +173,76 @@ class FaultPlan:
                 return directive
         return None
 
+    def for_chunk(self, ordinal: int) -> FaultDirective | None:
+        """The chunk directive firing at the given scan-chunk ordinal."""
+        for directive in self.directives:
+            if directive.kind in CHUNK_KINDS and directive.index == ordinal:
+                return directive
+        return None
+
+    def for_checkpoint_write(self, ordinal: int) -> FaultDirective | None:
+        """The checkpoint directive firing at the given write ordinal."""
+        for directive in self.directives:
+            if (
+                directive.kind in CHECKPOINT_KINDS
+                and directive.index == ordinal
+            ):
+                return directive
+        return None
+
 
 def _parse_compact(part: str) -> FaultDirective:
     """``kind@index[:attempt][*seconds]`` -> FaultDirective."""
+    original = part
     seconds = 1.0
-    if "*" in part:
-        part, _, tail = part.partition("*")
-        seconds = float(tail)
-    if "@" not in part:
-        raise ValueError(
-            f"malformed fault directive {part!r}; "
-            "expected kind@index[:attempt][*seconds]"
+    try:
+        if "*" in part:
+            part, _, tail = part.partition("*")
+            seconds = float(tail)
+        if "@" not in part:
+            raise ValueError(
+                "expected kind@index[:attempt][*seconds]"
+            )
+        kind, _, location = part.partition("@")
+        attempt = 0
+        if ":" in location:
+            location, _, raw_attempt = location.partition(":")
+            attempt = int(raw_attempt)
+        return FaultDirective(
+            kind=kind.strip(),
+            index=int(location),
+            attempt=attempt,
+            seconds=seconds,
         )
-    kind, _, location = part.partition("@")
-    attempt = 0
-    if ":" in location:
-        location, _, raw_attempt = location.partition(":")
-        attempt = int(raw_attempt)
-    return FaultDirective(
-        kind=kind.strip(), index=int(location), attempt=attempt, seconds=seconds
-    )
+    except ValueError as err:
+        raise ValueError(
+            f"malformed fault directive {original!r}: {err}"
+        ) from err
+
+
+def _from_json_entry(entry) -> FaultDirective:
+    """One JSON plan entry -> FaultDirective, naming the entry on error."""
+    if not isinstance(entry, dict):
+        raise ValueError(
+            f"malformed fault directive {entry!r}: expected a JSON object"
+        )
+    unknown = set(entry) - {"kind", "index", "attempt", "seconds"}
+    if unknown:
+        raise ValueError(
+            f"malformed fault directive {entry!r}: "
+            f"unknown fields {sorted(unknown)}"
+        )
+    try:
+        return FaultDirective(
+            kind=str(entry.get("kind", "")),
+            index=int(entry.get("index", 0)),
+            attempt=int(entry.get("attempt", 0)),
+            seconds=float(entry.get("seconds", 1.0)),
+        )
+    except (TypeError, ValueError) as err:
+        raise ValueError(
+            f"malformed fault directive {entry!r}: {err}"
+        ) from err
 
 
 def plan_from_env() -> FaultPlan:
@@ -244,6 +331,48 @@ def inject_cache_put(path: str | Path, plan: FaultPlan | None = None) -> None:
     path.write_bytes(data[: len(data) // 2])
 
 
+def inject_chunk(ordinal: int, plan: FaultPlan | None = None) -> None:
+    """Fire the plan's chunk directive before a durable-scan chunk.
+
+    ``kill`` delivers ``SIGKILL`` to this very process — no cleanup, no
+    excepthook, exactly the failure a checkpoint must survive.
+    """
+    active = plan if plan is not None else active_plan()
+    directive = active.for_chunk(ordinal)
+    if directive is None:
+        return
+    assert directive.kind == "kill"
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def inject_checkpoint_reserve(
+    ordinal: int, plan: FaultPlan | None = None
+) -> None:
+    """Fire a ``disk_full`` directive before checkpoint bytes land."""
+    active = plan if plan is not None else active_plan()
+    directive = active.for_checkpoint_write(ordinal)
+    if directive is None or directive.kind != "disk_full":
+        return
+    raise OSError(
+        errno.ENOSPC,
+        f"injected disk-full at checkpoint write {ordinal}",
+    )
+
+
+def inject_checkpoint_commit(
+    path: str | Path, ordinal: int, plan: FaultPlan | None = None
+) -> None:
+    """Fire a ``torn_checkpoint`` directive after a checkpoint commit:
+    truncate the committed file to half its size."""
+    active = plan if plan is not None else active_plan()
+    directive = active.for_checkpoint_write(ordinal)
+    if directive is None or directive.kind != "torn_checkpoint":
+        return
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+
+
 def reset() -> None:
     """Clear injection state (tests)."""
     global _installed, _cache_puts
@@ -252,11 +381,19 @@ def reset() -> None:
 
 
 __all__ = [
+    "ALL_KINDS",
+    "CACHE_KINDS",
+    "CHECKPOINT_KINDS",
+    "CHUNK_KINDS",
     "FAULT_PLAN_ENV",
+    "UNIT_KINDS",
     "FaultDirective",
     "FaultPlan",
     "active_plan",
     "inject_cache_put",
+    "inject_checkpoint_commit",
+    "inject_checkpoint_reserve",
+    "inject_chunk",
     "inject_unit",
     "install_plan",
     "plan_from_env",

@@ -103,6 +103,20 @@ class CacheCorruptionError(ReproError):
     """An on-disk cache entry failed validation; evicted and recompiled."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint cannot be used: it belongs to a different scan
+    (ruleset/hardware fingerprint or input-prefix mismatch) or is
+    structurally unusable beyond the recoverable corrupt-entry path."""
+
+
+class BudgetExceededError(ReproError):
+    """A scan blew its wall-clock or RSS resource budget.
+
+    Raised under the (default) ``degrade="fail"`` policy; under
+    ``"shed"`` the budget pressure quarantines low-weight patterns
+    instead and the scan finishes partial (exit code 4)."""
+
+
 @dataclass(frozen=True)
 class QuarantineEntry:
     """One quarantined pattern or task: what failed, where, and why."""
@@ -176,8 +190,10 @@ def validate_on_error(policy: str) -> str:
 
 __all__ = [
     "ON_ERROR_POLICIES",
+    "BudgetExceededError",
     "CacheCorruptionError",
     "CapacityError",
+    "CheckpointError",
     "CompileError",
     "QuarantineEntry",
     "QuarantineReport",

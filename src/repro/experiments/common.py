@@ -58,6 +58,12 @@ class ExperimentConfig:
     # same numbers, so these never change a reported quantity either.
     timeout: float | None = None
     retries: int = 2
+    # Resource budgets (the CLI's --max-seconds/--max-rss-mb): enforced
+    # between benchmarks by map_benchmarks; exceeding one raises
+    # BudgetExceededError rather than letting a scaled-up run take the
+    # host down.  None disables the corresponding guard.
+    max_seconds: float | None = None
+    max_rss_mb: float | None = None
 
     @classmethod
     def scaled(cls) -> "ExperimentConfig":
@@ -232,16 +238,48 @@ def map_benchmarks(
     ``worker`` must be a module-level function taking ``(name, config)``
     tuples (picklable by the pool).  ``config.backend`` is applied
     around every worker call, in-process and in pool workers alike.
+
+    With a resource budget set (``config.max_seconds`` /
+    ``config.max_rss_mb``) the benchmarks run one at a time with a
+    budget heartbeat between them; blowing the budget raises
+    :class:`~repro.errors.BudgetExceededError` before the next
+    benchmark starts (the completed ones are simply lost — experiments
+    are regenerable, unlike durable scans).
     """
     from repro.engine.pool import parallel_map
 
-    return parallel_map(
-        _run_benchmark_worker,
-        [(worker, name, config) for name in names],
-        jobs=config.jobs,
-        timeout=config.timeout,
-        retries=config.retries,
+    items = [(worker, name, config) for name in names]
+    if config.max_seconds is None and config.max_rss_mb is None:
+        return parallel_map(
+            _run_benchmark_worker,
+            items,
+            jobs=config.jobs,
+            timeout=config.timeout,
+            retries=config.retries,
+        )
+    from repro.engine.budget import BudgetMonitor, ResourceBudget
+    from repro.errors import BudgetExceededError
+
+    monitor = BudgetMonitor(
+        ResourceBudget(
+            max_seconds=config.max_seconds, max_rss_mb=config.max_rss_mb
+        )
     )
+    results = []
+    for item in items:
+        pressure = monitor.check()
+        if pressure is not None:
+            raise BudgetExceededError(pressure, phase="experiment")
+        results.extend(
+            parallel_map(
+                _run_benchmark_worker,
+                [item],
+                jobs=config.jobs,
+                timeout=config.timeout,
+                retries=config.retries,
+            )
+        )
+    return results
 
 
 def _run_benchmark_worker(item):

@@ -7,6 +7,9 @@ round-trip through pattern syntax).
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
 import json
 from pathlib import Path
 
@@ -243,3 +246,35 @@ def load_ruleset(path: str | Path) -> CompiledRuleset:
 def loads_ruleset(text: str) -> CompiledRuleset:
     """Parse a ruleset from a JSON string."""
     return ruleset_from_json(json.loads(text))
+
+
+def _fingerprint_default(value):
+    if isinstance(value, enum.Enum):
+        return value.value
+    raise TypeError(f"unhashable fingerprint component: {value!r}")
+
+
+def scan_fingerprint(ruleset, hw, bin_size: int | None = None) -> str:
+    """Content hash identifying one scan's execution semantics.
+
+    Covers everything that determines a durable scan's behavior apart
+    from the input bytes: the serialized ruleset, the full hardware
+    config, the bin size, and this serializer's format version.  A
+    checkpoint written under one fingerprint must never be resumed
+    under another — same idea as the compile-cache key, applied to
+    mid-stream state instead of compiler output.
+    """
+    doc = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "ruleset": ruleset_to_json(ruleset),
+        "hw": dataclasses.asdict(hw),
+        "bin_size": bin_size,
+    }
+    canonical = json.dumps(
+        doc,
+        sort_keys=True,
+        separators=(",", ":"),
+        default=_fingerprint_default,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()

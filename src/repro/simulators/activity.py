@@ -11,12 +11,13 @@ with the Table 1 circuit models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.automata.nbva import NBVASimulator, NBVAStats
 from repro.automata.nfa import NFASimulator, StepStats
 from repro.automata.shift_and import MultiShiftAnd
 from repro.compiler.program import CompiledMode, CompiledRegex
+from repro.core.state import KernelState, iter_states_from
 from repro.hardware.config import HardwareConfig
 from repro.mapping.binning import Bin, states_per_tile
 
@@ -167,6 +168,59 @@ def collect_regex_activity(
     )
 
 
+@dataclass(frozen=True)
+class _BinLayout:
+    """Precomputed packed-machine geometry of one LNFA bin."""
+
+    packed: MultiShiftAnd
+    tile_masks: tuple[int, ...]  # packed-bit mask per tile
+    finals: dict[int, int]  # final bit -> regex_id
+    final_mask: int
+    end_anchored_mask: int
+
+
+def _bin_layout(bin_obj: Bin, hw: HardwareConfig) -> _BinLayout:
+    """Pack a bin's LNFAs and map its bits to tiles and regexes.
+
+    The bin's LNFAs are mapped regex-sliced: tile ``t`` holds states
+    ``[t * region, (t + 1) * region)`` of every member, where ``region``
+    is the per-LNFA share of the tile's capacity.
+    """
+    lnfas = [item.lnfa for item in bin_obj.items]
+    anchors = [
+        (item.anchored_start, item.anchored_end) for item in bin_obj.items
+    ]
+    packed = MultiShiftAnd(lnfas, anchors=anchors)
+    region = states_per_tile(bin_obj.kind, hw) // bin_obj.size
+
+    tile_masks = [0] * bin_obj.tiles
+    offset = 0
+    for lnfa in lnfas:
+        for state in range(len(lnfa)):
+            tile_masks[state // region] |= 1 << (offset + state)
+        offset += len(lnfa)
+
+    finals: dict[int, int] = {}
+    end_anchored_mask = 0
+    offset = 0
+    for item, lnfa in zip(bin_obj.items, lnfas):
+        final_bit = offset + len(lnfa) - 1
+        finals[final_bit] = item.regex_id
+        if item.anchored_end:
+            end_anchored_mask |= 1 << final_bit
+        offset += len(lnfa)
+    final_mask = 0
+    for bit in finals:
+        final_mask |= 1 << bit
+    return _BinLayout(
+        packed=packed,
+        tile_masks=tuple(tile_masks),
+        finals=finals,
+        final_mask=final_mask,
+        end_anchored_mask=end_anchored_mask,
+    )
+
+
 def collect_bin_activity(
     bin_obj: Bin,
     data: bytes,
@@ -189,34 +243,13 @@ def collect_bin_activity(
     on cycles where they hold at least one active state (Fig. 7's power
     gating).
     """
-    lnfas = [item.lnfa for item in bin_obj.items]
-    anchors = [
-        (item.anchored_start, item.anchored_end) for item in bin_obj.items
-    ]
-    packed = MultiShiftAnd(lnfas, anchors=anchors)
-    region = states_per_tile(bin_obj.kind, hw) // bin_obj.size
-    tile_count = bin_obj.tiles
-
-    # Precompute a packed-bit mask per tile.
-    tile_masks = [0] * tile_count
-    offset = 0
-    for lnfa in lnfas:
-        for state in range(len(lnfa)):
-            tile_masks[state // region] |= 1 << (offset + state)
-        offset += len(lnfa)
-
-    finals = {}
-    end_anchored_mask = 0
-    offset = 0
-    for item, lnfa in zip(bin_obj.items, lnfas):
-        final_bit = offset + len(lnfa) - 1
-        finals[final_bit] = item.regex_id
-        if item.anchored_end:
-            end_anchored_mask |= 1 << final_bit
-        offset += len(lnfa)
-    final_mask = 0
-    for bit in finals:
-        final_mask |= 1 << bit
+    layout = _bin_layout(bin_obj, hw)
+    packed = layout.packed
+    tile_masks = layout.tile_masks
+    tile_count = len(tile_masks)
+    finals = layout.finals
+    final_mask = layout.final_mask
+    end_anchored_mask = layout.end_anchored_mask
 
     matches: dict[int, list[int]] = {item.regex_id: [] for item in bin_obj.items}
     tile_active_cycles = [0] * tile_count
@@ -248,3 +281,205 @@ def collect_bin_activity(
         tile_active_cycles=tile_active_cycles,
         tile_active_bits=tile_active_bits,
     )
+
+
+class RegexActivityCollector:
+    """Stateful, snapshotable counterpart of :func:`collect_regex_activity`.
+
+    Feed the stream one segment at a time; :meth:`activity` returns the
+    same :class:`RegexActivity` (bit for bit) that one whole-stream
+    ``collect_regex_activity`` call would have produced.  The collector's
+    full state — scanner frontier, accumulated counters, match list —
+    round-trips through :meth:`snapshot`/:meth:`restore` as plain JSON,
+    which is what the durable-scan checkpoints serialize.
+    """
+
+    def __init__(self, compiled: CompiledRegex):
+        if compiled.mode is CompiledMode.LNFA:
+            raise ValueError(
+                "LNFA regexes are executed per bin; see BinActivityCollector"
+            )
+        assert compiled.automaton is not None
+        self._compiled = compiled
+        anchors = dict(
+            anchored_start=compiled.anchored_start,
+            anchored_end=compiled.anchored_end,
+        )
+        self._nbva = compiled.mode is CompiledMode.NBVA
+        if self._nbva:
+            self._scanner = NBVASimulator(compiled.automaton).scanner(**anchors)
+            self._stats = NBVAStats(bv_cycle_indices=[])
+        else:
+            self._scanner = NFASimulator(compiled.automaton).scanner(**anchors)
+            self._stats = StepStats()
+        self._matches: list[int] = []
+
+    @property
+    def offset(self) -> int:
+        """Global stream position: bytes consumed so far."""
+        return self._scanner.offset
+
+    def feed(self, segment: bytes, *, at_end: bool = True) -> None:
+        """Consume the next segment of the stream."""
+        self._matches.extend(
+            self._scanner.feed(segment, self._stats, at_end=at_end)
+        )
+
+    def activity(self) -> RegexActivity:
+        """The accumulated activity, as :func:`collect_regex_activity`
+        would report it for the bytes consumed so far."""
+        compiled = self._compiled
+        stats = self._stats
+        if not self._nbva:
+            return RegexActivity(
+                regex_id=compiled.regex_id,
+                mode=compiled.mode,
+                cycles=stats.cycles,
+                matches=list(self._matches),
+                active_state_cycles=stats.active_states,
+            )
+        return RegexActivity(
+            regex_id=compiled.regex_id,
+            mode=compiled.mode,
+            cycles=stats.cycles,
+            matches=list(self._matches),
+            active_state_cycles=stats.active_states,
+            bv_phase_cycles=stats.bv_phase_cycles,
+            bv_cycle_indices=list(stats.bv_cycle_indices or []),
+            bv_updates=stats.bv_updates,
+            set1_events=stats.set1_events,
+            shift_events=stats.shift_events,
+            copy_events=stats.copy_events,
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-ready collector state."""
+        return {
+            "scanner": self._scanner.snapshot(),
+            "stats": asdict(self._stats),
+            "matches": list(self._matches),
+        }
+
+    def restore(self, doc: dict) -> None:
+        """Adopt a state produced by :meth:`snapshot`."""
+        try:
+            self._scanner.restore(doc["scanner"])
+            stats_doc = dict(doc["stats"])
+            self._stats = (
+                NBVAStats(**stats_doc) if self._nbva else StepStats(**stats_doc)
+            )
+            self._matches = [int(m) for m in doc["matches"]]
+        except (KeyError, TypeError) as err:
+            raise ValueError(
+                f"malformed regex-collector document: {err}"
+            ) from err
+
+
+class BinActivityCollector:
+    """Stateful, snapshotable counterpart of :func:`collect_bin_activity`.
+
+    Same contract as :class:`RegexActivityCollector`, for one LNFA bin:
+    segment feeds accumulate per-tile wake-up counters and global match
+    positions, and :meth:`activity` reproduces the whole-stream
+    :class:`BinActivity` exactly.
+    """
+
+    def __init__(self, bin_obj: Bin, hw: HardwareConfig):
+        self._bin = bin_obj
+        self._layout = _bin_layout(bin_obj, hw)
+        self._state = KernelState()
+        self._cycles = 0
+        self._matches: dict[int, list[int]] = {
+            item.regex_id: [] for item in bin_obj.items
+        }
+        tile_count = len(self._layout.tile_masks)
+        self._tile_active_cycles = [0] * tile_count
+        self._tile_active_bits = [0] * tile_count
+
+    @property
+    def offset(self) -> int:
+        """Global stream position: bytes consumed so far."""
+        return self._state.offset
+
+    def feed(self, segment: bytes, *, at_end: bool = True) -> None:
+        """Consume the next segment of the stream."""
+        if not segment:
+            return
+        layout = self._layout
+        program = layout.packed.program
+        tile_masks = layout.tile_masks
+        tile_count = len(tile_masks)
+        finals = layout.finals
+        final_mask = layout.final_mask
+        end_anchored_mask = layout.end_anchored_mask
+        tile_active_cycles = self._tile_active_cycles
+        tile_active_bits = self._tile_active_bits
+        matches = self._matches
+        base = self._state.offset
+        last = len(segment) - 1
+        states = self._state.states
+        for i, states in iter_states_from(program, segment, self._state):
+            self._cycles += 1
+            tile_active_cycles[0] += 1  # initial tile is never gated
+            tile_active_bits[0] += (states & tile_masks[0]).bit_count()
+            for t in range(1, tile_count):
+                live = states & tile_masks[t]
+                if live:
+                    tile_active_cycles[t] += 1
+                    tile_active_bits[t] += live.bit_count()
+            hits = states & final_mask
+            if not (at_end and i == last):
+                hits &= ~end_anchored_mask
+            while hits:
+                low = hits & -hits
+                hits ^= low
+                matches[finals[low.bit_length() - 1]].append(base + i)
+        self._state = KernelState(offset=base + len(segment), states=states)
+
+    def activity(self) -> BinActivity:
+        """The accumulated activity, as :func:`collect_bin_activity`
+        would report it for the bytes consumed so far."""
+        return BinActivity(
+            bin=self._bin,
+            cycles=self._cycles,
+            matches={rid: list(ends) for rid, ends in self._matches.items()},
+            tile_active_cycles=list(self._tile_active_cycles),
+            tile_active_bits=list(self._tile_active_bits),
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-ready collector state (matches keyed in sorted regex-id
+        order for deterministic serialized bytes)."""
+        return {
+            "state": self._state.to_json(),
+            "cycles": self._cycles,
+            "matches": [
+                [rid, list(ends)]
+                for rid, ends in sorted(self._matches.items())
+            ],
+            "tile_active_cycles": list(self._tile_active_cycles),
+            "tile_active_bits": list(self._tile_active_bits),
+        }
+
+    def restore(self, doc: dict) -> None:
+        """Adopt a state produced by :meth:`snapshot`."""
+        try:
+            state = KernelState.from_json(doc["state"])
+            cycles = int(doc["cycles"])
+            matches = {
+                int(rid): [int(e) for e in ends]
+                for rid, ends in doc["matches"]
+            }
+            tile_active_cycles = [int(c) for c in doc["tile_active_cycles"]]
+            tile_active_bits = [int(c) for c in doc["tile_active_bits"]]
+        except (KeyError, TypeError) as err:
+            raise ValueError(
+                f"malformed bin-collector document: {err}"
+            ) from err
+        for item in self._bin.items:
+            matches.setdefault(item.regex_id, [])
+        self._state = state
+        self._cycles = cycles
+        self._matches = matches
+        self._tile_active_cycles = tile_active_cycles
+        self._tile_active_bits = tile_active_bits

@@ -54,17 +54,32 @@ def generate_input(
     rng = random.Random(seed ^ 0x5EED)
     data = background_traffic(domain, length, rng)
     pattern_list = [p for p in patterns]
+    # Materialize weights exactly once: a generator-valued ``weights``
+    # would otherwise be exhausted by the length check and silently
+    # plant nothing (or crash) in the loop below.
+    weight_list = None if weights is None else [float(w) for w in weights]
+    if weight_list is not None:
+        if len(weight_list) != len(pattern_list):
+            raise ValueError(
+                f"weights must align with patterns: got {len(weight_list)} "
+                f"weight(s) for {len(pattern_list)} pattern(s)"
+            )
+        for i, w in enumerate(weight_list):
+            if not w >= 0:  # also catches NaN
+                raise ValueError(
+                    f"weights must be non-negative, got weights[{i}] = {w!r}"
+                )
+        if pattern_list and not any(weight_list):
+            raise ValueError("at least one weight must be positive")
     if not pattern_list or length == 0:
         return bytes(data)
-    if weights is not None and len(list(weights)) != len(pattern_list):
-        raise ValueError("weights must align with patterns")
     parsed = [parse_anchored(p).regex for p in pattern_list]
     position = rng.randint(0, plant_every)
     while position < length:
-        if weights is None:
+        if weight_list is None:
             chosen = rng.choice(parsed)
         else:
-            chosen = rng.choices(parsed, weights=list(weights), k=1)[0]
+            chosen = rng.choices(parsed, weights=weight_list, k=1)[0]
         witness = sample_witness(chosen, rng)
         end = min(position + len(witness), length)
         data[position:end] = witness[: end - position]

@@ -1,0 +1,414 @@
+"""Durable-scan tests: checkpoint/resume, budgets, graceful degradation.
+
+The acceptance bar: a scan interrupted at an arbitrary point — up to
+and including ``SIGKILL`` mid-run — and resumed from its newest intact
+checkpoint produces byte-identical matches, energy totals, and metrics
+to an uninterrupted run, under every injected fault kind.
+"""
+
+import dataclasses
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.compiler import compile_ruleset
+from repro.core import available_backends, use_backend
+from repro.engine import BatchEngine, EngineConfig
+from repro.engine.budget import BudgetMonitor, ResourceBudget, validate_degrade
+from repro.engine.checkpoint import KEEP, CheckpointStore, DurableScan
+from repro.errors import BudgetExceededError, CheckpointError
+from repro.hardware.config import DEFAULT_CONFIG
+from repro.simulators.rap import RAPSimulator
+
+# A mixed-mode ruleset: LNFA bins, one NBVA, one NFA.
+PATTERNS = ["abc", "a.c", "end$", "hello|world", "ab{10,20}c", "xy*z"]
+ALPHABET = b"abcxyz endhello world"
+
+
+def make_data(length: int = 4000, seed: int = 3) -> bytes:
+    rng = random.Random(seed)
+    planted = b"startabcab" + b"b" * 14 + b"cend"
+    return bytes(rng.choice(ALPHABET) for _ in range(length)) + planted
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    return compile_ruleset(PATTERNS)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_data()
+
+
+@pytest.fixture(scope="module")
+def reference(ruleset, data):
+    return RAPSimulator(DEFAULT_CONFIG).run(ruleset, data)
+
+
+class TestDurableEqualsSequential:
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_bit_identical_with_checkpoints(
+        self, backend, ruleset, data, reference, tmp_path
+    ):
+        with use_backend(backend):
+            config = EngineConfig(
+                checkpoint_dir=str(tmp_path), checkpoint_every_bytes=700
+            )
+            outcome = BatchEngine(config).durable_scan(ruleset, data)
+        assert outcome.result == reference
+        assert outcome.ok
+        assert outcome.checkpoints_written > 0
+        assert outcome.bytes_scanned == len(data)
+        # Completion clears the checkpoint directory.
+        assert not list(tmp_path.glob("ckpt-*.json"))
+
+    def test_without_checkpoint_dir(self, ruleset, data, reference):
+        config = EngineConfig(checkpoint_every_bytes=1000)
+        outcome = BatchEngine(config).durable_scan(ruleset, data)
+        assert outcome.result == reference
+        assert outcome.checkpoints_written == 0
+
+    def test_empty_input(self, ruleset):
+        ref = RAPSimulator(DEFAULT_CONFIG).run(ruleset, b"")
+        outcome = BatchEngine(EngineConfig()).durable_scan(ruleset, b"")
+        assert outcome.result == ref
+
+
+class TestResume:
+    def _interrupt(self, ruleset, data, tmp_path, chunks: int, chunk: int):
+        """Run part of a scan and leave its checkpoints behind."""
+        sim = RAPSimulator(DEFAULT_CONFIG)
+        scan = DurableScan(
+            ruleset, sim.build_mapping(ruleset), DEFAULT_CONFIG
+        )
+        store = CheckpointStore(tmp_path)
+        offset = 0
+        for _ in range(chunks):
+            end = min(offset + chunk, len(data))
+            scan.feed(data[offset:end], at_end=(end == len(data)))
+            offset = end
+            store.write(scan.snapshot(), offset)
+        return offset
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_resume_is_bit_identical(
+        self, backend, ruleset, data, reference, tmp_path
+    ):
+        with use_backend(backend):
+            offset = self._interrupt(ruleset, data, tmp_path, chunks=4, chunk=700)
+            config = EngineConfig(
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every_bytes=700,
+                resume=True,
+            )
+            outcome = BatchEngine(config).durable_scan(ruleset, data)
+        assert outcome.resumed_from == offset
+        assert outcome.result == reference
+        assert outcome.bytes_scanned == len(data) - offset
+
+    def test_resume_without_checkpoints_starts_fresh(
+        self, ruleset, data, reference, tmp_path
+    ):
+        config = EngineConfig(
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every_bytes=1000,
+            resume=True,
+        )
+        outcome = BatchEngine(config).durable_scan(ruleset, data)
+        assert outcome.resumed_from is None
+        assert outcome.result == reference
+
+    def test_torn_latest_falls_back_to_previous(
+        self, ruleset, data, reference, tmp_path
+    ):
+        self._interrupt(ruleset, data, tmp_path, chunks=3, chunk=500)
+        newest = sorted(tmp_path.glob("ckpt-*.json"))[-1]
+        blob = newest.read_bytes()
+        newest.write_bytes(blob[: len(blob) // 2])
+        config = EngineConfig(
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every_bytes=500,
+            resume=True,
+        )
+        outcome = BatchEngine(config).durable_scan(ruleset, data)
+        assert outcome.resumed_from == 1000  # the older intact checkpoint
+        assert outcome.result == reference
+
+    def test_fingerprint_mismatch_refuses_resume(self, ruleset, data, tmp_path):
+        self._interrupt(ruleset, data, tmp_path, chunks=1, chunk=500)
+        other = compile_ruleset(["different", "rules"])
+        config = EngineConfig(checkpoint_dir=str(tmp_path), resume=True)
+        with pytest.raises(CheckpointError):
+            BatchEngine(config).durable_scan(other, data)
+
+    def test_input_mismatch_refuses_resume(self, ruleset, data, tmp_path):
+        self._interrupt(ruleset, data, tmp_path, chunks=1, chunk=500)
+        config = EngineConfig(checkpoint_dir=str(tmp_path), resume=True)
+        with pytest.raises(CheckpointError):
+            BatchEngine(config).durable_scan(ruleset, b"Z" * len(data))
+
+
+class TestInjectedFaults:
+    def test_disk_full_counts_failure_and_completes(
+        self, ruleset, data, reference, tmp_path
+    ):
+        config = EngineConfig(
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every_bytes=1000,
+            fault_plan="disk_full@0",
+        )
+        outcome = BatchEngine(config).durable_scan(ruleset, data)
+        assert outcome.result == reference
+        assert outcome.checkpoint_failures == 1
+        assert outcome.checkpoints_written > 0
+
+    def test_torn_checkpoint_injection_then_resume(
+        self, ruleset, data, reference, tmp_path
+    ):
+        # Tear the second write, kill before the fourth chunk; resume
+        # must fall back to the first intact checkpoint... except the
+        # torn one was pruned/evicted, so the older one carries it.
+        sim = RAPSimulator(DEFAULT_CONFIG)
+        scan = DurableScan(ruleset, sim.build_mapping(ruleset), DEFAULT_CONFIG)
+        from repro.engine.faults import FaultPlan
+
+        store = CheckpointStore(tmp_path, FaultPlan.parse("torn_checkpoint@1"))
+        offset = 0
+        for _ in range(2):
+            end = offset + 800
+            scan.feed(data[offset:end], at_end=False)
+            offset = end
+            store.write(scan.snapshot(), offset)
+        config = EngineConfig(
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every_bytes=800,
+            resume=True,
+        )
+        outcome = BatchEngine(config).durable_scan(ruleset, data)
+        assert outcome.resumed_from == 800  # write 1 (offset 1600) was torn
+        assert outcome.result == reference
+
+    def test_kill_directive_sigkills_subprocess(self, tmp_path):
+        """kill@N really delivers SIGKILL (run in a scratch process)."""
+        code = (
+            "from repro.engine import faults\n"
+            "plan = faults.FaultPlan.parse('kill@1')\n"
+            "faults.inject_chunk(0, plan)\n"
+            "print('survived chunk 0', flush=True)\n"
+            "faults.inject_chunk(1, plan)\n"
+            "print('unreachable', flush=True)\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert proc.returncode == -signal.SIGKILL
+        assert "survived chunk 0" in proc.stdout
+        assert "unreachable" not in proc.stdout
+
+
+class TestKillResumeEndToEnd:
+    def test_sigkill_mid_scan_then_resume_matches_golden(self, tmp_path):
+        """The CI durability leg, in-tree: golden run, SIGKILLed run,
+        resumed run; stdout (matches) must be byte-identical."""
+        repo = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        rules = tmp_path / "rules.txt"
+        rules.write_text("\n".join(PATTERNS) + "\n")
+        stream = tmp_path / "input.bin"
+        stream.write_bytes(make_data(6000))
+        ckpts = tmp_path / "ckpts"
+        env = dict(os.environ, PYTHONPATH="src")
+        env.pop("RAP_FAULT_PLAN", None)
+        base = [
+            sys.executable,
+            "-m",
+            "repro",
+            "scan",
+            "--patterns",
+            str(rules),
+            str(stream),
+            "--no-cache",
+        ]
+        durable = [
+            *base,
+            "--checkpoint-dir",
+            str(ckpts),
+            "--checkpoint-every",
+            "1000",
+        ]
+        golden = subprocess.run(
+            base, capture_output=True, text=True, env=env, cwd=repo
+        )
+        assert golden.returncode == 0, golden.stderr
+        killed = subprocess.run(
+            durable,
+            capture_output=True,
+            text=True,
+            env=dict(env, RAP_FAULT_PLAN="kill@2"),
+            cwd=repo,
+        )
+        assert killed.returncode in (-signal.SIGKILL, 137)
+        assert list(ckpts.glob("ckpt-*.json")), "no checkpoint survived"
+        resumed = subprocess.run(
+            [*durable, "--resume"],
+            capture_output=True,
+            text=True,
+            env=dict(env, RAP_FAULT_PLAN=""),
+            cwd=repo,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == golden.stdout
+        assert "resumed from checkpoint" in resumed.stderr
+
+
+class TestBudgets:
+    def test_fail_policy_raises(self, ruleset, data):
+        config = EngineConfig(
+            checkpoint_every_bytes=500, max_seconds=1e-9, degrade="fail"
+        )
+        with pytest.raises(BudgetExceededError):
+            BatchEngine(config).durable_scan(ruleset, data)
+
+    def test_shed_policy_quarantines_and_finishes(self, ruleset, data):
+        config = EngineConfig(
+            checkpoint_every_bytes=200, max_seconds=1e-9, degrade="shed"
+        )
+        outcome = BatchEngine(config).durable_scan(ruleset, data)
+        assert not outcome.ok
+        assert len(outcome.quarantine) > 0
+        entry = outcome.quarantine.entries[0]
+        assert entry.phase == "degrade"
+        assert entry.error_type == "BudgetExceededError"
+        assert entry.pattern in PATTERNS
+
+    def test_shed_respects_weights(self, ruleset, data):
+        # Give one pattern a tiny weight: it must shed first.
+        weights = {r.regex_id: 10.0 for r in ruleset}
+        victim = ruleset.regexes[0]
+        weights[victim.regex_id] = 0.1
+        config = EngineConfig(
+            checkpoint_every_bytes=2000, max_seconds=1e-9, degrade="shed"
+        )
+        outcome = BatchEngine(config).durable_scan(
+            ruleset, data, weights=weights
+        )
+        shed_patterns = [e.pattern for e in outcome.quarantine.entries]
+        assert victim.pattern in shed_patterns
+
+    def test_budget_monitor_wall_clock(self):
+        monitor = BudgetMonitor(ResourceBudget(max_seconds=0.01))
+        assert monitor.check() is None or monitor.elapsed > 0.01
+        time.sleep(0.02)
+        assert "wall-clock" in monitor.check()
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            ResourceBudget(max_seconds=0)
+        with pytest.raises(ValueError):
+            ResourceBudget(max_rss_mb=-1)
+        assert not ResourceBudget()
+        assert ResourceBudget(max_seconds=1)
+        validate_degrade("shed")
+        with pytest.raises(ValueError):
+            validate_degrade("panic")
+
+    def test_engine_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(degrade="panic")
+        with pytest.raises(ValueError):
+            EngineConfig(checkpoint_every_bytes=0)
+
+
+class TestCheckpointStore:
+    def test_prunes_to_keep(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for i in range(5):
+            store.write({"i": i}, offset=i * 100)
+        paths = sorted(tmp_path.glob("ckpt-*.json"))
+        assert len(paths) == KEEP
+        assert store.load_latest() == {"i": 4}
+
+    def test_corrupt_entry_discarded(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write({"i": 0}, offset=100)
+        store.write({"i": 1}, offset=200)
+        newest = sorted(tmp_path.glob("ckpt-*.json"))[-1]
+        doc = json.loads(newest.read_text())
+        doc["payload"] = doc["payload"].replace("1", "2")
+        newest.write_text(json.dumps(doc))  # checksum now wrong
+        assert store.load_latest() == {"i": 0}
+        assert store.discarded == 1
+        assert not newest.exists()
+
+    def test_all_corrupt_is_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write({"i": 0}, offset=100)
+        for path in tmp_path.glob("ckpt-*.json"):
+            path.write_text("garbage")
+        assert store.load_latest() is None
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write({"i": 0}, offset=100)
+        store.clear()
+        assert store.load_latest() is None
+
+    def test_empty_dir_is_none(self, tmp_path):
+        assert CheckpointStore(tmp_path / "missing").load_latest() is None
+
+
+class TestDurableScanState:
+    def test_snapshot_is_deterministic_json(self, ruleset, data):
+        sim = RAPSimulator(DEFAULT_CONFIG)
+        mapping = sim.build_mapping(ruleset)
+        one = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        two = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        for scan in (one, two):
+            scan.feed(data[:1000], at_end=False)
+        dump = lambda s: json.dumps(s.snapshot(), sort_keys=True)  # noqa: E731
+        assert dump(one) == dump(two)
+
+    def test_restore_roundtrips_shed_state(self, ruleset, data):
+        sim = RAPSimulator(DEFAULT_CONFIG)
+        mapping = sim.build_mapping(ruleset)
+        scan = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        scan.feed(data[:1000], at_end=False)
+        scan.shed(0.5, "test pressure")
+        live_before = scan.live_units
+        doc = json.loads(json.dumps(scan.snapshot()))
+        restored = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        restored.restore(doc, data)
+        assert restored.live_units == live_before
+        assert len(restored.quarantine_entries) == len(scan.quarantine_entries)
+        restored.feed(data[1000:], at_end=True)
+        scan.feed(data[1000:], at_end=True)
+        assert dataclasses.asdict(
+            RAPSimulator(DEFAULT_CONFIG).run_from_activity(
+                ruleset, restored.finish(), mapping
+            ).metrics
+        ) == dataclasses.asdict(
+            RAPSimulator(DEFAULT_CONFIG).run_from_activity(
+                ruleset, scan.finish(), mapping
+            ).metrics
+        )
+
+    def test_shed_everything_freezes_scan(self, ruleset, data):
+        sim = RAPSimulator(DEFAULT_CONFIG)
+        mapping = sim.build_mapping(ruleset)
+        scan = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        scan.feed(data[:500], at_end=False)
+        while scan.live_units:
+            scan.shed(1.0, "pressure")
+        activity = scan.finish()
+        assert activity.input_symbols == 500

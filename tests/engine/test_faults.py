@@ -131,3 +131,79 @@ class TestInjection:
         faults.inject_cache_put(second)  # ordinal 1: truncated
         assert first.read_bytes() == b"x" * 100
         assert second.read_bytes() == b"y" * 50
+
+
+class TestPlanHardening:
+    """The parse DSL rejects malformed directives with structured errors
+    that name the offending directive."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["crash@0*0", "hang@1*-2", "kill@0*0", "hang@1:0*-0.5"],
+    )
+    def test_nonpositive_seconds_rejected(self, spec):
+        with pytest.raises(ValueError) as info:
+            FaultPlan.parse(spec)
+        message = str(info.value)
+        assert "must be > 0" in message
+        assert spec.split("*")[0] in message  # names the directive
+
+    @pytest.mark.parametrize("spec", ["meltdown@0", "kil@1", "krash@2:1"])
+    def test_unknown_kind_names_directive(self, spec):
+        with pytest.raises(ValueError) as info:
+            FaultPlan.parse(spec)
+        assert spec.split("@")[0] in str(info.value)
+
+    @pytest.mark.parametrize(
+        "spec", ["crash@-1", "crash@x", "crash@", "@0", "crash@0:-1"]
+    )
+    def test_malformed_coordinates_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_json_unknown_field_rejected(self):
+        with pytest.raises(ValueError) as info:
+            FaultPlan.parse('[{"kind": "crash", "banana": 1}]')
+        assert "banana" in str(info.value)
+
+    def test_json_non_object_entry_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse('["crash@0"]')
+
+    def test_json_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse('[{"kind": "hang", "seconds": -1}]')
+
+    def test_new_kinds_parse(self):
+        plan = FaultPlan.parse("kill@2;torn_checkpoint@1;disk_full@0")
+        assert [d.kind for d in plan.directives] == [
+            "kill",
+            "torn_checkpoint",
+            "disk_full",
+        ]
+        assert FaultPlan.parse(plan.spec()) == plan
+
+
+class TestCheckpointInjection:
+    def test_chunk_noop_without_directive(self):
+        faults.inject_chunk(0, FaultPlan.parse("kill@5"))
+
+    def test_disk_full_raises_enospc(self):
+        import errno
+
+        plan = FaultPlan.parse("disk_full@1")
+        faults.inject_checkpoint_reserve(0, plan)  # ordinal 0: untouched
+        with pytest.raises(OSError) as info:
+            faults.inject_checkpoint_reserve(1, plan)
+        assert info.value.errno == errno.ENOSPC
+
+    def test_torn_checkpoint_truncates_committed_file(self, tmp_path):
+        plan = FaultPlan.parse("torn_checkpoint@1")
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        first.write_bytes(b"x" * 100)
+        second.write_bytes(b"y" * 100)
+        faults.inject_checkpoint_commit(first, 0, plan)
+        faults.inject_checkpoint_commit(second, 1, plan)
+        assert first.read_bytes() == b"x" * 100
+        assert second.read_bytes() == b"y" * 50

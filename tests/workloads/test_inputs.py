@@ -115,3 +115,63 @@ def test_witness_property(tree):
     except ValueError:
         return  # empty language
     assert re.fullmatch(tree.to_pattern().encode(), witness, re.DOTALL)
+
+
+class TestGenerateInputWeights:
+    """The weights argument is materialized once and validated up front."""
+
+    PATTERNS = ["abc", "xyz"]
+
+    def test_generator_weights_equal_list_weights(self):
+        # A generator used to be exhausted by the alignment check and
+        # then silently yield nothing inside the planting loop.
+        ref = generate_input(
+            "text", 2000, seed=1, patterns=self.PATTERNS, weights=[1.0, 2.0]
+        )
+        gen = generate_input(
+            "text",
+            2000,
+            seed=1,
+            patterns=self.PATTERNS,
+            weights=(w for w in [1.0, 2.0]),
+        )
+        assert gen == ref
+
+    def test_misaligned_weights_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            generate_input(
+                "text", 100, patterns=self.PATTERNS, weights=[1.0]
+            )
+
+    def test_negative_weight_rejected_with_index(self):
+        with pytest.raises(ValueError, match=r"weights\[1\]"):
+            generate_input(
+                "text", 100, patterns=self.PATTERNS, weights=[1.0, -0.5]
+            )
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            generate_input(
+                "text",
+                100,
+                patterns=self.PATTERNS,
+                weights=[float("nan"), 1.0],
+            )
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            generate_input(
+                "text", 100, patterns=self.PATTERNS, weights=[0.0, 0.0]
+            )
+
+    def test_zero_weight_pattern_never_planted(self):
+        data = generate_input(
+            "protein",
+            3000,
+            seed=2,
+            patterns=["abc", "xyz"],
+            plant_every=200,
+            weights=[0.0, 1.0],
+        )
+        assert b"abc" not in data
+        assert b"xyz" in data
