@@ -1,0 +1,92 @@
+"""Fused-backend speed: one ruleset-wide pass must beat per-unit NumPy.
+
+The fused backend's pitch is that a multi-pattern ruleset reads the
+input *once* — shared alphabet classes, all LNFA bins lane-packed into
+one machine, cold stretches skipped via the union literal prefilter —
+instead of once per bin.  This gate pins that pitch on the regime the
+paper cares about: a synthetic 64-keyword ruleset over >= 1 MB of
+mostly-cold network traffic, where the fused scan must be at least 2x
+faster than stepping the same bins one at a time on the NumPy backend.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.compiler import CompiledMode, compile_ruleset
+from repro.core import available_backends, use_backend
+from repro.hardware.config import DEFAULT_CONFIG
+from repro.simulators.rap import RAPSimulator
+from repro.workloads.inputs import generate_input
+
+requires_numpy = pytest.mark.skipif(
+    "numpy" not in available_backends(), reason="NumPy backend not available"
+)
+
+
+def _keywords(count: int = 64, seed: int = 5) -> list[str]:
+    """Distinct literal keywords (forced LNFA mode) of length 5-8."""
+    rng = random.Random(seed)
+    words: set[str] = set()
+    while len(words) < count:
+        length = rng.randint(5, 8)
+        words.add(
+            "".join(rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(length))
+        )
+    return sorted(words)
+
+
+PATTERNS = _keywords()
+
+# >= 1 MB of traffic, a witness planted every ~50 KB: mostly cold.
+STREAM = generate_input(
+    "network", 1_200_000, seed=13, patterns=PATTERNS, plant_every=50_000
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ruleset = compile_ruleset(PATTERNS)
+    assert len(ruleset.regexes) == len(PATTERNS)
+    assert all(r.mode is CompiledMode.LNFA for r in ruleset)
+    sim = RAPSimulator(DEFAULT_CONFIG)
+    return sim, ruleset, sim.build_mapping(ruleset)
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+@requires_numpy
+def test_fused_ruleset_scan_speed(benchmark, workload):
+    sim, ruleset, mapping = workload
+    with use_backend("fused"):
+        activity = benchmark(sim.collect_activities, ruleset, STREAM, mapping)
+    assert activity.input_symbols == len(STREAM)
+
+
+@requires_numpy
+def test_fused_beats_per_pattern_numpy(benchmark, workload):
+    """The regression-gated 2x floor from the fused-backend issue."""
+    sim, ruleset, mapping = workload
+
+    def numpy_scan():
+        with use_backend("numpy"):
+            return sim.collect_activities(ruleset, STREAM, mapping)
+
+    def fused_scan():
+        with use_backend("fused"):
+            return sim.collect_activities(ruleset, STREAM, mapping)
+
+    assert fused_scan() == numpy_scan()  # exactness before speed
+    numpy_time = min(_timed(numpy_scan) for _ in range(3))
+    fused_time = min(_timed(fused_scan) for _ in range(3))
+    benchmark.pedantic(fused_scan, rounds=1, iterations=1)
+    assert fused_time * 2 <= numpy_time, (
+        f"fused scan {fused_time:.4f}s is not 2x faster than per-unit "
+        f"numpy {numpy_time:.4f}s on a {len(STREAM)}-byte stream with "
+        f"{len(PATTERNS)} patterns"
+    )

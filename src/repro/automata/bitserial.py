@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from repro.automata.lnfa import LNFA
 from repro.core.program import KernelProgram, ProgramKind
 from repro.core.registry import get_kernel
-from repro.regex.charclass import label_masks
+from repro.regex.charclass import interned_label_masks
 
 
 @dataclass(frozen=True)
@@ -51,8 +51,8 @@ class BitSerialLNFA:
         self._final = 1  # LSB: state q(n-1)
         self._anchored_start = anchored_start
         # labels[c] bit (n-1-i) set iff column i's CC matches byte c
-        self._labels = tuple(
-            label_masks((n - 1 - i, cc) for i, cc in enumerate(lnfa.labels))
+        self._labels = interned_label_masks(
+            (n - 1 - i, cc) for i, cc in enumerate(lnfa.labels)
         )
         self._programs: dict[bool, KernelProgram] = {}
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.automata.glushkov import Automaton, EdgeAction
-from repro.regex.charclass import ALPHABET_SIZE, label_masks
+from repro.regex.charclass import ALPHABET_SIZE, interned_label_masks
 
 
 class DFABlowupError(RuntimeError):
@@ -91,7 +91,9 @@ def determinize(automaton: Automaton, *, max_states: int = 1 << 16) -> DFA:
     final = 0
     for pid in automaton.finals:
         final |= 1 << pid
-    labels = label_masks((pos.pid, pos.cc) for pos in automaton.positions)
+    labels = interned_label_masks(
+        (pos.pid, pos.cc) for pos in automaton.positions
+    )
 
     # Lazy BFS over reachable subsets.  A subset here is the set of
     # *active* positions after consuming some input suffix.

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.automata.glushkov import Automaton, EdgeAction
-from repro.regex.charclass import ALPHABET_SIZE, label_masks, members
+from repro.regex.charclass import ALPHABET_SIZE, interned_label_masks, members
 
 
 @dataclass
@@ -120,7 +120,7 @@ class NBVASimulator:
         # counted positions (sets — the BV loop below walks live vectors
         # and stays pure-Python regardless of the selected backend: its
         # per-state counter dataflow is not a bitset program).
-        self._labels = label_masks(
+        self._labels = interned_label_masks(
             (pos.pid, pos.cc) for pos in positions if not pos.is_counted
         )
         self._counted_match = [set() for _ in range(ALPHABET_SIZE)]

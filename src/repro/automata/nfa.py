@@ -22,7 +22,7 @@ from repro.automata.streaming import ProgramScanner
 from repro.core.kernel import StepStats
 from repro.core.program import KernelProgram, ProgramKind
 from repro.core.registry import get_kernel
-from repro.regex.charclass import label_masks
+from repro.regex.charclass import interned_label_masks
 
 __all__ = ["NFAScanner", "NFASimulator", "StepStats"]
 
@@ -42,8 +42,8 @@ class NFASimulator:
         n = automaton.state_count
         self._initial = _mask(automaton.initial)
         self._final = _mask(automaton.finals)
-        self._labels = tuple(
-            label_masks((pos.pid, pos.cc) for pos in automaton.positions)
+        self._labels = interned_label_masks(
+            (pos.pid, pos.cc) for pos in automaton.positions
         )
         succ = [0] * n
         for edge in automaton.edges:

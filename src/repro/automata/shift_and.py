@@ -26,7 +26,7 @@ from repro.automata.lnfa import LNFA
 from repro.automata.streaming import ProgramScanner
 from repro.core.program import KernelProgram, ProgramKind
 from repro.core.registry import get_kernel
-from repro.regex.charclass import label_masks
+from repro.regex.charclass import interned_label_masks
 
 
 @dataclass
@@ -50,7 +50,7 @@ class ShiftAnd:
         n = len(lnfa)
         self._initial = 1
         self._final = 1 << (n - 1)
-        self._labels = tuple(label_masks(enumerate(lnfa.labels)))
+        self._labels = interned_label_masks(enumerate(lnfa.labels))
         self._programs: dict[tuple[bool, bool], KernelProgram] = {}
 
     @property
@@ -221,7 +221,7 @@ class MultiShiftAnd:
         self._program = KernelProgram(
             kind=ProgramKind.SHIFT_LEFT,
             width=offset,
-            labels=tuple(label_masks(assignments)),
+            labels=interned_label_masks(assignments),
             inject_first=self._initial,
             inject_always=initial_always,
             final=final,

@@ -18,6 +18,7 @@ from repro.core.kernel import MatchEvent, StepKernel, StepStats
 from repro.core.program import KernelProgram, ProgramKind
 from repro.core.registry import (
     BACKEND_ENV,
+    FUSED_FORMAT_VERSION,
     KERNEL_FORMAT_VERSION,
     available_backends,
     backend_names,
@@ -34,6 +35,7 @@ from repro.core.state import (
 
 __all__ = [
     "BACKEND_ENV",
+    "FUSED_FORMAT_VERSION",
     "KERNEL_FORMAT_VERSION",
     "STATE_FORMAT_VERSION",
     "KernelProgram",

@@ -1,0 +1,541 @@
+"""Fused ruleset-wide scanning (``RAP_BACKEND=fused``).
+
+The per-pattern kernels in this package step each compiled unit through
+its own scan loop with a private 256-entry byte LUT, so on multi-pattern
+rule sets the per-unit Python overhead — not the automata math —
+dominates wall clock.  Data-parallel regex engines (SFA-style lockstep
+execution, the BVAP compressed match tables) recover the lost
+throughput with three ruleset-level tricks, and this module implements
+all three on top of the NumPy backend:
+
+1. **Alphabet equivalence classes** (:class:`AlphabetClasses`): two
+   bytes that every unit's label table treats identically are the same
+   symbol.  The shared 256→k class map is computed once per ruleset and
+   the input is translated once (one vectorized gather) instead of
+   being re-examined per pattern.
+
+2. **Lane packing** (:class:`FusedRuleset`): every Shift-And/LNFA unit
+   is concatenated into one wide state word laid out as ``uint64``
+   lanes, with per-class label/revival rows forming 2-D ``(k, lanes)``
+   matrices.  One pass steps the whole ruleset per input symbol, and
+   live state rows are buffered into a ``(block, lanes)`` matrix so
+   activity pricing (per-tile popcounts) is vectorized per block
+   instead of per cycle.  Plain-NFA units are grouped into class-indexed
+   mask stacks and scanned over the shared translated input.
+
+3. **Literal prefiltering**: the classes that can revive an empty
+   machine are known at compile time, so cold stretches are skipped by
+   jumping between precomputed hot positions — found with
+   ``bytes.find`` chains when few distinct byte values are hot, or one
+   vectorized LUT pass otherwise.  Both prefilters yield identical
+   position streams.
+
+Exactness is the contract: the packed machine evolves each unit's state
+word bit-identically to a standalone scan (the cross-unit shift leak is
+absorbed exactly as the packed multi-pattern layout absorbs its
+internal boundaries), and every counter is priced from per-class
+popcounts that equal the per-byte sums by construction.  The
+differential suite asserts bit-identity against the ``python`` and
+``numpy`` backends.
+
+Only construct :class:`FusedKernel` through
+:func:`repro.core.registry.get_kernel`, which falls back to ``numpy``
+and then ``python`` when prerequisites are missing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.kernel import MatchEvent, StepStats
+from repro.core.npkernel import NumpyKernel
+from repro.core.program import KernelProgram, ProgramKind
+from repro.core.registry import FUSED_FORMAT_VERSION
+
+# Use a `bytes.find` chain when at most this many distinct byte values
+# can revive the machine; beyond that one vectorized LUT pass wins.
+_PREFILTER_FIND_MAX = 4
+
+# Live state rows are flushed to the stats sink in blocks of this many
+# cycles, bounding buffer memory while amortizing the vectorized pricing.
+_FLUSH_BLOCK = 4096
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Elementwise population count of a ``uint64`` array."""
+        return np.bitwise_count(words).astype(np.int64)
+
+else:  # pragma: no cover - exercised only on older NumPy
+    _POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.int64)
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Elementwise population count of a ``uint64`` array."""
+        grouped = words.view(np.uint8).reshape(words.shape + (8,))
+        return _POP8[grouped].sum(axis=-1)
+
+
+def words_from_int(value: int, lanes: int) -> np.ndarray:
+    """A non-negative int as ``lanes`` little-endian ``uint64`` words."""
+    return np.frombuffer(value.to_bytes(lanes * 8, "little"), dtype=np.uint64)
+
+
+def int_from_words(words: np.ndarray) -> int:
+    """Inverse of :func:`words_from_int`."""
+    return int.from_bytes(np.ascontiguousarray(words).tobytes(), "little")
+
+
+class AlphabetClasses:
+    """Shared byte equivalence classes over a set of label tables.
+
+    Two byte values are equivalent iff *every* table maps them to the
+    same mask — then no unit in the ruleset can distinguish them, and
+    the scan may run over class indices instead of raw bytes.  ``k``
+    is the class count (≤ 256), ``class_of`` the 256-entry map, and
+    ``representatives`` one canonical byte per class (the smallest).
+    """
+
+    __slots__ = ("class_of", "representatives", "k", "np_map")
+
+    def __init__(self, label_tables: Iterable[Sequence[int]]):
+        tables = [tuple(table) for table in label_tables]
+        signatures: dict[tuple[int, ...], int] = {}
+        class_of = []
+        representatives: list[int] = []
+        for byte in range(256):
+            sig = tuple(table[byte] for table in tables)
+            cls = signatures.get(sig)
+            if cls is None:
+                cls = len(representatives)
+                signatures[sig] = cls
+                representatives.append(byte)
+            class_of.append(cls)
+        self.class_of: tuple[int, ...] = tuple(class_of)
+        self.representatives: tuple[int, ...] = tuple(representatives)
+        self.k: int = len(representatives)
+        # k ≤ 256 so class indices always fit a byte; uint8 keeps the
+        # translated input as compact as the raw one.
+        self.np_map = np.array(class_of, dtype=np.uint8)
+
+    def project(self, table: Sequence[int]) -> tuple[int, ...]:
+        """A 256-entry table as its k-entry per-class form."""
+        return tuple(table[rep] for rep in self.representatives)
+
+
+class TranslatedSegment:
+    """One input segment translated to class indices, shared by every
+    unit of the fused ruleset.
+
+    ``cls_bytes`` is the class stream as a ``bytes`` object (fastest
+    per-symbol indexing from Python), ``hot_idx`` the ascending
+    positions that can revive *any* unit (the union prefilter), and
+    ``counts`` the lazy per-class histogram used to price
+    ``matched_states`` in one dot product.
+    """
+
+    __slots__ = ("data", "cls_arr", "cls_bytes", "k", "hot_idx", "_hot_np", "_counts")
+
+    def __init__(
+        self, data: bytes, cls_arr: np.ndarray, k: int, hot_idx: list[int]
+    ):
+        self.data = data
+        self.cls_arr = cls_arr
+        self.cls_bytes = cls_arr.tobytes()
+        self.k = k
+        self.hot_idx = hot_idx
+        self._hot_np: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-class symbol counts over the whole segment (int64)."""
+        if self._counts is None:
+            self._counts = np.bincount(
+                self.cls_arr, minlength=self.k
+            ).astype(np.int64)
+        return self._counts
+
+    def hot_for(self, hot_cls: np.ndarray) -> list[int]:
+        """The union hot positions restricted to one unit's hot classes.
+
+        Every unit's revival classes are a subset of the union the
+        prefilter indexed, so filtering (one vectorized gather) is
+        position-identical to scanning for that unit's classes directly.
+        """
+        if self._hot_np is None:
+            self._hot_np = np.asarray(self.hot_idx, dtype=np.int64)
+        idx = self._hot_np
+        if idx.size == 0:
+            return []
+        return idx[hot_cls[self.cls_arr[idx]]].tolist()
+
+
+class _GatherUnit:
+    """Class-indexed tables for one GATHER (plain NFA) unit."""
+
+    __slots__ = ("program", "labels", "cold", "hot_cls", "pops")
+
+    def __init__(self, program: KernelProgram, classes: AlphabetClasses):
+        self.program = program
+        self.labels = classes.project(program.labels)
+        self.cold = tuple(program.inject_always & m for m in self.labels)
+        self.hot_cls = np.fromiter(
+            (m != 0 for m in self.cold), dtype=bool, count=classes.k
+        )
+        self.pops = np.fromiter(
+            (m.bit_count() for m in self.labels),
+            dtype=np.int64,
+            count=classes.k,
+        )
+
+
+# A stats sink receives each flushed block of live cycles: the segment
+# positions (int64) and the matching state rows as a (len, lanes)
+# uint64 matrix.
+StatsSink = Callable[[np.ndarray, np.ndarray], None]
+
+
+class FusedRuleset:
+    """One ruleset compiled for lockstep execution.
+
+    All SHIFT_LEFT programs (packed LNFA bins, standalone Shift-And
+    units) are concatenated into a single wide machine word; GATHER
+    programs keep their own state words but share the class-translated
+    input and prefilter.  The packed machine's per-unit projection
+    ``(word >> base) & (2**width - 1)`` evolves bit-identically to a
+    standalone scan of that unit: within a SHIFT_LEFT program the low
+    bit is only ever set by injection, so a neighbour's top bit leaking
+    across the concatenation boundary is either absorbed by the very
+    injection that would set it anyway or force-cleared — the same
+    absorption argument the packed multi-pattern layout uses for its
+    internal pattern boundaries.
+    """
+
+    def __init__(
+        self,
+        shift_programs: Sequence[KernelProgram] = (),
+        gather_programs: Sequence[KernelProgram] = (),
+    ):
+        self._shift = tuple(shift_programs)
+        for program in self._shift:
+            if program.kind is not ProgramKind.SHIFT_LEFT:
+                raise ValueError(
+                    "fused lane packing requires SHIFT_LEFT programs, "
+                    f"got {program.kind.value}"
+                )
+        gathers = tuple(gather_programs)
+        for program in gathers:
+            if program.kind is not ProgramKind.GATHER:
+                raise ValueError(
+                    "fused mask stacks require GATHER programs, "
+                    f"got {program.kind.value}"
+                )
+
+        self.classes = AlphabetClasses(
+            [p.labels for p in self._shift] + [p.labels for p in gathers]
+        )
+        k = self.classes.k
+
+        # -- lane-pack the shift programs into one wide word ------------
+        bases = []
+        offset = 0
+        for program in self._shift:
+            bases.append(offset)
+            offset += program.width
+        self.bases: tuple[int, ...] = tuple(bases)
+        self.widths: tuple[int, ...] = tuple(p.width for p in self._shift)
+        self.width: int = offset
+        self.lanes: int = max(1, -(-offset // 64)) if offset else 0
+        self._lane_bytes = self.lanes * 8
+
+        inject_first = inject_always = final = end_anchored = clear = 0
+        for base, program in zip(self.bases, self._shift):
+            inject_first |= program.inject_first << base
+            inject_always |= program.inject_always << base
+            final |= program.final << base
+            end_anchored |= program.end_anchored_finals << base
+            clear |= program.clear_after_shift << base
+            # The concatenation boundary: the previous unit's top bit
+            # shifts onto this unit's bit 0.  Harmless when bit 0 is
+            # injected every cycle anyway; otherwise it must be cleared
+            # (exact, because a SHIFT_LEFT unit's bit 0 is only ever
+            # activated by injection, never by its own shift).
+            if not program.inject_always & 1:
+                clear |= 1 << base
+        self.inject_first = inject_first
+        self.inject_always = inject_always
+        self.final = final
+        self.end_anchored = end_anchored
+        self.keep = ~clear
+
+        labels_cls = []
+        cold_cls = []
+        for rep in self.classes.representatives:
+            word = 0
+            for base, program in zip(self.bases, self._shift):
+                word |= program.labels[rep] << base
+            labels_cls.append(word)
+            cold_cls.append(inject_always & word)
+        self._labels_cls = tuple(labels_cls)
+        self._cold_cls = tuple(cold_cls)
+        self.lane_hot_cls = np.fromiter(
+            (m != 0 for m in cold_cls), dtype=bool, count=k
+        )
+        # The canonical lane-packed artifacts: per-class label/revival
+        # rows as 2-D uint64 matrices (k rows × lanes columns).
+        if self.lanes:
+            self.labels_matrix = np.vstack(
+                [words_from_int(m, self.lanes) for m in labels_cls]
+            )
+            self.cold_matrix = np.vstack(
+                [words_from_int(m, self.lanes) for m in cold_cls]
+            )
+        else:
+            self.labels_matrix = np.zeros((k, 0), dtype=np.uint64)
+            self.cold_matrix = np.zeros((k, 0), dtype=np.uint64)
+
+        # -- class-indexed mask stacks for the gather programs ----------
+        self._gather = tuple(_GatherUnit(p, self.classes) for p in gathers)
+
+        # -- the union prefilter ----------------------------------------
+        union_hot = self.lane_hot_cls.copy()
+        for unit in self._gather:
+            union_hot |= unit.hot_cls
+        self.union_hot_cls = union_hot
+        self._hot_lut = union_hot[self.classes.np_map]  # per raw byte
+        self._hot_bytes = bytes(np.flatnonzero(self._hot_lut).tolist())
+
+    # -- identity -------------------------------------------------------
+
+    @property
+    def signature(self) -> str:
+        """Digest of the class map and lane layout.
+
+        Cache keys and durable-scan fingerprints embed this so an
+        artifact produced under one fusion layout can never be decoded
+        under another.
+        """
+        doc = (
+            FUSED_FORMAT_VERSION,
+            self.classes.k,
+            self.classes.class_of,
+            tuple(zip(self.bases, self.widths)),
+            tuple(unit.program.width for unit in self._gather),
+        )
+        return hashlib.sha256(repr(doc).encode("ascii")).hexdigest()
+
+    def extract(self, word: int, index: int) -> int:
+        """Unit ``index``'s state projected out of the packed word."""
+        return (word >> self.bases[index]) & ((1 << self.widths[index]) - 1)
+
+    def pack(self, states: Sequence[int]) -> int:
+        """Per-unit state words combined into one packed word."""
+        word = 0
+        for base, width, state in zip(self.bases, self.widths, states):
+            word |= (state & ((1 << width) - 1)) << base
+        return word
+
+    # -- translation + prefilter ----------------------------------------
+
+    def translate(self, data: bytes) -> TranslatedSegment:
+        """Translate one segment to class indices and prefilter it."""
+        arr = np.frombuffer(data, dtype=np.uint8)
+        cls_arr = self.classes.np_map[arr]
+        return TranslatedSegment(
+            data, cls_arr, self.classes.k, self._hot_positions(data, arr)
+        )
+
+    def _hot_positions(self, data: bytes, arr: np.ndarray) -> list[int]:
+        hot_bytes = self._hot_bytes
+        if not hot_bytes:
+            return []
+        if len(hot_bytes) <= _PREFILTER_FIND_MAX:
+            positions: list[int] = []
+            for value in hot_bytes:
+                pos = data.find(value)
+                while pos != -1:
+                    positions.append(pos)
+                    pos = data.find(value, pos + 1)
+            positions.sort()
+            return positions
+        return np.flatnonzero(self._hot_lut[arr]).tolist()
+
+    # -- the packed shift machine ---------------------------------------
+
+    def lane_feed(
+        self,
+        tin: TranslatedSegment,
+        state: int,
+        *,
+        fresh: bool,
+        at_end: bool,
+        sink: StatsSink,
+        block: int = _FLUSH_BLOCK,
+    ) -> int:
+        """Step the packed machine over one translated segment.
+
+        ``state`` is the packed word after the previous segment
+        (``fresh`` marks the true stream start, which receives
+        ``inject_first``); the returned word continues the stream.
+        Every cycle with a non-empty active set is recorded and flushed
+        to ``sink`` in ``(positions, rows)`` blocks for vectorized
+        pricing; empty stretches are skipped via the prefilter exactly
+        like the per-unit NumPy kernel.  ``at_end`` is accepted for
+        symmetry with the segment API — final-hit masking happens in
+        the sink, which knows the positions.
+        """
+        del at_end  # finals are decomposed (and masked) by the sink
+        if not self._shift:
+            return state
+        data = tin.data
+        n = len(data)
+        if n == 0:
+            return state
+        cls = tin.cls_bytes
+        labels = self._labels_cls
+        cold = self._cold_cls
+        keep = self.keep
+        inject = self.inject_always
+        hot_idx = tin.hot_for(self.lane_hot_cls)
+        n_hot = len(hot_idx)
+        positions: list[int] = []
+        rows: list[int] = []
+        states = state
+        i = 0
+        if fresh:
+            states = self.inject_first & labels[cls[0]]
+            if states:
+                positions.append(0)
+                rows.append(states)
+            i = 1
+        k = 0  # monotone cursor into hot_idx (indices only grow)
+        while i < n:
+            if not states:
+                while k < n_hot and hot_idx[k] < i:
+                    k += 1
+                if k == n_hot:
+                    break
+                i = hot_idx[k]
+                k += 1
+                states = cold[cls[i]]
+            else:
+                states = ((states << 1) & keep | inject) & labels[cls[i]]
+            if states:
+                positions.append(i)
+                rows.append(states)
+                if len(rows) >= block:
+                    self._flush(positions, rows, sink)
+                    positions, rows = [], []
+            i += 1
+        if rows:
+            self._flush(positions, rows, sink)
+        return states
+
+    def _flush(
+        self, positions: list[int], rows: list[int], sink: StatsSink
+    ) -> None:
+        nbytes = self._lane_bytes
+        buf = b"".join(word.to_bytes(nbytes, "little") for word in rows)
+        matrix = np.frombuffer(buf, dtype=np.uint64).reshape(
+            len(rows), self.lanes
+        )
+        sink(np.asarray(positions, dtype=np.int64), matrix)
+
+    # -- the gather mask stacks -----------------------------------------
+
+    def scan_unit(
+        self, index: int, tin: TranslatedSegment
+    ) -> tuple[list[MatchEvent], StepStats]:
+        """Scan GATHER unit ``index`` over the shared translated input.
+
+        A class-indexed mirror of :meth:`NumpyKernel.scan`: identical
+        events and counters, but the byte LUTs shrink to k entries, the
+        prefilter positions are shared, and ``matched_states`` is one
+        per-class dot product instead of a 256-entry gather.
+        """
+        unit = self._gather[index]
+        program = unit.program
+        data = tin.data
+        n = len(data)
+        if n == 0:
+            return [], StepStats()
+        cls = tin.cls_bytes
+        labels = unit.labels
+        cold_next = unit.cold
+        hot_idx = tin.hot_for(unit.hot_cls)
+        n_hot = len(hot_idx)
+
+        succ = program.succ
+        final = program.final
+        end_anchored = program.end_anchored_finals
+        inject = program.inject_always
+        last = n - 1
+        events: list[MatchEvent] = []
+        active = 0
+        states = program.inject_first & labels[cls[0]]
+        if states:
+            active += states.bit_count()
+            hits = states & final
+            if hits and last != 0:
+                hits &= ~end_anchored
+            if hits:
+                events.append((0, hits))
+        i = 1
+        k = 0  # monotone cursor into hot_idx (indices only grow)
+        while i < n:
+            if not states:
+                while k < n_hot and hot_idx[k] < i:
+                    k += 1
+                if k == n_hot:
+                    break
+                i = hot_idx[k]
+                k += 1
+                states = cold_next[cls[i]]
+            else:
+                avail = inject
+                a = states
+                while a:
+                    low = a & -a
+                    avail |= succ[low.bit_length() - 1]
+                    a ^= low
+                states = avail & labels[cls[i]]
+            if states:
+                active += states.bit_count()
+                hits = states & final
+                if hits:
+                    if i != last:
+                        hits &= ~end_anchored
+                    if hits:
+                        events.append((i, hits))
+            i += 1
+        matched = (
+            int(tin.counts @ unit.pops) if program.track_matched else 0
+        )
+        return events, StepStats(
+            cycles=n,
+            active_states=active,
+            matched_states=matched,
+            reports=len(events),
+        )
+
+    @property
+    def gather_count(self) -> int:
+        """Number of GATHER units in the fused compilation."""
+        return len(self._gather)
+
+
+class FusedKernel(NumpyKernel):
+    """The ``fused`` backend tier.
+
+    As a :class:`~repro.core.kernel.StepKernel` it executes single
+    programs exactly like :class:`NumpyKernel` (the per-program API is
+    inherited unchanged, so it honours the bit-identity contract by
+    construction).  The ruleset-wide fusion — shared alphabet classes,
+    lane packing, prefiltering — engages one layer up, where the
+    simulator and engine hand whole rulesets to :class:`FusedRuleset`.
+    """
+
+    name = "fused"

@@ -26,6 +26,8 @@ when NumPy is absent.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.core.kernel import MatchEvent, StepStats
@@ -33,24 +35,35 @@ from repro.core.program import KernelProgram, ProgramKind
 from repro.core.pykernel import PythonKernel
 from repro.core.state import KernelState
 
+# Derived LUTs are keyed on the (frozen, hashable) program itself in a
+# bounded LRU, so long-lived processes cycling through many rulesets
+# cannot grow memory without limit.  256 entries comfortably covers the
+# working set of one ruleset compile while capping retained tables.
+_NP_TABLES_CAP = 256
+_np_tables_cache: OrderedDict[
+    KernelProgram, tuple[tuple[int, ...], np.ndarray, np.ndarray]
+] = OrderedDict()
+
 
 def _np_tables(program: KernelProgram):
     """Cached LUTs: cold-revival masks, hot flags, label popcounts."""
-    cached = getattr(program, "_np_tables", None)
-    if cached is None:
-        cold_next = tuple(
-            program.inject_always & mask for mask in program.labels
-        )
-        hot = np.fromiter(
-            (mask != 0 for mask in cold_next), dtype=bool, count=len(cold_next)
-        )
-        pops = np.fromiter(
-            (mask.bit_count() for mask in program.labels),
-            dtype=np.int64,
-            count=len(program.labels),
-        )
-        cached = (cold_next, hot, pops)
-        object.__setattr__(program, "_np_tables", cached)
+    cached = _np_tables_cache.get(program)
+    if cached is not None:
+        _np_tables_cache.move_to_end(program)
+        return cached
+    cold_next = tuple(program.inject_always & mask for mask in program.labels)
+    hot = np.fromiter(
+        (mask != 0 for mask in cold_next), dtype=bool, count=len(cold_next)
+    )
+    pops = np.fromiter(
+        (mask.bit_count() for mask in program.labels),
+        dtype=np.int64,
+        count=len(program.labels),
+    )
+    cached = (cold_next, hot, pops)
+    _np_tables_cache[program] = cached
+    while len(_np_tables_cache) > _NP_TABLES_CAP:
+        _np_tables_cache.popitem(last=False)
     return cached
 
 

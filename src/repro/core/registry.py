@@ -8,13 +8,16 @@ Selection order (first hit wins):
 3. the ``RAP_BACKEND`` environment variable;
 4. ``"python"``.
 
-Every backend is capability-flagged: requesting ``numpy`` on a machine
-without NumPy *silently* resolves to the pure-Python kernel, so scripts
-and CI recipes can pin ``RAP_BACKEND=numpy`` unconditionally.  This is
-safe because kernels are bit-identical by contract — the backend only
-changes speed, never results.  Anything that persists derived artifacts
-(the engine's compile cache) must embed :data:`KERNEL_FORMAT_VERSION`
-and the resolved backend in its keys.
+Every backend is capability-flagged: requesting ``numpy`` (or the
+ruleset-fusing ``fused`` tier layered on top of it) on a machine
+without NumPy *silently* resolves down the fallback chain
+(``fused`` → ``numpy`` → ``python``), so scripts and CI recipes can pin
+``RAP_BACKEND=fused`` unconditionally.  This is safe because kernels
+are bit-identical by contract — the backend only changes speed, never
+results.  Anything that persists derived artifacts (the engine's
+compile cache, durable-scan checkpoints) must embed
+:data:`KERNEL_FORMAT_VERSION` / :data:`FUSED_FORMAT_VERSION` and the
+resolved backend in its keys.
 """
 
 from __future__ import annotations
@@ -31,6 +34,13 @@ BACKEND_ENV = "RAP_BACKEND"
 # change to KernelProgram's meaning so keyed caches can never serve an
 # artifact produced under different execution semantics.
 KERNEL_FORMAT_VERSION = 1
+
+# Version of the fused ruleset compilation (alphabet class maps, lane
+# packing, prefilter semantics).  Bump on any change to how
+# repro.core.fused lays out lanes or prices activity; lives here rather
+# than in repro.core.fused so NumPy-free importers (the compile cache)
+# can embed it in keys.
+FUSED_FORMAT_VERSION = 1
 
 
 def _numpy_available() -> bool:
@@ -53,10 +63,24 @@ def _make_numpy() -> StepKernel:
     return NumpyKernel()
 
 
+def _make_fused() -> StepKernel:
+    from repro.core.fused import FusedKernel
+
+    return FusedKernel()
+
+
 # name -> (capability probe, factory)
 _BACKENDS: dict[str, tuple[Callable[[], bool], Callable[[], StepKernel]]] = {
     "python": (lambda: True, _make_python),
     "numpy": (_numpy_available, _make_numpy),
+    "fused": (_numpy_available, _make_fused),
+}
+
+# Where an unavailable backend degrades to.  Names absent from this map
+# fall straight back to "python" (always available).
+_FALLBACKS: dict[str, str] = {
+    "fused": "numpy",
+    "numpy": "python",
 }
 
 _default: str | None = None
@@ -80,8 +104,8 @@ def resolve_backend(name: str | None = None) -> str:
 
     An explicitly passed unknown name raises; an unknown ``RAP_BACKEND``
     value quietly resolves to ``python`` (a stale environment must not
-    break a run).  A known-but-unavailable backend resolves to
-    ``python`` silently in both cases.
+    break a run).  A known-but-unavailable backend silently walks the
+    fallback chain (``fused`` → ``numpy`` → ``python``) in both cases.
     """
     if name is None:
         name = _default
@@ -95,8 +119,10 @@ def resolve_backend(name: str | None = None) -> str:
             raise ValueError(
                 f"unknown backend {name!r}; registered: {sorted(_BACKENDS)}"
             )
-    if not _BACKENDS[name][0]():
-        return "python"
+    while not _BACKENDS[name][0]():
+        name = _FALLBACKS.get(name, "python")
+        if name == "python":
+            break
     return name
 
 

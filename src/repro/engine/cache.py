@@ -42,7 +42,11 @@ from pathlib import Path
 
 from repro.compiler import CompilerConfig, compile_ruleset
 from repro.compiler.program import CompiledRuleset
-from repro.core import KERNEL_FORMAT_VERSION, resolve_backend
+from repro.core import (
+    FUSED_FORMAT_VERSION,
+    KERNEL_FORMAT_VERSION,
+    resolve_backend,
+)
 from repro.errors import CacheCorruptionError
 from repro.io.serialize import (
     FORMAT_NAME,
@@ -83,10 +87,10 @@ def ruleset_cache_key(
     Uses ``dataclasses.asdict`` over the compiler config so that any
     field added to :class:`CompilerConfig` (or to the nested
     :class:`HardwareConfig`) automatically becomes part of the key.
-    The active step-kernel backend and kernel format version are part
-    of the key too: kernels are bit-identical by contract, but a cache
-    entry must never outlive the execution semantics it was produced
-    under.
+    The active step-kernel backend and the kernel/fused format versions
+    are part of the key too: kernels are bit-identical by contract, but
+    a cache entry must never outlive the execution semantics it was
+    produced under.
     """
     config = config or CompilerConfig()
     doc = {
@@ -94,6 +98,7 @@ def ruleset_cache_key(
         "version": FORMAT_VERSION,
         "backend": resolve_backend(),
         "kernel_format": KERNEL_FORMAT_VERSION,
+        "fused_format": FUSED_FORMAT_VERSION,
         "patterns": list(patterns),
         "config": dataclasses.asdict(config),
     }

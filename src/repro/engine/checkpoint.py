@@ -35,6 +35,7 @@ import tempfile
 from pathlib import Path
 
 from repro.compiler.program import CompiledMode, CompiledRuleset
+from repro.core.registry import resolve_backend
 from repro.engine import faults
 from repro.errors import CheckpointError, QuarantineEntry
 from repro.hardware.config import HardwareConfig, TileMode
@@ -235,7 +236,6 @@ class DurableScan:
         self._ruleset = ruleset
         self._mapping = mapping
         self._weights = dict(weights or {})
-        self.fingerprint = scan_fingerprint(ruleset, hw, bin_size)
         self._regex: dict[int, RegexActivityCollector] = {
             r.regex_id: RegexActivityCollector(r)
             for r in ruleset
@@ -249,6 +249,23 @@ class DurableScan:
                 self._bins[(index, bin_index)] = BinActivityCollector(
                     bin_obj, hw
                 )
+        # On the fused backend all LNFA bins step through one lane-packed
+        # machine per segment.  The feeder is stateless between feeds (it
+        # reads and writes the collectors' KernelState), so snapshot and
+        # restore go through the collectors unchanged and resuming stays
+        # byte-identical; its layout digest binds the checkpoints to this
+        # exact fusion via the fingerprint.
+        self._fused = None
+        if self._bins and resolve_backend() == "fused":
+            from repro.simulators.fused import FusedBinFeeder
+
+            self._fused = FusedBinFeeder(list(self._bins.values()))
+        self.fingerprint = scan_fingerprint(
+            ruleset,
+            hw,
+            bin_size,
+            fused_layout=self._fused.signature if self._fused else None,
+        )
         self._offset = 0
         self._hasher = hashlib.sha256()
         self._shed: set[tuple] = set()
@@ -269,9 +286,17 @@ class DurableScan:
         for rid, collector in self._regex.items():
             if ("regex", rid) not in self._shed:
                 collector.feed(segment, at_end=at_end)
-        for (index, bin_index), collector in self._bins.items():
-            if ("bin", index, bin_index) not in self._shed:
-                collector.feed(segment, at_end=at_end)
+        if self._fused is not None and not any(
+            key[0] == "bin" for key in self._shed
+        ):
+            # The packed machine steps every bin in lockstep; a shed bin
+            # would desynchronize it, so degradation falls back to the
+            # per-collector loop below.
+            self._fused.feed(segment, at_end=at_end)
+        else:
+            for (index, bin_index), collector in self._bins.items():
+                if ("bin", index, bin_index) not in self._shed:
+                    collector.feed(segment, at_end=at_end)
         self._offset += len(segment)
         self._hasher.update(segment)
 

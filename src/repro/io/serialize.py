@@ -254,15 +254,19 @@ def _fingerprint_default(value):
     raise TypeError(f"unhashable fingerprint component: {value!r}")
 
 
-def scan_fingerprint(ruleset, hw, bin_size: int | None = None) -> str:
+def scan_fingerprint(
+    ruleset, hw, bin_size: int | None = None, fused_layout: str | None = None
+) -> str:
     """Content hash identifying one scan's execution semantics.
 
     Covers everything that determines a durable scan's behavior apart
     from the input bytes: the serialized ruleset, the full hardware
-    config, the bin size, and this serializer's format version.  A
-    checkpoint written under one fingerprint must never be resumed
-    under another — same idea as the compile-cache key, applied to
-    mid-stream state instead of compiler output.
+    config, the bin size, and this serializer's format version.
+    ``fused_layout`` is the fused-ruleset signature (class map + lane
+    layout) when the scan runs on the ``fused`` backend, ``None``
+    otherwise — a checkpoint written under one fusion layout (or none)
+    must never be resumed under another.  Same idea as the compile-cache
+    key, applied to mid-stream state instead of compiler output.
     """
     doc = {
         "format": FORMAT_NAME,
@@ -270,6 +274,7 @@ def scan_fingerprint(ruleset, hw, bin_size: int | None = None) -> str:
         "ruleset": ruleset_to_json(ruleset),
         "hw": dataclasses.asdict(hw),
         "bin_size": bin_size,
+        "fused_layout": fused_layout,
     }
     canonical = json.dumps(
         doc,

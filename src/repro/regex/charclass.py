@@ -14,6 +14,7 @@ membership test O(1) and keep the class hashable and immutable.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 from functools import lru_cache, reduce
 
@@ -275,6 +276,48 @@ def members(cc: CharClass) -> tuple[int, ...]:
     return _members_of_mask(cc.mask)
 
 
+# Interned label tables keyed on the class signature (the exact
+# (index, mask) assignment list plus the table size).  Rule sets repeat
+# the same small structures — identical literal keywords, shared
+# prefixes, cloned classes — so many units expand to bit-identical
+# 256-entry tables; interning stores each distinct table once per
+# process instead of once per unit.  Bounded so long-lived multi-ruleset
+# processes cannot accumulate tables without limit.
+_INTERN_CAP = 1024
+_interned_tables: OrderedDict[
+    tuple[int | None, tuple[tuple[int, int], ...]], tuple[int, ...]
+] = OrderedDict()
+
+
+def interned_label_masks(
+    assignments: Iterable[tuple[int, CharClass]], *, size: int | None = None
+) -> tuple[int, ...]:
+    """:func:`label_masks` as a shared immutable tuple, deduplicated
+    across call sites via a bounded interning cache.
+
+    Two units whose class assignments are identical (same indices, same
+    class masks, same table size) get the *same* tuple object back, so a
+    ruleset full of structurally repeated patterns holds one table, not
+    one per unit.
+    """
+    pairs = tuple((index, cc.mask) for index, cc in assignments)
+    key = (size, pairs)
+    cached = _interned_tables.get(key)
+    if cached is not None:
+        _interned_tables.move_to_end(key)
+        return cached
+    labels = [0] * (ALPHABET_SIZE if size is None else size)
+    for index, mask in pairs:
+        bit = 1 << index
+        for byte in _members_of_mask(mask):
+            labels[byte] |= bit
+    table = tuple(labels)
+    _interned_tables[key] = table
+    while len(_interned_tables) > _INTERN_CAP:
+        _interned_tables.popitem(last=False)
+    return table
+
+
 def label_masks(
     assignments: Iterable[tuple[int, CharClass]], *, size: int | None = None
 ) -> list[int]:
@@ -284,13 +327,10 @@ def label_masks(
     This is the one charclass->byte-table expansion every bitset engine
     (NFA, Shift-And, bit-serial, DFA, NBVA) performs while building its
     state-matching table; ``size`` defaults to the full byte alphabet.
+    Callers that can hold an immutable table should prefer
+    :func:`interned_label_masks`, which dedupes identical tables.
     """
-    labels = [0] * (ALPHABET_SIZE if size is None else size)
-    for index, cc in assignments:
-        bit = 1 << index
-        for byte in members(cc):
-            labels[byte] |= bit
-    return labels
+    return list(interned_label_masks(assignments, size=size))
 
 
 def case_folded(cc: CharClass) -> CharClass:

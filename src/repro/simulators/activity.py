@@ -401,6 +401,42 @@ class BinActivityCollector:
         """Global stream position: bytes consumed so far."""
         return self._state.offset
 
+    @property
+    def layout(self) -> _BinLayout:
+        """The bin's packed-machine geometry (program, tiles, finals)."""
+        return self._layout
+
+    @property
+    def state(self) -> KernelState:
+        """The packed machine's mid-stream kernel state."""
+        return self._state
+
+    def apply_segment(
+        self,
+        *,
+        cycles: int,
+        tile_cycles: list[int],
+        tile_bits: list[int],
+        matches: dict[int, list[int]],
+        state: KernelState,
+    ) -> None:
+        """Fold one segment's precomputed activity into the collector.
+
+        The fused ruleset scanner steps every bin of a ruleset in one
+        pass and hands each collector the exact deltas its own
+        :meth:`feed` would have accumulated for the same segment —
+        counters, per-tile wake-ups, global match positions, and the
+        continuation state.  Callers own the exactness contract.
+        """
+        self._cycles += cycles
+        for t, count in enumerate(tile_cycles):
+            self._tile_active_cycles[t] += count
+        for t, bits in enumerate(tile_bits):
+            self._tile_active_bits[t] += bits
+        for rid, ends in matches.items():
+            self._matches[rid].extend(ends)
+        self._state = state
+
     def feed(self, segment: bytes, *, at_end: bool = True) -> None:
         """Consume the next segment of the stream."""
         if not segment:

@@ -1,0 +1,281 @@
+"""Ruleset-wide fused execution of the functional collectors.
+
+This is the simulator-layer half of the ``fused`` backend
+(:mod:`repro.core.fused` is the machine itself).  Two entry points:
+
+* :class:`FusedBinFeeder` steps *every* LNFA bin of a ruleset through
+  one lane-packed machine per segment and folds the resulting activity
+  back into the bins' ordinary
+  :class:`~repro.simulators.activity.BinActivityCollector` objects.
+  The feeder itself is stateless between feeds — it loads the packed
+  word from the collectors' :class:`~repro.core.KernelState` and writes
+  the continuation back — so durable-scan snapshot/restore documents
+  are byte-identical to the unfused path and a SIGKILL-resume replays
+  the same integer stream.
+* :class:`FusedRun` reproduces
+  :meth:`~repro.simulators.rap.RAPSimulator.collect_activities` for a
+  whole run: the input is translated once through the shared alphabet
+  classes, NFA-mode regexes scan as class-indexed mask stacks (deduped
+  by functional fingerprint exactly like
+  :class:`~repro.core.trace.ActivityTrace`), LNFA bins run through the
+  feeder, and NBVA-mode regexes fall back to the exact pure scan (their
+  counter dataflow is not a bitset program).
+
+Import this module lazily, only after the backend registry has resolved
+``fused`` — it requires NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.automata.nfa import NFASimulator
+from repro.compiler.program import CompiledMode, CompiledRuleset
+from repro.core.fused import (
+    FusedRuleset,
+    int_from_words,
+    popcount_words,
+    words_from_int,
+)
+from repro.core.state import KernelState
+from repro.core.trace import regex_fingerprint
+from repro.hardware.config import HardwareConfig, TileMode
+from repro.mapping.mapper import Mapping
+from repro.simulators.activity import (
+    BinActivityCollector,
+    RegexActivity,
+    collect_regex_activity,
+)
+from repro.simulators.rap import RunActivity
+
+
+class FusedBinFeeder:
+    """Feed many bin collectors through one lane-packed machine.
+
+    ``collectors`` are the ruleset's LNFA bins in a fixed order; their
+    packed programs must equal ``fused.shift_programs`` (a bins-only
+    :class:`FusedRuleset` is compiled when none is supplied).  Each
+    :meth:`feed` accumulates, per bin, the exact deltas the collector's
+    own ``feed`` would have produced for the same segment.
+    """
+
+    def __init__(
+        self,
+        collectors: list[BinActivityCollector],
+        fused: FusedRuleset | None = None,
+    ):
+        self._collectors = list(collectors)
+        programs = [c.layout.packed.program for c in self._collectors]
+        if fused is None:
+            fused = FusedRuleset(programs)
+        self._fused = fused
+        lanes = fused.lanes
+
+        # Flattened (bin, tile) geometry: one full-width word mask per
+        # tile, stacked into a 2-D lane matrix for the vectorized sink.
+        owners: list[tuple[int, int]] = []
+        words: list[np.ndarray] = []
+        for j, collector in enumerate(self._collectors):
+            base = fused.bases[j]
+            for t, mask in enumerate(collector.layout.tile_masks):
+                owners.append((j, t))
+                words.append(words_from_int(mask << base, lanes))
+        self._tile_owners = owners
+        self._tile_words = (
+            np.vstack(words)
+            if words
+            else np.zeros((0, max(lanes, 1)), dtype=np.uint64)
+        )
+        self._tile_starts: list[int] = []
+        start = 0
+        for collector in self._collectors:
+            self._tile_starts.append(start)
+            start += len(collector.layout.tile_masks)
+
+        # Global final-bit → (bin, regex_id), for match decomposition.
+        finals: dict[int, tuple[int, int]] = {}
+        for j, collector in enumerate(self._collectors):
+            base = fused.bases[j]
+            for bit, rid in collector.layout.finals.items():
+                finals[base + bit] = (j, rid)
+        self._finals = finals
+        self._final_words = words_from_int(fused.final, max(lanes, 1))
+        self._end_anchored = fused.end_anchored
+
+    @property
+    def signature(self) -> str:
+        """The fused compilation's layout digest (class map + lanes)."""
+        return self._fused.signature
+
+    def feed(self, segment: bytes, *, at_end: bool = True) -> None:
+        """Consume the next stream segment on every bin at once."""
+        if not segment:
+            return
+        collectors = self._collectors
+        if not collectors:
+            return
+        offsets = {c.offset for c in collectors}
+        if len(offsets) != 1:
+            raise ValueError(
+                "fused feeding requires all bins at one stream offset, "
+                f"got {sorted(offsets)}"
+            )
+        stream_base = collectors[0].offset
+        fused = self._fused
+        n = len(segment)
+        last = n - 1
+        tile_words = self._tile_words
+        tile_count = len(self._tile_owners)
+        tile_cycles = [0] * tile_count
+        tile_bits = [0] * tile_count
+        matches: list[dict[int, list[int]]] = [{} for _ in collectors]
+        finals = self._finals
+        final_words = self._final_words
+        end_anchored = self._end_anchored
+
+        def sink(positions: np.ndarray, rows: np.ndarray) -> None:
+            for m in range(tile_count):
+                live = rows & tile_words[m]
+                active = live.any(axis=1)
+                count = int(active.sum())
+                if not count:
+                    continue
+                tile_cycles[m] += count
+                tile_bits[m] += int(popcount_words(live).sum())
+            hits = rows & final_words
+            for r in np.flatnonzero(hits.any(axis=1)):
+                position = int(positions[r])
+                word = int_from_words(hits[r])
+                if not (at_end and position == last):
+                    word &= ~end_anchored
+                while word:
+                    low = word & -word
+                    word ^= low
+                    j, rid = finals[low.bit_length() - 1]
+                    matches[j].setdefault(rid, []).append(
+                        stream_base + position
+                    )
+
+        packed = fused.pack([c.state.states for c in collectors])
+        packed = fused.lane_feed(
+            fused.translate(segment),
+            packed,
+            fresh=stream_base == 0,
+            at_end=at_end,
+            sink=sink,
+        )
+
+        for j, collector in enumerate(collectors):
+            start = self._tile_starts[j]
+            tiles = len(collector.layout.tile_masks)
+            # Tile 0 is never power-gated: it accrues a cycle per input
+            # symbol regardless of liveness (only its *bits* come from
+            # live cycles) — the closed form of the per-cycle loop.
+            cycles_delta = [n] + tile_cycles[start + 1 : start + tiles]
+            bits_delta = tile_bits[start : start + tiles]
+            collector.apply_segment(
+                cycles=n,
+                tile_cycles=cycles_delta,
+                tile_bits=bits_delta,
+                matches=matches[j],
+                state=KernelState(
+                    offset=stream_base + n,
+                    states=fused.extract(packed, j),
+                ),
+            )
+
+
+class FusedRun:
+    """One-shot fused activity collection for a mapped ruleset."""
+
+    def __init__(
+        self, ruleset: CompiledRuleset, mapping: Mapping, hw: HardwareConfig
+    ):
+        self._ruleset = ruleset
+        self._mapping = mapping
+        self._hw = hw
+
+    def collect(self, data: bytes) -> RunActivity:
+        """The run's :class:`RunActivity`, bit-identical to the unfused
+        :meth:`~repro.simulators.rap.RAPSimulator.collect_activities`."""
+        ruleset = self._ruleset
+        mapping = self._mapping
+
+        bin_keys: list[tuple[int, int]] = []
+        collectors: list[BinActivityCollector] = []
+        for index, array in enumerate(mapping.arrays):
+            if array.mode is not TileMode.LNFA:
+                continue
+            for bin_index, bin_obj in enumerate(array.bins):
+                bin_keys.append((index, bin_index))
+                collectors.append(BinActivityCollector(bin_obj, self._hw))
+
+        # One scan per distinct functional fingerprint, exactly like
+        # ActivityTrace: NFA regexes become GATHER units of the fused
+        # compilation, NBVA regexes keep the exact pure-Python scan.
+        nfa_unit_of: dict[object, int] = {}
+        nfa_programs = []
+        for compiled in ruleset:
+            if compiled.mode is not CompiledMode.NFA:
+                continue
+            key = regex_fingerprint(compiled)
+            if key in nfa_unit_of:
+                continue
+            nfa_unit_of[key] = len(nfa_programs)
+            nfa_programs.append(
+                NFASimulator(compiled.automaton).program(
+                    anchored_start=compiled.anchored_start,
+                    anchored_end=compiled.anchored_end,
+                )
+            )
+
+        fused = FusedRuleset(
+            [c.layout.packed.program for c in collectors], nfa_programs
+        )
+        tin = fused.translate(data)
+
+        nfa_results = {
+            key: fused.scan_unit(index, tin)
+            for key, index in nfa_unit_of.items()
+        }
+        nbva_results: dict[object, RegexActivity] = {}
+        regex: dict[int, RegexActivity] = {}
+        for compiled in ruleset:
+            if compiled.mode is CompiledMode.LNFA:
+                continue
+            key = regex_fingerprint(compiled)
+            if compiled.mode is CompiledMode.NFA:
+                events, stats = nfa_results[key]
+                regex[compiled.regex_id] = RegexActivity(
+                    regex_id=compiled.regex_id,
+                    mode=compiled.mode,
+                    cycles=stats.cycles,
+                    matches=[i for i, _ in events],
+                    active_state_cycles=stats.active_states,
+                )
+                continue
+            found = nbva_results.get(key)
+            if found is None:
+                found = collect_regex_activity(compiled, data)
+                nbva_results[key] = found
+            regex[compiled.regex_id] = replace(
+                found,
+                regex_id=compiled.regex_id,
+                matches=list(found.matches),
+                bv_cycle_indices=list(found.bv_cycle_indices),
+            )
+
+        if collectors:
+            FusedBinFeeder(collectors, fused).feed(data, at_end=True)
+        lnfa_bins: dict[int, list] = {
+            index: []
+            for index, array in enumerate(mapping.arrays)
+            if array.mode is TileMode.LNFA
+        }
+        for (index, _), collector in zip(bin_keys, collectors):
+            lnfa_bins[index].append(collector.activity())
+        return RunActivity(
+            regex=regex, lnfa_bins=lnfa_bins, input_symbols=len(data)
+        )

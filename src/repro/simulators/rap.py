@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compiler.program import CompiledMode, CompiledRuleset
+from repro.core.registry import resolve_backend
 from repro.core.trace import ActivityTrace
 from repro.hardware.circuits import TABLE1, CircuitLibrary
 from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig, TileMode
@@ -95,7 +96,15 @@ class RAPSimulator(ApStyleSimulator):
 
         With a shared ``trace``, scans memoized by another architecture's
         collection over the same input are reused instead of re-run.
+        Without one, the ``fused`` backend collects the whole ruleset in
+        a single lockstep pass (bit-identical by contract); a shared
+        trace keeps the per-unit path so its memoized scans stay
+        reusable across architectures.
         """
+        if trace is None and resolve_backend() == "fused":
+            from repro.simulators.fused import FusedRun
+
+            return FusedRun(ruleset, mapping, self.hw).collect(data)
         trace = shared_trace(data, trace)
         regex = {
             r.regex_id: trace.regex_activity(r)

@@ -1,0 +1,309 @@
+"""Fused-machine tests: class maps, lane packing, prefilter, LRU caches.
+
+The fused backend's exactness rests on two mechanical claims, both
+driven here by hypothesis:
+
+* the lane-packed machine evolves every unit's projected state word
+  bit-identically to a standalone scan of that unit (including the
+  cross-unit shift-leak absorption at concatenation boundaries);
+* the class-indexed gather scan reproduces the per-program kernel scan
+  event-for-event and counter-for-counter.
+
+The module also covers the two cache satellites (the bounded NumPy LUT
+cache and label-table interning is covered in tests/regex) and the
+prefilter's find-chain/LUT parity.  Skips cleanly without NumPy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.automata.glushkov import build_automaton
+from repro.automata.nfa import NFASimulator
+from repro.automata.shift_and import MultiShiftAnd
+from repro.core import KernelState, available_backends, get_kernel
+from repro.core import npkernel
+from repro.core.fused import (
+    AlphabetClasses,
+    FusedRuleset,
+    int_from_words,
+    popcount_words,
+    words_from_int,
+)
+from repro.core.registry import resolve_backend
+from repro.regex.rewrite import unfold_all
+
+from tests.automata.test_lnfa import lnfa_strategy
+from tests.helpers import inputs, regex_trees
+
+pytestmark = pytest.mark.skipif(
+    "numpy" not in available_backends(),
+    reason="NumPy backend not available",
+)
+
+
+@st.composite
+def shift_program_lists(draw, max_packs: int = 3):
+    """Lists of packed multi-pattern SHIFT_LEFT programs with anchors."""
+    programs = []
+    for _ in range(draw(st.integers(1, max_packs))):
+        lnfas = draw(st.lists(lnfa_strategy(max_len=4), min_size=1, max_size=3))
+        anchors = draw(
+            st.lists(
+                st.tuples(st.booleans(), st.booleans()),
+                min_size=len(lnfas),
+                max_size=len(lnfas),
+            )
+        )
+        programs.append(MultiShiftAnd(lnfas, anchors=anchors).program)
+    return programs
+
+
+def collect_rows(fused, data, state=0, *, fresh=True, at_end=True):
+    """Run the lane machine, returning {position: packed_word} + end."""
+    rows = {}
+
+    def sink(positions, matrix):
+        for pos, row in zip(positions.tolist(), matrix):
+            rows[pos] = int_from_words(row)
+
+    end = fused.lane_feed(
+        fused.translate(data), state, fresh=fresh, at_end=at_end, sink=sink
+    )
+    return rows, end
+
+
+class TestLanePacking:
+    @settings(max_examples=100, deadline=None)
+    @given(shift_program_lists(), inputs(max_size=28))
+    def test_every_projected_state_matches_standalone_scan(
+        self, programs, data
+    ):
+        fused = FusedRuleset(programs)
+        rows, end = collect_rows(fused, data)
+        kernel = get_kernel("python")
+        for j, program in enumerate(programs):
+            expected_last = 0
+            for i, states in kernel.iter_states(program, data):
+                assert fused.extract(rows.get(i, 0), j) == states
+                expected_last = states
+            assert fused.extract(end, j) == expected_last
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shift_program_lists(),
+        inputs(max_size=28),
+        st.integers(0, 28),
+    )
+    def test_segmented_feed_equals_whole_stream(self, programs, data, cut):
+        cut = min(cut, len(data))
+        fused = FusedRuleset(programs)
+        whole_rows, whole_end = collect_rows(fused, data)
+        first, state = collect_rows(fused, data[:cut], at_end=False)
+        second, end = collect_rows(
+            fused, data[cut:], state, fresh=cut == 0, at_end=True
+        )
+        stitched = dict(first)
+        stitched.update({cut + i: word for i, word in second.items()})
+        assert stitched == whole_rows
+        assert end == whole_end
+
+    def test_rejects_gather_programs_in_shift_slot(self):
+        sim = NFASimulator(build_automaton(unfold_all_tree("ab")))
+        with pytest.raises(ValueError, match="SHIFT_LEFT"):
+            FusedRuleset([sim.program()])
+
+    def test_pack_extract_roundtrip(self):
+        programs = [
+            MultiShiftAnd([make_lnfa("abc")]).program,
+            MultiShiftAnd([make_lnfa("xy")]).program,
+        ]
+        fused = FusedRuleset(programs)
+        states = [0b101, 0b11]
+        packed = fused.pack(states)
+        assert [fused.extract(packed, j) for j in range(2)] == states
+
+
+class TestClassIndexedGather:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(regex_trees(max_leaves=5), min_size=1, max_size=3),
+        st.lists(lnfa_strategy(max_len=4), min_size=0, max_size=2),
+        inputs(max_size=24),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_scan_unit_matches_kernel_scan(
+        self, trees, lnfas, data, astart, aend
+    ):
+        gathers = [
+            NFASimulator(build_automaton(unfold_all(tree))).program(
+                anchored_start=astart, anchored_end=aend
+            )
+            for tree in trees
+        ]
+        shifts = [MultiShiftAnd(lnfas).program] if lnfas else []
+        fused = FusedRuleset(shifts, gathers)
+        tin = fused.translate(data)
+        kernel = get_kernel("python")
+        for index, program in enumerate(gathers):
+            expected = kernel.scan(program, data)
+            assert fused.scan_unit(index, tin) == expected
+
+
+class TestAlphabetClasses:
+    def test_partition_refines_every_table(self):
+        t1 = tuple(1 if b in b"ab" else 0 for b in range(256))
+        t2 = tuple(2 if b in b"bc" else 0 for b in range(256))
+        classes = AlphabetClasses([t1, t2])
+        # a / b / c / everything-else: four distinguishable classes
+        assert classes.k == 4
+        for table in (t1, t2):
+            projected = classes.project(table)
+            for byte in range(256):
+                assert projected[classes.class_of[byte]] == table[byte]
+
+    def test_no_tables_collapses_to_one_class(self):
+        classes = AlphabetClasses([])
+        assert classes.k == 1
+        assert set(classes.class_of) == {0}
+
+
+class TestPrefilter:
+    def _oracle(self, fused, data):
+        arr = np.frombuffer(data, dtype=np.uint8)
+        return np.flatnonzero(fused._hot_lut[arr]).tolist()
+
+    @settings(max_examples=80, deadline=None)
+    @given(inputs(max_size=40))
+    def test_find_chain_path_matches_lut_path(self, data):
+        # Two literal patterns -> at most two hot byte values: the
+        # bytes.find chain is selected and must be position-identical.
+        fused = FusedRuleset(
+            [MultiShiftAnd([make_lnfa("ab"), make_lnfa("ba")]).program]
+        )
+        assert len(fused._hot_bytes) <= 4
+        assert fused._hot_positions(
+            data, np.frombuffer(data, dtype=np.uint8)
+        ) == self._oracle(fused, data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(inputs(alphabet="abcdwxyz", max_size=40))
+    def test_lut_path_positions(self, data):
+        # A dotted head makes every byte hot -> the LUT path runs.
+        fused = FusedRuleset([MultiShiftAnd([make_lnfa(".a")]).program])
+        assert len(fused._hot_bytes) > 4
+        assert fused._hot_positions(
+            data, np.frombuffer(data, dtype=np.uint8)
+        ) == self._oracle(fused, data)
+
+
+class TestSignature:
+    def test_stable_and_layout_sensitive(self):
+        a = [MultiShiftAnd([make_lnfa("abc"), make_lnfa("xy")]).program]
+        b = [MultiShiftAnd([make_lnfa("abc"), make_lnfa("xz")]).program]
+        assert FusedRuleset(a).signature == FusedRuleset(a).signature
+        assert FusedRuleset(a).signature != FusedRuleset(b).signature
+
+    def test_gather_units_affect_signature(self):
+        shifts = [MultiShiftAnd([make_lnfa("abc")]).program]
+        gather = NFASimulator(build_automaton(unfold_all_tree("ab"))).program()
+        assert (
+            FusedRuleset(shifts).signature
+            != FusedRuleset(shifts, [gather]).signature
+        )
+
+
+class TestWordHelpers:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, (1 << 200) - 1), st.integers(4, 6))
+    def test_int_word_roundtrip(self, value, lanes):
+        assert int_from_words(words_from_int(value, lanes)) == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, (1 << 64) - 1), min_size=1, max_size=8))
+    def test_popcount_words(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        expected = [v.bit_count() for v in values]
+        assert popcount_words(arr).tolist() == expected
+
+
+class TestNpTablesCacheBound:
+    """Satellite: the NumPy LUT cache must be bounded with LRU eviction."""
+
+    def test_eviction_keeps_results_correct(self, monkeypatch):
+        monkeypatch.setattr(npkernel, "_NP_TABLES_CAP", 3)
+        monkeypatch.setattr(
+            npkernel, "_np_tables_cache", type(npkernel._np_tables_cache)()
+        )
+        kernel = get_kernel("numpy")
+        python = get_kernel("python")
+        programs = [
+            MultiShiftAnd([make_lnfa(text)]).program
+            for text in ("ab", "cd", "xy", "pq", "mn")
+        ]
+        data = b"abcdxypqmnabcd"
+        for program in programs:
+            assert kernel.scan(program, data) == python.scan(program, data)
+        assert len(npkernel._np_tables_cache) == 3
+        # The oldest entries were evicted; rescanning them must rebuild
+        # the tables and still agree with the oracle.
+        for program in programs[:2]:
+            assert program not in npkernel._np_tables_cache
+            assert kernel.scan(program, data) == python.scan(program, data)
+        assert len(npkernel._np_tables_cache) == 3
+
+    def test_lru_hit_refreshes_recency(self, monkeypatch):
+        monkeypatch.setattr(npkernel, "_NP_TABLES_CAP", 2)
+        monkeypatch.setattr(
+            npkernel, "_np_tables_cache", type(npkernel._np_tables_cache)()
+        )
+        kernel = get_kernel("numpy")
+        p1, p2, p3 = (
+            MultiShiftAnd([make_lnfa(text)]).program
+            for text in ("ab", "cd", "xy")
+        )
+        kernel.scan(p1, b"ab")
+        kernel.scan(p2, b"cd")
+        kernel.scan(p1, b"ab")  # refresh p1: p2 is now least recent
+        kernel.scan(p3, b"xy")
+        assert p1 in npkernel._np_tables_cache
+        assert p2 not in npkernel._np_tables_cache
+
+
+def make_lnfa(text: str):
+    """A literal LNFA (one CharClass per byte of ``text``)."""
+    from repro.automata.lnfa import LNFA
+    from repro.regex.charclass import CharClass
+
+    return LNFA(
+        tuple(
+            CharClass.any() if ch == "." else CharClass.of(ch) for ch in text
+        )
+    )
+
+
+def unfold_all_tree(pattern: str):
+    from repro.regex.parser import parse
+
+    return unfold_all(parse(pattern))
+
+
+def test_fused_backend_registered():
+    assert "fused" in available_backends()
+    assert resolve_backend("fused") == "fused"
+    assert get_kernel("fused").name == "fused"
+
+
+def test_fused_kernel_scan_segment_roundtrip():
+    # The fused StepKernel inherits the NumPy per-program path; spot
+    # check the segment API returns continuing KernelStates.
+    program = MultiShiftAnd([make_lnfa("abc")]).program
+    kernel = get_kernel("fused")
+    events, stats, state = kernel.scan_segment(program, b"xxabc", None)
+    assert isinstance(state, KernelState)
+    assert state.offset == 5
+    whole, _ = kernel.scan(program, b"xxabc")
+    assert events == whole

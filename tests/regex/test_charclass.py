@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.regex import charclass
 from repro.regex.charclass import (
     ALPHABET_SIZE,
     DIGITS,
@@ -215,3 +216,57 @@ def test_ranges_cover_exactly(a):
 @given(byte_sets)
 def test_hash_consistent_with_eq(a):
     assert hash(cc_of(a)) == hash(CharClass.from_iterable(sorted(a)))
+
+
+class TestLabelTableInterning:
+    """Identical label tables must be shared, not rebuilt per unit."""
+
+    def _assignments(self, spec):
+        return [(index, cc_of(values)) for index, values in spec]
+
+    def test_identical_assignments_share_one_tuple(self):
+        spec = [(0, {97}), (1, {98, 99}), (2, {97, 100})]
+        first = charclass.interned_label_masks(self._assignments(spec))
+        second = charclass.interned_label_masks(self._assignments(spec))
+        assert first is second
+
+    def test_differing_assignments_do_not_share(self):
+        base = charclass.interned_label_masks(self._assignments([(0, {97})]))
+        other = charclass.interned_label_masks(self._assignments([(0, {98})]))
+        assert base is not other
+
+    def test_size_participates_in_the_key(self):
+        spec = self._assignments([(0, {3})])
+        full = charclass.interned_label_masks(spec)
+        small = charclass.interned_label_masks(spec, size=8)
+        assert len(full) == ALPHABET_SIZE
+        assert len(small) == 8
+        assert full is not small
+
+    @given(st.lists(st.tuples(st.integers(0, 30), byte_sets), max_size=6))
+    def test_label_masks_unchanged_by_interning(self, spec):
+        assignments = self._assignments(spec)
+        expected = [0] * ALPHABET_SIZE
+        for index, cc in assignments:
+            for byte in cc:
+                expected[byte] |= 1 << index
+        assert charclass.label_masks(assignments) == expected
+        assert charclass.interned_label_masks(assignments) == tuple(expected)
+
+    def test_cache_is_bounded_lru(self, monkeypatch):
+        monkeypatch.setattr(charclass, "_INTERN_CAP", 2)
+        monkeypatch.setattr(
+            charclass, "_interned_tables", type(charclass._interned_tables)()
+        )
+        a = self._assignments([(0, {97})])
+        b = self._assignments([(0, {98})])
+        c = self._assignments([(0, {99})])
+        ta = charclass.interned_label_masks(a)
+        charclass.interned_label_masks(b)
+        assert charclass.interned_label_masks(a) is ta  # refresh a
+        charclass.interned_label_masks(c)  # evicts b
+        assert len(charclass._interned_tables) == 2
+        assert charclass.interned_label_masks(a) is ta
+        # b was evicted: a fresh (equal but distinct) tuple is built.
+        tb = charclass.interned_label_masks(b)
+        assert tb == charclass.interned_label_masks(b)
