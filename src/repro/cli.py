@@ -88,6 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical to --jobs 1",
     )
     p_scan.add_argument(
+        "--input-jobs",
+        type=int,
+        default=None,
+        help="split the input stream across this many chunks and stitch "
+        "them with simultaneous-automata state maps (fused backend "
+        "only; other backends scan serially); output is bit-identical "
+        "at every level (default: RAP_INPUT_JOBS or 1)",
+    )
+    p_scan.add_argument(
         "--cache",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -141,6 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for per-benchmark simulation "
         "(0 = one per CPU); results are independent of the job count",
+    )
+    p_exp.add_argument(
+        "--input-jobs",
+        type=int,
+        default=None,
+        help="input-parallel chunks per stream (fused backend only); "
+        "reported numbers are independent of the level "
+        "(default: RAP_INPUT_JOBS or 1)",
     )
     p_exp.add_argument(
         "--cache",
@@ -304,6 +321,7 @@ def cmd_scan(args) -> int:
     engine = BatchEngine(
         EngineConfig(
             jobs=args.jobs,
+            input_jobs=args.input_jobs,
             use_cache=args.cache,
             backend=args.backend,
             timeout=args.timeout,
@@ -417,6 +435,7 @@ def cmd_experiment(args) -> int:
         input_length=args.input_length or base.input_length,
         seed=args.seed,
         jobs=args.jobs,
+        input_jobs=args.input_jobs,
         use_cache=args.cache,
         backend=args.backend,
         timeout=args.timeout,

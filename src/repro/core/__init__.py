@@ -16,6 +16,14 @@ this package importable from the automata layer without cycles.
 
 from repro.core.kernel import MatchEvent, StepKernel, StepStats
 from repro.core.program import KernelProgram, ProgramKind
+from repro.core.sfa import (
+    FrontierMap,
+    ShiftMap,
+    frontier_identity,
+    gather_chunk_map,
+    shift_chunk_map,
+    shift_identity,
+)
 from repro.core.registry import (
     BACKEND_ENV,
     FUSED_FORMAT_VERSION,
@@ -38,13 +46,19 @@ __all__ = [
     "FUSED_FORMAT_VERSION",
     "KERNEL_FORMAT_VERSION",
     "STATE_FORMAT_VERSION",
+    "FrontierMap",
     "KernelProgram",
     "KernelState",
     "MatchEvent",
     "ProgramKind",
+    "ShiftMap",
     "StepKernel",
     "StepStats",
+    "frontier_identity",
+    "gather_chunk_map",
     "iter_states_from",
+    "shift_chunk_map",
+    "shift_identity",
     "available_backends",
     "backend_names",
     "get_kernel",

@@ -54,6 +54,7 @@ from repro.core.kernel import MatchEvent, StepStats
 from repro.core.npkernel import NumpyKernel
 from repro.core.program import KernelProgram, ProgramKind
 from repro.core.registry import FUSED_FORMAT_VERSION
+from repro.core.sfa import FrontierMap, ShiftMap, gather_map_over, shift_map_over
 
 # Use a `bytes.find` chain when at most this many distinct byte values
 # can revive the machine; beyond that one vectorized LUT pass wins.
@@ -157,6 +158,18 @@ class TranslatedSegment:
                 self.cls_arr, minlength=self.k
             ).astype(np.int64)
         return self._counts
+
+    def counts_from(self, start: int) -> np.ndarray:
+        """Per-class symbol counts over ``[start, len)`` (int64).
+
+        ``start`` is the owned-region boundary of a chunked scan: the
+        warm-up prefix drives state but is excluded from pricing.
+        """
+        if start <= 0:
+            return self.counts
+        return np.bincount(self.cls_arr[start:], minlength=self.k).astype(
+            np.int64
+        )
 
     def hot_for(self, hot_cls: np.ndarray) -> list[int]:
         """The union hot positions restricted to one unit's hot classes.
@@ -374,6 +387,7 @@ class FusedRuleset:
         at_end: bool,
         sink: StatsSink,
         block: int = _FLUSH_BLOCK,
+        stats_from: int = 0,
     ) -> int:
         """Step the packed machine over one translated segment.
 
@@ -385,7 +399,10 @@ class FusedRuleset:
         pricing; empty stretches are skipped via the prefilter exactly
         like the per-unit NumPy kernel.  ``at_end`` is accepted for
         symmetry with the segment API — final-hit masking happens in
-        the sink, which knows the positions.
+        the sink, which knows the positions.  ``stats_from`` marks the
+        first owned position of a chunked scan: earlier symbols still
+        drive the state word (the warm-up window) but are never
+        recorded.
         """
         del at_end  # finals are decomposed (and masked) by the sink
         if not self._shift:
@@ -407,7 +424,7 @@ class FusedRuleset:
         i = 0
         if fresh:
             states = self.inject_first & labels[cls[0]]
-            if states:
+            if states and stats_from <= 0:
                 positions.append(0)
                 rows.append(states)
             i = 1
@@ -423,7 +440,7 @@ class FusedRuleset:
                 states = cold[cls[i]]
             else:
                 states = ((states << 1) & keep | inject) & labels[cls[i]]
-            if states:
+            if states and i >= stats_from:
                 positions.append(i)
                 rows.append(states)
                 if len(rows) >= block:
@@ -456,12 +473,37 @@ class FusedRuleset:
         prefilter positions are shared, and ``matched_states`` is one
         per-class dot product instead of a 256-entry gather.
         """
+        events, stats, _ = self.scan_unit_span(index, tin)
+        return events, stats
+
+    def scan_unit_span(
+        self,
+        index: int,
+        tin: TranslatedSegment,
+        *,
+        state: int = 0,
+        fresh: bool = True,
+        stats_from: int = 0,
+        at_end: bool = True,
+    ) -> tuple[list[MatchEvent], StepStats, int]:
+        """Scan GATHER unit ``index`` over one span of a longer stream.
+
+        The chunked generalization of :meth:`scan_unit`: ``state`` is
+        the active set entering the span (ignored when ``fresh``, which
+        marks the true stream start and applies ``inject_first``),
+        ``stats_from`` the first owned position (earlier symbols only
+        warm the active set up — no events, no counters), and
+        ``at_end`` whether the span's last symbol is the stream's last
+        (end-anchored finals fire nowhere else).  Returns the events,
+        the owned-region counters, and the exit state continuing the
+        stream.
+        """
         unit = self._gather[index]
         program = unit.program
         data = tin.data
         n = len(data)
         if n == 0:
-            return [], StepStats()
+            return [], StepStats(), state
         cls = tin.cls_bytes
         labels = unit.labels
         cold_next = unit.cold
@@ -475,15 +517,19 @@ class FusedRuleset:
         last = n - 1
         events: list[MatchEvent] = []
         active = 0
-        states = program.inject_first & labels[cls[0]]
-        if states:
-            active += states.bit_count()
-            hits = states & final
-            if hits and last != 0:
-                hits &= ~end_anchored
-            if hits:
-                events.append((0, hits))
-        i = 1
+        i = 0
+        if fresh:
+            states = program.inject_first & labels[cls[0]]
+            if states and stats_from <= 0:
+                active += states.bit_count()
+                hits = states & final
+                if hits and not (at_end and last == 0):
+                    hits &= ~end_anchored
+                if hits:
+                    events.append((0, hits))
+            i = 1
+        else:
+            states = state
         k = 0  # monotone cursor into hot_idx (indices only grow)
         while i < n:
             if not states:
@@ -502,23 +548,62 @@ class FusedRuleset:
                     avail |= succ[low.bit_length() - 1]
                     a ^= low
                 states = avail & labels[cls[i]]
-            if states:
+            if states and i >= stats_from:
                 active += states.bit_count()
                 hits = states & final
                 if hits:
-                    if i != last:
+                    if not (at_end and i == last):
                         hits &= ~end_anchored
                     if hits:
                         events.append((i, hits))
             i += 1
         matched = (
-            int(tin.counts @ unit.pops) if program.track_matched else 0
+            int(tin.counts_from(stats_from) @ unit.pops)
+            if program.track_matched
+            else 0
         )
-        return events, StepStats(
-            cycles=n,
+        stats = StepStats(
+            cycles=n - max(0, stats_from),
             active_states=active,
             matched_states=matched,
             reports=len(events),
+        )
+        return events, stats, states
+
+    # -- chunk mappings (SFA stitching) ---------------------------------
+
+    def lane_chunk_map(
+        self, tin: TranslatedSegment, *, start: int = 0
+    ) -> ShiftMap:
+        """The packed machine's :class:`ShiftMap` over ``tin[start:]``.
+
+        The mid-stream mapping of the whole lane word; because every
+        surviving bit rides the shift chain of its own unit, it turns
+        constant within the widest unit's width — the bound the split
+        engine's warm-up windows rest on.
+        """
+        return shift_map_over(
+            tin.cls_bytes[start:] if start else tin.cls_bytes,
+            self._labels_cls,
+            keep=self.keep,
+            inject=self.inject_always,
+        )
+
+    def gather_unit_map(
+        self, index: int, tin: TranslatedSegment, *, start: int = 0
+    ) -> FrontierMap:
+        """GATHER unit ``index``'s :class:`FrontierMap` over ``tin[start:]``.
+
+        The bounded frontier-function table of one chunk: sound even
+        for cyclic units, where no warm-up window exists.
+        """
+        unit = self._gather[index]
+        return gather_map_over(
+            tin.cls_bytes[start:] if start else tin.cls_bytes,
+            unit.labels,
+            unit.program.succ,
+            inject=unit.program.inject_always,
+            width=unit.program.width,
         )
 
     @property

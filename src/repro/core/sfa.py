@@ -1,0 +1,244 @@
+"""Simultaneous-automata chunk mappings (SFA stitching).
+
+Sin'ya & Matsuzaki's *Simultaneous Finite Automata* parallelize a
+single-stream scan by having each worker scan its chunk from **every**
+possible start state at once.  The chunk then denotes a *state-mapping
+function*, and mapping composition is associative, so the parent can
+fold per-chunk mappings in chunk order and recover the exact state a
+sequential scan would have had at every seam.
+
+Both step rules of :mod:`repro.core.program` are OR-affine over the
+Boolean semiring — ``step(s) = linear(s) | constant`` with ``linear``
+distributing over union — so a chunk's mapping has a closed form and
+composes in O(width) instead of O(2^width):
+
+* **SHIFT_LEFT** (Shift-And lanes, packed LNFA bins).  One step is
+  ``s ↦ (((s << 1) & keep) | inject) & label``, so an m-symbol chunk
+  maps ``s ↦ ((s << m) & survive) | cold``: a diagonal shift masked by
+  one ``survive`` word (which symbols let an entry bit ride through)
+  plus the entry-independent ``cold`` scan.  :class:`ShiftMap` carries
+  ``(length, survive, cold)``.  Because every surviving bit must ride
+  the shift chain, ``survive`` decays to zero within the machine's
+  width: any chunk at least ``width`` symbols long denotes a *constant*
+  mapping, which is why the engine can evaluate it with a plain
+  warm-up-window scan instead of a table.
+
+* **GATHER** (Glushkov NFA mask stacks).  One step is
+  ``s ↦ (inject | ⋃_{b∈s} succ[b]) & label``; the union over active
+  bits distributes, so an m-symbol chunk maps
+  ``s ↦ (⋃_{j∈s} images[j]) | cold`` — one frontier image per start
+  bit plus the cold scan.  :class:`FrontierMap` carries the image
+  table; it stays sound for *cyclic* automata, where no warm-up window
+  exists, at a build cost of one frontier per state bit.
+
+Everything here is pure ``int`` bitset algebra — no NumPy — so the
+same maps drive both the raw per-program kernels and the fused
+class-translated machine (which passes its class-projected tables to
+the ``*_map_over`` builders).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.program import KernelProgram, ProgramKind
+
+__all__ = [
+    "FrontierMap",
+    "ShiftMap",
+    "frontier_identity",
+    "gather_chunk_map",
+    "gather_map_over",
+    "shift_chunk_map",
+    "shift_identity",
+    "shift_map_over",
+]
+
+
+@dataclass(frozen=True)
+class ShiftMap:
+    """The state mapping of one SHIFT_LEFT chunk.
+
+    ``apply(s) = ((s << length) & survive) | cold``.  ``survive`` has
+    its low ``length`` bits clear by construction (an entry bit must
+    shift once per symbol), which is what makes :func:`shift_identity`
+    (``survive = -1``, Python's all-ones integer) a two-sided identity
+    under :meth:`then`.
+    """
+
+    length: int
+    survive: int
+    cold: int
+
+    def apply(self, state: int) -> int:
+        """The exit state for entry state ``state``."""
+        return ((state << self.length) & self.survive) | self.cold
+
+    def then(self, later: "ShiftMap") -> "ShiftMap":
+        """The mapping of this chunk followed by ``later`` (associative)."""
+        return ShiftMap(
+            length=self.length + later.length,
+            survive=(self.survive << later.length) & later.survive,
+            cold=((self.cold << later.length) & later.survive) | later.cold,
+        )
+
+    @property
+    def constant(self) -> bool:
+        """Whether the mapping ignores its entry state entirely."""
+        return self.survive == 0
+
+
+def shift_identity() -> ShiftMap:
+    """The mapping of the empty chunk."""
+    return ShiftMap(length=0, survive=-1, cold=0)
+
+
+def shift_map_over(
+    symbols: Iterable[int],
+    labels: Sequence[int],
+    *,
+    keep: int = -1,
+    inject: int = 0,
+) -> ShiftMap:
+    """The :class:`ShiftMap` of one symbol sequence.
+
+    ``labels`` is indexed by symbol (raw bytes or fused class indices),
+    ``keep`` masks bits force-cleared after the shift, and ``inject``
+    is the per-cycle injection word.  Mirrors the mid-stream step rule
+    — the true stream start (``inject_first``) needs no mapping, since
+    its entry state is known.
+    """
+    length = 0
+    survive = -1
+    cold = 0
+    for symbol in symbols:
+        label = labels[symbol]
+        survive = ((survive << 1) & keep) & label
+        cold = (((cold << 1) & keep) | inject) & label
+        length += 1
+    return ShiftMap(length=length, survive=survive, cold=cold)
+
+
+def shift_chunk_map(program: KernelProgram, data: bytes) -> ShiftMap:
+    """The mapping of ``data`` under one SHIFT_LEFT kernel program."""
+    if program.kind is not ProgramKind.SHIFT_LEFT:
+        raise ValueError(
+            f"shift maps require SHIFT_LEFT programs, got {program.kind.value}"
+        )
+    return shift_map_over(
+        data,
+        program.labels,
+        keep=~program.clear_after_shift,
+        inject=program.inject_always,
+    )
+
+
+@dataclass(frozen=True)
+class FrontierMap:
+    """The state mapping of one GATHER chunk.
+
+    ``images[j]`` is the exit frontier seeded by entry bit ``j`` alone
+    (injection excluded — it is entry-independent and lives in
+    ``cold``), so ``apply(s) = (⋃_{j∈s} images[j]) | cold``.
+    """
+
+    length: int
+    images: tuple[int, ...]
+    cold: int
+
+    @property
+    def width(self) -> int:
+        """State bits of the underlying program."""
+        return len(self.images)
+
+    def lin(self, state: int) -> int:
+        """The linear part: image of ``state`` without the cold scan."""
+        out = 0
+        images = self.images
+        while state:
+            low = state & -state
+            out |= images[low.bit_length() - 1]
+            state ^= low
+        return out
+
+    def apply(self, state: int) -> int:
+        """The exit state for entry state ``state``."""
+        return self.lin(state) | self.cold
+
+    def then(self, later: "FrontierMap") -> "FrontierMap":
+        """The mapping of this chunk followed by ``later`` (associative)."""
+        if len(self.images) != len(later.images):
+            raise ValueError("cannot compose frontier maps of different widths")
+        return FrontierMap(
+            length=self.length + later.length,
+            images=tuple(later.lin(image) for image in self.images),
+            cold=later.apply(self.cold),
+        )
+
+
+def frontier_identity(width: int) -> FrontierMap:
+    """The mapping of the empty chunk over ``width`` state bits."""
+    return FrontierMap(
+        length=0, images=tuple(1 << j for j in range(width)), cold=0
+    )
+
+
+def gather_map_over(
+    symbols: Iterable[int],
+    labels: Sequence[int],
+    succ: Sequence[int],
+    *,
+    inject: int = 0,
+    width: int | None = None,
+) -> FrontierMap:
+    """The :class:`FrontierMap` of one symbol sequence.
+
+    ``labels`` is indexed by symbol, ``succ[b]`` gathers the successors
+    of state bit ``b``, and ``inject`` is the per-cycle injection word
+    (mid-stream rule, as in :func:`shift_map_over`).  Dead frontiers
+    stay dead — the inner union is skipped for them — so the build cost
+    tracks how long entry bits actually survive, not the worst case.
+    """
+    if width is None:
+        width = len(succ)
+    length = 0
+    images = [1 << j for j in range(width)]
+    cold = 0
+    for symbol in symbols:
+        label = labels[symbol]
+        for j in range(width):
+            frontier = images[j]
+            if not frontier:
+                continue
+            gathered = 0
+            while frontier:
+                low = frontier & -frontier
+                gathered |= succ[low.bit_length() - 1]
+                frontier ^= low
+            images[j] = gathered & label
+        gathered = inject
+        frontier = cold
+        while frontier:
+            low = frontier & -frontier
+            gathered |= succ[low.bit_length() - 1]
+            frontier ^= low
+        cold = gathered & label
+        length += 1
+    return FrontierMap(length=length, images=tuple(images), cold=cold)
+
+
+def gather_chunk_map(program: KernelProgram, data: bytes) -> FrontierMap:
+    """The mapping of ``data`` under one GATHER kernel program."""
+    if program.kind is not ProgramKind.GATHER:
+        raise ValueError(
+            f"frontier maps require GATHER programs, got {program.kind.value}"
+        )
+    assert program.succ is not None
+    return gather_map_over(
+        data,
+        program.labels,
+        program.succ,
+        inject=program.inject_always,
+        width=program.width,
+    )

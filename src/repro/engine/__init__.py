@@ -36,7 +36,12 @@ from repro.engine.cache import (
     default_cache_dir,
     ruleset_cache_key,
 )
-from repro.engine.checkpoint import CheckpointStore, DurableScan
+from repro.engine.checkpoint import (
+    INPUT_JOBS_ENV,
+    CheckpointStore,
+    DurableScan,
+    resolve_input_jobs,
+)
 from repro.engine.faults import FAULT_PLAN_ENV, FaultDirective, FaultPlan
 from repro.engine.partition import (
     Chunk,
@@ -66,6 +71,7 @@ __all__ = [
     "FAULT_PLAN_ENV",
     "FaultDirective",
     "FaultPlan",
+    "INPUT_JOBS_ENV",
     "ResourceBudget",
     "SupervisorConfig",
     "UnitOutcome",
@@ -77,6 +83,7 @@ __all__ = [
     "plan_chunks",
     "required_overlap",
     "run_supervised",
+    "resolve_input_jobs",
     "ruleset_cache_key",
     "validate_degrade",
 ]

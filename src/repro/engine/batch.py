@@ -33,7 +33,11 @@ from repro.core import resolve_backend, set_default_backend, use_backend
 from repro.engine import faults
 from repro.engine.budget import BudgetMonitor, ResourceBudget, validate_degrade
 from repro.engine.cache import CompileCache, cached_compile_ruleset
-from repro.engine.checkpoint import CheckpointStore, DurableScan
+from repro.engine.checkpoint import (
+    CheckpointStore,
+    DurableScan,
+    resolve_input_jobs,
+)
 from repro.engine.partition import Chunk, plan_chunks, required_overlap
 from repro.engine.pool import effective_jobs, parallel_map
 from repro.engine.supervisor import SupervisorConfig, run_supervised
@@ -54,7 +58,6 @@ from repro.simulators.activity import (
 from repro.simulators.rap import RAPSimulator, RunActivity
 from repro.simulators.result import SimulationResult
 
-
 @dataclass(frozen=True)
 class EngineConfig:
     """Batch-engine knobs (the CLI's ``--jobs`` / ``--cache`` flags)."""
@@ -70,6 +73,14 @@ class EngineConfig:
     # Smallest owned-bytes-per-chunk worth forking for; streams shorter
     # than two chunks run unchunked.
     min_chunk_bytes: int = 4096
+    # Input-parallel scanning (the CLI's --input-jobs): split one stream
+    # into this many chunks and stitch them with simultaneous-automata
+    # state mappings (repro.engine.split) — bit-identical to serial by
+    # construction.  Requires the fused backend; other backends fall
+    # back to ruleset sharding.  None defers to RAP_INPUT_JOBS, <= 1
+    # disables.  Composes with ``jobs``: the chunk pool is sized
+    # max(jobs, input_jobs).
+    input_jobs: int | None = None
     # Force a stitching window instead of deriving the safe bound (tests
     # and experiments with known match lengths); None derives it.
     overlap: int | None = None
@@ -193,6 +204,10 @@ class BatchEngine:
             return nullcontext()
         return use_backend(self.config.backend)
 
+    def _input_jobs(self) -> int:
+        """The resolved input-parallelism level (config, else env, else 1)."""
+        return resolve_input_jobs(self.config.input_jobs)
+
     def _supervisor_config(self) -> SupervisorConfig:
         """The retry/deadline knobs as the supervisor sees them."""
         return SupervisorConfig(
@@ -262,6 +277,11 @@ class BatchEngine:
             on_error if on_error is not None else self.config.on_error
         )
         tasks = list(tasks)
+        if self._input_jobs() > 1:
+            # Input-parallel mode: worker processes cannot fork their
+            # own pools, so tasks run in the parent, one after another,
+            # and each task's *stream* fans out across the chunk pool.
+            return self._run_batch_input_parallel(tasks, policy)
         backend = resolve_backend(self.config.backend)
         entries: list[QuarantineEntry] = []
         results: list[SimulationResult | None] = [None] * len(tasks)
@@ -310,6 +330,41 @@ class BatchEngine:
             )
         return results
 
+    def _run_batch_input_parallel(self, tasks, policy: str):
+        """:meth:`run_batch` for ``input_jobs > 1``: per-task results are
+        produced by :meth:`scan` (input-parallel within each stream) and
+        mapped through the same ``on_error`` policy."""
+        entries: list[QuarantineEntry] = []
+        results: list[SimulationResult | None] = [None] * len(tasks)
+        for index, task in enumerate(tasks):
+            ruleset = self._resolve(task, policy)  # raises under "fail"
+            if policy == "quarantine":
+                entries.extend(_rejection_entries(ruleset, task, index))
+            if task.patterns is not None and ruleset.rejected and not len(ruleset):
+                continue  # nothing compiled: quarantine the whole task
+            try:
+                results[index] = self.scan(
+                    ruleset, task.data, bin_size=task.bin_size
+                )
+            except Exception as err:
+                if policy == "fail":
+                    raise
+                if policy == "quarantine":
+                    entries.append(
+                        QuarantineEntry(
+                            phase="execute",
+                            error=str(err),
+                            error_type=type(err).__name__,
+                            task_index=index,
+                        )
+                    )
+        if policy == "quarantine":
+            return BatchReport(
+                results=tuple(results),
+                quarantine=QuarantineReport(tuple(entries)),
+            )
+        return results
+
     def merge_results(self, results) -> SimulationResult:
         """Fold shard results with :meth:`SimulationResult.merge`."""
         results = list(results)
@@ -345,6 +400,35 @@ class BatchEngine:
             ruleset = self.compile(source, compiler)
         with self._backend_scope():
             sim = RAPSimulator(self.hw)
+            input_jobs = self._input_jobs()
+            if (
+                input_jobs > 1
+                and data
+                and len(ruleset)
+                and resolve_backend() == "fused"
+            ):
+                from repro.engine.split import split_collect
+
+                mapping = sim.build_mapping(ruleset, bin_size=bin_size)
+                activity = split_collect(
+                    ruleset,
+                    mapping,
+                    self.hw,
+                    data,
+                    bin_size=bin_size,
+                    backend=resolve_backend(),
+                    input_jobs=input_jobs,
+                    jobs=effective_jobs(max(self.config.jobs, input_jobs)),
+                    min_chunk_bytes=self.config.min_chunk_bytes,
+                    timeout=self.config.timeout,
+                    retries=self.config.retries,
+                    backoff=self.config.backoff,
+                    fault_plan=self.config.fault_plan,
+                )
+                if activity is not None:
+                    return sim.run_from_activity(ruleset, activity, mapping)
+                # stream too short (or nothing chunkable): fall through
+                # to the serial / ruleset-sharded paths below
             jobs = effective_jobs(self.config.jobs)
             if jobs <= 1 or not len(ruleset) or not data:
                 return sim.run(ruleset, data, bin_size=bin_size)
@@ -419,7 +503,13 @@ class BatchEngine:
             sim = RAPSimulator(self.hw)
             mapping = sim.build_mapping(ruleset, bin_size=bin_size)
             scan = DurableScan(
-                ruleset, mapping, self.hw, bin_size=bin_size, weights=weights
+                ruleset,
+                mapping,
+                self.hw,
+                bin_size=bin_size,
+                weights=weights,
+                input_jobs=self._input_jobs(),
+                min_chunk_bytes=self.config.min_chunk_bytes,
             )
             store = (
                 CheckpointStore(config.checkpoint_dir, plan)

@@ -1,0 +1,487 @@
+"""Input-parallel scanning: one stream, many workers, exact stitching.
+
+Ruleset sharding (:meth:`BatchEngine.scan`'s per-regex/per-bin units)
+cannot help when one large stream meets many cores.  This module splits
+the *input* instead, using the Simultaneous-Finite-Automata construction
+(:mod:`repro.core.sfa`): each worker scans its chunk over the fused
+backend from every reachable start configuration, and the parent
+composes the per-chunk state mappings associatively, so matches,
+wake-ups, and the energy ledger are bit-identical to the serial fused
+path.
+
+Each compiled unit rides the cheapest sound mechanism:
+
+* **Lane-packed Shift-And / LNFA bins** — a chunk's
+  :class:`~repro.core.sfa.ShiftMap` turns *constant* once the chunk
+  outlives the widest member, so evaluating it degenerates to a
+  warm-up-window scan from the zero word: single pass, near-linear
+  speedup.  Chunks too short for their window replay from the stream
+  start instead (exact, merely slower), so any split point is sound.
+* **Bounded NFA mask stacks** (acyclic Glushkov automata) — the same
+  warm-up argument with window ``longest_activation_path + 1``.
+* **Cyclic NFA mask stacks** — no window exists, so chunks build a
+  bounded :class:`~repro.core.sfa.FrontierMap` table (round one), the
+  parent composes entry states through it, and a second round rescans
+  each chunk from its exact entry state.  Frontier tables cost one
+  frontier per state bit, so units wider than
+  :data:`MAX_FRONTIER_STATES` fall back to one serial whole-stream
+  task.
+* **NBVA counter units** — counter vectors carry unbounded history;
+  they always run as serial whole-stream tasks (in parallel with the
+  chunk tasks, deduped by functional fingerprint).
+
+The parent merges per-chunk activity in chunk order with the same
+associative ``merge`` discipline the ruleset-sharding path uses, then
+rebuilds containers in sequential collection order — dict iteration,
+match ordering, and every counter equal the serial fused run exactly.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+from repro.automata.nfa import NFASimulator
+from repro.compiler.program import CompiledMode, CompiledRuleset
+from repro.core import set_default_backend
+from repro.core.fused import FusedRuleset
+from repro.core.trace import regex_fingerprint
+from repro.engine.partition import longest_activation_path, plan_chunks
+from repro.engine.pool import parallel_map
+from repro.hardware.config import HardwareConfig, TileMode
+from repro.mapping.mapper import Mapping
+from repro.simulators.activity import (
+    BinActivity,
+    RegexActivity,
+    _bin_layout,
+    collect_regex_activity,
+)
+from repro.simulators.fused import FusedLaneScanner
+from repro.simulators.rap import RAPSimulator, RunActivity
+
+# Frontier-map tables cost one frontier per state bit; beyond this width
+# a cyclic unit is cheaper as one serial whole-stream task.
+MAX_FRONTIER_STATES = 64
+
+# Unit mechanisms (see module docstring).
+BOUNDED = "bounded"
+FRONTIER = "frontier"
+SERIAL = "serial"
+
+
+@dataclass(frozen=True)
+class SplitLayout:
+    """The deterministic split policy of one input-parallel scan.
+
+    Everything the chunk plan depends on — and nothing else — so equal
+    layouts guarantee equal seams.  ``token`` is the canonical string
+    hashed into durable-scan fingerprints.
+    """
+
+    input_jobs: int
+    warm: int
+    min_owned: int
+
+    @property
+    def token(self) -> str:
+        return (
+            f"split:v1:jobs={self.input_jobs}"
+            f":warm={self.warm}:min={self.min_owned}"
+        )
+
+
+class SplitCompilation:
+    """One ruleset compiled for input-parallel scanning.
+
+    Deterministic from ``(ruleset, mapping, hw)`` alone, so parent and
+    workers build identical compilations from the same pickled seed.
+    Mirrors :class:`~repro.simulators.fused.FusedRun`'s unit layout —
+    bins in mapping order, NFA units deduped by functional fingerprint
+    — and adds the split classification: each NFA unit's mechanism and
+    the ruleset-wide warm-up window.
+    """
+
+    def __init__(
+        self, ruleset: CompiledRuleset, mapping: Mapping, hw: HardwareConfig
+    ):
+        self.bin_keys: list[tuple[int, int]] = []
+        self.bins = []
+        self.lnfa_array_indexes: list[int] = []
+        layouts = []
+        for index, array in enumerate(mapping.arrays):
+            if array.mode is not TileMode.LNFA:
+                continue
+            self.lnfa_array_indexes.append(index)
+            for bin_index, bin_obj in enumerate(array.bins):
+                self.bin_keys.append((index, bin_index))
+                self.bins.append(bin_obj)
+                layouts.append(_bin_layout(bin_obj, hw))
+
+        self.nfa_unit_of: dict[object, int] = {}
+        nfa_programs = []
+        self.unit_kind: list[str] = []
+        warm = 1
+        for compiled in ruleset:
+            if compiled.mode is not CompiledMode.NFA:
+                continue
+            key = regex_fingerprint(compiled)
+            if key in self.nfa_unit_of:
+                continue
+            self.nfa_unit_of[key] = len(nfa_programs)
+            program = NFASimulator(compiled.automaton).program(
+                anchored_start=compiled.anchored_start,
+                anchored_end=compiled.anchored_end,
+            )
+            nfa_programs.append(program)
+            bound = longest_activation_path(compiled.automaton)
+            if bound is not None:
+                self.unit_kind.append(BOUNDED)
+                warm = max(warm, bound + 1)
+            elif program.width <= MAX_FRONTIER_STATES:
+                self.unit_kind.append(FRONTIER)
+            else:
+                self.unit_kind.append(SERIAL)
+        self.nfa_programs = nfa_programs
+
+        # One NBVA scan per distinct functional fingerprint, replicated
+        # to every sharing regex at assembly time (exactly FusedRun).
+        self.nbva_rep: dict[object, int] = {}
+        for compiled in ruleset:
+            if compiled.mode in (CompiledMode.LNFA, CompiledMode.NFA):
+                continue
+            key = regex_fingerprint(compiled)
+            if key not in self.nbva_rep:
+                self.nbva_rep[key] = compiled.regex_id
+
+        self.fused = FusedRuleset(
+            [layout.packed.program for layout in layouts], nfa_programs
+        )
+        self.scanner = (
+            FusedLaneScanner(layouts, self.fused) if layouts else None
+        )
+        if self.scanner is not None:
+            warm = max(warm, self.scanner.warm)
+        self.warm = warm
+
+    @property
+    def splittable(self) -> bool:
+        """Whether any unit benefits from input chunking at all."""
+        if self.scanner is not None:
+            return True
+        return any(kind is not SERIAL for kind in self.unit_kind)
+
+
+def split_collect(
+    ruleset: CompiledRuleset,
+    mapping: Mapping,
+    hw: HardwareConfig,
+    data: bytes,
+    *,
+    bin_size: int | None,
+    backend: str,
+    input_jobs: int,
+    jobs: int,
+    min_chunk_bytes: int = 4096,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    fault_plan: str | None = None,
+) -> RunActivity | None:
+    """Collect one stream's activity with input-parallel chunking.
+
+    Returns the exact :class:`RunActivity` a serial fused
+    ``collect_activities`` would produce, or None when splitting is not
+    applicable (stream too short for two chunks, or no chunkable units)
+    — the caller then falls back to the serial path.  ``jobs`` sizes
+    the worker pool; chunk tasks and serial whole-stream tasks (wide
+    cyclic NFAs, NBVA counters) share it.
+    """
+    comp = SplitCompilation(ruleset, mapping, hw)
+    n = len(data)
+    layout = SplitLayout(
+        input_jobs=input_jobs,
+        warm=comp.warm,
+        min_owned=max(1, min_chunk_bytes),
+    )
+    chunks = plan_chunks(n, input_jobs, comp.warm, min_owned=layout.min_owned)
+    if len(chunks) <= 1 or not comp.splittable:
+        return None
+
+    payload = pickle.dumps(
+        (ruleset, data, bin_size, hw, backend),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    last = len(chunks) - 1
+    tasks: list[tuple] = [
+        (
+            "chunk",
+            ci,
+            chunk.start,
+            chunk.end,
+            chunk.warm_start,
+            ci == last,
+        )
+        for ci, chunk in enumerate(chunks)
+    ]
+    for unit, kind in enumerate(comp.unit_kind):
+        if kind is SERIAL:
+            tasks.append(("serial_nfa", unit))
+    for rid in comp.nbva_rep.values():
+        tasks.append(("nbva", rid))
+
+    pool = dict(
+        jobs=jobs,
+        initializer=_init_split_worker,
+        initargs=(payload,),
+        finalizer=_reset_split_worker,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        fault_plan=fault_plan,
+    )
+    outcomes = parallel_map(_split_task, tasks, **pool)
+
+    chunk_out: dict[int, tuple] = {}
+    serial_nfa: dict[int, tuple] = {}
+    nbva_out: dict[int, RegexActivity] = {}
+    for task, outcome in zip(tasks, outcomes):
+        if task[0] == "chunk":
+            chunk_out[task[1]] = outcome
+        elif task[0] == "serial_nfa":
+            serial_nfa[task[1]] = outcome
+        else:
+            nbva_out[task[1]] = outcome
+
+    # Frontier composition: chunk 0 scanned fresh and reported its exit
+    # state; later chunks reported their FrontierMap, through which the
+    # exact entry state of every chunk is composed — then round two
+    # rescans those chunks from their true entries, fully in parallel.
+    frontier_units = [
+        unit for unit, kind in enumerate(comp.unit_kind) if kind is FRONTIER
+    ]
+    frontier_parts: dict[tuple[int, int], tuple] = {}
+    if frontier_units and len(chunks) > 1:
+        entries: dict[int, dict[int, int]] = {}
+        for unit in frontier_units:
+            _, _, _, exit_state = chunk_out[0][1][unit]
+            state = exit_state
+            for ci in range(1, len(chunks)):
+                entries.setdefault(ci, {})[unit] = state
+                if ci < last:
+                    state = chunk_out[ci][2][unit].apply(state)
+        round_two = [
+            (
+                "frontier",
+                ci,
+                chunks[ci].start,
+                chunks[ci].end,
+                ci == last,
+                entries[ci],
+            )
+            for ci in range(1, len(chunks))
+        ]
+        for (_, ci, *_), result in zip(
+            round_two, parallel_map(_split_task, round_two, **pool)
+        ):
+            for unit, part in result.items():
+                frontier_parts[(unit, ci)] = part
+
+    return _assemble(
+        comp, ruleset, chunks, chunk_out, serial_nfa, nbva_out, frontier_parts, n
+    )
+
+
+def _assemble(
+    comp: SplitCompilation,
+    ruleset: CompiledRuleset,
+    chunks,
+    chunk_out,
+    serial_nfa,
+    nbva_out,
+    frontier_parts,
+    n: int,
+) -> RunActivity:
+    """Fold per-chunk results, in chunk order, into the sequential run's
+    exact :class:`RunActivity` (containers in collection order)."""
+    order = range(len(chunks))
+
+    # -- NFA units: fold (positions, active, cycles) per chunk ----------
+    unit_activity: list[tuple[list[int], int, int]] = []
+    for unit, kind in enumerate(comp.unit_kind):
+        if kind is SERIAL:
+            positions, active, cycles, _ = serial_nfa[unit]
+            unit_activity.append((positions, active, cycles))
+            continue
+        positions: list[int] = []
+        active = 0
+        cycles = 0
+        for ci in order:
+            if kind is FRONTIER and ci > 0:
+                part = frontier_parts[(unit, ci)]
+            else:
+                part = chunk_out[ci][1][unit]
+            positions.extend(part[0])
+            active += part[1]
+            cycles += part[2]
+        unit_activity.append((positions, active, cycles))
+
+    regex: dict[int, RegexActivity] = {}
+    from dataclasses import replace
+
+    for compiled in ruleset:
+        if compiled.mode is CompiledMode.LNFA:
+            continue
+        key = regex_fingerprint(compiled)
+        if compiled.mode is CompiledMode.NFA:
+            positions, active, cycles = unit_activity[comp.nfa_unit_of[key]]
+            regex[compiled.regex_id] = RegexActivity(
+                regex_id=compiled.regex_id,
+                mode=compiled.mode,
+                cycles=cycles,
+                matches=list(positions),
+                active_state_cycles=active,
+            )
+            continue
+        found = nbva_out[comp.nbva_rep[key]]
+        regex[compiled.regex_id] = replace(
+            found,
+            regex_id=compiled.regex_id,
+            matches=list(found.matches),
+            bv_cycle_indices=list(found.bv_cycle_indices),
+        )
+
+    # -- LNFA bins: fold lane deltas per chunk --------------------------
+    lnfa_bins: dict[int, list] = {
+        index: [] for index in comp.lnfa_array_indexes
+    }
+    if comp.scanner is not None:
+        deltas = [chunk_out[ci][0] for ci in order]
+        merged = comp.scanner.merge_deltas(deltas)
+        for j, ((index, _), bin_obj) in enumerate(
+            zip(comp.bin_keys, comp.bins)
+        ):
+            matches = {item.regex_id: [] for item in bin_obj.items}
+            for rid, ends in merged.matches[j].items():
+                matches[rid].extend(ends)
+            lnfa_bins[index].append(
+                BinActivity(
+                    bin=bin_obj,
+                    cycles=merged.cycles,
+                    matches=matches,
+                    tile_active_cycles=merged.tile_cycles[j],
+                    tile_active_bits=merged.tile_bits[j],
+                )
+            )
+
+    return RunActivity(regex=regex, lnfa_bins=lnfa_bins, input_symbols=n)
+
+
+# -- worker-side functions (module level: picklable by the pool) -----------
+
+_SPLIT_STATE: dict = {}
+
+
+def _init_split_worker(payload: bytes) -> None:
+    """Seed one worker with the scan's shared, deterministic state."""
+    ruleset, data, bin_size, hw, backend = pickle.loads(payload)
+    set_default_backend(backend)
+    mapping = RAPSimulator(hw).build_mapping(ruleset, bin_size=bin_size)
+    _SPLIT_STATE["data"] = data
+    _SPLIT_STATE["comp"] = SplitCompilation(ruleset, mapping, hw)
+    _SPLIT_STATE["regex_by_id"] = {r.regex_id: r for r in ruleset}
+
+
+def _reset_split_worker() -> None:
+    """Clear the worker globals (the in-process fallback seeds the
+    parent, which must not pin the stream afterwards)."""
+    _SPLIT_STATE.clear()
+
+
+def _split_task(task: tuple):
+    """Execute one split work unit inside a worker."""
+    comp: SplitCompilation = _SPLIT_STATE["comp"]
+    data: bytes = _SPLIT_STATE["data"]
+    kind = task[0]
+    if kind == "chunk":
+        _, ci, start, end, warm_start, at_end = task
+        return _run_chunk(comp, data, ci, start, end, warm_start, at_end)
+    if kind == "frontier":
+        _, ci, start, end, at_end, entries = task
+        tin = comp.fused.translate(data[start:end])
+        out = {}
+        for unit, entry in entries.items():
+            events, stats, exit_state = comp.fused.scan_unit_span(
+                unit, tin, state=entry, fresh=False, at_end=at_end
+            )
+            out[unit] = (
+                [start + i for i, _ in events],
+                stats.active_states,
+                stats.cycles,
+                exit_state,
+            )
+        return out
+    if kind == "serial_nfa":
+        _, unit = task
+        tin = comp.fused.translate(data)
+        events, stats, exit_state = comp.fused.scan_unit_span(unit, tin)
+        return (
+            [i for i, _ in events],
+            stats.active_states,
+            stats.cycles,
+            exit_state,
+        )
+    _, rid = task  # "nbva"
+    return collect_regex_activity(_SPLIT_STATE["regex_by_id"][rid], data)
+
+
+def _run_chunk(
+    comp: SplitCompilation,
+    data: bytes,
+    ci: int,
+    start: int,
+    end: int,
+    warm_start: int,
+    at_end: bool,
+):
+    """Scan one chunk: lanes plus every non-serial NFA unit.
+
+    ``warm_start == 0`` replays from the true stream start (``fresh``),
+    which keeps short-chunk plans exact; otherwise the warm-up window
+    guarantees the zero-entry scan equals the sequential state by
+    ``start``.  Frontier units are scanned directly only on chunk 0;
+    later chunks return their owned-span FrontierMap for round two.
+    """
+    tin = comp.fused.translate(data[warm_start:end])
+    stats_from = start - warm_start
+    fresh = warm_start == 0
+    lane = None
+    if comp.scanner is not None:
+        lane = comp.scanner.scan(
+            data[warm_start:end],
+            entry=0,
+            fresh=fresh,
+            at_end=at_end,
+            base=warm_start,
+            stats_from=stats_from,
+            tin=tin,
+        )
+    nfa_out: dict[int, tuple] = {}
+    maps_out: dict[int, object] = {}
+    for unit, kind in enumerate(comp.unit_kind):
+        if kind is SERIAL:
+            continue
+        if kind is FRONTIER and ci > 0:
+            maps_out[unit] = comp.fused.gather_unit_map(
+                unit, tin, start=stats_from
+            )
+            continue
+        events, stats, exit_state = comp.fused.scan_unit_span(
+            unit, tin, fresh=fresh, stats_from=stats_from, at_end=at_end
+        )
+        nfa_out[unit] = (
+            [warm_start + i for i, _ in events],
+            stats.active_states,
+            stats.cycles,
+            exit_state,
+        )
+    return (lane, nfa_out, maps_out)

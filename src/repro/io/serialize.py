@@ -255,7 +255,11 @@ def _fingerprint_default(value):
 
 
 def scan_fingerprint(
-    ruleset, hw, bin_size: int | None = None, fused_layout: str | None = None
+    ruleset,
+    hw,
+    bin_size: int | None = None,
+    fused_layout: str | None = None,
+    split_layout: str | None = None,
 ) -> str:
     """Content hash identifying one scan's execution semantics.
 
@@ -265,8 +269,14 @@ def scan_fingerprint(
     ``fused_layout`` is the fused-ruleset signature (class map + lane
     layout) when the scan runs on the ``fused`` backend, ``None``
     otherwise — a checkpoint written under one fusion layout (or none)
-    must never be resumed under another.  Same idea as the compile-cache
-    key, applied to mid-stream state instead of compiler output.
+    must never be resumed under another.  ``split_layout`` names the
+    input-parallel chunking policy the same way (``None`` when serial);
+    split feeds are bit-identical to serial ones, but a checkpoint still
+    records the configuration that wrote it so resuming under another
+    parallelism level is an explicit rebind, not a silent one.  Same
+    idea as the compile-cache key, applied to mid-stream state instead
+    of compiler output.  ``split_layout=None`` keeps pre-split
+    fingerprints byte-stable.
     """
     doc = {
         "format": FORMAT_NAME,
@@ -276,6 +286,8 @@ def scan_fingerprint(
         "bin_size": bin_size,
         "fused_layout": fused_layout,
     }
+    if split_layout is not None:
+        doc["split_layout"] = split_layout
     canonical = json.dumps(
         doc,
         sort_keys=True,

@@ -1,8 +1,13 @@
 """Ruleset-wide fused execution of the functional collectors.
 
 This is the simulator-layer half of the ``fused`` backend
-(:mod:`repro.core.fused` is the machine itself).  Two entry points:
+(:mod:`repro.core.fused` is the machine itself).  Three entry points:
 
+* :class:`FusedLaneScanner` steps the lane-packed machine over one
+  span of a stream and returns the per-bin activity deltas
+  (:class:`LaneDelta`) plus the exit state.  Spans may start mid-stream
+  from an explicit entry word or from a warm-up window, which is what
+  both the durable feeder and the input-parallel split engine build on.
 * :class:`FusedBinFeeder` steps *every* LNFA bin of a ruleset through
   one lane-packed machine per segment and folds the resulting activity
   back into the bins' ordinary
@@ -11,7 +16,10 @@ This is the simulator-layer half of the ``fused`` backend
   word from the collectors' :class:`~repro.core.KernelState` and writes
   the continuation back — so durable-scan snapshot/restore documents
   are byte-identical to the unfused path and a SIGKILL-resume replays
-  the same integer stream.
+  the same integer stream.  With ``input_jobs > 1`` each segment is
+  split into warm-up-window chunks scanned in parallel; the folded
+  deltas (and therefore every snapshot) stay byte-identical to the
+  serial feed.
 * :class:`FusedRun` reproduces
   :meth:`~repro.simulators.rap.RAPSimulator.collect_activities` for a
   whole run: the input is translated once through the shared alphabet
@@ -27,7 +35,8 @@ Import this module lazily, only after the backend registry has resolved
 
 from __future__ import annotations
 
-from dataclasses import replace
+import pickle
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -46,28 +55,46 @@ from repro.mapping.mapper import Mapping
 from repro.simulators.activity import (
     BinActivityCollector,
     RegexActivity,
+    _BinLayout,
     collect_regex_activity,
 )
 from repro.simulators.rap import RunActivity
 
 
-class FusedBinFeeder:
-    """Feed many bin collectors through one lane-packed machine.
+@dataclass
+class LaneDelta:
+    """Per-bin activity deltas of one lane-machine span.
 
-    ``collectors`` are the ruleset's LNFA bins in a fixed order; their
-    packed programs must equal ``fused.shift_programs`` (a bins-only
-    :class:`FusedRuleset` is compiled when none is supplied).  Each
-    :meth:`feed` accumulates, per bin, the exact deltas the collector's
-    own ``feed`` would have produced for the same segment.
+    Everything a :meth:`BinActivityCollector.apply_segment` fold needs,
+    as plain integers and lists (picklable, mergeable in chunk order):
+    owned cycle count, per-bin per-tile wake-ups (tile 0 already holds
+    the never-gated owned count), per-bin global match positions, and
+    the exit state continuing the stream.
+    """
+
+    cycles: int
+    tile_cycles: list[list[int]]
+    tile_bits: list[list[int]]
+    matches: list[dict[int, list[int]]]
+    exit_states: list[int]
+    exit_packed: int
+
+
+class FusedLaneScanner:
+    """Scan spans of the lane-packed machine, producing per-bin deltas.
+
+    Built from the bins' packed-machine layouts (in bin order); the
+    fused compilation is shared with the caller's when supplied, so the
+    alphabet classes and prefilter match the rest of the run.  The
+    scanner is stateless and picklable — parallel chunk workers each
+    scan their own span of the same machine.
     """
 
     def __init__(
-        self,
-        collectors: list[BinActivityCollector],
-        fused: FusedRuleset | None = None,
+        self, layouts: list[_BinLayout], fused: FusedRuleset | None = None
     ):
-        self._collectors = list(collectors)
-        programs = [c.layout.packed.program for c in self._collectors]
+        self._layouts = list(layouts)
+        programs = [layout.packed.program for layout in self._layouts]
         if fused is None:
             fused = FusedRuleset(programs)
         self._fused = fused
@@ -77,9 +104,9 @@ class FusedBinFeeder:
         # tile, stacked into a 2-D lane matrix for the vectorized sink.
         owners: list[tuple[int, int]] = []
         words: list[np.ndarray] = []
-        for j, collector in enumerate(self._collectors):
+        for j, layout in enumerate(self._layouts):
             base = fused.bases[j]
-            for t, mask in enumerate(collector.layout.tile_masks):
+            for t, mask in enumerate(layout.tile_masks):
                 owners.append((j, t))
                 words.append(words_from_int(mask << base, lanes))
         self._tile_owners = owners
@@ -90,47 +117,92 @@ class FusedBinFeeder:
         )
         self._tile_starts: list[int] = []
         start = 0
-        for collector in self._collectors:
+        for layout in self._layouts:
             self._tile_starts.append(start)
-            start += len(collector.layout.tile_masks)
+            start += len(layout.tile_masks)
 
         # Global final-bit → (bin, regex_id), for match decomposition.
         finals: dict[int, tuple[int, int]] = {}
-        for j, collector in enumerate(self._collectors):
+        for j, layout in enumerate(self._layouts):
             base = fused.bases[j]
-            for bit, rid in collector.layout.finals.items():
+            for bit, rid in layout.finals.items():
                 finals[base + bit] = (j, rid)
         self._finals = finals
         self._final_words = words_from_int(fused.final, max(lanes, 1))
         self._end_anchored = fused.end_anchored
+
+        # The warm-up window: a packed entry bit can only influence the
+        # word while riding its own member's shift chain, so any state
+        # is forgotten after the longest member's length.
+        warm = 1
+        for layout in self._layouts:
+            for lnfa in layout.packed.patterns:
+                warm = max(warm, len(lnfa))
+        self.warm = warm
+
+    @property
+    def fused(self) -> FusedRuleset:
+        """The shared fused compilation this scanner steps."""
+        return self._fused
 
     @property
     def signature(self) -> str:
         """The fused compilation's layout digest (class map + lanes)."""
         return self._fused.signature
 
-    def feed(self, segment: bytes, *, at_end: bool = True) -> None:
-        """Consume the next stream segment on every bin at once."""
-        if not segment:
-            return
-        collectors = self._collectors
-        if not collectors:
-            return
-        offsets = {c.offset for c in collectors}
-        if len(offsets) != 1:
-            raise ValueError(
-                "fused feeding requires all bins at one stream offset, "
-                f"got {sorted(offsets)}"
-            )
-        stream_base = collectors[0].offset
+    @property
+    def bin_count(self) -> int:
+        """Number of bins packed into the lane machine."""
+        return len(self._layouts)
+
+    def empty_delta(self, entry: int = 0) -> LaneDelta:
+        """The delta of a zero-length span (merge identity)."""
         fused = self._fused
+        return LaneDelta(
+            cycles=0,
+            tile_cycles=[
+                [0] * len(layout.tile_masks) for layout in self._layouts
+            ],
+            tile_bits=[
+                [0] * len(layout.tile_masks) for layout in self._layouts
+            ],
+            matches=[{} for _ in self._layouts],
+            exit_states=[
+                fused.extract(entry, j) for j in range(len(self._layouts))
+            ],
+            exit_packed=entry,
+        )
+
+    def scan(
+        self,
+        segment: bytes,
+        *,
+        entry: int = 0,
+        fresh: bool,
+        at_end: bool,
+        base: int = 0,
+        stats_from: int = 0,
+        tin=None,
+    ) -> LaneDelta:
+        """One span of the stream as its per-bin activity deltas.
+
+        ``entry`` is the packed word entering the span (ignored when
+        ``fresh``), ``base`` the span's global offset (match positions
+        are globalized against it), and ``stats_from`` the span-local
+        index of the first owned byte — the warm-up prefix drives the
+        word but prices nothing.  ``at_end`` marks the true stream end
+        (end-anchored finals fire nowhere else).
+        """
         n = len(segment)
+        if n == 0:
+            return self.empty_delta(entry)
+        fused = self._fused
         last = n - 1
         tile_words = self._tile_words
         tile_count = len(self._tile_owners)
         tile_cycles = [0] * tile_count
         tile_bits = [0] * tile_count
-        matches: list[dict[int, list[int]]] = [{} for _ in collectors]
+        matches: list[dict[int, list[int]]] = [{} for _ in self._layouts]
         finals = self._finals
         final_words = self._final_words
         end_anchored = self._end_anchored
@@ -154,37 +226,259 @@ class FusedBinFeeder:
                     low = word & -word
                     word ^= low
                     j, rid = finals[low.bit_length() - 1]
-                    matches[j].setdefault(rid, []).append(
-                        stream_base + position
-                    )
+                    matches[j].setdefault(rid, []).append(base + position)
 
-        packed = fused.pack([c.state.states for c in collectors])
+        if tin is None:
+            tin = fused.translate(segment)
         packed = fused.lane_feed(
-            fused.translate(segment),
-            packed,
-            fresh=stream_base == 0,
+            tin,
+            entry,
+            fresh=fresh,
             at_end=at_end,
             sink=sink,
+            stats_from=stats_from,
         )
 
-        for j, collector in enumerate(collectors):
+        owned = n - max(0, stats_from)
+        per_bin_cycles: list[list[int]] = []
+        per_bin_bits: list[list[int]] = []
+        for j, layout in enumerate(self._layouts):
             start = self._tile_starts[j]
-            tiles = len(collector.layout.tile_masks)
-            # Tile 0 is never power-gated: it accrues a cycle per input
-            # symbol regardless of liveness (only its *bits* come from
-            # live cycles) — the closed form of the per-cycle loop.
-            cycles_delta = [n] + tile_cycles[start + 1 : start + tiles]
-            bits_delta = tile_bits[start : start + tiles]
+            tiles = len(layout.tile_masks)
+            # Tile 0 is never power-gated: it accrues a cycle per owned
+            # input symbol regardless of liveness (only its *bits* come
+            # from live cycles) — the closed form of the per-cycle loop.
+            per_bin_cycles.append(
+                [owned] + tile_cycles[start + 1 : start + tiles]
+            )
+            per_bin_bits.append(tile_bits[start : start + tiles])
+        return LaneDelta(
+            cycles=owned,
+            tile_cycles=per_bin_cycles,
+            tile_bits=per_bin_bits,
+            matches=matches,
+            exit_states=[
+                fused.extract(packed, j) for j in range(len(self._layouts))
+            ],
+            exit_packed=packed,
+        )
+
+    def merge_deltas(self, deltas: list[LaneDelta]) -> LaneDelta:
+        """Fold chunk deltas, in chunk order, into one segment delta.
+
+        Counters add, match lists concatenate (positions are global and
+        ascending across chunks), and the exit state is the last
+        chunk's — the associative composition the split engine rests
+        on.
+        """
+        if not deltas:
+            return self.empty_delta()
+        merged = deltas[0]
+        for delta in deltas[1:]:
+            matches: list[dict[int, list[int]]] = []
+            for j in range(len(self._layouts)):
+                folded = {
+                    rid: list(ends) for rid, ends in merged.matches[j].items()
+                }
+                for rid, ends in delta.matches[j].items():
+                    folded.setdefault(rid, []).extend(ends)
+                matches.append(folded)
+            merged = LaneDelta(
+                cycles=merged.cycles + delta.cycles,
+                tile_cycles=[
+                    [a + b for a, b in zip(ours, theirs)]
+                    for ours, theirs in zip(
+                        merged.tile_cycles, delta.tile_cycles
+                    )
+                ],
+                tile_bits=[
+                    [a + b for a, b in zip(ours, theirs)]
+                    for ours, theirs in zip(merged.tile_bits, delta.tile_bits)
+                ],
+                matches=matches,
+                exit_states=delta.exit_states,
+                exit_packed=delta.exit_packed,
+            )
+        return merged
+
+
+class FusedBinFeeder:
+    """Feed many bin collectors through one lane-packed machine.
+
+    ``collectors`` are the ruleset's LNFA bins in a fixed order; their
+    packed programs must equal ``fused.shift_programs`` (a bins-only
+    :class:`FusedRuleset` is compiled when none is supplied).  Each
+    :meth:`feed` accumulates, per bin, the exact deltas the collector's
+    own ``feed`` would have produced for the same segment.
+
+    ``input_jobs > 1`` splits each segment into warm-up-window chunks
+    scanned over worker processes (chunks shorter than
+    ``min_chunk_bytes`` or the warm window are not worth forking for);
+    the chunk deltas fold associatively, so the collectors — and any
+    checkpoint snapshot taken between feeds — stay byte-identical to
+    the serial feed.
+    """
+
+    def __init__(
+        self,
+        collectors: list[BinActivityCollector],
+        fused: FusedRuleset | None = None,
+        *,
+        input_jobs: int = 1,
+        min_chunk_bytes: int = 4096,
+    ):
+        self._collectors = list(collectors)
+        self._scanner = FusedLaneScanner(
+            [c.layout for c in self._collectors], fused
+        )
+        self._input_jobs = max(1, input_jobs)
+        self._min_chunk_bytes = max(1, min_chunk_bytes)
+
+    @property
+    def signature(self) -> str:
+        """The fused compilation's layout digest (class map + lanes)."""
+        return self._scanner.signature
+
+    @property
+    def warm(self) -> int:
+        """The lane machine's warm-up window, in bytes."""
+        return self._scanner.warm
+
+    @property
+    def split_layout(self) -> str | None:
+        """The input-parallel feed policy, or None when feeding serially.
+
+        Deterministic from configuration alone, so it can be hashed
+        into a durable scan's fingerprint.
+        """
+        if self._input_jobs <= 1:
+            return None
+        return (
+            f"lane-split:v1:jobs={self._input_jobs}"
+            f":min={self._min_chunk_bytes}:warm={self._scanner.warm}"
+        )
+
+    def feed(self, segment: bytes, *, at_end: bool = True) -> None:
+        """Consume the next stream segment on every bin at once."""
+        if not segment:
+            return
+        collectors = self._collectors
+        if not collectors:
+            return
+        offsets = {c.offset for c in collectors}
+        if len(offsets) != 1:
+            raise ValueError(
+                "fused feeding requires all bins at one stream offset, "
+                f"got {sorted(offsets)}"
+            )
+        stream_base = collectors[0].offset
+        scanner = self._scanner
+        entry = scanner.fused.pack([c.state.states for c in collectors])
+        delta = None
+        if self._input_jobs > 1:
+            delta = self._split_feed(segment, entry, stream_base, at_end)
+        if delta is None:
+            delta = scanner.scan(
+                segment,
+                entry=entry,
+                fresh=stream_base == 0,
+                at_end=at_end,
+                base=stream_base,
+            )
+        n = len(segment)
+        for j, collector in enumerate(collectors):
             collector.apply_segment(
                 cycles=n,
-                tile_cycles=cycles_delta,
-                tile_bits=bits_delta,
-                matches=matches[j],
+                tile_cycles=delta.tile_cycles[j],
+                tile_bits=delta.tile_bits[j],
+                matches=delta.matches[j],
                 state=KernelState(
-                    offset=stream_base + n,
-                    states=fused.extract(packed, j),
+                    offset=stream_base + n, states=delta.exit_states[j]
                 ),
             )
+
+    def _split_feed(
+        self, segment: bytes, entry: int, stream_base: int, at_end: bool
+    ) -> LaneDelta | None:
+        """One segment scanned as parallel warm-up-window chunks.
+
+        Returns None when the segment is too short to split — the
+        caller falls back to the serial span.  Chunk 0 continues from
+        the true entry word; later chunks warm up from zero over the
+        preceding ``warm`` bytes, which forgets any entry state by
+        construction (their owned start is at least ``warm`` bytes in).
+        """
+        from repro.engine.partition import plan_chunks
+        from repro.engine.pool import parallel_map
+
+        scanner = self._scanner
+        warm = scanner.warm
+        chunks = plan_chunks(
+            len(segment),
+            self._input_jobs,
+            warm,
+            min_owned=max(self._min_chunk_bytes, warm),
+        )
+        if len(chunks) <= 1:
+            return None
+        payload = pickle.dumps(
+            (scanner, segment, entry, stream_base, at_end, len(chunks)),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        tasks = [
+            (ci, chunk.start, chunk.end, chunk.warm_start)
+            for ci, chunk in enumerate(chunks)
+        ]
+        deltas = parallel_map(
+            _lane_chunk,
+            tasks,
+            jobs=self._input_jobs,
+            initializer=_init_lane_worker,
+            initargs=(payload,),
+            finalizer=_reset_lane_worker,
+        )
+        return scanner.merge_deltas(deltas)
+
+
+# -- lane-chunk worker functions (module level: picklable by the pool) ------
+
+_LANE_WORKER: dict = {}
+
+
+def _init_lane_worker(payload: bytes) -> None:
+    """Seed one worker process with the segment's shared state."""
+    scanner, segment, entry, stream_base, at_end, chunk_count = pickle.loads(
+        payload
+    )
+    _LANE_WORKER["scanner"] = scanner
+    _LANE_WORKER["segment"] = segment
+    _LANE_WORKER["entry"] = entry
+    _LANE_WORKER["stream_base"] = stream_base
+    _LANE_WORKER["at_end"] = at_end
+    _LANE_WORKER["chunk_count"] = chunk_count
+
+
+def _reset_lane_worker() -> None:
+    """Clear the worker globals (the in-process fallback seeds the
+    parent, which must not pin the segment afterwards)."""
+    _LANE_WORKER.clear()
+
+
+def _lane_chunk(task: tuple) -> LaneDelta:
+    """Scan one chunk of the seeded segment inside a worker."""
+    ci, start, end, warm_start = task
+    scanner = _LANE_WORKER["scanner"]
+    segment = _LANE_WORKER["segment"]
+    stream_base = _LANE_WORKER["stream_base"]
+    first = ci == 0
+    return scanner.scan(
+        segment[warm_start:end],
+        entry=_LANE_WORKER["entry"] if first else 0,
+        fresh=stream_base == 0 and warm_start == 0,
+        at_end=_LANE_WORKER["at_end"] and ci == _LANE_WORKER["chunk_count"] - 1,
+        base=stream_base + warm_start,
+        stats_from=start - warm_start,
+    )
 
 
 class FusedRun:

@@ -1,0 +1,17 @@
+"""Shared pytest configuration: reproducible hypothesis profiles.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci`` (plus a pinned
+``--hypothesis-seed``), so a property failure prints the
+``@reproduce_failure`` blob and replays identically on a developer
+machine — without the profile, shrunk counterexamples found under CI's
+random seed can be unreproducible locally.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", print_blob=True, derandomize=False)
+settings.register_profile("dev", settings.get_profile("default"))
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,209 @@
+"""SFA chunk-mapping algebra: composition laws against the real kernels.
+
+Every property here pins the contract input-parallel scanning rests on:
+a chunk's map applied to an entry state equals the authoritative
+mid-stream stepper (:func:`iter_states_from`), and splitting a chunk
+anywhere then composing the halves yields the same map as scanning it
+whole.  The programs come from the actual compilers (Shift-And lanes,
+Glushkov NFAs — including cyclic ones), not hand-built toys.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.glushkov import build_automaton
+from repro.automata.lnfa import LNFA
+from repro.automata.nfa import NFASimulator
+from repro.automata.shift_and import MultiShiftAnd, ShiftAnd
+from repro.core.sfa import (
+    FrontierMap,
+    frontier_identity,
+    gather_chunk_map,
+    shift_chunk_map,
+    shift_identity,
+)
+from repro.core.state import KernelState, iter_states_from
+from repro.regex.parser import parse
+from repro.regex.rewrite import linearize, unfold_all
+
+from tests.helpers import inputs
+
+
+def _lnfa(pattern: str) -> LNFA:
+    lin = linearize(parse(pattern), max_states=64)
+    assert lin is not None and len(lin.sequences) == 1
+    return LNFA(lin.sequences[0])
+
+
+def _shift_programs():
+    plain = ShiftAnd(_lnfa("ab[cd]a")).program()
+    anchored = ShiftAnd(_lnfa("abc")).program(
+        anchored_start=True, anchored_end=True
+    )
+    packed = MultiShiftAnd(
+        [_lnfa("abc"), _lnfa("b.d"), _lnfa("ca")],
+        anchors=[(False, False), (True, False), (False, True)],
+    ).program
+    return [plain, anchored, packed]
+
+
+def _gather_programs():
+    programs = []
+    for pattern, anchors in [
+        ("abca", (False, False)),
+        ("a(bc)*d", (False, False)),
+        ("(ab|cd)+a", (True, False)),
+        ("a[bc]*d", (False, True)),
+    ]:
+        automaton = build_automaton(unfold_all(parse(pattern)))
+        programs.append(
+            NFASimulator(automaton).program(
+                anchored_start=anchors[0], anchored_end=anchors[1]
+            )
+        )
+    return programs
+
+
+SHIFT_PROGRAMS = _shift_programs()
+GATHER_PROGRAMS = _gather_programs()
+
+
+def _stepped(program, data: bytes, entry: int) -> int:
+    """The authoritative mid-stream exit state for ``entry`` over ``data``."""
+    state = entry
+    for _, state in iter_states_from(
+        program, data, KernelState(offset=1, states=entry)
+    ):
+        pass
+    return state
+
+
+# -- SHIFT_LEFT -------------------------------------------------------------
+
+
+class TestShiftMap:
+    @settings(max_examples=60, deadline=None)
+    @given(data=inputs(), cut=st.integers(0, 64), entry=st.integers(0, 2**64))
+    def test_split_anywhere_composes_to_the_whole(self, data, cut, entry):
+        for program in SHIFT_PROGRAMS:
+            k = cut % (len(data) + 1)
+            whole = shift_chunk_map(program, data)
+            halves = shift_chunk_map(program, data[:k]).then(
+                shift_chunk_map(program, data[k:])
+            )
+            assert halves == whole
+            s = entry % (1 << program.width)
+            assert halves.apply(s) == whole.apply(s)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=inputs(), entry=st.integers(0, 2**64))
+    def test_apply_equals_kernel_stepping(self, data, entry):
+        for program in SHIFT_PROGRAMS:
+            s = entry % (1 << program.width)
+            assert shift_chunk_map(program, data).apply(s) == _stepped(
+                program, data, s
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=inputs())
+    def test_identity_laws(self, data):
+        for program in SHIFT_PROGRAMS:
+            m = shift_chunk_map(program, data)
+            assert shift_identity().then(m) == m
+            assert m.then(shift_identity()) == m
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=inputs(max_size=48),
+        cuts=st.tuples(st.integers(0, 64), st.integers(0, 64)),
+    )
+    def test_composition_is_associative(self, data, cuts):
+        program = SHIFT_PROGRAMS[2]
+        i, j = sorted(c % (len(data) + 1) for c in cuts)
+        f = shift_chunk_map(program, data[:i])
+        g = shift_chunk_map(program, data[i:j])
+        h = shift_chunk_map(program, data[j:])
+        assert f.then(g).then(h) == f.then(g.then(h))
+
+    def test_constant_collapse_within_machine_width(self):
+        # An entry bit must ride the shift chain, so any chunk at least
+        # `width` symbols long ignores its entry state entirely — the
+        # engine exploits this to evaluate long-chunk maps with a plain
+        # warm-up scan.
+        for program in SHIFT_PROGRAMS:
+            window = b"abcd" * program.width
+            m = shift_chunk_map(program, window[: program.width])
+            assert m.constant
+            assert m.apply(0) == m.apply((1 << program.width) - 1)
+
+    def test_rejects_gather_programs(self):
+        with pytest.raises(ValueError, match="SHIFT_LEFT"):
+            shift_chunk_map(GATHER_PROGRAMS[0], b"ab")
+
+
+# -- GATHER -----------------------------------------------------------------
+
+
+class TestFrontierMap:
+    @settings(max_examples=60, deadline=None)
+    @given(data=inputs(), cut=st.integers(0, 64), entry=st.integers(0, 2**64))
+    def test_split_anywhere_composes_to_the_whole(self, data, cut, entry):
+        for program in GATHER_PROGRAMS:
+            k = cut % (len(data) + 1)
+            whole = gather_chunk_map(program, data)
+            halves = gather_chunk_map(program, data[:k]).then(
+                gather_chunk_map(program, data[k:])
+            )
+            assert halves == whole
+            s = entry % (1 << program.width)
+            assert halves.apply(s) == whole.apply(s)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=inputs(), entry=st.integers(0, 2**64))
+    def test_apply_equals_kernel_stepping(self, data, entry):
+        for program in GATHER_PROGRAMS:
+            s = entry % (1 << program.width)
+            assert gather_chunk_map(program, data).apply(s) == _stepped(
+                program, data, s
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=inputs())
+    def test_identity_laws(self, data):
+        for program in GATHER_PROGRAMS:
+            m = gather_chunk_map(program, data)
+            ident = frontier_identity(program.width)
+            assert ident.then(m) == m
+            assert m.then(ident) == m
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=inputs(max_size=48),
+        cuts=st.tuples(st.integers(0, 64), st.integers(0, 64)),
+    )
+    def test_composition_is_associative(self, data, cuts):
+        # The cyclic program is the one with no warm-up window — the
+        # frontier table is the only sound mechanism for it.
+        program = GATHER_PROGRAMS[1]
+        i, j = sorted(c % (len(data) + 1) for c in cuts)
+        f = gather_chunk_map(program, data[:i])
+        g = gather_chunk_map(program, data[i:j])
+        h = gather_chunk_map(program, data[j:])
+        assert f.then(g).then(h) == f.then(g.then(h))
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="width"):
+            frontier_identity(3).then(frontier_identity(4))
+
+    def test_linearity_over_entry_union(self):
+        program = GATHER_PROGRAMS[1]
+        m = gather_chunk_map(program, b"abcbcd")
+        full = (1 << program.width) - 1
+        for a in range(min(16, full + 1)):
+            for b in range(min(16, full + 1)):
+                assert m.apply(a | b) == m.apply(a) | m.apply(b)
+
+    def test_rejects_shift_programs(self):
+        with pytest.raises(ValueError, match="GATHER"):
+            gather_chunk_map(SHIFT_PROGRAMS[0], b"ab")
