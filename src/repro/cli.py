@@ -20,6 +20,7 @@ import sys
 from pathlib import Path
 
 from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
+from repro.compiler.costmodel import MODE_CHOICES, mode_override
 from repro.core import backend_names
 from repro.errors import ON_ERROR_POLICIES, ReproError
 from repro.io.serialize import load_ruleset, save_ruleset
@@ -62,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[m.value for m in CompiledMode],
         default=None,
         help="compile every regex to one mode (experiment methodology)",
+    )
+    p_compile.add_argument(
+        "--mode",
+        choices=list(MODE_CHOICES),
+        default="auto",
+        help="soft execution-mode preference: eligible regexes take it, "
+        "the rest keep the cost model's choice (auto defers to RAP_MODE "
+        "and then the cost model; --force-mode stays the strict variant)",
     )
     p_compile.add_argument(
         "--hw",
@@ -121,6 +130,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(default) aborts with the structured error, skip drops them, "
         "quarantine drops them and reports each offender on stderr "
         "(exit code 4 marks the partial result)",
+    )
+    p_scan.add_argument(
+        "--mode",
+        choices=list(MODE_CHOICES),
+        default="auto",
+        help="soft execution-mode preference for compiled patterns: "
+        "eligible regexes take it, the rest keep the cost model's "
+        "choice; results are bit-identical across modes (default: "
+        "RAP_MODE or auto)",
+    )
+    p_scan.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-regex mode-decision table (features, "
+        "per-mode predicted byte costs, chosen mode) and exit without "
+        "scanning",
     )
     p_scan.add_argument(
         "--metrics", action="store_true", help="print hardware metrics"
@@ -284,12 +309,56 @@ def _load_hw(path):
         return HardwareConfig.from_json(json.load(f))
 
 
+def _print_explain(entries) -> None:
+    """Render ``BatchEngine.explain`` output as the ``--explain`` table."""
+
+    def cost(value: float) -> str:
+        return f"{value:.3f}" if value != float("inf") else "-"
+
+    header = (
+        "pattern", "mode", "src", "unf", "dfa", "act",
+        "c_nfa", "c_dfa", "c_nbva", "c_lnfa", "reason",
+    )
+    rows = [header]
+    for entry in entries:
+        if entry.trace is None:
+            rows.append(
+                (entry.pattern, "ERROR", "-", "-", "-", "-", "-", "-", "-",
+                 "-", entry.error or "")
+            )
+            continue
+        trace = entry.trace
+        f = trace.features
+        rows.append(
+            (
+                entry.pattern,
+                trace.mode.value.lower(),
+                str(f.source_states),
+                str(f.unfolded_states),
+                str(f.dfa_states) if f.dfa_states is not None else "-",
+                f"{f.predicted_activity:.4f}",
+                cost(trace.costs["nfa"]),
+                cost(trace.costs["dfa"]),
+                cost(trace.costs["nbva"]),
+                cost(trace.costs["lnfa"]),
+                trace.reason,
+            )
+        )
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(header) - 1)
+    ]
+    for row in rows:
+        cells = [cell.ljust(width) for cell, width in zip(row, widths)]
+        print("  ".join(cells + [row[-1]]).rstrip())
+
+
 def cmd_compile(args) -> int:
     """Handler for ``repro compile``."""
     config = CompilerConfig(
         unfold_threshold=args.unfold_threshold,
         bv_depth=args.bv_depth,
         forced_mode=CompiledMode(args.force_mode) if args.force_mode else None,
+        mode_override=mode_override(args.mode),
         hw=_load_hw(args.hw),
     )
     ruleset = compile_ruleset(_read_patterns(args.patterns), config)
@@ -297,7 +366,8 @@ def cmd_compile(args) -> int:
     counts = ruleset.mode_counts()
     print(
         f"compiled {len(ruleset)} regexes "
-        f"({counts[CompiledMode.NFA]} NFA, {counts[CompiledMode.NBVA]} NBVA, "
+        f"({counts[CompiledMode.NFA]} NFA, {counts[CompiledMode.DFA]} DFA, "
+        f"{counts[CompiledMode.NBVA]} NBVA, "
         f"{counts[CompiledMode.LNFA]} LNFA) -> {args.output}"
     )
     for pattern, reason in ruleset.rejected:
@@ -324,6 +394,7 @@ def cmd_scan(args) -> int:
             input_jobs=args.input_jobs,
             use_cache=args.cache,
             backend=args.backend,
+            mode=args.mode,
             timeout=args.timeout,
             retries=args.retries,
             on_error=args.on_error,
@@ -338,6 +409,15 @@ def cmd_scan(args) -> int:
             degrade=args.degrade,
         )
     )
+    if args.explain:
+        if args.patterns:
+            patterns = _read_patterns(args.patterns)
+        else:
+            patterns = [r.pattern for r in load_ruleset(args.ruleset)]
+        _print_explain(
+            engine.explain(patterns, CompilerConfig(bv_depth=args.bv_depth))
+        )
+        return 0
     quarantined = 0
     if args.ruleset:
         ruleset = load_ruleset(args.ruleset)

@@ -15,7 +15,13 @@ Compilation of one regex proceeds through the Fig. 9 decision graph
 and the simulators.
 """
 
-from repro.compiler.pipeline import CompilerConfig, compile_pattern, compile_ruleset
+from repro.compiler.pipeline import (
+    CompilerConfig,
+    ExplainEntry,
+    compile_pattern,
+    compile_ruleset,
+    explain_patterns,
+)
 from repro.compiler.program import (
     CapacityError,
     CompiledMode,
@@ -32,7 +38,9 @@ __all__ = [
     "CompiledRegex",
     "CompiledRuleset",
     "CompilerConfig",
+    "ExplainEntry",
     "TileRequest",
     "compile_pattern",
     "compile_ruleset",
+    "explain_patterns",
 ]

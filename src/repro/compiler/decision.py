@@ -1,7 +1,7 @@
-"""The Fig. 9 compilation decision graph.
+"""The compilation decision graph, driven by the cost model.
 
-For each regex the compiler picks the RAP mode that minimizes space and
-energy cost:
+For each regex the compiler picks the execution mode that minimizes
+space and energy cost:
 
 1. reject degenerate patterns (nullable: they match the empty string at
    every offset, which no pattern-matching deployment wants);
@@ -12,21 +12,29 @@ energy cost:
 3. otherwise, if linearization succeeds without growing the state count
    beyond the blowup allowance (2x by default, reflecting LNFA mode's
    smaller per-state footprint), choose **LNFA**;
-4. otherwise fall back to **NFA**.
+4. otherwise compare the calibrated per-byte costs of the **NFA** mask
+   stack against a subset-constructed **DFA** (state-budget-capped) and
+   take the cheaper one.
+
+The feature extraction, the per-mode cost formulas, and every threshold
+constant live in :mod:`repro.compiler.costmodel`; this module is the
+thin adapter the pipeline calls, returning a :class:`Decision` that now
+carries the structured :class:`~repro.compiler.costmodel.DecisionTrace`
+instead of ad-hoc strings.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compiler.program import CompiledMode, CompileError
-from repro.regex.ast import Regex, Repeat
-from repro.regex.rewrite import (
-    RewriteError,
-    linearize,
-    make_countable,
-    unfold,
+from repro.compiler.costmodel import (
+    DecisionTrace,
+    nbva_eligible,
+    plan_mode,
 )
+from repro.compiler.program import CompiledMode
+
+__all__ = ["Decision", "decide", "nbva_eligible"]
 
 
 @dataclass(frozen=True)
@@ -36,44 +44,41 @@ class Decision:
     mode: CompiledMode
     nbva_eligible: bool
     lnfa_eligible: bool
+    dfa_eligible: bool = False
+    trace: DecisionTrace | None = None
 
 
 def decide(
-    regex: Regex,
+    regex,
     *,
     unfold_threshold: int,
     lnfa_blowup: float = 2.0,
     max_lnfa_sequences: int = 4096,
+    dfa_state_budget: int | None = None,
+    mode_override: CompiledMode | None = None,
+    anchored_start: bool = False,
+    anchored_end: bool = False,
 ) -> Decision:
-    """Run the decision graph on one parsed regex."""
-    if regex.nullable():
-        raise CompileError(
-            "nullable regex matches the empty string everywhere; "
-            "not a meaningful hardware pattern"
-        )
-    nbva = nbva_eligible(regex, unfold_threshold=unfold_threshold)
-    base_states = max(regex.unfolded_size(), 1)
-    lnfa = (
-        linearize(
-            regex,
-            max_states=int(base_states * lnfa_blowup),
-            max_sequences=max_lnfa_sequences,
-        )
-        is not None
+    """Run the cost-model decision graph on one parsed regex."""
+    from repro.compiler.costmodel import DFA_STATE_BUDGET
+
+    plan = plan_mode(
+        regex,
+        unfold_threshold=unfold_threshold,
+        lnfa_blowup=lnfa_blowup,
+        max_lnfa_sequences=max_lnfa_sequences,
+        dfa_state_budget=(
+            DFA_STATE_BUDGET if dfa_state_budget is None else dfa_state_budget
+        ),
+        mode_override=mode_override,
+        anchored_start=anchored_start,
+        anchored_end=anchored_end,
     )
-    if nbva:
-        mode = CompiledMode.NBVA
-    elif lnfa:
-        mode = CompiledMode.LNFA
-    else:
-        mode = CompiledMode.NFA
-    return Decision(mode=mode, nbva_eligible=nbva, lnfa_eligible=lnfa)
-
-
-def nbva_eligible(regex: Regex, *, unfold_threshold: int) -> bool:
-    """Does at least one countable repetition survive the rewritings?"""
-    try:
-        prepared = make_countable(unfold(regex, unfold_threshold))
-    except RewriteError:
-        return False
-    return any(isinstance(node, Repeat) for node in prepared.walk())
+    features = plan.trace.features
+    return Decision(
+        mode=plan.mode,
+        nbva_eligible=features.nbva_eligible,
+        lnfa_eligible=features.lnfa_eligible,
+        dfa_eligible=features.dfa_eligible,
+        trace=plan.trace,
+    )

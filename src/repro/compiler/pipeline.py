@@ -10,9 +10,18 @@ matching how real rule-set deployments handle stragglers.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.compiler.costmodel import (
+    DEFAULT_BV_DEPTH,
+    DEFAULT_LNFA_BLOWUP,
+    DEFAULT_MAX_LNFA_SEQUENCES,
+    DEFAULT_UNFOLD_THRESHOLD,
+    DFA_STATE_BUDGET,
+    DecisionTrace,
+)
 from repro.compiler.decision import decide
 from repro.compiler.lnfa_compiler import compile_lnfa
 from repro.compiler.nbva_compiler import compile_nbva
@@ -36,40 +45,37 @@ class CompilerConfig:
     design-space exploration tunes per workload (Section 5.3);
     ``forced_mode`` lets experiments compile everything to one mode (the
     Table 2/3 methodology unfolds all regexes to basic NFAs for the NFA-
-    mode columns).
+    mode columns) and raises on ineligible regexes.  ``mode_override``
+    is the *soft* preference behind ``--mode`` / ``RAP_MODE``: the
+    requested mode wins when a regex is eligible for it and the normal
+    cost-model selection applies otherwise.  ``dfa_state_budget`` caps
+    subset construction for the DFA tier.  Defaults are re-homed in
+    :mod:`repro.compiler.costmodel`.
     """
 
-    unfold_threshold: int = 8
-    bv_depth: int = 16
-    lnfa_blowup: float = 2.0
+    unfold_threshold: int = DEFAULT_UNFOLD_THRESHOLD
+    bv_depth: int = DEFAULT_BV_DEPTH
+    lnfa_blowup: float = DEFAULT_LNFA_BLOWUP
     word_align_exact: bool = True
-    max_lnfa_sequences: int = 4096
+    max_lnfa_sequences: int = DEFAULT_MAX_LNFA_SEQUENCES
     forced_mode: CompiledMode | None = None
+    mode_override: CompiledMode | None = None
+    dfa_state_budget: int = DFA_STATE_BUDGET
     hw: HardwareConfig = field(default_factory=lambda: DEFAULT_CONFIG)
 
     def with_depth(self, depth: int) -> "CompilerConfig":
         """A copy of this config with another BV depth."""
-        return CompilerConfig(
-            unfold_threshold=self.unfold_threshold,
-            bv_depth=depth,
-            lnfa_blowup=self.lnfa_blowup,
-            word_align_exact=self.word_align_exact,
-            max_lnfa_sequences=self.max_lnfa_sequences,
-            forced_mode=self.forced_mode,
-            hw=self.hw,
-        )
+        return dataclasses.replace(self, bv_depth=depth)
 
     def with_forced_mode(self, mode: CompiledMode | None) -> "CompilerConfig":
         """A copy of this config forcing one mode."""
-        return CompilerConfig(
-            unfold_threshold=self.unfold_threshold,
-            bv_depth=self.bv_depth,
-            lnfa_blowup=self.lnfa_blowup,
-            word_align_exact=self.word_align_exact,
-            max_lnfa_sequences=self.max_lnfa_sequences,
-            forced_mode=mode,
-            hw=self.hw,
-        )
+        return dataclasses.replace(self, forced_mode=mode)
+
+    def with_mode_override(
+        self, mode: CompiledMode | None
+    ) -> "CompilerConfig":
+        """A copy of this config with a soft mode preference."""
+        return dataclasses.replace(self, mode_override=mode)
 
 
 def compile_pattern(
@@ -94,7 +100,13 @@ def compile_pattern(
         text = regex.to_pattern()
 
     if config.forced_mode is not None:
-        compiled = _compile_forced(regex_id, text, regex, config)
+        compiled = _compile_forced(
+            regex_id,
+            text,
+            regex,
+            config,
+            anchored=anchored_start or anchored_end,
+        )
         return _with_anchors(compiled, anchored_start, anchored_end)
 
     decision = decide(
@@ -102,8 +114,18 @@ def compile_pattern(
         unfold_threshold=config.unfold_threshold,
         lnfa_blowup=config.lnfa_blowup,
         max_lnfa_sequences=config.max_lnfa_sequences,
+        dfa_state_budget=config.dfa_state_budget,
+        mode_override=config.mode_override,
+        anchored_start=anchored_start,
+        anchored_end=anchored_end,
     )
     anchors = (anchored_start, anchored_end)
+    if decision.mode is CompiledMode.NFA:
+        return _with_anchors(
+            compile_nfa(regex_id, text, regex, config.hw), *anchors
+        )
+    if decision.mode is CompiledMode.DFA:
+        return _with_anchors(_compile_dfa(regex_id, text, regex, config), *anchors)
     if decision.mode is CompiledMode.NBVA:
         compiled = compile_nbva(
             regex_id,
@@ -146,19 +168,46 @@ def _with_anchors(
     )
 
 
-def _compile_forced(
+def _compile_dfa(
     regex_id: int, text: str, regex: Regex, config: CompilerConfig
+) -> CompiledRegex:
+    """DFA mode shares the NFA structural plan — same Glushkov automaton,
+    same tile requests (it occupies NFA-mode tiles) — and the mode tag
+    routes execution to the subset-constructed table."""
+    compiled = compile_nfa(regex_id, text, regex, config.hw)
+    return dataclasses.replace(compiled, mode=CompiledMode.DFA)
+
+
+def _compile_forced(
+    regex_id: int,
+    text: str,
+    regex: Regex,
+    config: CompilerConfig,
+    anchored: bool = False,
 ) -> CompiledRegex:
     """Compile to a specific mode (experiment methodology support).
 
-    NBVA/LNFA forcing raises if the regex is ineligible — the Table 2/3
-    experiments only include regexes the decision graph sent to that mode,
-    so ineligibility there is a bug, not a fallback case.
+    NBVA/LNFA/DFA forcing raises if the regex is ineligible — the
+    Table 2/3 experiments only include regexes the decision graph sent to
+    that mode, so ineligibility there is a bug, not a fallback case.
+    (The soft ``mode_override`` is the degrade-gracefully variant.)
     """
     if regex.nullable():
         raise CompileError("nullable regex")
     if config.forced_mode is CompiledMode.NFA:
         return compile_nfa(regex_id, text, regex, config.hw)
+    if config.forced_mode is CompiledMode.DFA:
+        from repro.compiler.costmodel import dfa_state_count
+
+        states = dfa_state_count(
+            regex, anchored=anchored, dfa_state_budget=config.dfa_state_budget
+        )
+        if states is None:
+            raise CompileError(
+                f"regex is not DFA-eligible (anchored or past the "
+                f"{config.dfa_state_budget}-state budget): {text!r}"
+            )
+        return _compile_dfa(regex_id, text, regex, config)
     if config.forced_mode is CompiledMode.NBVA:
         compiled = compile_nbva(
             regex_id,
@@ -184,6 +233,57 @@ def _compile_forced(
     if compiled is None:
         raise CompileError(f"regex is not linearizable within budget: {text!r}")
     return compiled
+
+
+@dataclass(frozen=True)
+class ExplainEntry:
+    """One pattern's mode decision as ``--explain`` reports it."""
+
+    pattern: str
+    trace: DecisionTrace | None
+    error: str | None = None
+
+
+def explain_patterns(
+    patterns: Iterable[str | Regex],
+    config: CompilerConfig | None = None,
+) -> list[ExplainEntry]:
+    """The cost-model decision trace of every pattern, without compiling.
+
+    Runs exactly the feature extraction and scoring ``compile_ruleset``
+    would (``forced_mode`` is shown as the soft preference it overrides
+    with), so the reported mode matches what a compile of the same
+    config chooses.  Unparseable or degenerate patterns come back as
+    entries with ``error`` set instead of aborting the report.
+    """
+    config = config or CompilerConfig()
+    entries: list[ExplainEntry] = []
+    for pattern in patterns:
+        text = pattern if isinstance(pattern, str) else pattern.to_pattern()
+        anchored_start = anchored_end = False
+        try:
+            if isinstance(pattern, str):
+                parsed = parse_anchored(pattern)
+                regex = parsed.regex
+                anchored_start = parsed.anchored_start
+                anchored_end = parsed.anchored_end
+            else:
+                regex = pattern
+            decision = decide(
+                regex,
+                unfold_threshold=config.unfold_threshold,
+                lnfa_blowup=config.lnfa_blowup,
+                max_lnfa_sequences=config.max_lnfa_sequences,
+                dfa_state_budget=config.dfa_state_budget,
+                mode_override=config.forced_mode or config.mode_override,
+                anchored_start=anchored_start,
+                anchored_end=anchored_end,
+            )
+        except (RegexSyntaxError, CompileError) as err:
+            entries.append(ExplainEntry(pattern=text, trace=None, error=str(err)))
+            continue
+        entries.append(ExplainEntry(pattern=text, trace=decision.trace))
+    return entries
 
 
 def compile_ruleset(

@@ -34,15 +34,21 @@ from repro.hardware.config import TileMode
 
 
 class CompiledMode(enum.Enum):
-    """Which RAP execution mode the decision graph chose for a regex."""
+    """Which RAP execution mode the cost-model pipeline chose for a regex."""
 
     NFA = "NFA"
     NBVA = "NBVA"
     LNFA = "LNFA"
+    # Subset-constructed DFA tier: executes as one table lookup per byte
+    # on the fused backend, but occupies NFA-mode tiles on the hardware
+    # (the DFA is a software execution strategy for the same automaton).
+    DFA = "DFA"
 
     @property
     def tile_mode(self) -> TileMode:
         """The TileMode this compiled mode configures."""
+        if self is CompiledMode.DFA:
+            return TileMode.NFA
         return TileMode(self.value.lower())
 
 

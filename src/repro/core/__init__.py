@@ -19,13 +19,16 @@ from repro.core.program import KernelProgram, ProgramKind
 from repro.core.sfa import (
     FrontierMap,
     ShiftMap,
+    StateMap,
     frontier_identity,
     gather_chunk_map,
     shift_chunk_map,
     shift_identity,
+    state_identity,
 )
 from repro.core.registry import (
     BACKEND_ENV,
+    DFA_FORMAT_VERSION,
     FUSED_FORMAT_VERSION,
     KERNEL_FORMAT_VERSION,
     available_backends,
@@ -43,6 +46,7 @@ from repro.core.state import (
 
 __all__ = [
     "BACKEND_ENV",
+    "DFA_FORMAT_VERSION",
     "FUSED_FORMAT_VERSION",
     "KERNEL_FORMAT_VERSION",
     "STATE_FORMAT_VERSION",
@@ -52,6 +56,7 @@ __all__ = [
     "MatchEvent",
     "ProgramKind",
     "ShiftMap",
+    "StateMap",
     "StepKernel",
     "StepStats",
     "frontier_identity",
@@ -59,6 +64,7 @@ __all__ = [
     "iter_states_from",
     "shift_chunk_map",
     "shift_identity",
+    "state_identity",
     "available_backends",
     "backend_names",
     "get_kernel",

@@ -50,11 +50,22 @@ from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
+# The DFA tier's subset construction lives with the automata oracles;
+# this module is a lazily-loaded backend leaf, so the upward import does
+# not create a cycle (repro.automata never imports repro.core.fused).
+from repro.automata.dfa import determinize_classes
 from repro.core.kernel import MatchEvent, StepStats
 from repro.core.npkernel import NumpyKernel
 from repro.core.program import KernelProgram, ProgramKind
-from repro.core.registry import FUSED_FORMAT_VERSION
-from repro.core.sfa import FrontierMap, ShiftMap, gather_map_over, shift_map_over
+from repro.core.registry import DFA_FORMAT_VERSION, FUSED_FORMAT_VERSION
+from repro.core.sfa import (
+    FrontierMap,
+    ShiftMap,
+    StateMap,
+    gather_map_over,
+    shift_map_over,
+    state_map_over,
+)
 
 # Use a `bytes.find` chain when at most this many distinct byte values
 # can revive the machine; beyond that one vectorized LUT pass wins.
@@ -205,6 +216,43 @@ class _GatherUnit:
         )
 
 
+class _DfaUnit:
+    """Subset-constructed class table for one DFA-tier unit.
+
+    Built from the same GATHER program an NFA scan of the regex would
+    execute — the determinization bakes the unanchored restart in, so
+    DFA state ``s`` stands for exactly the NFA active set
+    ``dfa.subsets[s]`` and every counter the sink prices is recovered
+    from that memory (:mod:`repro.automata.dfa`).
+    """
+
+    __slots__ = ("program", "labels", "dfa", "hot_cls", "label_pops")
+
+    def __init__(self, program: KernelProgram, classes: AlphabetClasses):
+        self.program = program
+        self.labels = classes.project(program.labels)
+        self.dfa = determinize_classes(
+            self.labels,
+            program.succ,
+            program.inject_always,
+            program.final,
+        )
+        # The revival classes are state 0's live transitions — the same
+        # ``inject_always & labels[c]`` masks the gather units index, so
+        # the shared union prefilter covers this unit too.
+        trans = self.dfa.transitions
+        self.hot_cls = np.fromiter(
+            (trans[c] != 0 for c in range(classes.k)),
+            dtype=bool,
+            count=classes.k,
+        )
+        self.label_pops = np.fromiter(
+            (m.bit_count() for m in self.labels),
+            dtype=np.int64,
+            count=classes.k,
+        )
+
+
 # A stats sink receives each flushed block of live cycles: the segment
 # positions (int64) and the matching state rows as a (len, lanes)
 # uint64 matrix.
@@ -217,7 +265,10 @@ class FusedRuleset:
     All SHIFT_LEFT programs (packed LNFA bins, standalone Shift-And
     units) are concatenated into a single wide machine word; GATHER
     programs keep their own state words but share the class-translated
-    input and prefilter.  The packed machine's per-unit projection
+    input and prefilter.  ``dfa_programs`` are GATHER programs executed
+    through the DFA tier instead: each is subset-constructed over the
+    shared classes into a dense table consuming one lookup per symbol
+    (:class:`_DfaUnit`), with the same translated input and prefilter.  The packed machine's per-unit projection
     ``(word >> base) & (2**width - 1)`` evolves bit-identically to a
     standalone scan of that unit: within a SHIFT_LEFT program the low
     bit is only ever set by injection, so a neighbour's top bit leaking
@@ -231,6 +282,7 @@ class FusedRuleset:
         self,
         shift_programs: Sequence[KernelProgram] = (),
         gather_programs: Sequence[KernelProgram] = (),
+        dfa_programs: Sequence[KernelProgram] = (),
     ):
         self._shift = tuple(shift_programs)
         for program in self._shift:
@@ -246,9 +298,31 @@ class FusedRuleset:
                     "fused mask stacks require GATHER programs, "
                     f"got {program.kind.value}"
                 )
+        dfas = tuple(dfa_programs)
+        for program in dfas:
+            # The DFA table bakes unanchored scanning in (every state
+            # re-includes the restart injection); anchored programs
+            # would need a different construction, and the compiler's
+            # eligibility gate never sends them here.
+            if program.kind is not ProgramKind.GATHER:
+                raise ValueError(
+                    "the DFA tier determinizes GATHER programs, "
+                    f"got {program.kind.value}"
+                )
+            if program.inject_first != program.inject_always:
+                raise ValueError(
+                    "the DFA tier requires unanchored programs "
+                    "(inject_first == inject_always)"
+                )
+            if program.end_anchored_finals:
+                raise ValueError(
+                    "the DFA tier cannot execute end-anchored finals"
+                )
 
         self.classes = AlphabetClasses(
-            [p.labels for p in self._shift] + [p.labels for p in gathers]
+            [p.labels for p in self._shift]
+            + [p.labels for p in gathers]
+            + [p.labels for p in dfas]
         )
         k = self.classes.k
 
@@ -313,9 +387,14 @@ class FusedRuleset:
         # -- class-indexed mask stacks for the gather programs ----------
         self._gather = tuple(_GatherUnit(p, self.classes) for p in gathers)
 
+        # -- subset-constructed tables for the DFA-tier programs --------
+        self._dfa = tuple(_DfaUnit(p, self.classes) for p in dfas)
+
         # -- the union prefilter ----------------------------------------
         union_hot = self.lane_hot_cls.copy()
         for unit in self._gather:
+            union_hot |= unit.hot_cls
+        for unit in self._dfa:
             union_hot |= unit.hot_cls
         self.union_hot_cls = union_hot
         self._hot_lut = union_hot[self.classes.np_map]  # per raw byte
@@ -338,6 +417,16 @@ class FusedRuleset:
             tuple(zip(self.bases, self.widths)),
             tuple(unit.program.width for unit in self._gather),
         )
+        if self._dfa:
+            # Appended only when DFA units exist so rulesets without the
+            # tier keep their pre-DFA signatures byte-for-byte.
+            doc = doc + (
+                DFA_FORMAT_VERSION,
+                tuple(
+                    (unit.program.width, unit.dfa.state_count)
+                    for unit in self._dfa
+                ),
+            )
         return hashlib.sha256(repr(doc).encode("ascii")).hexdigest()
 
     def extract(self, word: int, index: int) -> int:
@@ -570,6 +659,84 @@ class FusedRuleset:
         )
         return events, stats, states
 
+    # -- the DFA-tier tables --------------------------------------------
+
+    def scan_dfa_unit(
+        self, index: int, tin: TranslatedSegment
+    ) -> tuple[list[MatchEvent], StepStats]:
+        """Scan DFA unit ``index`` over the shared translated input."""
+        events, stats, _ = self.scan_dfa_unit_span(index, tin)
+        return events, stats
+
+    def scan_dfa_unit_span(
+        self,
+        index: int,
+        tin: TranslatedSegment,
+        *,
+        state: int = 0,
+        fresh: bool = True,
+        stats_from: int = 0,
+        at_end: bool = True,
+    ) -> tuple[list[MatchEvent], StepStats, int]:
+        """Scan DFA unit ``index`` over one span of a longer stream.
+
+        The deterministic mirror of :meth:`scan_unit_span`: one table
+        lookup per symbol replaces the per-state gather union, and the
+        subset each state remembers recovers the exact events and
+        counters the NFA scan reports.  ``state`` is the DFA state index
+        entering the span.  ``fresh`` and ``at_end`` are accepted for
+        API symmetry but irrelevant here: the constructor only admits
+        unanchored programs, whose first-byte and mid-stream step rules
+        coincide (state 0 *is* the fresh start) and which have no
+        end-anchored finals to mask.  Returns the events, the
+        owned-region counters, and the exit DFA state.
+        """
+        del fresh, at_end
+        unit = self._dfa[index]
+        dfa = unit.dfa
+        trans = dfa.transitions
+        pops = dfa.pops
+        final_hits = dfa.final_hits
+        kcls = dfa.k
+        n = len(tin.data)
+        if n == 0:
+            return [], StepStats(), state
+        cls = tin.cls_bytes
+        hot_idx = tin.hot_for(unit.hot_cls)
+        n_hot = len(hot_idx)
+        events: list[MatchEvent] = []
+        active = 0
+        s = state
+        i = 0
+        cursor = 0  # monotone cursor into hot_idx (indices only grow)
+        while i < n:
+            if not s:
+                while cursor < n_hot and hot_idx[cursor] < i:
+                    cursor += 1
+                if cursor == n_hot:
+                    break
+                i = hot_idx[cursor]
+                cursor += 1
+            s = trans[s * kcls + cls[i]]
+            if s and i >= stats_from:
+                active += pops[s]
+                hits = final_hits[s]
+                if hits:
+                    events.append((i, hits))
+            i += 1
+        matched = (
+            int(tin.counts_from(stats_from) @ unit.label_pops)
+            if unit.program.track_matched
+            else 0
+        )
+        stats = StepStats(
+            cycles=n - max(0, stats_from),
+            active_states=active,
+            matched_states=matched,
+            reports=len(events),
+        )
+        return events, stats, s
+
     # -- chunk mappings (SFA stitching) ---------------------------------
 
     def lane_chunk_map(
@@ -606,10 +773,37 @@ class FusedRuleset:
             width=unit.program.width,
         )
 
+    def dfa_unit_map(
+        self, index: int, tin: TranslatedSegment, *, start: int = 0
+    ) -> StateMap:
+        """DFA unit ``index``'s :class:`StateMap` over ``tin[start:]``.
+
+        Function composition over at most the DFA's state count — the
+        trivially composable form the input-parallel split engine folds
+        for cyclic DFA-tier units.
+        """
+        unit = self._dfa[index]
+        dfa = unit.dfa
+        return state_map_over(
+            tin.cls_bytes[start:] if start else tin.cls_bytes,
+            dfa.transitions,
+            dfa.k,
+            states=dfa.state_count,
+        )
+
     @property
     def gather_count(self) -> int:
         """Number of GATHER units in the fused compilation."""
         return len(self._gather)
+
+    @property
+    def dfa_count(self) -> int:
+        """Number of DFA-tier units in the fused compilation."""
+        return len(self._dfa)
+
+    def dfa_state_count(self, index: int) -> int:
+        """Reachable subset count of DFA unit ``index``."""
+        return self._dfa[index].dfa.state_count
 
 
 class FusedKernel(NumpyKernel):

@@ -42,6 +42,13 @@ KERNEL_FORMAT_VERSION = 1
 # can embed it in keys.
 FUSED_FORMAT_VERSION = 1
 
+# Version of the DFA execution tier (subset construction over alphabet
+# classes, transition-table layout, scanner snapshot encoding).  Bump on
+# any change to repro.automata.dfa's table semantics; lives here rather
+# than beside the DFA code so NumPy-free importers (the compile cache,
+# scan fingerprints) can embed it in keys.
+DFA_FORMAT_VERSION = 1
+
 
 def _numpy_available() -> bool:
     try:

@@ -31,6 +31,14 @@ composes in O(width) instead of O(2^width):
   table; it stays sound for *cyclic* automata, where no warm-up window
   exists, at a build cost of one frontier per state bit.
 
+* **DFA tables** (the subset-constructed execution tier).  A DFA state
+  is a single small integer, so a chunk's mapping is just a function
+  over ≤ ``dfa_state_budget`` states: :class:`StateMap` carries the
+  table and composes by plain indexing.  Because composition can only
+  merge states, the builder tracks the shrinking set of *distinct*
+  images and pays the full table width only when a merge happens —
+  after the warm region most chunks collapse to a constant map.
+
 Everything here is pure ``int`` bitset algebra — no NumPy — so the
 same maps drive both the raw per-program kernels and the fused
 class-translated machine (which passes its class-projected tables to
@@ -47,12 +55,15 @@ from repro.core.program import KernelProgram, ProgramKind
 __all__ = [
     "FrontierMap",
     "ShiftMap",
+    "StateMap",
     "frontier_identity",
     "gather_chunk_map",
     "gather_map_over",
     "shift_chunk_map",
     "shift_identity",
     "shift_map_over",
+    "state_identity",
+    "state_map_over",
 ]
 
 
@@ -226,6 +237,90 @@ def gather_map_over(
         cold = gathered & label
         length += 1
     return FrontierMap(length=length, images=tuple(images), cold=cold)
+
+
+@dataclass(frozen=True)
+class StateMap:
+    """The state mapping of one chunk under a deterministic table.
+
+    ``table[s]`` is the exit state for entry state ``s`` — the trivially
+    composable form every DFA-tier unit enjoys: ``then`` is one indexed
+    gather over at most the DFA's state count, with no bitset algebra at
+    all.
+    """
+
+    length: int
+    table: tuple[int, ...]
+
+    @property
+    def width(self) -> int:
+        """Number of DFA states the mapping is defined over."""
+        return len(self.table)
+
+    def apply(self, state: int) -> int:
+        """The exit state for entry state ``state``."""
+        return self.table[state]
+
+    def then(self, later: "StateMap") -> "StateMap":
+        """The mapping of this chunk followed by ``later`` (associative)."""
+        if len(self.table) != len(later.table):
+            raise ValueError("cannot compose state maps of different widths")
+        return StateMap(
+            length=self.length + later.length,
+            table=tuple(later.table[t] for t in self.table),
+        )
+
+    @property
+    def constant(self) -> bool:
+        """Whether the mapping ignores its entry state entirely."""
+        return len(set(self.table)) <= 1
+
+
+def state_identity(states: int) -> StateMap:
+    """The mapping of the empty chunk over ``states`` DFA states."""
+    return StateMap(length=0, table=tuple(range(states)))
+
+
+def state_map_over(
+    symbols: Iterable[int],
+    transitions: Sequence[int],
+    k: int,
+    *,
+    states: int,
+) -> StateMap:
+    """The :class:`StateMap` of one symbol sequence over a dense table.
+
+    ``transitions[s * k + c]`` is the DFA step (``symbols`` are raw
+    bytes or fused class indices).  Deterministic composition can only
+    merge entry states, so the distinct-image set shrinks monotonically:
+    each symbol steps only the surviving distinct values, and the full
+    ``states``-wide slot table is rewritten just when a merge happens
+    (at most ``states - 1`` times over any sequence).
+    """
+    # entry s currently maps to values[slot[s]]
+    slot = list(range(states))
+    values = list(range(states))
+    length = 0
+    for symbol in symbols:
+        base = symbol
+        new_values = [transitions[v * k + base] for v in values]
+        seen: dict[int, int] = {}
+        remap: list[int] = []
+        merged: list[int] = []
+        for value in new_values:
+            j = seen.get(value)
+            if j is None:
+                j = len(merged)
+                seen[value] = j
+                merged.append(value)
+            remap.append(j)
+        if len(merged) != len(values):
+            slot = [remap[j] for j in slot]
+            values = merged
+        else:
+            values = new_values
+        length += 1
+    return StateMap(length=length, table=tuple(values[j] for j in slot))
 
 
 def gather_chunk_map(program: KernelProgram, data: bytes) -> FrontierMap:

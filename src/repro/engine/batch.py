@@ -27,7 +27,8 @@ import pickle
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
-from repro.compiler import CompilerConfig
+from repro.compiler import CompilerConfig, explain_patterns
+from repro.compiler.costmodel import MODE_CHOICES, mode_override, resolve_mode
 from repro.compiler.program import CompiledMode, CompiledRuleset
 from repro.core import resolve_backend, set_default_backend, use_backend
 from repro.engine import faults
@@ -70,6 +71,12 @@ class EngineConfig:
     # inherit the parent's resolved choice, and the compile-cache key
     # embeds it, so the backend never changes results — only speed.
     backend: str | None = None
+    # Execution-mode policy for compiles routed through this engine (the
+    # CLI's --mode): "auto" defers to RAP_MODE and then the cost model;
+    # any other name is a *soft* preference — eligible regexes take it,
+    # the rest keep their cost-model choice.  A CompilerConfig that
+    # already carries forced_mode/mode_override wins over this knob.
+    mode: str = "auto"
     # Smallest owned-bytes-per-chunk worth forking for; streams shorter
     # than two chunks run unchunked.
     min_chunk_bytes: int = 4096
@@ -119,6 +126,10 @@ class EngineConfig:
     def __post_init__(self) -> None:
         validate_on_error(self.on_error)
         validate_degrade(self.degrade)
+        if self.mode not in MODE_CHOICES:
+            raise ValueError(
+                f"unknown mode {self.mode!r}; choose from {MODE_CHOICES}"
+            )
         if self.checkpoint_every_bytes <= 0:
             raise ValueError("checkpoint_every_bytes must be positive")
 
@@ -218,6 +229,39 @@ class BatchEngine:
 
     # -- compilation -------------------------------------------------------
 
+    def _effective_compiler(
+        self, compiler: CompilerConfig | None
+    ) -> CompilerConfig:
+        """The compiler config with the engine's mode policy applied.
+
+        ``EngineConfig.mode`` (then ``RAP_MODE``) becomes the config's
+        soft ``mode_override`` unless the caller already pinned a mode
+        explicitly; the injected override flows into the compile-cache
+        key via ``dataclasses.asdict``, so forcing a mode can never be
+        served a cached auto-selection (or vice versa).
+        """
+        compiler = compiler or CompilerConfig()
+        if compiler.forced_mode is not None or compiler.mode_override is not None:
+            return compiler
+        preferred = mode_override(resolve_mode(self.config.mode))
+        if preferred is None:
+            return compiler
+        return compiler.with_mode_override(preferred)
+
+    def explain(
+        self,
+        patterns,
+        compiler: CompilerConfig | None = None,
+    ):
+        """Per-pattern decision traces under this engine's mode policy.
+
+        Returns the :class:`~repro.compiler.pipeline.ExplainEntry` list
+        behind ``rap scan --explain``: extracted features, per-mode
+        predicted byte costs, the chosen mode, and the reason — or the
+        compile error for patterns the compiler would reject.
+        """
+        return explain_patterns(list(patterns), self._effective_compiler(compiler))
+
     def compile(
         self,
         patterns,
@@ -237,6 +281,7 @@ class BatchEngine:
             on_error if on_error is not None else self.config.on_error
         )
         patterns = list(patterns)
+        compiler = self._effective_compiler(compiler)
         with self._backend_scope():
             if self.cache is not None:
                 ruleset = cached_compile_ruleset(patterns, compiler, self.cache)

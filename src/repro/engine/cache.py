@@ -43,6 +43,7 @@ from pathlib import Path
 from repro.compiler import CompilerConfig, compile_ruleset
 from repro.compiler.program import CompiledRuleset
 from repro.core import (
+    DFA_FORMAT_VERSION,
     FUSED_FORMAT_VERSION,
     KERNEL_FORMAT_VERSION,
     resolve_backend,
@@ -99,6 +100,10 @@ def ruleset_cache_key(
         "backend": resolve_backend(),
         "kernel_format": KERNEL_FORMAT_VERSION,
         "fused_format": FUSED_FORMAT_VERSION,
+        # Mode selection probes subset construction (the dfa_states
+        # feature), so a DFA-encoding bump can change compiler output
+        # even for rulesets that end up without a DFA regex.
+        "dfa_format": DFA_FORMAT_VERSION,
         "patterns": list(patterns),
         "config": dataclasses.asdict(config),
     }

@@ -26,6 +26,11 @@ Each compiled unit rides the cheapest sound mechanism:
   frontier per state bit, so units wider than
   :data:`MAX_FRONTIER_STATES` fall back to one serial whole-stream
   task.
+* **DFA-tier tables** — acyclic automata ride the bounded warm-up
+  window exactly like NFA mask stacks; cyclic ones use the same
+  two-round scheme with a :class:`~repro.core.sfa.StateMap` instead of
+  a frontier table.  A DFA chunk mapping is plain function composition
+  over at most the state budget, so no serial fallback is ever needed.
 * **NBVA counter units** — counter vectors carry unbounded history;
   they always run as serial whole-stream tasks (in parallel with the
   chunk tasks, deduped by functional fingerprint).
@@ -66,6 +71,7 @@ MAX_FRONTIER_STATES = 64
 # Unit mechanisms (see module docstring).
 BOUNDED = "bounded"
 FRONTIER = "frontier"
+STATEMAP = "statemap"
 SERIAL = "serial"
 
 
@@ -120,20 +126,36 @@ class SplitCompilation:
         self.nfa_unit_of: dict[object, int] = {}
         nfa_programs = []
         self.unit_kind: list[str] = []
+        self.dfa_unit_of: dict[object, int] = {}
+        dfa_programs = []
+        self.dfa_kind: list[str] = []
         warm = 1
         for compiled in ruleset:
-            if compiled.mode is not CompiledMode.NFA:
+            if compiled.mode not in (CompiledMode.NFA, CompiledMode.DFA):
                 continue
+            is_dfa = compiled.mode is CompiledMode.DFA
+            unit_of = self.dfa_unit_of if is_dfa else self.nfa_unit_of
             key = regex_fingerprint(compiled)
-            if key in self.nfa_unit_of:
+            if key in unit_of:
                 continue
-            self.nfa_unit_of[key] = len(nfa_programs)
             program = NFASimulator(compiled.automaton).program(
                 anchored_start=compiled.anchored_start,
                 anchored_end=compiled.anchored_end,
             )
-            nfa_programs.append(program)
             bound = longest_activation_path(compiled.automaton)
+            if is_dfa:
+                unit_of[key] = len(dfa_programs)
+                dfa_programs.append(program)
+                # Cyclic DFA units never need a serial fallback: their
+                # chunk mapping is a StateMap over ≤ budget states.
+                if bound is not None:
+                    self.dfa_kind.append(BOUNDED)
+                    warm = max(warm, bound + 1)
+                else:
+                    self.dfa_kind.append(STATEMAP)
+                continue
+            unit_of[key] = len(nfa_programs)
+            nfa_programs.append(program)
             if bound is not None:
                 self.unit_kind.append(BOUNDED)
                 warm = max(warm, bound + 1)
@@ -142,19 +164,26 @@ class SplitCompilation:
             else:
                 self.unit_kind.append(SERIAL)
         self.nfa_programs = nfa_programs
+        self.dfa_programs = dfa_programs
 
         # One NBVA scan per distinct functional fingerprint, replicated
         # to every sharing regex at assembly time (exactly FusedRun).
         self.nbva_rep: dict[object, int] = {}
         for compiled in ruleset:
-            if compiled.mode in (CompiledMode.LNFA, CompiledMode.NFA):
+            if compiled.mode in (
+                CompiledMode.LNFA,
+                CompiledMode.NFA,
+                CompiledMode.DFA,
+            ):
                 continue
             key = regex_fingerprint(compiled)
             if key not in self.nbva_rep:
                 self.nbva_rep[key] = compiled.regex_id
 
         self.fused = FusedRuleset(
-            [layout.packed.program for layout in layouts], nfa_programs
+            [layout.packed.program for layout in layouts],
+            nfa_programs,
+            dfa_programs,
         )
         self.scanner = (
             FusedLaneScanner(layouts, self.fused) if layouts else None
@@ -167,6 +196,8 @@ class SplitCompilation:
     def splittable(self) -> bool:
         """Whether any unit benefits from input chunking at all."""
         if self.scanner is not None:
+            return True
+        if self.dfa_kind:
             return True
         return any(kind is not SERIAL for kind in self.unit_kind)
 
@@ -252,42 +283,69 @@ def split_collect(
         else:
             nbva_out[task[1]] = outcome
 
-    # Frontier composition: chunk 0 scanned fresh and reported its exit
-    # state; later chunks reported their FrontierMap, through which the
-    # exact entry state of every chunk is composed — then round two
+    # Two-round composition: chunk 0 scanned fresh and reported its exit
+    # state; later chunks reported their chunk mapping (FrontierMap for
+    # cyclic NFA units, StateMap for cyclic DFA units), through which
+    # the exact entry state of every chunk is composed — then round two
     # rescans those chunks from their true entries, fully in parallel.
     frontier_units = [
         unit for unit, kind in enumerate(comp.unit_kind) if kind is FRONTIER
     ]
+    statemap_units = [
+        unit for unit, kind in enumerate(comp.dfa_kind) if kind is STATEMAP
+    ]
     frontier_parts: dict[tuple[int, int], tuple] = {}
-    if frontier_units and len(chunks) > 1:
-        entries: dict[int, dict[int, int]] = {}
+    dfa_parts: dict[tuple[int, int], tuple] = {}
+    if (frontier_units or statemap_units) and len(chunks) > 1:
+        entries: dict[int, dict[int, int]] = {ci: {} for ci in range(1, len(chunks))}
         for unit in frontier_units:
             _, _, _, exit_state = chunk_out[0][1][unit]
             state = exit_state
             for ci in range(1, len(chunks)):
-                entries.setdefault(ci, {})[unit] = state
+                entries[ci][unit] = state
                 if ci < last:
                     state = chunk_out[ci][2][unit].apply(state)
+        dfa_entries: dict[int, dict[int, int]] = {
+            ci: {} for ci in range(1, len(chunks))
+        }
+        for unit in statemap_units:
+            _, _, _, exit_state = chunk_out[0][3][unit]
+            state = exit_state
+            for ci in range(1, len(chunks)):
+                dfa_entries[ci][unit] = state
+                if ci < last:
+                    state = chunk_out[ci][4][unit].apply(state)
         round_two = [
             (
-                "frontier",
+                "round2",
                 ci,
                 chunks[ci].start,
                 chunks[ci].end,
                 ci == last,
                 entries[ci],
+                dfa_entries[ci],
             )
             for ci in range(1, len(chunks))
         ]
         for (_, ci, *_), result in zip(
             round_two, parallel_map(_split_task, round_two, **pool)
         ):
-            for unit, part in result.items():
+            nfa_result, dfa_result = result
+            for unit, part in nfa_result.items():
                 frontier_parts[(unit, ci)] = part
+            for unit, part in dfa_result.items():
+                dfa_parts[(unit, ci)] = part
 
     return _assemble(
-        comp, ruleset, chunks, chunk_out, serial_nfa, nbva_out, frontier_parts, n
+        comp,
+        ruleset,
+        chunks,
+        chunk_out,
+        serial_nfa,
+        nbva_out,
+        frontier_parts,
+        dfa_parts,
+        n,
     )
 
 
@@ -299,6 +357,7 @@ def _assemble(
     serial_nfa,
     nbva_out,
     frontier_parts,
+    dfa_parts,
     n: int,
 ) -> RunActivity:
     """Fold per-chunk results, in chunk order, into the sequential run's
@@ -325,6 +384,22 @@ def _assemble(
             cycles += part[2]
         unit_activity.append((positions, active, cycles))
 
+    # -- DFA units: the same fold over table-executed chunks ------------
+    dfa_activity: list[tuple[list[int], int, int]] = []
+    for unit, kind in enumerate(comp.dfa_kind):
+        positions: list[int] = []
+        active = 0
+        cycles = 0
+        for ci in order:
+            if kind is STATEMAP and ci > 0:
+                part = dfa_parts[(unit, ci)]
+            else:
+                part = chunk_out[ci][3][unit]
+            positions.extend(part[0])
+            active += part[1]
+            cycles += part[2]
+        dfa_activity.append((positions, active, cycles))
+
     regex: dict[int, RegexActivity] = {}
     from dataclasses import replace
 
@@ -332,8 +407,12 @@ def _assemble(
         if compiled.mode is CompiledMode.LNFA:
             continue
         key = regex_fingerprint(compiled)
-        if compiled.mode is CompiledMode.NFA:
-            positions, active, cycles = unit_activity[comp.nfa_unit_of[key]]
+        if compiled.mode in (CompiledMode.NFA, CompiledMode.DFA):
+            positions, active, cycles = (
+                unit_activity[comp.nfa_unit_of[key]]
+                if compiled.mode is CompiledMode.NFA
+                else dfa_activity[comp.dfa_unit_of[key]]
+            )
             regex[compiled.regex_id] = RegexActivity(
                 regex_id=compiled.regex_id,
                 mode=compiled.mode,
@@ -405,8 +484,8 @@ def _split_task(task: tuple):
     if kind == "chunk":
         _, ci, start, end, warm_start, at_end = task
         return _run_chunk(comp, data, ci, start, end, warm_start, at_end)
-    if kind == "frontier":
-        _, ci, start, end, at_end, entries = task
+    if kind == "round2":
+        _, ci, start, end, at_end, entries, dfa_entries = task
         tin = comp.fused.translate(data[start:end])
         out = {}
         for unit, entry in entries.items():
@@ -419,7 +498,18 @@ def _split_task(task: tuple):
                 stats.cycles,
                 exit_state,
             )
-        return out
+        dfa_out = {}
+        for unit, entry in dfa_entries.items():
+            events, stats, exit_state = comp.fused.scan_dfa_unit_span(
+                unit, tin, state=entry, fresh=False, at_end=at_end
+            )
+            dfa_out[unit] = (
+                [start + i for i, _ in events],
+                stats.active_states,
+                stats.cycles,
+                exit_state,
+            )
+        return (out, dfa_out)
     if kind == "serial_nfa":
         _, unit = task
         tin = comp.fused.translate(data)
@@ -448,8 +538,9 @@ def _run_chunk(
     ``warm_start == 0`` replays from the true stream start (``fresh``),
     which keeps short-chunk plans exact; otherwise the warm-up window
     guarantees the zero-entry scan equals the sequential state by
-    ``start``.  Frontier units are scanned directly only on chunk 0;
-    later chunks return their owned-span FrontierMap for round two.
+    ``start``.  Frontier and statemap units are scanned directly only
+    on chunk 0; later chunks return their owned-span chunk mapping
+    (FrontierMap / StateMap) for round two.
     """
     tin = comp.fused.translate(data[warm_start:end])
     stats_from = start - warm_start
@@ -484,4 +575,21 @@ def _run_chunk(
             stats.cycles,
             exit_state,
         )
-    return (lane, nfa_out, maps_out)
+    dfa_out: dict[int, tuple] = {}
+    dfa_maps_out: dict[int, object] = {}
+    for unit, kind in enumerate(comp.dfa_kind):
+        if kind is STATEMAP and ci > 0:
+            dfa_maps_out[unit] = comp.fused.dfa_unit_map(
+                unit, tin, start=stats_from
+            )
+            continue
+        events, stats, exit_state = comp.fused.scan_dfa_unit_span(
+            unit, tin, fresh=fresh, stats_from=stats_from, at_end=at_end
+        )
+        dfa_out[unit] = (
+            [warm_start + i for i, _ in events],
+            stats.active_states,
+            stats.cycles,
+            exit_state,
+        )
+    return (lane, nfa_out, maps_out, dfa_out, dfa_maps_out)

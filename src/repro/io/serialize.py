@@ -277,6 +277,13 @@ def scan_fingerprint(
     idea as the compile-cache key, applied to mid-stream state instead
     of compiler output.  ``split_layout=None`` keeps pre-split
     fingerprints byte-stable.
+
+    When the ruleset contains a DFA-mode regex the fingerprint also
+    covers :data:`~repro.core.registry.DFA_FORMAT_VERSION` — a
+    checkpoint carrying DFA scanner state must not be restored under a
+    different subset-construction/table encoding.  Rulesets without a
+    DFA regex keep their pre-DFA fingerprints byte-stable (same
+    conditional-key pattern as ``split_layout``).
     """
     doc = {
         "format": FORMAT_NAME,
@@ -288,6 +295,10 @@ def scan_fingerprint(
     }
     if split_layout is not None:
         doc["split_layout"] = split_layout
+    if any(r.mode is CompiledMode.DFA for r in ruleset.regexes):
+        from repro.core.registry import DFA_FORMAT_VERSION
+
+        doc["dfa_format"] = DFA_FORMAT_VERSION
     canonical = json.dumps(
         doc,
         sort_keys=True,

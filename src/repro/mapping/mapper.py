@@ -130,9 +130,12 @@ def map_ruleset(
         [r for r in ruleset if r.mode is CompiledMode.NBVA],
         TileMode.NBVA,
     )
+    # The mode plan's tile_mode folds the DFA software tier onto NFA
+    # hardware tiles: a DFA-mode regex carries the same automaton and
+    # tile requests as its NFA compilation.
     _place_tiled(
         mapping,
-        [r for r in ruleset if r.mode is CompiledMode.NFA],
+        [r for r in ruleset if r.mode.tile_mode is TileMode.NFA],
         TileMode.NFA,
     )
     _place_lnfa(

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
+from repro.automata.dfa import DFAScanner
 from repro.automata.nbva import NBVASimulator, NBVAStats
 from repro.automata.nfa import NFASimulator, StepStats
 from repro.automata.shift_and import MultiShiftAnd
@@ -138,6 +139,20 @@ def collect_regex_activity(
         stats = StepStats()
         matches = NFASimulator(compiled.automaton).find_matches(
             data, stats, stats_from=stats_from, **anchors
+        )
+        return RegexActivity(
+            regex_id=compiled.regex_id,
+            mode=compiled.mode,
+            cycles=stats.cycles,
+            matches=[base + m for m in matches] if base else matches,
+            active_state_cycles=stats.active_states,
+        )
+    if compiled.mode is CompiledMode.DFA:
+        if compiled.anchored_start or compiled.anchored_end:
+            raise ValueError("DFA-mode regexes are unanchored by eligibility")
+        stats = StepStats()
+        matches = DFAScanner(compiled.automaton).find_matches(
+            data, stats, stats_from=stats_from
         )
         return RegexActivity(
             regex_id=compiled.regex_id,
@@ -309,6 +324,17 @@ class RegexActivityCollector:
         if self._nbva:
             self._scanner = NBVASimulator(compiled.automaton).scanner(**anchors)
             self._stats = NBVAStats(bv_cycle_indices=[])
+        elif compiled.mode is CompiledMode.DFA:
+            if compiled.anchored_start or compiled.anchored_end:
+                raise ValueError(
+                    "DFA-mode regexes are unanchored by eligibility"
+                )
+            # Same feed/snapshot/restore surface and bit-identical
+            # counters as the NFA scanner — including the serialized
+            # KernelState documents, so checkpoints stay byte-identical
+            # across the two modes.
+            self._scanner = DFAScanner(compiled.automaton)
+            self._stats = StepStats()
         else:
             self._scanner = NFASimulator(compiled.automaton).scanner(**anchors)
             self._stats = StepStats()

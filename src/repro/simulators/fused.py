@@ -508,17 +508,25 @@ class FusedRun:
 
         # One scan per distinct functional fingerprint, exactly like
         # ActivityTrace: NFA regexes become GATHER units of the fused
-        # compilation, NBVA regexes keep the exact pure-Python scan.
+        # compilation, DFA-mode regexes become subset-constructed table
+        # units sharing the same class map and prefilter, and NBVA
+        # regexes keep the exact pure-Python scan.
         nfa_unit_of: dict[object, int] = {}
         nfa_programs = []
+        dfa_unit_of: dict[object, int] = {}
+        dfa_programs = []
         for compiled in ruleset:
-            if compiled.mode is not CompiledMode.NFA:
+            if compiled.mode is CompiledMode.NFA:
+                unit_of, programs = nfa_unit_of, nfa_programs
+            elif compiled.mode is CompiledMode.DFA:
+                unit_of, programs = dfa_unit_of, dfa_programs
+            else:
                 continue
             key = regex_fingerprint(compiled)
-            if key in nfa_unit_of:
+            if key in unit_of:
                 continue
-            nfa_unit_of[key] = len(nfa_programs)
-            nfa_programs.append(
+            unit_of[key] = len(programs)
+            programs.append(
                 NFASimulator(compiled.automaton).program(
                     anchored_start=compiled.anchored_start,
                     anchored_end=compiled.anchored_end,
@@ -526,7 +534,9 @@ class FusedRun:
             )
 
         fused = FusedRuleset(
-            [c.layout.packed.program for c in collectors], nfa_programs
+            [c.layout.packed.program for c in collectors],
+            nfa_programs,
+            dfa_programs,
         )
         tin = fused.translate(data)
 
@@ -534,14 +544,22 @@ class FusedRun:
             key: fused.scan_unit(index, tin)
             for key, index in nfa_unit_of.items()
         }
+        dfa_results = {
+            key: fused.scan_dfa_unit(index, tin)
+            for key, index in dfa_unit_of.items()
+        }
         nbva_results: dict[object, RegexActivity] = {}
         regex: dict[int, RegexActivity] = {}
         for compiled in ruleset:
             if compiled.mode is CompiledMode.LNFA:
                 continue
             key = regex_fingerprint(compiled)
-            if compiled.mode is CompiledMode.NFA:
-                events, stats = nfa_results[key]
+            if compiled.mode in (CompiledMode.NFA, CompiledMode.DFA):
+                events, stats = (
+                    nfa_results[key]
+                    if compiled.mode is CompiledMode.NFA
+                    else dfa_results[key]
+                )
                 regex[compiled.regex_id] = RegexActivity(
                     regex_id=compiled.regex_id,
                     mode=compiled.mode,

@@ -1,0 +1,152 @@
+"""Unit tests for the cost-model feature extraction and scoring."""
+
+import math
+
+import pytest
+
+from repro.compiler.costmodel import (
+    DFA_MAX_SOURCE_STATES,
+    DFA_STATE_BUDGET,
+    MODE_CHOICES,
+    MODE_ENV,
+    ModeFeatures,
+    dfa_state_count,
+    extract_features,
+    mode_costs,
+    mode_override,
+    plan_mode,
+    resolve_mode,
+)
+from repro.compiler.program import CompiledMode, CompileError
+from repro.regex.parser import parse
+
+
+class TestFeatures:
+    def test_star_pattern_features(self):
+        f = extract_features(parse("ab*c"))
+        assert f.source_states == 3
+        assert f.unfolded_states == 3
+        assert f.dfa_eligible
+        assert f.dfa_states is not None and f.dfa_states <= 5
+        assert 0.0 < f.predicted_activity < 0.05  # three single-char labels
+        assert f.class_fanout == 3
+        assert not f.anchored
+
+    def test_activity_tracks_label_density(self):
+        sparse = extract_features(parse("abc"))
+        dense = extract_features(parse("a.c"))
+        assert sparse.predicted_activity < dense.predicted_activity
+        assert dense.predicted_activity > 0.3  # `.` is a full-density label
+
+    def test_blowup_family_is_dfa_ineligible(self):
+        # a.{n}b determinizes to ~2^n states; past the budget the regex
+        # must stay off the DFA tier.
+        f = extract_features(parse("a.{12}b"))
+        assert f.dfa_states is None
+        assert not f.dfa_eligible
+
+    def test_anchored_is_dfa_ineligible(self):
+        assert dfa_state_count(parse("abc"), anchored=True) is None
+        assert dfa_state_count(parse("abc"), anchored=False) is not None
+
+    def test_oversized_source_is_not_determinized(self):
+        # The source-size guard rejects without attempting construction.
+        pattern = "a" * (DFA_MAX_SOURCE_STATES + 1)
+        assert dfa_state_count(parse(pattern), anchored=False) is None
+
+
+class TestCosts:
+    def test_ineligible_modes_cost_infinity(self):
+        f = extract_features(parse("ab*c"))  # no counter, no linearization
+        costs = mode_costs(f)
+        assert costs["nbva"] == math.inf
+        assert costs["lnfa"] == math.inf
+        assert costs["nfa"] < math.inf
+        assert costs["dfa"] < math.inf
+
+    def test_low_activity_prefers_dfa(self):
+        costs = mode_costs(extract_features(parse("ab*c")))
+        assert costs["dfa"] < costs["nfa"]
+
+    def test_dense_pattern_prefers_nfa(self):
+        costs = mode_costs(extract_features(parse("a(?:b.*|c)d")))
+        assert costs["nfa"] < costs["dfa"]
+
+    def test_density_term_scales_with_subset_size(self):
+        small = ModeFeatures(
+            source_states=3, unfolded_states=3, predicted_activity=0.1,
+            class_fanout=2, dfa_states=4, nbva_eligible=False,
+            lnfa_eligible=False, anchored=False,
+        )
+        large = ModeFeatures(
+            source_states=3, unfolded_states=3, predicted_activity=0.1,
+            class_fanout=2, dfa_states=200, nbva_eligible=False,
+            lnfa_eligible=False, anchored=False,
+        )
+        assert mode_costs(small)["dfa"] < mode_costs(large)["dfa"]
+
+
+class TestPlanMode:
+    def test_nullable_raises(self):
+        with pytest.raises(CompileError):
+            plan_mode(parse("a*"))
+
+    def test_plan_carries_trace(self):
+        plan = plan_mode(parse("ab*c"))
+        assert plan.mode is CompiledMode.DFA
+        assert plan.trace.mode is plan.mode
+        assert plan.trace.costs["dfa"] < plan.trace.costs["nfa"]
+        assert plan.trace.features.dfa_eligible
+
+    def test_structural_precedence_beats_cost(self):
+        # NBVA/LNFA are capacity wins; the cost model only arbitrates
+        # the NFA-vs-DFA tier.
+        assert plan_mode(parse("ab{100}c")).mode is CompiledMode.NBVA
+        assert plan_mode(parse("a[bc]d")).mode is CompiledMode.LNFA
+
+    def test_budget_knob_flips_the_decision(self):
+        # A budget too small for even ab*c's subsets forces NFA.
+        plan = plan_mode(parse("ab*c"), dfa_state_budget=2)
+        assert plan.mode is CompiledMode.NFA
+        assert "budget" in plan.trace.reason
+
+    def test_override_wins_when_eligible(self):
+        plan = plan_mode(parse("a[bc]d"), mode_override=CompiledMode.DFA)
+        assert plan.mode is CompiledMode.DFA
+        assert "override" in plan.trace.reason
+
+    def test_override_falls_back_when_ineligible(self):
+        plan = plan_mode(parse("a.{12}b"), mode_override=CompiledMode.DFA)
+        assert plan.mode is not CompiledMode.DFA
+
+
+class TestModeResolution:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(MODE_ENV, "nfa")
+        assert resolve_mode("dfa") == "dfa"
+
+    def test_auto_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv(MODE_ENV, "lnfa")
+        assert resolve_mode("auto") == "lnfa"
+        assert resolve_mode(None) == "lnfa"
+
+    def test_unknown_env_resolves_to_auto(self, monkeypatch):
+        monkeypatch.setenv(MODE_ENV, "warp-speed")
+        assert resolve_mode(None) == "auto"
+
+    def test_unknown_explicit_raises(self):
+        with pytest.raises(ValueError):
+            resolve_mode("warp-speed")
+
+    def test_mode_override_mapping(self, monkeypatch):
+        monkeypatch.delenv(MODE_ENV, raising=False)
+        assert mode_override("auto") is None
+        assert mode_override(None) is None
+        assert mode_override("dfa") is CompiledMode.DFA
+        assert mode_override("nbva") is CompiledMode.NBVA
+
+    def test_choices_cover_every_mode(self):
+        assert set(MODE_CHOICES) == {
+            "auto", "nfa", "dfa", "nbva", "lnfa"
+        }
+        assert DFA_STATE_BUDGET == 256

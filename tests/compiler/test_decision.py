@@ -26,10 +26,14 @@ class TestDecide:
     def test_prosite_style_motif_is_lnfa(self):
         assert mode("[ac][de]x[fg]") is CompiledMode.LNFA
 
-    def test_star_is_nfa(self):
-        assert mode("ab*c") is CompiledMode.NFA
+    def test_star_is_dfa(self):
+        # Low-activity, tiny subset construction: the cost model sends
+        # the classic star pattern to the DFA tier.
+        assert mode("ab*c") is CompiledMode.DFA
 
-    def test_alternation_with_star_is_nfa(self):
+    def test_dense_alternation_with_star_is_nfa(self):
+        # `.` keeps the predicted activity high; the density term keeps
+        # dense patterns on the NFA mask stack (a calibration anchor).
         assert mode("a(?:b.*|c)d") is CompiledMode.NFA
 
     def test_nbva_priority_over_lnfa(self):
@@ -43,8 +47,8 @@ class TestDecide:
 
     def test_open_bound_alone_is_not_nbva(self):
         # a{3,} always unfolds to aaa a*; with threshold >= 3 no counter
-        # survives and the star forces NFA.
-        assert mode("xa{3,}") is CompiledMode.NFA
+        # survives, and the unfolded star machine determinizes small.
+        assert mode("xa{3,}") is CompiledMode.DFA
 
     def test_threshold_controls_the_boundary(self):
         assert mode("ab{10}", threshold=16) is CompiledMode.LNFA
@@ -55,7 +59,9 @@ class TestDecide:
         # unfolded positions: a 4.4x blowup.
         pattern = "(?:ab|c){3}x"
         assert mode(pattern, blowup=5.0) is CompiledMode.LNFA
-        assert mode(pattern, blowup=1.01) is CompiledMode.NFA
+        # Past the allowance the cost model arbitrates NFA vs DFA; this
+        # small low-activity machine determinizes cheaply.
+        assert mode(pattern, blowup=1.01) is CompiledMode.DFA
 
     def test_nullable_rejected(self):
         with pytest.raises(CompileError):
@@ -65,6 +71,39 @@ class TestDecide:
         decision = decide(parse("ab{100}c"), unfold_threshold=8)
         assert decision.nbva_eligible
         assert decision.lnfa_eligible  # 102 states <= 2x of 102
+
+    def test_decision_carries_trace(self):
+        decision = decide(parse("ab*c"), unfold_threshold=8)
+        trace = decision.trace
+        assert trace is not None
+        assert trace.mode is decision.mode
+        assert decision.dfa_eligible
+        assert trace.costs["dfa"] < trace.costs["nfa"]
+        assert trace.eligibility()["dfa"]
+        assert "cost model" in trace.reason
+
+    def test_anchored_is_not_dfa_eligible(self):
+        from repro.regex.parser import parse_anchored
+
+        parsed = parse_anchored("^ab*c")
+        decision = decide(
+            parsed.regex, unfold_threshold=8, anchored_start=True
+        )
+        assert not decision.dfa_eligible
+        assert decision.trace.features.dfa_states is None
+
+    def test_soft_override_degrades_gracefully(self):
+        from repro.regex.parser import parse_anchored
+
+        parsed = parse_anchored("^ab*c")
+        decision = decide(
+            parsed.regex,
+            unfold_threshold=8,
+            mode_override=CompiledMode.DFA,
+            anchored_start=True,
+        )
+        # Anchored: DFA-ineligible, so the override falls back.
+        assert decision.mode is CompiledMode.NFA
 
 
 class TestNbvaEligible:

@@ -33,7 +33,8 @@ class TestCompilePattern:
     def test_mode_selection_end_to_end(self):
         assert compile_pattern("ab{100}c").mode is CompiledMode.NBVA
         assert compile_pattern("a[bc]d").mode is CompiledMode.LNFA
-        assert compile_pattern("ab*c").mode is CompiledMode.NFA
+        assert compile_pattern("ab*c").mode is CompiledMode.DFA
+        assert compile_pattern("a(?:b.*|c)d").mode is CompiledMode.NFA
 
     def test_syntax_error_becomes_compile_error(self):
         with pytest.raises(CompileError):
@@ -88,7 +89,7 @@ class TestCompileRuleset:
         counts = ruleset.mode_counts()
         assert counts[CompiledMode.NBVA] == 1
         assert counts[CompiledMode.LNFA] == 1
-        assert counts[CompiledMode.NFA] == 2  # ab*c and x{3,}y
+        assert counts[CompiledMode.DFA] == 2  # ab*c and x{3,}y determinize small
 
     def test_mode_fractions_sum_to_one(self):
         fractions = compile_ruleset(self.PATTERNS).mode_fractions()

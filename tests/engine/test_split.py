@@ -22,6 +22,7 @@ from repro.engine.checkpoint import CheckpointStore, DurableScan
 from repro.engine.split import (
     BOUNDED,
     FRONTIER,
+    STATEMAP,
     SplitCompilation,
     split_collect,
 )
@@ -35,9 +36,19 @@ pytestmark = pytest.mark.skipif(
     reason="NumPy backend not available",
 )
 
-# Lanes + bounded NFA + cyclic (frontier) NFA + NBVA counters: one
-# ruleset that exercises every split mechanism at once.
-PATTERNS = ["abcdef", "hello", "ab?c?d", "a(bc)*d", "k{20,400}m"]
+# Lanes + bounded/statemap DFA + bounded NFA + cyclic (frontier) NFA +
+# NBVA counters: one ruleset that exercises every split mechanism at
+# once.  The dense dot patterns stay NFA under the cost model; the
+# low-activity optional/star patterns take the DFA tier.
+PATTERNS = [
+    "abcdef",
+    "hello",
+    "ab?c?d",
+    "a(bc)*d",
+    "k{20,400}m",
+    "(?:a.|.b){2}x",
+    "a(?:b.*|c)d",
+]
 
 
 @pytest.fixture(scope="module")
@@ -71,8 +82,10 @@ class TestSplitCollect:
         with use_backend("fused"):
             comp = SplitCompilation(ruleset, mapping, DEFAULT_CONFIG)
         assert comp.bins  # lane-packed LNFA units
-        assert BOUNDED in comp.unit_kind  # ab?c?d is acyclic
-        assert FRONTIER in comp.unit_kind  # a(bc)*d is cyclic
+        assert BOUNDED in comp.unit_kind  # (?:a.|.b){2}x is acyclic NFA
+        assert FRONTIER in comp.unit_kind  # a(?:b.*|c)d is cyclic NFA
+        assert BOUNDED in comp.dfa_kind  # ab?c?d is an acyclic DFA
+        assert STATEMAP in comp.dfa_kind  # a(bc)*d is a cyclic DFA
         assert comp.nbva_rep  # k{20,400}m carries counters
         assert comp.warm >= max(len(p) for p in ["abcdef", "hello"])
 

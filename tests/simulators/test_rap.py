@@ -7,7 +7,7 @@ from repro.compiler import CompiledMode, CompilerConfig, compile_ruleset
 from repro.regex.parser import parse
 from repro.simulators.rap import RAPSimulator
 
-PATTERNS = ["ab{40}c", "a[bc]de", "xy*z", "p(?:q|r)s"]
+PATTERNS = ["ab{40}c", "a[bc]de", "xy*z", "p(?:q.*|r)s"]
 DATA = (b"ab" * 30 + b"a" + b"b" * 40 + b"c" + b"xyyz" + b"pqs" + b"a[bc]de") * 3
 
 
@@ -29,7 +29,12 @@ class TestCorrectness:
     def test_all_modes_present_in_workload(self):
         ruleset, _ = run()
         modes = {r.mode for r in ruleset}
-        assert modes == {CompiledMode.NBVA, CompiledMode.LNFA, CompiledMode.NFA}
+        assert modes == {
+            CompiledMode.NBVA,
+            CompiledMode.LNFA,
+            CompiledMode.NFA,
+            CompiledMode.DFA,
+        }
 
     def test_empty_input(self):
         _, result = run(data=b"")

@@ -22,7 +22,12 @@ def input_file(tmp_path):
 
 
 class TestCompile:
-    def test_compile_writes_ruleset(self, pattern_file, tmp_path, capsys):
+    def test_compile_writes_ruleset(
+        self, pattern_file, tmp_path, capsys, monkeypatch
+    ):
+        # The mode counts assert the *auto* selection; a RAP_MODE
+        # differential leg would legitimately shift them.
+        monkeypatch.delenv("RAP_MODE", raising=False)
         out = tmp_path / "rules.json"
         code = main(["compile", str(pattern_file), "-o", str(out)])
         assert code == 0
@@ -31,7 +36,7 @@ class TestCompile:
         assert len(doc["regexes"]) == 3
         stdout = capsys.readouterr().out
         assert "compiled 3 regexes" in stdout
-        assert "1 NFA, 1 NBVA, 1 LNFA" in stdout
+        assert "0 NFA, 1 DFA, 1 NBVA, 1 LNFA" in stdout
 
     def test_rejections_reported(self, tmp_path, capsys):
         bad = tmp_path / "bad.txt"
