@@ -30,8 +30,9 @@ CALIBRATION = "test_calibration_loop"
 # Recorded but not gated: multiprocess wall-clock depends on pool spawn
 # latency and core count, which vary far more than compute-bound means.
 # The benchmark itself still asserts correctness and (on >= 4 cores) the
-# 2x speedup floor.
-UNGATED = {"test_parallel_batch_speedup", "test_split_"}
+# 2x speedup floor.  Serve latency rides on loopback round-trips and
+# asyncio scheduling jitter, which are just as machine-bound.
+UNGATED = {"test_parallel_batch_speedup", "test_split_", "test_serve_"}
 
 
 def normalized_means(path: Path) -> dict[str, float]:

@@ -1,0 +1,73 @@
+"""Scan-service latency benchmarks: segment turnaround under load.
+
+Not a paper artifact — these track the streaming front end
+(:mod:`repro.serve`) end to end: N concurrent sessions stream segments
+over real sockets on the loopback interface and the per-segment
+turnaround (send to events-frame) is aggregated into p50/p99.
+
+Recorded but NOT gated by ``check_regression.py`` (``test_serve_`` is in
+its ``UNGATED`` set): loopback round-trips and asyncio scheduling jitter
+vary far more across machines than the compute-bound means the gate is
+calibrated for.  The benchmark still asserts correctness — every session
+must complete and the aggregate totals must equal the uninterrupted
+serial golden.
+"""
+
+import asyncio
+import random
+
+from repro.serve.client import LoadGenerator, serial_totals
+from repro.serve.registry import TenantRegistry
+from repro.serve.server import ScanServer, ServeConfig
+
+PATTERNS = ["abc", "a.c", "end$", "hello|world", "xy*z"]
+ALPHABET = b"abcxyz endhello world"
+SESSIONS = 8
+PAYLOAD_BYTES = 20_000
+SEGMENT_BYTES = 2_048
+
+
+def _make_payloads():
+    payloads = []
+    for i in range(SESSIONS):
+        rng = random.Random(100 + i)
+        payloads.append(
+            bytes(rng.choice(ALPHABET) for _ in range(PAYLOAD_BYTES))
+            + b" helloend"
+        )
+    return payloads
+
+
+def test_serve_segment_latency(benchmark, tmp_path):
+    """p50/p99 segment turnaround with 8 concurrent streaming sessions."""
+    registry = TenantRegistry()
+    payloads = _make_payloads()
+    golden = serial_totals(PATTERNS, payloads, registry)
+
+    async def drive():
+        config = ServeConfig(port=0, checkpoint_dir=str(tmp_path / "ck"))
+        server = ScanServer(config, registry)
+        await server.start()
+        try:
+            generator = LoadGenerator(
+                "127.0.0.1",
+                server.port,
+                PATTERNS,
+                tenant="bench",
+                sessions=SESSIONS,
+                segment_bytes=SEGMENT_BYTES,
+            )
+            return await generator.run(payloads)
+        finally:
+            await server.stop()
+
+    report = benchmark.pedantic(
+        lambda: asyncio.run(drive()), rounds=1, iterations=1
+    )
+    assert report.failed == 0
+    assert report.completed == SESSIONS
+    assert (report.total_matches, report.total_energy_uj) == golden
+    benchmark.extra_info["sessions"] = SESSIONS
+    benchmark.extra_info["segments"] = len(report.latencies_ms)
+    benchmark.extra_info["p50_ms"] = report.latency_percentile(50)
+    benchmark.extra_info["p99_ms"] = report.latency_percentile(99)

@@ -11,6 +11,8 @@ Commands
 ``experiment``  run one of the paper's tables/figures
 ``inspect``     summarize a compiled JSON ruleset
 ``workload``    emit a synthetic benchmark's patterns
+``serve``       run the streaming multi-tenant scan service
+``loadgen``     drive fault-injected sessions against a running server
 """
 
 from __future__ import annotations
@@ -211,6 +213,129 @@ def build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("benchmark")
     p_work.add_argument("--size", type=int, default=24)
     p_work.add_argument("--seed", type=int, default=0)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the streaming multi-tenant scan service",
+        description="Serve long-lived scan sessions over newline-"
+        "delimited JSON frames.  Sessions checkpoint continuously and "
+        "survive disconnects, idle eviction, load shedding, and worker "
+        "crashes: a reconnecting client resumes bit-identically from "
+        "the welcome offset.  SIGTERM drains gracefully (checkpoint "
+        "every session, notify clients, exit 0).",
+        epilog="exit codes: 0 clean shutdown or drain; 2 invalid "
+        "configuration (structured ServeConfigError on stderr); "
+        "5 the server ran but lost durability (a checkpoint could "
+        "not be written during shutdown).",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: bind an ephemeral port and print it "
+        "on the readiness line)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=Path(".rap-serve"),
+        help="root for per-session checkpoint namespaces; another "
+        "worker pointed at the same root resumes evicted sessions "
+        "(default: .rap-serve)",
+    )
+    p_serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="admission cap on live sessions; connections past it are "
+        "rejected with a retry-after hint (default: 64)",
+    )
+    p_serve.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        help="peak-RSS cap; admitted load past it sheds the "
+        "lowest-weight session (default: none)",
+    )
+    p_serve.add_argument(
+        "--max-open-fds",
+        type=int,
+        default=None,
+        help="open-descriptor cap, enforced like --max-rss-mb "
+        "(default: none)",
+    )
+    p_serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        help="seconds of silence before a session is checkpointed and "
+        "evicted; it resumes on reconnect (default: 300)",
+    )
+    p_serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        help="grace period for notifying clients during SIGTERM drain "
+        "(default: 5)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1 << 20,
+        metavar="BYTES",
+        help="bytes fed between periodic session checkpoints "
+        "(default: 1 MiB; park/detach/drain always checkpoint)",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive fault-injected scan sessions against a server",
+        description="Stream deterministic payloads through N concurrent "
+        "sessions, interpreting connection-level fault directives "
+        "(disconnect/stall/garbage/reload) from --fault-plan, and "
+        "optionally diff the aggregate matches and energy against an "
+        "uninterrupted serial scan of the same payloads (--check).",
+        epilog="exit codes: 0 all sessions completed (and matched the "
+        "serial golden under --check); 2 invalid arguments; 5 a session "
+        "failed or the golden diff found a discrepancy.",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, required=True)
+    p_load.add_argument(
+        "--patterns", type=Path, required=True, help="regex file"
+    )
+    p_load.add_argument("--tenant", default="loadgen")
+    p_load.add_argument(
+        "--sessions", type=int, default=4, help="concurrent sessions"
+    )
+    p_load.add_argument(
+        "--bytes",
+        type=int,
+        default=65536,
+        dest="payload_bytes",
+        help="payload size per session (default: 64 KiB)",
+    )
+    p_load.add_argument(
+        "--segment-bytes",
+        type=int,
+        default=4096,
+        help="bytes per data frame (default: 4096)",
+    )
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--fault-plan",
+        default=None,
+        help="connection fault directives, e.g. "
+        "'disconnect@3;stall@5*0.5;garbage@8;reload@11' "
+        "(default: RAP_FAULT_PLAN or none)",
+    )
+    p_load.add_argument(
+        "--check",
+        action="store_true",
+        help="diff aggregate matches and energy against an "
+        "uninterrupted serial scan (byte-identity proof)",
+    )
     return parser
 
 
@@ -588,6 +713,110 @@ def cmd_workload(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Handler for ``repro serve``."""
+    import asyncio
+
+    from repro.errors import ServeConfigError
+    from repro.serve.server import EXIT_CONFIG, ScanServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        checkpoint_dir=str(args.checkpoint_dir),
+        max_sessions=args.max_sessions,
+        max_rss_mb=args.max_rss_mb,
+        max_open_fds=args.max_open_fds,
+        idle_timeout=args.idle_timeout,
+        drain_seconds=args.drain_seconds,
+        checkpoint_interval_bytes=args.checkpoint_every,
+    )
+    try:
+        server = ScanServer(config)
+    except ServeConfigError as err:
+        print(f"error: {err}", file=sys.stderr)
+        for key, value in sorted(err.context().items()):
+            print(f"  {key}: {value!r}", file=sys.stderr)
+        return EXIT_CONFIG
+
+    def on_ready(port: int) -> None:
+        # The readiness line supervisors (and the CI soak) wait for.
+        print(f"listening on {config.host}:{port}", flush=True)
+
+    return asyncio.run(server.serve_forever(on_ready=on_ready))
+
+
+def _loadgen_payload(patterns: list[str], size: int, seed: int) -> bytes:
+    """A deterministic payload biased to exercise the given patterns."""
+    import random
+
+    alphabet = sorted(
+        {c for p in patterns for c in p if c.isalnum()} | {" "}
+    ) or [" "]
+    rng = random.Random(seed)
+    return bytes(ord(rng.choice(alphabet)) for _ in range(size))
+
+
+def cmd_loadgen(args) -> int:
+    """Handler for ``repro loadgen``."""
+    import asyncio
+
+    from repro.engine.faults import FaultPlan, plan_from_env
+    from repro.serve.client import LoadGenerator, serial_totals
+    from repro.serve.server import EXIT_FAILURES
+
+    patterns = _read_patterns(args.patterns)
+    try:
+        plan = (
+            FaultPlan.parse(args.fault_plan)
+            if args.fault_plan is not None
+            else plan_from_env()
+        )
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    payloads = [
+        _loadgen_payload(patterns, args.payload_bytes, args.seed + i)
+        for i in range(args.sessions)
+    ]
+    generator = LoadGenerator(
+        args.host,
+        args.port,
+        patterns,
+        tenant=args.tenant,
+        sessions=args.sessions,
+        segment_bytes=args.segment_bytes,
+        plan=plan,
+    )
+    report = asyncio.run(generator.run(payloads))
+    print(report.summary())
+    for session_id, outcome in sorted(report.per_session.items()):
+        if "error" in outcome:
+            print(f"  {session_id}: {outcome['error']}", file=sys.stderr)
+    if report.failed:
+        return EXIT_FAILURES
+    if args.check:
+        golden_matches, golden_energy = serial_totals(patterns, payloads)
+        if (
+            report.total_matches != golden_matches
+            or report.total_energy_uj != golden_energy
+        ):
+            print(
+                "golden mismatch: served "
+                f"{report.total_matches} matches / "
+                f"{report.total_energy_uj!r} uJ, serial golden "
+                f"{golden_matches} / {golden_energy!r}",
+                file=sys.stderr,
+            )
+            return EXIT_FAILURES
+        print(
+            f"golden check ok: {golden_matches} matches, "
+            f"{golden_energy:.6f} uJ, byte-identical under "
+            f"{report.reconnects} reconnects"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -598,6 +827,8 @@ def main(argv: list[str] | None = None) -> int:
         "exp": cmd_experiment,
         "inspect": cmd_inspect,
         "workload": cmd_workload,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
     }
     return handlers[args.command](args)
 

@@ -605,8 +605,12 @@ class BatchEngine:
                 pressure = monitor.check()
                 if pressure is not None:
                     if config.degrade != "shed":
-                        raise BudgetExceededError(pressure, phase="execute")
-                    scan.shed(0.25, pressure)
+                        raise BudgetExceededError(
+                            str(pressure),
+                            phase="execute",
+                            limit=pressure.limit,
+                        )
+                    scan.shed(0.25, str(pressure))
                     if scan.live_units == 0:
                         break
             if store is not None:

@@ -1,4 +1,4 @@
-"""Per-scan resource budgets: wall-clock and resident-set guards.
+"""Per-scan resource budgets and service-level admission policies.
 
 A long scan on a shared host must not be allowed to grow without bound:
 the ROADMAP's production setting hands the engine effectively unbounded
@@ -9,15 +9,27 @@ driver polls between chunks.  What happens on pressure is policy
 (``degrade="fail"`` raises :class:`~repro.errors.BudgetExceededError`;
 ``"shed"`` quarantines low-weight patterns) and lives with the driver.
 
+The scan service layers one more guard on top: an
+:class:`AdmissionPolicy` is the budget a *process full of sessions*
+lives under — session count, peak RSS, open file descriptors — checked
+at connection admission and by the pressure watchdog.  Pressure is
+reported as a structured :class:`BudgetPressure` (which limit, measured
+value, threshold) so error context and reject frames can name the
+tripped guard instead of shipping an opaque string.
+
 RSS comes from ``resource.getrusage`` — stdlib-only, but the peak
 (high-water mark), not the current size, and in platform-dependent
 units (kilobytes on Linux, bytes on macOS).  That is the right guard
 semantics anyway: a scan that *ever* exceeded the budget is over
-budget, even if the allocator has since returned pages.
+budget, even if the allocator has since returned pages.  On platforms
+without the ``resource`` module (or ``/proc`` for FD counts) the
+corresponding guards are inert: :func:`current_rss_mb` /
+:func:`current_open_fds` return ``None`` and :meth:`check` skips them.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from dataclasses import dataclass
@@ -36,6 +48,38 @@ def current_rss_mb() -> float | None:
     if sys.platform == "darwin":
         return peak / (1024 * 1024)
     return peak / 1024
+
+
+def current_open_fds() -> int | None:
+    """Open file descriptors of this process, if measurable.
+
+    Counts ``/proc/self/fd`` entries on Linux; returns ``None`` where
+    no cheap enumeration exists, making FD caps inert rather than
+    wrong.
+    """
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+@dataclass(frozen=True)
+class BudgetPressure:
+    """One tripped guard: which limit, what was measured, the bound.
+
+    Stringifies to the human-readable message, so call sites that used
+    to receive a ``str`` from :meth:`BudgetMonitor.check` keep working;
+    structured consumers read ``limit``/``value``/``threshold`` instead
+    of parsing it.
+    """
+
+    limit: str  # "max_seconds" | "max_rss_mb" | "max_sessions" | ...
+    value: float
+    threshold: float
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
 
 
 @dataclass(frozen=True)
@@ -67,22 +111,124 @@ class BudgetMonitor:
         """Seconds since the monitor started."""
         return time.monotonic() - self._start
 
-    def check(self) -> str | None:
-        """A pressure description if any guard tripped, else ``None``."""
+    def check(self) -> BudgetPressure | None:
+        """The first tripped guard as a :class:`BudgetPressure`, else
+        ``None``.  An unmeasurable RSS (no ``resource`` module) never
+        trips the guard — an inert limit must not fail a healthy scan.
+        """
         budget = self.budget
         if budget.max_seconds is not None:
             elapsed = self.elapsed
             if elapsed > budget.max_seconds:
-                return (
-                    f"wall-clock budget exceeded: {elapsed:.1f}s elapsed "
-                    f"of {budget.max_seconds:g}s allowed"
+                return BudgetPressure(
+                    limit="max_seconds",
+                    value=elapsed,
+                    threshold=budget.max_seconds,
+                    message=(
+                        f"wall-clock budget exceeded: {elapsed:.1f}s elapsed "
+                        f"of {budget.max_seconds:g}s allowed"
+                    ),
                 )
         if budget.max_rss_mb is not None:
             rss = current_rss_mb()
             if rss is not None and rss > budget.max_rss_mb:
-                return (
-                    f"memory budget exceeded: peak RSS {rss:.1f} MiB "
-                    f"of {budget.max_rss_mb:g} MiB allowed"
+                return BudgetPressure(
+                    limit="max_rss_mb",
+                    value=rss,
+                    threshold=budget.max_rss_mb,
+                    message=(
+                        f"memory budget exceeded: peak RSS {rss:.1f} MiB "
+                        f"of {budget.max_rss_mb:g} MiB allowed"
+                    ),
+                )
+        return None
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Service-level caps: what a whole worker of sessions may consume.
+
+    ``admit`` is the gate a new connection passes before a session is
+    created; ``pressure`` is the watchdog poll that decides whether
+    already-admitted sessions must be shed.  The difference: admission
+    counts the would-be *next* session (``live + 1 > max_sessions``),
+    shedding only reacts to limits the process is already over.
+    """
+
+    max_sessions: int | None = None
+    max_rss_mb: float | None = None
+    max_open_fds: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_sessions is not None and self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1 when set")
+        if self.max_rss_mb is not None and not self.max_rss_mb > 0:
+            raise ValueError("max_rss_mb must be positive when set")
+        if self.max_open_fds is not None and self.max_open_fds < 1:
+            raise ValueError("max_open_fds must be >= 1 when set")
+
+    def __bool__(self) -> bool:
+        return (
+            self.max_sessions is not None
+            or self.max_rss_mb is not None
+            or self.max_open_fds is not None
+        )
+
+    def admit(self, live_sessions: int) -> BudgetPressure | None:
+        """Why one *more* session must be refused, or ``None`` to admit."""
+        if (
+            self.max_sessions is not None
+            and live_sessions + 1 > self.max_sessions
+        ):
+            return BudgetPressure(
+                limit="max_sessions",
+                value=live_sessions + 1,
+                threshold=self.max_sessions,
+                message=(
+                    f"session cap reached: {live_sessions} live of "
+                    f"{self.max_sessions} allowed"
+                ),
+            )
+        return self.pressure(live_sessions)
+
+    def pressure(self, live_sessions: int) -> BudgetPressure | None:
+        """The first over-limit guard for the *current* load, or ``None``."""
+        if (
+            self.max_sessions is not None
+            and live_sessions > self.max_sessions
+        ):
+            return BudgetPressure(
+                limit="max_sessions",
+                value=live_sessions,
+                threshold=self.max_sessions,
+                message=(
+                    f"session cap exceeded: {live_sessions} live of "
+                    f"{self.max_sessions} allowed"
+                ),
+            )
+        if self.max_rss_mb is not None:
+            rss = current_rss_mb()
+            if rss is not None and rss > self.max_rss_mb:
+                return BudgetPressure(
+                    limit="max_rss_mb",
+                    value=rss,
+                    threshold=self.max_rss_mb,
+                    message=(
+                        f"memory cap exceeded: peak RSS {rss:.1f} MiB of "
+                        f"{self.max_rss_mb:g} MiB allowed"
+                    ),
+                )
+        if self.max_open_fds is not None:
+            fds = current_open_fds()
+            if fds is not None and fds > self.max_open_fds:
+                return BudgetPressure(
+                    limit="max_open_fds",
+                    value=fds,
+                    threshold=self.max_open_fds,
+                    message=(
+                        f"descriptor cap exceeded: {fds} open of "
+                        f"{self.max_open_fds} allowed"
+                    ),
                 )
         return None
 
@@ -102,8 +248,11 @@ def validate_degrade(policy: str) -> str:
 
 __all__ = [
     "DEGRADE_POLICIES",
+    "AdmissionPolicy",
     "BudgetMonitor",
+    "BudgetPressure",
     "ResourceBudget",
+    "current_open_fds",
     "current_rss_mb",
     "validate_degrade",
 ]

@@ -26,12 +26,15 @@ plausible-but-wrong result.
 
 from __future__ import annotations
 
+import contextlib
+import errno
 import hashlib
 import json
 import logging
 import math
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.compiler.program import CompiledMode, CompiledRuleset
@@ -81,6 +84,31 @@ def resolve_input_jobs(explicit: int | None = None) -> int:
 
 log = logging.getLogger(__name__)
 
+# How long a writer waits on another writer's exclusive lock before
+# giving up (the caller treats it like any other failed write: the scan
+# keeps its previous restore point).  Lock holders dead longer than the
+# stale threshold are broken — a crashed writer must not wedge the
+# store forever.
+LOCK_TIMEOUT_SECONDS = 5.0
+LOCK_STALE_SECONDS = 30.0
+
+
+def session_dirname(session: str) -> str:
+    """A filesystem-safe directory name for one session's namespace.
+
+    Alphanumerics, dash, underscore, and dot pass through; anything
+    else percent-encodes, and over-long names truncate with a content
+    hash so distinct sessions can never collide on one directory.
+    """
+    quoted = "".join(
+        c if c.isalnum() or c in "-_." else f"%{ord(c):02x}"
+        for c in session
+    )
+    if len(quoted) > 64:
+        digest = hashlib.sha256(session.encode()).hexdigest()[:16]
+        quoted = f"{quoted[:47]}-{digest}"
+    return quoted
+
 
 class CheckpointStore:
     """A directory of atomic, checksummed scan checkpoints.
@@ -91,13 +119,99 @@ class CheckpointStore:
     leaves either the previous set or the new file, never a torn
     committed entry (torn files can still appear via injected faults or
     disk corruption, which is what the checksum envelope catches).
+
+    Two safeguards make a *shared* root safe:
+
+    * ``session`` namespaces the store into a per-session subdirectory
+      (``root/<session>/``), so independent scans sharing one configured
+      root can never prune each other's checkpoints — without it, a
+      writer whose offsets sort below a neighbour's would delete its own
+      newest entry right after committing it.
+    * an exclusive-create lock file serializes the write+prune critical
+      section between two stores pointed at the *same* directory (a
+      split-brain resume of one session), so an interleaved prune can
+      never observe — and delete — a half-committed set.
     """
 
-    def __init__(self, root: str | Path, plan: faults.FaultPlan | None = None):
+    def __init__(
+        self,
+        root: str | Path,
+        plan: faults.FaultPlan | None = None,
+        *,
+        session: str | None = None,
+    ):
         self.root = Path(root)
+        if session is not None:
+            self.root = self.root / session_dirname(session)
+        self.session = session
         self.plan = plan  # explicit fault plan; None defers to env
         self.writes = 0  # write ordinal (fault-injection point)
         self.discarded = 0  # corrupt entries dropped during load
+        self.lock_breaks = 0  # stale locks broken (diagnostics)
+
+    @contextlib.contextmanager
+    def _exclusive(self):
+        """Hold the store's exclusive-create lock for one critical
+        section.  Raises ``OSError(EWOULDBLOCK)`` after the acquisition
+        timeout — callers already treat a failed write as lost
+        durability, never a failed scan."""
+        lock = self.root / ".lock"
+        deadline = time.monotonic() + LOCK_TIMEOUT_SECONDS
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                if self._break_stale_lock(lock):
+                    continue
+                if time.monotonic() >= deadline:
+                    raise OSError(
+                        errno.EWOULDBLOCK,
+                        f"checkpoint store {self.root} is locked by "
+                        "another writer",
+                    ) from None
+                time.sleep(0.002)
+        try:
+            os.write(fd, str(os.getpid()).encode())
+            os.close(fd)
+            yield
+        finally:
+            try:
+                os.unlink(lock)
+            except OSError:
+                pass
+
+    def _break_stale_lock(self, lock: Path) -> bool:
+        """Remove a lock whose holder is provably dead or ancient."""
+        try:
+            age = time.time() - lock.stat().st_mtime
+        except OSError:
+            return True  # lock vanished under us: retry immediately
+        try:
+            pid = int(lock.read_text().strip() or "0")
+        except (OSError, ValueError):
+            pid = 0
+        if pid <= 0:
+            # The holder may be between O_EXCL-create and writing its
+            # pid; only break a pid-less lock once it is clearly stale.
+            if age < LOCK_STALE_SECONDS:
+                return False
+        else:
+            try:
+                os.kill(pid, 0)
+                alive = True
+            except ProcessLookupError:
+                alive = False
+            except OSError:
+                alive = True  # e.g. EPERM: someone owns it, assume live
+            if alive and age < LOCK_STALE_SECONDS:
+                return False
+        try:
+            os.unlink(lock)
+        except OSError:
+            pass
+        self.lock_breaks += 1
+        return True
 
     def _paths(self) -> list[Path]:
         """Checkpoint files, oldest first."""
@@ -127,24 +241,25 @@ class CheckpointStore:
             "payload": payload,
         }
         path = self.root / f"ckpt-{offset:016d}.json"
-        fd, tmp = tempfile.mkstemp(
-            dir=self.root, prefix=".ckpt-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as f:
-                json.dump(document, f)
-                f.flush()
-                os.fsync(f.fileno())
-            os.replace(tmp, path)
-        except BaseException:
+        with self._exclusive():
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=".ckpt-", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self._fsync_dir()
-        faults.inject_checkpoint_commit(path, ordinal, self.plan)
-        self._prune()
+                with os.fdopen(fd, "w") as f:
+                    json.dump(document, f)
+                    f.flush()
+                    os.fsync(f.fileno())
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._fsync_dir()
+            faults.inject_checkpoint_commit(path, ordinal, self.plan)
+            self._prune()
         return path
 
     def _fsync_dir(self) -> None:
@@ -224,11 +339,23 @@ class CheckpointStore:
 
     def clear(self) -> None:
         """Remove every checkpoint (the scan completed)."""
-        for path in self._paths():
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+        if not self.root.is_dir():
+            return
+        try:
+            with self._exclusive():
+                for path in self._paths():
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+        except OSError:
+            # A wedged lock must not fail scan completion; leftover
+            # checkpoints are garbage-collected by the next writer.
+            for path in self._paths():
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
 
 
 class DurableScan:
@@ -305,6 +432,7 @@ class DurableScan:
         )
         self._offset = 0
         self._hasher = hashlib.sha256()
+        self._detached = False
         self._shed: set[tuple] = set()
         self.quarantine_entries: list[QuarantineEntry] = []
 
@@ -317,6 +445,22 @@ class DurableScan:
     def live_units(self) -> int:
         """Work units still being fed (not shed)."""
         return len(self._regex) + len(self._bins) - len(self._shed)
+
+    def match_lists(self) -> dict[int, list[int]]:
+        """Per-regex match end positions consumed so far.
+
+        The returned lists are the collectors' live, append-only
+        containers — callers slice them for incremental event emission
+        (the streaming service diffs against a per-regex emitted count
+        every segment) and must not mutate them.
+        """
+        out: dict[int, list[int]] = {}
+        for rid, collector in self._regex.items():
+            out[rid] = collector.matches
+        for collector in self._bins.values():
+            for rid, ends in collector.matches.items():
+                out[rid] = ends
+        return out
 
     def feed(self, segment: bytes, *, at_end: bool = True) -> None:
         """Consume the next segment of the stream on every live unit."""
@@ -340,8 +484,16 @@ class DurableScan:
     # -- snapshots -----------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """The scan's complete state as one JSON-ready document."""
-        return {
+        """The scan's complete state as one JSON-ready document.
+
+        ``input_sha`` is a plain SHA-256 over the consumed prefix for a
+        scan started (or restored with bytes) in this process, and a
+        chain digest for a lineage resumed detached — the ``detached``
+        flag says which, so :meth:`restore` can refuse what it cannot
+        verify.  Undetached snapshots keep their pre-detach bytes
+        stable (no new key).
+        """
+        doc = {
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION,
             "fingerprint": self.fingerprint,
@@ -371,15 +523,12 @@ class DurableScan:
                 for e in self.quarantine_entries
             ],
         }
+        if self._detached:
+            doc["detached"] = True
+        return doc
 
-    def restore(self, doc: dict, data: bytes) -> None:
-        """Adopt a snapshot, verifying it belongs to *this* scan.
-
-        ``data`` is the full input stream: the snapshot's consumed
-        prefix must hash to the recorded digest, or the checkpoint was
-        taken over different bytes and resuming would silently corrupt
-        the result — that is a :class:`~repro.errors.CheckpointError`.
-        """
+    def _check_header(self, doc: dict) -> None:
+        """Refuse a snapshot that does not belong to this exact scan."""
         if doc.get("format") != CHECKPOINT_FORMAT:
             raise CheckpointError(
                 f"not a checkpoint document (format={doc.get('format')!r})",
@@ -398,6 +547,9 @@ class DurableScan:
                 "(--input-jobs) changed since it was written",
                 phase="checkpoint",
             )
+
+    def _parse_state(self, doc: dict) -> tuple:
+        """The snapshot's state fields, structurally validated."""
         try:
             offset = int(doc["offset"])
             input_sha = doc["input_sha"]
@@ -416,6 +568,45 @@ class DurableScan:
             raise CheckpointError(
                 f"malformed checkpoint document: {err}", phase="checkpoint"
             ) from err
+        if set(regex_docs) != set(self._regex) or set(bin_docs) != set(
+            self._bins
+        ):
+            raise CheckpointError(
+                "checkpoint work units do not match this scan's mapping",
+                phase="checkpoint",
+            )
+        return offset, input_sha, regex_docs, bin_docs, shed, quarantine
+
+    def _adopt(self, regex_docs: dict, bin_docs: dict) -> None:
+        for rid, sub in regex_docs.items():
+            self._regex[rid].restore(sub)
+        for key, sub in bin_docs.items():
+            self._bins[key].restore(sub)
+
+    def restore(self, doc: dict, data: bytes) -> None:
+        """Adopt a snapshot, verifying it belongs to *this* scan.
+
+        ``data`` is the full input stream: the snapshot's consumed
+        prefix must hash to the recorded digest, or the checkpoint was
+        taken over different bytes and resuming would silently corrupt
+        the result — that is a :class:`~repro.errors.CheckpointError`.
+        """
+        self._check_header(doc)
+        if doc.get("detached"):
+            raise CheckpointError(
+                "checkpoint belongs to a detached (streaming) resume "
+                "lineage: its input binding is a chain digest, not a "
+                "re-hashable prefix — resume it with restore_detached",
+                phase="checkpoint",
+            )
+        (
+            offset,
+            input_sha,
+            regex_docs,
+            bin_docs,
+            shed,
+            quarantine,
+        ) = self._parse_state(doc)
         if offset > len(data):
             raise CheckpointError(
                 f"checkpoint offset {offset} beyond the input "
@@ -430,21 +621,49 @@ class DurableScan:
                 "digest",
                 phase="checkpoint",
             )
-        if set(regex_docs) != set(self._regex) or set(bin_docs) != set(
-            self._bins
-        ):
-            raise CheckpointError(
-                "checkpoint work units do not match this scan's mapping",
-                phase="checkpoint",
-            )
-        for rid, sub in regex_docs.items():
-            self._regex[rid].restore(sub)
-        for key, sub in bin_docs.items():
-            self._bins[key].restore(sub)
+        self._adopt(regex_docs, bin_docs)
         self._offset = offset
         hasher = hashlib.sha256()
         hasher.update(data[:offset])
         self._hasher = hasher
+        self._detached = False
+        self._shed = shed
+        self.quarantine_entries = quarantine
+
+    def restore_detached(self, doc: dict) -> None:
+        """Adopt a snapshot without the consumed prefix bytes.
+
+        The streaming service evicts idle sessions to checkpoints and
+        resumes them on reconnect — possibly in another process, where
+        the consumed prefix no longer exists to re-hash.  The
+        fingerprint check still binds the snapshot to this exact scan
+        configuration; the input binding degrades from a re-verifiable
+        prefix hash to a *chain digest* seeded from the recorded
+        ``input_sha``, so every later snapshot of the resumed lineage
+        remains positively bound to the byte sequence actually consumed
+        (two lineages that fed different bytes can never converge on
+        one digest).
+        """
+        self._check_header(doc)
+        (
+            offset,
+            input_sha,
+            regex_docs,
+            bin_docs,
+            shed,
+            quarantine,
+        ) = self._parse_state(doc)
+        if not isinstance(input_sha, str) or not input_sha:
+            raise CheckpointError(
+                "malformed checkpoint document: input_sha missing",
+                phase="checkpoint",
+            )
+        self._adopt(regex_docs, bin_docs)
+        self._offset = offset
+        self._hasher = hashlib.sha256(
+            b"rap-detached-chain:" + input_sha.encode()
+        )
+        self._detached = True
         self._shed = shed
         self.quarantine_entries = quarantine
 
@@ -541,4 +760,5 @@ __all__ = [
     "KEEP",
     "CheckpointStore",
     "DurableScan",
+    "session_dirname",
 ]

@@ -41,6 +41,13 @@ Directive kinds and where they fire:
     write with ``ENOSPC`` before any bytes land.  The scan must degrade
     gracefully — keep scanning, count the failure, rely on an earlier
     checkpoint if interrupted.
+``disconnect`` / ``stall`` / ``garbage`` / ``reload``
+    At the *index*-th data segment of one scan-service connection
+    (``repro.serve``): abort the transport mid-stream, freeze the
+    sender for ``seconds``, send an unparsable frame, or trigger a hot
+    ruleset reload.  The load generator fires them; the chaos tests
+    prove a session torn down by any of them resumes to byte-identical
+    matches and energy.
 
 Plan specs are compact strings — directives separated by ``;`` or
 ``,``, each ``kind@index[:attempt][*seconds]``::
@@ -77,7 +84,18 @@ UNIT_KINDS = ("crash", "hang", "error", "pickle")
 CACHE_KINDS = ("truncate_cache",)
 CHUNK_KINDS = ("kill",)
 CHECKPOINT_KINDS = ("torn_checkpoint", "disk_full")
-ALL_KINDS = UNIT_KINDS + CACHE_KINDS + CHUNK_KINDS + CHECKPOINT_KINDS
+# Connection-level kinds, fired at the *index*-th data segment of one
+# scan-service connection (see repro.serve): ``disconnect`` aborts the
+# transport mid-stream, ``stall`` freezes the sender for ``seconds``
+# (driving the server's read deadline / idle watchdog), ``garbage``
+# sends an unparsable frame (the server must fail the connection
+# without corrupting the session), ``reload`` triggers a hot ruleset
+# reload at that segment boundary.  The load generator interprets the
+# directives; the service only proves it survives them.
+CONN_KINDS = ("disconnect", "stall", "garbage", "reload")
+ALL_KINDS = (
+    UNIT_KINDS + CACHE_KINDS + CHUNK_KINDS + CHECKPOINT_KINDS + CONN_KINDS
+)
 
 
 @dataclass(frozen=True)
@@ -112,7 +130,7 @@ class FaultDirective:
     def spec(self) -> str:
         """The compact-string spelling of this directive."""
         text = f"{self.kind}@{self.index}:{self.attempt}"
-        if self.kind == "hang":
+        if self.kind in ("hang", "stall"):
             text += f"*{self.seconds:g}"
         return text
 
@@ -187,6 +205,13 @@ class FaultPlan:
                 directive.kind in CHECKPOINT_KINDS
                 and directive.index == ordinal
             ):
+                return directive
+        return None
+
+    def for_conn(self, ordinal: int) -> FaultDirective | None:
+        """The connection directive firing at the given segment ordinal."""
+        for directive in self.directives:
+            if directive.kind in CONN_KINDS and directive.index == ordinal:
                 return directive
         return None
 
@@ -385,6 +410,7 @@ __all__ = [
     "CACHE_KINDS",
     "CHECKPOINT_KINDS",
     "CHUNK_KINDS",
+    "CONN_KINDS",
     "FAULT_PLAN_ENV",
     "UNIT_KINDS",
     "FaultDirective",

@@ -114,7 +114,63 @@ class BudgetExceededError(ReproError):
 
     Raised under the (default) ``degrade="fail"`` policy; under
     ``"shed"`` the budget pressure quarantines low-weight patterns
-    instead and the scan finishes partial (exit code 4)."""
+    instead and the scan finishes partial (exit code 4).  ``limit``
+    names the guard that tripped (``"max_seconds"`` / ``"max_rss_mb"``
+    / ...) so callers can branch on *which* budget failed without
+    parsing the message."""
+
+    def __init__(self, message: str = "", *, limit: str | None = None, **kw):
+        super().__init__(message, **kw)
+        self.limit = limit
+
+    def context(self) -> dict:
+        fields = super().context()
+        if self.limit is not None:
+            fields["limit"] = self.limit
+        return fields
+
+
+class ServeError(ReproError):
+    """A failure in the streaming scan service (``repro.serve``)."""
+
+
+class ServeConfigError(ServeError, ValueError):
+    """An invalid service configuration (bad flag value, port, limit).
+
+    Subclasses ``ValueError`` so generic validation call sites keep
+    working, but carries the structured :class:`ReproError` context the
+    CLI renders on exit code 2."""
+
+
+class AdmissionError(ServeError):
+    """A connection the service refused to admit (session/RSS/FD cap).
+
+    ``retry_after`` is the server's backoff hint in seconds — the same
+    value the wire protocol's reject frame carries."""
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        retry_after: float | None = None,
+        limit: str | None = None,
+        **kw,
+    ):
+        super().__init__(message, **kw)
+        self.retry_after = retry_after
+        self.limit = limit
+
+    def context(self) -> dict:
+        fields = super().context()
+        if self.retry_after is not None:
+            fields["retry_after"] = self.retry_after
+        if self.limit is not None:
+            fields["limit"] = self.limit
+        return fields
+
+
+class ProtocolError(ServeError):
+    """A malformed, oversized, or out-of-sequence wire frame."""
 
 
 @dataclass(frozen=True)
@@ -190,14 +246,18 @@ def validate_on_error(policy: str) -> str:
 
 __all__ = [
     "ON_ERROR_POLICIES",
+    "AdmissionError",
     "BudgetExceededError",
     "CacheCorruptionError",
     "CapacityError",
     "CheckpointError",
     "CompileError",
+    "ProtocolError",
     "QuarantineEntry",
     "QuarantineReport",
     "ReproError",
+    "ServeConfigError",
+    "ServeError",
     "TaskTimeoutError",
     "WorkerCrashError",
     "validate_on_error",

@@ -275,7 +275,9 @@ def map_benchmarks(
     for item in items:
         pressure = monitor.check()
         if pressure is not None:
-            raise BudgetExceededError(pressure, phase="experiment")
+            raise BudgetExceededError(
+                str(pressure), phase="experiment", limit=pressure.limit
+            )
         results.extend(
             parallel_map(
                 _run_benchmark_worker,

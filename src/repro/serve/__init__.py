@@ -1,0 +1,66 @@
+"""Streaming multi-tenant scan service over the durable-scan substrate.
+
+The ROADMAP's production setting: each network connection is a
+long-lived scan session — bytes stream in, match/energy events stream
+out — and a session's full state *is* a durable-scan checkpoint, so
+idle sessions are evicted to the :class:`~repro.engine.checkpoint.
+CheckpointStore` and resumed bit-identically on reconnect, or on a
+different worker after a crash.  Robustness is the headline feature:
+
+* per-tenant ruleset namespaces keyed on the compile cache, with hot
+  reload — the new ruleset compiles in the background and swaps in at
+  a segment boundary without dropping the session
+  (:mod:`repro.serve.registry`);
+* admission control and load shedding driven by the
+  :class:`~repro.engine.budget.AdmissionPolicy` caps — reject with a
+  retry-after hint on session/RSS/FD pressure, shed the lowest-weight
+  sessions when an admitted load grows past its limits
+  (:mod:`repro.serve.server`);
+* per-session watchdogs: idle timeout, read deadlines, bounded write
+  backpressure (:mod:`repro.serve.session` / ``server``);
+* graceful drain on ``SIGTERM`` — checkpoint every live session, then
+  exit 0;
+* a deterministic chaos story: the connection-level fault kinds of
+  :mod:`repro.engine.faults` (``disconnect``/``stall``/``garbage``/
+  ``reload``) are interpreted by the load generator
+  (:mod:`repro.serve.client`), and the test suite proves a session torn
+  down mid-stream by any of them — or by ``SIGKILL`` of the worker —
+  resumes to byte-identical matches and energy.
+"""
+
+from repro.serve.client import LoadGenerator, LoadReport, ScanClient
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    send_frame,
+)
+from repro.serve.registry import TenantEntry, TenantRegistry
+from repro.serve.server import (
+    EXIT_CONFIG,
+    EXIT_FAILURES,
+    EXIT_OK,
+    ScanServer,
+    ServeConfig,
+)
+from repro.serve.session import ScanSession
+
+__all__ = [
+    "EXIT_CONFIG",
+    "EXIT_FAILURES",
+    "EXIT_OK",
+    "MAX_FRAME_BYTES",
+    "LoadGenerator",
+    "LoadReport",
+    "ScanClient",
+    "ScanServer",
+    "ScanSession",
+    "ServeConfig",
+    "TenantEntry",
+    "TenantRegistry",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "send_frame",
+]

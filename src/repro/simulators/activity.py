@@ -345,6 +345,12 @@ class RegexActivityCollector:
         """Global stream position: bytes consumed so far."""
         return self._scanner.offset
 
+    @property
+    def matches(self) -> list[int]:
+        """The accumulated match end positions — the live, append-only
+        list (read-only to callers; slice it for incremental diffs)."""
+        return self._matches
+
     def feed(self, segment: bytes, *, at_end: bool = True) -> None:
         """Consume the next segment of the stream."""
         self._matches.extend(
@@ -426,6 +432,12 @@ class BinActivityCollector:
     def offset(self) -> int:
         """Global stream position: bytes consumed so far."""
         return self._state.offset
+
+    @property
+    def matches(self) -> dict[int, list[int]]:
+        """Accumulated per-regex match end positions — the live,
+        append-only containers (read-only to callers)."""
+        return self._matches
 
     @property
     def layout(self) -> _BinLayout:

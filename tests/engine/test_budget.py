@@ -1,0 +1,160 @@
+"""Budget and admission-policy tests: structured pressure reporting.
+
+The service hardening satellites: :meth:`BudgetMonitor.check` returns a
+:class:`BudgetPressure` naming the tripped limit (not an opaque
+string), an unmeasurable RSS never fails a healthy scan, and the
+:class:`AdmissionPolicy` boundaries are exact — admission counts the
+would-be next session, shedding only reacts to limits already crossed.
+"""
+
+import pytest
+
+from repro.engine import budget
+from repro.engine.budget import (
+    AdmissionPolicy,
+    BudgetMonitor,
+    BudgetPressure,
+    ResourceBudget,
+    current_open_fds,
+    current_rss_mb,
+    validate_degrade,
+)
+
+
+class TestBudgetMonitor:
+    def test_no_limits_never_trips(self):
+        assert BudgetMonitor(ResourceBudget()).check() is None
+        assert not ResourceBudget()
+        assert ResourceBudget(max_seconds=1.0)
+
+    def test_wall_clock_boundary_is_strict(self, monkeypatch):
+        monitor = BudgetMonitor(ResourceBudget(max_seconds=10.0))
+        monkeypatch.setattr(
+            BudgetMonitor, "elapsed", property(lambda self: 10.0)
+        )
+        assert monitor.check() is None  # exactly at the limit: not over
+        monkeypatch.setattr(
+            BudgetMonitor, "elapsed", property(lambda self: 10.5)
+        )
+        pressure = monitor.check()
+        assert pressure.limit == "max_seconds"
+        assert pressure.value == 10.5
+        assert pressure.threshold == 10.0
+        assert "wall-clock" in str(pressure)
+
+    def test_rss_boundary_is_strict(self, monkeypatch):
+        monitor = BudgetMonitor(ResourceBudget(max_rss_mb=100.0))
+        monkeypatch.setattr(budget, "current_rss_mb", lambda: 100.0)
+        assert monitor.check() is None
+        monkeypatch.setattr(budget, "current_rss_mb", lambda: 100.5)
+        pressure = monitor.check()
+        assert pressure.limit == "max_rss_mb"
+        assert pressure.value == 100.5
+        assert pressure.threshold == 100.0
+
+    def test_unmeasurable_rss_is_inert(self, monkeypatch):
+        # No ``resource`` module: the guard must skip, never trip.
+        monitor = BudgetMonitor(ResourceBudget(max_rss_mb=0.001))
+        monkeypatch.setattr(budget, "current_rss_mb", lambda: None)
+        assert monitor.check() is None
+
+    def test_wall_clock_reported_before_rss(self, monkeypatch):
+        monitor = BudgetMonitor(
+            ResourceBudget(max_seconds=1.0, max_rss_mb=1.0)
+        )
+        monkeypatch.setattr(
+            BudgetMonitor, "elapsed", property(lambda self: 2.0)
+        )
+        monkeypatch.setattr(budget, "current_rss_mb", lambda: 2.0)
+        assert monitor.check().limit == "max_seconds"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceBudget(max_seconds=0)
+        with pytest.raises(ValueError):
+            ResourceBudget(max_rss_mb=-1.0)
+
+
+class TestBudgetPressure:
+    def test_stringifies_to_the_message(self):
+        pressure = BudgetPressure(
+            limit="max_rss_mb", value=2.0, threshold=1.0, message="over"
+        )
+        assert str(pressure) == "over"
+        assert f"{pressure}" == "over"
+
+
+class TestAdmissionPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_sessions=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_rss_mb=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_open_fds=0)
+        assert not AdmissionPolicy()
+        assert AdmissionPolicy(max_sessions=1)
+
+    def test_admit_counts_the_next_session(self):
+        policy = AdmissionPolicy(max_sessions=2)
+        assert policy.admit(0) is None
+        assert policy.admit(1) is None
+        refusal = policy.admit(2)
+        assert refusal.limit == "max_sessions"
+        assert refusal.value == 3
+        assert refusal.threshold == 2
+
+    def test_pressure_only_reacts_to_crossed_limits(self):
+        policy = AdmissionPolicy(max_sessions=2)
+        assert policy.pressure(2) is None  # at the cap: no shedding
+        pressure = policy.pressure(3)
+        assert pressure.limit == "max_sessions"
+        assert pressure.value == 3
+
+    def test_rss_guard(self, monkeypatch):
+        policy = AdmissionPolicy(max_rss_mb=64.0)
+        monkeypatch.setattr(budget, "current_rss_mb", lambda: 63.0)
+        assert policy.pressure(0) is None
+        monkeypatch.setattr(budget, "current_rss_mb", lambda: 65.0)
+        pressure = policy.pressure(0)
+        assert pressure.limit == "max_rss_mb"
+        # Admission passes the same guard through.
+        assert policy.admit(0).limit == "max_rss_mb"
+
+    def test_fd_guard(self, monkeypatch):
+        policy = AdmissionPolicy(max_open_fds=5)
+        monkeypatch.setattr(budget, "current_open_fds", lambda: 5)
+        assert policy.pressure(0) is None
+        monkeypatch.setattr(budget, "current_open_fds", lambda: 6)
+        pressure = policy.pressure(0)
+        assert pressure.limit == "max_open_fds"
+        assert pressure.value == 6
+
+    def test_unmeasurable_guards_are_inert(self, monkeypatch):
+        policy = AdmissionPolicy(max_rss_mb=0.001, max_open_fds=1)
+        monkeypatch.setattr(budget, "current_rss_mb", lambda: None)
+        monkeypatch.setattr(budget, "current_open_fds", lambda: None)
+        assert policy.admit(0) is None
+        assert policy.pressure(10) is None
+
+
+class TestProbes:
+    def test_current_rss_mb_is_positive_when_measurable(self):
+        rss = current_rss_mb()
+        if rss is not None:
+            assert rss > 0
+
+    def test_current_open_fds_is_positive_when_measurable(self):
+        fds = current_open_fds()
+        if fds is not None:
+            assert fds > 0
+
+
+class TestDegradePolicies:
+    def test_round_trip(self):
+        assert validate_degrade("fail") == "fail"
+        assert validate_degrade("shed") == "shed"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown degrade"):
+            validate_degrade("panic")

@@ -7,6 +7,7 @@ to an uninterrupted run, under every injected fault kind.
 """
 
 import dataclasses
+import errno
 import json
 import os
 import random
@@ -21,7 +22,13 @@ from repro.compiler import compile_ruleset
 from repro.core import available_backends, use_backend
 from repro.engine import BatchEngine, EngineConfig
 from repro.engine.budget import BudgetMonitor, ResourceBudget, validate_degrade
-from repro.engine.checkpoint import KEEP, CheckpointStore, DurableScan
+from repro.engine import checkpoint
+from repro.engine.checkpoint import (
+    KEEP,
+    CheckpointStore,
+    DurableScan,
+    session_dirname,
+)
 from repro.errors import BudgetExceededError, CheckpointError
 from repro.hardware.config import DEFAULT_CONFIG
 from repro.simulators.rap import RAPSimulator
@@ -310,7 +317,9 @@ class TestBudgets:
         monitor = BudgetMonitor(ResourceBudget(max_seconds=0.01))
         assert monitor.check() is None or monitor.elapsed > 0.01
         time.sleep(0.02)
-        assert "wall-clock" in monitor.check()
+        pressure = monitor.check()
+        assert "wall-clock" in str(pressure)
+        assert pressure.limit == "max_seconds"
 
     def test_budget_validation(self):
         with pytest.raises(ValueError):
@@ -412,3 +421,180 @@ class TestDurableScanState:
             scan.shed(1.0, "pressure")
         activity = scan.finish()
         assert activity.input_symbols == 500
+
+
+class TestSessionNamespacing:
+    """Satellite: a shared checkpoint root is multi-writer safe."""
+
+    def test_session_dirname_passthrough(self):
+        assert session_dirname("tenant-1.s_2") == "tenant-1.s_2"
+
+    def test_session_dirname_percent_encodes(self):
+        assert session_dirname("t/s 1") == "t%2fs%201"
+        assert "/" not in session_dirname("a/../../b")
+
+    def test_session_dirname_truncates_without_collisions(self):
+        a = session_dirname("x" * 100 + "a")
+        b = session_dirname("x" * 100 + "b")
+        assert a != b
+        assert len(a) <= 64 and len(b) <= 64
+
+    def test_multi_writer_prune_isolation(self, tmp_path):
+        """Regression: two sessions sharing one root must never prune
+        each other.  Un-namespaced, the low-offset writer's newest entry
+        sorts below the neighbour's and KEEP-pruning deletes it right
+        after commit."""
+        low = CheckpointStore(tmp_path, session="low")
+        high = CheckpointStore(tmp_path, session="high")
+        for offset in (10_000, 20_000, 30_000):
+            high.write({"who": "high", "offset": offset}, offset)
+        low.write({"who": "low", "offset": 5}, 5)
+        high.write({"who": "high", "offset": 40_000}, 40_000)
+        assert low.load_latest() == {"who": "low", "offset": 5}
+        assert high.load_latest() == {"who": "high", "offset": 40_000}
+
+    def test_same_session_shares_one_namespace(self, tmp_path):
+        writer = CheckpointStore(tmp_path, session="t/s")
+        reader = CheckpointStore(tmp_path, session="t/s")
+        writer.write({"n": 1}, 10)
+        assert reader.load_latest() == {"n": 1}
+        assert reader.root == writer.root
+
+
+class TestStoreRecovery:
+    """Satellite: load_latest with nothing intact left to load."""
+
+    def test_only_corrupt_checkpoints_returns_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write({"n": 1}, 100)
+        store.write({"n": 2}, 200)
+        stray = tmp_path / "NOTES.txt"
+        stray.write_text("operator breadcrumb, not a checkpoint")
+        for path in sorted(tmp_path.glob("ckpt-*.json")):
+            path.write_text("{ torn")
+        assert store.load_latest() is None
+        assert store.discarded == 2
+        # Corrupt entries are unlinked; unrelated files are untouched.
+        assert list(tmp_path.glob("ckpt-*.json")) == []
+        assert stray.read_text() == "operator breadcrumb, not a checkpoint"
+
+    def test_stray_json_is_not_parsed_as_a_checkpoint(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write({"n": 1}, 100)
+        (tmp_path / "summary.json").write_text("not a checkpoint")
+        assert store.load_latest() == {"n": 1}
+        assert store.discarded == 0
+
+
+class TestStoreLocking:
+    """Satellite: the write+prune critical section is serialized."""
+
+    def test_live_holder_times_out_the_writer(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(checkpoint, "LOCK_TIMEOUT_SECONDS", 0.1)
+        store = CheckpointStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        lock = store.root / ".lock"
+        lock.write_text(str(os.getpid()))  # this process: provably alive
+        with pytest.raises(OSError) as info:
+            store.write({"n": 1}, 1)
+        assert info.value.errno == errno.EWOULDBLOCK
+        lock.unlink()
+        store.write({"n": 1}, 1)  # released: writes proceed again
+        assert store.load_latest() == {"n": 1}
+
+    def test_dead_holder_lock_breaks_immediately(self, tmp_path):
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()  # reaped: the pid is provably dead
+        store = CheckpointStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        (store.root / ".lock").write_text(str(probe.pid))
+        store.write({"n": 2}, 2)  # no timeout wait needed
+        assert store.lock_breaks == 1
+        assert store.load_latest() == {"n": 2}
+
+    def test_pidless_lock_only_breaks_when_stale(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(checkpoint, "LOCK_TIMEOUT_SECONDS", 0.1)
+        store = CheckpointStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        lock = store.root / ".lock"
+        # A holder caught between O_EXCL-create and writing its pid must
+        # not be broken while fresh...
+        lock.write_text("")
+        with pytest.raises(OSError):
+            store.write({"n": 1}, 1)
+        assert store.lock_breaks == 0
+        # ...but once clearly stale it must not wedge the store forever.
+        old = time.time() - checkpoint.LOCK_STALE_SECONDS - 1
+        os.utime(lock, (old, old))
+        store.write({"n": 1}, 1)
+        assert store.lock_breaks == 1
+        assert store.load_latest() == {"n": 1}
+
+    def test_clear_survives_a_wedged_lock(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(checkpoint, "LOCK_TIMEOUT_SECONDS", 0.1)
+        store = CheckpointStore(tmp_path)
+        store.write({"n": 1}, 1)
+        (store.root / ".lock").write_text(str(os.getpid()))
+        store.clear()  # must not raise: completion beats the lock
+        assert store.load_latest() is None
+
+
+class TestDetachedResume:
+    """Satellite: resuming without the consumed prefix bytes (the
+    streaming service's cross-worker handoff)."""
+
+    def test_detached_continuation_is_bit_identical(
+        self, ruleset, data, reference
+    ):
+        sim = RAPSimulator(DEFAULT_CONFIG)
+        mapping = sim.build_mapping(ruleset)
+        first = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        split = len(data) // 2
+        first.feed(data[:split], at_end=False)
+        doc = json.loads(json.dumps(first.snapshot()))
+        resumed = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        resumed.restore_detached(doc)
+        assert resumed.offset == split
+        resumed.feed(data[split:], at_end=True)
+        result = sim.run_from_activity(ruleset, resumed.finish(), mapping)
+        assert dataclasses.asdict(result.metrics) == dataclasses.asdict(
+            reference.metrics
+        )
+
+    def test_restore_refuses_detached_documents(self, ruleset, data):
+        sim = RAPSimulator(DEFAULT_CONFIG)
+        mapping = sim.build_mapping(ruleset)
+        scan = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        scan.feed(data[:1000], at_end=False)
+        detached = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        detached.restore_detached(scan.snapshot())
+        doc = detached.snapshot()
+        assert doc["detached"] is True
+        fresh = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        with pytest.raises(CheckpointError, match="detached"):
+            fresh.restore(doc, data)
+        # The detached lineage itself keeps resuming fine.
+        again = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        again.restore_detached(doc)
+        assert again.offset == 1000
+
+    def test_detached_chain_digest_binds_the_byte_sequence(
+        self, ruleset, data
+    ):
+        sim = RAPSimulator(DEFAULT_CONFIG)
+        mapping = sim.build_mapping(ruleset)
+        scan = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+        scan.feed(data[:1000], at_end=False)
+        doc = scan.snapshot()
+
+        def continue_with(segment):
+            resumed = DurableScan(ruleset, mapping, DEFAULT_CONFIG)
+            resumed.restore_detached(doc)
+            resumed.feed(segment, at_end=False)
+            return resumed.snapshot()["input_sha"]
+
+        same = continue_with(data[1000:2000])
+        identical = continue_with(data[1000:2000])
+        diverged = continue_with(b"x" * 1000)
+        assert same == identical
+        assert same != diverged

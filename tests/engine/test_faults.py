@@ -207,3 +207,39 @@ class TestCheckpointInjection:
         faults.inject_checkpoint_commit(second, 1, plan)
         assert first.read_bytes() == b"x" * 100
         assert second.read_bytes() == b"y" * 50
+
+
+class TestConnectionKinds:
+    """Connection-level fault kinds for the scan service soak tests."""
+
+    def test_conn_kinds_parse_and_round_trip(self):
+        plan = FaultPlan.parse("disconnect@3;stall@10*0.2;garbage@7;reload@13")
+        assert [d.kind for d in plan.directives] == [
+            "disconnect",
+            "stall",
+            "garbage",
+            "reload",
+        ]
+        assert FaultPlan.parse(plan.spec()) == plan
+
+    def test_stall_spec_keeps_the_duration(self):
+        plan = FaultPlan.parse("stall@2*0.25")
+        assert plan.spec() == "stall@2:0*0.25"
+        (d,) = plan.directives
+        assert d.seconds == 0.25
+
+    def test_for_conn_matches_the_segment_ordinal(self):
+        plan = FaultPlan.parse("disconnect@3;kill@3;garbage@7")
+        hit = plan.for_conn(3)
+        assert hit is not None and hit.kind == "disconnect"
+        assert plan.for_conn(2) is None
+        assert plan.for_conn(7).kind == "garbage"
+        # The engine-level kind at the same index stays engine-level.
+        assert plan.for_chunk(3).kind == "kill"
+
+    def test_conn_kinds_never_fire_at_engine_sites(self):
+        plan = FaultPlan.parse("disconnect@0;stall@0*0.1;garbage@0;reload@0")
+        assert plan.for_unit(0, 0) is None
+        assert plan.for_chunk(0) is None
+        assert plan.for_cache_put(0) is None
+        assert plan.for_checkpoint_write(0) is None

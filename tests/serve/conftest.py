@@ -1,0 +1,22 @@
+"""Package fixtures: one registry (compile-cache warm) and one golden."""
+
+import pytest
+
+from repro.serve.registry import TenantRegistry
+from tests.serve.util import golden_totals, make_data
+
+
+@pytest.fixture(scope="package")
+def registry():
+    return TenantRegistry()
+
+
+@pytest.fixture(scope="package")
+def data():
+    return make_data()
+
+
+@pytest.fixture(scope="package")
+def golden(registry, data):
+    """(matches, energy_uj) of the uninterrupted scan of ``data``."""
+    return golden_totals(registry, data)

@@ -1,0 +1,101 @@
+"""Wire-protocol tests: codec strictness and framing robustness."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        frame = {"op": "data", "b64": "aGk=", "n": 3}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encoding_is_one_line(self):
+        wire = encode_frame({"op": "ping"})
+        assert wire.endswith(b"\n")
+        assert wire.count(b"\n") == 1
+
+    def test_unparsable_json_rejected(self):
+        with pytest.raises(ProtocolError, match="unparsable"):
+            decode_frame(b"\x00this is not a frame\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="not an object"):
+            decode_frame(b"[1,2,3]\n")
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError, match="no op"):
+            decode_frame(b'{"x": 1}\n')
+
+    def test_blank_op_rejected(self):
+        with pytest.raises(ProtocolError, match="no op"):
+            decode_frame(b'{"op": ""}\n')
+
+    def test_frame_limit_admits_service_segments(self):
+        # Base64 inflates by 4/3: a limit under ~5.5 MiB would reject
+        # legitimate data frames near the documented segment ceiling.
+        assert MAX_FRAME_BYTES >= 8 << 20
+
+
+class TestReadFrame:
+    def test_reads_frames_then_none_at_eof(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"op": "ping"}))
+            reader.feed_data(encode_frame({"op": "pong"}))
+            reader.feed_eof()
+            return (
+                await read_frame(reader),
+                await read_frame(reader),
+                await read_frame(reader),
+            )
+
+        first, second, third = asyncio.run(scenario())
+        assert first["op"] == "ping"
+        assert second["op"] == "pong"
+        assert third is None
+
+    def test_truncated_final_line_is_a_protocol_error(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b'{"op": "ping"')  # peer died mid-frame
+            reader.feed_eof()
+            with pytest.raises(ProtocolError, match="truncated"):
+                await read_frame(reader)
+
+        asyncio.run(scenario())
+
+    def test_oversized_line_is_a_protocol_error(self):
+        async def scenario():
+            reader = asyncio.StreamReader(limit=1024)
+            reader.feed_data(b"x" * 4096)  # no newline inside the limit
+            with pytest.raises(ProtocolError, match="size limit"):
+                await read_frame(reader)
+
+        asyncio.run(scenario())
+
+    def test_read_deadline_expires(self):
+        async def scenario():
+            reader = asyncio.StreamReader()  # nothing will ever arrive
+            with pytest.raises(asyncio.TimeoutError):
+                await read_frame(reader, timeout=0.05)
+
+        asyncio.run(scenario())
+
+    def test_malformed_line_is_a_protocol_error(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"not json\n")
+            reader.feed_eof()
+            with pytest.raises(ProtocolError, match="unparsable"):
+                await read_frame(reader)
+
+        asyncio.run(scenario())

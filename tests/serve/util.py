@@ -1,0 +1,100 @@
+"""Shared plumbing for the scan-service tests.
+
+The environment has no pytest-asyncio: every async scenario runs under
+:func:`run` — a plain ``asyncio.run`` with a global deadline so a wedged
+scenario fails the test instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+
+from repro.engine.checkpoint import DurableScan
+from repro.serve.registry import TenantEntry, TenantRegistry
+from repro.serve.server import ScanServer, ServeConfig
+from repro.simulators.rap import RAPSimulator
+
+# Mixed-mode ruleset (LNFA bins + NBVA + NFA) with an end anchor, so the
+# streaming deferral of the final segment is actually load-bearing.
+PATTERNS = ["abc", "a.c", "end$", "hello|world", "xy*z"]
+# Compiles to a genuinely different fingerprint (hot-reload tests).
+ALT_PATTERNS = ["abc", "world", "zz+"]
+ALPHABET = b"abcxyz endhello world"
+
+
+def make_data(length: int = 6000, seed: int = 7) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.choice(ALPHABET) for _ in range(length)) + b" helloend"
+
+
+def golden_totals(
+    registry: TenantRegistry, data: bytes, patterns=PATTERNS
+) -> tuple[int, float]:
+    """Matches and energy of one uninterrupted, non-serve scan."""
+    ruleset, mapping, _ = registry.compile(patterns)
+    scan = DurableScan(
+        ruleset, mapping, registry.hw, bin_size=registry.bin_size
+    )
+    scan.feed(data, at_end=True)
+    matches = sum(len(ends) for ends in scan.match_lists().values())
+    energy = RAPSimulator(registry.hw).run_from_activity(
+        ruleset, scan.finish(), mapping
+    ).energy_uj
+    return matches, energy
+
+
+def entry_for(
+    registry: TenantRegistry,
+    patterns,
+    *,
+    tenant: str = "t",
+    generation: int = 1,
+) -> TenantEntry:
+    """A TenantEntry without touching the registry's namespace state."""
+    ruleset, mapping, fingerprint = registry.compile(patterns)
+    return TenantEntry(
+        tenant=tenant,
+        generation=generation,
+        patterns=tuple(patterns),
+        ruleset=ruleset,
+        mapping=mapping,
+        fingerprint=fingerprint,
+    )
+
+
+@contextlib.asynccontextmanager
+async def running_server(checkpoint_dir, registry=None, **overrides):
+    config = ServeConfig(checkpoint_dir=str(checkpoint_dir), **overrides)
+    server = ScanServer(config, registry)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+async def finish_stream(client, data: bytes, segment_bytes: int = 800):
+    """Stream ``data`` from the client's current offset and finish."""
+    while client.offset < len(data):
+        segment = data[client.offset : client.offset + segment_bytes]
+        await client.send(segment)
+        client.offset += len(segment)
+    return await client.end()
+
+
+async def poll_until(predicate, timeout: float = 10.0, interval: float = 0.05):
+    """Await a condition the server reaches asynchronously (watchdogs)."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() >= deadline:
+            raise AssertionError("condition not reached before deadline")
+        await asyncio.sleep(interval)
+
+
+def run(coro, timeout: float = 60.0):
+    async def guarded():
+        return await asyncio.wait_for(coro, timeout=timeout)
+
+    return asyncio.run(guarded())

@@ -295,3 +295,56 @@ class TestExperiment:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestServeCLI:
+    """Serve/loadgen flag plumbing: structured exit codes, validation."""
+
+    def test_serve_help_documents_flags_and_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["serve", "--help"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--max-sessions", "--idle-timeout", "--drain-seconds"):
+            assert flag in out
+        # The epilog spells out the structured exit codes.
+        assert "2" in out and "5" in out
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--max-sessions", "0"],
+            ["--idle-timeout", "0"],
+            ["--drain-seconds", "-1"],
+            ["--max-rss-mb", "-5"],
+            ["--port", "70000"],
+        ],
+    )
+    def test_invalid_config_exits_2_before_binding(
+        self, flags, tmp_path, capsys
+    ):
+        code = main(
+            ["serve", "--checkpoint-dir", str(tmp_path / "ck"), *flags]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        # The offending flag is named in the structured context.
+        assert flags[0].lstrip("-").replace("-", "_").split("_")[0] in err
+
+    def test_loadgen_rejects_bad_fault_plan_before_connecting(
+        self, pattern_file, capsys
+    ):
+        code = main(
+            [
+                "loadgen",
+                "--port",
+                "1",
+                "--patterns",
+                str(pattern_file),
+                "--fault-plan",
+                "bogus@0",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
