@@ -12,6 +12,7 @@ Commands
 ``inspect``     summarize a compiled JSON ruleset
 ``workload``    emit a synthetic benchmark's patterns
 ``serve``       run the streaming multi-tenant scan service
+``fleet``       supervise a pool of serve workers behind one endpoint
 ``loadgen``     drive fault-injected sessions against a running server
 """
 
@@ -286,6 +287,123 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BYTES",
         help="bytes fed between periodic session checkpoints "
         "(default: 1 MiB; park/detach/drain always checkpoint)",
+    )
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="supervise a pool of serve workers behind one endpoint",
+        description="Spawn and babysit N `rap serve` workers sharing "
+        "one checkpoint root, proxying every client connection from a "
+        "single advertised port.  Workers are health-probed over the "
+        "ping op and fenced (SIGKILL) plus restarted with capped "
+        "exponential backoff when they crash or wedge; SIGHUP "
+        "live-migrates the most-loaded worker's sessions onto its "
+        "peers (checkpoint, park, re-home, byte-identical resume); "
+        "per-tenant circuit breakers refuse pathological tenants with "
+        "a structured retry_after.  SIGTERM drains the whole fleet.",
+        epilog="exit codes: 0 clean shutdown; 2 invalid configuration; "
+        "5 a worker lost durability during the final drain.",
+    )
+    p_fleet.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes to supervise (default: 2)",
+    )
+    p_fleet.add_argument("--host", default="127.0.0.1")
+    p_fleet.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="advertised TCP port (default 0: ephemeral, printed on "
+        "the readiness line)",
+    )
+    p_fleet.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=Path(".rap-serve"),
+        help="checkpoint root shared by every worker — sharing it is "
+        "what makes sessions migratable (default: .rap-serve)",
+    )
+    p_fleet.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="per-worker admission cap (default: 64)",
+    )
+    p_fleet.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        help="per-worker idle eviction timeout (default: 300)",
+    )
+    p_fleet.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        help="per-worker drain grace on shutdown (default: 5)",
+    )
+    p_fleet.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1 << 20,
+        metavar="BYTES",
+        help="per-worker periodic checkpoint interval (default: 1 MiB)",
+    )
+    p_fleet.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        help="seconds between health-probe rounds (default: 1)",
+    )
+    p_fleet.add_argument(
+        "--ping-timeout",
+        type=float,
+        default=2.0,
+        help="deadline for one ping round-trip (default: 2)",
+    )
+    p_fleet.add_argument(
+        "--fail-threshold",
+        type=int,
+        default=3,
+        help="consecutive missed probes before a worker is fenced and "
+        "restarted (default: 3)",
+    )
+    p_fleet.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive tenant failures before its circuit opens "
+        "(default: 5)",
+    )
+    p_fleet.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=1.0,
+        help="seconds an open circuit waits before admitting a "
+        "half-open probe; doubles (capped) on a failed probe "
+        "(default: 1)",
+    )
+    p_fleet.add_argument(
+        "--migrate-hold",
+        type=float,
+        default=2.0,
+        dest="migrate_hold",
+        help="seconds a released worker is held out of routing so its "
+        "sessions actually migrate to peers (default: 2)",
+    )
+    p_fleet.add_argument(
+        "--log-dir",
+        type=Path,
+        default=None,
+        help="capture each worker's output to worker-<i>.log here "
+        "(default: discard at debug level)",
+    )
+    p_fleet.add_argument(
+        "--fault-plan",
+        default=None,
+        help="fleet fault directives fired at health-round ordinals, "
+        "e.g. 'killworker@4;wedge@9' (default: RAP_FAULT_PLAN or none)",
     )
 
     p_load = sub.add_parser(
@@ -746,6 +864,56 @@ def cmd_serve(args) -> int:
     return asyncio.run(server.serve_forever(on_ready=on_ready))
 
 
+def cmd_fleet(args) -> int:
+    """Handler for ``repro fleet``."""
+    import asyncio
+
+    from repro.engine.faults import FaultPlan, plan_from_env
+    from repro.errors import ServeConfigError
+    from repro.serve.fleet import FleetConfig, FleetSupervisor
+    from repro.serve.server import EXIT_CONFIG
+
+    try:
+        plan = (
+            FaultPlan.parse(args.fault_plan)
+            if args.fault_plan is not None
+            else plan_from_env()
+        )
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_CONFIG
+    config = FleetConfig(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        checkpoint_dir=str(args.checkpoint_dir),
+        max_sessions=args.max_sessions,
+        idle_timeout=args.idle_timeout,
+        drain_seconds=args.drain_seconds,
+        checkpoint_interval_bytes=args.checkpoint_every,
+        health_interval=args.health_interval,
+        ping_timeout=args.ping_timeout,
+        fail_threshold=args.fail_threshold,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        migrate_hold_seconds=args.migrate_hold,
+        log_dir=str(args.log_dir) if args.log_dir is not None else None,
+    )
+    try:
+        supervisor = FleetSupervisor(config, plan=plan)
+    except ServeConfigError as err:
+        print(f"error: {err}", file=sys.stderr)
+        for key, value in sorted(err.context().items()):
+            print(f"  {key}: {value!r}", file=sys.stderr)
+        return EXIT_CONFIG
+
+    def on_ready(port: int) -> None:
+        # The readiness line operators (and the CI soak) wait for.
+        print(f"fleet listening on {config.host}:{port}", flush=True)
+
+    return asyncio.run(supervisor.serve_forever(on_ready=on_ready))
+
+
 def _loadgen_payload(patterns: list[str], size: int, seed: int) -> bytes:
     """A deterministic payload biased to exercise the given patterns."""
     import random
@@ -828,6 +996,7 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": cmd_inspect,
         "workload": cmd_workload,
         "serve": cmd_serve,
+        "fleet": cmd_fleet,
         "loadgen": cmd_loadgen,
     }
     return handlers[args.command](args)

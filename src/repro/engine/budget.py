@@ -17,6 +17,15 @@ reported as a structured :class:`BudgetPressure` (which limit, measured
 value, threshold) so error context and reject frames can name the
 tripped guard instead of shipping an opaque string.
 
+The fleet supervisor (``repro.serve.fleet``) adds the last tier: a
+:class:`CircuitBreaker` per tenant gates admission to the *whole pool*.
+A tenant whose ruleset keeps failing (compile errors, worker-killing
+pathologies) trips its breaker open; while open, the supervisor answers
+that tenant's opens with a structured ``retry_after`` instead of
+spending a worker — and the fleet's restart budget — on it.  After a
+cool-down, exactly one half-open probe is admitted: success closes the
+breaker, failure re-opens it with an escalated (capped) cool-down.
+
 RSS comes from ``resource.getrusage`` — stdlib-only, but the peak
 (high-water mark), not the current size, and in platform-dependent
 units (kilobytes on Linux, bytes on macOS).  That is the right guard
@@ -233,6 +242,103 @@ class AdmissionPolicy:
         return None
 
 
+class CircuitBreaker:
+    """Closed → open on consecutive failures; half-open probe admission.
+
+    The supervisor calls :meth:`admit` before routing a tenant's open,
+    :meth:`record_failure` when the tenant's conversation fails
+    (structured error frame, abrupt worker-side loss before any
+    terminal frame), and :meth:`record_success` on a ``welcome`` or
+    ``result``.  Consecutive-failure semantics mean a tenant that
+    interleaves successes never trips — only a ruleset that fails
+    *every* attempt does, which is exactly the pathological feed the
+    breaker exists to contain.
+
+    ``clock`` is injectable so tests can step time deterministically.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 1.0,
+        cooldown_cap: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if not cooldown_seconds > 0:
+            raise ValueError("cooldown_seconds must be positive")
+        if cooldown_cap < cooldown_seconds:
+            raise ValueError("cooldown_cap must be >= cooldown_seconds")
+        self.failure_threshold = failure_threshold
+        self.base_cooldown = cooldown_seconds
+        self.cooldown_cap = cooldown_cap
+        self._clock = clock
+        self.state = self.CLOSED
+        self.failures = 0  # consecutive failures while closed
+        self.trips = 0  # times the breaker opened (diagnostics)
+        self._cooldown = cooldown_seconds
+        self._opened_at = 0.0
+
+    def admit(self) -> tuple[bool, float]:
+        """``(admitted, retry_after)`` for one attempt right now.
+
+        Closed admits everything (``retry_after`` 0).  Open rejects
+        with the remaining cool-down until it elapses, then admits
+        exactly one half-open probe; further attempts while the probe
+        is in flight are rejected so a reconnect herd cannot stampede
+        a recovering tenant.
+        """
+        if self.state == self.CLOSED:
+            return True, 0.0
+        if self.state == self.OPEN:
+            remaining = self._opened_at + self._cooldown - self._clock()
+            if remaining > 0:
+                return False, remaining
+            self.state = self.HALF_OPEN
+            return True, 0.0
+        # HALF_OPEN: one probe is already in flight.
+        return False, self._cooldown
+
+    def record_success(self) -> None:
+        """An attempt succeeded: close and forget the failure history."""
+        self.state = self.CLOSED
+        self.failures = 0
+        self._cooldown = self.base_cooldown
+
+    def record_failure(self) -> None:
+        """An attempt failed: count it, trip when the threshold is hit.
+
+        A failed half-open probe re-opens immediately with a doubled
+        (capped) cool-down — each failed recovery attempt buys the
+        fleet a longer quiet period.
+        """
+        if self.state == self.HALF_OPEN:
+            self._cooldown = min(self.cooldown_cap, self._cooldown * 2)
+            self._trip()
+            return
+        self.failures += 1
+        if self.state == self.CLOSED and self.failures >= self.failure_threshold:
+            self._trip()
+
+    def abandon_probe(self) -> None:
+        """The half-open probe never ran (no worker was available, the
+        client walked away): re-open without escalating the cool-down —
+        the tenant was not at fault, so the next probe may come as soon
+        as the original cool-down allows."""
+        if self.state == self.HALF_OPEN:
+            self.state = self.OPEN
+
+    def _trip(self) -> None:
+        self.state = self.OPEN
+        self._opened_at = self._clock()
+        self.trips += 1
+
+
 DEGRADE_POLICIES = ("fail", "shed")
 
 
@@ -251,6 +357,7 @@ __all__ = [
     "AdmissionPolicy",
     "BudgetMonitor",
     "BudgetPressure",
+    "CircuitBreaker",
     "ResourceBudget",
     "current_open_fds",
     "current_rss_mb",

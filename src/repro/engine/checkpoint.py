@@ -93,6 +93,33 @@ LOCK_TIMEOUT_SECONDS = 5.0
 LOCK_STALE_SECONDS = 30.0
 
 
+def process_start_time(pid: int) -> str | None:
+    """The kernel's start-time stamp for ``pid``, or ``None``.
+
+    A bare pid does not identify a process: after the pid space wraps,
+    an unrelated live process can wear a dead lock holder's number and
+    keep its lock un-breakable.  ``(pid, start time)`` does identify
+    one — field 22 of ``/proc/<pid>/stat`` is the jiffy count at which
+    the process started, which a recycled pid can never reproduce.
+    Returns ``None`` where ``/proc`` is unavailable (non-Linux), making
+    the start-time check inert rather than wrong.
+
+    The stat line embeds the comm field in parentheses (itself allowed
+    to contain spaces and parens), so fields are counted from the last
+    ``)``, not split naively.
+    """
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_text()
+    except OSError:
+        return None
+    # comm ends at the last ')'; field 3 (state) starts after it, so
+    # start time — field 22 overall — is the 20th space-split token.
+    tail = stat.rpartition(")")[2].split()
+    if len(tail) < 20:
+        return None
+    return tail[19]
+
+
 def session_dirname(session: str) -> str:
     """A filesystem-safe directory name for one session's namespace.
 
@@ -172,7 +199,11 @@ class CheckpointStore:
                     ) from None
                 time.sleep(0.002)
         try:
-            os.write(fd, str(os.getpid()).encode())
+            stamp = {"pid": os.getpid()}
+            start = process_start_time(os.getpid())
+            if start is not None:
+                stamp["start"] = start
+            os.write(fd, json.dumps(stamp).encode())
             os.close(fd)
             yield
         finally:
@@ -182,15 +213,36 @@ class CheckpointStore:
                 pass
 
     def _break_stale_lock(self, lock: Path) -> bool:
-        """Remove a lock whose holder is provably dead or ancient."""
+        """Remove a lock whose holder is provably dead or ancient.
+
+        The stamp is JSON ``{"pid", "start"}``; a holder whose pid is
+        alive but whose measured start time differs from the stamped
+        one is a pid-reuse impostor — the real holder is dead, so the
+        lock breaks immediately instead of wedging behind an unrelated
+        process.  Legacy bare-pid stamps (older writers, hand-written
+        locks) keep the conservative liveness-only rule.
+        """
         try:
             age = time.time() - lock.stat().st_mtime
         except OSError:
             return True  # lock vanished under us: retry immediately
+        pid, stamped_start = 0, None
         try:
-            pid = int(lock.read_text().strip() or "0")
-        except (OSError, ValueError):
-            pid = 0
+            raw = lock.read_text().strip()
+        except OSError:
+            raw = ""
+        if raw.startswith("{"):
+            try:
+                stamp = json.loads(raw)
+                pid = int(stamp.get("pid") or 0)
+                stamped_start = stamp.get("start")
+            except (ValueError, TypeError, AttributeError):
+                pid = 0
+        else:
+            try:
+                pid = int(raw or "0")
+            except ValueError:
+                pid = 0
         if pid <= 0:
             # The holder may be between O_EXCL-create and writing its
             # pid; only break a pid-less lock once it is clearly stale.
@@ -204,6 +256,10 @@ class CheckpointStore:
                 alive = False
             except OSError:
                 alive = True  # e.g. EPERM: someone owns it, assume live
+            if alive and stamped_start is not None:
+                current = process_start_time(pid)
+                if current is not None and current != stamped_start:
+                    alive = False  # same pid, different process
             if alive and age < LOCK_STALE_SECONDS:
                 return False
         try:
@@ -760,5 +816,6 @@ __all__ = [
     "KEEP",
     "CheckpointStore",
     "DurableScan",
+    "process_start_time",
     "session_dirname",
 ]

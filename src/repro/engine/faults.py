@@ -48,6 +48,16 @@ Directive kinds and where they fire:
     ruleset reload.  The load generator fires them; the chaos tests
     prove a session torn down by any of them resumes to byte-identical
     matches and energy.
+``killworker`` / ``wedge``
+    At the *index*-th health round of the fleet supervisor
+    (``repro.serve.fleet``): deliver ``SIGKILL`` to one worker (the
+    unannounced worker death the supervisor must detect and re-home
+    sessions around) or ``SIGSTOP`` it (a wedged worker — alive at the
+    process level but unresponsive to pings, exactly the failure the
+    health gate exists to catch; the supervisor fences it with
+    ``SIGKILL`` once the gate trips).  Victims rotate round-robin over
+    the pool in directive firing order, so a canned plan names a
+    deterministic kill sequence.
 
 Plan specs are compact strings — directives separated by ``;`` or
 ``,``, each ``kind@index[:attempt][*seconds]``::
@@ -93,8 +103,20 @@ CHECKPOINT_KINDS = ("torn_checkpoint", "disk_full")
 # reload at that segment boundary.  The load generator interprets the
 # directives; the service only proves it survives them.
 CONN_KINDS = ("disconnect", "stall", "garbage", "reload")
+# Fleet-level kinds, fired by the supervisor itself at the *index*-th
+# health round (``repro.serve.fleet``): ``killworker`` SIGKILLs one
+# worker of the pool, ``wedge`` SIGSTOPs it so the process stays alive
+# but stops answering pings.  Both exercise the supervisor's health
+# gate, fencing, and session re-homing; neither may cost a client a
+# byte of results.
+FLEET_KINDS = ("killworker", "wedge")
 ALL_KINDS = (
-    UNIT_KINDS + CACHE_KINDS + CHUNK_KINDS + CHECKPOINT_KINDS + CONN_KINDS
+    UNIT_KINDS
+    + CACHE_KINDS
+    + CHUNK_KINDS
+    + CHECKPOINT_KINDS
+    + CONN_KINDS
+    + FLEET_KINDS
 )
 
 
@@ -212,6 +234,13 @@ class FaultPlan:
         """The connection directive firing at the given segment ordinal."""
         for directive in self.directives:
             if directive.kind in CONN_KINDS and directive.index == ordinal:
+                return directive
+        return None
+
+    def for_fleet_tick(self, ordinal: int) -> FaultDirective | None:
+        """The fleet directive firing at the given health-round ordinal."""
+        for directive in self.directives:
+            if directive.kind in FLEET_KINDS and directive.index == ordinal:
                 return directive
         return None
 
@@ -412,6 +441,7 @@ __all__ = [
     "CHUNK_KINDS",
     "CONN_KINDS",
     "FAULT_PLAN_ENV",
+    "FLEET_KINDS",
     "UNIT_KINDS",
     "FaultDirective",
     "FaultPlan",

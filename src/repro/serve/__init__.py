@@ -25,10 +25,16 @@ different worker after a crash.  Robustness is the headline feature:
   ``reload``) are interpreted by the load generator
   (:mod:`repro.serve.client`), and the test suite proves a session torn
   down mid-stream by any of them — or by ``SIGKILL`` of the worker —
-  resumes to byte-identical matches and energy.
+  resumes to byte-identical matches and energy;
+* a fleet supervisor (:mod:`repro.serve.fleet`) that babysits a pool of
+  workers behind one endpoint: health-gated failover with SIGKILL
+  fencing, live session migration on planned drain (``SIGHUP``
+  rebalance), per-tenant circuit breakers, and the ``killworker``/
+  ``wedge`` fleet fault kinds for deterministic worker-level chaos.
 """
 
 from repro.serve.client import LoadGenerator, LoadReport, ScanClient
+from repro.serve.fleet import FleetConfig, FleetStats, FleetSupervisor
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     decode_frame,
@@ -51,6 +57,9 @@ __all__ = [
     "EXIT_FAILURES",
     "EXIT_OK",
     "MAX_FRAME_BYTES",
+    "FleetConfig",
+    "FleetStats",
+    "FleetSupervisor",
     "LoadGenerator",
     "LoadReport",
     "ScanClient",

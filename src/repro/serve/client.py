@@ -29,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import base64
 import collections
+import random
 import time
 from dataclasses import dataclass, field
 
@@ -40,6 +41,45 @@ from repro.serve.protocol import read_frame, send_frame
 # worker needs time to come back up before a resume can land.
 RECONNECT_ATTEMPTS = 40
 RECONNECT_DELAY = 0.25
+
+# Decorrelated-jitter bounds for reconnect sleeps.  Sleeping the raw
+# ``retry_after`` would synchronize every client a fleet-wide shed or
+# migration just disconnected — they'd all come back in the same
+# instant and re-create the pressure that shed them.  Jitter spreads
+# the herd; the cap bounds worst-case reconnect latency.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 5.0
+
+
+class _Backoff:
+    """Decorrelated-jitter reconnect delays, optionally hint-aware.
+
+    Each delay is drawn from ``[base, prev * 3]`` (clamped to ``cap``),
+    so consecutive sleeps decorrelate instead of marching in lockstep.
+    A server ``retry_after`` hint re-centers the window around the hint
+    (``[hint/2, hint*1.5]``-ish) without ever exceeding the cap.  The
+    RNG is seeded per session, so chaos runs stay reproducible.
+    """
+
+    def __init__(self, seed: str, base: float = BACKOFF_BASE, cap: float = BACKOFF_CAP):
+        self.base = base
+        self.cap = cap
+        self._rng = random.Random(seed)
+        self._prev = base
+
+    def next(self, hint: float | None = None) -> float:
+        upper = self._prev * 3
+        lower = self.base
+        if hint is not None:
+            upper = max(upper, hint * 1.5)
+            lower = min(max(self.base, hint * 0.5), self.cap)
+        delay = min(self.cap, self._rng.uniform(lower, max(lower, upper)))
+        self._prev = max(delay, self.base)
+        return delay
+
+    def reset(self) -> None:
+        """A successful welcome ends the episode: start small again."""
+        self._prev = self.base
 
 
 class ScanClient:
@@ -74,6 +114,7 @@ class ScanClient:
         self._reader_task: asyncio.Task | None = None
         self._control: asyncio.Queue = asyncio.Queue()
         self._sent_at: collections.deque[float] = collections.deque()
+        self._backoff = _Backoff(f"{tenant}/{session}")
 
     # -- connection management -----------------------------------------------
 
@@ -124,7 +165,12 @@ class ScanClient:
     def _raise_error(self, frame: dict) -> None:
         code = frame.get("code")
         message = frame.get("message", "server error")
-        if code in ("admission", "shed", "drain"):
+        if code in ("admission", "shed", "drain", "migrate", "breaker"):
+            # All four carry a retry_after and the same contract: the
+            # session (if any) was checkpointed first, so a later
+            # reconnect-resume loses nothing.  ``migrate`` means the
+            # fleet is re-homing us; ``breaker`` that our tenant's
+            # circuit is open.
             raise AdmissionError(
                 message,
                 retry_after=frame.get("retry_after"),
@@ -135,23 +181,19 @@ class ScanClient:
 
     async def reconnect(self) -> int:
         """Resume after a connection loss; returns the replay offset."""
-        delay = RECONNECT_DELAY
         last: Exception | None = None
         for _ in range(RECONNECT_ATTEMPTS):
             try:
                 await self.connect(resume=True)
                 self.reconnects += 1
+                self._backoff.reset()
                 return self.offset
             except AdmissionError as err:
                 last = err
-                await asyncio.sleep(
-                    err.retry_after
-                    if err.retry_after is not None
-                    else delay
-                )
+                await asyncio.sleep(self._backoff.next(err.retry_after))
             except (ConnectionError, OSError, asyncio.TimeoutError) as err:
                 last = err
-                await asyncio.sleep(delay)
+                await asyncio.sleep(self._backoff.next())
         raise ServeError(
             f"could not resume session {self.session!r}: {last}",
             phase="serve",
@@ -335,14 +377,12 @@ class ScanClient:
     async def _connect_with_retry(self) -> None:
         try:
             await self.connect(resume=False)
+            self._backoff.reset()
         except AdmissionError as err:
-            # Admission refused: honor the server's backoff hint and
-            # keep trying — completed sessions free slots.
-            await asyncio.sleep(
-                err.retry_after
-                if err.retry_after is not None
-                else RECONNECT_DELAY
-            )
+            # Admission refused: honor the server's backoff hint —
+            # jittered, so a herd of refused clients spreads out — and
+            # keep trying; completed sessions free slots.
+            await asyncio.sleep(self._backoff.next(err.retry_after))
             await self.reconnect()
         except (ConnectionError, OSError, asyncio.TimeoutError):
             await self.reconnect()
@@ -514,6 +554,8 @@ def serial_totals(patterns, payloads, registry=None) -> tuple[int, float]:
 
 
 __all__ = [
+    "BACKOFF_BASE",
+    "BACKOFF_CAP",
     "LoadGenerator",
     "LoadReport",
     "ScanClient",

@@ -1,0 +1,911 @@
+"""Fleet supervisor: one endpoint, N babysat scan workers.
+
+:class:`FleetSupervisor` spawns a pool of ``rap serve`` worker
+processes, advertises a single host:port, and proxies each client
+connection to a worker — the wire protocol is unchanged, so every
+existing client (and every chaos fault it interprets) works against a
+fleet without modification.  On top of the proxy it layers the
+mechanisms that make the *worker* a survivable failure domain:
+
+* **Health gating** — every ``health_interval`` the supervisor opens a
+  fresh connection to each worker and round-trips the pre-``open``
+  ``ping`` op under ``ping_timeout``.  ``fail_threshold`` consecutive
+  misses (or an observed exit) trips the gate: the worker is *fenced*
+  (SIGKILL + wait — after the fence it can never write another
+  checkpoint) and restarted with capped exponential backoff.
+* **Sticky routing with fence-before-failover** — a session's first
+  ``welcome`` homes it on its worker; later reconnects follow the home
+  while it is healthy.  The shared checkpoint store makes a session
+  relocatable, but only ever to *one* writer at a time: while a home is
+  merely suspect the supervisor refuses the reconnect (retry_after)
+  rather than fork the checkpoint lineage, and re-homes only after the
+  fence guarantees the old worker is dead.
+* **Live migration** — a planned drain (``SIGHUP`` rebalance, or the
+  ``release`` control op) asks the source worker to checkpoint and
+  park every session at its current segment boundary and tell each
+  client to come back (``error`` code ``migrate``).  The supervisor
+  clears those homes and holds the source out of routing for
+  ``migrate_hold_seconds``, so the reconnects land on *other* live
+  workers and resume byte-identically from the shared store.
+* **Per-tenant circuit breakers** — a
+  :class:`~repro.engine.budget.CircuitBreaker` per tenant counts
+  conversation outcomes (sniffed from the proxied frames).  A tenant
+  whose ruleset fails every attempt — compile errors, worker-killing
+  pathologies — trips open and is refused at the supervisor with a
+  structured ``retry_after`` (``error`` code ``breaker``) instead of
+  consuming the fleet's restart budget.  Innocent tenants on a crashed
+  worker stay closed: their resume ``welcome`` resets the consecutive
+  count.
+* **Deterministic fleet chaos** — ``killworker@N``/``wedge@N`` fault
+  directives fire at health-round ordinals; victims rotate round-robin
+  in firing order.  ``wedge`` is SIGSTOP: the process stays alive but
+  stops answering, exactly the failure the ping deadline exists to
+  catch (and SIGKILL fences stopped processes just fine).
+
+Exit codes match ``rap serve``: 0 after a clean SIGTERM/SIGINT
+shutdown (workers drain and exit 0), 2 for invalid configuration,
+5 when a worker reported lost durability during the final drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import os
+import signal
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.budget import CircuitBreaker
+from repro.engine.faults import FaultPlan, plan_from_env
+from repro.errors import ProtocolError, ServeConfigError
+from repro.serve import protocol
+from repro.serve.protocol import read_frame, send_frame
+from repro.serve.server import EXIT_FAILURES, EXIT_OK, session_key
+
+log = logging.getLogger(__name__)
+
+
+@dataclass
+class FleetConfig:
+    """Validated configuration of one :class:`FleetSupervisor`."""
+
+    workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: bind an ephemeral port (tests, loopback tooling)
+    checkpoint_dir: str = ".rap-serve"
+    # Worker pass-through knobs (each worker binds its own ephemeral
+    # port; the checkpoint root is shared — that is what makes sessions
+    # relocatable).
+    max_sessions: int = 64
+    idle_timeout: float = 300.0
+    drain_seconds: float = 5.0
+    checkpoint_interval_bytes: int = 1 << 20
+    # Supervision knobs.
+    health_interval: float = 1.0
+    ping_timeout: float = 2.0
+    fail_threshold: int = 3
+    restart_backoff: float = 0.25
+    restart_backoff_cap: float = 5.0
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 1.0
+    breaker_cooldown_cap: float = 30.0
+    handshake_timeout: float = 10.0
+    migrate_hold_seconds: float = 2.0
+    spawn_timeout: float = 30.0
+    log_dir: str | None = None  # per-worker stdout/stderr capture
+
+    def validate(self) -> "FleetConfig":
+        """Raise :class:`ServeConfigError` on any out-of-range field."""
+        if self.workers < 1:
+            raise ServeConfigError(
+                f"--workers must be >= 1, got {self.workers}", phase="serve"
+            )
+        if not (0 <= self.port <= 65535):
+            raise ServeConfigError(
+                f"port must be 0..65535, got {self.port}", phase="serve"
+            )
+        if not self.checkpoint_dir:
+            raise ServeConfigError(
+                "checkpoint_dir must be a non-empty path", phase="serve"
+            )
+        for name, value in (
+            ("--health-interval", self.health_interval),
+            ("--ping-timeout", self.ping_timeout),
+            ("--restart-backoff", self.restart_backoff),
+            ("--breaker-cooldown", self.breaker_cooldown),
+            ("--spawn-timeout", self.spawn_timeout),
+        ):
+            if value <= 0:
+                raise ServeConfigError(
+                    f"{name} must be positive, got {value}", phase="serve"
+                )
+        if self.fail_threshold < 1:
+            raise ServeConfigError(
+                f"--fail-threshold must be >= 1, got {self.fail_threshold}",
+                phase="serve",
+            )
+        if self.breaker_threshold < 1:
+            raise ServeConfigError(
+                "--breaker-threshold must be >= 1, got "
+                f"{self.breaker_threshold}",
+                phase="serve",
+            )
+        if self.restart_backoff_cap < self.restart_backoff:
+            raise ServeConfigError(
+                "restart_backoff_cap must be >= restart_backoff",
+                phase="serve",
+            )
+        if self.breaker_cooldown_cap < self.breaker_cooldown:
+            raise ServeConfigError(
+                "breaker_cooldown_cap must be >= breaker_cooldown",
+                phase="serve",
+            )
+        if self.migrate_hold_seconds < 0:
+            raise ServeConfigError(
+                "--migrate-hold must be >= 0, got "
+                f"{self.migrate_hold_seconds}",
+                phase="serve",
+            )
+        return self
+
+
+class WorkerHandle:
+    """One supervised ``rap serve`` subprocess."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    FENCING = "fencing"
+    DOWN = "down"
+
+    def __init__(self, index: int, config: FleetConfig):
+        self.index = index
+        self.config = config
+        self.proc: asyncio.subprocess.Process | None = None
+        self.port: int | None = None
+        self.state = self.DOWN
+        self.consecutive_failures = 0
+        self.conns = 0  # live proxied connections (routing weight)
+        self.restarts = 0
+        self.restart_delay = config.restart_backoff
+        self.hold_until = 0.0  # loop time before which routing skips us
+        self._log_task: asyncio.Task | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.returncode is None
+
+    def command(self) -> list[str]:
+        cfg = self.config
+        return [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            cfg.host,
+            "--port",
+            "0",
+            "--checkpoint-dir",
+            cfg.checkpoint_dir,
+            "--max-sessions",
+            str(cfg.max_sessions),
+            "--idle-timeout",
+            str(cfg.idle_timeout),
+            "--drain-seconds",
+            str(cfg.drain_seconds),
+            "--checkpoint-every",
+            str(cfg.checkpoint_interval_bytes),
+        ]
+
+    async def spawn(self) -> None:
+        """Start the worker and wait for its readiness line."""
+        env = dict(os.environ)
+        # The supervisor may run from a source tree: make sure the
+        # worker resolves the same package.
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        self.proc = await asyncio.create_subprocess_exec(
+            *self.command(),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.STDOUT,
+            env=env,
+        )
+        try:
+            await asyncio.wait_for(
+                self._await_ready(), self.config.spawn_timeout
+            )
+        except (asyncio.TimeoutError, ValueError) as err:
+            with contextlib.suppress(ProcessLookupError):
+                self.proc.kill()
+            raise RuntimeError(
+                f"worker[{self.index}] did not become ready: {err}"
+            ) from err
+        self.state = self.HEALTHY
+        self.consecutive_failures = 0
+        self._log_task = asyncio.create_task(self._pump_log())
+
+    async def _await_ready(self) -> None:
+        while True:
+            line = await self.proc.stdout.readline()
+            if not line:
+                raise ValueError(
+                    f"worker exited (code {self.proc.returncode}) "
+                    "before its readiness line"
+                )
+            text = line.decode(errors="replace").strip()
+            self._log_line(text)
+            if "listening on" in text:
+                self.port = int(text.rsplit(":", 1)[1])
+                return
+
+    def _log_line(self, text: str) -> None:
+        if self.config.log_dir:
+            path = Path(self.config.log_dir) / f"worker-{self.index}.log"
+            with contextlib.suppress(OSError):
+                path.parent.mkdir(parents=True, exist_ok=True)
+                with path.open("a") as handle:
+                    handle.write(text + "\n")
+        else:
+            log.debug("worker[%d]: %s", self.index, text)
+
+    async def _pump_log(self) -> None:
+        """Drain worker output so a chatty worker never blocks on the pipe."""
+        try:
+            while True:
+                line = await self.proc.stdout.readline()
+                if not line:
+                    return
+                self._log_line(line.decode(errors="replace").rstrip())
+        except (asyncio.CancelledError, Exception):
+            return
+
+    async def fence(self) -> None:
+        """SIGKILL and *wait*: after this returns the worker can never
+        write another checkpoint, so re-homing its sessions cannot fork
+        a lineage.  SIGKILL also reaps a SIGSTOP-wedged process."""
+        self.state = self.FENCING
+        if self.proc is not None:
+            if self.proc.returncode is None:
+                with contextlib.suppress(ProcessLookupError):
+                    self.proc.kill()
+            with contextlib.suppress(Exception):
+                await self.proc.wait()
+        if self._log_task is not None:
+            self._log_task.cancel()
+            self._log_task = None
+        self.state = self.DOWN
+        self.port = None
+
+    async def terminate(self, grace: float) -> int | None:
+        """SIGTERM-drain the worker; SIGKILL past the grace deadline."""
+        if self.proc is None:
+            return None
+        if self.proc.returncode is None:
+            # A wedged (stopped) worker cannot handle SIGTERM: resume
+            # it first.  SIGCONT is harmless on a running process.
+            with contextlib.suppress(ProcessLookupError):
+                self.proc.send_signal(signal.SIGCONT)
+            with contextlib.suppress(ProcessLookupError):
+                self.proc.terminate()
+            try:
+                await asyncio.wait_for(self.proc.wait(), grace)
+            except asyncio.TimeoutError:
+                with contextlib.suppress(ProcessLookupError):
+                    self.proc.kill()
+                with contextlib.suppress(Exception):
+                    await self.proc.wait()
+        if self._log_task is not None:
+            self._log_task.cancel()
+            self._log_task = None
+        self.state = self.DOWN
+        return self.proc.returncode
+
+
+@dataclass
+class FleetStats:
+    """Counters the tests and the CLI summary read."""
+
+    proxied: int = 0
+    rejected_breaker: int = 0
+    rejected_unavailable: int = 0
+    fences: int = 0
+    restarts: int = 0
+    releases: int = 0
+    rehomed: int = 0
+    fleet_faults: int = 0
+
+
+@dataclass
+class _Conversation:
+    """Outcome flags of one proxied session conversation."""
+
+    welcomed: bool = False
+    terminal: bool = False  # result/bye/error frame reached the client
+    client_closed: bool = False  # the client hung up first
+
+
+class FleetSupervisor:
+    """One advertised endpoint in front of a supervised worker pool."""
+
+    def __init__(self, config: FleetConfig, plan: FaultPlan | None = None):
+        self.config = config.validate()
+        self.plan = plan if plan is not None else plan_from_env()
+        self.workers = [
+            WorkerHandle(i, self.config) for i in range(self.config.workers)
+        ]
+        self.stats = FleetStats()
+        self.port: int | None = None
+        self._homes: dict[str, int] = {}  # session key -> worker index
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._health_task: asyncio.Task | None = None
+        self._restart_tasks: set[asyncio.Task] = set()
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self._tick = 0  # health rounds elapsed (fleet-fault ordinals)
+        self._fleet_faults_fired = 0  # round-robin victim cursor
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        for worker in self.workers:
+            await worker.spawn()
+        self._server = await asyncio.start_server(
+            self._handle,
+            self.config.host,
+            self.config.port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._health_task = asyncio.create_task(self._health_loop())
+        log.info(
+            "fleet of %d workers on %s:%d",
+            len(self.workers),
+            self.config.host,
+            self.port,
+        )
+
+    async def stop(self) -> int:
+        """Drain the fleet: SIGTERM every worker, wait, report."""
+        if self._stopping:
+            await self._stopped.wait()
+            return EXIT_OK
+        self._stopping = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
+            self._health_task = None
+        for task in list(self._restart_tasks):
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        grace = self.config.drain_seconds + 2.0
+        codes = await asyncio.gather(
+            *(worker.terminate(grace) for worker in self.workers)
+        )
+        self._stopped.set()
+        # A worker that drained dirty (exit 5: lost durability) fails
+        # the fleet; signal deaths here are ours (the grace SIGKILL).
+        if any(code is not None and code > 0 for code in codes):
+            return EXIT_FAILURES
+        return EXIT_OK
+
+    async def serve_forever(self, on_ready=None) -> int:
+        """Run until SIGTERM/SIGINT; SIGHUP triggers a rebalance."""
+        await self.start()
+        if on_ready is not None:
+            on_ready(self.port)
+        loop = asyncio.get_running_loop()
+        exit_code = EXIT_OK
+
+        def shutdown() -> None:
+            async def _shutdown() -> None:
+                nonlocal exit_code
+                exit_code = await self.stop()
+
+            asyncio.ensure_future(_shutdown())
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(sig, shutdown)
+        hup = getattr(signal, "SIGHUP", None)
+        if hup is not None:
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(
+                    hup, lambda: asyncio.ensure_future(self.rebalance())
+                )
+        await self._stopped.wait()
+        return exit_code
+
+    # -- supervision ---------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        cfg = self.config
+        while True:
+            await asyncio.sleep(cfg.health_interval)
+            self._tick += 1
+            directive = self.plan.for_fleet_tick(self._tick)
+            if directive is not None:
+                self._fire_fleet_fault(directive)
+            for worker in self.workers:
+                if worker.state in (WorkerHandle.DOWN, WorkerHandle.FENCING):
+                    continue  # a restart task owns it
+                if not worker.alive:
+                    log.warning(
+                        "worker[%d] exited with code %s",
+                        worker.index,
+                        worker.proc.returncode if worker.proc else None,
+                    )
+                    await self._fail_worker(worker)
+                    continue
+                if await self._probe(worker):
+                    worker.consecutive_failures = 0
+                    worker.state = WorkerHandle.HEALTHY
+                    worker.restart_delay = cfg.restart_backoff
+                else:
+                    worker.consecutive_failures += 1
+                    worker.state = WorkerHandle.SUSPECT
+                    log.warning(
+                        "worker[%d] missed probe %d/%d",
+                        worker.index,
+                        worker.consecutive_failures,
+                        cfg.fail_threshold,
+                    )
+                    if worker.consecutive_failures >= cfg.fail_threshold:
+                        await self._fail_worker(worker)
+
+    def _fire_fleet_fault(self, directive) -> None:
+        """Apply one ``killworker``/``wedge`` directive to the next
+        round-robin victim (deterministic: victims rotate in firing
+        order, independent of worker health)."""
+        victim = self.workers[self._fleet_faults_fired % len(self.workers)]
+        self._fleet_faults_fired += 1
+        self.stats.fleet_faults += 1
+        log.warning(
+            "fleet fault %s -> worker[%d]", directive.spec(), victim.index
+        )
+        if not victim.alive:
+            return
+        if directive.kind == "killworker":
+            with contextlib.suppress(ProcessLookupError):
+                victim.proc.kill()
+        elif directive.kind == "wedge":
+            with contextlib.suppress(ProcessLookupError):
+                victim.proc.send_signal(signal.SIGSTOP)
+
+    async def _probe(self, worker: WorkerHandle) -> bool:
+        """One ping round-trip on a fresh connection, under deadline.
+
+        A fresh connection is deliberate: a wedged worker's kernel
+        still *accepts* connections on its listen backlog, so only the
+        application-level pong under ``ping_timeout`` proves liveness.
+        """
+        cfg = self.config
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(cfg.host, worker.port),
+                cfg.ping_timeout,
+            )
+        except (OSError, asyncio.TimeoutError):
+            return False
+        try:
+            send_frame(writer, {"op": "ping"})
+            await writer.drain()
+            frame = await read_frame(reader, cfg.ping_timeout)
+            return frame is not None and frame.get("op") == "pong"
+        except (OSError, ProtocolError, asyncio.TimeoutError):
+            return False
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _fail_worker(self, worker: WorkerHandle) -> None:
+        """Health gate tripped: fence, re-home, schedule the restart."""
+        self.stats.fences += 1
+        await worker.fence()
+        # Only after the fence is it safe to re-home: the old worker is
+        # provably dead, so the checkpoint store has exactly one future
+        # writer per session.
+        self._clear_homes(worker.index)
+        task = asyncio.create_task(self._restart(worker))
+        self._restart_tasks.add(task)
+        task.add_done_callback(self._restart_tasks.discard)
+
+    def _clear_homes(self, index: int) -> None:
+        for key in [k for k, v in self._homes.items() if v == index]:
+            del self._homes[key]
+            self.stats.rehomed += 1
+
+    async def _restart(self, worker: WorkerHandle) -> None:
+        """Respawn a fenced worker with capped exponential backoff."""
+        while not self._stopping:
+            delay = worker.restart_delay
+            worker.restart_delay = min(
+                self.config.restart_backoff_cap, delay * 2
+            )
+            await asyncio.sleep(delay)
+            try:
+                await worker.spawn()
+            except (RuntimeError, OSError) as err:
+                log.warning(
+                    "worker[%d] restart failed (%s); next in %.2fs",
+                    worker.index,
+                    err,
+                    worker.restart_delay,
+                )
+                continue
+            worker.restarts += 1
+            self.stats.restarts += 1
+            log.info(
+                "worker[%d] restarted on port %d", worker.index, worker.port
+            )
+            return
+
+    # -- migration -----------------------------------------------------------
+
+    async def rebalance(self) -> int:
+        """Release the most-homed healthy worker's sessions (SIGHUP)."""
+        candidates = [
+            w
+            for w in self.workers
+            if w.alive and w.state == WorkerHandle.HEALTHY
+        ]
+        if len(candidates) < 2:
+            return 0  # nowhere for the sessions to migrate to
+        loaded = max(
+            candidates,
+            key=lambda w: (
+                sum(1 for v in self._homes.values() if v == w.index),
+                -w.index,
+            ),
+        )
+        return await self.release_worker(loaded.index)
+
+    async def release_worker(self, index: int) -> int:
+        """Live migration, source half: drain one worker's sessions.
+
+        Sends the pre-``open`` ``release`` control op; the worker
+        checkpoints and parks every session, notifies its clients, and
+        forgets them.  The supervisor then clears their homes and holds
+        the source out of routing for ``migrate_hold_seconds``, so the
+        reconnect-resumes land on other live workers.  Returns the
+        number of sessions released.
+        """
+        worker = self.workers[index]
+        if not (worker.alive and worker.state == WorkerHandle.HEALTHY):
+            return 0
+        cfg = self.config
+        count = 0
+        try:
+            reader, writer = await asyncio.open_connection(
+                cfg.host, worker.port
+            )
+        except OSError:
+            return 0
+        try:
+            send_frame(writer, {"op": "release"})
+            await writer.drain()
+            frame = await read_frame(
+                reader, cfg.ping_timeout + cfg.drain_seconds
+            )
+            if frame is not None and frame.get("op") == "released":
+                count = int(frame.get("count", 0))
+        except (OSError, ProtocolError, asyncio.TimeoutError):
+            return 0
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        worker.hold_until = (
+            asyncio.get_running_loop().time() + cfg.migrate_hold_seconds
+        )
+        self._clear_homes(index)
+        self.stats.releases += 1
+        log.info("released %d sessions from worker[%d]", count, index)
+        return count
+
+    # -- routing and proxying ------------------------------------------------
+
+    def _breaker_for(self, tenant: str) -> CircuitBreaker:
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.config.breaker_threshold,
+                cooldown_seconds=self.config.breaker_cooldown,
+                cooldown_cap=self.config.breaker_cooldown_cap,
+            )
+            self._breakers[tenant] = breaker
+        return breaker
+
+    def _route(self, key: str) -> WorkerHandle | None:
+        """The worker this open goes to, or ``None`` to refuse for now."""
+        home = self._homes.get(key)
+        if home is not None:
+            worker = self.workers[home]
+            if worker.alive and worker.state == WorkerHandle.HEALTHY:
+                return worker
+            # Fence before failover: a suspect home may still be
+            # writing checkpoints, so re-homing now could fork the
+            # session's lineage.  Refuse; the gate will either clear
+            # the worker or fence it (which clears the home).
+            return None
+        now = asyncio.get_running_loop().time()
+        healthy = [
+            w
+            for w in self.workers
+            if w.alive and w.state == WorkerHandle.HEALTHY
+        ]
+        candidates = [w for w in healthy if w.hold_until <= now] or healthy
+        if not candidates:
+            return None
+        return min(candidates, key=lambda w: (w.conns, w.index))
+
+    def health_report(self) -> dict:
+        return {
+            "op": "health_report",
+            "fleet": True,
+            "workers": [
+                {
+                    "index": w.index,
+                    "state": w.state,
+                    "port": w.port,
+                    "conns": w.conns,
+                    "restarts": w.restarts,
+                }
+                for w in self.workers
+            ],
+            "homes": len(self._homes),
+            "open_breakers": sorted(
+                tenant
+                for tenant, breaker in self._breakers.items()
+                if breaker.state != CircuitBreaker.CLOSED
+            ),
+        }
+
+    async def _error(
+        self, writer: asyncio.StreamWriter, code: str, message: str, **extra
+    ) -> None:
+        with contextlib.suppress(Exception):
+            send_frame(
+                writer,
+                {"op": "error", "code": code, "message": message, **extra},
+            )
+            await writer.drain()
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            await self._proxy(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception:
+            log.exception("fleet connection handler failed")
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _proxy(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            try:
+                frame = await read_frame(reader, self.config.handshake_timeout)
+            except ProtocolError as err:
+                await self._error(writer, protocol.ERR_PROTOCOL, str(err))
+                return
+            except asyncio.TimeoutError:
+                return
+            if frame is None:
+                return
+            op = frame.get("op")
+            if op == "ping":
+                send_frame(writer, {"op": "pong"})
+                await writer.drain()
+            elif op == "health":
+                send_frame(writer, self.health_report())
+                await writer.drain()
+            elif op == "release":
+                # Operator-facing rebalance without signals.
+                count = await self.rebalance()
+                send_frame(writer, {"op": "released", "count": count})
+                await writer.drain()
+            elif op == "open":
+                break
+            else:
+                await self._error(
+                    writer,
+                    protocol.ERR_PROTOCOL,
+                    f"expected open, got {op!r}",
+                )
+                return
+        tenant = frame.get("tenant")
+        session_id = frame.get("session")
+        if (
+            not isinstance(tenant, str)
+            or not tenant
+            or not isinstance(session_id, str)
+            or not session_id
+        ):
+            await self._error(
+                writer,
+                protocol.ERR_PROTOCOL,
+                "open frame needs a tenant and a session",
+            )
+            return
+        key = session_key(tenant, session_id)
+        breaker = self._breaker_for(tenant)
+        admitted, retry_after = breaker.admit()
+        if not admitted:
+            self.stats.rejected_breaker += 1
+            await self._error(
+                writer,
+                protocol.ERR_BREAKER,
+                f"tenant {tenant!r} circuit is open",
+                retry_after=round(max(retry_after, 0.05), 3),
+            )
+            return
+        probing = breaker.state == CircuitBreaker.HALF_OPEN
+        worker = self._route(key)
+        if worker is None:
+            self.stats.rejected_unavailable += 1
+            if probing:
+                breaker.abandon_probe()
+            await self._error(
+                writer,
+                protocol.ERR_ADMISSION,
+                "no healthy worker available",
+                retry_after=self.config.health_interval,
+            )
+            return
+        try:
+            wreader, wwriter = await asyncio.open_connection(
+                self.config.host,
+                worker.port,
+                limit=protocol.MAX_FRAME_BYTES,
+            )
+        except OSError:
+            self.stats.rejected_unavailable += 1
+            if probing:
+                breaker.abandon_probe()
+            await self._error(
+                writer,
+                protocol.ERR_ADMISSION,
+                "worker connection refused",
+                retry_after=self.config.health_interval,
+            )
+            return
+        worker.conns += 1
+        self.stats.proxied += 1
+        conv = _Conversation()
+        try:
+            send_frame(wwriter, frame)
+            await wwriter.drain()
+            await asyncio.gather(
+                self._pump_up(reader, wwriter, conv),
+                self._pump_down(wreader, writer, key, worker, breaker, conv),
+                return_exceptions=True,
+            )
+        finally:
+            worker.conns -= 1
+            wwriter.close()
+            with contextlib.suppress(Exception):
+                await wwriter.wait_closed()
+        if not conv.terminal and not conv.client_closed:
+            # The worker-side connection ended abruptly mid-conversation
+            # (no result/bye/error made it out): the classic symptom of
+            # a killed worker — or of a ruleset that kills workers.
+            breaker.record_failure()
+        elif probing and breaker.state == CircuitBreaker.HALF_OPEN:
+            breaker.abandon_probe()
+
+    async def _pump_up(
+        self,
+        reader: asyncio.StreamReader,
+        wwriter: asyncio.StreamWriter,
+        conv: _Conversation,
+    ) -> None:
+        """Client -> worker: a raw byte relay (no sniffing needed)."""
+        try:
+            while True:
+                chunk = await reader.read(1 << 16)
+                if not chunk:
+                    break
+                wwriter.write(chunk)
+                await wwriter.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            conv.client_closed = True
+            # Closing the worker leg unblocks the downstream pump.
+            wwriter.close()
+
+    async def _pump_down(
+        self,
+        wreader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        key: str,
+        worker: WorkerHandle,
+        breaker: CircuitBreaker,
+        conv: _Conversation,
+    ) -> None:
+        """Worker -> client: relay frames, sniffing outcomes as they pass."""
+        try:
+            while True:
+                line = await wreader.readline()
+                if not line:
+                    break
+                writer.write(line)
+                await writer.drain()
+                self._sniff(line, key, worker, breaker, conv)
+        except (ConnectionError, OSError, ValueError):
+            pass
+        finally:
+            # Worker leg over: hang up on the client so its resume
+            # logic takes over (it reconnects through us and re-routes).
+            writer.close()
+
+    def _sniff(
+        self,
+        line: bytes,
+        key: str,
+        worker: WorkerHandle,
+        breaker: CircuitBreaker,
+        conv: _Conversation,
+    ) -> None:
+        """Breaker attribution and home maintenance from one frame."""
+        try:
+            frame = json.loads(line)
+        except ValueError:
+            return
+        if not isinstance(frame, dict):
+            return
+        op = frame.get("op")
+        if op == "welcome":
+            conv.welcomed = True
+            breaker.record_success()
+            self._homes[key] = worker.index
+        elif op == "result":
+            conv.terminal = True
+            breaker.record_success()
+            self._homes.pop(key, None)
+        elif op == "bye":
+            # detach/idle/drain: the session stays sticky — the worker
+            # may still hold it in memory, and only one worker may ever
+            # own a lineage at a time.
+            conv.terminal = True
+        elif op == "error":
+            conv.terminal = True
+            code = frame.get("code")
+            if code in (
+                protocol.ERR_COMPILE,
+                protocol.ERR_INTERNAL,
+                protocol.ERR_CHECKPOINT,
+            ):
+                # The tenant's own pathology: count it.
+                breaker.record_failure()
+            elif code in (protocol.ERR_SHED, protocol.ERR_MIGRATE):
+                # The worker checkpointed and *forgot* the session, so
+                # its next resume is free to land anywhere.
+                if self._homes.get(key) == worker.index:
+                    self._homes.pop(key, None)
+
+
+__all__ = [
+    "FleetConfig",
+    "FleetStats",
+    "FleetSupervisor",
+    "WorkerHandle",
+]

@@ -14,9 +14,21 @@ Client -> server ops
 ``reload``   hot-swap the tenant's ruleset (``patterns``); compiles in
              the background, swaps at each session's next segment
              boundary
-``ping``     liveness probe
+``ping``     liveness probe; also honored *before* ``open`` so a fleet
+             supervisor can health-probe a worker without creating a
+             session
 ``detach``   checkpoint the session and close the connection; a later
              ``open`` with ``resume`` continues it bit-identically
+
+Supervisor -> worker control ops (pre-``open``, fleet only)
+-----------------------------------------------------------
+``health``   structured worker snapshot (``health_report``: live
+             sessions, parked sessions, counters, drain flag)
+``release``  checkpoint and park every attached session for migration;
+             each client gets an ``error`` frame with code ``migrate``
+             and a ``retry_after``, then the worker answers
+             ``released`` (``count``) and forgets the sessions —
+             ownership has moved to whichever worker resumes them
 
 Server -> client ops
 --------------------
@@ -29,8 +41,12 @@ Server -> client ops
 ``reloaded`` background compile finished (``generation``, ``swapped``)
 ``pong``     ping reply
 ``bye``      orderly detach (``reason``: ``detach``/``idle``/``drain``)
+``health_report``  reply to ``health``
+``released`` reply to ``release`` (``count`` sessions parked)
 ``error``    structured failure (``code``, ``message``, optional
-             ``retry_after`` seconds for admission/shed rejections)
+             ``retry_after`` seconds for admission/shed/migrate/breaker
+             rejections; ``offset`` on ``migrate`` so the client knows
+             the durable resume point)
 
 Framing errors — unparsable JSON, a non-object, a missing ``op``, or a
 line over the size limit — are :class:`~repro.errors.ProtocolError`;
@@ -63,6 +79,8 @@ ERR_CONFLICT = "conflict"  # session already attached to a connection
 ERR_COMPILE = "compile"  # ruleset failed to compile
 ERR_CHECKPOINT = "checkpoint"  # resume rejected (fingerprint/state)
 ERR_DRAIN = "drain"  # server is draining
+ERR_MIGRATE = "migrate"  # session parked for re-homing; reconnect after
+ERR_BREAKER = "breaker"  # tenant circuit breaker open; retry_after set
 ERR_INTERNAL = "internal"
 
 
@@ -122,11 +140,13 @@ async def read_frame(
 
 __all__ = [
     "ERR_ADMISSION",
+    "ERR_BREAKER",
     "ERR_CHECKPOINT",
     "ERR_COMPILE",
     "ERR_CONFLICT",
     "ERR_DRAIN",
     "ERR_INTERNAL",
+    "ERR_MIGRATE",
     "ERR_PROTOCOL",
     "ERR_SHED",
     "MAX_FRAME_BYTES",

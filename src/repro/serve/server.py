@@ -21,6 +21,14 @@ the fleet:
   bit-identically from the ``welcome`` offset.
 * **Graceful drain** — ``SIGTERM`` checkpoints every live session,
   notifies attached clients, stops accepting, and exits 0.
+* **Live migration** — ``SIGHUP`` (or the pre-``open`` ``release``
+  control op a fleet supervisor sends) checkpoints and parks every
+  attached session at its current segment boundary and tells each
+  client to reconnect (``error`` code ``migrate`` with the durable
+  ``offset``); the worker forgets the sessions, so whichever worker
+  the client lands on next resumes them byte-identically from the
+  shared checkpoint store.  Pre-``open`` ``ping``/``health`` ops let
+  the supervisor probe a worker without spending an admission slot.
 
 Exit codes: ``EXIT_OK`` (0) clean shutdown or drain, ``EXIT_CONFIG``
 (2) invalid configuration (:class:`~repro.errors.ServeConfigError`),
@@ -62,6 +70,7 @@ EXIT_FAILURES = 5
 # Backoff hints attached to reject/shed frames, in seconds.
 RETRY_AFTER_ADMISSION = 1.0
 RETRY_AFTER_SHED = 0.5
+RETRY_AFTER_MIGRATE = 0.5
 
 
 @dataclass
@@ -157,6 +166,7 @@ class ServerStats:
     admitted: int = 0
     rejected: int = 0
     shed: int = 0
+    released: int = 0
     evicted_idle: int = 0
     resumed: int = 0
     completed: int = 0
@@ -265,6 +275,15 @@ class ScanServer:
                 loop.add_signal_handler(
                     sig, lambda: asyncio.ensure_future(self.drain())
                 )
+        # SIGHUP = rebalance: hand every session back for re-homing but
+        # keep serving (the fleet supervisor's rolling-restart signal).
+        hup = getattr(signal, "SIGHUP", None)
+        if hup is not None:
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(
+                    hup,
+                    lambda: asyncio.ensure_future(self.release_sessions()),
+                )
         await self._stopped.wait()
         return (
             EXIT_FAILURES if self.stats.checkpoint_failures else EXIT_OK
@@ -273,25 +292,32 @@ class ScanServer:
     # -- supervision ---------------------------------------------------------
 
     async def _watchdog(self) -> None:
-        """Evict idle sessions and shed load under resource pressure."""
         while True:
             await asyncio.sleep(self.config.watchdog_interval)
-            now_idle = [
-                (key, session)
-                for key, session in list(self._sessions.items())
-                if key not in self._attached
-                and session.idle_seconds() >= self.config.idle_timeout
-            ]
-            for key, session in now_idle:
-                if not session.checkpoint():
-                    self.stats.checkpoint_failures += 1
-                    continue  # keep it in memory: the state would be lost
-                del self._sessions[key]
-                self.stats.evicted_idle += 1
-                log.info("evicted idle session %s at %d", key, session.offset)
-            pressure = self.policy.pressure(len(self._sessions))
-            if pressure is not None and pressure.limit != "max_sessions":
-                await self.shed_lowest(str(pressure))
+            await self._sweep()
+
+    async def _sweep(self) -> None:
+        """One watchdog pass: evict idle sessions, shed under pressure.
+
+        Callable on its own so interleaving tests can run a sweep at a
+        chosen instant (e.g. mid-drain) instead of racing the timer.
+        """
+        now_idle = [
+            (key, session)
+            for key, session in list(self._sessions.items())
+            if key not in self._attached
+            and session.idle_seconds() >= self.config.idle_timeout
+        ]
+        for key, session in now_idle:
+            if not session.checkpoint():
+                self.stats.checkpoint_failures += 1
+                continue  # keep it in memory: the state would be lost
+            del self._sessions[key]
+            self.stats.evicted_idle += 1
+            log.info("evicted idle session %s at %d", key, session.offset)
+        pressure = self.policy.pressure(len(self._sessions))
+        if pressure is not None and pressure.limit != "max_sessions":
+            await self.shed_lowest(str(pressure))
 
     async def shed_lowest(self, reason: str) -> str | None:
         """Checkpoint and drop the lowest-weight session; returns its key.
@@ -331,6 +357,61 @@ class ScanServer:
         self.stats.shed += 1
         log.info("shed session %s (%s)", key, reason)
         return key
+
+    async def release_sessions(self, reason: str = "migrate") -> int:
+        """Checkpoint, notify, and forget every session for re-homing.
+
+        The live-migration source half: each session parks (dropping
+        pending bytes the client will replay), persists a checkpoint at
+        its segment boundary, and its client — if attached — gets an
+        ``error`` frame with code ``migrate``, a ``retry_after`` hint,
+        and the durable ``offset``.  The session then leaves this
+        worker's memory entirely: ownership of the lineage passes to
+        whichever worker the client's reconnect lands on.  A session
+        whose checkpoint cannot be written stays here (migrating it
+        would lose state) and counts a ``checkpoint_failure``.
+        """
+        released = 0
+        for key, session in list(self._sessions.items()):
+            session.park()
+            if not session.checkpoint():
+                self.stats.checkpoint_failures += 1
+                continue
+            attachment = self._attached.pop(key, None)
+            if attachment is not None:
+                attachment.closed_by_server = "migrate"
+                with contextlib.suppress(Exception):
+                    send_frame(
+                        attachment.writer,
+                        {
+                            "op": "error",
+                            "code": protocol.ERR_MIGRATE,
+                            "message": f"session released: {reason}",
+                            "retry_after": RETRY_AFTER_MIGRATE,
+                            "offset": session.offset,
+                        },
+                    )
+                    await attachment.writer.drain()
+                attachment.writer.close()
+            self._sessions.pop(key, None)
+            released += 1
+            self.stats.released += 1
+            log.info(
+                "released session %s at %d (%s)", key, session.offset, reason
+            )
+        return released
+
+    def health_report(self) -> dict:
+        """The worker snapshot answered to a pre-``open`` ``health`` op."""
+        return {
+            "op": "health_report",
+            "sessions": len(self._sessions),
+            "attached": len(self._attached),
+            "draining": self._draining,
+            "released": self.stats.released,
+            "shed": self.stats.shed,
+            "checkpoint_failures": self.stats.checkpoint_failures,
+        }
 
     # -- connection handling -------------------------------------------------
 
@@ -397,18 +478,32 @@ class ScanServer:
         writer: asyncio.StreamWriter,
     ) -> None:
         """The per-connection protocol loop."""
-        try:
-            frame = await read_frame(reader, self.config.read_timeout)
-        except asyncio.TimeoutError:
-            raise ProtocolError(
-                "handshake deadline expired", phase="serve"
-            ) from None
-        if frame is None:
-            return
-        if frame.get("op") != "open":
-            raise ProtocolError(
-                f"expected open, got {frame.get('op')!r}", phase="serve"
-            )
+        while True:
+            try:
+                frame = await read_frame(reader, self.config.read_timeout)
+            except asyncio.TimeoutError:
+                raise ProtocolError(
+                    "handshake deadline expired", phase="serve"
+                ) from None
+            if frame is None:
+                return
+            op = frame.get("op")
+            if op == "open":
+                break
+            # Pre-open control plane: a fleet supervisor probes and
+            # drains workers without creating (or even admitting) a
+            # session.
+            if op == "ping":
+                await self._send(writer, {"op": "pong"})
+            elif op == "health":
+                await self._send(writer, self.health_report())
+            elif op == "release":
+                count = await self.release_sessions()
+                await self._send(writer, {"op": "released", "count": count})
+            else:
+                raise ProtocolError(
+                    f"expected open, got {op!r}", phase="serve"
+                )
         key, session = await self._open(frame, writer)
         if session is None:
             return
@@ -759,6 +854,7 @@ __all__ = [
     "EXIT_FAILURES",
     "EXIT_OK",
     "RETRY_AFTER_ADMISSION",
+    "RETRY_AFTER_MIGRATE",
     "RETRY_AFTER_SHED",
     "ScanServer",
     "ServeConfig",

@@ -14,6 +14,7 @@ from repro.engine.budget import (
     AdmissionPolicy,
     BudgetMonitor,
     BudgetPressure,
+    CircuitBreaker,
     ResourceBudget,
     current_open_fds,
     current_rss_mb,
@@ -158,3 +159,129 @@ class TestDegradePolicies:
     def test_unknown_rejected(self):
         with pytest.raises(ValueError, match="unknown degrade"):
             validate_degrade("panic")
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs) -> tuple[CircuitBreaker, _FakeClock]:
+        clock = _FakeClock()
+        defaults = dict(
+            failure_threshold=3,
+            cooldown_seconds=1.0,
+            cooldown_cap=4.0,
+            clock=clock,
+        )
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), clock
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=5.0, cooldown_cap=1.0)
+
+    def test_trips_at_threshold_not_before(self):
+        breaker, _ = self._breaker()
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+
+    def test_interleaved_success_never_trips(self):
+        # Consecutive-failure semantics: only a tenant failing *every*
+        # attempt is pathological enough to trip.
+        breaker, _ = self._breaker()
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.trips == 0
+
+    def test_open_refuses_with_remaining_cooldown(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(0.25)
+        admitted, retry_after = breaker.admit()
+        assert admitted is False
+        assert retry_after == pytest.approx(0.75)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.admit() == (True, 0.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # A second attempt while the probe is in flight is refused —
+        # no reconnect herd through a half-open breaker.
+        admitted, retry_after = breaker.admit()
+        assert admitted is False
+        assert retry_after > 0
+
+    def test_successful_probe_closes_and_resets(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        breaker.admit()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failures == 0
+        # The cooldown escalation is forgotten too: a later trip waits
+        # the base cooldown again.
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.admit() == (True, 0.0)
+
+    def test_failed_probe_doubles_cooldown_up_to_cap(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        expected = [2.0, 4.0, 4.0]  # doubled, then pinned at the cap
+        cooldown = 1.0
+        for next_cooldown in expected:
+            clock.advance(cooldown)
+            assert breaker.admit() == (True, 0.0)
+            breaker.record_failure()
+            assert breaker.state == CircuitBreaker.OPEN
+            admitted, retry_after = breaker.admit()
+            assert admitted is False
+            assert retry_after == pytest.approx(next_cooldown)
+            cooldown = next_cooldown
+        assert breaker.trips == 4
+
+    def test_abandoned_probe_reopens_without_escalating(self):
+        # The probe never reached a worker (none healthy): the tenant
+        # was not at fault, so the cooldown must not grow.
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        breaker.admit()
+        breaker.abandon_probe()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        clock.advance(1.0)
+        assert breaker.admit() == (True, 0.0)
+
+    def test_abandon_is_a_noop_outside_half_open(self):
+        breaker, _ = self._breaker()
+        breaker.abandon_probe()
+        assert breaker.state == CircuitBreaker.CLOSED

@@ -538,6 +538,67 @@ class TestStoreLocking:
         store.clear()  # must not raise: completion beats the lock
         assert store.load_latest() is None
 
+    def test_stamp_carries_pid_and_start_time(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        with store._exclusive():
+            stamp = json.loads((store.root / ".lock").read_text())
+        assert stamp["pid"] == os.getpid()
+        if checkpoint.process_start_time(os.getpid()) is not None:
+            assert stamp["start"] == checkpoint.process_start_time(
+                os.getpid()
+            )
+        assert not (store.root / ".lock").exists()  # released on exit
+
+    def test_pid_reuse_impostor_breaks_immediately(self, tmp_path):
+        # The fleet scenario: a SIGKILLed worker's lock survives, the
+        # pid space wraps, and an unrelated *live* process now wears the
+        # dead holder's number.  A bare pid would wedge the store for
+        # LOCK_STALE_SECONDS; the start-time stamp proves the real
+        # holder is gone.
+        if checkpoint.process_start_time(os.getpid()) is None:
+            pytest.skip("no /proc: start-time stamping is inert here")
+        store = CheckpointStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        (store.root / ".lock").write_text(
+            json.dumps({"pid": os.getpid(), "start": "1"})  # boot-time pid
+        )
+        store.write({"n": 3}, 3)  # no timeout wait needed
+        assert store.lock_breaks == 1
+        assert store.load_latest() == {"n": 3}
+
+    def test_matching_start_stamp_is_an_honored_live_holder(
+        self, tmp_path, monkeypatch
+    ):
+        if checkpoint.process_start_time(os.getpid()) is None:
+            pytest.skip("no /proc: start-time stamping is inert here")
+        monkeypatch.setattr(checkpoint, "LOCK_TIMEOUT_SECONDS", 0.1)
+        store = CheckpointStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        (store.root / ".lock").write_text(
+            json.dumps(
+                {
+                    "pid": os.getpid(),
+                    "start": checkpoint.process_start_time(os.getpid()),
+                }
+            )
+        )
+        with pytest.raises(OSError) as info:
+            store.write({"n": 1}, 1)
+        assert info.value.errno == errno.EWOULDBLOCK
+        assert store.lock_breaks == 0
+
+    def test_dead_holder_json_stamp_breaks_immediately(self, tmp_path):
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()  # reaped: the pid is provably dead
+        store = CheckpointStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        (store.root / ".lock").write_text(
+            json.dumps({"pid": probe.pid, "start": "12345"})
+        )
+        store.write({"n": 4}, 4)
+        assert store.lock_breaks == 1
+
 
 class TestDetachedResume:
     """Satellite: resuming without the consumed prefix bytes (the

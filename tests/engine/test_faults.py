@@ -243,3 +243,32 @@ class TestConnectionKinds:
         assert plan.for_chunk(0) is None
         assert plan.for_cache_put(0) is None
         assert plan.for_checkpoint_write(0) is None
+
+
+class TestFleetKinds:
+    """Worker-level fault kinds for the fleet supervisor chaos tests."""
+
+    def test_fleet_kinds_parse_and_round_trip(self):
+        plan = FaultPlan.parse("killworker@4;wedge@9")
+        assert [d.kind for d in plan.directives] == ["killworker", "wedge"]
+        assert FaultPlan.parse(plan.spec()) == plan
+
+    def test_fleet_kinds_are_registered(self):
+        for kind in faults.FLEET_KINDS:
+            assert kind in faults.ALL_KINDS
+
+    def test_for_fleet_tick_matches_the_health_ordinal(self):
+        plan = FaultPlan.parse("killworker@4;wedge@9;disconnect@4")
+        hit = plan.for_fleet_tick(4)
+        assert hit is not None and hit.kind == "killworker"
+        assert plan.for_fleet_tick(9).kind == "wedge"
+        assert plan.for_fleet_tick(5) is None
+        # The connection-level kind at the same index stays put.
+        assert plan.for_conn(4).kind == "disconnect"
+
+    def test_fleet_kinds_never_fire_at_other_sites(self):
+        plan = FaultPlan.parse("killworker@0;wedge@0")
+        assert plan.for_unit(0, 0) is None
+        assert plan.for_chunk(0) is None
+        assert plan.for_conn(0) is None
+        assert plan.for_checkpoint_write(0) is None

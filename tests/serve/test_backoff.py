@@ -1,0 +1,61 @@
+"""Unit tests for the client's decorrelated-jitter reconnect backoff.
+
+The properties that matter operationally: every delay stays inside
+``[base, cap]``, a server ``retry_after`` hint re-centers (but never
+escapes) that window, a successful welcome resets the episode, and the
+per-session seeding keeps chaos runs reproducible while decorrelating
+distinct sessions from one another.
+"""
+
+from repro.serve.client import BACKOFF_BASE, BACKOFF_CAP, _Backoff
+
+
+class TestBackoffBounds:
+    def test_all_delays_within_base_and_cap(self):
+        backoff = _Backoff("t/s")
+        for hint in [None, 0.01, 0.5, 2.0, 100.0] * 40:
+            delay = backoff.next(hint)
+            assert BACKOFF_BASE <= delay <= BACKOFF_CAP
+
+    def test_hint_recenters_the_window(self):
+        # A fresh episode with a 2 s hint draws from roughly
+        # [hint/2, hint*1.5] — never below half the hint, so a herd of
+        # migrated clients cannot all stampede back instantly.
+        for attempt in range(50):
+            delay = _Backoff(f"t/s{attempt}").next(2.0)
+            assert 1.0 <= delay <= 3.0
+
+    def test_huge_hint_is_capped(self):
+        # lower clamps to the cap, so the draw degenerates to exactly it.
+        assert _Backoff("t/s").next(100.0) == BACKOFF_CAP
+
+    def test_growth_is_bounded_by_previous_delay(self):
+        backoff = _Backoff("t/s")
+        prev = BACKOFF_BASE
+        for _ in range(100):
+            delay = backoff.next()
+            assert delay <= max(BACKOFF_BASE * 3, prev * 3)
+            prev = delay
+
+    def test_reset_starts_the_episode_small_again(self):
+        backoff = _Backoff("t/s")
+        for _ in range(30):
+            backoff.next()  # let the window grow toward the cap
+        backoff.reset()
+        assert backoff.next() <= BACKOFF_BASE * 3
+
+
+class TestBackoffSeeding:
+    def test_same_session_is_reproducible(self):
+        a = _Backoff("tenant/session")
+        b = _Backoff("tenant/session")
+        assert [a.next() for _ in range(20)] == [
+            b.next() for _ in range(20)
+        ]
+
+    def test_distinct_sessions_decorrelate(self):
+        a = _Backoff("tenant/s1")
+        b = _Backoff("tenant/s2")
+        assert [a.next() for _ in range(20)] != [
+            b.next() for _ in range(20)
+        ]

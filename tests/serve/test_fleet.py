@@ -1,0 +1,379 @@
+"""Fleet supervisor tests: routing, failover, migration, breakers.
+
+The acceptance bar mirrors the single-worker chaos suite: whatever the
+fleet does to a session — planned live migration between two healthy
+workers, or re-homing after a SIGKILLed worker — the final matches and
+float energy must equal an uninterrupted serial scan exactly.
+
+Worker processes are real ``rap serve`` subprocesses (spawned through
+:class:`FleetSupervisor`), so these tests also prove the readiness
+handshake, the shared checkpoint root, and the PYTHONPATH plumbing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import types
+
+import pytest
+
+from repro.engine.budget import CircuitBreaker
+from repro.engine.faults import FaultDirective, FaultPlan
+from repro.errors import AdmissionError, ServeConfigError, ServeError
+from repro.serve.client import ScanClient
+from repro.serve.fleet import FleetConfig, FleetSupervisor, WorkerHandle
+from repro.serve.protocol import read_frame, send_frame
+from tests.serve.util import PATTERNS, poll_until, run
+
+HOST = "127.0.0.1"
+
+
+@contextlib.asynccontextmanager
+async def running_fleet(checkpoint_dir, plan=None, **overrides):
+    defaults = dict(
+        workers=2,
+        checkpoint_dir=str(checkpoint_dir),
+        health_interval=0.25,
+        ping_timeout=2.0,
+        fail_threshold=2,
+        restart_backoff=0.1,
+        migrate_hold_seconds=1.5,
+        drain_seconds=2.0,
+        spawn_timeout=60.0,
+        checkpoint_interval_bytes=1024,
+    )
+    defaults.update(overrides)
+    supervisor = FleetSupervisor(
+        FleetConfig(**defaults), plan=plan or FaultPlan()
+    )
+    await supervisor.start()
+    try:
+        yield supervisor
+    finally:
+        await supervisor.stop()
+
+
+def pacing_plan(count: int = 40, seconds: float = 0.2) -> FaultPlan:
+    """Stalls at every segment ordinal: keeps a stream alive long
+    enough for the supervisor to act on it mid-flight."""
+    return FaultPlan.parse(
+        ";".join(f"stall@{i}*{seconds}" for i in range(1, count))
+    )
+
+
+def fake_worker(index: int, config, state=WorkerHandle.HEALTHY, conns=0):
+    worker = WorkerHandle(index, config)
+    worker.state = state
+    worker.proc = types.SimpleNamespace(
+        returncode=None,
+        kill=lambda: None,
+        send_signal=lambda sig: None,
+    )
+    worker.port = 1
+    worker.conns = conns
+    return worker
+
+
+class TestFleetConfig:
+    def test_rejects_zero_workers(self, tmp_path):
+        with pytest.raises(ServeConfigError):
+            FleetConfig(workers=0, checkpoint_dir=str(tmp_path)).validate()
+
+    def test_rejects_nonpositive_intervals(self, tmp_path):
+        with pytest.raises(ServeConfigError):
+            FleetConfig(
+                checkpoint_dir=str(tmp_path), health_interval=0.0
+            ).validate()
+        with pytest.raises(ServeConfigError):
+            FleetConfig(
+                checkpoint_dir=str(tmp_path), fail_threshold=0
+            ).validate()
+
+    def test_rejects_inverted_caps(self, tmp_path):
+        with pytest.raises(ServeConfigError):
+            FleetConfig(
+                checkpoint_dir=str(tmp_path),
+                breaker_cooldown=5.0,
+                breaker_cooldown_cap=1.0,
+            ).validate()
+
+
+class TestRouting:
+    """Pure routing logic over fake workers (no subprocesses)."""
+
+    def _supervisor(self, tmp_path, nworkers=2):
+        config = FleetConfig(
+            workers=nworkers, checkpoint_dir=str(tmp_path)
+        )
+        supervisor = FleetSupervisor(config, plan=FaultPlan())
+        supervisor.workers = [
+            fake_worker(i, config) for i in range(nworkers)
+        ]
+        return supervisor
+
+    def test_least_connections_when_unhomed(self, tmp_path):
+        async def scenario():
+            sup = self._supervisor(tmp_path)
+            sup.workers[0].conns = 3
+            assert sup._route("t/s").index == 1
+
+        run(scenario())
+
+    def test_home_wins_while_healthy(self, tmp_path):
+        async def scenario():
+            sup = self._supervisor(tmp_path)
+            sup.workers[0].conns = 9  # load must not override stickiness
+            sup._homes["t/s"] = 0
+            assert sup._route("t/s").index == 0
+
+        run(scenario())
+
+    def test_suspect_home_refuses_instead_of_rerouting(self, tmp_path):
+        # Fence before failover: re-homing while the old worker might
+        # still write checkpoints would fork the session's lineage.
+        async def scenario():
+            sup = self._supervisor(tmp_path)
+            sup._homes["t/s"] = 0
+            sup.workers[0].state = WorkerHandle.SUSPECT
+            assert sup._route("t/s") is None
+            # Once fenced, homes are cleared and routing recovers.
+            sup._clear_homes(0)
+            assert sup._route("t/s").index == 1
+            assert sup.stats.rehomed == 1
+
+        run(scenario())
+
+    def test_release_hold_excludes_source(self, tmp_path):
+        async def scenario():
+            sup = self._supervisor(tmp_path)
+            now = asyncio.get_running_loop().time()
+            sup.workers[0].hold_until = now + 30.0
+            sup.workers[0].conns = 0
+            sup.workers[1].conns = 5  # held worker loses even at 0 conns
+            assert sup._route("t/s").index == 1
+            # ...unless it is the only worker left.
+            sup.workers[1].state = WorkerHandle.DOWN
+            assert sup._route("t/s").index == 0
+
+        run(scenario())
+
+    def test_no_healthy_worker_returns_none(self, tmp_path):
+        async def scenario():
+            sup = self._supervisor(tmp_path)
+            for worker in sup.workers:
+                worker.state = WorkerHandle.DOWN
+            assert sup._route("t/s") is None
+
+        run(scenario())
+
+    def test_fleet_fault_victims_rotate(self, tmp_path):
+        async def scenario():
+            sup = self._supervisor(tmp_path, nworkers=3)
+            hits: list[tuple[int, str]] = []
+            for worker in sup.workers:
+                worker.proc.kill = (
+                    lambda i=worker.index: hits.append((i, "kill"))
+                )
+                worker.proc.send_signal = (
+                    lambda sig, i=worker.index: hits.append((i, "stop"))
+                )
+            kill = FaultDirective("killworker", 1)
+            wedge = FaultDirective("wedge", 2)
+            sup._fire_fleet_fault(kill)
+            sup._fire_fleet_fault(wedge)
+            sup._fire_fleet_fault(kill)
+            sup._fire_fleet_fault(kill)
+            assert hits == [
+                (0, "kill"),
+                (1, "stop"),
+                (2, "kill"),
+                (0, "kill"),
+            ]
+            assert sup.stats.fleet_faults == 4
+
+        run(scenario())
+
+    def test_breaker_is_per_tenant(self, tmp_path):
+        sup = self._supervisor(tmp_path)
+        a = sup._breaker_for("a")
+        assert sup._breaker_for("a") is a
+        assert sup._breaker_for("b") is not a
+        assert a.failure_threshold == sup.config.breaker_threshold
+
+
+class TestLiveMigration:
+    """The tentpole acceptance test: planned drain between live workers."""
+
+    def test_session_migrates_between_live_workers(
+        self, registry, data, golden, tmp_path
+    ):
+        async def scenario():
+            async with running_fleet(tmp_path) as sup:
+                # Pre-open control plane answers without a session.
+                reader, writer = await asyncio.open_connection(
+                    HOST, sup.port
+                )
+                send_frame(writer, {"op": "ping"})
+                await writer.drain()
+                assert (await read_frame(reader, 10))["op"] == "pong"
+                send_frame(writer, {"op": "health"})
+                await writer.drain()
+                report = await read_frame(reader, 10)
+                assert report["op"] == "health_report"
+                assert [w["state"] for w in report["workers"]] == [
+                    "healthy",
+                    "healthy",
+                ]
+                writer.close()
+
+                client = ScanClient(HOST, sup.port, "t", "mig", PATTERNS)
+                task = asyncio.create_task(
+                    client.run(
+                        data, segment_bytes=200, plan=pacing_plan()
+                    )
+                )
+                key = "t/mig"
+                await poll_until(lambda: key in sup._homes, timeout=30)
+                source = sup._homes[key]
+                pids = [w.proc.pid for w in sup.workers]
+
+                released = await sup.release_worker(source)
+                assert released == 1
+
+                # The reconnect must land on the *other* live worker.
+                await poll_until(
+                    lambda: sup._homes.get(key) is not None
+                    and sup._homes[key] != source,
+                    timeout=30,
+                )
+                destination = sup._homes[key]
+                assert destination != source
+
+                result = await task
+                # Planned drain, not a crash: the same worker processes
+                # are alive before and after the migration.
+                assert [w.proc.pid for w in sup.workers] == pids
+                assert all(w.alive for w in sup.workers)
+                assert sup.stats.releases == 1
+                assert sup.stats.restarts == 0
+                assert client.reconnects >= 1
+                # Byte-identity: integer matches AND float energy equal
+                # the uninterrupted golden.
+                assert (
+                    result["matches"],
+                    result["energy_uj"],
+                ) == golden
+
+        run(scenario(), timeout=180)
+
+
+class TestFailover:
+    def test_sigkilled_worker_sessions_rehome(
+        self, registry, data, golden, tmp_path
+    ):
+        async def scenario():
+            async with running_fleet(
+                tmp_path, health_interval=0.15, fail_threshold=1
+            ) as sup:
+                client = ScanClient(HOST, sup.port, "t", "kill", PATTERNS)
+                task = asyncio.create_task(
+                    client.run(
+                        data, segment_bytes=200, plan=pacing_plan()
+                    )
+                )
+                key = "t/kill"
+                await poll_until(lambda: key in sup._homes, timeout=30)
+                victim = sup.workers[sup._homes[key]]
+                victim_pid = victim.proc.pid
+                victim.proc.kill()  # unplanned SIGKILL mid-stream
+
+                result = await task
+                assert (
+                    result["matches"],
+                    result["energy_uj"],
+                ) == golden
+                assert client.reconnects >= 1
+                assert sup.stats.fences >= 1
+                # The victim is eventually restarted as a new process.
+                await poll_until(
+                    lambda: sup.stats.restarts >= 1, timeout=30
+                )
+                assert victim.alive
+                assert victim.proc.pid != victim_pid
+
+        run(scenario(), timeout=180)
+
+    def test_wedged_worker_is_fenced_and_restarted(self, tmp_path):
+        async def scenario():
+            async with running_fleet(
+                tmp_path,
+                health_interval=0.15,
+                ping_timeout=0.5,
+                fail_threshold=2,
+            ) as sup:
+                victim = sup.workers[0]
+                victim_pid = victim.proc.pid
+                victim.proc.send_signal(signal.SIGSTOP)  # alive but mute
+                # The ping deadline trips the gate; SIGKILL fences a
+                # stopped process just fine, and the restart follows.
+                await poll_until(
+                    lambda: sup.stats.restarts >= 1, timeout=30
+                )
+                assert sup.stats.fences >= 1
+                assert victim.alive
+                assert victim.proc.pid != victim_pid
+
+        run(scenario(), timeout=120)
+
+
+class TestCircuitBreaker:
+    def test_pathological_tenant_trips_and_recovers(
+        self, registry, data, tmp_path
+    ):
+        async def scenario():
+            async with running_fleet(
+                tmp_path,
+                breaker_threshold=2,
+                breaker_cooldown=0.5,
+                breaker_cooldown_cap=8.0,
+            ) as sup:
+                bad = ["(unclosed"]
+
+                async def bad_open(n: int):
+                    client = ScanClient(HOST, sup.port, "evil", f"s{n}", bad)
+                    await client.connect()
+
+                # Two compile failures reach the workers and count.
+                for n in range(2):
+                    with pytest.raises(ServeError):
+                        await bad_open(n)
+                breaker = sup._breaker_for("evil")
+                assert breaker.state == CircuitBreaker.OPEN
+                assert breaker.trips == 1
+
+                # The third never reaches a worker: refused up front
+                # with a structured retry_after.
+                with pytest.raises(AdmissionError) as excinfo:
+                    await bad_open(2)
+                assert excinfo.value.retry_after is not None
+                assert sup.stats.rejected_breaker == 1
+
+                # After the cool-down one half-open probe is admitted;
+                # it fails again, re-opening with an escalated cooldown.
+                await asyncio.sleep(0.6)
+                with pytest.raises(ServeError):
+                    await bad_open(3)
+                assert breaker.state == CircuitBreaker.OPEN
+                assert breaker.trips == 2
+
+                # An innocent tenant is untouched throughout.
+                good = ScanClient(HOST, sup.port, "good", "s0", PATTERNS)
+                await good.connect()
+                await good.end()
+                assert sup._breaker_for("good").state == (
+                    CircuitBreaker.CLOSED
+                )
+
+        run(scenario(), timeout=120)

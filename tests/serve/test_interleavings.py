@@ -1,0 +1,204 @@
+"""Adversarial interleavings of the server's supervision paths.
+
+Each test forces two supervision mechanisms to overlap at a chosen
+instant — the races a timer-driven soak only hits by luck:
+
+* the idle watchdog sweeping a parked session while a drain is mid
+  checkpoint walk;
+* a load shed landing while that session's hot reload is still in the
+  compile executor;
+* a resume takeover arriving while the superseded handler is still
+  flushing events.
+
+The bar is the same as everywhere else in this suite: whatever the
+interleaving, every session must remain resumable to byte-identical
+matches and energy, and no supervision path may crash another's state.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import AdmissionError, ServeError
+from repro.serve.client import ScanClient
+from tests.serve.util import (
+    PATTERNS,
+    finish_stream,
+    poll_until,
+    run,
+    running_server,
+)
+
+HOST = "127.0.0.1"
+SEG = 800
+
+
+async def stream_segments(client, data, count, seg=SEG):
+    """Send ``count`` segments from the client's offset, tracking it."""
+    for _ in range(count):
+        segment = data[client.offset : client.offset + seg]
+        await client.send(segment)
+        client.offset += len(segment)
+
+
+class TestIdleEvictionDuringDrain:
+    def test_parked_session_evicted_mid_drain(
+        self, registry, data, golden, tmp_path
+    ):
+        """A sweep fires at drain's first await; both sessions survive.
+
+        The drain loop snapshots the session table, then yields while
+        notifying attached clients.  If the idle watchdog runs in that
+        window it evicts the parked session out from under the drain —
+        the drain must tolerate the table shrinking mid-walk, and both
+        the evicted and the drained session must resume byte-identically
+        on a fresh server over the same checkpoint directory.
+        """
+
+        async def scenario():
+            async with running_server(
+                tmp_path,
+                registry,
+                idle_timeout=0.05,
+                watchdog_interval=60.0,  # sweeps only when the test says
+                drain_seconds=2.0,
+            ) as server:
+                parked = ScanClient(HOST, server.port, "t", "parked", PATTERNS)
+                await parked.connect()
+                await stream_segments(parked, data, 2)
+                bye = await parked.detach()  # parked: in memory, detached
+                parked_offset = bye["offset"]
+                assert parked_offset == SEG  # pending segment deferred
+
+                live = ScanClient(HOST, server.port, "t", "live", PATTERNS)
+                await live.connect()
+                await stream_segments(live, data, 1)
+
+                await asyncio.sleep(0.1)  # parked is now idle-expired
+                # The sweep task starts at drain's first await — exactly
+                # the window where drain already snapshotted the table.
+                sweep = asyncio.create_task(server._sweep())
+                await server.drain()
+                await sweep
+
+                assert server.stats.evicted_idle == 1
+                assert server.stats.checkpoint_failures == 0
+                assert not server._sessions
+
+            # Both lineages resume on a fresh worker over the same store.
+            async with running_server(tmp_path, registry) as server:
+                for name, expect_offset in (
+                    ("parked", parked_offset),
+                    ("live", 0),  # drain persists the durable prefix only
+                ):
+                    client = ScanClient(
+                        HOST, server.port, "t", name, PATTERNS
+                    )
+                    welcome = await client.connect(resume=True)
+                    assert welcome["offset"] == expect_offset
+                    result = await finish_stream(client, data)
+                    assert (
+                        result["matches"],
+                        result["energy_uj"],
+                    ) == golden
+                assert server.stats.resumed == 2
+
+        run(scenario())
+
+
+class TestShedDuringReload:
+    def test_shed_racing_inflight_reload(
+        self, registry, data, golden, tmp_path
+    ):
+        """Shedding a session whose hot reload is still compiling.
+
+        The reload runs in the compile executor; while it is in flight
+        the pressure path sheds the same session.  Whichever frame the
+        client sees first, the handler must stand down without touching
+        the shed checkpoint, and reconnect-resume must finish the stream
+        byte-identically.  (The reload uses the same patterns, so the
+        golden stays comparable whether or not the swap lands.)
+        """
+
+        async def scenario():
+            async with running_server(tmp_path, registry) as server:
+                client = ScanClient(HOST, server.port, "t", "rs", PATTERNS)
+                await client.connect()
+                await stream_segments(client, data, 3)
+
+                reload_task = asyncio.create_task(client.reload(PATTERNS))
+                await asyncio.sleep(0)  # let the reload reach the executor
+                shed_key = await server.shed_lowest("pressure-test")
+                assert shed_key == "t/rs"
+                assert server.stats.shed == 1
+
+                # The client observes either outcome: the reloaded frame
+                # beat the shed, or the shed error displaced it.
+                try:
+                    await reload_task
+                except (
+                    AdmissionError,
+                    ServeError,
+                    ConnectionError,
+                    asyncio.TimeoutError,
+                ):
+                    pass
+
+                await client.reconnect()
+                result = await finish_stream(client, data)
+                assert (result["matches"], result["energy_uj"]) == golden
+                assert client.reconnects == 1
+                assert server.stats.checkpoint_failures == 0
+                assert server.stats.protocol_errors == 0
+
+        run(scenario())
+
+
+class TestResumeTakeoverWhileFlushing:
+    def test_takeover_while_source_handler_flushing(
+        self, registry, data, golden, tmp_path
+    ):
+        """Client B resumes while client A's handler is mid-flush.
+
+        A streams without reading; B opens the same session with
+        ``resume`` while A's events are still being written.  Latest
+        wins: the server supersedes A's attachment, parks the held
+        session (dropping its pending segment for B to replay), and A's
+        handler stands down without parking over B's live attachment.
+        """
+
+        async def scenario():
+            async with running_server(tmp_path, registry) as server:
+                a = ScanClient(HOST, server.port, "t", "tk", PATTERNS)
+                await a.connect()
+                await stream_segments(a, data, 4)  # last one may be in flight
+                # Wait until the server has fed at least one segment, so
+                # the takeover happens over a genuinely advanced session
+                # (the fourth segment may still be in the read buffer).
+                await poll_until(
+                    lambda: (s := server._sessions.get("t/tk")) is not None
+                    and s.offset >= SEG
+                )
+
+                b = ScanClient(HOST, server.port, "t", "tk", PATTERNS)
+                welcome = await b.connect(resume=True)
+                # The held session was parked in memory, not rebuilt from
+                # the store: pending bytes dropped, durable prefix kept.
+                assert welcome["resumed"] is False
+                assert 0 < welcome["offset"] <= 4 * SEG
+                assert b.offset == welcome["offset"]
+
+                # A's transport was closed server-side with no farewell.
+                assert await asyncio.wait_for(a._control.get(), 10) is None
+
+                result = await finish_stream(b, data)
+                assert (result["matches"], result["energy_uj"]) == golden
+                # The superseded handler stood down cleanly: B's run
+                # completed the session, nothing re-parked it.
+                await poll_until(lambda: not server._attached)
+                assert not server._sessions
+                assert server.stats.completed == 1
+                assert server.stats.checkpoint_failures == 0
+                assert server.stats.protocol_errors == 0
+
+        run(scenario())

@@ -18,6 +18,7 @@ from repro.serve.protocol import encode_frame, read_frame, send_frame
 from repro.serve.registry import TenantRegistry
 from repro.serve.server import (
     RETRY_AFTER_ADMISSION,
+    RETRY_AFTER_MIGRATE,
     RETRY_AFTER_SHED,
     ScanServer,
     ServeConfig,
@@ -492,13 +493,28 @@ class TestProtocolRobustness:
 
         run(scenario())
 
-    def test_handshake_must_begin_with_open(self, registry, tmp_path):
+    def test_handshake_must_begin_with_open_or_control(
+        self, registry, tmp_path
+    ):
+        # Pre-open control ops (ping/health) are answered sessionless —
+        # the fleet supervisor's probe path — but a session op before
+        # open is still a protocol error.
         async def scenario():
             async with running_server(tmp_path, registry) as server:
                 reader, writer = await asyncio.open_connection(
                     "127.0.0.1", server.port
                 )
                 writer.write(encode_frame({"op": "ping"}))
+                await writer.drain()
+                frame = await read_frame(reader, 10.0)
+                assert frame["op"] == "pong"
+                writer.write(encode_frame({"op": "health"}))
+                await writer.drain()
+                frame = await read_frame(reader, 10.0)
+                assert frame["op"] == "health_report"
+                assert frame["sessions"] == 0
+                assert frame["draining"] is False
+                writer.write(encode_frame({"op": "data", "b64": ""}))
                 await writer.drain()
                 frame = await read_frame(reader, 10.0)
                 assert frame["op"] == "error"
@@ -538,5 +554,59 @@ class TestProtocolRobustness:
                 assert frame["code"] == protocol.ERR_PROTOCOL
                 assert "tenant" in frame["message"]
                 writer.close()
+
+        run(scenario())
+
+
+class TestRelease:
+    def test_preopen_release_parks_and_forgets(
+        self, registry, data, golden, tmp_path
+    ):
+        # The live-migration source half, driven over the wire: a
+        # sessionless control connection sends ``release``; every
+        # session parks at its segment boundary, its client gets the
+        # structured migrate error, and the worker forgets the session
+        # entirely — yet a resume continues it byte-identically from
+        # the shared store.
+        async def scenario():
+            async with running_server(tmp_path, registry) as server:
+                client = ScanClient(
+                    "127.0.0.1", server.port, "t", "rel", PATTERNS
+                )
+                await client.connect()
+                for _ in range(2):
+                    segment = data[client.offset : client.offset + SEG]
+                    await client.send(segment)
+                    client.offset += len(segment)
+                await client.ping()  # barrier: both segments are fed
+
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(encode_frame({"op": "release"}))
+                await writer.drain()
+                frame = await read_frame(reader, 10.0)
+                assert frame["op"] == "released"
+                assert frame["count"] == 1
+                writer.close()
+
+                assert server.stats.released == 1
+                assert not server._sessions  # ownership has left this worker
+
+                # The attached client observed the structured error.
+                frame = await asyncio.wait_for(client._control.get(), 10.0)
+                assert frame["op"] == "error"
+                assert frame["code"] == protocol.ERR_MIGRATE
+                assert frame["retry_after"] == RETRY_AFTER_MIGRATE
+                assert frame["offset"] == SEG  # pending segment dropped
+
+                # Resume lands on "another worker" (same store suffices).
+                welcome = await client.connect(resume=True)
+                assert welcome["resumed"] is True
+                assert welcome["offset"] == SEG
+                client.offset = welcome["offset"]
+                result = await finish_stream(client, data, SEG)
+                assert (result["matches"], result["energy_uj"]) == golden
+                assert server.stats.resumed == 1
 
         run(scenario())
