@@ -454,6 +454,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="diff aggregate matches and energy against an "
         "uninterrupted serial scan (byte-identity proof)",
     )
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="measure cost-model constants on a backend and persist them",
+        description="Time forced-mode probe scans on the resolved "
+        "step-kernel backend, solve the cost model's linear forms for "
+        "its six per-byte constants, and persist them in the compile "
+        "cache; subsequent compiles on that backend score mode "
+        "selection against the measured constants instead of the "
+        "hand-tuned defaults ('rap scan --explain' shows which are in "
+        "force).",
+    )
+    p_cal.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="backend to calibrate (default: RAP_BACKEND resolution)",
+    )
+    p_cal.add_argument(
+        "--bytes",
+        type=int,
+        default=None,
+        dest="probe_bytes",
+        help="probe stream length in bytes (default: 131072)",
+    )
+    p_cal.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per probe, minimum taken (default: 3)",
+    )
+    p_cal.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="measure and print without persisting",
+    )
     return parser
 
 
@@ -550,6 +586,39 @@ def _load_hw(path):
         return DEFAULT_CONFIG
     with open(path) as f:
         return HardwareConfig.from_json(json.load(f))
+
+
+def _print_backend_report(engine) -> None:
+    """The ``--explain`` header: resolved backend and cost constants.
+
+    Reports the backend that will *actually* execute (after the
+    probe-and-fall-back chain) with the fallback reason when the
+    requested one is unavailable, and whether the cost model is scoring
+    against measured (``rap calibrate``) or default constants.
+    """
+    from repro.compiler.costmodel import DEFAULT_CONSTANTS, active_constants
+
+    resolved, reason = engine.backend_report()
+    line = f"backend: {resolved}"
+    if reason:
+        line += f" ({reason})"
+    print(line)
+    constants = active_constants(resolved)
+    if constants.source == "measured":
+        pairs = " ".join(
+            f"{name}={value:g}" for name, value in constants.numbers().items()
+        )
+        print(f"cost constants: measured on {constants.backend} ({pairs})")
+        defaults = " ".join(
+            f"{name}={value:g}"
+            for name, value in DEFAULT_CONSTANTS.numbers().items()
+        )
+        print(f"  defaults would be: {defaults}")
+    else:
+        print(
+            "cost constants: default (run 'repro calibrate' to measure "
+            "this backend)"
+        )
 
 
 def _print_explain(entries) -> None:
@@ -657,6 +726,7 @@ def cmd_scan(args) -> int:
             patterns = _read_patterns(args.patterns)
         else:
             patterns = [r.pattern for r in load_ruleset(args.ruleset)]
+        _print_backend_report(engine)
         _print_explain(
             engine.explain(patterns, CompilerConfig(bv_depth=args.bv_depth))
         )
@@ -985,6 +1055,42 @@ def cmd_loadgen(args) -> int:
     return 0
 
 
+def cmd_calibrate(args) -> int:
+    """Handler for ``repro calibrate``."""
+    from repro.compiler.calibrate import (
+        DEFAULT_PROBE_BYTES,
+        DEFAULT_REPEATS,
+        calibrate,
+        save_calibration,
+    )
+    from repro.compiler.costmodel import DEFAULT_CONSTANTS
+
+    report = calibrate(
+        args.backend,
+        probe_bytes=args.probe_bytes or DEFAULT_PROBE_BYTES,
+        repeats=args.repeats or DEFAULT_REPEATS,
+    )
+    print(f"backend: {report.backend}  ({report.probe_bytes} probe bytes)")
+    rows = [("constant", "default", "measured")]
+    defaults = DEFAULT_CONSTANTS.numbers()
+    for name, value in report.constants.numbers().items():
+        rows.append((name, f"{defaults[name]:g}", f"{value:g}"))
+    widths = [max(len(row[col]) for row in rows) for col in range(3)]
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    for label, seconds in sorted(report.measurements.items()):
+        print(f"  {label}: {seconds * 1e9:.1f} ns/byte")
+    if args.dry_run:
+        print("dry run: not persisted")
+    else:
+        save_calibration(report)
+        print(
+            f"persisted for backend {report.backend!r}; subsequent "
+            "compiles on it use the measured constants"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -998,6 +1104,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "fleet": cmd_fleet,
         "loadgen": cmd_loadgen,
+        "calibrate": cmd_calibrate,
     }
     return handlers[args.command](args)
 

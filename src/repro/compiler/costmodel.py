@@ -92,6 +92,121 @@ C_NBVA_BASE = 0.9
 #: LNFA: per 64-bit lane word of the shared Shift-And machine.
 C_LNFA_WORD = 0.3
 
+# -- measured constants (``rap calibrate``) -----------------------------------
+
+#: Version of the persisted calibration payload; bumping it orphans
+#: every stored calibration (treated as "never calibrated").
+CALIBRATION_VERSION = 1
+
+#: Measured constants outside this range are implausible (a degenerate
+#: micro-benchmark, clock glitch, or corrupted blob) and are clamped.
+CONSTANT_RANGE = (0.01, 100.0)
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """The six per-byte cost anchors, with their provenance.
+
+    The hand-tuned module constants above remain the documented
+    defaults; ``rap calibrate`` measures backend-specific replacements
+    and persists them in the compile cache, from which
+    :func:`active_constants` loads them for every subsequent compile.
+    Only the NFA-vs-DFA comparison is decisive, so everything is
+    normalized to ``nfa_base == 1.0`` regardless of absolute speed.
+    """
+
+    nfa_base: float = C_NFA_BASE
+    nfa_active: float = C_NFA_ACTIVE
+    dfa_lookup: float = C_DFA_LOOKUP
+    dfa_density: float = C_DFA_DENSITY
+    nbva_base: float = C_NBVA_BASE
+    lnfa_word: float = C_LNFA_WORD
+    #: ``"default"`` (hand-tuned anchors) or ``"measured"``.
+    source: str = "default"
+    #: The backend the measured constants were calibrated on.
+    backend: str = ""
+
+    def numbers(self) -> dict[str, float]:
+        """The six numeric anchors by name (persistence/display)."""
+        return {
+            "nfa_base": self.nfa_base,
+            "nfa_active": self.nfa_active,
+            "dfa_lookup": self.dfa_lookup,
+            "dfa_density": self.dfa_density,
+            "nbva_base": self.nbva_base,
+            "lnfa_word": self.lnfa_word,
+        }
+
+
+DEFAULT_CONSTANTS = CostConstants()
+
+
+def calibration_blob_name(backend: str) -> str:
+    """Cache-blob name for one backend's measured constants."""
+    return f"costmodel-{backend}"
+
+
+# In-process memo of loaded calibrations, keyed by (cache root,
+# backend).  ``rap calibrate`` and tests that rewrite the blob call
+# :func:`invalidate_constants_cache` to force a re-read.
+_ACTIVE: dict[tuple[str, str], CostConstants] = {}
+
+
+def invalidate_constants_cache() -> None:
+    """Drop memoized calibrations (after ``rap calibrate`` or in tests)."""
+    _ACTIVE.clear()
+
+
+def _clamp(value: float) -> float:
+    lo, hi = CONSTANT_RANGE
+    return min(max(float(value), lo), hi)
+
+
+def active_constants(backend: str | None = None) -> CostConstants:
+    """The cost constants in force: measured if calibrated, else default.
+
+    Reads the per-backend calibration blob from the compile cache
+    (``$RAP_CACHE_DIR``-aware); any malformed, version-skewed, or
+    non-finite payload degrades to :data:`DEFAULT_CONSTANTS` — a stale
+    calibration must never fail a compile.
+    """
+    # Lazy imports: the cache module imports the compiler package, so a
+    # module-level import here would be circular.
+    from repro.core import resolve_backend
+    from repro.engine.cache import CompileCache, default_cache_dir
+
+    resolved = backend if backend is not None else resolve_backend()
+    key = (str(default_cache_dir()), resolved)
+    found = _ACTIVE.get(key)
+    if found is not None:
+        return found
+    constants = DEFAULT_CONSTANTS
+    try:
+        payload = CompileCache().get_blob(calibration_blob_name(resolved))
+    except OSError:
+        payload = None
+    if (
+        isinstance(payload, dict)
+        and payload.get("version") == CALIBRATION_VERSION
+        and isinstance(payload.get("constants"), dict)
+    ):
+        raw = payload["constants"]
+        try:
+            numbers = {
+                name: _clamp(raw[name])
+                for name in DEFAULT_CONSTANTS.numbers()
+            }
+        except (KeyError, TypeError, ValueError):
+            numbers = None
+        if numbers is not None and all(
+            math.isfinite(v) for v in numbers.values()
+        ):
+            constants = CostConstants(
+                **numbers, source="measured", backend=resolved
+            )
+    _ACTIVE[key] = constants
+    return constants
+
 # -- mode override ------------------------------------------------------------
 
 MODE_ENV = "RAP_MODE"
@@ -264,23 +379,31 @@ def extract_features(
 # -- per-mode predicted costs -------------------------------------------------
 
 
-def mode_costs(features: ModeFeatures) -> dict[str, float]:
-    """Predicted per-byte cost of each mode; ineligible modes are inf."""
+def mode_costs(
+    features: ModeFeatures, constants: CostConstants | None = None
+) -> dict[str, float]:
+    """Predicted per-byte cost of each mode; ineligible modes are inf.
+
+    ``constants`` defaults to :func:`active_constants`: the hand-tuned
+    anchors until ``rap calibrate`` has stored measured replacements
+    for the resolved backend.
+    """
+    c = constants if constants is not None else active_constants()
     p = features.predicted_activity
     costs = {
-        "nfa": C_NFA_BASE + C_NFA_ACTIVE * p * features.unfolded_states
+        "nfa": c.nfa_base + c.nfa_active * p * features.unfolded_states
     }
     if features.dfa_states is not None:
-        costs["dfa"] = C_DFA_LOOKUP + C_DFA_DENSITY * p * features.dfa_states
+        costs["dfa"] = c.dfa_lookup + c.dfa_density * p * features.dfa_states
     else:
         costs["dfa"] = math.inf
     if features.nbva_eligible:
-        costs["nbva"] = C_NBVA_BASE + C_NFA_ACTIVE * p * features.source_states
+        costs["nbva"] = c.nbva_base + c.nfa_active * p * features.source_states
     else:
         costs["nbva"] = math.inf
     if features.lnfa_eligible:
         words = max(1, -(-features.unfolded_states // 64))
-        costs["lnfa"] = C_LNFA_WORD * words
+        costs["lnfa"] = c.lnfa_word * words
     else:
         costs["lnfa"] = math.inf
     return costs

@@ -31,10 +31,12 @@ from repro.core.registry import (
     DFA_FORMAT_VERSION,
     FUSED_FORMAT_VERSION,
     KERNEL_FORMAT_VERSION,
+    NATIVE_FORMAT_VERSION,
     available_backends,
     backend_names,
     get_kernel,
     resolve_backend,
+    resolve_backend_with_reason,
     set_default_backend,
     use_backend,
 )
@@ -49,6 +51,7 @@ __all__ = [
     "DFA_FORMAT_VERSION",
     "FUSED_FORMAT_VERSION",
     "KERNEL_FORMAT_VERSION",
+    "NATIVE_FORMAT_VERSION",
     "STATE_FORMAT_VERSION",
     "FrontierMap",
     "KernelProgram",
@@ -69,6 +72,7 @@ __all__ = [
     "backend_names",
     "get_kernel",
     "resolve_backend",
+    "resolve_backend_with_reason",
     "set_default_backend",
     "use_backend",
 ]

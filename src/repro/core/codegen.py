@@ -1,0 +1,441 @@
+"""C source emission for the ``native`` backend.
+
+Each compiled ruleset becomes its *own* C translation unit: the lane
+count is a compile-time constant, per-class label/revival rows and tile
+masks are baked in as ``static const`` arrays, gather units carry their
+successor tables inline, and DFA-tier units become flat
+``next[state][class]`` tables.  The emitted loops are line-for-line
+mirrors of the interpreted scans in :mod:`repro.core.fused` — same hot
+skip, same warm-up (``stats_from``) gating, same end-anchored masking —
+so the bit-identity contract holds by construction rather than by
+translation-layer luck.
+
+Two translation units per ruleset:
+
+* :func:`lane_scan_source` — the lane-packed SHIFT_LEFT machine plus
+  per-tile wake-up accounting and final-hit extraction (the whole
+  :meth:`~repro.simulators.fused.FusedLaneScanner.scan` hot path).
+* :func:`unit_scan_source` — one function per GATHER unit whose state
+  word fits 64 bits, and one per DFA-tier unit.  Wider gather units
+  keep the interpreted path (identical results, just slower).
+
+Every source begins with a header naming
+:data:`~repro.core.registry.NATIVE_FORMAT_VERSION`, so the SHA-256 of
+the source text — the shared-object cache key — rolls over whenever the
+ABI or the emitted semantics change.
+
+Match events cross the ABI as bounded ``(position, word)`` buffers with
+a continuation protocol: when a buffer fills the kernel returns 1 with
+the resume index and the exit state, the caller drains and re-enters.
+Counters (tile cycles/bits, active-state sums) accumulate in caller
+memory across continuations, so the drained stream is identical to an
+unbounded one.
+
+This module only *writes* C; building and loading live in
+:mod:`repro.core.native`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.registry import NATIVE_FORMAT_VERSION
+
+# GATHER units wider than one machine word stay on the interpreted
+# path: the per-bit successor walk no longer fits a single uint64.
+GATHER_NATIVE_MAX_WIDTH = 64
+
+# Bounded event buffers (entries) between continuation returns.
+HIT_BUFFER_ENTRIES = 4096
+
+
+def _u64(value: int) -> str:
+    return f"0x{value & 0xFFFFFFFFFFFFFFFF:016x}ULL"
+
+
+def _words(value: int, lanes: int) -> list[int]:
+    """A (possibly huge) Python int as little-endian 64-bit words."""
+    return [(value >> (64 * w)) & 0xFFFFFFFFFFFFFFFF for w in range(lanes)]
+
+
+def _u64_array(name: str, values: Iterable[int]) -> str:
+    body = ", ".join(_u64(v) for v in values)
+    return f"static const uint64_t {name}[] = {{ {body} }};"
+
+
+def _u64_matrix(name: str, rows: Sequence[Sequence[int]], lanes: int) -> str:
+    lines = [f"static const uint64_t {name}[][{lanes}] = {{"]
+    for row in rows:
+        lines.append("  { " + ", ".join(_u64(v) for v in row) + " },")
+    lines.append("};")
+    return "\n".join(lines)
+
+
+def _u8_array(name: str, values: Iterable[int]) -> str:
+    body = ", ".join(str(int(v) & 0xFF) for v in values)
+    return f"static const uint8_t {name}[] = {{ {body} }};"
+
+
+def _i64_array(name: str, values: Iterable[int]) -> str:
+    body = ", ".join(f"{int(v)}LL" for v in values)
+    return f"static const long long {name}[] = {{ {body} }};"
+
+
+def _i32_array(name: str, values: Iterable[int]) -> str:
+    body = ", ".join(str(int(v)) for v in values)
+    return f"static const int32_t {name}[] = {{ {body} }};"
+
+
+def _header(kind: str, layout_digest: str) -> str:
+    return (
+        f"/* rap native kernel: {kind}\n"
+        f" * native_format_version: {NATIVE_FORMAT_VERSION}\n"
+        f" * layout: {layout_digest}\n"
+        " * generated; do not edit.\n"
+        " */\n"
+        "#include <stdint.h>\n"
+        "#define POP(x) ((long long)__builtin_popcountll(x))\n"
+    )
+
+
+# -- the lane-packed machine --------------------------------------------------
+
+LANE_CDEF = (
+    "int rap_lane_scan(const uint8_t *cls, long long n, long long start_i,\n"
+    "    uint64_t *state, int fresh, int at_end, long long stats_from,\n"
+    "    long long *tile_cycles, long long *tile_bits,\n"
+    "    long long *hit_pos, uint64_t *hit_words, long long hit_cap,\n"
+    "    long long *n_hits, long long *resume_i);"
+)
+
+
+def lane_scan_source(fused, tile_rows: Sequence[Sequence[int]]) -> str:
+    """The C mirror of ``lane_feed`` + the scanner's stats sink.
+
+    ``fused`` is a :class:`~repro.core.fused.FusedRuleset` with at least
+    one SHIFT_LEFT program; ``tile_rows`` the scanner's flattened
+    (bin, tile) full-width masks, each already expressed as ``lanes``
+    little-endian 64-bit words.  Positions with a live packed word feed
+    per-tile cycle/bit counters; final hits are emitted as
+    ``(position, word)`` pairs with end-anchored finals already masked,
+    exactly as the interpreted sink computes them.
+    """
+    lanes = fused.lanes
+    if lanes <= 0:
+        raise ValueError("lane codegen requires at least one shift program")
+    k = fused.classes.k
+    tiles = [list(row) for row in tile_rows]
+
+    parts = [_header("lane machine", fused.signature)]
+    parts.append(f"#define LANES {lanes}")
+    parts.append(f"#define NCLS {k}")
+    parts.append(
+        _u64_matrix(
+            "LABELS",
+            [_words(m, lanes) for m in fused._labels_cls],
+            lanes,
+        )
+    )
+    parts.append(
+        _u64_matrix(
+            "COLD", [_words(m, lanes) for m in fused._cold_cls], lanes
+        )
+    )
+    parts.append(_u64_array("KEEP", _words(fused.keep, lanes)))
+    parts.append(_u64_array("INJECT", _words(fused.inject_always, lanes)))
+    parts.append(_u64_array("INJECT_FIRST", _words(fused.inject_first, lanes)))
+    parts.append(_u64_array("FINAL", _words(fused.final, lanes)))
+    parts.append(
+        _u64_array("END_ANCH", _words(fused.end_anchored, lanes))
+    )
+    parts.append(
+        _u8_array("HOT", (1 if h else 0 for h in fused.lane_hot_cls))
+    )
+
+    # Per-tile stats, fully unrolled over only the lanes the tile's mask
+    # touches (tile masks are narrow slices of the packed word).
+    tile_stats: list[str] = []
+    for m, row in enumerate(tiles):
+        live = [(w, v) for w, v in enumerate(row) if v]
+        if not live:
+            continue
+        block = ["      { uint64_t acc = 0; long long bits = 0; uint64_t x;"]
+        for w, v in live:
+            block.append(
+                f"        x = s[{w}] & {_u64(v)}; acc |= x; bits += POP(x);"
+            )
+        block.append(
+            f"        if (acc) {{ tile_cycles[{m}]++; "
+            f"tile_bits[{m}] += bits; }} }}"
+        )
+        tile_stats.append("\n".join(block))
+    tile_stats_code = "\n".join(tile_stats)
+
+    step_lines = []
+    step_lines.append("        uint64_t carry = 0, ns; any = 0;")
+    for w in range(lanes):
+        step_lines.append(
+            f"        ns = (s[{w}] << 1) | carry; carry = s[{w}] >> 63;\n"
+            f"        ns = ((ns & KEEP[{w}]) | INJECT[{w}]) "
+            f"& LABELS[c][{w}]; s[{w}] = ns; any |= ns;"
+        )
+    step_code = "\n".join(step_lines)
+
+    cold_load = "\n".join(
+        f"        s[{w}] = COLD[c][{w}]; any |= s[{w}];"
+        for w in range(lanes)
+    )
+    fresh_load = "\n".join(
+        f"      s[{w}] = INJECT_FIRST[{w}] & LABELS[c][{w}]; any |= s[{w}];"
+        for w in range(lanes)
+    )
+    hit_load = "\n".join(
+        f"      h[{w}] = s[{w}] & FINAL[{w}]; hany |= h[{w}];"
+        for w in range(lanes)
+    )
+    hit_mask = "\n".join(
+        f"        h[{w}] &= ~END_ANCH[{w}]; hany |= h[{w}];"
+        for w in range(lanes)
+    )
+    hit_store = "\n".join(
+        f"        hit_words[nh * LANES + {w}] = h[{w}];"
+        for w in range(lanes)
+    )
+    state_out = "\n".join(
+        f"  state[{w}] = s[{w}];" for w in range(lanes)
+    )
+    state_in = "\n".join(
+        f"  s[{w}] = state[{w}]; any |= s[{w}];" for w in range(lanes)
+    )
+
+    parts.append(
+        f"""
+{LANE_CDEF[:-1]}
+{{
+  long long i = start_i, last = n - 1, nh = 0;
+  uint64_t s[LANES], any = 0;
+{state_in}
+  if (fresh && i == 0 && n > 0) {{
+    int c = cls[0];
+    any = 0;
+{fresh_load}
+    if (any && stats_from <= 0) {{
+      uint64_t h[LANES], hany = 0;
+{hit_load}
+      if (hany && !(at_end && last == 0)) {{
+        hany = 0;
+{hit_mask}
+      }}
+{tile_stats_code}
+      if (hany) {{
+        hit_pos[nh] = 0;
+{hit_store}
+        nh++;
+      }}
+    }}
+    i = 1;
+  }}
+  while (i < n) {{
+    int c;
+    if (!any) {{
+      while (i < n && !HOT[cls[i]]) i++;
+      if (i >= n) break;
+      c = cls[i];
+{cold_load}
+    }} else {{
+      c = cls[i];
+{step_code}
+    }}
+    if (any && i >= stats_from) {{
+{tile_stats_code}
+      uint64_t h[LANES], hany = 0;
+{hit_load}
+      if (hany) {{
+        if (!(at_end && i == last)) {{
+          hany = 0;
+{hit_mask}
+        }}
+        if (hany) {{
+          hit_pos[nh] = i;
+{hit_store}
+          nh++;
+          if (nh >= hit_cap) {{
+{state_out}
+            *n_hits = nh; *resume_i = i + 1; return 1;
+          }}
+        }}
+      }}
+    }}
+    i++;
+  }}
+{state_out}
+  *n_hits = nh; *resume_i = n; return 0;
+}}
+"""
+    )
+    return "\n".join(parts)
+
+
+# -- GATHER + DFA units -------------------------------------------------------
+
+
+def gather_cdef(index: int) -> str:
+    return (
+        f"int rap_gather_scan_{index}(const uint8_t *cls, long long n,\n"
+        "    long long start_i, uint64_t *state, int fresh, int at_end,\n"
+        "    long long stats_from, long long *active,\n"
+        "    long long *ev_pos, uint64_t *ev_word, long long cap,\n"
+        "    long long *n_ev, long long *resume_i);"
+    )
+
+
+def dfa_cdef(index: int) -> str:
+    return (
+        f"int rap_dfa_scan_{index}(const uint8_t *cls, long long n,\n"
+        "    long long start_i, int32_t *state, long long stats_from,\n"
+        "    long long *active, long long *ev_pos, int32_t *ev_state,\n"
+        "    long long cap, long long *n_ev, long long *resume_i);"
+    )
+
+
+def native_gather_indices(fused) -> tuple[int, ...]:
+    """The GATHER units narrow enough for the single-word C kernel."""
+    return tuple(
+        j
+        for j in range(fused.gather_count)
+        if fused._gather[j].program.width <= GATHER_NATIVE_MAX_WIDTH
+    )
+
+
+def _gather_function(fused, index: int) -> str:
+    unit = fused._gather[index]
+    program = unit.program
+    p = f"G{index}"
+    parts = [
+        _u64_array(f"{p}_LABELS", unit.labels),
+        _u64_array(f"{p}_COLD", unit.cold),
+        _u64_array(f"{p}_SUCC", program.succ),
+        _u8_array(f"{p}_HOT", (1 if h else 0 for h in unit.hot_cls)),
+    ]
+    parts.append(
+        f"""
+{gather_cdef(index)[:-1]}
+{{
+  const uint64_t FINALW = {_u64(program.final)};
+  const uint64_t ENDA = {_u64(program.end_anchored_finals)};
+  const uint64_t INJ = {_u64(program.inject_always)};
+  const uint64_t INJF = {_u64(program.inject_first)};
+  long long i = start_i, last = n - 1, ne = 0, act = 0;
+  uint64_t s = *state;
+  if (fresh && i == 0 && n > 0) {{
+    s = INJF & {p}_LABELS[cls[0]];
+    if (s && stats_from <= 0) {{
+      act += POP(s);
+      uint64_t hits = s & FINALW;
+      if (hits && !(at_end && last == 0)) hits &= ~ENDA;
+      if (hits) {{ ev_pos[ne] = 0; ev_word[ne] = hits; ne++; }}
+    }}
+    i = 1;
+  }}
+  while (i < n) {{
+    if (!s) {{
+      while (i < n && !{p}_HOT[cls[i]]) i++;
+      if (i >= n) break;
+      s = {p}_COLD[cls[i]];
+    }} else {{
+      uint64_t avail = INJ, a = s;
+      while (a) {{
+        avail |= {p}_SUCC[__builtin_ctzll(a)];
+        a &= a - 1;
+      }}
+      s = avail & {p}_LABELS[cls[i]];
+    }}
+    if (s && i >= stats_from) {{
+      act += POP(s);
+      uint64_t hits = s & FINALW;
+      if (hits) {{
+        if (!(at_end && i == last)) hits &= ~ENDA;
+        if (hits) {{
+          ev_pos[ne] = i; ev_word[ne] = hits; ne++;
+          if (ne >= cap) {{
+            *state = s; *active += act;
+            *n_ev = ne; *resume_i = i + 1; return 1;
+          }}
+        }}
+      }}
+    }}
+    i++;
+  }}
+  *state = s; *active += act; *n_ev = ne; *resume_i = n; return 0;
+}}
+"""
+    )
+    return "\n".join(parts)
+
+
+def _dfa_function(fused, index: int) -> str:
+    unit = fused._dfa[index]
+    dfa = unit.dfa
+    p = f"D{index}"
+    parts = [
+        f"#define {p}_K {dfa.k}",
+        _i32_array(f"{p}_TRANS", dfa.transitions),
+        _i64_array(f"{p}_POPS", dfa.pops),
+        _u8_array(f"{p}_HOT", (1 if h else 0 for h in unit.hot_cls)),
+        _u8_array(f"{p}_HASHIT", (1 if m else 0 for m in dfa.final_hits)),
+    ]
+    parts.append(
+        f"""
+{dfa_cdef(index)[:-1]}
+{{
+  long long i = start_i, ne = 0, act = 0;
+  int32_t s = *state;
+  while (i < n) {{
+    if (!s) {{
+      while (i < n && !{p}_HOT[cls[i]]) i++;
+      if (i >= n) break;
+    }}
+    s = {p}_TRANS[(long long)s * {p}_K + cls[i]];
+    if (s && i >= stats_from) {{
+      act += {p}_POPS[s];
+      if ({p}_HASHIT[s]) {{
+        ev_pos[ne] = i; ev_state[ne] = s; ne++;
+        if (ne >= cap) {{
+          *state = s; *active += act;
+          *n_ev = ne; *resume_i = i + 1; return 1;
+        }}
+      }}
+    }}
+    i++;
+  }}
+  *state = s; *active += act; *n_ev = ne; *resume_i = n; return 0;
+}}
+"""
+    )
+    return "\n".join(parts)
+
+
+def unit_scan_source(fused) -> str:
+    """One translation unit covering every native-eligible scan unit.
+
+    Emits ``rap_gather_scan_<j>`` for each GATHER unit of width ≤ 64
+    (see :func:`native_gather_indices`) and ``rap_dfa_scan_<j>`` for
+    every DFA-tier unit.  Returns an empty string when nothing is
+    native-eligible, so callers can skip the build entirely.
+    """
+    gathers = native_gather_indices(fused)
+    if not gathers and not fused.dfa_count:
+        return ""
+    parts = [_header("scan units", fused.signature)]
+    for j in gathers:
+        parts.append(_gather_function(fused, j))
+    for j in range(fused.dfa_count):
+        parts.append(_dfa_function(fused, j))
+    return "\n".join(parts)
+
+
+def unit_cdefs(fused) -> str:
+    """The cffi ``cdef`` block matching :func:`unit_scan_source`."""
+    decls = [gather_cdef(j) for j in native_gather_indices(fused)]
+    decls.extend(dfa_cdef(j) for j in range(fused.dfa_count))
+    return "\n".join(decls)

@@ -46,6 +46,7 @@ and then ``python`` when prerequisites are missing.
 from __future__ import annotations
 
 import hashlib
+import logging
 from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
@@ -57,7 +58,11 @@ from repro.automata.dfa import determinize_classes
 from repro.core.kernel import MatchEvent, StepStats
 from repro.core.npkernel import NumpyKernel
 from repro.core.program import KernelProgram, ProgramKind
-from repro.core.registry import DFA_FORMAT_VERSION, FUSED_FORMAT_VERSION
+from repro.core.registry import (
+    DFA_FORMAT_VERSION,
+    FUSED_FORMAT_VERSION,
+    resolve_backend,
+)
 from repro.core.sfa import (
     FrontierMap,
     ShiftMap,
@@ -74,6 +79,8 @@ _PREFILTER_FIND_MAX = 4
 # Live state rows are flushed to the stats sink in blocks of this many
 # cycles, bounding buffer memory while amortizing the vectorized pricing.
 _FLUSH_BLOCK = 4096
+
+log = logging.getLogger(__name__)
 
 if hasattr(np, "bitwise_count"):
 
@@ -145,21 +152,43 @@ class TranslatedSegment:
     per-symbol indexing from Python), ``hot_idx`` the ascending
     positions that can revive *any* unit (the union prefilter), and
     ``counts`` the lazy per-class histogram used to price
-    ``matched_states`` in one dot product.
+    ``matched_states`` in one dot product.  ``hot_idx`` may be passed
+    as a zero-argument factory, materialized on first use — the native
+    backend's compiled kernels do their own cold skipping and never
+    touch the Python-side index.
     """
 
-    __slots__ = ("data", "cls_arr", "cls_bytes", "k", "hot_idx", "_hot_np", "_counts")
+    __slots__ = (
+        "data",
+        "cls_arr",
+        "cls_bytes",
+        "k",
+        "_hot_factory",
+        "_hot_idx",
+        "_hot_np",
+        "_counts",
+    )
 
-    def __init__(
-        self, data: bytes, cls_arr: np.ndarray, k: int, hot_idx: list[int]
-    ):
+    def __init__(self, data: bytes, cls_arr: np.ndarray, k: int, hot_idx):
         self.data = data
         self.cls_arr = cls_arr
         self.cls_bytes = cls_arr.tobytes()
         self.k = k
-        self.hot_idx = hot_idx
+        if callable(hot_idx):
+            self._hot_factory = hot_idx
+            self._hot_idx: list[int] | None = None
+        else:
+            self._hot_factory = None
+            self._hot_idx = hot_idx
         self._hot_np: np.ndarray | None = None
         self._counts: np.ndarray | None = None
+
+    @property
+    def hot_idx(self) -> list[int]:
+        """The union prefilter's hot positions (materialized lazily)."""
+        if self._hot_idx is None:
+            self._hot_idx = self._hot_factory()
+        return self._hot_idx
 
     @property
     def counts(self) -> np.ndarray:
@@ -400,6 +429,42 @@ class FusedRuleset:
         self._hot_lut = union_hot[self.classes.np_map]  # per raw byte
         self._hot_bytes = bytes(np.flatnonzero(self._hot_lut).tolist())
 
+        # -- native-codegen attachment (lazy, silent-fallback) ----------
+        # Decided at construction time so pickled copies shipped to
+        # worker processes re-attach under the same policy; the compiled
+        # library itself is rebuilt (from the .so cache) on first use.
+        self._native_requested = resolve_backend() == "native"
+        self._native_units = None
+        self._native_tried = False
+
+    def __getstate__(self):
+        # Compiled-library handles are process-local (dlopen'd shared
+        # objects); workers rebuild them lazily from the on-disk cache.
+        state = self.__dict__.copy()
+        state["_native_units"] = None
+        state["_native_tried"] = False
+        return state
+
+    def _native_scanner(self):
+        """The compiled unit kernels, or None (unrequested/unbuildable).
+
+        Any build or load failure falls back to the interpreted scan —
+        results are identical by the bit-identity contract, only speed
+        changes — so a missing compiler can never fail a run.
+        """
+        if not self._native_requested:
+            return None
+        if not self._native_tried:
+            self._native_tried = True
+            try:
+                from repro.core.native import NativeUnitScanner
+
+                self._native_units = NativeUnitScanner(self)
+            except Exception as err:
+                log.debug("native unit kernels unavailable: %s", err)
+                self._native_units = None
+        return self._native_units
+
     # -- identity -------------------------------------------------------
 
     @property
@@ -443,11 +508,19 @@ class FusedRuleset:
     # -- translation + prefilter ----------------------------------------
 
     def translate(self, data: bytes) -> TranslatedSegment:
-        """Translate one segment to class indices and prefilter it."""
+        """Translate one segment to class indices and prefilter it.
+
+        The prefilter index is lazy: it materializes the first time an
+        interpreted scan asks for hot positions, and never does when
+        every consumer runs a compiled native kernel.
+        """
         arr = np.frombuffer(data, dtype=np.uint8)
         cls_arr = self.classes.np_map[arr]
         return TranslatedSegment(
-            data, cls_arr, self.classes.k, self._hot_positions(data, arr)
+            data,
+            cls_arr,
+            self.classes.k,
+            lambda: self._hot_positions(data, arr),
         )
 
     def _hot_positions(self, data: bytes, arr: np.ndarray) -> list[int]:
@@ -593,6 +666,28 @@ class FusedRuleset:
         n = len(data)
         if n == 0:
             return [], StepStats(), state
+        native = self._native_scanner()
+        if native is not None and native.has_gather(index):
+            events, active, exit_state = native.gather_span(
+                index,
+                tin.cls_bytes,
+                state=state,
+                fresh=fresh,
+                at_end=at_end,
+                stats_from=stats_from,
+            )
+            matched = (
+                int(tin.counts_from(stats_from) @ unit.pops)
+                if program.track_matched
+                else 0
+            )
+            stats = StepStats(
+                cycles=n - max(0, stats_from),
+                active_states=active,
+                matched_states=matched,
+                reports=len(events),
+            )
+            return events, stats, exit_state
         cls = tin.cls_bytes
         labels = unit.labels
         cold_next = unit.cold
@@ -701,6 +796,27 @@ class FusedRuleset:
         n = len(tin.data)
         if n == 0:
             return [], StepStats(), state
+        native = self._native_scanner()
+        if native is not None:
+            raw, active, exit_state = native.dfa_span(
+                index, tin.cls_bytes, state=state, stats_from=stats_from
+            )
+            # The C kernel records (position, DFA state); the subset
+            # memory decodes each state to its final-position mask,
+            # which can exceed 64 bits and so stays on this side.
+            events = [(pos, final_hits[s]) for pos, s in raw]
+            matched = (
+                int(tin.counts_from(stats_from) @ unit.label_pops)
+                if unit.program.track_matched
+                else 0
+            )
+            stats = StepStats(
+                cycles=n - max(0, stats_from),
+                active_states=active,
+                matched_states=matched,
+                reports=len(events),
+            )
+            return events, stats, exit_state
         cls = tin.cls_bytes
         hot_idx = tin.hot_for(unit.hot_cls)
         n_hot = len(hot_idx)

@@ -1,0 +1,468 @@
+"""The ``native`` backend: runtime-compiled C kernels for fused scans.
+
+:mod:`repro.core.codegen` emits a specialized C translation unit per
+compiled ruleset; this module owns everything after that — the
+capability probe (a working C compiler, cached per process), the build
+(``cc -O3 -shared`` into the keyed on-disk compile cache, loaded via
+``cffi`` with a ``ctypes`` fallback), and the thin scanner wrappers the
+fused layers call.
+
+Contracts:
+
+* **Silent fallback.**  Every failure mode — no compiler, a build
+  error, a load error — degrades to the interpreted fused path with
+  identical results; callers catch :class:`NativeBuildError` (or see
+  the registry resolve ``native`` down to ``fused``).  Set
+  ``RAP_NATIVE_DISABLE=1`` to force this without uninstalling anything.
+* **Keyed shared objects.**  A library's cache key is the SHA-256 of
+  its generated source, which embeds
+  :data:`~repro.core.registry.NATIVE_FORMAT_VERSION` — same layout,
+  same key; any codegen change rolls every key over.  Artifacts live
+  under ``<cache>/native/`` beside the compiled-ruleset entries and are
+  subject to the same ``RAP_CACHE_MAX_MB`` size bound.
+* **Byte-identical state.**  Kernel entry/exit states cross the ABI as
+  the same little-endian ``uint64`` words
+  :func:`~repro.core.fused.words_from_int` defines, so every
+  :class:`~repro.core.state.KernelState` a native scan round-trips is
+  the one the interpreted scan would have produced.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import logging
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import codegen
+from repro.core.fused import FusedKernel, int_from_words, words_from_int
+
+NATIVE_DISABLE_ENV = "RAP_NATIVE_DISABLE"
+
+log = logging.getLogger(__name__)
+
+
+class NativeBuildError(Exception):
+    """A native kernel could not be built or loaded (callers fall back)."""
+
+
+# -- capability probe ---------------------------------------------------------
+
+_SMOKE: dict[str, str | None] = {}  # cc path -> failure reason (None = ok)
+
+_SMOKE_SOURCE = "int rap_probe(void) { return 42; }\n"
+
+
+def _find_compiler() -> str | None:
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if not candidate:
+            continue
+        found = shutil.which(candidate)
+        if found:
+            return found
+    return None
+
+
+def _smoke_test(cc: str) -> str | None:
+    """Compile-and-load a trivial shared object once per process."""
+    cached = _SMOKE.get(cc, _SMOKE)
+    if cached is not _SMOKE:
+        return cached
+    reason: str | None = None
+    try:
+        with tempfile.TemporaryDirectory(prefix="rap-native-probe-") as tmp:
+            src = Path(tmp) / "probe.c"
+            out = Path(tmp) / "probe.so"
+            src.write_text(_SMOKE_SOURCE)
+            proc = subprocess.run(
+                [cc, "-O2", "-fPIC", "-shared", "-o", str(out), str(src)],
+                capture_output=True,
+                timeout=60,
+            )
+            if proc.returncode != 0:
+                reason = "C compiler cannot build shared objects"
+            else:
+                lib = ctypes.CDLL(str(out))
+                if lib.rap_probe() != 42:
+                    reason = "probe shared object misbehaved"
+    except Exception as err:  # pragma: no cover - environment-specific
+        reason = f"C compiler probe failed: {err}"
+    _SMOKE[cc] = reason
+    return reason
+
+
+def native_unavailable_reason() -> str | None:
+    """Why the native backend cannot run here, or None when it can."""
+    if os.environ.get(NATIVE_DISABLE_ENV, "").strip():
+        return f"disabled by {NATIVE_DISABLE_ENV}"
+    cc = _find_compiler()
+    if cc is None:
+        return "no C compiler"
+    return _smoke_test(cc)
+
+
+def native_available() -> bool:
+    """The registry's capability probe for ``native``."""
+    return native_unavailable_reason() is None
+
+
+# -- build + load -------------------------------------------------------------
+
+_LIB_MEMO: dict[str, "_Library"] = {}
+_LIB_FAILED: set[str] = set()
+
+
+def _native_cache_dir() -> Path:
+    from repro.engine.cache import default_cache_dir
+
+    return default_cache_dir() / "native"
+
+
+def source_key(source: str) -> str:
+    """The shared-object cache key: SHA-256 of the generated source."""
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def _compile_shared(cc: str, source: str, target: Path) -> None:
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(prefix="rap-native-build-") as tmp:
+        src = Path(tmp) / "kernel.c"
+        out = Path(tmp) / "kernel.so"
+        src.write_text(source)
+        base = [cc, "-O3", "-fPIC", "-shared", "-o", str(out), str(src)]
+        # -march=native first (the recurrence vectorizes well); retry
+        # portable when the toolchain rejects it.
+        proc = subprocess.run(
+            base[:2] + ["-march=native"] + base[2:],
+            capture_output=True,
+            timeout=300,
+        )
+        if proc.returncode != 0:
+            proc = subprocess.run(base, capture_output=True, timeout=300)
+        if proc.returncode != 0:
+            raise NativeBuildError(
+                "cc failed: " + proc.stderr.decode(errors="replace")[:500]
+            )
+        # Atomic publish: racing processes both compile, last replace
+        # wins, every loader sees a complete file.
+        fd, tmp_so = tempfile.mkstemp(
+            dir=target.parent, prefix=".so-", suffix=".tmp"
+        )
+        os.close(fd)
+        shutil.copyfile(out, tmp_so)
+        os.replace(tmp_so, target)
+
+
+class _CffiLibrary:
+    """A built shared object behind cffi's ABI-mode loader."""
+
+    kind = "cffi"
+
+    def __init__(self, path: Path, cdef: str):
+        import cffi
+
+        self._ffi = cffi.FFI()
+        self._ffi.cdef(cdef)
+        self._lib = self._ffi.dlopen(str(path))
+
+    def fn(self, name: str):
+        raw = getattr(self._lib, name)
+        cast = self._ffi.cast
+
+        def call(*args):
+            return raw(
+                *(
+                    cast("void *", a) if isinstance(a, _Ptr) else a
+                    for a in args
+                )
+            )
+
+        return call
+
+
+class _CtypesLibrary:
+    """The same shared object behind plain ctypes (cffi-free hosts)."""
+
+    kind = "ctypes"
+
+    def __init__(self, path: Path, cdef: str):
+        del cdef  # ctypes needs no declarations; args are pre-wrapped
+        self._lib = ctypes.CDLL(str(path))
+
+    def fn(self, name: str):
+        raw = getattr(self._lib, name)
+        raw.restype = ctypes.c_int
+
+        def call(*args):
+            return raw(
+                *(
+                    ctypes.c_void_p(int(a))
+                    if isinstance(a, _Ptr)
+                    else ctypes.c_longlong(a)
+                    for a in args
+                )
+            )
+
+        return call
+
+
+class _Ptr(int):
+    """An argument that is a raw data pointer, not an integer scalar."""
+
+
+def _ptr(buf) -> _Ptr:
+    """The data address of a bytes object or a C-contiguous ndarray."""
+    if isinstance(buf, np.ndarray):
+        return _Ptr(buf.ctypes.data)
+    return _Ptr(
+        ctypes.cast(ctypes.c_char_p(buf), ctypes.c_void_p).value or 0
+    )
+
+
+_Library = _CffiLibrary | _CtypesLibrary
+
+
+def load_source(source: str, cdef: str) -> _Library:
+    """Build (or reuse) and load the shared object for one source text.
+
+    Raises :class:`NativeBuildError` on any failure; failures are
+    memoized per key so a broken toolchain costs one attempt, not one
+    per scan.
+    """
+    key = source_key(source)
+    lib = _LIB_MEMO.get(key)
+    if lib is not None:
+        return lib
+    if key in _LIB_FAILED:
+        raise NativeBuildError("previous build of this layout failed")
+    reason = native_unavailable_reason()
+    if reason is not None:
+        raise NativeBuildError(reason)
+    try:
+        path = _native_cache_dir() / f"{key}.so"
+        if not path.is_file():
+            cc = _find_compiler()
+            assert cc is not None  # the probe above just found one
+            _compile_shared(cc, source, path)
+            from repro.engine.cache import enforce_cache_budget
+
+            enforce_cache_budget(keep=path)
+        else:
+            # Loading counts as use for the cache's LRU eviction order.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+        try:
+            lib = _CffiLibrary(path, cdef)
+        except ImportError:
+            lib = _CtypesLibrary(path, cdef)
+    except NativeBuildError:
+        _LIB_FAILED.add(key)
+        raise
+    except Exception as err:
+        _LIB_FAILED.add(key)
+        raise NativeBuildError(f"load failed: {err}") from err
+    _LIB_MEMO[key] = lib
+    return lib
+
+
+# -- scanner wrappers ---------------------------------------------------------
+
+
+class NativeLaneScanner:
+    """The compiled lane machine of one scanner layout.
+
+    Mirrors :meth:`FusedLaneScanner.scan`'s inner work: one call (plus
+    continuations when the hit buffer fills) returns the per-tile
+    cycle/bit counters, the ``(position, packed-final-word)`` hit pairs
+    with end-anchored finals already masked, and the exit word.
+    """
+
+    def __init__(self, fused, tile_rows):
+        self._source = codegen.lane_scan_source(fused, tile_rows)
+        self._fn = load_source(self._source, codegen.LANE_CDEF).fn(
+            "rap_lane_scan"
+        )
+        self._lanes = fused.lanes
+        self._tiles = len(tile_rows)
+        self._cap = codegen.HIT_BUFFER_ENTRIES
+
+    def scan(
+        self,
+        cls_bytes: bytes,
+        *,
+        entry: int,
+        fresh: bool,
+        at_end: bool,
+        stats_from: int,
+    ) -> tuple[np.ndarray, np.ndarray, list[tuple[int, int]], int]:
+        n = len(cls_bytes)
+        lanes = self._lanes
+        cap = self._cap
+        state = words_from_int(entry, lanes).copy()
+        tile_cycles = np.zeros(self._tiles, dtype=np.int64)
+        tile_bits = np.zeros(self._tiles, dtype=np.int64)
+        hit_pos = np.empty(cap, dtype=np.int64)
+        hit_words = np.empty(cap * lanes, dtype=np.uint64)
+        n_hits = np.zeros(1, dtype=np.int64)
+        resume = np.zeros(1, dtype=np.int64)
+        hits: list[tuple[int, int]] = []
+        i = 0
+        while True:
+            rc = self._fn(
+                _ptr(cls_bytes),
+                n,
+                i,
+                _ptr(state),
+                1 if fresh else 0,
+                1 if at_end else 0,
+                stats_from,
+                _ptr(tile_cycles),
+                _ptr(tile_bits),
+                _ptr(hit_pos),
+                _ptr(hit_words),
+                cap,
+                _ptr(n_hits),
+                _ptr(resume),
+            )
+            nh = int(n_hits[0])
+            for r in range(nh):
+                hits.append(
+                    (
+                        int(hit_pos[r]),
+                        int_from_words(
+                            hit_words[r * lanes : (r + 1) * lanes]
+                        ),
+                    )
+                )
+            i = int(resume[0])
+            if rc == 0:
+                break
+        return tile_cycles, tile_bits, hits, int_from_words(state)
+
+
+class NativeUnitScanner:
+    """Compiled GATHER/DFA span kernels of one fused ruleset."""
+
+    def __init__(self, fused):
+        source = codegen.unit_scan_source(fused)
+        if not source:
+            raise NativeBuildError("no native-eligible scan units")
+        lib = load_source(source, codegen.unit_cdefs(fused))
+        self._gather_fns = {
+            j: lib.fn(f"rap_gather_scan_{j}")
+            for j in codegen.native_gather_indices(fused)
+        }
+        self._dfa_fns = {
+            j: lib.fn(f"rap_dfa_scan_{j}") for j in range(fused.dfa_count)
+        }
+        self._cap = codegen.HIT_BUFFER_ENTRIES
+
+    def has_gather(self, index: int) -> bool:
+        return index in self._gather_fns
+
+    def gather_span(
+        self,
+        index: int,
+        cls_bytes: bytes,
+        *,
+        state: int,
+        fresh: bool,
+        at_end: bool,
+        stats_from: int,
+    ) -> tuple[list[tuple[int, int]], int, int]:
+        """``(events, active_state_sum, exit_state)`` for one span."""
+        fn = self._gather_fns[index]
+        n = len(cls_bytes)
+        cap = self._cap
+        word = np.array([state], dtype=np.uint64)
+        active = np.zeros(1, dtype=np.int64)
+        ev_pos = np.empty(cap, dtype=np.int64)
+        ev_word = np.empty(cap, dtype=np.uint64)
+        n_ev = np.zeros(1, dtype=np.int64)
+        resume = np.zeros(1, dtype=np.int64)
+        events: list[tuple[int, int]] = []
+        i = 0
+        while True:
+            rc = fn(
+                _ptr(cls_bytes),
+                n,
+                i,
+                _ptr(word),
+                1 if fresh else 0,
+                1 if at_end else 0,
+                stats_from,
+                _ptr(active),
+                _ptr(ev_pos),
+                _ptr(ev_word),
+                cap,
+                _ptr(n_ev),
+                _ptr(resume),
+            )
+            for r in range(int(n_ev[0])):
+                events.append((int(ev_pos[r]), int(ev_word[r])))
+            i = int(resume[0])
+            if rc == 0:
+                break
+        return events, int(active[0]), int(word[0])
+
+    def dfa_span(
+        self,
+        index: int,
+        cls_bytes: bytes,
+        *,
+        state: int,
+        stats_from: int,
+    ) -> tuple[list[tuple[int, int]], int, int]:
+        """``(raw (pos, dfa_state) events, active_sum, exit_state)``."""
+        fn = self._dfa_fns[index]
+        n = len(cls_bytes)
+        cap = self._cap
+        word = np.array([state], dtype=np.int32)
+        active = np.zeros(1, dtype=np.int64)
+        ev_pos = np.empty(cap, dtype=np.int64)
+        ev_state = np.empty(cap, dtype=np.int32)
+        n_ev = np.zeros(1, dtype=np.int64)
+        resume = np.zeros(1, dtype=np.int64)
+        events: list[tuple[int, int]] = []
+        i = 0
+        while True:
+            rc = fn(
+                _ptr(cls_bytes),
+                n,
+                i,
+                _ptr(word),
+                stats_from,
+                _ptr(active),
+                _ptr(ev_pos),
+                _ptr(ev_state),
+                cap,
+                _ptr(n_ev),
+                _ptr(resume),
+            )
+            for r in range(int(n_ev[0])):
+                events.append((int(ev_pos[r]), int(ev_state[r])))
+            i = int(resume[0])
+            if rc == 0:
+                break
+        return events, int(active[0]), int(word[0])
+
+
+class NativeKernel(FusedKernel):
+    """The ``native`` backend tier.
+
+    Per-program execution is inherited from the fused/NumPy kernels
+    (bit-identical by construction); the compiled-C acceleration
+    engages one layer up, where :class:`~repro.core.fused.FusedRuleset`
+    and the simulators attach the scanners above whenever the registry
+    resolves ``native``.
+    """
+
+    name = "native"

@@ -49,6 +49,14 @@ FUSED_FORMAT_VERSION = 1
 # scan fingerprints) can embed it in keys.
 DFA_FORMAT_VERSION = 1
 
+# Version of the native-codegen tier: the C source the ``native``
+# backend emits per compiled ruleset, its call ABI, and the shared-object
+# cache layout.  Bump on any change to repro.core.codegen's emitted
+# kernels so a cached ``.so`` (or a checkpoint whose fingerprint names a
+# native layout) can never be used under different codegen semantics.
+# Lives here so compiler-free importers can embed it in keys.
+NATIVE_FORMAT_VERSION = 1
+
 
 def _numpy_available() -> bool:
     try:
@@ -76,19 +84,51 @@ def _make_fused() -> StepKernel:
     return FusedKernel()
 
 
+def _native_available() -> bool:
+    # NumPy first: the native tier layers on the fused compilation, and
+    # checking it here keeps repro.core.native importable only on
+    # machines that could ever run it.
+    if not _numpy_available():
+        return False
+    from repro.core.native import native_available
+
+    return native_available()
+
+
+def _make_native() -> StepKernel:
+    from repro.core.native import NativeKernel
+
+    return NativeKernel()
+
+
 # name -> (capability probe, factory)
 _BACKENDS: dict[str, tuple[Callable[[], bool], Callable[[], StepKernel]]] = {
     "python": (lambda: True, _make_python),
     "numpy": (_numpy_available, _make_numpy),
     "fused": (_numpy_available, _make_fused),
+    "native": (_native_available, _make_native),
 }
 
 # Where an unavailable backend degrades to.  Names absent from this map
 # fall straight back to "python" (always available).
 _FALLBACKS: dict[str, str] = {
+    "native": "fused",
     "fused": "numpy",
     "numpy": "python",
 }
+
+
+def _unavailable_reason(name: str) -> str:
+    """Why ``name``'s capability probe fails right now (best effort)."""
+    if name == "native":
+        if not _numpy_available():
+            return "NumPy unavailable"
+        from repro.core.native import native_unavailable_reason
+
+        return native_unavailable_reason() or "capability probe failed"
+    if name in ("numpy", "fused"):
+        return "NumPy unavailable"
+    return "capability probe failed"
 
 _default: str | None = None
 _instances: dict[str, StepKernel] = {}
@@ -131,6 +171,39 @@ def resolve_backend(name: str | None = None) -> str:
         if name == "python":
             break
     return name
+
+
+def resolve_backend_with_reason(
+    name: str | None = None,
+) -> tuple[str, str | None]:
+    """Like :func:`resolve_backend`, plus *why* any fallback happened.
+
+    Returns ``(resolved, reason)`` where ``reason`` is ``None`` when the
+    requested backend runs as asked, and otherwise a human-readable
+    chain such as ``"native unavailable: no C compiler"`` — what
+    ``rap scan --explain`` and the serve ``open`` ack surface so a
+    silent capability fallback is silent for results, never for
+    operators.
+    """
+    if name is None:
+        name = _default
+    if name is None:
+        name = os.environ.get(BACKEND_ENV, "").strip().lower() or "python"
+        if name not in _BACKENDS:
+            return "python", f"unknown backend {name!r}"
+    else:
+        name = name.strip().lower()
+        if name not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {name!r}; registered: {sorted(_BACKENDS)}"
+            )
+    reasons: list[str] = []
+    while not _BACKENDS[name][0]():
+        reasons.append(f"{name} unavailable: {_unavailable_reason(name)}")
+        name = _FALLBACKS.get(name, "python")
+        if name == "python":
+            break
+    return name, ("; ".join(reasons) or None)
 
 
 def get_kernel(name: str | None = None) -> StepKernel:

@@ -30,7 +30,12 @@ from dataclasses import dataclass, field
 from repro.compiler import CompilerConfig, explain_patterns
 from repro.compiler.costmodel import MODE_CHOICES, mode_override, resolve_mode
 from repro.compiler.program import CompiledMode, CompiledRuleset
-from repro.core import resolve_backend, set_default_backend, use_backend
+from repro.core import (
+    resolve_backend,
+    resolve_backend_with_reason,
+    set_default_backend,
+    use_backend,
+)
 from repro.engine import faults
 from repro.engine.budget import BudgetMonitor, ResourceBudget, validate_degrade
 from repro.engine.cache import CompileCache, cached_compile_ruleset
@@ -258,9 +263,26 @@ class BatchEngine:
         Returns the :class:`~repro.compiler.pipeline.ExplainEntry` list
         behind ``rap scan --explain``: extracted features, per-mode
         predicted byte costs, the chosen mode, and the reason — or the
-        compile error for patterns the compiler would reject.
+        compile error for patterns the compiler would reject.  Runs
+        under the engine's backend scope so the cost constants scored
+        are the ones a real compile on this engine would use.
         """
-        return explain_patterns(list(patterns), self._effective_compiler(compiler))
+        with self._backend_scope():
+            return explain_patterns(
+                list(patterns), self._effective_compiler(compiler)
+            )
+
+    def backend_report(self) -> tuple[str, str | None]:
+        """The *resolved* step-kernel backend, with the fallback reason.
+
+        Walks the same probe-and-fall-back chain a scan would: the
+        returned name is what will actually execute, and the reason is
+        ``None`` when the configured (or ambient) backend is available,
+        else a human-readable chain like ``"native unavailable: no C
+        compiler"``.  Surfaced by ``rap scan --explain`` and the serve
+        session ack so a silent fallback is observable.
+        """
+        return resolve_backend_with_reason(self.config.backend)
 
     def compile(
         self,
@@ -450,7 +472,7 @@ class BatchEngine:
                 input_jobs > 1
                 and data
                 and len(ruleset)
-                and resolve_backend() == "fused"
+                and resolve_backend() in ("fused", "native")
             ):
                 from repro.engine.split import split_collect
 

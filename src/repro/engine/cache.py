@@ -58,6 +58,7 @@ from repro.io.serialize import (
 )
 
 CACHE_DIR_ENV = "RAP_CACHE_DIR"
+CACHE_MAX_MB_ENV = "RAP_CACHE_MAX_MB"
 
 # Version of the on-disk envelope (checksum wrapper), independent of
 # the payload's FORMAT_VERSION; bumping it invalidates every entry.
@@ -72,6 +73,85 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "rap-repro"
+
+
+def cache_budget_bytes() -> int | None:
+    """The ``RAP_CACHE_MAX_MB`` budget in bytes, or None for unbounded.
+
+    Unset, non-numeric, and non-positive values all mean "no bound" —
+    a malformed budget must degrade to the historical behaviour, never
+    fail a scan.
+    """
+    raw = os.environ.get(CACHE_MAX_MB_ENV)
+    if not raw:
+        return None
+    try:
+        mb = float(raw)
+    except ValueError:
+        log.debug("ignoring non-numeric %s=%r", CACHE_MAX_MB_ENV, raw)
+        return None
+    if mb <= 0:
+        return None
+    return int(mb * 1024 * 1024)
+
+
+def enforce_cache_budget(
+    root: str | Path | None = None, *, keep: str | Path | None = None
+) -> int:
+    """Evict least-recently-used cache files until under the size budget.
+
+    Walks ``root`` (the whole cache tree, including the ``native/``
+    shared-object subdirectory) and, while the total size exceeds
+    ``RAP_CACHE_MAX_MB``, deletes files oldest-first by
+    ``max(atime, mtime)`` — both :meth:`CompileCache.get` and the
+    native loader ``os.utime`` entries they serve, so recency reflects
+    *use*, not just creation.  ``keep`` (typically the entry just
+    written) is never evicted even if it alone exceeds the budget: the
+    artifact the caller is about to use must survive its own publish.
+
+    Returns the number of files evicted.  All I/O is best-effort — a
+    racing process deleting the same file is a no-op, and an unreadable
+    directory disables enforcement rather than failing the run.
+    """
+    budget = cache_budget_bytes()
+    if budget is None:
+        return 0
+    root = Path(root) if root is not None else default_cache_dir()
+    keep_path = Path(keep).resolve() if keep is not None else None
+    entries: list[tuple[float, int, Path]] = []
+    total = 0
+    try:
+        walk = list(os.walk(root))
+    except OSError:
+        return 0
+    for dirpath, _dirnames, filenames in walk:
+        for name in filenames:
+            if name.startswith("."):
+                continue  # in-flight temp files are not evictable
+            path = Path(dirpath) / name
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            total += st.st_size
+            if keep_path is not None and path.resolve() == keep_path:
+                continue
+            entries.append((max(st.st_atime, st.st_mtime), st.st_size, path))
+    if total <= budget:
+        return 0
+    entries.sort(key=lambda item: item[0])
+    evicted = 0
+    for _stamp, size, path in entries:
+        if total <= budget:
+            break
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        total -= size
+        evicted += 1
+        log.debug("cache budget: evicted %s (%d bytes)", path.name, size)
+    return evicted
 
 
 def _json_default(value):
@@ -93,11 +173,19 @@ def ruleset_cache_key(
     a cache entry must never outlive the execution semantics it was
     produced under.
     """
+    from repro.compiler.costmodel import active_constants
+
     config = config or CompilerConfig()
+    constants = active_constants()
     doc = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "backend": resolve_backend(),
+        # Mode selection scores against the calibrated cost constants,
+        # so recalibrating must orphan entries compiled under the old
+        # anchors (NFA/DFA splits are bit-identical, but the cached
+        # artifact should match what a fresh compile would choose).
+        "cost_constants": {**constants.numbers(), "source": constants.source},
         "kernel_format": KERNEL_FORMAT_VERSION,
         "fused_format": FUSED_FORMAT_VERSION,
         # Mode selection probes subset construction (the dfa_states
@@ -156,6 +244,11 @@ class CompileCache:
         except CacheCorruptionError as err:
             return self._evict(path, str(err))
         self.hits += 1
+        try:
+            # Freshen the entry so LRU budget eviction sees it as used.
+            os.utime(path)
+        except OSError:
+            pass
         return ruleset
 
     def _verify(self, document) -> CompiledRuleset:
@@ -235,6 +328,77 @@ class CompileCache:
         from repro.engine import faults
 
         faults.inject_cache_put(path)
+        self.evictions += enforce_cache_budget(self.root, keep=path)
+        return path
+
+    # -- generic checksummed blobs ------------------------------------
+    #
+    # Small JSON side-documents (e.g. per-backend cost-model
+    # calibration) share the cache directory and its integrity story:
+    # the same envelope, the same corruption-is-a-miss policy, and the
+    # same size budget.  Blobs live under blobs/<name>.json so they can
+    # never collide with a content-hash ruleset key.
+
+    def blob_path(self, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid blob name: {name!r}")
+        return self.root / "blobs" / f"{name}.json"
+
+    def get_blob(self, name: str):
+        """The stored JSON value, or None on a miss or corruption."""
+        path = self.blob_path(name)
+        try:
+            with open(path) as f:
+                document = json.load(f)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as err:
+            return self._evict(path, f"unreadable blob: {err}")
+        if (
+            not isinstance(document, dict)
+            or document.get("entry_version") != ENTRY_VERSION
+            or not isinstance(document.get("payload"), str)
+        ):
+            return self._evict(path, "malformed blob envelope")
+        payload = document["payload"]
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        if digest != document.get("checksum"):
+            return self._evict(path, "blob checksum mismatch")
+        try:
+            value = json.loads(payload)
+        except ValueError as err:
+            return self._evict(path, f"undeserializable blob: {err}")
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return value
+
+    def put_blob(self, name: str, value) -> Path:
+        """Atomically persist a JSON-serializable value under ``name``."""
+        path = self.blob_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(value, sort_keys=True)
+        document = {
+            "format": FORMAT_NAME,
+            "entry_version": ENTRY_VERSION,
+            "checksum": hashlib.sha256(payload.encode()).hexdigest(),
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{name[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(document, f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.evictions += enforce_cache_budget(self.root, keep=path)
         return path
 
 

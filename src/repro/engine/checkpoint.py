@@ -466,7 +466,7 @@ class DurableScan:
         # byte-identical; its layout digest binds the checkpoints to this
         # exact fusion via the fingerprint.
         self._fused = None
-        if self._bins and resolve_backend() == "fused":
+        if self._bins and resolve_backend() in ("fused", "native"):
             from repro.simulators.fused import FusedBinFeeder
 
             self._fused = FusedBinFeeder(

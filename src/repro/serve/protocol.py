@@ -33,7 +33,10 @@ Supervisor -> worker control ops (pre-``open``, fleet only)
 Server -> client ops
 --------------------
 ``welcome``  session accepted (``offset`` = bytes durably consumed —
-             a resuming client replays its input from there)
+             a resuming client replays its input from there;
+             ``backend`` = the resolved step-kernel backend that will
+             execute, ``backend_reason`` = why a fallback was taken,
+             e.g. ``"native unavailable: no C compiler"``, or null)
 ``events``   new matches for the last fed segment (``matches``,
              ``offset``, ``energy_uj`` priced so far, ``generation``)
 ``swap``     the session rotated onto a reloaded ruleset at this offset

@@ -46,6 +46,7 @@ import logging
 import signal
 from dataclasses import dataclass, field
 
+from repro.core import resolve_backend_with_reason
 from repro.engine.budget import AdmissionPolicy
 from repro.engine.checkpoint import CheckpointStore
 from repro.errors import (
@@ -658,6 +659,11 @@ class ScanServer:
                 self.stats.resumed += 1
         session.touch()
         self._attached[key] = _Attachment(writer=writer)
+        # The session ack reports the backend that will *actually*
+        # execute (after the probe-and-fall-back chain) so a client can
+        # see e.g. "native unavailable: no C compiler" instead of
+        # silently scanning on the fallback tier.
+        backend, backend_reason = resolve_backend_with_reason()
         await self._send(
             writer,
             {
@@ -669,6 +675,8 @@ class ScanServer:
                 "offset": session.offset,
                 "generation": session.generation,
                 "resumed": resumed,
+                "backend": backend,
+                "backend_reason": backend_reason,
             },
         )
         return key, session

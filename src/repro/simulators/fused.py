@@ -35,6 +35,7 @@ Import this module lazily, only after the backend registry has resolved
 
 from __future__ import annotations
 
+import logging
 import pickle
 from dataclasses import dataclass, replace
 
@@ -48,6 +49,7 @@ from repro.core.fused import (
     popcount_words,
     words_from_int,
 )
+from repro.core.registry import NATIVE_FORMAT_VERSION, resolve_backend
 from repro.core.state import KernelState
 from repro.core.trace import regex_fingerprint
 from repro.hardware.config import HardwareConfig, TileMode
@@ -59,6 +61,8 @@ from repro.simulators.activity import (
     collect_regex_activity,
 )
 from repro.simulators.rap import RunActivity
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -140,6 +144,45 @@ class FusedLaneScanner:
                 warm = max(warm, len(lnfa))
         self.warm = warm
 
+        # Native-codegen attachment: decided when the scanner is built
+        # (workers inherit the decision through pickling), compiled and
+        # loaded lazily on the first scan.  Build failures fall back to
+        # the interpreted path with identical results.
+        self._native_requested = (
+            fused.lanes > 0 and resolve_backend() == "native"
+        )
+        self._native = None
+        self._native_tried = False
+
+    def __getstate__(self):
+        # dlopen'd library handles are process-local; chunk workers
+        # rebuild them from the on-disk shared-object cache.
+        state = self.__dict__.copy()
+        state["_native"] = None
+        state["_native_tried"] = False
+        return state
+
+    def _native_scanner(self):
+        if not self._native_requested:
+            return None
+        if not self._native_tried:
+            self._native_tried = True
+            try:
+                from repro.core.native import NativeLaneScanner
+
+                self._native = NativeLaneScanner(
+                    self._fused, self._tile_words
+                )
+            except Exception as err:
+                log.debug("native lane kernel unavailable: %s", err)
+                self._native = None
+        return self._native
+
+    @property
+    def native_active(self) -> bool:
+        """Whether scans run the compiled lane kernel (builds lazily)."""
+        return self._native_scanner() is not None
+
     @property
     def fused(self) -> FusedRuleset:
         """The shared fused compilation this scanner steps."""
@@ -197,6 +240,22 @@ class FusedLaneScanner:
         if n == 0:
             return self.empty_delta(entry)
         fused = self._fused
+        native = self._native_scanner()
+        if native is not None:
+            if tin is None:
+                tin = fused.translate(segment)
+            return self._assemble_native(
+                native.scan(
+                    tin.cls_bytes,
+                    entry=entry,
+                    fresh=fresh,
+                    at_end=at_end,
+                    stats_from=stats_from,
+                ),
+                n,
+                base,
+                stats_from,
+            )
         last = n - 1
         tile_words = self._tile_words
         tile_count = len(self._tile_owners)
@@ -252,6 +311,56 @@ class FusedLaneScanner:
                 [owned] + tile_cycles[start + 1 : start + tiles]
             )
             per_bin_bits.append(tile_bits[start : start + tiles])
+        return LaneDelta(
+            cycles=owned,
+            tile_cycles=per_bin_cycles,
+            tile_bits=per_bin_bits,
+            matches=matches,
+            exit_states=[
+                fused.extract(packed, j) for j in range(len(self._layouts))
+            ],
+            exit_packed=packed,
+        )
+
+    def _assemble_native(
+        self,
+        raw: tuple,
+        n: int,
+        base: int,
+        stats_from: int,
+    ) -> LaneDelta:
+        """One compiled-kernel result as the interpreted scan's delta.
+
+        The C kernel hands back flattened per-tile counters and
+        end-anchored-masked ``(position, packed-final-word)`` hit
+        pairs; decomposition into per-bin matches and the tile-0
+        owned-cycle closed form are the exact operations the
+        interpreted sink performs, so the delta — and every snapshot
+        built from it — is byte-identical (plain Python ints, same
+        ordering).
+        """
+        tile_cycles, tile_bits, hits, packed = raw
+        fused = self._fused
+        finals = self._finals
+        matches: list[dict[int, list[int]]] = [{} for _ in self._layouts]
+        for position, word in hits:
+            while word:
+                low = word & -word
+                word ^= low
+                j, rid = finals[low.bit_length() - 1]
+                matches[j].setdefault(rid, []).append(base + position)
+        owned = n - max(0, stats_from)
+        flat_cycles = tile_cycles.tolist()
+        flat_bits = tile_bits.tolist()
+        per_bin_cycles: list[list[int]] = []
+        per_bin_bits: list[list[int]] = []
+        for j, layout in enumerate(self._layouts):
+            start = self._tile_starts[j]
+            tiles = len(layout.tile_masks)
+            per_bin_cycles.append(
+                [owned] + flat_cycles[start + 1 : start + tiles]
+            )
+            per_bin_bits.append(flat_bits[start : start + tiles])
         return LaneDelta(
             cycles=owned,
             tile_cycles=per_bin_cycles,
@@ -336,8 +445,21 @@ class FusedBinFeeder:
 
     @property
     def signature(self) -> str:
-        """The fused compilation's layout digest (class map + lanes)."""
-        return self._scanner.signature
+        """The fused compilation's layout digest (class map + lanes).
+
+        When the native backend's compiled lane kernel is attached the
+        digest carries a ``:native<version>`` suffix, folding
+        :data:`~repro.core.registry.NATIVE_FORMAT_VERSION` into every
+        durable-scan fingerprint built from it — a checkpoint records
+        the execution tier that wrote it.  A silent fallback (no
+        compiler, build failure) leaves the plain fused digest, so
+        fingerprints are unchanged whenever native does not actually
+        run.
+        """
+        sig = self._scanner.signature
+        if self._scanner.native_active:
+            sig = f"{sig}:native{NATIVE_FORMAT_VERSION}"
+        return sig
 
     @property
     def warm(self) -> int:

@@ -101,7 +101,7 @@ class RAPSimulator(ApStyleSimulator):
         trace keeps the per-unit path so its memoized scans stay
         reusable across architectures.
         """
-        if trace is None and resolve_backend() == "fused":
+        if trace is None and resolve_backend() in ("fused", "native"):
             from repro.simulators.fused import FusedRun
 
             return FusedRun(ruleset, mapping, self.hw).collect(data)

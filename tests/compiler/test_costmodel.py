@@ -5,14 +5,21 @@ import math
 import pytest
 
 from repro.compiler.costmodel import (
+    CALIBRATION_VERSION,
+    CONSTANT_RANGE,
+    DEFAULT_CONSTANTS,
     DFA_MAX_SOURCE_STATES,
     DFA_STATE_BUDGET,
     MODE_CHOICES,
     MODE_ENV,
+    CostConstants,
     ModeFeatures,
+    active_constants,
+    calibration_blob_name,
     dfa_state_count,
     extract_features,
     mode_costs,
+    invalidate_constants_cache,
     mode_override,
     plan_mode,
     resolve_mode,
@@ -150,3 +157,146 @@ class TestModeResolution:
             "auto", "nfa", "dfa", "nbva", "lnfa"
         }
         assert DFA_STATE_BUDGET == 256
+
+
+class TestCalibratedConstants:
+    """Measured constants: persistence, loading, and degradation."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        from repro.engine.cache import CACHE_DIR_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        invalidate_constants_cache()
+        yield
+        invalidate_constants_cache()
+
+    def _store(self, payload):
+        from repro.engine.cache import CompileCache
+
+        CompileCache().put_blob(calibration_blob_name("python"), payload)
+        invalidate_constants_cache()
+
+    def test_uncalibrated_backend_gets_defaults(self):
+        constants = active_constants("python")
+        assert constants == DEFAULT_CONSTANTS
+        assert constants.source == "default"
+
+    def test_measured_constants_load_and_score(self):
+        self._store(
+            {
+                "version": CALIBRATION_VERSION,
+                "backend": "python",
+                "constants": {
+                    "nfa_base": 1.0,
+                    "nfa_active": 2.5,
+                    "dfa_lookup": 0.2,
+                    "dfa_density": 3.0,
+                    "nbva_base": 1.1,
+                    "lnfa_word": 0.4,
+                },
+            }
+        )
+        constants = active_constants("python")
+        assert constants.source == "measured"
+        assert constants.backend == "python"
+        assert constants.nfa_active == 2.5
+        # mode_costs scores against the loaded constants.
+        features = extract_features(parse("abcd"))
+        costs = mode_costs(features, constants)
+        expected = 1.0 + 2.5 * features.predicted_activity * features.unfolded_states
+        assert costs["nfa"] == pytest.approx(expected)
+
+    def test_version_skew_degrades_to_defaults(self):
+        self._store(
+            {
+                "version": CALIBRATION_VERSION + 1,
+                "constants": {"nfa_base": 1.0},
+            }
+        )
+        assert active_constants("python") == DEFAULT_CONSTANTS
+
+    def test_malformed_payload_degrades_to_defaults(self):
+        self._store({"version": CALIBRATION_VERSION, "constants": "junk"})
+        assert active_constants("python") == DEFAULT_CONSTANTS
+
+    def test_implausible_values_are_clamped(self):
+        lo, hi = CONSTANT_RANGE
+        self._store(
+            {
+                "version": CALIBRATION_VERSION,
+                "constants": {
+                    "nfa_base": 1.0,
+                    "nfa_active": 1e9,
+                    "dfa_lookup": 0.0,
+                    "dfa_density": 1.0,
+                    "nbva_base": 1.0,
+                    "lnfa_word": 1.0,
+                },
+            }
+        )
+        constants = active_constants("python")
+        assert constants.nfa_active == hi
+        assert constants.dfa_lookup == lo
+
+    def test_calibrations_are_per_backend(self):
+        self._store(
+            {
+                "version": CALIBRATION_VERSION,
+                "constants": dict(
+                    DEFAULT_CONSTANTS.numbers(), nfa_active=9.0
+                ),
+            }
+        )
+        assert active_constants("python").source == "measured"
+        assert active_constants("fused").source == "default"
+
+    def test_save_calibration_round_trips(self):
+        from repro.compiler.calibrate import CalibrationReport, save_calibration
+
+        report = CalibrationReport(
+            backend="python",
+            constants=CostConstants(
+                nfa_active=5.0, source="measured", backend="python"
+            ),
+            measurements={"nfa_sparse": 1e-8},
+            probe_bytes=1024,
+        )
+        save_calibration(report)
+        loaded = active_constants("python")
+        assert loaded.source == "measured"
+        assert loaded.nfa_active == 5.0
+
+
+class TestCalibrationSolver:
+    def test_two_point_solves_affine_fit(self):
+        from repro.compiler.calibrate import _two_point
+
+        intercept, slope = _two_point(10.0, 30.0, 1.0, 5.0)
+        assert intercept == pytest.approx(5.0)
+        assert slope == pytest.approx(5.0)
+
+    def test_two_point_rejects_degenerate_inputs(self):
+        from repro.compiler.calibrate import _two_point
+
+        assert _two_point(None, 30.0, 1.0, 5.0) is None
+        assert _two_point(10.0, 30.0, 5.0, 1.0) is None  # x not increasing
+        assert _two_point(30.0, 10.0, 1.0, 5.0) is None  # negative slope
+
+    def test_probe_patterns_are_eligible(self):
+        """Every probe must actually compile in its forced mode, or the
+        calibration silently degrades that constant to its default."""
+        from repro.compiler import CompilerConfig, compile_ruleset
+        from repro.compiler import calibrate as cal
+
+        for pattern, mode in (
+            (cal.NFA_SPARSE, CompiledMode.NFA),
+            (cal.NFA_DENSE, CompiledMode.NFA),
+            (cal.DFA_SPARSE, CompiledMode.DFA),
+            (cal.DFA_DENSE, CompiledMode.DFA),
+            (cal.NBVA_PROBE, CompiledMode.NBVA),
+        ):
+            ruleset = compile_ruleset(
+                [pattern], CompilerConfig(forced_mode=mode)
+            )
+            assert not ruleset.rejected, (pattern, mode)

@@ -9,9 +9,25 @@ random seed can be unreproducible locally.
 
 import os
 
+import pytest
 from hypothesis import settings
 
 settings.register_profile("ci", print_blob=True, derandomize=False)
 settings.register_profile("dev", settings.get_profile("default"))
 
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_compile_cache(tmp_path_factory):
+    """Point the compile cache away from the developer's real one.
+
+    Mode selection now scores against calibration constants persisted
+    in the compile cache (``rap calibrate``), so a calibrated machine
+    would otherwise flip cost-model tests.  ``setdefault`` keeps an
+    explicitly exported ``RAP_CACHE_DIR`` (CI) in force.
+    """
+    os.environ.setdefault(
+        "RAP_CACHE_DIR", str(tmp_path_factory.mktemp("rap-cache"))
+    )
+    yield

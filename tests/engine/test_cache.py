@@ -1,6 +1,7 @@
 """Compile-cache tests: keying, invalidation, and corruption recovery."""
 
 import json
+import os
 
 import pytest
 
@@ -8,6 +9,8 @@ from repro.compiler import CompilerConfig
 from repro.engine import cache as cache_mod
 from repro.engine.cache import (
     CACHE_DIR_ENV,
+    CACHE_MAX_MB_ENV,
+    enforce_cache_budget,
     CompileCache,
     cached_compile_ruleset,
     default_cache_dir,
@@ -205,3 +208,118 @@ class TestFaultInjectedCachePuts:
             assert cache.hits == 1
         finally:
             faults.reset()
+
+
+class TestCacheBudget:
+    """``RAP_CACHE_MAX_MB``: LRU size-bound eviction over the cache tree."""
+
+    def _fill(self, root, names, size=1000):
+        root.mkdir(parents=True, exist_ok=True)
+        for i, name in enumerate(names):
+            path = root / name
+            path.write_bytes(b"x" * size)
+            # Strictly increasing recency, oldest first.
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+
+    def test_unset_budget_is_unbounded(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_MAX_MB_ENV, raising=False)
+        self._fill(tmp_path, ["a.json", "b.json"])
+        assert enforce_cache_budget(tmp_path) == 0
+        assert len(list(tmp_path.iterdir())) == 2
+
+    def test_malformed_budget_is_unbounded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "lots")
+        self._fill(tmp_path, ["a.json"])
+        assert enforce_cache_budget(tmp_path) == 0
+
+    def test_evicts_oldest_first(self, tmp_path, monkeypatch):
+        # Budget fits two 1000-byte files: the oldest two of four go.
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, str(2000 / (1024 * 1024)))
+        self._fill(tmp_path, ["a.json", "b.json", "c.json", "d.json"])
+        assert enforce_cache_budget(tmp_path) == 2
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "c.json",
+            "d.json",
+        ]
+
+    def test_keep_survives_even_over_budget(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, str(500 / (1024 * 1024)))
+        self._fill(tmp_path, ["old.json", "kept.json"])
+        evicted = enforce_cache_budget(tmp_path, keep=tmp_path / "kept.json")
+        assert evicted == 1
+        assert [p.name for p in tmp_path.iterdir()] == ["kept.json"]
+
+    def test_covers_native_subdir(self, tmp_path, monkeypatch):
+        # The native/ shared objects share the budget with entries.
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, str(2000 / (1024 * 1024)))
+        self._fill(tmp_path, ["a.json", "b.json"])
+        self._fill(tmp_path / "native", ["old.so"], size=1000)
+        os.utime(tmp_path / "native" / "old.so", (999_999, 999_999))
+        assert enforce_cache_budget(tmp_path) == 1
+        assert not (tmp_path / "native" / "old.so").exists()
+
+    def test_in_flight_temp_files_are_not_evicted(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, str(100 / (1024 * 1024)))
+        self._fill(tmp_path, [".partial-write.tmp"])
+        assert enforce_cache_budget(tmp_path) == 0
+        assert (tmp_path / ".partial-write.tmp").exists()
+
+    def test_put_surfaces_evictions(self, tmp_path, monkeypatch):
+        # A put that pushes the tree over budget evicts older entries
+        # (never its own) and counts them on the cache object.
+        cache = CompileCache(tmp_path)
+        cached_compile_ruleset(PATTERNS, cache=cache)
+        first = cache.path(ruleset_cache_key(PATTERNS, CompilerConfig()))
+        os.utime(first, (1_000_000, 1_000_000))
+        monkeypatch.setenv(
+            CACHE_MAX_MB_ENV, str(first.stat().st_size * 1.5 / (1024 * 1024))
+        )
+        cached_compile_ruleset(["different", "rules"], cache=cache)
+        assert cache.evictions == 1
+        assert not first.exists()
+        second = cache.path(
+            ruleset_cache_key(["different", "rules"], CompilerConfig())
+        )
+        assert second.exists()
+
+    def test_get_freshens_recency(self, tmp_path, monkeypatch):
+        cache = CompileCache(tmp_path)
+        cached_compile_ruleset(PATTERNS, cache=cache)
+        entry = cache.path(ruleset_cache_key(PATTERNS, CompilerConfig()))
+        os.utime(entry, (1_000_000, 1_000_000))
+        assert cached_compile_ruleset(PATTERNS, cache=cache) is not None
+        assert entry.stat().st_mtime > 1_000_000
+
+
+class TestBlobStore:
+    """Checksummed JSON side-documents (calibration persistence)."""
+
+    def test_round_trip(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        value = {"version": 1, "constants": {"nfa_base": 1.0}}
+        cache.put_blob("costmodel-fused", value)
+        assert cache.get_blob("costmodel-fused") == value
+
+    def test_miss_is_none(self, tmp_path):
+        assert CompileCache(tmp_path).get_blob("absent") is None
+
+    def test_corruption_is_a_miss_and_eviction(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        path = cache.put_blob("costmodel-fused", {"k": 1})
+        document = json.loads(path.read_text())
+        document["payload"] = document["payload"].replace("1", "2")
+        path.write_text(json.dumps(document))
+        assert cache.get_blob("costmodel-fused") is None
+        assert cache.evictions == 1
+        assert not path.exists()
+
+    def test_invalid_names_rejected(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(ValueError):
+                cache.blob_path(bad)
+
+    def test_blobs_never_collide_with_entries(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        key = ruleset_cache_key(PATTERNS, CompilerConfig())
+        assert cache.blob_path(key) != cache.path(key)
